@@ -1,0 +1,162 @@
+//! Hamming and Levenshtein distances.
+
+/// Hamming distance between two equal-length slices; `None` when lengths
+/// differ (Hamming distance is undefined then).
+pub fn hamming(a: &[u8], b: &[u8]) -> Option<usize> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(a.iter().zip(b).filter(|(x, y)| x != y).count())
+}
+
+/// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    // Keep the shorter string on the row axis for O(min(n,m)) space.
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=a.len()).collect();
+    let mut cur = vec![0usize; a.len() + 1];
+    for (j, &bj) in b.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, &ai) in a.iter().enumerate() {
+            let sub = prev[i] + usize::from(ai != bj);
+            cur[i + 1] = sub.min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[a.len()]
+}
+
+/// Banded Levenshtein distance: exact whenever the true distance is at most
+/// `band`, otherwise returns `None` ("more than `band`"). O(band·max(n,m)).
+pub fn banded_edit_distance(a: &[u8], b: &[u8], band: usize) -> Option<usize> {
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    if m - n > band {
+        return None;
+    }
+    const INF: usize = usize::MAX / 2;
+    // Row i covers columns j in [i.saturating_sub(band), min(m, i + band)].
+    let width = 2 * band + 1;
+    let mut prev = vec![INF; width + 2];
+    let mut cur = vec![INF; width + 2];
+    // Row 0: D[0][j] = j for j <= band.
+    for (off, slot) in prev.iter_mut().enumerate().take(width) {
+        let j = off as isize - band as isize; // column = row + (off - band)
+        if (0..=m as isize).contains(&j) && j as usize <= band {
+            *slot = j as usize;
+        }
+    }
+    for i in 1..=n {
+        for slot in cur.iter_mut() {
+            *slot = INF;
+        }
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let off = (j as isize - i as isize + band as isize) as usize;
+            let mut best = INF;
+            if j == 0 {
+                best = i;
+            } else {
+                // Substitution/match: prev row, same offset.
+                if prev[off] < INF {
+                    best = best.min(prev[off] + usize::from(a[i - 1] != b[j - 1]));
+                }
+                // Deletion from a: prev row, offset + 1.
+                if off + 1 < width && prev[off + 1] < INF {
+                    best = best.min(prev[off + 1] + 1);
+                }
+                // Insertion into a: same row, offset - 1.
+                if off >= 1 && cur[off - 1] < INF {
+                    best = best.min(cur[off - 1] + 1);
+                }
+            }
+            cur[off] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let off = (m as isize - n as isize + band as isize) as usize;
+    let d = prev[off];
+    if d <= band {
+        Some(d)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming(b"ACGT", b"ACGT"), Some(0));
+        assert_eq!(hamming(b"ACGT", b"AGGA"), Some(2));
+        assert_eq!(hamming(b"ACG", b"ACGT"), None);
+    }
+
+    #[test]
+    fn edit_distance_known() {
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"", b"ACG"), 3);
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"ACGT", b"ACGT"), 0);
+        assert_eq!(edit_distance(b"ACGT", b"AGT"), 1);
+        assert_eq!(edit_distance(b"ACGT", b"TGCA"), 4);
+    }
+
+    #[test]
+    fn banded_matches_full_within_band() {
+        assert_eq!(banded_edit_distance(b"kitten", b"sitting", 3), Some(3));
+        assert_eq!(banded_edit_distance(b"kitten", b"sitting", 2), None);
+        assert_eq!(banded_edit_distance(b"ACGT", b"ACGT", 1), Some(0));
+        assert_eq!(banded_edit_distance(b"", b"AAAA", 2), None);
+        assert_eq!(banded_edit_distance(b"", b"AAAA", 4), Some(4));
+    }
+
+    fn arb_dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+            0..max,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn edit_distance_symmetric(a in arb_dna(40), b in arb_dna(40)) {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        }
+
+        #[test]
+        fn edit_distance_triangle(a in arb_dna(25), b in arb_dna(25), c in arb_dna(25)) {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn edit_bounds(a in arb_dna(40), b in arb_dna(40)) {
+            let d = edit_distance(&a, &b);
+            let len_diff = a.len().abs_diff(b.len());
+            prop_assert!(d >= len_diff);
+            prop_assert!(d <= a.len().max(b.len()));
+            if a.len() == b.len() {
+                prop_assert!(d <= hamming(&a, &b).unwrap());
+            }
+        }
+
+        #[test]
+        fn banded_agrees_with_full(a in arb_dna(30), b in arb_dna(30), band in 0usize..12) {
+            let full = edit_distance(&a, &b);
+            match banded_edit_distance(&a, &b, band) {
+                Some(d) => prop_assert_eq!(d, full),
+                None => prop_assert!(full > band),
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Percentage-identity similarity functions for read pairs.
+//!
+//! CLOSET's similarity is "motivated by the need to capture containment
+//! relationships, and account for differences in read lengths. Note that if
+//! read r_i is a substring of read r_j ... [the score is] a perfect
+//! similarity score of 100%" (§4.3.1). [`fitting_identity`] realises exactly
+//! that contract with a full alignment instead of sketches: the best
+//! placement of the shorter read inside the longer one, scored as
+//! `1 − edits / |shorter|`.
+
+/// Fitting ("infix") identity: align the shorter sequence against the best
+/// window of the longer, gaps at both ends of the longer sequence are free.
+/// Returns a value in `[0, 1]`; a contained substring scores exactly 1.
+///
+/// Empty input: identity with an empty sequence is defined as 0 (no evidence
+/// of homology), except two empty sequences which score 1.
+pub fn fitting_identity(a: &[u8], b: &[u8]) -> f64 {
+    if a.len() == b.len() {
+        // Fitting x in y is not symmetric for equal lengths (which sequence
+        // gets the free end gaps matters); take the better direction.
+        return fit_one(a, b).max(fit_one(b, a));
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    fit_one(short, long)
+}
+
+/// Fit `short` inside `long` (free end gaps in `long` only).
+fn fit_one(short: &[u8], long: &[u8]) -> f64 {
+    if short.is_empty() {
+        return if long.is_empty() { 1.0 } else { 0.0 };
+    }
+    // DP over edit distance where the first row is all zeros (free prefix of
+    // `long`) and the answer is the minimum of the last row (free suffix).
+    let n = short.len();
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut cur = vec![0usize; n + 1];
+    let mut best = prev[n];
+    for &bj in long {
+        cur[0] = 0; // free gap in `long` before the match starts
+        for (i, &ai) in short.iter().enumerate() {
+            let sub = prev[i] + usize::from(ai != bj);
+            cur[i + 1] = sub.min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        best = best.min(cur[n]);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    1.0 - (best.min(n) as f64) / (n as f64)
+}
+
+/// Ungapped suffix–prefix overlap identity: over all shifts where a suffix of
+/// one sequence overlays a prefix of the other with at least `min_overlap`
+/// bases, the best `matches / overlap_len`. Returns 0 when no qualifying
+/// overlap exists. Gapless scoring suits substitution-dominated reads (the
+/// regime the whole dissertation assumes, §2 "assuming insertion and deletion
+/// errors are rarely produced").
+pub fn overlap_identity(a: &[u8], b: &[u8], min_overlap: usize) -> f64 {
+    fn one_direction(a: &[u8], b: &[u8], min_overlap: usize) -> f64 {
+        // Suffix of `a` of length w overlays prefix of `b` of length w.
+        let max_w = a.len().min(b.len());
+        let mut best = 0.0f64;
+        for w in min_overlap.max(1)..=max_w {
+            let suffix = &a[a.len() - w..];
+            let prefix = &b[..w];
+            let matches = suffix.iter().zip(prefix).filter(|(x, y)| x == y).count();
+            let id = matches as f64 / w as f64;
+            if id > best {
+                best = id;
+            }
+        }
+        best
+    }
+    one_direction(a, b, min_overlap).max(one_direction(b, a, min_overlap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_reads_score_one() {
+        assert_eq!(fitting_identity(b"ACGTACGT", b"ACGTACGT"), 1.0);
+    }
+
+    #[test]
+    fn containment_scores_one() {
+        assert_eq!(fitting_identity(b"GTAC", b"ACGTACGT"), 1.0);
+        assert_eq!(fitting_identity(b"ACGTACGT", b"GTAC"), 1.0);
+    }
+
+    #[test]
+    fn single_mismatch_in_short() {
+        // Best fit of ACTT (4bp) in ACGTACGT has 1 edit -> 0.75.
+        let id = fitting_identity(b"AGTA", b"ACGTACGT");
+        assert!((id - 0.75).abs() < 1e-9 || id > 0.75 - 1e-9, "id={id}");
+    }
+
+    #[test]
+    fn unrelated_reads_score_low() {
+        let id = fitting_identity(b"AAAAAAAA", b"CCCCCCCC");
+        assert_eq!(id, 0.0);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        assert_eq!(fitting_identity(b"", b""), 1.0);
+        assert_eq!(fitting_identity(b"", b"ACG"), 0.0);
+    }
+
+    #[test]
+    fn overlap_detects_suffix_prefix() {
+        // Suffix TACG of a == prefix of b.
+        let a = b"GGGGTACG";
+        let b = b"TACGCCCC";
+        assert_eq!(overlap_identity(a, b, 4), 1.0);
+        assert_eq!(overlap_identity(b, a, 4), 1.0);
+    }
+
+    #[test]
+    fn overlap_respects_min_overlap() {
+        let a = b"GGGGTA";
+        let b = b"TACCCC";
+        // Overlap is only 2 bases.
+        assert_eq!(overlap_identity(a, b, 4), 0.0);
+    }
+
+    fn arb_dna(lo: usize, hi: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+            lo..hi,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn fitting_identity_in_unit_interval(a in arb_dna(0, 30), b in arb_dna(0, 30)) {
+            let id = fitting_identity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&id));
+        }
+
+        #[test]
+        fn fitting_identity_symmetric(a in arb_dna(1, 25), b in arb_dna(1, 25)) {
+            prop_assert!((fitting_identity(&a, &b) - fitting_identity(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn substring_always_scores_one(
+            host in arb_dna(10, 40),
+            start in 0usize..5,
+            len in 3usize..8,
+        ) {
+            let start = start.min(host.len().saturating_sub(1));
+            let end = (start + len).min(host.len());
+            if end > start {
+                let sub = host[start..end].to_vec();
+                prop_assert_eq!(fitting_identity(&sub, &host), 1.0);
+            }
+        }
+
+        #[test]
+        fn single_substitution_bounded(host in arb_dna(12, 30), pos_frac in 0.0f64..1.0) {
+            let mut v = host.clone();
+            let pos = ((host.len() - 1) as f64 * pos_frac) as usize;
+            v[pos] = if v[pos] == b'A' { b'C' } else { b'A' };
+            let id = fitting_identity(&v, &host);
+            prop_assert!(id >= 1.0 - 1.0 / host.len() as f64 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `ngs-align` — pairwise sequence comparison.
+//!
+//! CLOSET (Chapter 4) assumes "the availability of a pairwise similarity
+//! function such that two reads of the same taxonomic unit can be
+//! differentiated from those belonging to different taxonomic units" (§4.1),
+//! and its edge-validation stage (Task 5) applies an arbitrary user-defined
+//! `F(r_i, r_j)`. This crate supplies the standard choices:
+//!
+//! * [`distance`] — Hamming distance, full and banded Levenshtein edit
+//!   distance;
+//! * [`identity`] — *fitting* identity (best placement of the shorter read
+//!   inside the longer; containment scores 100%, matching the paper's
+//!   `count / min(|S_i|, |S_j|)` design) and suffix–prefix *overlap*
+//!   identity.
+
+pub mod distance;
+pub mod identity;
+
+pub use distance::{banded_edit_distance, edit_distance, hamming};
+pub use identity::{fitting_identity, overlap_identity};

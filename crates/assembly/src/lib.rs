@@ -1,0 +1,331 @@
+//! `ngs-assembly` — a minimal de Bruijn unitig assembler.
+//!
+//! The dissertation motivates error correction almost entirely through
+//! assembly: de Bruijn graphs are "de facto models for building short read
+//! genome assemblers … [but the graph size] becomes the limiting factor for
+//! scaling to large genomes due to … an overwhelming number of spurious
+//! kmers that do not belong to the target genome. In addition, these
+//! artifacts lead to a higher chance of mis-assemblies. Therefore, detecting
+//! or correcting errors in the data pre-assembly becomes indispensable"
+//! (§1.1). Chapter 5 proposes the resulting yardstick: "it would also be
+//! interesting to see the association between the assembly results and the
+//! ratio of TP/FP".
+//!
+//! This crate provides exactly that downstream validator: a de Bruijn graph
+//! over the solid k-mers of a read set, compressed into **unitigs**
+//! (maximal non-branching paths), with the standard contiguity statistics
+//! (unitig count, N50, max length) and a genome-recovery measure. The
+//! `exp_assembly` experiment assembles raw vs corrected reads to show the
+//! paper's motivating effect end to end.
+
+use ngs_core::hash::FxHashSet;
+use ngs_core::Read;
+use ngs_kmer::packed::{decode_kmer, reverse_complement_packed, Kmer};
+use ngs_kmer::KSpectrum;
+
+/// Assembler parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AssemblyParams {
+    /// de Bruijn k (node length; `2..=32`).
+    pub k: usize,
+    /// Solidity filter: k-mers observed fewer than this many times are
+    /// dropped before graph construction (the classic spurious-k-mer
+    /// defence the paper describes).
+    pub min_count: u32,
+}
+
+impl AssemblyParams {
+    /// Defaults: `k = 21` capped below the read length, `min_count = 2`.
+    pub fn recommended(read_len: usize) -> AssemblyParams {
+        AssemblyParams { k: 21.min(read_len.saturating_sub(4)).max(5), min_count: 2 }
+    }
+}
+
+/// An assembled unitig set.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// Unitig sequences (each reported once, in canonical orientation).
+    pub unitigs: Vec<Vec<u8>>,
+    /// The k used.
+    pub k: usize,
+}
+
+/// Contiguity statistics of an assembly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssemblyStats {
+    /// Number of unitigs.
+    pub count: usize,
+    /// Total assembled bases.
+    pub total_len: usize,
+    /// N50: the largest L such that unitigs of length ≥ L cover half the
+    /// total assembled bases.
+    pub n50: usize,
+    /// Longest unitig.
+    pub max_len: usize,
+}
+
+impl Assembly {
+    /// Compute contiguity statistics.
+    pub fn stats(&self) -> AssemblyStats {
+        let mut lens: Vec<usize> = self.unitigs.iter().map(|u| u.len()).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = lens.iter().sum();
+        let mut acc = 0usize;
+        let mut n50 = 0usize;
+        for &l in &lens {
+            acc += l;
+            if acc * 2 >= total {
+                n50 = l;
+                break;
+            }
+        }
+        AssemblyStats {
+            count: lens.len(),
+            total_len: total,
+            n50,
+            max_len: lens.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Fraction of the reference genome's k-mers present in the unitigs —
+    /// a simple completeness measure (strand-insensitive).
+    pub fn genome_recovery(&self, genome: &[u8]) -> f64 {
+        let k = self.k;
+        let mut asm: FxHashSet<Kmer> = FxHashSet::default();
+        for u in &self.unitigs {
+            ngs_kmer::for_each_kmer(u, k, |_, v| {
+                asm.insert(v);
+                asm.insert(reverse_complement_packed(v, k));
+            });
+        }
+        let mut total = 0u64;
+        let mut hit = 0u64;
+        ngs_kmer::for_each_kmer(genome, k, |_, v| {
+            total += 1;
+            hit += u64::from(asm.contains(&v));
+        });
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+/// A solid-k-mer de Bruijn graph with unitig compression.
+struct Graph {
+    k: usize,
+    solid: FxHashSet<Kmer>,
+}
+
+impl Graph {
+    fn successors(&self, v: Kmer) -> Vec<Kmer> {
+        let mask: u64 = if self.k == 32 { u64::MAX } else { (1u64 << (2 * self.k)) - 1 };
+        (0..4u64)
+            .map(|b| ((v << 2) | b) & mask)
+            .filter(|s| self.solid.contains(s))
+            .collect()
+    }
+
+    fn predecessors(&self, v: Kmer) -> Vec<Kmer> {
+        (0..4u64)
+            .map(|b| (v >> 2) | (b << (2 * (self.k - 1))))
+            .filter(|p| self.solid.contains(p))
+            .collect()
+    }
+}
+
+/// Assemble `reads` into unitigs.
+pub fn assemble(reads: &[Read], params: AssemblyParams) -> Assembly {
+    let k = params.k;
+    assert!((2..=32).contains(&k));
+    let spectrum = KSpectrum::from_reads_both_strands(reads, k);
+    let solid: FxHashSet<Kmer> = spectrum
+        .iter()
+        .filter(|&(_, c)| c >= params.min_count)
+        .map(|(v, _)| v)
+        .collect();
+    let graph = Graph { k, solid };
+
+    let mut visited: FxHashSet<Kmer> = FxHashSet::default();
+    let mut unitigs: FxHashSet<Vec<u8>> = FxHashSet::default();
+
+    // Walk maximal non-branching paths. Start points: k-mers whose
+    // predecessor set is not a single unbranching edge (path heads), then a
+    // cycle sweep for anything untouched.
+    let starts: Vec<Kmer> = graph
+        .solid
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let preds = graph.predecessors(v);
+            preds.len() != 1 || graph.successors(preds[0]).len() != 1
+        })
+        .collect();
+    for start in starts {
+        if visited.contains(&start) {
+            continue;
+        }
+        let unitig = walk(&graph, start, &mut visited);
+        insert_canonical(&mut unitigs, unitig);
+    }
+    // Isolated cycles (no head): sweep leftovers.
+    let leftovers: Vec<Kmer> =
+        graph.solid.iter().copied().filter(|v| !visited.contains(v)).collect();
+    for v in leftovers {
+        if visited.contains(&v) {
+            continue;
+        }
+        let unitig = walk(&graph, v, &mut visited);
+        insert_canonical(&mut unitigs, unitig);
+    }
+
+    Assembly { unitigs: unitigs.into_iter().collect(), k }
+}
+
+/// Extend a unitig forward from `start`, marking nodes visited.
+fn walk(graph: &Graph, start: Kmer, visited: &mut FxHashSet<Kmer>) -> Vec<u8> {
+    let k = graph.k;
+    let mut seq = decode_kmer(start, k);
+    visited.insert(start);
+    visited.insert(reverse_complement_packed(start, k));
+    let mut cur = start;
+    loop {
+        let succs = graph.successors(cur);
+        if succs.len() != 1 {
+            break;
+        }
+        let next = succs[0];
+        if graph.predecessors(next).len() != 1 || visited.contains(&next) {
+            break;
+        }
+        visited.insert(next);
+        visited.insert(reverse_complement_packed(next, k));
+        seq.push(ngs_core::alphabet::decode_base((next & 3) as u8));
+        cur = next;
+    }
+    seq
+}
+
+/// Store a unitig in canonical orientation (lexicographically smaller of
+/// the sequence and its reverse complement), deduplicating strand twins.
+fn insert_canonical(unitigs: &mut FxHashSet<Vec<u8>>, unitig: Vec<u8>) {
+    let rc = ngs_core::alphabet::reverse_complement(&unitig);
+    unitigs.insert(if unitig <= rc { unitig } else { rc });
+}
+
+/// Assemble and immediately report statistics (convenience).
+pub fn assemble_stats(reads: &[Read], params: AssemblyParams) -> AssemblyStats {
+    assemble(reads, params).stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+
+    fn reads_from(genome: &[u8], pe: f64, coverage: f64, seed: u64) -> Vec<Read> {
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: (genome.len() as f64 * coverage / 36.0) as usize,
+            error_model: ErrorModel::uniform(36, pe),
+            both_strands: true,
+            with_quals: false,
+            n_rate: 0.0,
+            seed,
+        };
+        simulate_reads(genome, &cfg).reads
+    }
+
+    #[test]
+    fn clean_reads_assemble_contiguously() {
+        let genome = GenomeSpec::uniform(5_000).generate(1).seq;
+        let reads = reads_from(&genome, 0.0, 40.0, 2);
+        let asm = assemble(&reads, AssemblyParams { k: 17, min_count: 2 });
+        let stats = asm.stats();
+        assert!(stats.count < 20, "expected few unitigs, got {stats:?}");
+        assert!(stats.n50 > 500, "{stats:?}");
+        assert!(asm.genome_recovery(&genome) > 0.95);
+    }
+
+    #[test]
+    fn errors_fragment_the_graph_and_correction_heals_it() {
+        // The dissertation's core motivation, end to end.
+        let genome = GenomeSpec::uniform(6_000).generate(3).seq;
+        let clean = reads_from(&genome, 0.0, 50.0, 4);
+        let noisy = reads_from(&genome, 0.02, 50.0, 4);
+        let params = AssemblyParams { k: 17, min_count: 2 };
+
+        let clean_stats = assemble_stats(&clean, params);
+        let noisy_stats = assemble_stats(&noisy, params);
+        assert!(
+            noisy_stats.n50 < clean_stats.n50,
+            "errors must fragment: clean {clean_stats:?} noisy {noisy_stats:?}"
+        );
+
+        // Correct with Reptile, reassemble: contiguity must improve.
+        let noisy_reads: Vec<Read> = noisy.clone();
+        let rp = reptile::ReptileParams::from_data(&noisy_reads, genome.len());
+        let (corrected, _) = reptile::Reptile::run(&noisy_reads, rp);
+        let corrected_stats = assemble_stats(&corrected, params);
+        assert!(
+            corrected_stats.n50 > noisy_stats.n50,
+            "correction must improve N50: corrected {corrected_stats:?} noisy {noisy_stats:?}"
+        );
+    }
+
+    #[test]
+    fn min_count_filters_spurious_kmers() {
+        let genome = GenomeSpec::uniform(4_000).generate(5).seq;
+        let noisy = reads_from(&genome, 0.02, 50.0, 6);
+        let no_filter = assemble(&noisy, AssemblyParams { k: 17, min_count: 1 });
+        let filtered = assemble(&noisy, AssemblyParams { k: 17, min_count: 3 });
+        // The filter removes most error-induced branching.
+        assert!(
+            filtered.stats().count < no_filter.stats().count / 2,
+            "filter: {:?} vs {:?}",
+            filtered.stats(),
+            no_filter.stats()
+        );
+    }
+
+    #[test]
+    fn strand_twins_deduplicated() {
+        // A single unique sequence: both strands must collapse into one
+        // unitig.
+        let genome = GenomeSpec::uniform(2_000).generate(7).seq;
+        let reads = reads_from(&genome, 0.0, 60.0, 8);
+        let asm = assemble(&reads, AssemblyParams { k: 15, min_count: 2 });
+        // No unitig should equal another's reverse complement.
+        for (i, u) in asm.unitigs.iter().enumerate() {
+            let rc = ngs_core::alphabet::reverse_complement(u);
+            for (j, w) in asm.unitigs.iter().enumerate() {
+                if i != j {
+                    assert_ne!(w, &rc, "strand twin not deduplicated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n50_definition() {
+        let asm = Assembly {
+            unitigs: vec![vec![b'A'; 50], vec![b'A'; 30], vec![b'A'; 20]],
+            k: 15,
+        };
+        let s = asm.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_len, 100);
+        assert_eq!(s.n50, 50);
+        assert_eq!(s.max_len, 50);
+    }
+
+    #[test]
+    fn empty_input() {
+        let asm = assemble(&[], AssemblyParams { k: 15, min_count: 1 });
+        let s = asm.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.n50, 0);
+        assert_eq!(asm.genome_recovery(b"ACGTACGTACGTACGTACGT"), 0.0);
+    }
+}

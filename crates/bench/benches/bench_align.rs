@@ -1,0 +1,31 @@
+//! Alignment-kernel benchmarks (CLOSET's validation cost model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ngs_align::{banded_edit_distance, edit_distance, fitting_identity, overlap_identity};
+
+fn seqs(len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let a: Vec<u8> = (0..len).map(|_| b"ACGT"[next() % 4]).collect();
+    let mut b = a.clone();
+    for i in (7..len).step_by(29) {
+        b[i] = b"TGCA"[next() % 4];
+    }
+    (a, b)
+}
+
+fn bench_align(c: &mut Criterion) {
+    let (a, b) = seqs(300, 11);
+    let mut g = c.benchmark_group("align_300bp");
+    g.bench_function("edit_distance", |x| x.iter(|| edit_distance(&a, &b)));
+    g.bench_function("banded_edit_distance_b16", |x| x.iter(|| banded_edit_distance(&a, &b, 16)));
+    g.bench_function("fitting_identity", |x| x.iter(|| fitting_identity(&a, &b)));
+    g.bench_function("overlap_identity_m50", |x| x.iter(|| overlap_identity(&a, &b, 50)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_align);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! CLOSET stage benchmarks (Table 4.3's structure): sketching, validation
+//! and clustering on a small community, plus worker scaling.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use closet::{build_candidate_edges, validate_edges, ClosetParams};
+use mapreduce_lite::JobConfig;
+use ngs_simulate::{simulate_community, CommunityConfig};
+
+fn community() -> ngs_simulate::SimulatedCommunity {
+    simulate_community(&CommunityConfig::standard(600, 9))
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let com = community();
+    let params = ClosetParams::standard(370, vec![0.8, 0.7, 0.6], 8);
+    let mut g = c.benchmark_group("closet_600_reads");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("sketch_tasks_1_3", |b| {
+        b.iter(|| build_candidate_edges(&com.reads, &params.sketch, &params.job))
+    });
+    let (candidates, _) = build_candidate_edges(&com.reads, &params.sketch, &params.job);
+    g.bench_function("validate_tasks_4_5", |b| {
+        b.iter(|| validate_edges(&com.reads, &candidates, &params.validator, params.sketch.cmin))
+    });
+    g.bench_function("full_pipeline", |b| b.iter(|| closet::run(&com.reads, &params)));
+    g.finish();
+
+    let mut g = c.benchmark_group("closet_worker_scaling");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    for workers in [1usize, 4, 8] {
+        let mut p = ClosetParams::standard(370, vec![0.7], workers);
+        p.job = JobConfig::with_workers(workers);
+        g.bench_with_input(BenchmarkId::new("workers", workers), &p, |b, p| {
+            b.iter(|| closet::run(&com.reads, p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Read-mapper throughput (the RMAP-substitute used in every evaluation).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ngs_mapper::Mapper;
+use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+
+fn bench_mapper(c: &mut Criterion) {
+    let genome = GenomeSpec::uniform(20_000).generate(2).seq;
+    let cfg = ReadSimConfig::with_coverage(
+        genome.len(), 36, 10.0, ErrorModel::illumina_like(36, 0.01), 3);
+    let sim = simulate_reads(&genome, &cfg);
+    let mut g = c.benchmark_group("mapper_20kbp");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("build_index_seed6", |b| b.iter(|| Mapper::build(&genome, 6)));
+    let mapper = Mapper::build(&genome, 6);
+    g.bench_function("map_all_mm5", |b| b.iter(|| mapper.map_all(&sim.reads, 5)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Downstream-assembly ablation (§1.1 motivation, §5's TP/FP-vs-assembly
+//! yardstick): assemble raw, Reptile-corrected and clean reads of the same
+//! dataset and compare contiguity.
+fn main() {
+    print!("{}", ngs_bench::ch2::assembly_ablation());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the corresponding table/figure of the paper (see DESIGN.md).
+fn main() {
+    print!("{}", ngs_bench::ch4::table_4_1());
+}

@@ -1,0 +1,28 @@
+//! Runs every experiment in sequence, printing all tables and figures.
+//! Output is recorded in EXPERIMENTS.md.
+fn main() {
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("Tables 2.1/2.2", ngs_bench::ch2::tables_2_1_and_2_2 as fn() -> String),
+        ("Table 2.3", ngs_bench::ch2::table_2_3),
+        ("Table 2.4", ngs_bench::ch2::table_2_4),
+        ("Fig 2.3", ngs_bench::ch2::fig_2_3),
+        ("Assembly ablation", ngs_bench::ch2::assembly_ablation),
+        ("Table 3.1", ngs_bench::ch3::table_3_1),
+        ("Table 3.2", ngs_bench::ch3::table_3_2),
+        ("Table 3.3", ngs_bench::ch3::table_3_3),
+        ("Fig 3.3", ngs_bench::ch3::fig_3_3),
+        ("Table 3.4", ngs_bench::ch3::table_3_4),
+        ("Table 4.1", ngs_bench::ch4::table_4_1),
+        ("Table 4.2", ngs_bench::ch4::table_4_2),
+        ("Table 4.3", ngs_bench::ch4::table_4_3),
+        ("Table 4.4", ngs_bench::ch4::table_4_4),
+    ] {
+        let t = std::time::Instant::now();
+        println!("{}", f());
+        eprintln!("[{name} done in {:.1?}; total {:.1?}]\n", t.elapsed(), t0.elapsed());
+    }
+    // Fig 3.2 emits a large TSV; keep it last and to stdout as well.
+    println!("{}", ngs_bench::ch3::fig_3_2());
+    eprintln!("[all experiments done in {:.1?}]", t0.elapsed());
+}

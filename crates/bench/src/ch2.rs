@@ -1,0 +1,305 @@
+//! Chapter-2 experiment drivers (Tables 2.1–2.4, Fig. 2.3).
+
+use crate::datasets::{ch2_specs, make_ch2};
+use ngs_eval::{evaluate_correction, CorrectionEval};
+use ngs_mapper::Mapper;
+use ngs_simulate::SimulatedReads;
+use reptile::{Reptile, ReptileParams};
+use shrec::{Shrec, ShrecParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn truths(sim: &SimulatedReads) -> Vec<Vec<u8>> {
+    sim.truth.iter().map(|t| t.true_seq.clone()).collect()
+}
+
+/// Mapper settings per read length: (seed_len, max_mismatches), keeping the
+/// pigeonhole guarantee `seed_len <= L / (m+1)`.
+fn mapper_settings(read_len: usize) -> (usize, usize) {
+    match read_len {
+        0..=40 => (6, 5),
+        41..=60 => (6, 6),
+        _ => (9, 10),
+    }
+}
+
+/// Tables 2.1 + 2.2: dataset characteristics and mapping results.
+pub fn tables_2_1_and_2_2() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 2.1/2.2 — Experimental datasets and mapping results ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:<11} {:>8} {:>6} {:>9} {:>6} {:>7} {:>8} {:>8} {:>8}",
+        "Data", "Genome", "|G|", "L", "reads", "Cov", "Err%", "mm", "Uniq%", "Ambig%"
+    )
+    .unwrap();
+    for spec in ch2_specs() {
+        let (genome, sim) = make_ch2(&spec);
+        let (seed_len, mm) = mapper_settings(spec.read_len);
+        let mapper = Mapper::build(&genome, seed_len);
+        let (_, stats) = mapper.map_all(&sim.reads, mm);
+        writeln!(
+            out,
+            "{:<4} {:<11} {:>8} {:>6} {:>9} {:>5.0}x {:>6.2} {:>8} {:>8.1} {:>8.1}",
+            spec.id,
+            spec.genome_name,
+            genome.len(),
+            spec.read_len,
+            sim.reads.len(),
+            sim.coverage(genome.len()),
+            100.0 * stats.error_rate(),
+            mm,
+            100.0 * stats.unique_fraction(),
+            100.0 * stats.ambiguous_fraction(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn eval_line(
+    out: &mut String,
+    data: &str,
+    method: &str,
+    e: &CorrectionEval,
+    secs: f64,
+    index_mb: f64,
+) {
+    writeln!(
+        out,
+        "{:<4} {:<11} {:>9} {:>9} {:>7} {:>7.3} {:>6.1} {:>8.2} {:>6.1} {:>8.1} {:>7.0}",
+        data,
+        method,
+        e.tp,
+        e.fn_,
+        e.fp,
+        100.0 * e.eba(),
+        100.0 * e.sensitivity(),
+        100.0 * e.specificity(),
+        100.0 * e.gain(),
+        secs,
+        index_mb,
+    )
+    .unwrap();
+}
+
+/// Table 2.3: Reptile vs SHREC on the six datasets (plus d=2 on D1/D2).
+pub fn table_2_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 2.3 — Reptile vs SHREC ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:<11} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>6} {:>8} {:>7}",
+        "Data", "Method(d)", "TP", "FN", "FP", "EBA%", "Sens%", "Spec%", "Gain%", "secs", "idxMB"
+    )
+    .unwrap();
+    for spec in ch2_specs() {
+        let (genome, sim) = make_ch2(&spec);
+        let t = truths(&sim);
+
+        // SHREC baseline.
+        let t0 = Instant::now();
+        let shrec = Shrec::new(ShrecParams::recommended(genome.len(), spec.read_len));
+        let (sh, _) = shrec.correct(&sim.reads);
+        let sh_secs = t0.elapsed().as_secs_f64();
+        let sh_eval = evaluate_correction(&sim.reads, &sh, &t);
+        // Index size: the deepest q-gram table dominates.
+        let q = ShrecParams::recommended(genome.len(), spec.read_len).levels[0];
+        let windows: usize = sim.reads.iter().map(|r| 2 * r.len().saturating_sub(q - 1)).sum();
+        eval_line(&mut out, spec.id, "SHREC", &sh_eval, sh_secs, windows as f64 * 12.0 / 1e6);
+
+        // Reptile, d = 1 (and d = 2 on D1/D2, mirroring the paper).
+        let d_values: &[usize] = if spec.id == "D1" || spec.id == "D2" { &[1, 2] } else { &[1] };
+        for &d in d_values {
+            let mut params = ReptileParams::from_data(&sim.reads, genome.len());
+            params.d = d;
+            let t1 = Instant::now();
+            let built = Reptile::build(&sim.reads, params);
+            let (rep, _) = built.correct(&sim.reads);
+            let rep_secs = t1.elapsed().as_secs_f64();
+            let rep_eval = evaluate_correction(&sim.reads, &rep, &t);
+            let idx_mb = (built.spectrum().len() * 12 + built.tiles().len() * 16) as f64 / 1e6;
+            eval_line(&mut out, spec.id, &format!("Reptile({d})"), &rep_eval, rep_secs, idx_mb);
+        }
+    }
+    out
+}
+
+/// Table 2.4: ambiguous-base correction quality per default base, on the
+/// D2- and D6-shaped datasets with injected `N`s.
+pub fn table_2_4() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 2.4 — Quality of ambiguous base correction ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:>3} {:>9} {:>7} {:>8} {:>7} {:>7}",
+        "Data", "N", "Acc%", "Sens%", "Spec%", "Gain%", "EBA%"
+    )
+    .unwrap();
+    for (id, read_len, coverage, err, n_rate, seed) in
+        [("D2", 36usize, 80.0, 0.006, 0.004, 401u64), ("D6", 101, 100.0, 0.012, 0.01, 402)]
+    {
+        let genome = ngs_simulate::GenomeSpec::uniform(20_000).generate(seed).seq;
+        let cfg = ngs_simulate::ReadSimConfig {
+            read_len,
+            n_reads: (genome.len() as f64 * coverage / read_len as f64) as usize,
+            error_model: ngs_simulate::ErrorModel::illumina_like(read_len, err),
+            both_strands: true,
+            with_quals: true,
+            n_rate,
+            seed: seed * 11,
+        };
+        let sim = ngs_simulate::simulate_reads(&genome, &cfg);
+        let t = truths(&sim);
+        for default_base in [b'A', b'C', b'G', b'T'] {
+            let mut params = ReptileParams::from_data(&sim.reads, genome.len());
+            params.default_n_base = default_base;
+            let (corrected, _) = Reptile::run(&sim.reads, params);
+            let e = evaluate_correction(&sim.reads, &corrected, &t);
+            let (mut n_right, mut n_changed) = (0u64, 0u64);
+            #[allow(clippy::needless_range_loop)] // three parallel sequences
+            for ((orig, corr), truth) in sim.reads.iter().zip(&corrected).zip(&t) {
+                for i in 0..orig.len() {
+                    if orig.seq[i] == b'N' && corr.seq[i] != b'N' {
+                        n_changed += 1;
+                        n_right += u64::from(corr.seq[i] == truth[i]);
+                    }
+                }
+            }
+            let acc = if n_changed == 0 { 0.0 } else { n_right as f64 / n_changed as f64 };
+            writeln!(
+                out,
+                "{:<4} {:>3} {:>9.2} {:>7.1} {:>8.2} {:>7.1} {:>7.3}",
+                id,
+                default_base as char,
+                100.0 * acc,
+                100.0 * e.sensitivity(),
+                100.0 * e.specificity(),
+                100.0 * e.gain(),
+                100.0 * e.eba(),
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Downstream-assembly ablation: the §1.1 motivation made measurable.
+/// Assembles raw / corrected / error-free variants of a D2-shaped dataset
+/// and compares de Bruijn contiguity.
+pub fn assembly_ablation() -> String {
+    use ngs_assembly::{assemble, AssemblyParams};
+    let mut out = String::new();
+    writeln!(out, "== Assembly ablation — error correction vs de Bruijn contiguity ==").unwrap();
+    let genome = ngs_simulate::GenomeSpec::uniform(20_000).generate(601).seq;
+    let read_len = 36;
+    let make = |pe: f64| {
+        let cfg = ngs_simulate::ReadSimConfig::with_coverage(
+            genome.len(),
+            read_len,
+            60.0,
+            ngs_simulate::ErrorModel::illumina_like(read_len, pe),
+            602,
+        );
+        ngs_simulate::simulate_reads(&genome, &cfg)
+    };
+    let clean = make(0.0);
+    let noisy = make(0.015);
+    let params = ReptileParams::from_data(&noisy.reads, genome.len());
+    let (corrected, _) = Reptile::run(&noisy.reads, params);
+
+    let asm_params = AssemblyParams { k: 17, min_count: 2 };
+    writeln!(
+        out,
+        "{:<22} {:>9} {:>10} {:>8} {:>8} {:>10}",
+        "reads", "unitigs", "total_bp", "N50", "max", "recovery%"
+    )
+    .unwrap();
+    for (name, reads) in [
+        ("raw (1.5% errors)", &noisy.reads),
+        ("Reptile-corrected", &corrected),
+        ("error-free", &clean.reads),
+    ] {
+        let asm = assemble(reads, asm_params);
+        let s = asm.stats();
+        writeln!(
+            out,
+            "{:<22} {:>9} {:>10} {:>8} {:>8} {:>10.1}",
+            name,
+            s.count,
+            s.total_len,
+            s.n50,
+            s.max_len,
+            100.0 * asm.genome_recovery(&genome),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Fig. 2.3: Gain and sensitivity across parameter choices on D3.
+pub fn fig_2_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Fig 2.3 — Gain/Sensitivity vs parameter choices (D3) ==").unwrap();
+    let spec = &ch2_specs()[2];
+    let (genome, sim) = make_ch2(spec);
+    let t = truths(&sim);
+    let base = ReptileParams::from_data(&sim.reads, genome.len());
+    writeln!(
+        out,
+        "{:>3} {:>4} {:>2} {:>4} {:>4} {:>4} {:>7} {:>7}",
+        "pt", "k", "d", "|t|", "Cm", "Qc", "Sens%", "Gain%"
+    )
+    .unwrap();
+    // The paper's 11-point (Cm, Qc) ladder plus a 12th (k+1, d=2) point.
+    // Our quality scale tops out at 41, so the Qc ladder is expressed as
+    // absolute scores in our scale (high = strict).
+    let ladder: [(u32, u8); 11] = [
+        (14, 30),
+        (12, 30),
+        (10, 30),
+        (10, 27),
+        (8, 30),
+        (8, 27),
+        (8, 24),
+        (8, 21),
+        (7, 21),
+        (6, 21),
+        (5, 21),
+    ];
+    let mut run_point = |pt: usize, params: ReptileParams| {
+        let k = params.k;
+        let d = params.d;
+        let tl = params.tile_len();
+        let cm = params.cm;
+        let qc = params.qc;
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        let e = evaluate_correction(&sim.reads, &corrected, &t);
+        writeln!(
+            out,
+            "{:>3} {:>4} {:>2} {:>4} {:>4} {:>4} {:>7.1} {:>7.1}",
+            pt,
+            k,
+            d,
+            tl,
+            cm,
+            qc,
+            100.0 * e.sensitivity(),
+            100.0 * e.gain(),
+        )
+        .unwrap();
+    };
+    for (i, (cm, qc)) in ladder.iter().enumerate() {
+        let mut p = base.clone();
+        p.cm = *cm;
+        p.qc = *qc;
+        run_point(i + 1, p);
+    }
+    let mut p = base.clone();
+    p.k += 1;
+    p.d = 2;
+    p.cm = 8;
+    p.qc = 21;
+    run_point(12, p);
+    out
+}

@@ -1,0 +1,336 @@
+//! Chapter-3 experiment drivers (Tables 3.1–3.4, Figs. 3.2–3.3).
+
+use crate::datasets::{ch3_specs, make_ch3, Ch3Spec};
+use ngs_core::hash::FxHashSet;
+use ngs_eval::{detection_curve, evaluate_correction, min_wrong_predictions};
+use ngs_simulate::{ErrorModel, SimulatedGenome, SimulatedReads};
+use redeem::{EmConfig, KmerErrorModel, Redeem};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const K: usize = 10;
+const READ_LEN: usize = 36;
+
+/// The four error distributions of §3.4.2, instantiated against a dataset
+/// whose true read-position model is `illumina_like(READ_LEN, true_rate)`.
+fn error_models(true_rate: f64) -> Vec<(&'static str, KmerErrorModel)> {
+    vec![
+        // tIED: the true Illumina-shaped distribution, in k-mer coordinates.
+        ("tIED", KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, true_rate), K)),
+        // wIED: an Illumina-shaped distribution from a "different lab":
+        // 2.5x the error rate (the A. sp. dataset's rate vs E. coli's).
+        ("wIED", KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, true_rate * 2.5), K)),
+        // tUED: uniform with the true average rate.
+        ("tUED", KmerErrorModel::uniform(K, true_rate)),
+        // wUED: uniform with the rate overestimated at 2%.
+        ("wUED", KmerErrorModel::uniform(K, 0.02)),
+    ]
+}
+
+/// Genomic-membership flags for a spectrum against a reference genome.
+pub fn genomic_flags(genome: &[u8], spectrum: &ngs_kmer::KSpectrum) -> Vec<bool> {
+    let mut set: FxHashSet<u64> = FxHashSet::default();
+    ngs_kmer::for_each_kmer(genome, spectrum.k(), |_, v| {
+        set.insert(v);
+    });
+    spectrum.kmers().iter().map(|v| set.contains(v)).collect()
+}
+
+fn threshold_grid() -> Vec<f64> {
+    (0..300).map(|m| m as f64 * 0.5).collect()
+}
+
+/// Materialise a Chapter-3 dataset with the Illumina-shaped error profile
+/// (the distribution-comparison experiments need a non-uniform truth).
+fn make_illumina(spec: &Ch3Spec) -> (SimulatedGenome, SimulatedReads) {
+    let genome = ngs_simulate::GenomeSpec::with_repeats(spec.genome_len, spec.repeats.clone())
+        .generate(spec.seed);
+    let cfg = ngs_simulate::ReadSimConfig {
+        read_len: READ_LEN,
+        n_reads: (genome.len() as f64 * spec.coverage / READ_LEN as f64) as usize,
+        error_model: ErrorModel::illumina_like(READ_LEN, spec.error_rate),
+        both_strands: false,
+        with_quals: false,
+        n_rate: 0.0,
+        seed: spec.seed * 3,
+    };
+    let sim = ngs_simulate::simulate_reads(&genome.seq, &cfg);
+    (genome, sim)
+}
+
+/// Table 3.1: dataset characteristics.
+pub fn table_3_1() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 3.1 — Chapter-3 experimental datasets ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:<14} {:>9} {:>9} {:>22} {:>5} {:>9}",
+        "Data", "Genome", "|G|", "Repeat%", "Repeat classes", "Cov", "reads"
+    )
+    .unwrap();
+    for spec in ch3_specs() {
+        let (genome, sim) = make_ch3(&spec);
+        let classes = spec
+            .repeats
+            .iter()
+            .map(|r| format!("({},{})", r.length, r.multiplicity))
+            .collect::<Vec<_>>()
+            .join(" ");
+        writeln!(
+            out,
+            "{:<4} {:<14} {:>9} {:>8.0}% {:>22} {:>4.0}x {:>9}",
+            spec.id,
+            spec.genome_name,
+            genome.len(),
+            100.0 * genome.repeat_fraction(),
+            if classes.is_empty() { "-".to_string() } else { classes },
+            spec.coverage,
+            sim.reads.len(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Table 3.2: estimated `q_i(α,β)` at k-mer position 11 for two error
+/// profiles (E. coli-like 0.6% vs A. sp.-like 1.5%), estimated from
+/// mapper-aligned reads as in §3.4.1.
+pub fn table_3_2() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 3.2 — Estimated error probabilities q_i(a,b) x10^-2, kmer position 11 ==")
+        .unwrap();
+    let k = 13;
+    for (name, rate, seed) in
+        [("ecoli-like (0.6%)", 0.006, 501u64), ("asp-like (1.5%)", 0.015, 502)]
+    {
+        let genome = ngs_simulate::GenomeSpec::uniform(25_000).generate(seed).seq;
+        let cfg = ngs_simulate::ReadSimConfig::with_coverage(
+            genome.len(),
+            READ_LEN,
+            40.0,
+            ErrorModel::illumina_like(READ_LEN, rate),
+            seed * 7,
+        );
+        let sim = ngs_simulate::simulate_reads(&genome, &cfg);
+        let mapper = ngs_mapper::Mapper::build(&genome, 6);
+        let (results, _) = mapper.map_all(&sim.reads, 5);
+        let pairs = mapper.truth_pairs(&sim.reads, &results);
+        let pairs_ref: Vec<(&[u8], &[u8])> =
+            pairs.iter().map(|(o, t)| (*o, t.as_slice())).collect();
+        let model = KmerErrorModel::estimate(&pairs_ref, k);
+        writeln!(out, "\n{name}:").unwrap();
+        writeln!(out, "{:>8} {:>8} {:>8} {:>8} {:>8}", "", "A", "C", "G", "T").unwrap();
+        let m = model.matrix(11);
+        for (a, label) in ["A", "C", "G", "T"].iter().enumerate() {
+            writeln!(
+                out,
+                "{:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                label,
+                100.0 * m[a][0],
+                100.0 * m[a][1],
+                100.0 * m[a][2],
+                100.0 * m[a][3],
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Table 3.3: minimum FP+FN from thresholding Y vs T under the four error
+/// distributions.
+pub fn table_3_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 3.3 — Minimum wrong predictions (FP+FN) ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Data", "Y", "tIED", "wIED", "tUED", "wUED"
+    )
+    .unwrap();
+    let grid = threshold_grid();
+    for spec in ch3_specs() {
+        let (genome, sim) = make_illumina(&spec);
+        let mut cells = vec![spec.id.to_string()];
+        let mut y_done = false;
+        for (_, model) in error_models(spec.error_rate) {
+            let redeem = Redeem::new(&sim.reads, K, &model, 1);
+            if !y_done {
+                let flags = genomic_flags(&genome.seq, redeem.spectrum());
+                let best = min_wrong_predictions(redeem.y(), &flags, &grid).unwrap();
+                cells.push(best.wrong().to_string());
+                y_done = true;
+            }
+            let result = redeem.run(&EmConfig::default());
+            let flags = genomic_flags(&genome.seq, redeem.spectrum());
+            let best = min_wrong_predictions(&result.t, &flags, &grid).unwrap();
+            cells.push(best.wrong().to_string());
+        }
+        writeln!(
+            out,
+            "{:<4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Fig. 3.2: log10(FP+FN) vs threshold curves, emitted as TSV series.
+pub fn fig_3_2() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Fig 3.2 — log10(FP+FN) vs threshold (TSV) ==").unwrap();
+    writeln!(out, "data\tmodel\tthreshold\tlog10_wrong").unwrap();
+    let grid: Vec<f64> = (0..60).map(|m| m as f64).collect();
+    // Full curves for a representative subset (low / high repeats, plain).
+    for spec in ch3_specs().into_iter().filter(|s| matches!(s.id, "R1" | "R3" | "R6")) {
+        let (genome, sim) = make_illumina(&spec);
+        // Y curve.
+        let model = KmerErrorModel::uniform(K, spec.error_rate);
+        let redeem = Redeem::new(&sim.reads, K, &model, 1);
+        let flags = genomic_flags(&genome.seq, redeem.spectrum());
+        for p in detection_curve(redeem.y(), &flags, &grid) {
+            writeln!(
+                out,
+                "{}\tY\t{}\t{:.3}",
+                spec.id,
+                p.threshold,
+                (p.wrong().max(1) as f64).log10()
+            )
+            .unwrap();
+        }
+        for (name, model) in error_models(spec.error_rate) {
+            let redeem = Redeem::new(&sim.reads, K, &model, 1);
+            let result = redeem.run(&EmConfig::default());
+            let flags = genomic_flags(&genome.seq, redeem.spectrum());
+            for p in detection_curve(&result.t, &flags, &grid) {
+                writeln!(
+                    out,
+                    "{}\t{}\t{}\t{:.3}",
+                    spec.id,
+                    name,
+                    p.threshold,
+                    (p.wrong().max(1) as f64).log10()
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3.3: histogram of estimated `T_l` on the E. coli-like dataset, plus
+/// the §3.7 mixture fit.
+pub fn fig_3_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Fig 3.3 — Histogram of estimated T_l (ecoli-like) ==").unwrap();
+    let spec = ch3_specs().into_iter().find(|s| s.id == "R6").unwrap();
+    let (_, sim) = make_illumina(&spec);
+    let model = KmerErrorModel::from_read_model(
+        &ErrorModel::illumina_like(READ_LEN, spec.error_rate),
+        K,
+    );
+    let redeem = Redeem::new(&sim.reads, K, &model, 1);
+    let result = redeem.run(&EmConfig::default());
+    // Bucketed histogram (width 4) with text bars.
+    let width = 4.0f64;
+    let mut buckets = vec![0u64; 60];
+    for &t in &result.t {
+        let b = ((t / width) as usize).min(buckets.len() - 1);
+        buckets[b] += 1;
+    }
+    let max = *buckets.iter().max().unwrap() as f64;
+    writeln!(out, "{:>10} {:>9}  histogram", "T range", "kmers").unwrap();
+    for (b, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((count as f64 / max) * 50.0).ceil() as usize);
+        writeln!(
+            out,
+            "{:>4.0}-{:<5.0} {:>9}  {}",
+            b as f64 * width,
+            (b + 1) as f64 * width,
+            count,
+            bar
+        )
+        .unwrap();
+    }
+    if let Some(fit) = redeem::fit_threshold_model(&result.t, 3) {
+        writeln!(
+            out,
+            "\nmixture fit: G={} coverage constant={:.1} (paper's analogue: ~57), \
+             threshold={:.1}, BIC={:.0}",
+            fit.g, fit.coverage_constant, fit.threshold, fit.bic
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Table 3.4: SHREC vs Reptile vs REDEEM correction on the 20/50/80%-repeat
+/// genomes.
+pub fn table_3_4() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 3.4 — Error correction on repeat-rich genomes ==").unwrap();
+    writeln!(
+        out,
+        "{:<4} {:<8} {:>7} {:>8} {:>7} {:>8}",
+        "Data", "Method", "Sens%", "Spec%", "Gain%", "secs"
+    )
+    .unwrap();
+    for spec in ch3_specs().into_iter().filter(|s| s.id.starts_with('R') && s.id <= "R3") {
+        let (genome, sim) = make_illumina(&spec);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+
+        let t0 = Instant::now();
+        let shrec = shrec::Shrec::new(shrec::ShrecParams::recommended(genome.len(), READ_LEN));
+        let (sh, _) = shrec.correct(&sim.reads);
+        let sh_secs = t0.elapsed().as_secs_f64();
+        let sh_eval = evaluate_correction(&sim.reads, &sh, &truths);
+
+        let t1 = Instant::now();
+        let params = reptile::ReptileParams::from_data(&sim.reads, genome.len());
+        let (rep, _) = reptile::Reptile::run(&sim.reads, params);
+        let rep_secs = t1.elapsed().as_secs_f64();
+        let rep_eval = evaluate_correction(&sim.reads, &rep, &truths);
+
+        let t2 = Instant::now();
+        let model = KmerErrorModel::from_read_model(
+            &ErrorModel::illumina_like(READ_LEN, spec.error_rate),
+            K,
+        );
+        let redeem = Redeem::new(&sim.reads, K, &model, 1);
+        let result = redeem.run(&EmConfig::default());
+        let coverage = spec.coverage / READ_LEN as f64 * (READ_LEN - K + 1) as f64;
+        let red = redeem::correct_reads(
+            &redeem,
+            &model,
+            &result.t,
+            &sim.reads,
+            coverage * 0.5,
+            coverage * 0.25,
+        );
+        let red_secs = t2.elapsed().as_secs_f64();
+        let red_eval = evaluate_correction(&sim.reads, &red, &truths);
+
+        for (name, e, s) in [
+            ("SHREC", sh_eval, sh_secs),
+            ("Reptile", rep_eval, rep_secs),
+            ("REDEEM", red_eval, red_secs),
+        ] {
+            writeln!(
+                out,
+                "{:<4} {:<8} {:>7.1} {:>8.2} {:>7.1} {:>8.1}",
+                spec.id,
+                name,
+                100.0 * e.sensitivity(),
+                100.0 * e.specificity(),
+                100.0 * e.gain(),
+                s,
+            )
+            .unwrap();
+        }
+    }
+    out
+}

@@ -1,0 +1,203 @@
+//! Chapter-4 experiment drivers (Tables 4.1–4.4).
+
+use crate::datasets::{ch4_specs, make_ch4};
+use closet::{ClosetParams, Validator};
+use mapreduce_lite::JobConfig;
+use ngs_eval::{adjusted_rand_index, clusters_to_partition, ContingencyTable};
+use std::fmt::Write as _;
+
+/// The threshold series used throughout; on the k-mer-containment `F`,
+/// same-species overlapping reads score ≈ 0.75–0.95, same-genus ≈ 0.5–0.7
+/// (the paper's 95/92/90% identity ladder translated to our validator).
+pub fn threshold_series() -> Vec<f64> {
+    vec![0.8, 0.7, 0.6]
+}
+
+fn params_for(workers: usize) -> ClosetParams {
+    let mut p = ClosetParams::standard(370, threshold_series(), workers);
+    p.validator = Validator::KmerContainment { k: 15 };
+    p
+}
+
+/// Table 4.1: characteristics of the community datasets.
+pub fn table_4_1() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 4.1 — Community datasets ==").unwrap();
+    writeln!(
+        out,
+        "{:<7} {:>8} {:>9} {:>21} {:>8} {:>8}",
+        "Data", "reads", "size(MB)", "len(min/avg/max)", "species", "phyla"
+    )
+    .unwrap();
+    for spec in ch4_specs() {
+        let c = make_ch4(&spec);
+        let total: usize = c.reads.iter().map(|r| r.len()).sum();
+        let min = c.reads.iter().map(|r| r.len()).min().unwrap();
+        let max = c.reads.iter().map(|r| r.len()).max().unwrap();
+        let avg = total / c.reads.len();
+        writeln!(
+            out,
+            "{:<7} {:>8} {:>9.1} {:>21} {:>8} {:>8}",
+            spec.id,
+            c.reads.len(),
+            total as f64 / 1e6,
+            format!("{min}/{avg}/{max}"),
+            c.n_species(),
+            4,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Table 4.2: data quantities generated in different stages.
+pub fn table_4_2() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 4.2 — Data quantities per stage ==").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>10}",
+        "", "Small", "Medium", "Large"
+    )
+    .unwrap();
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("Predicted edges".into(), vec![]),
+        ("Unique edges".into(), vec![]),
+        ("Confirmed edges".into(), vec![]),
+    ];
+    let series = threshold_series();
+    for &t in &series {
+        rows.push((format!("t={t:.2} processed"), vec![]));
+        rows.push((format!("t={t:.2} clusters"), vec![]));
+    }
+    for spec in ch4_specs() {
+        let c = make_ch4(&spec);
+        let out_run = closet::run(&c.reads, &params_for(8));
+        rows[0].1.push(out_run.sketch_stats.predicted_edges.to_string());
+        rows[1].1.push(out_run.sketch_stats.unique_edges.to_string());
+        rows[2].1.push(out_run.confirmed_edges.to_string());
+        for (i, stats) in out_run.threshold_stats.iter().enumerate() {
+            rows[3 + 2 * i].1.push(stats.clusters_processed.to_string());
+            rows[4 + 2 * i].1.push(stats.resulting_clusters.to_string());
+        }
+    }
+    for (label, cells) in rows {
+        writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>10}",
+            label,
+            cells.first().map(String::as_str).unwrap_or("-"),
+            cells.get(1).map(String::as_str).unwrap_or("-"),
+            cells.get(2).map(String::as_str).unwrap_or("-"),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Table 4.3: run time per stage, plus worker scaling on the Medium set.
+pub fn table_4_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 4.3 — Stage run times (seconds) ==").unwrap();
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>10}",
+        "Stage", "Small", "Medium", "Large"
+    )
+    .unwrap();
+    let mut sketch = Vec::new();
+    let mut validate = Vec::new();
+    let mut filter = Vec::new();
+    let mut cluster = Vec::new();
+    for spec in ch4_specs() {
+        let c = make_ch4(&spec);
+        let run = closet::run(&c.reads, &params_for(8));
+        sketch.push(run.sketch_time.as_secs_f64());
+        validate.push(run.validate_time.as_secs_f64());
+        filter.push(run.threshold_stats.iter().map(|s| s.filter_time.as_secs_f64()).sum::<f64>());
+        cluster.push(run.threshold_stats.iter().map(|s| s.cluster_time.as_secs_f64()).sum::<f64>());
+    }
+    for (label, xs) in [
+        ("Sketching", &sketch),
+        ("Validation", &validate),
+        ("Filtering", &filter),
+        ("Clustering", &cluster),
+    ] {
+        writeln!(
+            out,
+            "{:<16} {:>10.2} {:>10.2} {:>10.2}",
+            label, xs[0], xs[1], xs[2]
+        )
+        .unwrap();
+    }
+
+    // Worker scaling on the Medium dataset (the "cluster size" axis).
+    writeln!(out, "\nWorker scaling (Medium dataset, total pipeline seconds):").unwrap();
+    let c = make_ch4(&ch4_specs()[1]);
+    write!(out, "{:<10}", "workers").unwrap();
+    for w in [1usize, 2, 4, 8] {
+        write!(out, " {w:>8}").unwrap();
+    }
+    writeln!(out).unwrap();
+    write!(out, "{:<10}", "seconds").unwrap();
+    for w in [1usize, 2, 4, 8] {
+        let mut p = params_for(w);
+        p.job = JobConfig::with_workers(w);
+        let t0 = std::time::Instant::now();
+        let _ = closet::run(&c.reads, &p);
+        write!(out, " {:>8.2}", t0.elapsed().as_secs_f64()).unwrap();
+    }
+    writeln!(out).unwrap();
+    out
+}
+
+/// Table 4.4 (+§4.5.2 methodology): contingency-table/ARI assessment of the
+/// clustering against the known taxonomy, per rank and threshold, with
+/// cluster purity alongside.
+pub fn table_4_4() -> String {
+    let mut out = String::new();
+    writeln!(out, "== Table 4.4 — ARI / purity vs canonical taxonomy ==").unwrap();
+    for spec in ch4_specs().into_iter().take(2) {
+        let c = make_ch4(&spec);
+        let run = closet::run(&c.reads, &params_for(8));
+        writeln!(out, "\n{} ({} reads):", spec.id, c.reads.len()).unwrap();
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>10} {:>9} {:>11} {:>10} {:>10}",
+            "t", "clusters", "purity%", "ARI(sp)", "ARI(genus)", "ARI(phy)", "table"
+        )
+        .unwrap();
+        let species = c.canonical_labels(2);
+        let genus = c.canonical_labels(1);
+        let phylum = c.canonical_labels(0);
+        for (t, clusters) in &run.clusters_by_threshold {
+            let pure = clusters
+                .iter()
+                .filter(|cl| {
+                    let s0 = species[cl.vertices[0] as usize];
+                    cl.vertices.iter().all(|&v| species[v as usize] == s0)
+                })
+                .count();
+            let member_lists: Vec<Vec<usize>> = clusters
+                .iter()
+                .map(|cl| cl.vertices.iter().map(|&v| v as usize).collect())
+                .collect();
+            let partition = clusters_to_partition(&member_lists, c.reads.len());
+            let table = ContingencyTable::new(&partition, &species);
+            writeln!(
+                out,
+                "{:>6.2} {:>9} {:>10.1} {:>9.3} {:>11.3} {:>10.3} {:>6}x{:<4}",
+                t,
+                clusters.len(),
+                100.0 * pure as f64 / clusters.len().max(1) as f64,
+                adjusted_rand_index(&partition, &species),
+                adjusted_rand_index(&partition, &genus),
+                adjusted_rand_index(&partition, &phylum),
+                table.rows(),
+                table.cols(),
+            )
+            .unwrap();
+        }
+    }
+    out
+}

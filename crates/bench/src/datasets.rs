@@ -1,0 +1,256 @@
+//! Scaled reproductions of the paper's experimental datasets.
+//!
+//! Genome lengths are scaled by roughly 1/150 relative to the paper (E. coli
+//! 4.64 Mbp → 30 kbp class) so a full experiment suite runs on a single
+//! CPU core in minutes;
+//! read lengths, coverages and error rates are the paper's. The scaling is
+//! recorded per dataset and echoed by the dataset tables.
+
+use ngs_simulate::{
+    simulate_community, simulate_reads, CommunityConfig, ErrorModel, GenomeSpec, RankSpec,
+    ReadSimConfig, RepeatClass, SimulatedGenome, SimulatedReads,
+};
+
+/// A fully-specified Chapter-2 dataset (Tables 2.1–2.4).
+#[derive(Debug, Clone)]
+pub struct Ch2Spec {
+    /// Paper dataset id (D1–D6).
+    pub id: &'static str,
+    /// Paper genome ("E. coli" / "A. sp.").
+    pub genome_name: &'static str,
+    /// Scaled genome length.
+    pub genome_len: usize,
+    /// Read length.
+    pub read_len: usize,
+    /// Coverage.
+    pub coverage: f64,
+    /// Average per-base error rate.
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The six Chapter-2 datasets (Table 2.1), scaled.
+pub fn ch2_specs() -> Vec<Ch2Spec> {
+    vec![
+        Ch2Spec { id: "D1", genome_name: "ecoli-like", genome_len: 30_000, read_len: 36, coverage: 160.0, error_rate: 0.006, seed: 101 },
+        Ch2Spec { id: "D2", genome_name: "ecoli-like", genome_len: 30_000, read_len: 36, coverage: 80.0, error_rate: 0.006, seed: 102 },
+        Ch2Spec { id: "D3", genome_name: "asp-like", genome_len: 24_000, read_len: 36, coverage: 173.0, error_rate: 0.015, seed: 103 },
+        Ch2Spec { id: "D4", genome_name: "asp-like", genome_len: 24_000, read_len: 36, coverage: 40.0, error_rate: 0.015, seed: 104 },
+        Ch2Spec { id: "D5", genome_name: "ecoli-like", genome_len: 30_000, read_len: 47, coverage: 71.0, error_rate: 0.033, seed: 105 },
+        Ch2Spec { id: "D6", genome_name: "ecoli-like", genome_len: 30_000, read_len: 101, coverage: 193.0, error_rate: 0.022, seed: 106 },
+    ]
+}
+
+/// Materialise a Chapter-2 dataset.
+pub fn make_ch2(spec: &Ch2Spec) -> (Vec<u8>, SimulatedReads) {
+    let genome = GenomeSpec::uniform(spec.genome_len).generate(spec.seed).seq;
+    let cfg = ReadSimConfig::with_coverage(
+        genome.len(),
+        spec.read_len,
+        spec.coverage,
+        ErrorModel::illumina_like(spec.read_len, spec.error_rate),
+        spec.seed * 7,
+    );
+    let sim = simulate_reads(&genome, &cfg);
+    (genome, sim)
+}
+
+/// A Chapter-3 dataset (Table 3.1), scaled.
+#[derive(Debug, Clone)]
+pub struct Ch3Spec {
+    /// Paper dataset id (the paper reuses D1–D6; we prefix with R to avoid
+    /// clashing with Chapter 2).
+    pub id: &'static str,
+    /// Descriptive reference-genome name.
+    pub genome_name: &'static str,
+    /// Scaled genome length.
+    pub genome_len: usize,
+    /// Repeat classes `(length, multiplicity)`.
+    pub repeats: Vec<RepeatClass>,
+    /// Coverage.
+    pub coverage: f64,
+    /// Per-base error rate (uniform profile — §3.4.1 estimates tIED from
+    /// the same data, which our tIED preset mirrors).
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The six Chapter-3 datasets, scaled ~1/10. Repeat fractions follow Table
+/// 3.1 (20% / 50% / 80% synthetic, repeat-rich nm/maize-like, plain E. coli).
+pub fn ch3_specs() -> Vec<Ch3Spec> {
+    vec![
+        Ch3Spec {
+            id: "R1",
+            genome_name: "synthetic-20%",
+            genome_len: 25_000,
+            repeats: vec![RepeatClass { length: 500, multiplicity: 10 }],
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 201,
+        },
+        Ch3Spec {
+            id: "R2",
+            genome_name: "synthetic-50%",
+            genome_len: 25_000,
+            repeats: vec![
+                RepeatClass { length: 500, multiplicity: 10 },
+                RepeatClass { length: 1_500, multiplicity: 5 },
+            ],
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 202,
+        },
+        Ch3Spec {
+            id: "R3",
+            genome_name: "synthetic-80%",
+            genome_len: 25_000,
+            repeats: vec![
+                RepeatClass { length: 500, multiplicity: 10 },
+                RepeatClass { length: 1_500, multiplicity: 5 },
+                RepeatClass { length: 2_500, multiplicity: 3 },
+            ],
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 203,
+        },
+        Ch3Spec {
+            id: "R4",
+            genome_name: "nm-like",
+            genome_len: 25_000,
+            repeats: vec![RepeatClass { length: 300, multiplicity: 8 }],
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 204,
+        },
+        Ch3Spec {
+            id: "R5",
+            genome_name: "maize-like",
+            genome_len: 20_000,
+            repeats: vec![
+                RepeatClass { length: 800, multiplicity: 10 },
+                RepeatClass { length: 2_000, multiplicity: 3 },
+            ],
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 205,
+        },
+        Ch3Spec {
+            id: "R6",
+            genome_name: "ecoli-like",
+            genome_len: 40_000,
+            repeats: vec![],
+            coverage: 120.0,
+            error_rate: 0.006,
+            seed: 206,
+        },
+    ]
+}
+
+/// Materialise a Chapter-3 dataset: reads are drawn single-stranded with a
+/// uniform error profile (matching the chapter's simulation protocol).
+pub fn make_ch3(spec: &Ch3Spec) -> (SimulatedGenome, SimulatedReads) {
+    let genome = GenomeSpec::with_repeats(spec.genome_len, spec.repeats.clone())
+        .generate(spec.seed);
+    let read_len = 36;
+    let cfg = ReadSimConfig {
+        read_len,
+        n_reads: (genome.len() as f64 * spec.coverage / read_len as f64) as usize,
+        error_model: ErrorModel::uniform(read_len, spec.error_rate),
+        both_strands: false,
+        with_quals: false,
+        n_rate: 0.0,
+        seed: spec.seed * 3,
+    };
+    let sim = simulate_reads(&genome.seq, &cfg);
+    (genome, sim)
+}
+
+/// A Chapter-4 community dataset (Table 4.1), scaled.
+#[derive(Debug, Clone)]
+pub struct Ch4Spec {
+    /// Paper dataset name (Small / Medium / Large).
+    pub id: &'static str,
+    /// Number of reads (paper: 312k / 1.74M / 5.66M; scaled ~1/500).
+    pub n_reads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The three Chapter-4 dataset sizes, scaled.
+pub fn ch4_specs() -> Vec<Ch4Spec> {
+    vec![
+        Ch4Spec { id: "Small", n_reads: 1_200, seed: 301 },
+        Ch4Spec { id: "Medium", n_reads: 3_000, seed: 302 },
+        Ch4Spec { id: "Large", n_reads: 6_000, seed: 303 },
+    ]
+}
+
+/// Materialise a Chapter-4 community: a 16S-style pool (1.5 kbp gene, 454
+/// read lengths per Table 4.1: min ~170, mean ~370, max ~890).
+pub fn make_ch4(spec: &Ch4Spec) -> ngs_simulate::SimulatedCommunity {
+    let cfg = CommunityConfig {
+        gene_len: 1_500,
+        ranks: vec![
+            RankSpec { name: "phylum", children: 4, divergence: 0.20 },
+            RankSpec { name: "genus", children: 3, divergence: 0.08 },
+            RankSpec { name: "species", children: 3, divergence: 0.03 },
+        ],
+        n_reads: spec.n_reads,
+        read_len_min: 170,
+        read_len_max: 890,
+        error_rate: 0.01,
+        abundance_exponent: 0.8,
+        seed: spec.seed,
+    };
+    simulate_community(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ch2_ids_unique_and_ordered() {
+        let ids: Vec<&str> = ch2_specs().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["D1", "D2", "D3", "D4", "D5", "D6"]);
+    }
+
+    #[test]
+    fn ch2_dataset_matches_spec() {
+        let spec = &ch2_specs()[1]; // D2
+        let (genome, sim) = make_ch2(spec);
+        assert_eq!(genome.len(), spec.genome_len);
+        assert!((sim.coverage(genome.len()) - spec.coverage).abs() < 1.0);
+        assert!((sim.error_rate() - spec.error_rate).abs() < 0.002);
+        // Deterministic.
+        let (_, sim2) = make_ch2(spec);
+        assert_eq!(sim.reads[0], sim2.reads[0]);
+    }
+
+    #[test]
+    fn ch3_repeat_fractions_match_names() {
+        for spec in ch3_specs() {
+            let (genome, _) = make_ch3(&spec);
+            let frac = genome.repeat_fraction();
+            match spec.id {
+                "R1" => assert!((frac - 0.2).abs() < 0.01, "{frac}"),
+                "R2" => assert!((frac - 0.5).abs() < 0.01, "{frac}"),
+                "R3" => assert!((frac - 0.8).abs() < 0.01, "{frac}"),
+                "R6" => assert_eq!(frac, 0.0),
+                _ => assert!(frac > 0.05),
+            }
+        }
+    }
+
+    #[test]
+    fn ch4_read_counts_and_lengths() {
+        let spec = &ch4_specs()[0];
+        let c = make_ch4(spec);
+        assert_eq!(c.reads.len(), spec.n_reads);
+        assert!(c.reads.iter().all(|r| (170..=890).contains(&r.len())));
+        assert_eq!(c.rank_names, vec!["phylum", "genus", "species"]);
+        assert_eq!(c.n_species(), 36);
+    }
+}

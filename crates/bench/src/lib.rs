@@ -1,0 +1,26 @@
+//! `ngs-bench` — shared dataset recipes and experiment drivers.
+//!
+//! Every table and figure of the paper's evaluation sections maps to one
+//! binary in `src/bin/` (see `DESIGN.md`'s per-experiment index); the
+//! recipes for the scaled datasets live here so experiment binaries and
+//! Criterion benches agree on workloads.
+
+pub mod ch2;
+pub mod ch3;
+pub mod ch4;
+pub mod datasets;
+
+/// Render a row of right-aligned columns for the experiment printouts.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Duration as fractional seconds for table cells.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

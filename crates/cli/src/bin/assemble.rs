@@ -1,0 +1,54 @@
+//! de Bruijn unitig assembly (the downstream validator of §1.1/§5).
+
+use ngs_assembly::{assemble, AssemblyParams};
+use ngs_cli::{read_sequences, run_main, usage_gate, write_sequences, Args};
+use ngs_core::{Read, Result};
+
+const USAGE: &str = "assemble — minimal de Bruijn unitig assembler
+
+USAGE:
+  assemble --input reads.fastq --output unitigs.fasta [options]
+
+OPTIONS:
+  --input PATH        input reads (.fastq or .fasta)   [required]
+  --output PATH       unitig FASTA                      [required]
+  --k N               de Bruijn k                       [default: 21]
+  --min-count N       solid k-mer threshold             [default: 2]
+  --help              print this message";
+
+fn main() {
+    run_main(real_main());
+}
+
+fn real_main() -> Result<()> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    usage_gate(&args, USAGE);
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let reads = read_sequences(input)?;
+    let k: usize = args.get_parsed("k", 21)?;
+    let min_count: u32 = args.get_parsed("min-count", 2)?;
+
+    let t0 = std::time::Instant::now();
+    let asm = assemble(&reads, AssemblyParams { k, min_count });
+    let stats = asm.stats();
+    eprintln!(
+        "assembled {} reads in {:.2?}: {} unitigs, {} bp total, N50 {}, max {}",
+        reads.len(),
+        t0.elapsed(),
+        stats.count,
+        stats.total_len,
+        stats.n50,
+        stats.max_len
+    );
+
+    let records: Vec<Read> = asm
+        .unitigs
+        .iter()
+        .enumerate()
+        .map(|(i, u)| Read::new(format!("unitig_{i} len={}", u.len()), u))
+        .collect();
+    write_sequences(output, &records)?;
+    eprintln!("wrote {output}");
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! `ngs-cli` — command-line front ends for the ngs-correct tool suite.
+//!
+//! Binaries (all take `--key value` flags; `--help` prints usage):
+//!
+//! * `reptile-correct` — correct a FASTQ/FASTA file with Reptile;
+//! * `redeem-detect` — REDEEM EM over a read set: per-k-mer `Y` and `T`
+//!   estimates plus the §3.7 inferred threshold, as TSV;
+//! * `closet-cluster` — CLOSET clustering at a threshold series, clusters
+//!   as TSV;
+//! * `assemble` — de Bruijn unitig assembly to FASTA;
+//! * `simulate-reads` — generate a synthetic dataset with ground truth.
+//!
+//! This module hosts the shared argument parser and I/O helpers so the
+//! binaries stay thin and the logic is unit-testable.
+
+use ngs_core::{NgsError, Read, Result};
+use std::collections::BTreeMap;
+
+/// A parsed `--key value` command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    /// Bare `--flag` switches (no value).
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse a raw argument list (excluding the program name).
+    ///
+    /// Every `--key` consumes the following token as its value unless that
+    /// token is itself a `--key`, in which case the first key is recorded
+    /// as a bare flag.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args> {
+        let mut args = Args::default();
+        let mut iter = argv.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| {
+                    NgsError::InvalidParameter(format!("expected --flag, got {tok:?}"))
+                })?
+                .to_string();
+            if key.is_empty() {
+                return Err(NgsError::InvalidParameter("empty flag name".into()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().unwrap();
+                    args.values.insert(key, value);
+                }
+                _ => args.flags.push(key),
+            }
+        }
+        Ok(args)
+    }
+
+    /// True when the bare flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required string value.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| NgsError::InvalidParameter(format!("missing required --{name}")))
+    }
+
+    /// A parsed value with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| {
+                NgsError::InvalidParameter(format!("--{name}: cannot parse {s:?}"))
+            }),
+        }
+    }
+
+    /// A comma-separated list of floats.
+    pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Result<Vec<f64>> {
+        match self.get(name) {
+            None => Ok(default.to_vec()),
+            Some(s) => s
+                .split(',')
+                .map(|tok| {
+                    tok.trim().parse::<f64>().map_err(|_| {
+                        NgsError::InvalidParameter(format!("--{name}: bad float {tok:?}"))
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Read sequences from a path, dispatching on extension (`.fa`/`.fasta` →
+/// FASTA, anything else → FASTQ).
+pub fn read_sequences(path: &str) -> Result<Vec<Read>> {
+    let file = std::fs::File::open(path)?;
+    if path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna") {
+        ngs_seqio::read_fasta(file)
+    } else {
+        ngs_seqio::read_fastq(file)
+    }
+}
+
+/// Write sequences to a path, dispatching on extension like
+/// [`read_sequences`].
+pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    if path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna") {
+        ngs_seqio::write_fasta(file, reads, 70)
+    } else {
+        ngs_seqio::write_fastq(file, reads)
+    }
+}
+
+/// Print usage and exit when `--help` was requested.
+pub fn usage_gate(args: &Args, usage: &str) {
+    if args.has_flag("help") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
+}
+
+/// Standard error-and-exit wrapper for binary main functions.
+pub fn run_main(result: Result<()>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = parse(&["--input", "x.fastq", "--verbose", "--k", "13"]);
+        assert_eq!(a.get("input"), Some("x.fastq"));
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.get_parsed::<usize>("k", 0).unwrap(), 13);
+    }
+
+    #[test]
+    fn missing_required_is_error() {
+        let a = parse(&["--k", "13"]);
+        assert!(a.require("input").is_err());
+        assert_eq!(a.require("k").unwrap(), "13");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.get_parsed::<f64>("rate", 0.01).unwrap(), 0.01);
+        assert_eq!(a.get_f64_list("thresholds", &[0.8, 0.6]).unwrap(), vec![0.8, 0.6]);
+    }
+
+    #[test]
+    fn float_lists_parse() {
+        let a = parse(&["--thresholds", "0.9, 0.7,0.5"]);
+        assert_eq!(a.get_f64_list("thresholds", &[]).unwrap(), vec![0.9, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        let a = parse(&["--k", "wat"]);
+        assert!(a.get_parsed::<usize>("k", 1).is_err());
+        let a = parse(&["--thresholds", "0.9,x"]);
+        assert!(a.get_f64_list("thresholds", &[]).is_err());
+    }
+
+    #[test]
+    fn non_flag_leading_token_rejected() {
+        assert!(Args::parse(vec!["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn sequence_io_round_trip_by_extension() {
+        let dir = std::env::temp_dir().join(format!("ngs_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reads = vec![Read::new("r1", b"ACGT"), Read::new("r2", b"GGNTA")];
+        for name in ["x.fasta", "x.fastq"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            write_sequences(path, &reads).unwrap();
+            let back = read_sequences(path).unwrap();
+            assert_eq!(back.len(), 2);
+            assert_eq!(back[0].seq, reads[0].seq);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,324 @@
+//! `closet` — CLoud Open SequencE clusTering (Chapter 4).
+//!
+//! CLOSET clusters metagenomic reads without a reference database. The
+//! pipeline is the paper's two phases, expressed as its eight MapReduce
+//! tasks over [`mapreduce_lite`](mapreduce_lite):
+//!
+//! * **Phase I — edge construction and validation** (§4.3.1, Tasks 1–5):
+//!   each read is converted to 64-bit k-mer hashes; per round `l`, the
+//!   sketch keeps hashes `≡ l (mod M)`; reads sharing a sketch value become
+//!   candidate pairs (hashes shared by more than `C_max` reads are deferred
+//!   and folded back into the counts later); pairs whose sketch similarity
+//!   `|S_i ∩ S_j| / min(|S_i|, |S_j|)` reaches `C_min` survive, are
+//!   deduplicated across rounds, and validated by a pluggable similarity
+//!   function `F`;
+//! * **Phase II — incremental quasi-clique enumeration** (§4.3.2, Tasks
+//!   6–8): for a decreasing threshold series `t₁ > t₂ > …`, edges with
+//!   `F ≥ t_k` are added incrementally and clusters are grown as maximal
+//!   γ-quasi-cliques (`|E_U| ≥ γ·C(|U|,2)`), allowing overlapping clusters
+//!   — the paper's answer to imperfect similarity functions.
+
+pub mod quasiclique;
+pub mod sketch;
+pub mod validate;
+
+pub use quasiclique::{enumerate_quasicliques, Cluster};
+pub use sketch::{build_candidate_edges, read_hashes, SketchParams, SketchStats};
+pub use validate::{validate_edges, Validator};
+
+use mapreduce_lite::JobConfig;
+use ngs_core::Read;
+use std::time::{Duration, Instant};
+
+/// Full CLOSET configuration.
+#[derive(Debug, Clone)]
+pub struct ClosetParams {
+    /// Sketching parameters (k, modulus, rounds, C_max, C_min).
+    pub sketch: SketchParams,
+    /// Edge validation function.
+    pub validator: Validator,
+    /// Quasi-clique density γ (paper default 2/3).
+    pub gamma: f64,
+    /// Decreasing similarity threshold series `t₁ > t₂ > …`.
+    pub thresholds: Vec<f64>,
+    /// MapReduce runtime configuration (worker count = "cluster size").
+    pub job: JobConfig,
+    /// Safety cap on live clusters per enumeration round (0 = uncapped).
+    /// When hit, smallest clusters are dropped and the event is recorded in
+    /// [`ThresholdStats::clusters_dropped`] — never silently.
+    pub max_live_clusters: usize,
+}
+
+impl ClosetParams {
+    /// Paper-flavoured defaults for reads of roughly `read_len` bases:
+    /// k = 15, sketch modulus targeting ~10 sketch hashes per read, 3
+    /// rounds, C_min = 60%, γ = 2/3.
+    pub fn standard(read_len: usize, thresholds: Vec<f64>, workers: usize) -> ClosetParams {
+        let kmers_per_read = read_len.saturating_sub(14).max(16);
+        ClosetParams {
+            sketch: SketchParams {
+                k: 15,
+                modulus: (kmers_per_read / 10).max(2) as u64,
+                rounds: 3,
+                cmax: 64,
+                cmin: 0.6,
+            },
+            validator: Validator::KmerContainment { k: 15 },
+            gamma: 2.0 / 3.0,
+            thresholds,
+            job: JobConfig::with_workers(workers),
+            max_live_clusters: 2_000_000,
+        }
+    }
+}
+
+/// Statistics for one threshold level of Phase II.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdStats {
+    /// The threshold `t_k`.
+    pub threshold: f64,
+    /// Edges entering the clustering at this level (cumulative).
+    pub edges: usize,
+    /// Clusters generated and examined during merging ("clusters
+    /// processed" of Table 4.2).
+    pub clusters_processed: u64,
+    /// Clusters in the final output at this level.
+    pub resulting_clusters: usize,
+    /// Clusters dropped by the safety cap (0 in normal operation).
+    pub clusters_dropped: u64,
+    /// Wall time of the filtering step (Task 6).
+    pub filter_time: Duration,
+    /// Wall time of the clustering step (Tasks 7–8).
+    pub cluster_time: Duration,
+}
+
+/// Aggregate output of a CLOSET run.
+#[derive(Debug, Clone)]
+pub struct ClosetOutput {
+    /// Clusters per threshold, in series order; cluster members are read
+    /// indices into the input slice.
+    pub clusters_by_threshold: Vec<(f64, Vec<Cluster>)>,
+    /// Phase-I sketching statistics (Tables 4.2's edge rows).
+    pub sketch_stats: SketchStats,
+    /// Validated edge count ("confirmed edges").
+    pub confirmed_edges: usize,
+    /// Wall time of the sketching stage (Tasks 1–3).
+    pub sketch_time: Duration,
+    /// Wall time of the validation stage (Tasks 4–5).
+    pub validate_time: Duration,
+    /// Per-threshold Phase-II statistics.
+    pub threshold_stats: Vec<ThresholdStats>,
+}
+
+/// §4.5.2's parameter-selection methodology: score every threshold level of
+/// a finished run by the Adjusted Rand Index between its derived partition
+/// (largest-cluster assignment, singletons for uncovered reads) and the
+/// canonical labels of one taxonomic rank. "The parameter value set that
+/// leads to the largest ARI value is considered to have the best
+/// discrimination power at the corresponding taxonomic rank."
+///
+/// Returns `(threshold, ari)` pairs in series order.
+pub fn ari_by_threshold(output: &ClosetOutput, labels: &[usize]) -> Vec<(f64, f64)> {
+    output
+        .clusters_by_threshold
+        .iter()
+        .map(|(t, clusters)| {
+            let member_lists: Vec<Vec<usize>> = clusters
+                .iter()
+                .map(|c| c.vertices.iter().map(|&v| v as usize).collect())
+                .collect();
+            let partition = ngs_eval::clusters_to_partition(&member_lists, labels.len());
+            (*t, ngs_eval::adjusted_rand_index(&partition, labels))
+        })
+        .collect()
+}
+
+/// The threshold with the highest ARI against `labels` (first maximiser on
+/// ties); `None` for an empty series.
+pub fn select_threshold_by_ari(output: &ClosetOutput, labels: &[usize]) -> Option<(f64, f64)> {
+    ari_by_threshold(output, labels)
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Run the full CLOSET pipeline on `reads`.
+pub fn run(reads: &[Read], params: &ClosetParams) -> ClosetOutput {
+    assert!(
+        params.thresholds.windows(2).all(|w| w[0] > w[1]),
+        "thresholds must be strictly decreasing"
+    );
+    // Phase I: candidate edges via sketching (Tasks 1–3).
+    let t0 = Instant::now();
+    let (candidates, sketch_stats) = build_candidate_edges(reads, &params.sketch, &params.job);
+    let sketch_time = t0.elapsed();
+
+    // Tasks 4–5: validation.
+    let t1 = Instant::now();
+    let validated = validate_edges(reads, &candidates, &params.validator, params.sketch.cmin);
+    let confirmed_edges = validated.len();
+    let validate_time = t1.elapsed();
+
+    // Phase II: incremental quasi-clique enumeration per threshold.
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut added = vec![false; validated.len()];
+    let mut clusters_by_threshold = Vec::new();
+    let mut threshold_stats = Vec::new();
+    for &t in &params.thresholds {
+        let mut stats = ThresholdStats { threshold: t, ..Default::default() };
+        // Task 6: edge filtering — incremental (E_{k-1} ⊆ E_k).
+        let tf = Instant::now();
+        let mut new_edges = Vec::new();
+        for (i, &(a, b, w)) in validated.iter().enumerate() {
+            if !added[i] && w >= t {
+                added[i] = true;
+                new_edges.push((a, b));
+            }
+        }
+        stats.edges = added.iter().filter(|&&f| f).count();
+        stats.filter_time = tf.elapsed();
+
+        // Tasks 7–8: merge quasi-cliques.
+        let tc = Instant::now();
+        let result = enumerate_quasicliques(
+            clusters,
+            &new_edges,
+            params.gamma,
+            &params.job,
+            params.max_live_clusters,
+        );
+        clusters = result.clusters;
+        stats.clusters_processed = result.clusters_processed;
+        stats.clusters_dropped = result.clusters_dropped;
+        stats.resulting_clusters = clusters.len();
+        stats.cluster_time = tc.elapsed();
+
+        clusters_by_threshold.push((t, clusters.clone()));
+        threshold_stats.push(stats);
+    }
+
+    ClosetOutput {
+        clusters_by_threshold,
+        sketch_stats,
+        confirmed_edges,
+        sketch_time,
+        validate_time,
+        threshold_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_eval::{adjusted_rand_index, clusters_to_partition};
+    use ngs_simulate::{simulate_community, CommunityConfig, RankSpec};
+
+    /// Amplicon-style community: reads cover most of a short gene, so any
+    /// same-species pair overlaps substantially (the regime in which the
+    /// similarity ladder separates taxonomic ranks cleanly).
+    fn community(n_reads: usize, seed: u64) -> ngs_simulate::SimulatedCommunity {
+        let cfg = CommunityConfig {
+            gene_len: 400,
+            ranks: vec![
+                RankSpec { name: "phylum", children: 3, divergence: 0.22 },
+                RankSpec { name: "species", children: 2, divergence: 0.03 },
+            ],
+            n_reads,
+            read_len_min: 250,
+            read_len_max: 350,
+            error_rate: 0.005,
+            abundance_exponent: 0.6,
+            seed,
+        };
+        simulate_community(&cfg)
+    }
+
+    #[test]
+    fn pipeline_produces_clusters() {
+        let c = community(400, 1);
+        let params = ClosetParams::standard(300, vec![0.9, 0.8, 0.55], 4);
+        let out = run(&c.reads, &params);
+        assert!(out.sketch_stats.predicted_edges > 0);
+        assert!(out.confirmed_edges > 0);
+        assert_eq!(out.clusters_by_threshold.len(), 3);
+        // Lower thresholds admit more edges.
+        let e: Vec<usize> = out.threshold_stats.iter().map(|s| s.edges).collect();
+        assert!(e[0] <= e[1] && e[1] <= e[2], "{e:?}");
+        // Some clustering structure exists at every level.
+        for (t, cl) in &out.clusters_by_threshold {
+            assert!(!cl.is_empty(), "no clusters at t={t}");
+        }
+    }
+
+    #[test]
+    fn clustering_tracks_taxonomy() {
+        let c = community(500, 2);
+        let params = ClosetParams::standard(300, vec![0.85, 0.5], 4);
+        let out = run(&c.reads, &params);
+        // Like the paper's runs (Table 4.2: 5.6M reads → 3.3M clusters),
+        // the output is many small *overlapping* quasi-cliques, so the
+        // quality invariant is purity: clusters must not mix species.
+        let (_, clusters) = &out.clusters_by_threshold[1];
+        let species = c.canonical_labels(1);
+        let pure = clusters
+            .iter()
+            .filter(|cl| {
+                let s0 = species[cl.vertices[0] as usize];
+                cl.vertices.iter().all(|&v| species[v as usize] == s0)
+            })
+            .count();
+        let purity = pure as f64 / clusters.len() as f64;
+        assert!(purity > 0.95, "species purity {purity} too low");
+        // The derived partition still correlates with species labels above
+        // chance, even though fragmentation depresses absolute ARI.
+        let member_lists: Vec<Vec<usize>> =
+            clusters.iter().map(|c| c.vertices.iter().map(|&v| v as usize).collect()).collect();
+        let partition = clusters_to_partition(&member_lists, c.reads.len());
+        let ari_species = adjusted_rand_index(&partition, &species);
+        assert!(ari_species > 0.02, "species ARI {ari_species} not above chance");
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let c = community(200, 3);
+        let mut p1 = ClosetParams::standard(300, vec![0.8, 0.6], 1);
+        let mut p4 = ClosetParams::standard(300, vec![0.8, 0.6], 4);
+        p1.max_live_clusters = 0;
+        p4.max_live_clusters = 0;
+        let o1 = run(&c.reads, &p1);
+        let o4 = run(&c.reads, &p4);
+        for ((t1, c1), (t4, c4)) in
+            o1.clusters_by_threshold.iter().zip(&o4.clusters_by_threshold)
+        {
+            assert_eq!(t1, t4);
+            let mut v1: Vec<Vec<u32>> = c1.iter().map(|c| c.vertices.clone()).collect();
+            let mut v4: Vec<Vec<u32>> = c4.iter().map(|c| c.vertices.clone()).collect();
+            v1.sort();
+            v4.sort();
+            assert_eq!(v1, v4);
+        }
+    }
+
+    #[test]
+    fn ari_threshold_selection_runs() {
+        let c = community(300, 9);
+        let params = ClosetParams::standard(300, vec![0.85, 0.5], 4);
+        let out = run(&c.reads, &params);
+        let species = c.canonical_labels(1);
+        let scores = ari_by_threshold(&out, &species);
+        assert_eq!(scores.len(), 2);
+        for (_, ari) in &scores {
+            assert!(ari.is_finite());
+        }
+        let best = select_threshold_by_ari(&out, &species).unwrap();
+        assert!(scores.iter().any(|&(t, a)| t == best.0 && a == best.1));
+        assert!(scores.iter().all(|&(_, a)| a <= best.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn unsorted_thresholds_rejected() {
+        let c = community(50, 4);
+        let params = ClosetParams::standard(300, vec![0.6, 0.9], 2);
+        run(&c.reads, &params);
+    }
+}

@@ -1,0 +1,454 @@
+//! Phase II, Tasks 7–8: incremental γ-quasi-clique enumeration
+//! (§4.3.2, §4.4.2).
+//!
+//! A cluster is a `⟨key, value⟩` pair whose key is its vertex set and whose
+//! value is its edge set; a set `U` is a γ-quasi-clique when
+//! `|E_U| ≥ γ·C(|U|,2)`. Starting from 2-cliques (one per new edge) plus
+//! the clusters carried over from the previous threshold, each round maps
+//! every cluster to each of its vertices (Task 7's mapper), reducers merge
+//! cluster pairs sharing that vertex whenever the merged density still
+//! meets γ (Algorithm 4, lines 10–15), and Task 8 deduplicates clusters
+//! sharing the same vertex set by taking the union of their edge sets.
+//! Rounds repeat until no merge happens. Clusters may overlap — the model
+//! explicitly permits "a read to concurrently occur in multiple clusters"
+//! (§4.1); after each round, clusters strictly contained in another are
+//! pruned as non-maximal.
+
+use mapreduce_lite::{map_reduce_simple, JobConfig};
+use ngs_core::hash::{FxHashMap, FxHashSet};
+
+/// A quasi-clique: sorted vertex list plus its recorded edge set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Sorted, deduplicated read indices.
+    pub vertices: Vec<u32>,
+    /// Sorted, deduplicated edges (a < b).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Cluster {
+    /// A 2-clique from a single edge.
+    pub fn from_edge(a: u32, b: u32) -> Cluster {
+        let (a, b) = (a.min(b), a.max(b));
+        Cluster { vertices: vec![a, b], edges: vec![(a, b)] }
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Edge density relative to a complete graph on the vertex set.
+    pub fn density(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let max = (n * (n - 1) / 2) as f64;
+        self.edges.len() as f64 / max
+    }
+
+    /// Merge two clusters (vertex union, edge union).
+    pub fn merged(&self, other: &Cluster) -> Cluster {
+        Cluster {
+            vertices: sorted_union(&self.vertices, &other.vertices),
+            edges: sorted_union(&self.edges, &other.edges),
+        }
+    }
+
+    /// True when every vertex of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &Cluster) -> bool {
+        if self.vertices.len() > other.vertices.len() {
+            return false;
+        }
+        let mut it = other.vertices.iter();
+        'outer: for v in &self.vertices {
+            for w in it.by_ref() {
+                match w.cmp(v) {
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    fn key_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in &self.vertices {
+            h ^= ngs_core::hash::hash_u64(v as u64 + 1);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+fn sorted_union<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else if i >= a.len() || b[j] < a[i] {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Result of one enumeration call.
+#[derive(Debug, Clone)]
+pub struct EnumerationResult {
+    /// Maximal clusters after convergence.
+    pub clusters: Vec<Cluster>,
+    /// Total clusters examined across rounds ("clusters processed").
+    pub clusters_processed: u64,
+    /// Clusters dropped by the live-cluster cap (0 normally).
+    pub clusters_dropped: u64,
+}
+
+/// Grow γ-quasi-cliques from `carried`-over clusters plus fresh 2-cliques
+/// for `new_edges`, iterating Task 7/Task 8 rounds until stable.
+pub fn enumerate_quasicliques(
+    carried: Vec<Cluster>,
+    new_edges: &[(u32, u32)],
+    gamma: f64,
+    job: &JobConfig,
+    max_live_clusters: usize,
+) -> EnumerationResult {
+    let mut clusters: Vec<Cluster> = carried;
+    clusters.extend(new_edges.iter().map(|&(a, b)| Cluster::from_edge(a, b)));
+    dedup_clusters(&mut clusters);
+
+    let mut processed = clusters.len() as u64;
+    let mut dropped = 0u64;
+    let max_rounds = 30;
+    for _round in 0..max_rounds {
+        if clusters.len() > max_live_clusters && max_live_clusters > 0 {
+            // Documented safety valve: keep the largest clusters.
+            clusters.sort_by_key(|c| std::cmp::Reverse(c.order()));
+            dropped += (clusters.len() - max_live_clusters) as u64;
+            clusters.truncate(max_live_clusters);
+        }
+
+        // Task 7: key every cluster by each of its vertices; reducers merge
+        // greedily within a vertex group.
+        let indexed: Vec<(u32, Cluster)> = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c.clone()))
+            .collect();
+        let (merged_lists, _) = map_reduce_simple(
+            job,
+            &indexed,
+            |(ci, c): &(u32, Cluster), emit: &mut dyn FnMut(u32, (Vec<u32>, Vec<u64>))| {
+                // Encode the cluster as (vertices, packed edges) for the
+                // shuffle codec.
+                let packed: Vec<u64> =
+                    c.edges.iter().map(|&(a, b)| ((a as u64) << 32) | b as u64).collect();
+                let _ = ci;
+                for &v in &c.vertices {
+                    emit(v, (c.vertices.clone(), packed.clone()));
+                }
+            },
+            |_v: &u32,raw_group: Vec<(Vec<u32>, Vec<u64>)>, emit: &mut dyn FnMut(Cluster)| {
+                let mut group: Vec<Cluster> = raw_group
+                    .into_iter()
+                    .map(|(vertices, packed)| Cluster {
+                        vertices,
+                        edges: packed
+                            .into_iter()
+                            .map(|p| ((p >> 32) as u32, (p & 0xFFFF_FFFF) as u32))
+                            .collect(),
+                    })
+                    .collect();
+                // Greedy merging, biggest first (deterministic order).
+                group.sort_by(|a, b| {
+                    b.order().cmp(&a.order()).then_with(|| a.vertices.cmp(&b.vertices))
+                });
+                let mut accepted: Vec<Cluster> = Vec::new();
+                'next: for c in group {
+                    for a in &mut accepted {
+                        let m = a.merged(&c);
+                        if m.density() >= gamma {
+                            *a = m;
+                            continue 'next;
+                        }
+                    }
+                    accepted.push(c);
+                }
+                for c in accepted {
+                    emit(c);
+                }
+            },
+        );
+
+        // Task 8: deduplicate by vertex set (uniting edge sets), then prune
+        // non-maximal clusters.
+        let mut next = merged_lists;
+        dedup_clusters(&mut next);
+        prune_subsets(&mut next);
+        processed += next.len() as u64;
+
+        let stable = next.len() == clusters.len() && {
+            let mut a: Vec<&Cluster> = next.iter().collect();
+            let mut b: Vec<&Cluster> = clusters.iter().collect();
+            a.sort_by(|x, y| x.vertices.cmp(&y.vertices));
+            b.sort_by(|x, y| x.vertices.cmp(&y.vertices));
+            a.iter().zip(&b).all(|(x, y)| x.vertices == y.vertices)
+        };
+        clusters = next;
+        if stable {
+            break;
+        }
+    }
+    clusters.sort_by(|a, b| a.vertices.cmp(&b.vertices));
+    EnumerationResult { clusters, clusters_processed: processed, clusters_dropped: dropped }
+}
+
+/// Merge clusters with identical vertex sets (edge-set union).
+fn dedup_clusters(clusters: &mut Vec<Cluster>) {
+    let mut by_key: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for (i, c) in clusters.iter().enumerate() {
+        by_key.entry(c.key_hash()).or_default().push(i);
+    }
+    let mut keep: Vec<Cluster> = Vec::with_capacity(by_key.len());
+    let mut consumed: FxHashSet<usize> = FxHashSet::default();
+    for (_, idxs) in by_key {
+        for &i in &idxs {
+            if consumed.contains(&i) {
+                continue;
+            }
+            let mut acc = clusters[i].clone();
+            for &j in &idxs {
+                if j != i && !consumed.contains(&j) && clusters[j].vertices == acc.vertices {
+                    acc.edges = sorted_union(&acc.edges, &clusters[j].edges);
+                    consumed.insert(j);
+                }
+            }
+            consumed.insert(i);
+            keep.push(acc);
+        }
+    }
+    *clusters = keep;
+}
+
+/// Remove clusters whose vertex set is strictly contained in another's.
+fn prune_subsets(clusters: &mut Vec<Cluster>) {
+    // Sort by descending order; a cluster can only be a subset of a larger
+    // (or equal-size, but dedup removed those) one. Check containment via a
+    // per-vertex inverted index over the kept clusters.
+    clusters.sort_by(|a, b| {
+        b.order().cmp(&a.order()).then_with(|| a.vertices.cmp(&b.vertices))
+    });
+    let mut kept: Vec<Cluster> = Vec::with_capacity(clusters.len());
+    let mut member_of: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    'outer: for c in clusters.drain(..) {
+        // Candidate supersets: kept clusters containing c's first vertex.
+        if let Some(cands) = member_of.get(&c.vertices[0]) {
+            for &ki in cands {
+                if c.is_subset_of(&kept[ki]) {
+                    // Fold the pruned cluster's edges into the superset so
+                    // no recorded edge is lost (density only gets more
+                    // accurate — these edges lie within the vertex set).
+                    kept[ki].edges = sorted_union(&kept[ki].edges, &c.edges);
+                    continue 'outer;
+                }
+            }
+        }
+        let idx = kept.len();
+        for &v in &c.vertices {
+            member_of.entry(v).or_default().push(idx);
+        }
+        kept.push(c);
+    }
+    *clusters = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enumerate(edges: &[(u32, u32)], gamma: f64) -> Vec<Cluster> {
+        enumerate_quasicliques(Vec::new(), edges, gamma, &JobConfig::with_workers(2), 0)
+            .clusters
+    }
+
+    #[test]
+    fn triangle_becomes_one_cluster() {
+        let clusters = enumerate(&[(0, 1), (1, 2), (0, 2)], 2.0 / 3.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].vertices, vec![0, 1, 2]);
+        assert_eq!(clusters[0].density(), 1.0);
+    }
+
+    #[test]
+    fn path_merges_under_relaxed_gamma() {
+        // Path 0-1-2: density 2/3, allowed at gamma = 2/3.
+        let clusters = enumerate(&[(0, 1), (1, 2)], 2.0 / 3.0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_stays_split_under_strict_gamma() {
+        let clusters = enumerate(&[(0, 1), (1, 2)], 0.9);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_components_stay_apart() {
+        let clusters = enumerate(&[(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)], 0.6);
+        assert_eq!(clusters.len(), 2);
+        let mut sizes: Vec<usize> = clusters.iter().map(|c| c.order()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn two_triangles_with_bridge_never_fully_merge() {
+        // Two triangles sharing vertex 2. The 5-vertex union has density
+        // 6/10 < 2/3, so no cluster may contain all five vertices; clusters
+        // can overlap on the bridge vertex (the model permits overlap).
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        let clusters = enumerate(&edges, 2.0 / 3.0);
+        assert!(!clusters.is_empty());
+        let gamma = 2.0 / 3.0;
+        let mut covered: Vec<u32> = Vec::new();
+        for c in &clusters {
+            assert!(c.order() < 5, "5-vertex union is below gamma: {c:?}");
+            assert!(c.density() >= gamma - 1e-9, "density invariant: {c:?}");
+            covered.extend(&c.vertices);
+        }
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered, vec![0, 1, 2, 3, 4], "all vertices stay covered");
+    }
+
+    #[test]
+    fn incremental_carryover_extends_clusters() {
+        // First threshold: a triangle.
+        let r1 = enumerate_quasicliques(
+            Vec::new(),
+            &[(0, 1), (1, 2), (0, 2)],
+            0.6,
+            &JobConfig::with_workers(2),
+            0,
+        );
+        // Second threshold adds edges attaching vertex 3 densely.
+        let r2 = enumerate_quasicliques(
+            r1.clusters,
+            &[(2, 3), (1, 3)],
+            0.6,
+            &JobConfig::with_workers(2),
+            0,
+        );
+        assert_eq!(r2.clusters.len(), 1);
+        assert_eq!(r2.clusters[0].vertices, vec![0, 1, 2, 3]);
+        assert!(r2.clusters[0].density() >= 0.6);
+    }
+
+    #[test]
+    fn subset_pruning_removes_contained() {
+        let mut cs = vec![
+            Cluster { vertices: vec![0, 1], edges: vec![(0, 1)] },
+            Cluster { vertices: vec![0, 1, 2], edges: vec![(0, 1), (1, 2)] },
+        ];
+        prune_subsets(&mut cs);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dedup_unions_edges() {
+        let mut cs = vec![
+            Cluster { vertices: vec![0, 1, 2], edges: vec![(0, 1)] },
+            Cluster { vertices: vec![0, 1, 2], edges: vec![(1, 2)] },
+        ];
+        dedup_clusters(&mut cs);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn density_and_subset_helpers() {
+        let c = Cluster { vertices: vec![0, 1, 2, 3], edges: vec![(0, 1), (1, 2), (2, 3)] };
+        assert!((c.density() - 0.5).abs() < 1e-12);
+        let sub = Cluster { vertices: vec![1, 3], edges: vec![] };
+        assert!(sub.is_subset_of(&c));
+        let non = Cluster { vertices: vec![1, 9], edges: vec![] };
+        assert!(!non.is_subset_of(&c));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// On arbitrary small graphs, every output cluster satisfies the
+        /// density invariant, covers only input vertices, contains no
+        /// duplicate or subset clusters, and every input edge is inside at
+        /// least one cluster.
+        #[test]
+        fn enumeration_invariants(raw_edges in proptest::collection::vec((0u32..12, 0u32..12), 1..40)) {
+            let edges: Vec<(u32, u32)> = raw_edges
+                .into_iter()
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            if edges.is_empty() {
+                return Ok(());
+            }
+            let gamma = 2.0 / 3.0;
+            let clusters = enumerate(&edges, gamma);
+            for c in &clusters {
+                proptest::prop_assert!(c.density() >= gamma - 1e-9, "{c:?}");
+                proptest::prop_assert!(c.vertices.windows(2).all(|w| w[0] < w[1]));
+            }
+            // No subset relations between distinct clusters.
+            for (i, a) in clusters.iter().enumerate() {
+                for (j, b) in clusters.iter().enumerate() {
+                    if i != j {
+                        proptest::prop_assert!(
+                            !(a.is_subset_of(b) && a.vertices != b.vertices),
+                            "{a:?} subset of {b:?}"
+                        );
+                    }
+                }
+            }
+            // Every input edge is captured by some cluster.
+            let mut sorted_edges = edges.clone();
+            sorted_edges.sort_unstable();
+            sorted_edges.dedup();
+            for e in &sorted_edges {
+                proptest::prop_assert!(
+                    clusters.iter().any(|c| c.edges.contains(e)),
+                    "edge {e:?} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clique_of_five_fully_merges() {
+        // Bootstrapping from 2-cliques requires gamma = 2/3 (the paper's
+        // "In order to form the initial quasi-cliques, we set γ ≥ 2/3"):
+        // any merge of two 2-cliques passes through a 3-vertex/2-edge state.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+            }
+        }
+        let clusters = enumerate(&edges, 2.0 / 3.0);
+        assert_eq!(clusters.len(), 1, "{clusters:?}");
+        assert_eq!(clusters[0].order(), 5);
+        assert_eq!(clusters[0].density(), 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Phase I, Tasks 4–5: edge validation (§4.4.1).
+//!
+//! "The entire exercise of generating read pairs based on sketching can be
+//! seen as a filter to produce pairs worthy of further evaluation. Any user
+//! defined similarity function F can then be applied" — the paper names
+//! pairwise sequence alignment and its own sketch-based function as the
+//! choices. [`Validator`] offers both, plus a middle option (full k-mer
+//! containment, Cd-hit-style word counting) that scales to large candidate
+//! sets without alignment cost.
+
+use crate::sketch::read_hashes;
+use ngs_core::Read;
+use rayon::prelude::*;
+
+/// The similarity function `F` applied to candidate pairs.
+#[derive(Debug, Clone)]
+pub enum Validator {
+    /// Full pairwise alignment: `max(fitting, overlap)` identity — the most
+    /// faithful but O(|r|²) per pair.
+    Alignment {
+        /// Minimum suffix–prefix overlap for the overlap component.
+        min_overlap: usize,
+    },
+    /// Containment similarity over the *full* shingle sets (not sketches):
+    /// `|H_i ∩ H_j| / min(|H_i|, |H_j|)`.
+    KmerContainment {
+        /// Shingle length.
+        k: usize,
+    },
+}
+
+/// Validate candidate `edges` with `F`, keeping pairs scoring at least
+/// `floor`. Returns `(i, j, score)` triples, sorted.
+pub fn validate_edges(
+    reads: &[Read],
+    edges: &[(u32, u32)],
+    validator: &Validator,
+    floor: f64,
+) -> Vec<(u32, u32, f64)> {
+    match validator {
+        Validator::Alignment { min_overlap } => {
+            let min_overlap = *min_overlap;
+            edges
+                .par_iter()
+                .filter_map(|&(a, b)| {
+                    let ra = &reads[a as usize].seq;
+                    let rb = &reads[b as usize].seq;
+                    let score = ngs_align::fitting_identity(ra, rb)
+                        .max(ngs_align::overlap_identity(ra, rb, min_overlap));
+                    (score >= floor).then_some((a, b, score))
+                })
+                .collect()
+        }
+        Validator::KmerContainment { k } => {
+            let k = *k;
+            let hashes: Vec<Vec<u64>> =
+                reads.par_iter().map(|r| read_hashes(r, k)).collect();
+            edges
+                .par_iter()
+                .filter_map(|&(a, b)| {
+                    let ha = &hashes[a as usize];
+                    let hb = &hashes[b as usize];
+                    let denom = ha.len().min(hb.len());
+                    if denom == 0 {
+                        return None;
+                    }
+                    let inter = sorted_intersection_size(ha, hb);
+                    let score = inter as f64 / denom as f64;
+                    (score >= floor).then_some((a, b, score))
+                })
+                .collect()
+        }
+    }
+}
+
+fn sorted_intersection_size(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads() -> Vec<Read> {
+        let g: Vec<u8> = (0..200).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+        let mut mutated = g.clone();
+        for p in (5..200).step_by(20) {
+            mutated[p] = b"TGCA"[(p / 20) % 4];
+        }
+        let unrelated: Vec<u8> = (0..200).map(|i| b"GATC"[(i * 5 + 2 * (i / 7)) % 4]).collect();
+        vec![
+            Read::new("base", &g),
+            Read::new("copy", &g),
+            Read::new("mutated", &mutated),
+            Read::new("contained", &g[40..160]),
+            Read::new("unrelated", &unrelated),
+        ]
+    }
+
+    #[test]
+    fn alignment_validator_scores_sensibly() {
+        let rs = reads();
+        let edges = vec![(0u32, 1u32), (0, 2), (0, 3), (0, 4)];
+        let v = validate_edges(&rs, &edges, &Validator::Alignment { min_overlap: 30 }, 0.0);
+        let score = |a: u32, b: u32| {
+            v.iter().find(|&&(x, y, _)| (x, y) == (a, b)).map(|&(_, _, s)| s).unwrap()
+        };
+        assert_eq!(score(0, 1), 1.0);
+        assert_eq!(score(0, 3), 1.0); // containment
+        assert!(score(0, 2) > 0.9 && score(0, 2) < 1.0);
+        assert!(score(0, 4) < score(0, 2));
+    }
+
+    #[test]
+    fn kmer_validator_orders_pairs_like_alignment() {
+        let rs = reads();
+        let edges = vec![(0u32, 1u32), (0, 2), (0, 3), (0, 4)];
+        let v = validate_edges(&rs, &edges, &Validator::KmerContainment { k: 9 }, 0.0);
+        let score = |a: u32, b: u32| {
+            v.iter().find(|&&(x, y, _)| (x, y) == (a, b)).map(|&(_, _, s)| s).unwrap()
+        };
+        assert_eq!(score(0, 1), 1.0);
+        assert_eq!(score(0, 3), 1.0);
+        assert!(score(0, 2) > score(0, 4));
+    }
+
+    #[test]
+    fn floor_filters_weak_edges() {
+        let rs = reads();
+        let edges = vec![(0u32, 4u32)];
+        let v = validate_edges(&rs, &edges, &Validator::KmerContainment { k: 9 }, 0.5);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Fast non-cryptographic hashing for k-mer and tile tables.
+//!
+//! The workspace hashes billions of short integer keys (packed k-mers); the
+//! standard library's SipHash dominates profiles for that workload (Rust
+//! Performance Book, "Hashing"). HashDoS resistance is irrelevant for an
+//! offline bioinformatics tool, so we use an FxHash-style
+//! multiply-rotate-xor mix — the same family rustc itself uses — implemented
+//! locally to keep the dependency set to the approved list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash-style hasher: word-at-a-time `rotate ^ input * K`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` value (stateless convenience, used by CLOSET's
+/// sketching stage to map k-mers into the 64-bit integer space, §4.3.1).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    // A single round of splitmix64: excellent avalanche for integer keys.
+    let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"kmer"), hash_of(&"kmer"));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        // Not a collision-resistance proof, just a sanity check that the mix
+        // isn't the identity on small integers.
+        let h: FxHashSet<u64> = (0..1000u64).map(|v| hash_of(&v)).collect();
+        assert_eq!(h.len(), 1000);
+    }
+
+    #[test]
+    fn hashmap_usable() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..100 {
+            *m.entry(i % 7).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.values().sum::<u32>(), 100);
+    }
+
+    #[test]
+    fn splitmix_avalanche_on_low_bits() {
+        // Flipping one input bit should flip ~half the output bits on average.
+        let mut total = 0u32;
+        for i in 0..64 {
+            total += (hash_u64(0) ^ hash_u64(1u64 << i)).count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((20.0..44.0).contains(&avg), "weak avalanche: {avg}");
+    }
+
+    #[test]
+    fn byte_tail_not_ignored() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        assert_ne!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9][..]),
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 10][..])
+        );
+    }
+}

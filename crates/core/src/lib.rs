@@ -1,0 +1,65 @@
+//! `ngs-core` — shared primitives for the `ngs-correct` workspace.
+//!
+//! This crate hosts the vocabulary types every other crate builds on:
+//!
+//! * [`alphabet`] — the DNA alphabet `{A,C,G,T}` with 2-bit codes, complements
+//!   and reverse complements, plus handling of the ambiguous base `N`;
+//! * [`qual`] — Phred quality scores and their probability semantics;
+//! * [`read`] — the [`read::Read`] record (id, sequence, optional qualities);
+//! * [`hash`] — a fast non-cryptographic hasher and hash-map aliases used for
+//!   k-mer/tile tables (HashDoS is not a concern for offline genomics tools);
+//! * [`stats`] — histograms and percentile helpers used for data-driven
+//!   parameter selection (Reptile §2.3 "Choosing Parameters").
+//!
+//! Nothing here is specific to any of the three systems (Reptile, REDEEM,
+//! CLOSET); it is the substrate layer.
+
+pub mod alphabet;
+pub mod hash;
+pub mod qual;
+pub mod read;
+pub mod stats;
+
+pub use alphabet::{
+    complement_base, complement_code, decode_base, encode_base, reverse_complement,
+    reverse_complement_in_place, ALPHABET, N_BASE,
+};
+pub use qual::Phred;
+pub use read::Read;
+
+/// Workspace-wide error type for the substrate crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NgsError {
+    /// A sequence contained a byte that is not `A`, `C`, `G`, `T` or `N`.
+    InvalidBase { byte: u8, pos: usize },
+    /// A record was structurally malformed (message explains how).
+    MalformedRecord(String),
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for NgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NgsError::InvalidBase { byte, pos } => {
+                write!(f, "invalid base 0x{byte:02x} at position {pos}")
+            }
+            NgsError::MalformedRecord(m) => write!(f, "malformed record: {m}"),
+            NgsError::Io(m) => write!(f, "io error: {m}"),
+            NgsError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NgsError {}
+
+impl From<std::io::Error> for NgsError {
+    fn from(e: std::io::Error) -> Self {
+        NgsError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, NgsError>;

@@ -1,0 +1,109 @@
+//! The sequencing-read record shared by all pipelines.
+
+use crate::alphabet;
+
+/// One sequencing read: an identifier, an ASCII base sequence over
+/// `{A,C,G,T,N}`, and optionally a parallel vector of raw Phred scores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Record identifier (FASTA/FASTQ header without the marker character).
+    pub id: String,
+    /// Base sequence, uppercase ASCII.
+    pub seq: Vec<u8>,
+    /// Raw Phred scores (not ASCII-offset), same length as `seq` when present.
+    pub qual: Option<Vec<u8>>,
+}
+
+impl Read {
+    /// Build a read without quality scores, uppercasing the sequence.
+    pub fn new(id: impl Into<String>, seq: impl AsRef<[u8]>) -> Read {
+        Read {
+            id: id.into(),
+            seq: seq.as_ref().iter().map(|b| b.to_ascii_uppercase()).collect(),
+            qual: None,
+        }
+    }
+
+    /// Build a read with raw Phred scores.
+    ///
+    /// # Panics
+    /// Panics if `qual.len() != seq.len()` — a structural invariant callers
+    /// must uphold (FASTQ parsing validates it with a proper error instead).
+    pub fn with_qual(id: impl Into<String>, seq: impl AsRef<[u8]>, qual: Vec<u8>) -> Read {
+        let seq: Vec<u8> = seq.as_ref().iter().map(|b| b.to_ascii_uppercase()).collect();
+        assert_eq!(seq.len(), qual.len(), "sequence/quality length mismatch");
+        Read { id: id.into(), seq, qual: Some(qual) }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True for a zero-length read.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Number of ambiguous (non-ACGT) bases.
+    pub fn ambiguous_count(&self) -> usize {
+        alphabet::count_ambiguous(&self.seq)
+    }
+
+    /// True iff the read contains only unambiguous ACGT bases.
+    pub fn is_acgt(&self) -> bool {
+        alphabet::is_acgt(&self.seq)
+    }
+
+    /// The reverse complement of this read: sequence reverse-complemented,
+    /// qualities (if any) reversed to stay parallel with their bases.
+    pub fn reverse_complement(&self) -> Read {
+        Read {
+            id: self.id.clone(),
+            seq: alphabet::reverse_complement(&self.seq),
+            qual: self.qual.as_ref().map(|q| {
+                let mut q = q.clone();
+                q.reverse();
+                q
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_uppercases() {
+        let r = Read::new("r1", b"acgtn");
+        assert_eq!(r.seq, b"ACGTN");
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert_eq!(r.ambiguous_count(), 1);
+        assert!(!r.is_acgt());
+    }
+
+    #[test]
+    fn revcomp_keeps_quals_parallel() {
+        let r = Read::with_qual("r", b"ACGG", vec![10, 20, 30, 40]);
+        let rc = r.reverse_complement();
+        assert_eq!(rc.seq, b"CCGT");
+        assert_eq!(rc.qual, Some(vec![40, 30, 20, 10]));
+        // Double reverse complement restores the original.
+        assert_eq!(rc.reverse_complement(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn with_qual_length_checked() {
+        let _ = Read::with_qual("r", b"ACG", vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_read() {
+        let r = Read::new("e", b"");
+        assert!(r.is_empty());
+        assert!(r.is_acgt());
+    }
+}

@@ -1,0 +1,261 @@
+//! Histograms and percentile helpers.
+//!
+//! Reptile chooses its thresholds from empirical distributions rather than
+//! analytic assumptions (§2.3 "Choosing Parameters"): `Qc` is a percentile of
+//! the quality-score histogram, `Cg`/`Cm` are percentiles of the tile
+//! occurrence histogram. This module provides the shared machinery.
+
+/// A dense histogram over small non-negative integer values.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count recorded at exactly `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest value with a non-zero count, if any observation exists.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Smallest value `v` such that at least `fraction` of the mass lies at
+    /// values `<= v`. `fraction` must be in `(0, 1]`. Returns `None` on an
+    /// empty histogram.
+    pub fn quantile(&self, fraction: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let need = (fraction * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return Some(v);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Smallest value `v` such that the mass *strictly above* `v` is at most
+    /// `fraction` of the total. This is how Reptile picks `Cg`: "only a small
+    /// percentage of tiles have high quality multiplicity greater than Cg".
+    pub fn upper_tail_cutoff(&self, fraction: f64) -> Option<usize> {
+        self.quantile(1.0 - fraction)
+    }
+
+    /// Iterate `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Mean of the distribution (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+}
+
+/// Arithmetic mean of a float slice (0.0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a float slice (0.0 when fewer than 2 items).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Natural log of the Gamma function via the Lanczos approximation.
+///
+/// Needed by REDEEM's threshold-inference mixture model (§3.7), which has a
+/// Gamma-distributed component. Accurate to ~1e-13 for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)] // Lanczos table, canonical digits
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x), via recurrence + asymptotic series.
+///
+/// Used by the `ln α − ψ(α) = c` root-find in REDEEM's mixture M-step (§3.7).
+pub fn digamma(x: f64) -> f64 {
+    let mut x = x;
+    let mut result = 0.0;
+    // Shift x up until the asymptotic expansion is accurate.
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_basic() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.max_value(), Some(3));
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_median() {
+        let mut h = Histogram::new();
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(49));
+        assert_eq!(h.quantile(1.0), Some(99));
+        assert_eq!(h.quantile(0.01), Some(0));
+    }
+
+    #[test]
+    fn quantile_empty() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn upper_tail_cutoff_small_tail() {
+        let mut h = Histogram::new();
+        // 98 observations at value 1, 2 at value 50.
+        h.record_n(1, 98);
+        h.record_n(50, 2);
+        // 2% of mass above cutoff -> cutoff 1.
+        assert_eq!(h.upper_tail_cutoff(0.02), Some(1));
+        // Tail must be under 1% -> cutoff must include value 50.
+        assert_eq!(h.upper_tail_cutoff(0.01), Some(50));
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = -γ (Euler–Mascheroni).
+        let euler = 0.577_215_664_901_532_9;
+        assert!((digamma(1.0) + euler).abs() < 1e-9);
+        // Recurrence ψ(x+1) = ψ(x) + 1/x.
+        for x in [0.3, 1.7, 4.2, 9.9] {
+            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_monotone(values in proptest::collection::vec(0usize..64, 1..200),
+                             a in 0.05f64..0.5, b in 0.5f64..1.0) {
+            let mut h = Histogram::new();
+            for v in values { h.record(v); }
+            let qa = h.quantile(a).unwrap();
+            let qb = h.quantile(b).unwrap();
+            prop_assert!(qa <= qb);
+        }
+
+        #[test]
+        fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+            // ln Γ(x+1) = ln Γ(x) + ln x
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = ln_gamma(x) + x.ln();
+            prop_assert!((lhs - rhs).abs() < 1e-8, "x={x} lhs={lhs} rhs={rhs}");
+        }
+    }
+}

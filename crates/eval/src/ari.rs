@@ -1,0 +1,204 @@
+//! Adjusted Rand Index over a contingency table (§4.5.2, Table 4.4).
+//!
+//! Given two hard clusterings `U` (rows) and `V` (columns) of the same
+//! element set, the contingency table holds `c_ij = |U_i ∩ V_j|`, and
+//!
+//! ```text
+//!        Σ_ij C(c_ij,2) − Σ_i C(a_i,2)·Σ_j C(b_j,2) / C(n,2)
+//! ARI = ─────────────────────────────────────────────────────────────
+//!        ½(Σ_i C(a_i,2) + Σ_j C(b_j,2)) − Σ_i C(a_i,2)·Σ_j C(b_j,2)/C(n,2)
+//! ```
+//!
+//! ARI = 1 for identical partitions, ≈ 0 for independent ones, and can be
+//! negative for adversarial disagreement.
+
+use ngs_core::hash::FxHashMap;
+
+/// The contingency table between two labelings.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// `cells[(u, v)]` = number of elements labelled `u` by the first
+    /// clustering and `v` by the second.
+    cells: FxHashMap<(usize, usize), u64>,
+    row_sums: FxHashMap<usize, u64>,
+    col_sums: FxHashMap<usize, u64>,
+    n: u64,
+}
+
+impl ContingencyTable {
+    /// Build from two index-aligned label vectors.
+    ///
+    /// # Panics
+    /// Panics when the vectors' lengths differ.
+    pub fn new(labels_u: &[usize], labels_v: &[usize]) -> ContingencyTable {
+        assert_eq!(labels_u.len(), labels_v.len(), "label vectors must align");
+        let mut cells: FxHashMap<(usize, usize), u64> = FxHashMap::default();
+        let mut row_sums: FxHashMap<usize, u64> = FxHashMap::default();
+        let mut col_sums: FxHashMap<usize, u64> = FxHashMap::default();
+        for (&u, &v) in labels_u.iter().zip(labels_v) {
+            *cells.entry((u, v)).or_insert(0) += 1;
+            *row_sums.entry(u).or_insert(0) += 1;
+            *col_sums.entry(v).or_insert(0) += 1;
+        }
+        ContingencyTable { cells, row_sums, col_sums, n: labels_u.len() as u64 }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of clusters in the first labeling.
+    pub fn rows(&self) -> usize {
+        self.row_sums.len()
+    }
+
+    /// Number of clusters in the second labeling.
+    pub fn cols(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// The Adjusted Rand Index of the two labelings.
+    pub fn ari(&self) -> f64 {
+        fn choose2(x: u64) -> f64 {
+            (x as f64) * (x as f64 - 1.0) / 2.0
+        }
+        if self.n < 2 {
+            return 1.0;
+        }
+        let sum_cells: f64 = self.cells.values().map(|&c| choose2(c)).sum();
+        let sum_rows: f64 = self.row_sums.values().map(|&a| choose2(a)).sum();
+        let sum_cols: f64 = self.col_sums.values().map(|&b| choose2(b)).sum();
+        let expected = sum_rows * sum_cols / choose2(self.n);
+        let max_index = 0.5 * (sum_rows + sum_cols);
+        if (max_index - expected).abs() < 1e-12 {
+            // Degenerate (e.g. both clusterings all-singletons or all-one).
+            return if (sum_cells - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        }
+        (sum_cells - expected) / (max_index - expected)
+    }
+}
+
+/// Convenience wrapper: ARI of two label vectors.
+pub fn adjusted_rand_index(labels_u: &[usize], labels_v: &[usize]) -> f64 {
+    ContingencyTable::new(labels_u, labels_v).ari()
+}
+
+/// Convert possibly-overlapping clusters over `n_items` elements into a hard
+/// partition: each element goes to the **largest** cluster containing it
+/// (ties to the lower cluster id); uncovered elements become singletons.
+///
+/// The paper notes "a method to convert the resulting overlapping clusters to
+/// a partition is necessary … this problem is left open" (§4.5.2); this is
+/// the natural majority heuristic, documented as such.
+pub fn clusters_to_partition(clusters: &[Vec<usize>], n_items: usize) -> Vec<usize> {
+    const UNASSIGNED: usize = usize::MAX;
+    let mut assignment = vec![UNASSIGNED; n_items];
+    let mut best_size = vec![0usize; n_items];
+    // Visit clusters by decreasing size so each element keeps the largest.
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(clusters[c].len()), c));
+    for c in order {
+        for &item in &clusters[c] {
+            if item < n_items && clusters[c].len() > best_size[item] {
+                assignment[item] = c;
+                best_size[item] = clusters[c].len();
+            }
+        }
+    }
+    // Singletons for uncovered items, with fresh labels.
+    let mut next = clusters.len();
+    for slot in &mut assignment {
+        if *slot == UNASSIGNED {
+            *slot = next;
+            next += 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_invariant() {
+        let u = vec![0, 0, 1, 1, 2, 2];
+        let v = vec![5, 5, 9, 9, 7, 7];
+        assert!((adjusted_rand_index(&u, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_half_split() {
+        // Classic example: U = {1,1,2,2}, V = {1,2,1,2} -> ARI = -0.5.
+        let u = vec![0, 0, 1, 1];
+        let v = vec![0, 1, 0, 1];
+        let ari = adjusted_rand_index(&u, &v);
+        assert!((ari + 0.5).abs() < 1e-12, "ari={ari}");
+    }
+
+    #[test]
+    fn single_cluster_vs_split_scores_zero() {
+        let u = vec![0, 0, 0, 0];
+        let v = vec![0, 0, 1, 1];
+        let ari = adjusted_rand_index(&u, &v);
+        assert!(ari.abs() < 1e-9, "ari={ari}");
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let t = ContingencyTable::new(&[0, 0, 1, 2], &[1, 1, 1, 0]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.n(), 4);
+    }
+
+    #[test]
+    fn partition_conversion_prefers_larger_cluster() {
+        let clusters = vec![vec![0, 1, 2], vec![2, 3]];
+        let p = clusters_to_partition(&clusters, 5);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[2], 0); // larger cluster wins element 2
+        assert_eq!(p[3], 1);
+        assert_eq!(p[4], 2); // singleton label
+        assert!(p[4] >= clusters.len());
+    }
+
+    #[test]
+    fn partition_conversion_disjoint_clusters_preserved() {
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let p = clusters_to_partition(&clusters, 4);
+        assert_eq!(p, vec![0, 0, 1, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn ari_symmetric(labels in proptest::collection::vec(0usize..5, 2..60),
+                         other in proptest::collection::vec(0usize..5, 2..60)) {
+            let n = labels.len().min(other.len());
+            let a = adjusted_rand_index(&labels[..n], &other[..n]);
+            let b = adjusted_rand_index(&other[..n], &labels[..n]);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn ari_bounded_above_by_one(labels in proptest::collection::vec(0usize..4, 2..60),
+                                    other in proptest::collection::vec(0usize..4, 2..60)) {
+            let n = labels.len().min(other.len());
+            let a = adjusted_rand_index(&labels[..n], &other[..n]);
+            prop_assert!(a <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn self_ari_is_one(labels in proptest::collection::vec(0usize..6, 2..60)) {
+            prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        }
+    }
+}

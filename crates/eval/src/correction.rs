@@ -1,0 +1,217 @@
+//! Base-level error-correction evaluation (§2.4).
+//!
+//! "A True Positive (TP) is any erroneous base that is changed to the true
+//! base, a False Positive (FP) is any true base changed wrongly, a True
+//! Negative (TN) is any true base left unchanged, and a False Negative (FN)
+//! is any erroneous base left unchanged."
+//!
+//! Two additional measures:
+//! * **EBA** = `n_e / (TP + n_e)`, where `n_e` counts erroneous bases that
+//!   were *identified* (changed) but assigned a wrong base;
+//! * **Gain** = `(TP − FP) / (TP + FN)`, "the percentage of errors
+//!   effectively removed from the dataset"; negative when a method
+//!   introduces more errors than it corrects.
+
+use ngs_core::Read;
+
+/// Counts and derived measures for a correction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorrectionEval {
+    /// Erroneous bases changed to the true base.
+    pub tp: u64,
+    /// True bases changed (wrongly).
+    pub fp: u64,
+    /// True bases left unchanged.
+    pub tn: u64,
+    /// Erroneous bases left unchanged.
+    pub fn_: u64,
+    /// Erroneous bases changed, but to a wrong base (`n_e` in §2.4).
+    pub mischanged: u64,
+}
+
+impl CorrectionEval {
+    /// Sensitivity = TP / (TP + FN). Mischanged bases count as undetected
+    /// errors in the denominator (they remain erroneous in the output).
+    pub fn sensitivity(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_ + self.mischanged)
+    }
+
+    /// Specificity = TN / (TN + FP).
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Gain = (TP − FP) / (TP + FN + mischanged): net fraction of errors
+    /// removed. Mischanged bases leave an error in place, hence the
+    /// denominator; they also do not add a new error (the base was already
+    /// wrong), hence no FP contribution.
+    pub fn gain(&self) -> f64 {
+        let denom = self.tp + self.fn_ + self.mischanged;
+        if denom == 0 {
+            return 0.0;
+        }
+        (self.tp as f64 - self.fp as f64) / denom as f64
+    }
+
+    /// EBA = mischanged / (TP + mischanged): how often an *identified* error
+    /// was assigned the wrong base. Lower is better.
+    pub fn eba(&self) -> f64 {
+        ratio(self.mischanged, self.tp + self.mischanged)
+    }
+
+    /// Errors in the dataset before correction.
+    pub fn errors_before(&self) -> u64 {
+        self.tp + self.fn_ + self.mischanged
+    }
+
+    /// Errors remaining after correction (uncorrected + mis-corrected +
+    /// newly introduced).
+    pub fn errors_after(&self) -> u64 {
+        self.fn_ + self.mischanged + self.fp
+    }
+
+    /// Merge counts from another evaluation.
+    pub fn merge(&mut self, other: &CorrectionEval) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+        self.mischanged += other.mischanged;
+    }
+}
+
+fn ratio(num: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        num as f64 / denom as f64
+    }
+}
+
+/// Evaluate corrected reads against per-read true sequences.
+///
+/// `original`, `corrected` and `truth` are index-aligned; each `truth[i]`
+/// must have the same length as `original[i]`, and correction must preserve
+/// read lengths (the dissertation's correctors are substitution-only).
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn evaluate_correction(
+    original: &[Read],
+    corrected: &[Read],
+    truth: &[Vec<u8>],
+) -> CorrectionEval {
+    assert_eq!(original.len(), corrected.len());
+    assert_eq!(original.len(), truth.len());
+    let mut e = CorrectionEval::default();
+    for ((orig, corr), t) in original.iter().zip(corrected).zip(truth) {
+        assert_eq!(orig.len(), corr.len(), "read {} length changed", orig.id);
+        assert_eq!(orig.len(), t.len(), "read {} truth length mismatch", orig.id);
+        for i in 0..orig.len() {
+            let (o, c, t) = (orig.seq[i], corr.seq[i], t[i]);
+            let was_error = o != t;
+            let changed = c != o;
+            match (was_error, changed, c == t) {
+                (false, false, _) => e.tn += 1,
+                (false, true, _) => e.fp += 1,
+                (true, true, true) => e.tp += 1,
+                (true, false, _) => e.fn_ += 1,
+                (true, true, false) => e.mischanged += 1,
+            }
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_one(orig: &[u8], corr: &[u8], truth: &[u8]) -> CorrectionEval {
+        evaluate_correction(
+            &[Read::new("r", orig)],
+            &[Read::new("r", corr)],
+            &[truth.to_vec()],
+        )
+    }
+
+    #[test]
+    fn perfect_correction() {
+        let e = eval_one(b"ACGA", b"ACGT", b"ACGT");
+        assert_eq!(e, CorrectionEval { tp: 1, fp: 0, tn: 3, fn_: 0, mischanged: 0 });
+        assert_eq!(e.sensitivity(), 1.0);
+        assert_eq!(e.specificity(), 1.0);
+        assert_eq!(e.gain(), 1.0);
+        assert_eq!(e.eba(), 0.0);
+    }
+
+    #[test]
+    fn untouched_errors_are_fn() {
+        let e = eval_one(b"ACGA", b"ACGA", b"ACGT");
+        assert_eq!(e.fn_, 1);
+        assert_eq!(e.sensitivity(), 0.0);
+        assert_eq!(e.gain(), 0.0);
+    }
+
+    #[test]
+    fn wrongly_changed_true_base_is_fp() {
+        let e = eval_one(b"ACGT", b"ACGG", b"ACGT");
+        assert_eq!(e.fp, 1);
+        assert_eq!(e.tn, 3);
+        // No errors existed; Gain denominator is 0.
+        assert_eq!(e.gain(), 0.0);
+        assert!(e.specificity() < 1.0);
+    }
+
+    #[test]
+    fn mischanged_counts_into_eba() {
+        // Error at pos 3 (true T, read A) "corrected" to C: identified but
+        // wrongly assigned.
+        let e = eval_one(b"ACGA", b"ACGC", b"ACGT");
+        assert_eq!(e.mischanged, 1);
+        assert_eq!(e.tp, 0);
+        assert_eq!(e.eba(), 1.0);
+        assert_eq!(e.errors_after(), 1);
+    }
+
+    #[test]
+    fn gain_negative_when_more_errors_introduced() {
+        let e = eval_one(b"AAGA", b"CAGT", b"ACGT");
+        // pos0: clean base changed -> FP; pos1: error unchanged -> FN;
+        // pos2: clean unchanged -> TN; pos3: error fixed -> TP.
+        assert_eq!((e.tp, e.fp, e.fn_, e.tn), (1, 1, 1, 1));
+        assert_eq!(e.gain(), 0.0);
+        // Corrupting clean bases on an error-free read: gain denominator is
+        // zero but specificity and errors_after expose the damage.
+        let e = eval_one(b"ACGT", b"CCGG", b"ACGT");
+        assert_eq!(e.fp, 2);
+        assert_eq!(e.errors_after(), 2);
+    }
+
+    #[test]
+    fn n_bases_participate() {
+        // N at an erroneous position corrected to the true base.
+        let e = eval_one(b"ACGN", b"ACGT", b"ACGT");
+        assert_eq!(e.tp, 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = eval_one(b"ACGA", b"ACGT", b"ACGT");
+        let b = eval_one(b"ACGT", b"ACGT", b"ACGT");
+        a.merge(&b);
+        assert_eq!(a.tn, 3 + 4);
+        assert_eq!(a.tp, 1);
+    }
+
+    #[test]
+    fn errors_before_and_after_consistent() {
+        let e = eval_one(b"AAAA", b"ACAT", b"ACGT");
+        // truth ACGT, orig AAAA: errors at 1,2,3. corrected ACAT:
+        // pos1 fixed (TP), pos2 A unchanged (FN), pos3 fixed (TP).
+        assert_eq!(e.errors_before(), 3);
+        assert_eq!(e.errors_after(), 1);
+        let removed = e.errors_before() - e.errors_after();
+        assert!((e.gain() - removed as f64 / e.errors_before() as f64).abs() < 1e-12);
+    }
+}

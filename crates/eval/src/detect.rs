@@ -1,0 +1,143 @@
+//! k-mer-level detection error as a function of the threshold (§3.4.2).
+//!
+//! "A false positive (FP) denotes an error free kmer has been considered as
+//! erroneous and a false negative (FN) denotes an unidentified erroneous
+//! kmer." A k-mer is *declared erroneous* when its score (observed count `Y`
+//! or REDEEM's estimate `T`) falls **below** the threshold `M`; it *is*
+//! erroneous when its genomic occurrence `α` is zero.
+
+/// One point of a detection curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionPoint {
+    /// The threshold `M` applied.
+    pub threshold: f64,
+    /// Error-free k-mers declared erroneous.
+    pub fp: u64,
+    /// Erroneous k-mers not declared erroneous.
+    pub fn_: u64,
+}
+
+impl DetectionPoint {
+    /// Total wrong predictions FP + FN.
+    pub fn wrong(&self) -> u64 {
+        self.fp + self.fn_
+    }
+}
+
+/// Sweep thresholds over `(score, is_genomic)` pairs.
+///
+/// `scores[i]` is the score of observed k-mer `i`; `is_genomic[i]` is true
+/// when that k-mer occurs in the reference genome (`α_i > 0`).
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+pub fn detection_curve(
+    scores: &[f64],
+    is_genomic: &[bool],
+    thresholds: &[f64],
+) -> Vec<DetectionPoint> {
+    assert_eq!(scores.len(), is_genomic.len());
+    // Sort scores once; each threshold is two binary searches.
+    let mut genomic: Vec<f64> = Vec::new();
+    let mut erroneous: Vec<f64> = Vec::new();
+    for (&s, &g) in scores.iter().zip(is_genomic) {
+        if g {
+            genomic.push(s);
+        } else {
+            erroneous.push(s);
+        }
+    }
+    genomic.sort_unstable_by(f64::total_cmp);
+    erroneous.sort_unstable_by(f64::total_cmp);
+    thresholds
+        .iter()
+        .map(|&m| {
+            // Declared erroneous: score < m.
+            let fp = genomic.partition_point(|&s| s < m) as u64;
+            let fn_ = (erroneous.len() - erroneous.partition_point(|&s| s < m)) as u64;
+            DetectionPoint { threshold: m, fp, fn_ }
+        })
+        .collect()
+}
+
+/// The minimum FP + FN achievable over the given thresholds, with the
+/// threshold attaining it (first minimiser on ties). Returns `None` for an
+/// empty threshold list.
+pub fn min_wrong_predictions(
+    scores: &[f64],
+    is_genomic: &[bool],
+    thresholds: &[f64],
+) -> Option<DetectionPoint> {
+    detection_curve(scores, is_genomic, thresholds)
+        .into_iter()
+        .min_by_key(|p| p.wrong())
+}
+
+/// Integer thresholds `0..=max` as floats — the natural sweep for observed
+/// counts `Y`; also sensible for `T` estimates sitting on the same scale.
+pub fn integer_thresholds(max: u32) -> Vec<f64> {
+    (0..=max).map(|m| m as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation_reaches_zero() {
+        // Genomic kmers score >= 10, erroneous < 3.
+        let scores = [12.0, 15.0, 30.0, 1.0, 2.0];
+        let genomic = [true, true, true, false, false];
+        let best = min_wrong_predictions(&scores, &genomic, &integer_thresholds(40)).unwrap();
+        assert_eq!(best.wrong(), 0);
+        assert!(best.threshold > 2.0 && best.threshold <= 12.0);
+    }
+
+    #[test]
+    fn threshold_zero_misses_all_errors() {
+        let scores = [5.0, 1.0];
+        let genomic = [true, false];
+        let curve = detection_curve(&scores, &genomic, &[0.0]);
+        assert_eq!(curve[0].fp, 0);
+        assert_eq!(curve[0].fn_, 1);
+    }
+
+    #[test]
+    fn huge_threshold_flags_everything() {
+        let scores = [5.0, 1.0, 7.0];
+        let genomic = [true, false, true];
+        let curve = detection_curve(&scores, &genomic, &[100.0]);
+        assert_eq!(curve[0].fp, 2);
+        assert_eq!(curve[0].fn_, 0);
+    }
+
+    #[test]
+    fn overlapping_distributions_have_nonzero_floor() {
+        // Error kmer with a high score (a repeat-induced misread) can never
+        // be separated.
+        let scores = [10.0, 10.0];
+        let genomic = [true, false];
+        let best = min_wrong_predictions(&scores, &genomic, &integer_thresholds(20)).unwrap();
+        assert_eq!(best.wrong(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn fp_monotone_nondecreasing_in_threshold(
+            scores in proptest::collection::vec(0.0f64..50.0, 1..100),
+            flags in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let n = scores.len().min(flags.len());
+            let thresholds = integer_thresholds(55);
+            let curve = detection_curve(&scores[..n], &flags[..n], &thresholds);
+            for w in curve.windows(2) {
+                prop_assert!(w[0].fp <= w[1].fp);
+                prop_assert!(w[0].fn_ >= w[1].fn_);
+            }
+            // Extremes: at 0, fp == 0; far right, fn == 0.
+            prop_assert_eq!(curve[0].fp, 0);
+            prop_assert_eq!(curve.last().unwrap().fn_, 0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `ngs-eval` — evaluation measures for all three systems.
+//!
+//! * [`correction`] — base-level error-correction quality (§2.4): TP, FP,
+//!   TN, FN, *Erroneous Base Assignment* (EBA) and *Gain*, the measures the
+//!   paper introduces and "strongly advocates";
+//! * [`detect`] — k-mer-level detection error (FP + FN) as a function of the
+//!   threshold, for Y-thresholding vs REDEEM's T-thresholding (§3.4, Table
+//!   3.3, Fig. 3.2);
+//! * [`ari`] — the Adjusted Rand Index over a contingency table (§4.5.2,
+//!   Table 4.4), plus the overlapping-clusters → partition conversion the
+//!   paper leaves open.
+
+pub mod ari;
+pub mod correction;
+pub mod detect;
+
+pub use ari::{adjusted_rand_index, clusters_to_partition, ContingencyTable};
+pub use correction::{evaluate_correction, CorrectionEval};
+pub use detect::{detection_curve, min_wrong_predictions, DetectionPoint};

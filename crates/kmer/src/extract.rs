@@ -1,0 +1,112 @@
+//! Rolling k-mer extraction from ASCII sequences.
+//!
+//! Windows containing an ambiguous base yield no k-mer; the rolling encoder
+//! restarts after each such base, so extraction remains O(L) per read.
+
+use crate::packed::Kmer;
+use ngs_core::alphabet::encode_base;
+
+/// Call `f(offset, kmer)` for every length-`k` window of `seq` consisting
+/// solely of unambiguous bases. `offset` is the window's start position.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > 32`.
+pub fn for_each_kmer(seq: &[u8], k: usize, mut f: impl FnMut(usize, Kmer)) {
+    assert!((1..=32).contains(&k), "k must be in 1..=32, got {k}");
+    if seq.len() < k {
+        return;
+    }
+    let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mut acc: u64 = 0;
+    let mut valid = 0usize; // length of the current run of unambiguous bases
+    for (i, &b) in seq.iter().enumerate() {
+        match encode_base(b) {
+            Some(code) => {
+                acc = ((acc << 2) | code as u64) & mask;
+                valid += 1;
+                if valid >= k {
+                    f(i + 1 - k, acc);
+                }
+            }
+            None => {
+                valid = 0;
+                acc = 0;
+            }
+        }
+    }
+}
+
+/// Collect `(offset, kmer)` pairs for every valid window (convenience form).
+pub fn kmers_of(seq: &[u8], k: usize) -> Vec<(usize, Kmer)> {
+    let mut out = Vec::with_capacity(seq.len().saturating_sub(k - 1));
+    for_each_kmer(seq, k, |pos, v| out.push((pos, v)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::{decode_kmer, encode_kmer};
+    use proptest::prelude::*;
+
+    #[test]
+    fn extracts_all_windows() {
+        let seq = b"ACGTAC";
+        let ks = kmers_of(seq, 3);
+        assert_eq!(ks.len(), 4);
+        for (pos, v) in ks {
+            assert_eq!(decode_kmer(v, 3), seq[pos..pos + 3].to_vec());
+        }
+    }
+
+    #[test]
+    fn skips_windows_with_n() {
+        let seq = b"ACNGTACG";
+        let ks = kmers_of(seq, 3);
+        // Valid windows: GTA, TAC, ACG (positions 3, 4, 5).
+        assert_eq!(
+            ks,
+            vec![
+                (3, encode_kmer(b"GTA").unwrap()),
+                (4, encode_kmer(b"TAC").unwrap()),
+                (5, encode_kmer(b"ACG").unwrap()),
+            ]
+        );
+    }
+
+    #[test]
+    fn short_sequence_yields_nothing() {
+        assert!(kmers_of(b"AC", 3).is_empty());
+        assert!(kmers_of(b"", 3).is_empty());
+    }
+
+    #[test]
+    fn k32_full_width() {
+        let seq: Vec<u8> = (0..40).map(|i| b"ACGT"[i % 4]).collect();
+        let ks = kmers_of(&seq, 32);
+        assert_eq!(ks.len(), 40 - 32 + 1);
+        for (pos, v) in ks {
+            assert_eq!(decode_kmer(v, 32), seq[pos..pos + 32].to_vec());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_extraction(
+            seq in proptest::collection::vec(
+                prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')], 0..100),
+            k in 1usize..12,
+        ) {
+            let fast = kmers_of(&seq, k);
+            let mut naive = Vec::new();
+            if seq.len() >= k {
+                for pos in 0..=(seq.len() - k) {
+                    if let Some(v) = encode_kmer(&seq[pos..pos + k]) {
+                        naive.push((pos, v));
+                    }
+                }
+            }
+            prop_assert_eq!(fast, naive);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `ngs-kmer` — packed k-mers, k-spectra, Hamming-graph neighbourhoods and
+//! tiles.
+//!
+//! This crate implements the data-structure layer of Chapters 2 and 3 of the
+//! paper:
+//!
+//! * [`packed`] — 2-bit packed k-mers in a `u64` (`k ≤ 32`), with O(1)
+//!   base access/mutation and O(k) reverse complement;
+//! * [`extract`] — rolling k-mer extraction from ASCII reads with correct
+//!   handling of ambiguous bases;
+//! * [`spectrum`] — the k-spectrum `R^k` with occurrence counts `Y_l`,
+//!   built in parallel and stored sorted for binary-search access;
+//! * [`neighbor`] — retrieval of the d-neighbourhood `N^d_i` of a k-mer,
+//!   either by brute-force mutant enumeration or by the paper's
+//!   masked-replica index (§2.3 Phase 1): `C(c,d)` copies of the spectrum,
+//!   each sorted under a positional mask, one binary search per replica;
+//! * [`tile`] — tiles `t = α₁ ||_l α₂` (Definition 2.1) with plain and
+//!   high-quality occurrence counts `O_c` / `O_g`.
+
+pub mod extract;
+pub mod neighbor;
+pub mod packed;
+pub mod spectrum;
+pub mod tile;
+
+pub use extract::{for_each_kmer, kmers_of};
+pub use neighbor::NeighborIndex;
+pub use packed::{
+    canonical, decode_kmer, encode_kmer, hamming_distance, mutate_base, packed_base,
+    reverse_complement_packed, set_base, Kmer,
+};
+pub use spectrum::KSpectrum;
+pub use tile::{Tile, TileCounts, TileTable};

@@ -1,0 +1,340 @@
+//! Hamming-graph neighbourhood retrieval.
+//!
+//! The Hamming graph `G_H` (§2.3) has one vertex per observed k-mer and an
+//! edge between k-mers within Hamming distance `d`. Storing it explicitly is
+//! memory-prohibitive, so the paper proposes two retrieval schemes, both
+//! implemented here:
+//!
+//! * **Brute-force enumeration** — generate all `C(k,d)·3^d` mutant k-mers of
+//!   the query and binary-search each in the spectrum
+//!   (`O(C(k,d)·3^d·log|R^k|)` per query);
+//! * **Masked replicas** (§2.3 Phase 1) — split the `k` positions into `c`
+//!   chunks; for every choice of `d` chunks keep a permutation of the
+//!   spectrum sorted with those chunk positions masked to zero. Any k-mer
+//!   within distance `d` of the query differs in positions covered by at most
+//!   `d` chunks, so it collides with the query's masked key in at least one
+//!   replica: one binary search per replica finds all neighbours.
+
+use crate::packed::{hamming_distance, Kmer};
+use crate::spectrum::KSpectrum;
+use rayon::prelude::*;
+
+/// Strategy used by [`NeighborIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborStrategy {
+    /// Enumerate all mutant k-mers and probe the spectrum.
+    BruteForce,
+    /// §2.3's masked-replica index with `c` chunks.
+    MaskedReplicas {
+        /// Number of positional chunks (`d < c <= k`).
+        chunks: usize,
+    },
+}
+
+/// An index answering d-neighbourhood queries over a [`KSpectrum`].
+pub struct NeighborIndex<'s> {
+    spectrum: &'s KSpectrum,
+    d: usize,
+    strategy: NeighborStrategy,
+    /// One replica per chunk-subset: the mask applied to keys, and spectrum
+    /// indices sorted by masked k-mer value. Empty for brute force.
+    replicas: Vec<Replica>,
+}
+
+struct Replica {
+    /// Bits to *keep* (complement of the masked-out chunk positions).
+    keep_mask: u64,
+    /// Spectrum indices sorted by `kmer & keep_mask`.
+    order: Vec<u32>,
+}
+
+/// All `C(n, d)` subsets of `{0..n}` of size `d`, as index vectors.
+fn subsets(n: usize, d: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(d);
+    fn rec(n: usize, d: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == d {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(n, d, i + 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(n, d, 0, &mut cur, &mut out);
+    out
+}
+
+/// 2-bit-position mask covering chunk `ci` of `c` chunks over `k` positions.
+fn chunk_mask(k: usize, c: usize, ci: usize) -> u64 {
+    // Positions are distributed as evenly as possible: chunk ci covers
+    // [ci*k/c, (ci+1)*k/c).
+    let lo = ci * k / c;
+    let hi = (ci + 1) * k / c;
+    let mut m = 0u64;
+    for pos in lo..hi {
+        m |= 3u64 << (2 * (k - 1 - pos));
+    }
+    m
+}
+
+impl<'s> NeighborIndex<'s> {
+    /// Build an index for distance-`d` queries.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`, `d > k`, or (for masked replicas) `chunks` is not
+    /// in `(d, k]`.
+    pub fn build(spectrum: &'s KSpectrum, d: usize, strategy: NeighborStrategy) -> NeighborIndex<'s> {
+        let k = spectrum.k();
+        assert!(d >= 1 && d <= k, "d must be in 1..=k");
+        let replicas = match strategy {
+            NeighborStrategy::BruteForce => Vec::new(),
+            NeighborStrategy::MaskedReplicas { chunks } => {
+                assert!(chunks > d && chunks <= k, "need d < chunks <= k");
+                subsets(chunks, d)
+                    .into_par_iter()
+                    .map(|subset| {
+                        let masked_out: u64 =
+                            subset.iter().map(|&ci| chunk_mask(k, chunks, ci)).fold(0, |a, b| a | b);
+                        let keep_mask = !masked_out;
+                        let mut order: Vec<u32> = (0..spectrum.len() as u32).collect();
+                        order.sort_unstable_by_key(|&i| spectrum.kmers()[i as usize] & keep_mask);
+                        Replica { keep_mask, order }
+                    })
+                    .collect()
+            }
+        };
+        NeighborIndex { spectrum, d, strategy, replicas }
+    }
+
+    /// The maximum Hamming distance this index answers.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The spectrum this index was built over.
+    pub fn spectrum(&self) -> &KSpectrum {
+        self.spectrum
+    }
+
+    /// Number of replicas held (0 for brute force).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Return the spectrum indices of all *observed* k-mers within Hamming
+    /// distance `max_d` of `query`, **excluding** `query` itself. `max_d`
+    /// must not exceed the index's `d`.
+    pub fn neighbors(&self, query: Kmer, max_d: usize) -> Vec<usize> {
+        assert!(max_d <= self.d, "query distance {max_d} exceeds index d {}", self.d);
+        if max_d == 0 {
+            return Vec::new();
+        }
+        match self.strategy {
+            NeighborStrategy::BruteForce => self.brute_force(query, max_d),
+            NeighborStrategy::MaskedReplicas { .. } => self.via_replicas(query, max_d),
+        }
+    }
+
+    fn brute_force(&self, query: Kmer, max_d: usize) -> Vec<usize> {
+        let k = self.spectrum.k();
+        let mut out = Vec::new();
+        // Enumerate mutants with up to max_d substitutions via recursion over
+        // positions; each complete mutant is probed in the spectrum.
+        fn rec(
+            spectrum: &KSpectrum,
+            k: usize,
+            cur: Kmer,
+            next_pos: usize,
+            remaining: usize,
+            out: &mut Vec<usize>,
+        ) {
+            if remaining == 0 {
+                return;
+            }
+            for pos in next_pos..k {
+                for delta in 1..=3u8 {
+                    let m = crate::packed::mutate_base(cur, k, pos, delta);
+                    if let Some(i) = spectrum.index_of(m) {
+                        out.push(i);
+                    }
+                    rec(spectrum, k, m, pos + 1, remaining - 1, out);
+                }
+            }
+        }
+        rec(self.spectrum, k, query, 0, max_d, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn via_replicas(&self, query: Kmer, max_d: usize) -> Vec<usize> {
+        let kmers = self.spectrum.kmers();
+        let mut out = Vec::new();
+        for rep in &self.replicas {
+            let key = query & rep.keep_mask;
+            // Binary search for the first index whose masked value == key.
+            let lo = rep.order.partition_point(|&i| (kmers[i as usize] & rep.keep_mask) < key);
+            for &i in &rep.order[lo..] {
+                let v = kmers[i as usize];
+                if v & rep.keep_mask != key {
+                    break;
+                }
+                if v != query {
+                    let hd = hamming_distance(v, query) as usize;
+                    if hd <= max_d {
+                        out.push(i as usize);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Precompute the full adjacency (neighbour lists for every spectrum
+    /// index) in parallel. Used by REDEEM, whose EM iterates over all edges
+    /// of the Hamming graph many times.
+    pub fn full_adjacency(&self, max_d: usize) -> Vec<Vec<u32>> {
+        self.spectrum
+            .kmers()
+            .par_iter()
+            .map(|&v| self.neighbors(v, max_d).into_iter().map(|i| i as u32).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::encode_kmer;
+    use ngs_core::hash::FxHashMap;
+    use proptest::prelude::*;
+
+    fn spectrum_of(kmers: &[&[u8]]) -> KSpectrum {
+        let mut m: FxHashMap<Kmer, u32> = FxHashMap::default();
+        for s in kmers {
+            *m.entry(encode_kmer(s).unwrap()).or_insert(0) += 1;
+        }
+        KSpectrum::from_map(m, kmers[0].len())
+    }
+
+    #[test]
+    fn subsets_counts() {
+        assert_eq!(subsets(5, 1).len(), 5);
+        assert_eq!(subsets(5, 2).len(), 10);
+        assert_eq!(subsets(4, 4).len(), 1);
+    }
+
+    #[test]
+    fn chunk_masks_partition_all_positions() {
+        let k = 13;
+        let c = 5;
+        let mut acc = 0u64;
+        for ci in 0..c {
+            let m = chunk_mask(k, c, ci);
+            assert_eq!(acc & m, 0, "chunks must not overlap");
+            acc |= m;
+        }
+        assert_eq!(acc, (1u64 << (2 * k)) - 1, "chunks must cover all positions");
+    }
+
+    #[test]
+    fn brute_force_finds_distance_one() {
+        let sp = spectrum_of(&[b"ACGTA", b"ACGTT", b"ACGGA", b"TTTTT"]);
+        let idx = NeighborIndex::build(&sp, 1, NeighborStrategy::BruteForce);
+        let q = encode_kmer(b"ACGTA").unwrap();
+        let ns = idx.neighbors(q, 1);
+        let found: Vec<Vec<u8>> =
+            ns.iter().map(|&i| crate::packed::decode_kmer(sp.kmers()[i], 5)).collect();
+        assert!(found.contains(&b"ACGTT".to_vec()));
+        assert!(found.contains(&b"ACGGA".to_vec()));
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn replicas_match_brute_force_on_fixed_set() {
+        let sp = spectrum_of(&[
+            b"ACGTACGTACGTA",
+            b"ACGTACGTACGTT",
+            b"ACGAACGTACGTA",
+            b"TCGTACGTACGTA",
+            b"ACGTACGTACGGG",
+            b"TTTTTTTTTTTTT",
+        ]);
+        for d in 1..=2usize {
+            let bf = NeighborIndex::build(&sp, d, NeighborStrategy::BruteForce);
+            let mr = NeighborIndex::build(&sp, d, NeighborStrategy::MaskedReplicas { chunks: d + 2 });
+            for &q in sp.kmers() {
+                assert_eq!(bf.neighbors(q, d), mr.neighbors(q, d), "d={d} q={q:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_never_returns_self() {
+        let sp = spectrum_of(&[b"AAAAA", b"AAAAC"]);
+        let idx = NeighborIndex::build(&sp, 2, NeighborStrategy::MaskedReplicas { chunks: 4 });
+        let q = encode_kmer(b"AAAAA").unwrap();
+        let ns = idx.neighbors(q, 2);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(sp.kmers()[ns[0]], encode_kmer(b"AAAAC").unwrap());
+    }
+
+    #[test]
+    fn unobserved_query_still_answered() {
+        let sp = spectrum_of(&[b"AAAAA", b"CCCCC"]);
+        let idx = NeighborIndex::build(&sp, 1, NeighborStrategy::MaskedReplicas { chunks: 3 });
+        // Query a k-mer not present in the spectrum.
+        let q = encode_kmer(b"AAAAC").unwrap();
+        let ns = idx.neighbors(q, 1);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(sp.kmers()[ns[0]], encode_kmer(b"AAAAA").unwrap());
+    }
+
+    #[test]
+    fn full_adjacency_is_symmetric() {
+        let sp = spectrum_of(&[b"ACGTA", b"ACGTT", b"ACGGA", b"GCGGA"]);
+        let idx = NeighborIndex::build(&sp, 1, NeighborStrategy::BruteForce);
+        let adj = idx.full_adjacency(1);
+        for (i, ns) in adj.iter().enumerate() {
+            for &j in ns {
+                assert!(adj[j as usize].contains(&(i as u32)), "edge {i}-{j} not symmetric");
+            }
+        }
+    }
+
+    fn arb_kmer_set(k: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+                k..=k,
+            ),
+            2..40,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn replica_index_complete_vs_exhaustive(seqs in arb_kmer_set(9),
+                                                d in 1usize..=2,
+                                                chunks in 3usize..=5) {
+            let refs: Vec<&[u8]> = seqs.iter().map(|s| s.as_slice()).collect();
+            let sp = spectrum_of(&refs);
+            let idx = NeighborIndex::build(&sp, d, NeighborStrategy::MaskedReplicas { chunks });
+            for (qi, &q) in sp.kmers().iter().enumerate() {
+                // Exhaustive truth: scan all spectrum kmers.
+                let truth: Vec<usize> = sp.kmers().iter().enumerate()
+                    .filter(|&(i, &v)| i != qi && hamming_distance(v, q) as usize <= d)
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert_eq!(idx.neighbors(q, d), truth);
+            }
+        }
+    }
+}

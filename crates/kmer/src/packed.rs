@@ -1,0 +1,212 @@
+//! 2-bit packed k-mers.
+//!
+//! A k-mer (`k ≤ 32`) is packed into a `u64` with the **first** base in the
+//! most significant occupied bits, so numeric order equals lexicographic
+//! order of the underlying strings. Base codes are those of
+//! [`ngs_core::alphabet`] (`A=0, C=1, G=2, T=3`; complement = `code ^ 3`).
+
+use ngs_core::alphabet::{decode_base, encode_base};
+
+/// A packed k-mer value. The associated `k` travels separately — k-mer sets
+/// in this workspace always share a single `k`.
+pub type Kmer = u64;
+
+/// Encode an ASCII slice of length `k` into a packed k-mer.
+///
+/// Returns `None` if the slice contains any ambiguous base.
+///
+/// # Panics
+/// Panics if `seq.len() > 32`.
+#[inline]
+pub fn encode_kmer(seq: &[u8]) -> Option<Kmer> {
+    assert!(seq.len() <= 32, "k-mer length {} exceeds 32", seq.len());
+    let mut v: u64 = 0;
+    for &b in seq {
+        v = (v << 2) | encode_base(b)? as u64;
+    }
+    Some(v)
+}
+
+/// Decode a packed k-mer back into ASCII bases.
+pub fn decode_kmer(kmer: Kmer, k: usize) -> Vec<u8> {
+    (0..k).map(|i| decode_base(packed_base(kmer, k, i))).collect()
+}
+
+/// The 2-bit code of the base at position `i` (0 = first base).
+#[inline]
+pub fn packed_base(kmer: Kmer, k: usize, i: usize) -> u8 {
+    debug_assert!(i < k);
+    ((kmer >> (2 * (k - 1 - i))) & 3) as u8
+}
+
+/// Replace the base at position `i` with 2-bit `code`.
+#[inline]
+pub fn set_base(kmer: Kmer, k: usize, i: usize, code: u8) -> Kmer {
+    debug_assert!(i < k && code < 4);
+    let shift = 2 * (k - 1 - i);
+    (kmer & !(3u64 << shift)) | ((code as u64) << shift)
+}
+
+/// Substitute position `i` by XOR-ing its code with `delta ∈ {1,2,3}`,
+/// guaranteeing the result differs from the input at that position.
+#[inline]
+pub fn mutate_base(kmer: Kmer, k: usize, i: usize, delta: u8) -> Kmer {
+    debug_assert!(i < k && (1..=3).contains(&delta));
+    kmer ^ ((delta as u64) << (2 * (k - 1 - i)))
+}
+
+/// Reverse complement of a packed k-mer.
+#[inline]
+pub fn reverse_complement_packed(kmer: Kmer, k: usize) -> Kmer {
+    // Complement every base (xor with 3), then reverse 2-bit groups.
+    let mut v = !kmer; // complement: each 2-bit group ^ 0b11
+    v = ((v >> 2) & 0x3333_3333_3333_3333) | ((v & 0x3333_3333_3333_3333) << 2);
+    v = ((v >> 4) & 0x0F0F_0F0F_0F0F_0F0F) | ((v & 0x0F0F_0F0F_0F0F_0F0F) << 4);
+    v = v.swap_bytes();
+    v >> (64 - 2 * k)
+}
+
+/// The canonical form: the numerically smaller of a k-mer and its reverse
+/// complement. Used where strand symmetry matters.
+#[inline]
+pub fn canonical(kmer: Kmer, k: usize) -> Kmer {
+    kmer.min(reverse_complement_packed(kmer, k))
+}
+
+/// Hamming distance between two packed k-mers of equal `k`.
+#[inline]
+pub fn hamming_distance(a: Kmer, b: Kmer) -> u32 {
+    // A 2-bit group differs iff either of its bits differs; fold the pair of
+    // difference bits into the low bit of each group and popcount.
+    let x = a ^ b;
+    let folded = (x | (x >> 1)) & 0x5555_5555_5555_5555;
+    folded.count_ones()
+}
+
+/// Iterate all `3k` packed k-mers at Hamming distance exactly 1.
+pub fn neighbors1(kmer: Kmer, k: usize) -> impl Iterator<Item = Kmer> {
+    (0..k).flat_map(move |i| (1..=3u8).map(move |d| mutate_base(kmer, k, i, d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_core::alphabet::reverse_complement;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = b"ACGTACGTTTGCA";
+        let v = encode_kmer(s).unwrap();
+        assert_eq!(decode_kmer(v, s.len()), s.to_vec());
+    }
+
+    #[test]
+    fn encode_rejects_n() {
+        assert_eq!(encode_kmer(b"ACNGT"), None);
+    }
+
+    #[test]
+    fn numeric_order_is_lexicographic() {
+        let a = encode_kmer(b"AAAC").unwrap();
+        let b = encode_kmer(b"AACA").unwrap();
+        let c = encode_kmer(b"TTTT").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn base_access_and_set() {
+        let v = encode_kmer(b"ACGT").unwrap();
+        assert_eq!(packed_base(v, 4, 0), 0);
+        assert_eq!(packed_base(v, 4, 3), 3);
+        let w = set_base(v, 4, 1, 3);
+        assert_eq!(decode_kmer(w, 4), b"ATGT");
+    }
+
+    #[test]
+    fn revcomp_known() {
+        let v = encode_kmer(b"AACGT").unwrap();
+        assert_eq!(decode_kmer(reverse_complement_packed(v, 5), 5), b"ACGTT");
+    }
+
+    #[test]
+    fn revcomp_full_width_k32() {
+        let s: Vec<u8> = b"ACGTACGTACGTACGTACGTACGTACGTACGT".to_vec();
+        let v = encode_kmer(&s).unwrap();
+        assert_eq!(
+            decode_kmer(reverse_complement_packed(v, 32), 32),
+            reverse_complement(&s)
+        );
+    }
+
+    #[test]
+    fn hamming_known() {
+        let a = encode_kmer(b"ACGT").unwrap();
+        let b = encode_kmer(b"AGGA").unwrap();
+        assert_eq!(hamming_distance(a, b), 2);
+        assert_eq!(hamming_distance(a, a), 0);
+    }
+
+    #[test]
+    fn neighbors1_all_distinct_distance_one() {
+        let k = 7;
+        let v = encode_kmer(b"ACGTACG").unwrap();
+        let ns: Vec<Kmer> = neighbors1(v, k).collect();
+        assert_eq!(ns.len(), 3 * k);
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3 * k);
+        for n in ns {
+            assert_eq!(hamming_distance(v, n), 1);
+        }
+    }
+
+    fn arb_kmer(k: usize) -> impl Strategy<Value = Kmer> {
+        (0u64..(1u64 << (2 * k).min(63))).prop_map(move |v| {
+            if k == 32 {
+                v
+            } else {
+                v & ((1u64 << (2 * k)) - 1)
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn revcomp_involution(k in 1usize..=32, raw in any::<u64>()) {
+            let v = if k == 32 { raw } else { raw & ((1u64 << (2*k)) - 1) };
+            prop_assert_eq!(reverse_complement_packed(reverse_complement_packed(v, k), k), v);
+        }
+
+        #[test]
+        fn revcomp_matches_string_version(seq in proptest::collection::vec(
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 1..=32)) {
+            let k = seq.len();
+            let v = encode_kmer(&seq).unwrap();
+            let rc = reverse_complement_packed(v, k);
+            prop_assert_eq!(decode_kmer(rc, k), reverse_complement(&seq));
+        }
+
+        #[test]
+        fn hamming_matches_string_count(a in arb_kmer(13), b in arb_kmer(13)) {
+            let sa = decode_kmer(a, 13);
+            let sb = decode_kmer(b, 13);
+            let expect = sa.iter().zip(&sb).filter(|(x, y)| x != y).count() as u32;
+            prop_assert_eq!(hamming_distance(a, b), expect);
+        }
+
+        #[test]
+        fn canonical_is_strand_symmetric(v in arb_kmer(11)) {
+            let rc = reverse_complement_packed(v, 11);
+            prop_assert_eq!(canonical(v, 11), canonical(rc, 11));
+        }
+
+        #[test]
+        fn mutate_changes_exactly_one(v in arb_kmer(9), i in 0usize..9, d in 1u8..=3) {
+            let m = mutate_base(v, 9, i, d);
+            prop_assert_eq!(hamming_distance(v, m), 1);
+            prop_assert_ne!(packed_base(m, 9, i), packed_base(v, 9, i));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The k-spectrum `R^k` with occurrence counts.
+//!
+//! Following §2.2, the spectrum of a read set is the union of the k-spectra
+//! of all reads **and their reverse complements** (double-strandedness,
+//! §2.3). It is stored as a sorted array of `(kmer, count)` so membership and
+//! count queries are binary searches and the neighbour index (§2.3 Phase 1)
+//! can keep masked-sorted permutations of the same array.
+
+use crate::extract::for_each_kmer;
+use crate::packed::{reverse_complement_packed, Kmer};
+use ngs_core::hash::FxHashMap;
+use ngs_core::Read;
+use rayon::prelude::*;
+
+/// A sorted k-spectrum: parallel arrays of distinct k-mers and their counts.
+#[derive(Debug, Clone)]
+pub struct KSpectrum {
+    k: usize,
+    kmers: Vec<Kmer>,
+    counts: Vec<u32>,
+}
+
+impl KSpectrum {
+    /// Build the spectrum of `reads` (single strand only).
+    pub fn from_reads(reads: &[Read], k: usize) -> KSpectrum {
+        Self::build(reads, k, false)
+    }
+
+    /// Build the spectrum of `reads` plus their reverse complements.
+    pub fn from_reads_both_strands(reads: &[Read], k: usize) -> KSpectrum {
+        Self::build(reads, k, true)
+    }
+
+    fn build(reads: &[Read], k: usize, both_strands: bool) -> KSpectrum {
+        // Parallel fold into per-chunk hash maps, then merge. Chunks are
+        // large enough that the merge step is cheap relative to counting.
+        let chunk = (reads.len() / (rayon::current_num_threads() * 4)).max(256);
+        let map = reads
+            .par_chunks(chunk)
+            .map(|chunk| {
+                let mut m: FxHashMap<Kmer, u32> = FxHashMap::default();
+                for r in chunk {
+                    for_each_kmer(&r.seq, k, |_, v| {
+                        *m.entry(v).or_insert(0) += 1;
+                        if both_strands {
+                            *m.entry(reverse_complement_packed(v, k)).or_insert(0) += 1;
+                        }
+                    });
+                }
+                m
+            })
+            .reduce(FxHashMap::default, |a, b| {
+                // Merge the smaller map into the larger one.
+                if a.len() >= b.len() {
+                    Self::merge_into(a, b)
+                } else {
+                    Self::merge_into(b, a)
+                }
+            });
+        Self::from_map(map, k)
+    }
+
+    fn merge_into(mut big: FxHashMap<Kmer, u32>, small: FxHashMap<Kmer, u32>) -> FxHashMap<Kmer, u32> {
+        for (kmer, c) in small {
+            *big.entry(kmer).or_insert(0) += c;
+        }
+        big
+    }
+
+    /// Build from an explicit `(kmer -> count)` map.
+    pub fn from_map(map: FxHashMap<Kmer, u32>, k: usize) -> KSpectrum {
+        let mut pairs: Vec<(Kmer, u32)> = map.into_iter().collect();
+        pairs.par_sort_unstable_by_key(|&(v, _)| v);
+        let (kmers, counts): (Vec<Kmer>, Vec<u32>) = pairs.into_iter().unzip();
+        KSpectrum { k, kmers, counts }
+    }
+
+    /// Build from pre-sorted, deduplicated parallel arrays.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the invariant is violated.
+    pub fn from_sorted(k: usize, kmers: Vec<Kmer>, counts: Vec<u32>) -> KSpectrum {
+        debug_assert_eq!(kmers.len(), counts.len());
+        debug_assert!(kmers.windows(2).all(|w| w[0] < w[1]));
+        KSpectrum { k, kmers, counts }
+    }
+
+    /// The k this spectrum was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers.
+    pub fn len(&self) -> usize {
+        self.kmers.len()
+    }
+
+    /// True when no k-mer was observed.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty()
+    }
+
+    /// The sorted distinct k-mers.
+    pub fn kmers(&self) -> &[Kmer] {
+        &self.kmers
+    }
+
+    /// Counts parallel to [`KSpectrum::kmers`].
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Index of `kmer` in the sorted array, if present.
+    #[inline]
+    pub fn index_of(&self, kmer: Kmer) -> Option<usize> {
+        self.kmers.binary_search(&kmer).ok()
+    }
+
+    /// Occurrence count of `kmer` (0 if absent).
+    #[inline]
+    pub fn count(&self, kmer: Kmer) -> u32 {
+        self.index_of(kmer).map_or(0, |i| self.counts[i])
+    }
+
+    /// True iff `kmer` was observed.
+    #[inline]
+    pub fn contains(&self, kmer: Kmer) -> bool {
+        self.index_of(kmer).is_some()
+    }
+
+    /// Total number of k-mer instances (sum of counts).
+    pub fn total_instances(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Iterate `(kmer, count)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (Kmer, u32)> + '_ {
+        self.kmers.iter().copied().zip(self.counts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::encode_kmer;
+    use proptest::prelude::*;
+
+    fn reads(seqs: &[&[u8]]) -> Vec<Read> {
+        seqs.iter().enumerate().map(|(i, s)| Read::new(format!("r{i}"), s)).collect()
+    }
+
+    #[test]
+    fn counts_single_strand() {
+        let rs = reads(&[b"ACGTA", b"CGTAC"]);
+        let sp = KSpectrum::from_reads(&rs, 3);
+        assert_eq!(sp.count(encode_kmer(b"CGT").unwrap()), 2);
+        assert_eq!(sp.count(encode_kmer(b"ACG").unwrap()), 1);
+        assert_eq!(sp.count(encode_kmer(b"GGG").unwrap()), 0);
+        assert_eq!(sp.total_instances(), 6);
+    }
+
+    #[test]
+    fn both_strands_adds_revcomp() {
+        let rs = reads(&[b"ACG"]);
+        let sp = KSpectrum::from_reads_both_strands(&rs, 3);
+        assert_eq!(sp.count(encode_kmer(b"ACG").unwrap()), 1);
+        assert_eq!(sp.count(encode_kmer(b"CGT").unwrap()), 1);
+        assert_eq!(sp.len(), 2);
+    }
+
+    #[test]
+    fn palindromic_kmer_counted_twice_on_both_strands() {
+        // ACGT is its own reverse complement.
+        let rs = reads(&[b"ACGT"]);
+        let sp = KSpectrum::from_reads_both_strands(&rs, 4);
+        assert_eq!(sp.count(encode_kmer(b"ACGT").unwrap()), 2);
+    }
+
+    #[test]
+    fn ambiguous_bases_skipped() {
+        let rs = reads(&[b"ACNGT"]);
+        let sp = KSpectrum::from_reads(&rs, 3);
+        assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn sorted_invariant() {
+        let rs = reads(&[b"TTTTACGTACGTAAAA"]);
+        let sp = KSpectrum::from_reads(&rs, 5);
+        assert!(sp.kmers().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_build_matches_sequential_count(
+            seqs in proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 5..40),
+                1..20),
+        ) {
+            let rs: Vec<Read> = seqs.iter().enumerate()
+                .map(|(i, s)| Read::new(format!("r{i}"), s)).collect();
+            let sp = KSpectrum::from_reads(&rs, 4);
+            // Sequential reference count.
+            let mut m: FxHashMap<Kmer, u32> = FxHashMap::default();
+            for r in &rs {
+                for w in r.seq.windows(4) {
+                    *m.entry(encode_kmer(w).unwrap()).or_insert(0) += 1;
+                }
+            }
+            prop_assert_eq!(sp.len(), m.len());
+            for (kmer, c) in m {
+                prop_assert_eq!(sp.count(kmer), c);
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! `ngs-mapper` — a mismatch-tolerant short-read mapper (RMAP substitute).
+//!
+//! Chapter 2 evaluates error correction "with the aid of RMAP, which maps
+//! short reads to a known genome by minimizing mismatches … Reads that could
+//! not be mapped to the genome, or that map to multiple locations, are
+//! discarded. The mismatches between uniquely mapped reads and the genome
+//! are considered read errors" (§2.4). This crate reproduces that contract:
+//!
+//! * full sensitivity up to `m` mismatches via the pigeonhole principle —
+//!   a read with ≤ `m` mismatches split into `m + 1` segments has at least
+//!   one exact segment, so exact seed lookup plus Hamming verification finds
+//!   every qualifying location;
+//! * both strands are searched; the best (fewest-mismatch) location wins;
+//! * a read is **unique** when exactly one location attains the minimum,
+//!   **ambiguous** when several tie, **unmapped** when none qualifies.
+
+use ngs_core::hash::FxHashMap;
+use ngs_core::{alphabet, Read};
+use ngs_kmer::packed::Kmer;
+use rayon::prelude::*;
+
+/// Outcome of mapping one read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapResult {
+    /// Exactly one best location.
+    Unique {
+        /// 0-based position on the forward genome strand.
+        pos: usize,
+        /// True when the read matched in reverse-complement orientation.
+        reverse_strand: bool,
+        /// Read positions (read orientation) disagreeing with the genome.
+        mismatches: Vec<usize>,
+    },
+    /// Two or more locations tie at the minimal mismatch count.
+    Ambiguous,
+    /// No location within the mismatch budget.
+    Unmapped,
+}
+
+/// Aggregate mapping statistics over a read set (Table 2.2's columns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MappingStats {
+    /// Reads mapped to exactly one best location.
+    pub unique: usize,
+    /// Reads with tied best locations.
+    pub ambiguous: usize,
+    /// Reads that did not map.
+    pub unmapped: usize,
+    /// Total mismatching bases over uniquely mapped reads.
+    pub mismatch_bases: usize,
+    /// Total bases over uniquely mapped reads.
+    pub unique_bases: usize,
+}
+
+impl MappingStats {
+    /// Total reads processed.
+    pub fn total(&self) -> usize {
+        self.unique + self.ambiguous + self.unmapped
+    }
+
+    /// Fraction of reads uniquely mapped.
+    pub fn unique_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unique as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of reads ambiguously mapped.
+    pub fn ambiguous_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.ambiguous as f64 / self.total() as f64
+        }
+    }
+
+    /// Per-base error rate estimated from uniquely mapped reads — the
+    /// "Error rate" column of Table 2.1.
+    pub fn error_rate(&self) -> f64 {
+        if self.unique_bases == 0 {
+            0.0
+        } else {
+            self.mismatch_bases as f64 / self.unique_bases as f64
+        }
+    }
+}
+
+/// A seed index over a reference genome.
+pub struct Mapper {
+    genome: Vec<u8>,
+    seed_len: usize,
+    /// Seed k-mer -> genome positions (forward strand).
+    index: FxHashMap<Kmer, Vec<u32>>,
+}
+
+impl Mapper {
+    /// Index `genome` with exact seeds of `seed_len` bases (`1..=32`).
+    pub fn build(genome: &[u8], seed_len: usize) -> Mapper {
+        assert!((1..=32).contains(&seed_len));
+        let mut index: FxHashMap<Kmer, Vec<u32>> = FxHashMap::default();
+        ngs_kmer::for_each_kmer(genome, seed_len, |pos, v| {
+            index.entry(v).or_default().push(pos as u32);
+        });
+        Mapper { genome: genome.to_vec(), seed_len, index }
+    }
+
+    /// The seed length in use.
+    pub fn seed_len(&self) -> usize {
+        self.seed_len
+    }
+
+    /// The indexed genome.
+    pub fn genome(&self) -> &[u8] {
+        &self.genome
+    }
+
+    fn hamming_leq(a: &[u8], b: &[u8], budget: usize) -> Option<usize> {
+        let mut d = 0usize;
+        for (x, y) in a.iter().zip(b) {
+            if x != y {
+                d += 1;
+                if d > budget {
+                    return None;
+                }
+            }
+        }
+        Some(d)
+    }
+
+    /// Candidate genome start positions for `seq` via pigeonhole seeding.
+    fn candidates(&self, seq: &[u8], max_mismatches: usize) -> Vec<usize> {
+        let l = seq.len();
+        let segments = max_mismatches + 1;
+        let mut out: Vec<usize> = Vec::new();
+        // Place `segments` seed probes evenly; pigeonhole requires the probes
+        // to be disjoint, which even placement of `seed_len`-windows over
+        // ceil(L/segments)-wide segments guarantees when seed_len <= width.
+        for s in 0..segments {
+            let off = s * l / segments;
+            if off + self.seed_len > l {
+                break;
+            }
+            if let Some(seed) = ngs_kmer::packed::encode_kmer(&seq[off..off + self.seed_len]) {
+                if let Some(positions) = self.index.get(&seed) {
+                    for &p in positions {
+                        let p = p as usize;
+                        if p >= off && p - off + l <= self.genome.len() {
+                            out.push(p - off);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Map one read allowing up to `max_mismatches` substitutions.
+    ///
+    /// Full sensitivity requires `seed_len <= read_len / (max_mismatches+1)`;
+    /// this is asserted.
+    pub fn map_read(&self, read: &Read, max_mismatches: usize) -> MapResult {
+        let l = read.len();
+        if l < self.seed_len || l > self.genome.len() {
+            return MapResult::Unmapped;
+        }
+        assert!(
+            self.seed_len <= l / (max_mismatches + 1),
+            "seed_len {} too long for full sensitivity at {} mismatches on {}bp reads",
+            self.seed_len,
+            max_mismatches,
+            l
+        );
+        let rc = alphabet::reverse_complement(&read.seq);
+
+        let mut best_d = max_mismatches + 1;
+        let mut best: Vec<(usize, bool)> = Vec::new();
+        for (seq, is_rc) in [(&read.seq, false), (&rc, true)] {
+            for pos in self.candidates(seq, max_mismatches) {
+                if let Some(d) = Self::hamming_leq(seq, &self.genome[pos..pos + l], best_d) {
+                    match d.cmp(&best_d) {
+                        std::cmp::Ordering::Less => {
+                            best_d = d;
+                            best.clear();
+                            best.push((pos, is_rc));
+                        }
+                        std::cmp::Ordering::Equal => best.push((pos, is_rc)),
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+            }
+        }
+        best.dedup();
+        match best.len() {
+            0 => MapResult::Unmapped,
+            1 => {
+                let (pos, reverse_strand) = best[0];
+                let aligned = if reverse_strand { &rc } else { &read.seq };
+                let mismatches: Vec<usize> = aligned
+                    .iter()
+                    .zip(&self.genome[pos..pos + l])
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(i, _)| if reverse_strand { l - 1 - i } else { i })
+                    .collect();
+                MapResult::Unique { pos, reverse_strand, mismatches }
+            }
+            _ => MapResult::Ambiguous,
+        }
+    }
+
+    /// Map all reads in parallel and aggregate statistics.
+    pub fn map_all(&self, reads: &[Read], max_mismatches: usize) -> (Vec<MapResult>, MappingStats) {
+        let results: Vec<MapResult> =
+            reads.par_iter().map(|r| self.map_read(r, max_mismatches)).collect();
+        let mut stats = MappingStats::default();
+        for (res, read) in results.iter().zip(reads) {
+            match res {
+                MapResult::Unique { mismatches, .. } => {
+                    stats.unique += 1;
+                    stats.mismatch_bases += mismatches.len();
+                    stats.unique_bases += read.len();
+                }
+                MapResult::Ambiguous => stats.ambiguous += 1,
+                MapResult::Unmapped => stats.unmapped += 1,
+            }
+        }
+        (results, stats)
+    }
+
+    /// For uniquely mapped reads, return `(observed, genome_truth)` sequence
+    /// pairs in read orientation — the input `ErrorModel::estimate` expects
+    /// (§3.4.1's estimation of `M` from mapped reads).
+    pub fn truth_pairs<'a>(
+        &self,
+        reads: &'a [Read],
+        results: &[MapResult],
+    ) -> Vec<(&'a [u8], Vec<u8>)> {
+        reads
+            .iter()
+            .zip(results)
+            .filter_map(|(r, res)| match res {
+                MapResult::Unique { pos, reverse_strand, .. } => {
+                    let window = &self.genome[*pos..*pos + r.len()];
+                    let truth = if *reverse_strand {
+                        alphabet::reverse_complement(window)
+                    } else {
+                        window.to_vec()
+                    };
+                    Some((r.seq.as_slice(), truth))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+
+    fn genome() -> Vec<u8> {
+        GenomeSpec::uniform(20_000).generate(99).seq
+    }
+
+    #[test]
+    fn exact_read_maps_uniquely() {
+        let g = genome();
+        let m = Mapper::build(&g, 12);
+        let read = Read::new("r", &g[500..536]);
+        match m.map_read(&read, 2) {
+            MapResult::Unique { pos, reverse_strand, mismatches } => {
+                assert_eq!(pos, 500);
+                assert!(!reverse_strand);
+                assert!(mismatches.is_empty());
+            }
+            other => panic!("expected unique mapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_strand_read_maps() {
+        let g = genome();
+        let m = Mapper::build(&g, 12);
+        let read = Read::new("r", alphabet::reverse_complement(&g[1000..1036]));
+        match m.map_read(&read, 2) {
+            MapResult::Unique { pos, reverse_strand, .. } => {
+                assert_eq!(pos, 1000);
+                assert!(reverse_strand);
+            }
+            other => panic!("expected unique rc mapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatch_positions_reported_in_read_orientation() {
+        let g = genome();
+        let m = Mapper::build(&g, 12);
+        let mut seq = g[2000..2036].to_vec();
+        seq[5] = if seq[5] == b'A' { b'C' } else { b'A' };
+        let read = Read::new("r", &seq);
+        match m.map_read(&read, 2) {
+            MapResult::Unique { pos, mismatches, .. } => {
+                assert_eq!(pos, 2000);
+                assert_eq!(mismatches, vec![5]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Same error on a reverse-strand read.
+        let mut rc = alphabet::reverse_complement(&g[2000..2036]);
+        rc[5] = if rc[5] == b'A' { b'C' } else { b'A' };
+        match m.map_read(&Read::new("r", &rc), 2) {
+            MapResult::Unique { mismatches, reverse_strand, .. } => {
+                assert!(reverse_strand);
+                assert_eq!(mismatches, vec![5]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_errors_unmapped() {
+        let g = genome();
+        let m = Mapper::build(&g, 6);
+        let mut seq = g[3000..3036].to_vec();
+        for i in [1, 8, 15, 22, 29] {
+            seq[i] = alphabet::complement_base(seq[i]); // not a revcomp overall
+        }
+        let read = Read::new("r", &seq);
+        assert_eq!(m.map_read(&read, 2), MapResult::Unmapped);
+    }
+
+    #[test]
+    fn repeat_region_read_is_ambiguous() {
+        // Genome with an exact duplication.
+        let mut g = genome();
+        let copy: Vec<u8> = g[4000..4200].to_vec();
+        g[8000..8200].copy_from_slice(&copy);
+        let m = Mapper::build(&g, 12);
+        let read = Read::new("r", &g[4050..4086]);
+        assert_eq!(m.map_read(&read, 2), MapResult::Ambiguous);
+    }
+
+    #[test]
+    fn stats_and_error_rate_on_simulated_reads() {
+        let g = genome();
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: 2_000,
+            error_model: ErrorModel::uniform(36, 0.01),
+            both_strands: true,
+            with_quals: false,
+            n_rate: 0.0,
+            seed: 5,
+        };
+        let sim = simulate_reads(&g, &cfg);
+        let m = Mapper::build(&g, 6);
+        let (results, stats) = m.map_all(&sim.reads, 5);
+        assert_eq!(results.len(), 2_000);
+        assert!(stats.unique_fraction() > 0.95, "unique {}", stats.unique_fraction());
+        // Estimated error rate should be near the simulated 1%.
+        assert!((stats.error_rate() - 0.01).abs() < 0.004, "rate {}", stats.error_rate());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Full sensitivity: a read with up to `m` planted substitutions is
+        /// always found at its true location (random 20 kbp genome, so
+        /// spurious equal-score matches are vanishingly rare — treat
+        /// Ambiguous as acceptable but absence as failure).
+        #[test]
+        fn pigeonhole_full_sensitivity(
+            start_frac in 0.0f64..1.0,
+            positions in proptest::collection::btree_set(0usize..36, 0..=3),
+        ) {
+            let g = genome();
+            let m = Mapper::build(&g, 6);
+            let start = ((g.len() - 36) as f64 * start_frac) as usize;
+            let mut seq = g[start..start + 36].to_vec();
+            for &p in &positions {
+                seq[p] = alphabet::complement_base(seq[p]);
+            }
+            match m.map_read(&Read::new("r", &seq), 5) {
+                MapResult::Unique { pos, mismatches, reverse_strand } => {
+                    proptest::prop_assert_eq!(pos, start);
+                    proptest::prop_assert!(!reverse_strand);
+                    let expect: Vec<usize> = positions.iter().copied().collect();
+                    proptest::prop_assert_eq!(mismatches, expect);
+                }
+                MapResult::Ambiguous => {} // tie with a random repeat: fine
+                MapResult::Unmapped => {
+                    return Err(proptest::test_runner::TestCaseError::fail(
+                        "planted read not found",
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_pairs_match_simulation_truth() {
+        let g = genome();
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: 300,
+            error_model: ErrorModel::uniform(36, 0.005),
+            both_strands: true,
+            with_quals: false,
+            n_rate: 0.0,
+            seed: 6,
+        };
+        let sim = simulate_reads(&g, &cfg);
+        let m = Mapper::build(&g, 6);
+        let (results, _) = m.map_all(&sim.reads, 5);
+        let pairs = m.truth_pairs(&sim.reads, &results);
+        // Each recovered truth equals the simulator's truth for that read.
+        let mut checked = 0;
+        let mut pair_iter = pairs.iter();
+        for (read, (res, truth)) in sim.reads.iter().zip(results.iter().zip(&sim.truth)) {
+            if matches!(res, MapResult::Unique { .. }) {
+                let (obs, mapped_truth) = pair_iter.next().unwrap();
+                assert_eq!(*obs, read.seq.as_slice());
+                assert_eq!(mapped_truth, &truth.true_seq);
+                checked += 1;
+            }
+        }
+        assert!(checked > 250);
+    }
+}

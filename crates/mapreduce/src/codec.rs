@@ -1,0 +1,203 @@
+//! Length-prefixed binary encoding for shuffle spill.
+//!
+//! Deliberately minimal: fixed-width little-endian integers, length-prefixed
+//! byte strings, and tuples — enough to round-trip every key/value type the
+//! CLOSET tasks shuffle, without pulling a serialization framework into the
+//! dependency set.
+
+use bytes::{Buf, BufMut};
+
+/// A type that can round-trip through the spill format.
+pub trait Codec: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `inp`, advancing it. `None` on
+    /// malformed or truncated input.
+    fn decode(inp: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! impl_codec_int {
+    ($($t:ty => $get:ident / $put:ident),* $(,)?) => {
+        $(impl Codec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.$put(*self);
+            }
+            fn decode(inp: &mut &[u8]) -> Option<Self> {
+                if inp.len() < std::mem::size_of::<$t>() {
+                    return None;
+                }
+                Some(inp.$get())
+            }
+        })*
+    };
+}
+
+impl_codec_int! {
+    u8 => get_u8 / put_u8,
+    u16 => get_u16_le / put_u16_le,
+    u32 => get_u32_le / put_u32_le,
+    u64 => get_u64_le / put_u64_le,
+    i64 => get_i64_le / put_i64_le,
+    f64 => get_f64_le / put_f64_le,
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8(u8::from(*self));
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        u8::decode(inp).map(|v| v != 0)
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u64_le(*self as u64);
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        u64::decode(inp).map(|v| v as usize)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode(out);
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        String::from_utf8(Vec::<u8>::decode(inp)?).ok()
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(inp)?, B::decode(inp)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(inp)?, B::decode(inp)?, C::decode(inp)?))
+    }
+}
+
+impl<T: Codec> Codec for Vec<T>
+where
+    T: 'static,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(inp: &mut &[u8]) -> Option<Self> {
+        let len = u32::decode(inp)? as usize;
+        let mut v = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            v.push(T::decode(inp)?);
+        }
+        Some(v)
+    }
+}
+
+/// Encode a whole slice of records into one buffer.
+pub fn encode_all<T: Codec>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::new();
+    (items.len() as u64).encode(&mut out);
+    for item in items {
+        item.encode(&mut out);
+    }
+    out
+}
+
+/// Decode a buffer produced by [`encode_all`].
+pub fn decode_all<T: Codec>(mut inp: &[u8]) -> Option<Vec<T>> {
+    let n = u64::decode(&mut inp)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(T::decode(&mut inp)?);
+    }
+    if inp.is_empty() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice).expect("decode");
+        assert_eq!(back, v);
+        assert!(slice.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(0u8);
+        round_trip(42u32);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(3.25f64);
+        round_trip(true);
+        round_trip(12345usize);
+    }
+
+    #[test]
+    fn compound_round_trips() {
+        round_trip((1u64, 2u32));
+        round_trip((1u64, "hello".to_string(), vec![1u8, 2, 3]));
+        round_trip(vec![(1u32, 2u32), (3, 4)]);
+        round_trip(String::from("κλειδί"));
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut buf = Vec::new();
+        (7u64, 9u64).encode(&mut buf);
+        let mut short = &buf[..buf.len() - 1];
+        assert!(<(u64, u64)>::decode(&mut short).is_none());
+    }
+
+    #[test]
+    fn encode_all_round_trips() {
+        let items: Vec<(u64, u32)> = (0..100).map(|i| (i, (i * 3) as u32)).collect();
+        let buf = encode_all(&items);
+        assert_eq!(decode_all::<(u64, u32)>(&buf).unwrap(), items);
+    }
+
+    #[test]
+    fn decode_all_rejects_garbage_tail() {
+        let mut buf = encode_all(&[1u64, 2, 3]);
+        buf.push(0xFF);
+        assert!(decode_all::<u64>(&buf).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_tuples_round_trip(a in any::<u64>(), s in ".{0,40}", bytes in proptest::collection::vec(any::<u8>(), 0..60)) {
+            round_trip((a, s.to_string(), bytes));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-phase statistics for a MapReduce job.
+
+use std::time::Duration;
+
+/// Counters and timings collected while running one job — the raw material
+/// for the paper's Tables 4.2 (data quantities per stage) and 4.3 (stage
+/// run times).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Input records consumed by mappers.
+    pub map_input_records: u64,
+    /// Key/value pairs emitted by mappers (before combining).
+    pub map_output_records: u64,
+    /// Key/value pairs surviving the combiner (equals `map_output_records`
+    /// when no combiner is installed).
+    pub combine_output_records: u64,
+    /// Approximate bytes moved through the shuffle.
+    pub shuffle_bytes: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+    /// Wall time of the map (+combine) phase.
+    pub map_time: Duration,
+    /// Wall time of the shuffle (partition merge + sort + group) phase.
+    pub shuffle_time: Duration,
+    /// Wall time of the reduce phase.
+    pub reduce_time: Duration,
+    /// Bytes written to disk in spill mode (0 for in-memory shuffles).
+    pub spilled_bytes: u64,
+}
+
+impl JobStats {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.shuffle_time + self.reduce_time
+    }
+
+    /// Fold another job's counters into this one (for multi-job pipelines).
+    pub fn merge(&mut self, other: &JobStats) {
+        self.map_input_records += other.map_input_records;
+        self.map_output_records += other.map_output_records;
+        self.combine_output_records += other.combine_output_records;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.reduce_input_groups += other.reduce_input_groups;
+        self.reduce_output_records += other.reduce_output_records;
+        self.map_time += other.map_time;
+        self.shuffle_time += other.shuffle_time;
+        self.reduce_time += other.reduce_time;
+        self.spilled_bytes += other.spilled_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = JobStats { map_input_records: 3, ..Default::default() };
+        let b = JobStats {
+            map_input_records: 4,
+            reduce_output_records: 2,
+            map_time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.map_input_records, 7);
+        assert_eq!(a.reduce_output_records, 2);
+        assert_eq!(a.map_time, Duration::from_millis(5));
+        assert_eq!(a.total_time(), Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,220 @@
+//! HDFS-lite: a miniature block store.
+//!
+//! §1.3.1 describes the parts of HDFS that matter to the dataflow: "Every
+//! file in HDFS is divided into physical blocks, distributed among
+//! different nodes, termed DataNode. The metadata recording the block
+//! locations for each file is stored in a NameNode … To tolerate node
+//! failure, file blocks are duplicated in the system." This module models
+//! exactly that structure on one machine: fixed-size blocks, round-robin
+//! placement over simulated data nodes, a replication factor, and a
+//! name-node table mapping file → block locations. It backs the spill path
+//! in tests and lets the CLOSET driver report HDFS-style storage counters.
+
+use std::collections::BTreeMap;
+
+/// Block store configuration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Block size in bytes (Hadoop default 64 MB; tests use tiny blocks).
+    pub block_size: usize,
+    /// Copies kept of every block.
+    pub replication: usize,
+    /// Simulated data nodes.
+    pub data_nodes: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> DfsConfig {
+        DfsConfig { block_size: 64 << 20, replication: 2, data_nodes: 32 }
+    }
+}
+
+/// Metadata for one stored block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Index of the block within its file.
+    pub index: usize,
+    /// Data nodes holding a replica.
+    pub replicas: Vec<usize>,
+    /// Payload length (≤ block size).
+    pub len: usize,
+}
+
+/// An in-memory block store with HDFS-like placement.
+pub struct BlockStore {
+    cfg: DfsConfig,
+    /// "NameNode": file name → block metadata.
+    namenode: BTreeMap<String, Vec<BlockMeta>>,
+    /// "DataNodes": per-node block payloads keyed by (file, index).
+    datanodes: Vec<BTreeMap<(String, usize), Vec<u8>>>,
+    next_node: usize,
+}
+
+impl BlockStore {
+    /// Create an empty store.
+    ///
+    /// # Panics
+    /// Panics when replication exceeds the node count or any dimension is 0.
+    pub fn new(cfg: DfsConfig) -> BlockStore {
+        assert!(cfg.block_size > 0 && cfg.data_nodes > 0 && cfg.replication > 0);
+        assert!(cfg.replication <= cfg.data_nodes, "replication exceeds node count");
+        let datanodes = (0..cfg.data_nodes).map(|_| BTreeMap::new()).collect();
+        BlockStore { cfg, namenode: BTreeMap::new(), datanodes, next_node: 0 }
+    }
+
+    /// Store `data` under `name`, splitting into blocks and replicating.
+    /// Overwrites any existing file of the same name.
+    pub fn write(&mut self, name: &str, data: &[u8]) {
+        self.delete(name);
+        let mut metas = Vec::new();
+        for (index, chunk) in data.chunks(self.cfg.block_size.max(1)).enumerate() {
+            let mut replicas = Vec::with_capacity(self.cfg.replication);
+            for r in 0..self.cfg.replication {
+                let node = (self.next_node + r) % self.cfg.data_nodes;
+                self.datanodes[node].insert((name.to_string(), index), chunk.to_vec());
+                replicas.push(node);
+            }
+            self.next_node = (self.next_node + 1) % self.cfg.data_nodes;
+            metas.push(BlockMeta { index, replicas, len: chunk.len() });
+        }
+        // Zero-length files still need a metadata entry.
+        self.namenode.insert(name.to_string(), metas);
+    }
+
+    /// Read a file back, concatenating its blocks (first replica wins).
+    /// `None` when the file is unknown or a block is unrecoverable.
+    pub fn read(&self, name: &str) -> Option<Vec<u8>> {
+        let metas = self.namenode.get(name)?;
+        let mut out = Vec::new();
+        for meta in metas {
+            let mut found = false;
+            for &node in &meta.replicas {
+                if let Some(chunk) = self.datanodes[node].get(&(name.to_string(), meta.index)) {
+                    out.extend_from_slice(chunk);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Remove a file and its blocks.
+    pub fn delete(&mut self, name: &str) {
+        if let Some(metas) = self.namenode.remove(name) {
+            for meta in metas {
+                for &node in &meta.replicas {
+                    self.datanodes[node].remove(&(name.to_string(), meta.index));
+                }
+            }
+        }
+    }
+
+    /// Simulate a data-node failure: all its blocks vanish. Files remain
+    /// readable while every block retains at least one live replica.
+    pub fn fail_node(&mut self, node: usize) {
+        if let Some(n) = self.datanodes.get_mut(node) {
+            n.clear();
+        }
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.namenode.len()
+    }
+
+    /// Total bytes held across all data nodes (including replication).
+    pub fn stored_bytes(&self) -> u64 {
+        self.datanodes
+            .iter()
+            .map(|n| n.values().map(|v| v.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Block metadata for a file.
+    pub fn blocks_of(&self, name: &str) -> Option<&[BlockMeta]> {
+        self.namenode.get(name).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_store(replication: usize) -> BlockStore {
+        BlockStore::new(DfsConfig { block_size: 8, replication, data_nodes: 4 })
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = tiny_store(2);
+        let data: Vec<u8> = (0..37).collect();
+        s.write("f", &data);
+        assert_eq!(s.read("f"), Some(data));
+        assert_eq!(s.blocks_of("f").unwrap().len(), 5); // ceil(37/8)
+    }
+
+    #[test]
+    fn replication_doubles_storage() {
+        let mut s = tiny_store(2);
+        s.write("f", &[0u8; 32]);
+        assert_eq!(s.stored_bytes(), 64);
+    }
+
+    #[test]
+    fn survives_single_node_failure() {
+        let mut s = tiny_store(2);
+        let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        s.write("f", &data);
+        s.fail_node(0);
+        assert_eq!(s.read("f"), Some(data));
+    }
+
+    #[test]
+    fn unreplicated_store_loses_data_on_failure() {
+        let mut s = tiny_store(1);
+        s.write("f", &[1u8; 32]);
+        // Some block lives on node 0 with replication 1; failing enough
+        // nodes must eventually lose the file.
+        for node in 0..4 {
+            s.fail_node(node);
+        }
+        assert_eq!(s.read("f"), None);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut s = tiny_store(2);
+        s.write("f", &[0u8; 32]);
+        s.delete("f");
+        assert_eq!(s.stored_bytes(), 0);
+        assert_eq!(s.read("f"), None);
+        assert_eq!(s.file_count(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut s = tiny_store(2);
+        s.write("f", b"first content here");
+        s.write("f", b"second");
+        assert_eq!(s.read("f"), Some(b"second".to_vec()));
+        assert_eq!(s.file_count(), 1);
+    }
+
+    #[test]
+    fn empty_file_supported() {
+        let mut s = tiny_store(2);
+        s.write("empty", b"");
+        assert_eq!(s.read("empty"), Some(Vec::new()));
+        assert_eq!(s.file_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication exceeds node count")]
+    fn over_replication_rejected() {
+        BlockStore::new(DfsConfig { block_size: 8, replication: 9, data_nodes: 4 });
+    }
+}

@@ -1,0 +1,445 @@
+//! The MapReduce execution engine.
+//!
+//! One job runs as: input split into per-worker chunks → each worker maps
+//! its records, emitting `(K, V)` pairs into `reduce_partitions` buffers
+//! selected by key hash → optional per-worker combiner → shuffle: the
+//! per-worker buffers of each partition are concatenated, sorted by key and
+//! grouped → reduce workers process partitions, each group invoking the
+//! reducer once — the same dataflow as Hadoop's mapper/combiner/partitioner/
+//! reducer contract (§1.3.1), minus distribution and fault tolerance.
+
+use crate::codec::{decode_all, encode_all, Codec};
+use crate::counters::JobStats;
+use ngs_core_hash::hash_one;
+use parking_lot::Mutex;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// Minimal internal hashing (FxHash-style) so the crate does not depend on
+/// `ngs-core`; the partitioner only needs speed and rough uniformity.
+mod ngs_core_hash {
+    use std::hash::Hasher;
+
+    #[derive(Default)]
+    pub struct Fx(u64);
+
+    impl Hasher for Fx {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0.rotate_left(5) ^ b as u64)
+                    .wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+            }
+        }
+
+        fn write_u64(&mut self, v: u64) {
+            self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+    }
+
+    pub fn hash_one<T: std::hash::Hash>(v: &T) -> u64 {
+        let mut h = Fx::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Configuration shared by all jobs in a pipeline.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Worker threads for the map and reduce phases (the "cluster size").
+    pub workers: usize,
+    /// Number of reduce partitions (Hadoop's number of reducers).
+    pub reduce_partitions: usize,
+    /// When set, shuffle partitions round-trip through files in this
+    /// directory (length-prefixed frames), exercising the disk path.
+    pub spill_dir: Option<std::path::PathBuf>,
+}
+
+impl JobConfig {
+    /// In-memory config with `workers` threads and `4·workers` partitions.
+    pub fn with_workers(workers: usize) -> JobConfig {
+        JobConfig { workers: workers.max(1), reduce_partitions: workers.max(1) * 4, spill_dir: None }
+    }
+}
+
+impl Default for JobConfig {
+    fn default() -> JobConfig {
+        JobConfig::with_workers(std::thread::available_parallelism().map_or(4, |n| n.get()))
+    }
+}
+
+/// Run a full map/combine/shuffle/reduce job.
+///
+/// * `mapper(record, emit)` — called once per input record; `emit(k, v)`
+///   routes the pair to its partition.
+/// * `combiner` — optional local aggregation: called per worker per key run
+///   with the values collected so far, replacing them.
+/// * `reducer(key, values, emit)` — called once per distinct key.
+///
+/// Output order is deterministic: partitions in index order, keys sorted
+/// within each partition.
+#[allow(clippy::type_complexity)]
+pub fn map_reduce<I, K, V, O, M, R>(
+    cfg: &JobConfig,
+    input: &[I],
+    mapper: M,
+    combiner: Option<&(dyn Fn(&K, &mut Vec<V>) + Sync)>,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Sync,
+    K: Ord + Hash + Clone + Send + Sync + Codec,
+    V: Send + Sync + Codec,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    let mut stats = JobStats { map_input_records: input.len() as u64, ..Default::default() };
+    let workers = cfg.workers.max(1);
+    let parts = cfg.reduce_partitions.max(1);
+
+    // ---- Map phase -------------------------------------------------------
+    let t0 = Instant::now();
+    let chunk_size = input.len().div_ceil(workers).max(1);
+    #[allow(clippy::type_complexity)] // worker -> partition -> pairs
+    let map_outputs: Mutex<Vec<Vec<Vec<(K, V)>>>> = Mutex::new(Vec::new());
+    let emitted = Mutex::new(0u64);
+    let combined = Mutex::new(0u64);
+    crossbeam::thread::scope(|scope| {
+        for chunk in input.chunks(chunk_size) {
+            let map_outputs = &map_outputs;
+            let emitted = &emitted;
+            let combined = &combined;
+            let mapper = &mapper;
+            scope.spawn(move |_| {
+                let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+                let mut count = 0u64;
+                for record in chunk {
+                    mapper(record, &mut |k: K, v: V| {
+                        let p = (hash_one(&k) % parts as u64) as usize;
+                        partitions[p].push((k, v));
+                        count += 1;
+                    });
+                }
+                *emitted.lock() += count;
+                // Local combine: sort each partition, fold runs of equal
+                // keys through the combiner.
+                if let Some(comb) = combiner {
+                    let mut after = 0u64;
+                    for part in &mut partitions {
+                        part.sort_by(|a, b| a.0.cmp(&b.0));
+                        let mut result: Vec<(K, V)> = Vec::with_capacity(part.len());
+                        let drained = std::mem::take(part);
+                        let mut run_key: Option<K> = None;
+                        let mut run_vals: Vec<V> = Vec::new();
+                        for (k, v) in drained {
+                            match &run_key {
+                                Some(rk) if *rk == k => run_vals.push(v),
+                                _ => {
+                                    if let Some(rk) = run_key.take() {
+                                        comb(&rk, &mut run_vals);
+                                        for v in run_vals.drain(..) {
+                                            result.push((rk.clone(), v));
+                                        }
+                                    }
+                                    run_key = Some(k);
+                                    run_vals.push(v);
+                                }
+                            }
+                        }
+                        if let Some(rk) = run_key.take() {
+                            comb(&rk, &mut run_vals);
+                            for v in run_vals.drain(..) {
+                                result.push((rk.clone(), v));
+                            }
+                        }
+                        after += result.len() as u64;
+                        *part = result;
+                    }
+                    *combined.lock() += after;
+                }
+                map_outputs.lock().push(partitions);
+            });
+        }
+    })
+    .expect("map worker panicked");
+    stats.map_output_records = *emitted.lock();
+    stats.combine_output_records =
+        if combiner.is_some() { *combined.lock() } else { stats.map_output_records };
+    stats.map_time = t0.elapsed();
+
+    // ---- Shuffle ---------------------------------------------------------
+    let t1 = Instant::now();
+    let worker_outputs = map_outputs.into_inner();
+    // Optionally spill each (worker, partition) buffer to disk and read it
+    // back — the honest-I/O mode.
+    let worker_outputs: Vec<Vec<Vec<(K, V)>>> = if let Some(dir) = &cfg.spill_dir {
+        std::fs::create_dir_all(dir).expect("create spill dir");
+        let mut restored = Vec::with_capacity(worker_outputs.len());
+        for (wi, parts_of_worker) in worker_outputs.into_iter().enumerate() {
+            let mut back = Vec::with_capacity(parts_of_worker.len());
+            for (pi, part) in parts_of_worker.into_iter().enumerate() {
+                let path = dir.join(format!("spill_w{wi}_p{pi}.bin"));
+                let bytes = encode_all(&part);
+                stats.spilled_bytes += bytes.len() as u64;
+                std::fs::write(&path, &bytes).expect("write spill");
+                let data = std::fs::read(&path).expect("read spill");
+                let _ = std::fs::remove_file(&path);
+                back.push(decode_all::<(K, V)>(&data).expect("decode spill"));
+            }
+            restored.push(back);
+        }
+        restored
+    } else {
+        worker_outputs
+    };
+
+    let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+    for worker_parts in worker_outputs {
+        for (pi, mut part) in worker_parts.into_iter().enumerate() {
+            stats.shuffle_bytes += (part.len() * std::mem::size_of::<(K, V)>()) as u64;
+            partitions[pi].append(&mut part);
+        }
+    }
+    // Sort each partition by key (parallel over partitions).
+    crossbeam::thread::scope(|scope| {
+        for part in &mut partitions {
+            scope.spawn(move |_| part.sort_by(|a, b| a.0.cmp(&b.0)));
+        }
+    })
+    .expect("shuffle worker panicked");
+    stats.shuffle_time = t1.elapsed();
+
+    // ---- Reduce ----------------------------------------------------------
+    let t2 = Instant::now();
+    let groups = Mutex::new(0u64);
+    let outputs: Mutex<Vec<(usize, Vec<O>)>> = Mutex::new(Vec::new());
+    let reducer = &reducer;
+    crossbeam::thread::scope(|scope| {
+        // Static assignment of partitions to `workers` reduce workers.
+        let partitions = &partitions;
+        let groups = &groups;
+        let outputs = &outputs;
+        for w in 0..workers {
+            scope.spawn(move |_| {
+                let mut local_groups = 0u64;
+                for pi in (w..parts).step_by(workers) {
+                    let part = &partitions[pi];
+                    let mut out = Vec::new();
+                    let mut i = 0;
+                    while i < part.len() {
+                        let mut j = i + 1;
+                        while j < part.len() && part[j].0 == part[i].0 {
+                            j += 1;
+                        }
+                        // Clone the group's values out of the partition.
+                        let values: Vec<V> = part[i..j]
+                            .iter()
+                            .map(|(_, v)| {
+                                // Round-trip through the codec to avoid a
+                                // `V: Clone` bound: values are plain data.
+                                let mut buf = Vec::new();
+                                v.encode(&mut buf);
+                                let mut s = buf.as_slice();
+                                V::decode(&mut s).expect("codec round trip")
+                            })
+                            .collect();
+                        local_groups += 1;
+                        reducer(&part[i].0, values, &mut |o: O| out.push(o));
+                        i = j;
+                    }
+                    outputs.lock().push((pi, out));
+                }
+                *groups.lock() += local_groups;
+            });
+        }
+    })
+    .expect("reduce worker panicked");
+    let mut collected = outputs.into_inner();
+    collected.sort_by_key(|(pi, _)| *pi);
+    let mut result = Vec::new();
+    for (_, mut out) in collected {
+        result.append(&mut out);
+    }
+    stats.reduce_input_groups = *groups.lock();
+    stats.reduce_output_records = result.len() as u64;
+    stats.reduce_time = t2.elapsed();
+    (result, stats)
+}
+
+/// Convenience wrapper without a combiner.
+pub fn map_reduce_simple<I, K, V, O, M, R>(
+    cfg: &JobConfig,
+    input: &[I],
+    mapper: M,
+    reducer: R,
+) -> (Vec<O>, JobStats)
+where
+    I: Sync,
+    K: Ord + Hash + Clone + Send + Sync + Codec,
+    V: Send + Sync + Codec,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    map_reduce(cfg, input, mapper, None, reducer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn word_count(cfg: &JobConfig, docs: &[&str]) -> Vec<(String, u64)> {
+        let (mut out, _) = map_reduce_simple(
+            cfg,
+            docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.iter().sum())),
+        );
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn word_count_correct() {
+        let docs = ["a b a", "b c", "a"];
+        let cfg = JobConfig::with_workers(3);
+        let got = word_count(&cfg, &docs);
+        assert_eq!(
+            got,
+            vec![("a".into(), 3u64), ("b".into(), 2), ("c".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn output_independent_of_worker_count() {
+        let docs = ["x y z x", "y y", "z w x q", "m n o p q r s"];
+        let baseline = word_count(&JobConfig::with_workers(1), &docs);
+        for workers in [2, 3, 8] {
+            assert_eq!(word_count(&JobConfig::with_workers(workers), &docs), baseline);
+        }
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_shrinks_shuffle() {
+        let docs: Vec<String> =
+            (0..200).map(|i| format!("k{} k{} k{}", i % 3, i % 3, i % 5)).collect();
+        let input: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let cfg = JobConfig::with_workers(4);
+        let mapper = |doc: &&str, emit: &mut dyn FnMut(String, u64)| {
+            for w in doc.split_whitespace() {
+                emit(w.to_string(), 1u64);
+            }
+        };
+        let reducer = |k: &String, vs: Vec<u64>, emit: &mut dyn FnMut((String, u64))| {
+            emit((k.clone(), vs.iter().sum()))
+        };
+        let (mut plain, s_plain) = map_reduce(&cfg, &input, mapper, None, reducer);
+        let combiner = |_k: &String, vs: &mut Vec<u64>| {
+            let total: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(total);
+        };
+        let (mut combined, s_comb) = map_reduce(&cfg, &input, mapper, Some(&combiner), reducer);
+        plain.sort();
+        combined.sort();
+        assert_eq!(plain, combined);
+        assert!(s_comb.combine_output_records < s_plain.map_output_records);
+    }
+
+    #[test]
+    fn spill_mode_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mrlite_spill_{}", std::process::id()));
+        let mut cfg = JobConfig::with_workers(2);
+        cfg.spill_dir = Some(dir.clone());
+        let docs = ["a b", "b c c"];
+        let got = word_count(&cfg, &docs);
+        assert_eq!(got, vec![("a".into(), 1u64), ("b".into(), 2), ("c".into(), 2)]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn spill_mode_counts_bytes() {
+        let dir = std::env::temp_dir().join(format!("mrlite_spill2_{}", std::process::id()));
+        let mut cfg = JobConfig::with_workers(2);
+        cfg.spill_dir = Some(dir.clone());
+        let docs = ["hello world hello"];
+        let (_, stats) = map_reduce_simple(
+            &cfg,
+            &docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
+        );
+        assert!(stats.spilled_bytes > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let docs = ["a a a", "b"];
+        let cfg = JobConfig::with_workers(2);
+        let (_, stats) = map_reduce_simple(
+            &cfg,
+            &docs,
+            |doc: &&str, emit| {
+                for w in doc.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
+        );
+        assert_eq!(stats.map_input_records, 2);
+        assert_eq!(stats.map_output_records, 4);
+        assert_eq!(stats.reduce_input_groups, 2);
+        assert_eq!(stats.reduce_output_records, 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<&str> = Vec::new();
+        let (out, stats) = map_reduce_simple(
+            &JobConfig::with_workers(4),
+            &empty,
+            |_doc: &&str, _emit: &mut dyn FnMut(String, u64)| {},
+            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
+        );
+        assert!(out.is_empty());
+        assert_eq!(stats.map_input_records, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn equals_sequential_group_by(pairs in proptest::collection::vec((0u64..50, any::<u32>()), 0..300),
+                                      workers in 1usize..6) {
+            // Reference: BTreeMap group-by-key, summed.
+            let mut expect: BTreeMap<u64, u64> = BTreeMap::new();
+            for &(k, v) in &pairs {
+                *expect.entry(k).or_insert(0) += v as u64;
+            }
+            let cfg = JobConfig::with_workers(workers);
+            let (mut got, _) = map_reduce_simple(
+                &cfg,
+                &pairs,
+                |&(k, v): &(u64, u32), emit| emit(k, v),
+                |k: &u64, vs: Vec<u32>, emit| emit((*k, vs.iter().map(|&v| v as u64).sum::<u64>())),
+            );
+            got.sort();
+            let expect: Vec<(u64, u64)> = expect.into_iter().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

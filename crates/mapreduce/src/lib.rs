@@ -1,0 +1,31 @@
+//! `mapreduce-lite` — a single-machine MapReduce runtime (Hadoop substitute).
+//!
+//! CLOSET (Chapter 4) is "designed as a series of data transformations,
+//! where each transformation is a single map-reduce task" (§4.4), deployed
+//! on a 32-node Hadoop cluster. This crate supplies the substrate those
+//! tasks run on, scaled to one machine:
+//!
+//! * [`job`] — the execution engine: input splits → parallel map workers →
+//!   hash-partitioned buffers (optional combiner) → shuffle (sort + group
+//!   by key) → parallel reduce workers. Worker count and reduce-partition
+//!   count are configurable, so the stage-time scaling of Table 4.3 can be
+//!   reproduced;
+//! * [`counters`] — per-phase record/byte counters and wall times, the
+//!   数 the paper reports in Tables 4.2–4.3;
+//! * [`codec`] — a small length-prefixed binary codec so shuffle partitions
+//!   can round-trip through disk (spill mode), keeping the I/O path honest;
+//! * [`dfs`] — a miniature block store (block size, replication, block
+//!   placement over simulated data nodes): the HDFS-lite layer.
+//!
+//! Fault tolerance — Hadoop's re-execution of failed tasks — is out of
+//! scope on a single machine and documented as such in `DESIGN.md`.
+
+pub mod codec;
+pub mod counters;
+pub mod dfs;
+pub mod job;
+
+pub use codec::Codec;
+pub use counters::JobStats;
+pub use dfs::{BlockStore, DfsConfig};
+pub use job::{map_reduce, map_reduce_simple, JobConfig};

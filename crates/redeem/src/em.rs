@@ -1,0 +1,339 @@
+//! The REDEEM EM algorithm (§3.2).
+//!
+//! Observed k-mer counts follow a multinomial whose category probabilities
+//! mix the true sampling rates of all k-mers in the (incomplete, observed-
+//! only) neighbourhood: `p_l = Σ_{x_m ∈ N^{dmax}_l} s_m · pe(x_m, x_l)`.
+//! The EM update equations, initialised with `T_l = Y_l`:
+//!
+//! ```text
+//! E:  E[Y_lm | Y, T] = Y_m · T_l · pe(x_l, x_m) / Σ_{l'} T_{l'} · pe(x_{l'}, x_m)
+//! M:  T_l = Σ_m E[Y_lm | Y, T]
+//! ```
+//!
+//! `P_e` is sparse (capped at `d_max`) and row-normalised over the observed
+//! neighbourhood, exactly as §3.2 prescribes.
+
+use crate::error_model::KmerErrorModel;
+use ngs_core::Read;
+use ngs_kmer::neighbor::{NeighborIndex, NeighborStrategy};
+use ngs_kmer::KSpectrum;
+use rayon::prelude::*;
+
+/// EM configuration.
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Maximum Hamming distance for the k-mer neighbourhood (paper: 1).
+    pub dmax: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> EmConfig {
+        EmConfig { dmax: 1, max_iters: 60, tol: 1e-7 }
+    }
+}
+
+/// Result of an EM run.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// Estimated expected read attempts `T_l`, parallel to the spectrum.
+    pub t: Vec<f64>,
+    /// Log-likelihood (up to an additive constant) after each iteration.
+    pub loglik_trace: Vec<f64>,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+/// The REDEEM model: spectrum, misread graph and edge weights.
+pub struct Redeem {
+    spectrum: KSpectrum,
+    /// CSR offsets into `nbr` / weight arrays; node `l`'s edges are
+    /// `edges[offsets[l]..offsets[l+1]]`. The self-loop is always first.
+    offsets: Vec<u32>,
+    /// Neighbour node ids (self first).
+    nbr: Vec<u32>,
+    /// Row-normalised `pe(l → nbr)` — probability node `l` is misread as the
+    /// neighbour ("outgoing").
+    w_out: Vec<f64>,
+    /// Row-normalised `pe(nbr → l)` — probability the neighbour is misread
+    /// as node `l` ("incoming").
+    w_in: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Redeem {
+    /// Build the model from reads: spectrum, Hamming neighbourhoods (via the
+    /// masked-replica index) and normalised misread weights.
+    pub fn new(reads: &[Read], k: usize, model: &KmerErrorModel, dmax: usize) -> Redeem {
+        assert_eq!(model.k(), k, "error model k must match spectrum k");
+        let spectrum = KSpectrum::from_reads(reads, k);
+        Self::from_spectrum(spectrum, model, dmax)
+    }
+
+    /// Build from a precomputed spectrum.
+    pub fn from_spectrum(spectrum: KSpectrum, model: &KmerErrorModel, dmax: usize) -> Redeem {
+        let n = spectrum.len();
+        let chunks = if dmax == 1 { spectrum.k() } else { (dmax + 4).min(spectrum.k()) };
+        let index = NeighborIndex::build(&spectrum, dmax, NeighborStrategy::MaskedReplicas {
+            chunks,
+        });
+        let adjacency = index.full_adjacency(dmax);
+
+        // Raw (un-normalised) weights, then row sums, then two normalised
+        // directed weight arrays.
+        let kmers = spectrum.kmers();
+        let diags: Vec<f64> = kmers.par_iter().map(|&v| model.diag(v)).collect();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for a in &adjacency {
+            total += 1 + a.len() as u32; // self + neighbours
+            offsets.push(total);
+        }
+        let mut nbr = Vec::with_capacity(total as usize);
+        for (l, a) in adjacency.iter().enumerate() {
+            nbr.push(l as u32); // self-loop first
+            nbr.extend_from_slice(a);
+        }
+
+        // Row sums for normalisation: rowsum_l = Σ_{m ∈ row l} pe(l → m).
+        let rowsums: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|l| {
+                let (s, e) = (offsets[l] as usize, offsets[l + 1] as usize);
+                nbr[s..e]
+                    .iter()
+                    .map(|&m| model.pe_with_diag(kmers[l], kmers[m as usize], diags[l]))
+                    .sum()
+            })
+            .collect();
+
+        let mut w_out = vec![0.0f64; total as usize];
+        let mut w_in = vec![0.0f64; total as usize];
+        let rows: Vec<(usize, usize)> =
+            (0..n).map(|l| (offsets[l] as usize, offsets[l + 1] as usize)).collect();
+        let results: Vec<(usize, Vec<f64>, Vec<f64>)> = rows
+            .par_iter()
+            .enumerate()
+            .map(|(l, &(s, e))| {
+                let mut out_row = Vec::with_capacity(e - s);
+                let mut in_row = Vec::with_capacity(e - s);
+                for &m in &nbr[s..e] {
+                    let m = m as usize;
+                    out_row.push(
+                        model.pe_with_diag(kmers[l], kmers[m], diags[l]) / rowsums[l],
+                    );
+                    in_row.push(model.pe_with_diag(kmers[m], kmers[l], diags[m]) / rowsums[m]);
+                }
+                (s, out_row, in_row)
+            })
+            .collect();
+        for (s, out_row, in_row) in results {
+            w_out[s..s + out_row.len()].copy_from_slice(&out_row);
+            w_in[s..s + in_row.len()].copy_from_slice(&in_row);
+        }
+
+        let y: Vec<f64> = spectrum.counts().iter().map(|&c| c as f64).collect();
+        Redeem { spectrum, offsets, nbr, w_out, w_in, y }
+    }
+
+    /// The spectrum the model was built over.
+    pub fn spectrum(&self) -> &KSpectrum {
+        &self.spectrum
+    }
+
+    /// Observed counts `Y` as floats (parallel to the spectrum).
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// CSR offset of node `l`'s edge row (valid for `l ∈ 0..=len`).
+    pub fn offset_of(&self, l: usize) -> usize {
+        self.offsets[l] as usize
+    }
+
+    /// The raw CSR neighbour array (self-loop first within each row).
+    pub fn neighbors_raw(&self) -> &[u32] {
+        &self.nbr
+    }
+
+    /// Average neighbourhood size (including self) — a diagnostic.
+    pub fn average_degree(&self) -> f64 {
+        if self.spectrum.is_empty() {
+            return 0.0;
+        }
+        self.nbr.len() as f64 / self.spectrum.len() as f64
+    }
+
+    /// Run the EM, returning `T` estimates.
+    pub fn run(&self, cfg: &EmConfig) -> EmResult {
+        let n = self.spectrum.len();
+        let mut t: Vec<f64> = self.y.clone();
+        let mut trace = Vec::new();
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        for _ in 0..cfg.max_iters {
+            iterations += 1;
+            // Denominators: denom_m = Σ_{l ∈ row m} T_l · pe(l → m), which
+            // in CSR terms is a gather over row m with incoming weights.
+            let denom: Vec<f64> = (0..n)
+                .into_par_iter()
+                .map(|m| {
+                    let (s, e) = (self.offsets[m] as usize, self.offsets[m + 1] as usize);
+                    self.nbr[s..e]
+                        .iter()
+                        .zip(&self.w_in[s..e])
+                        .map(|(&l, &w)| t[l as usize] * w)
+                        .sum::<f64>()
+                        .max(1e-300)
+                })
+                .collect();
+
+            // Log-likelihood (up to constant): Σ_m Y_m ln denom_m.
+            let ll: f64 = (0..n).into_par_iter().map(|m| self.y[m] * denom[m].ln()).sum();
+            trace.push(ll);
+
+            // M-step: T_l = Σ_{m ∈ row l} Y_m · T_l · pe(l→m) / denom_m.
+            let t_new: Vec<f64> = (0..n)
+                .into_par_iter()
+                .map(|l| {
+                    let (s, e) = (self.offsets[l] as usize, self.offsets[l + 1] as usize);
+                    let tl = t[l];
+                    self.nbr[s..e]
+                        .iter()
+                        .zip(&self.w_out[s..e])
+                        .map(|(&m, &w)| {
+                            let m = m as usize;
+                            self.y[m] * tl * w / denom[m]
+                        })
+                        .sum()
+                })
+                .collect();
+            t = t_new;
+
+            if prev_ll.is_finite() {
+                let rel = (ll - prev_ll).abs() / (prev_ll.abs().max(1.0));
+                if rel < cfg.tol {
+                    break;
+                }
+            }
+            prev_ll = ll;
+        }
+        EmResult { t, loglik_trace: trace, iterations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig, RepeatClass};
+
+    fn build(genome_len: usize, repeats: Vec<RepeatClass>, pe: f64, seed: u64) -> (Vec<u8>, Redeem, KmerErrorModel, ngs_simulate::SimulatedReads) {
+        let g = GenomeSpec::with_repeats(genome_len, repeats).generate(31).seq;
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: genome_len * 50 / 36,
+            error_model: ErrorModel::uniform(36, pe),
+            both_strands: false,
+            with_quals: false,
+            n_rate: 0.0,
+            seed,
+        };
+        let sim = simulate_reads(&g, &cfg);
+        let k = 9;
+        let km = KmerErrorModel::uniform(k, pe);
+        let redeem = Redeem::new(&sim.reads, k, &km, 1);
+        (g, redeem, km, sim)
+    }
+
+    #[test]
+    fn loglik_nondecreasing() {
+        let (_, redeem, _, _) = build(4_000, vec![], 0.01, 1);
+        let res = redeem.run(&EmConfig { dmax: 1, max_iters: 20, tol: 0.0 });
+        for w in res.loglik_trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "loglik decreased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn total_mass_preserved() {
+        // Σ T_l stays equal to Σ Y_l: the M-step redistributes counts.
+        let (_, redeem, _, _) = build(4_000, vec![], 0.02, 2);
+        let res = redeem.run(&EmConfig::default());
+        let sum_y: f64 = redeem.y().iter().sum();
+        let sum_t: f64 = res.t.iter().sum();
+        assert!((sum_y - sum_t).abs() / sum_y < 1e-9, "Y={sum_y} T={sum_t}");
+    }
+
+    #[test]
+    fn error_kmers_get_depressed_t() {
+        let (g, redeem, _, _) = build(4_000, vec![], 0.01, 3);
+        let res = redeem.run(&EmConfig::default());
+        // Split kmers by genomic truth; average T of error kmers must be far
+        // below average T of genomic kmers, and more separated than Y.
+        let genomic = genomic_flags(&g, redeem.spectrum());
+        let (mut tg, mut te, mut yg, mut ye) = (0.0, 0.0, 0.0, 0.0);
+        let (mut ng, mut ne) = (0usize, 0usize);
+        for (i, &is_g) in genomic.iter().enumerate() {
+            if is_g {
+                tg += res.t[i];
+                yg += redeem.y()[i];
+                ng += 1;
+            } else {
+                te += res.t[i];
+                ye += redeem.y()[i];
+                ne += 1;
+            }
+        }
+        assert!(ne > 0 && ng > 0);
+        let (tg, te, yg, ye) =
+            (tg / ng as f64, te / ne as f64, yg / ng as f64, ye / ne as f64);
+        // At maximum likelihood a singleton error k-mer keeps T close to
+        // its count (the neighbourhood cannot explain a whole observation),
+        // but T must still drop below Y and widen the genomic/error ratio.
+        assert!(te < ye, "error-kmer T {te} should drop below Y {ye}");
+        assert!(tg / te > yg / ye, "T separation should beat Y separation");
+    }
+
+    #[test]
+    fn repeat_kmer_t_tracks_multiplicity() {
+        // A 10-copy repeat: its kmers' T should be ~10x the unique baseline.
+        let (g, redeem, _, _) =
+            build(6_000, vec![RepeatClass { length: 300, multiplicity: 10 }], 0.005, 4);
+        let res = redeem.run(&EmConfig::default());
+        let genomic = genomic_flags(&g, redeem.spectrum());
+        // Baseline: median T of genomic kmers.
+        let mut tg: Vec<f64> = genomic
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| res.t[i])
+            .collect();
+        tg.sort_unstable_by(f64::total_cmp);
+        let median = tg[tg.len() / 2];
+        let max = *tg.last().unwrap();
+        assert!(max > 5.0 * median, "repeat kmers should stand out: max={max} median={median}");
+    }
+
+    /// Truth flags: does each spectrum k-mer occur in the genome (fwd or rc)?
+    fn genomic_flags(genome: &[u8], spectrum: &KSpectrum) -> Vec<bool> {
+        use ngs_core::hash::FxHashSet;
+        let k = spectrum.k();
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        ngs_kmer::for_each_kmer(genome, k, |_, v| {
+            set.insert(v);
+            set.insert(ngs_kmer::packed::reverse_complement_packed(v, k));
+        });
+        spectrum.kmers().iter().map(|v| set.contains(v)).collect()
+    }
+
+    #[test]
+    fn average_degree_reported() {
+        let (_, redeem, _, _) = build(2_000, vec![], 0.01, 5);
+        assert!(redeem.average_degree() >= 1.0);
+    }
+}

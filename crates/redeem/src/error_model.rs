@@ -1,0 +1,281 @@
+//! Position-specific misread probabilities in k-mer coordinates (§3.2).
+//!
+//! `q_i(α,β)` is the probability that nucleotide `α` at position `i` of a
+//! k-mer is (mis)read as `β`, with rows summing to 1. The misread
+//! probability between whole k-mers is the product over positions:
+//! `pe(x_m, x_l) = Π_i q_i(x_mi, x_li)`.
+//!
+//! §3.4.2 tests four variants: **tIED** (the true Illumina error
+//! distribution, estimated from the same data that drove the simulation),
+//! **wIED** (an Illumina distribution estimated from a *different*
+//! dataset), **tUED** (uniform with the true average rate) and **wUED**
+//! (uniform with an overestimated rate).
+
+#![allow(clippy::needless_range_loop)] // 4x4 matrix math reads best with indices
+
+use ngs_kmer::packed::{packed_base, Kmer};
+
+/// k 4×4 stochastic matrices: `q[i][alpha][beta]`.
+#[derive(Debug, Clone)]
+pub struct KmerErrorModel {
+    q: Vec<[[f64; 4]; 4]>,
+}
+
+impl KmerErrorModel {
+    /// Uniform error model (Eq. 3.1): every position errs with probability
+    /// `pe`, uniformly over the three alternatives.
+    pub fn uniform(k: usize, pe: f64) -> KmerErrorModel {
+        assert!((0.0..1.0).contains(&pe));
+        let mut m = [[0.0f64; 4]; 4];
+        for (a, row) in m.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = if a == b { 1.0 - pe } else { pe / 3.0 };
+            }
+        }
+        KmerErrorModel { q: vec![m; k] }
+    }
+
+    /// Build from raw per-position matrices.
+    ///
+    /// # Panics
+    /// Panics if any row does not sum to ~1.
+    pub fn from_matrices(q: Vec<[[f64; 4]; 4]>) -> KmerErrorModel {
+        for (i, m) in q.iter().enumerate() {
+            for (a, row) in m.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-6, "q[{i}][{a}] row sums to {s}");
+            }
+        }
+        KmerErrorModel { q }
+    }
+
+    /// Project a read-position error model onto k-mer coordinates, as in
+    /// §3.4.2: "each read is decomposed into L−k+1 kmers and the count of
+    /// each type of misread nucleotide at each kmer position is determined"
+    /// — k-mer position `i` sees read positions `i, i+1, …, i+L−k`, so its
+    /// matrix is the average of those read-position matrices.
+    pub fn from_read_model(model: &ngs_simulate::ErrorModel, k: usize) -> KmerErrorModel {
+        let read_len = model.read_len();
+        assert!(k <= read_len);
+        let windows = read_len - k + 1;
+        let q = (0..k)
+            .map(|i| {
+                let mut acc = [[0.0f64; 4]; 4];
+                for w in 0..windows {
+                    let m = model.matrix(i + w);
+                    for a in 0..4 {
+                        for b in 0..4 {
+                            acc[a][b] += m[a][b];
+                        }
+                    }
+                }
+                for row in &mut acc {
+                    for cell in row.iter_mut() {
+                        *cell /= windows as f64;
+                    }
+                }
+                acc
+            })
+            .collect();
+        KmerErrorModel { q }
+    }
+
+    /// Estimate from `(observed, truth)` k-mer-decomposed read pairs — the
+    /// same counting §3.4.2 describes. Pairs are read-length sequences; each
+    /// contributes counts at every k-mer offset it covers.
+    pub fn estimate(pairs: &[(&[u8], &[u8])], k: usize) -> KmerErrorModel {
+        let mut counts = vec![[[0u64; 4]; 4]; k];
+        for (obs, truth) in pairs {
+            let l = obs.len().min(truth.len());
+            if l < k {
+                continue;
+            }
+            for start in 0..=(l - k) {
+                for i in 0..k {
+                    let (o, t) = (obs[start + i], truth[start + i]);
+                    if let (Some(oc), Some(tc)) = (
+                        ngs_core::alphabet::encode_base(o),
+                        ngs_core::alphabet::encode_base(t),
+                    ) {
+                        counts[i][tc as usize][oc as usize] += 1;
+                    }
+                }
+            }
+        }
+        let q = counts
+            .into_iter()
+            .map(|c| {
+                let mut m = [[0.0f64; 4]; 4];
+                for a in 0..4 {
+                    let total: u64 = c[a].iter().sum();
+                    if total == 0 {
+                        m[a][a] = 1.0;
+                    } else {
+                        for b in 0..4 {
+                            m[a][b] = c[a][b] as f64 / total as f64;
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
+        KmerErrorModel { q }
+    }
+
+    /// The k this model covers.
+    pub fn k(&self) -> usize {
+        self.q.len()
+    }
+
+    /// `q_i(α,β)` matrix at k-mer position `i`.
+    pub fn matrix(&self, i: usize) -> &[[f64; 4]; 4] {
+        &self.q[i]
+    }
+
+    /// Misread probability `pe(x_m → x_l) = Π_i q_i(x_mi, x_li)` between two
+    /// packed k-mers.
+    pub fn pe(&self, from: Kmer, to: Kmer) -> f64 {
+        let k = self.q.len();
+        let mut p = 1.0;
+        for (i, m) in self.q.iter().enumerate() {
+            let a = packed_base(from, k, i) as usize;
+            let b = packed_base(to, k, i) as usize;
+            p *= m[a][b];
+        }
+        p
+    }
+
+    /// Like [`KmerErrorModel::pe`] but skipping matched positions'
+    /// diagonal terms is *not* valid (diagonals differ from 1), so this
+    /// computes only the off-diagonal corrections relative to the diagonal
+    /// product — a faster path used in the EM inner loops:
+    /// `pe(from→to) = diag(from) · Π_{i: from_i≠to_i} q_i(f,t)/q_i(f,f)`.
+    pub fn pe_with_diag(&self, from: Kmer, to: Kmer, diag_from: f64) -> f64 {
+        let k = self.q.len();
+        let mut x = from ^ to;
+        let mut p = diag_from;
+        while x != 0 {
+            // Lowest differing 2-bit group.
+            let bit = x.trailing_zeros() as usize & !1;
+            let i = k - 1 - bit / 2;
+            let a = packed_base(from, k, i) as usize;
+            let b = packed_base(to, k, i) as usize;
+            p *= self.q[i][a][b] / self.q[i][a][a];
+            x &= !(3u64 << bit);
+        }
+        p
+    }
+
+    /// The diagonal product `Π_i q_i(x_i, x_i)` — probability the k-mer is
+    /// read without error.
+    pub fn diag(&self, kmer: Kmer) -> f64 {
+        let k = self.q.len();
+        self.q
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let a = packed_base(kmer, k, i) as usize;
+                m[a][a]
+            })
+            .product()
+    }
+
+    /// Average per-base error rate implied by the model.
+    pub fn average_error_rate(&self) -> f64 {
+        let k = self.q.len() as f64;
+        self.q
+            .iter()
+            .map(|m| 1.0 - (0..4).map(|a| m[a][a]).sum::<f64>() / 4.0)
+            .sum::<f64>()
+            / k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_kmer::packed::encode_kmer;
+
+    #[test]
+    fn uniform_pe_matches_closed_form() {
+        let k = 5;
+        let pe = 0.01;
+        let m = KmerErrorModel::uniform(k, pe);
+        let a = encode_kmer(b"ACGTA").unwrap();
+        let b = encode_kmer(b"ACGTG").unwrap(); // distance 1
+        let expect = (1.0 - pe_f(pe)).powi(4) * (pe_f(pe) / 3.0);
+        fn pe_f(p: f64) -> f64 {
+            p
+        }
+        assert!((m.pe(a, b) - expect).abs() < 1e-15);
+        // Identity case.
+        assert!((m.pe(a, a) - (1.0 - pe).powi(5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pe_asymmetric_for_biased_model() {
+        // A->G much likelier than G->A at position 0.
+        let mut q = vec![[[0.0f64; 4]; 4]; 3];
+        for m in &mut q {
+            for a in 0..4 {
+                for b in 0..4 {
+                    m[a][b] = if a == b { 0.97 } else { 0.01 };
+                }
+            }
+        }
+        q[0][0][2] = 0.05;
+        q[0][0][0] = 0.93;
+        let model = KmerErrorModel::from_matrices(q);
+        let a = encode_kmer(b"ACC").unwrap();
+        let g = encode_kmer(b"GCC").unwrap();
+        assert!(model.pe(a, g) > model.pe(g, a));
+    }
+
+    #[test]
+    fn pe_with_diag_matches_pe() {
+        let m = KmerErrorModel::uniform(7, 0.02);
+        let a = encode_kmer(b"ACGTACG").unwrap();
+        for b in [b"ACGTACG".as_ref(), b"TCGTACG", b"ACGAACG", b"TTTTACG"] {
+            let b = encode_kmer(b).unwrap();
+            let fast = m.pe_with_diag(a, b, m.diag(a));
+            assert!((fast - m.pe(a, b)).abs() < 1e-15, "mismatch for {b:?}");
+        }
+    }
+
+    #[test]
+    fn from_read_model_averages_positions() {
+        let rm = ngs_simulate::ErrorModel::illumina_like(36, 0.01);
+        let km = KmerErrorModel::from_read_model(&rm, 13);
+        // Later k-mer positions average later (worse) read positions.
+        let early = 1.0 - (0..4).map(|a| km.matrix(0)[a][a]).sum::<f64>() / 4.0;
+        let late = 1.0 - (0..4).map(|a| km.matrix(12)[a][a]).sum::<f64>() / 4.0;
+        assert!(late > early);
+        // Rows still stochastic.
+        for i in 0..13 {
+            for a in 0..4 {
+                let s: f64 = km.matrix(i)[a].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_recovers_planted_rate() {
+        // 10% A->T misreads at every position.
+        let observed: Vec<Vec<u8>> =
+            (0..1000).map(|i| if i % 10 == 0 { b"TAAA".to_vec() } else { b"AAAA".to_vec() }).collect();
+        let truth = vec![b"AAAA".to_vec(); 1000];
+        let pairs: Vec<(&[u8], &[u8])> =
+            observed.iter().zip(&truth).map(|(o, t)| (o.as_slice(), t.as_slice())).collect();
+        let m = KmerErrorModel::estimate(&pairs, 3);
+        // kmer position 0 sees read positions 0 and 1: A->T rate is
+        // (10% + 0%) / 2 = 5%.
+        assert!((m.matrix(0)[0][3] - 0.05).abs() < 1e-9, "{}", m.matrix(0)[0][3]);
+    }
+
+    #[test]
+    fn average_error_rate_of_uniform() {
+        let m = KmerErrorModel::uniform(11, 0.006);
+        assert!((m.average_error_rate() - 0.006).abs() < 1e-12);
+    }
+}

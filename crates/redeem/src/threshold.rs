@@ -1,0 +1,352 @@
+//! Data-driven threshold inference — the §3.7 mixture model.
+//!
+//! The histogram of estimated `T_l` is multi-modal: a spike near 0 (k-mers
+//! absent from the genome), then peaks at the coverage constant ×1, ×2, …
+//! (genomic occurrence α = 1, 2, …). §3.7 models it as
+//!
+//! ```text
+//! T_l ~ π₀·Gamma(α,β) + Σ_{g=1..G} π_g·N(μ_g, σ_g²) + π_{G+1}·U(0, max T)
+//! ```
+//!
+//! with Negative-Binomial-linked Normal parameters `μ_g = gμp/(1−p)`,
+//! `σ_g² = gμp/(1−p)²`, fit by EM; `Ĝ` is chosen by BIC. k-mers whose
+//! posterior puts them in the Gamma component are declared non-genomic, so
+//! the detection threshold is the largest `T` dominated by component 0.
+
+use ngs_core::stats::{digamma, ln_gamma};
+
+/// A fitted mixture model and the threshold it implies.
+#[derive(Debug, Clone)]
+pub struct MixtureFit {
+    /// Mixing proportions `π_0 … π_{G+1}`.
+    pub weights: Vec<f64>,
+    /// Gamma shape `α`.
+    pub alpha: f64,
+    /// Gamma rate `β`.
+    pub beta: f64,
+    /// Negative-binomial location parameter `μ`.
+    pub mu: f64,
+    /// Negative-binomial probability parameter `p`.
+    pub p: f64,
+    /// Number of Normal components `G`.
+    pub g: usize,
+    /// Final log-likelihood.
+    pub loglik: f64,
+    /// BIC of the fit (lower is better).
+    pub bic: f64,
+    /// Detection threshold: the largest `T` whose posterior argmax is the
+    /// Gamma (erroneous) component.
+    pub threshold: f64,
+    /// Mean of the g = 1 Normal component (`μp/(1−p)` — the coverage
+    /// constant; ≈ 57 in the paper's E. coli example).
+    pub coverage_constant: f64,
+}
+
+fn gamma_logpdf(x: f64, alpha: f64, beta: f64) -> f64 {
+    if x <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    alpha * beta.ln() + (alpha - 1.0) * x.ln() - beta * x - ln_gamma(alpha)
+}
+
+fn normal_logpdf(x: f64, mean: f64, var: f64) -> f64 {
+    let var = var.max(1e-9);
+    -0.5 * ((x - mean) * (x - mean) / var + var.ln() + (2.0 * std::f64::consts::PI).ln())
+}
+
+/// Solve `ln α − ψ(α) = c` for `α > 0` by bisection (the Gamma M-step).
+fn solve_gamma_shape(c: f64) -> f64 {
+    // ln α − ψ(α) is strictly decreasing in α, → ∞ as α→0, → 0 as α→∞.
+    if c <= 1e-12 {
+        return 1e6; // effectively Normal-shaped: huge alpha
+    }
+    let (mut lo, mut hi) = (1e-6f64, 1e6f64);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection over decades
+        let v = mid.ln() - digamma(mid);
+        if v > c {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.0 + 1e-12 {
+            break;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Fit the mixture for a fixed `G`; returns `None` when degenerate.
+fn fit_fixed_g(t: &[f64], g: usize, max_iters: usize) -> Option<MixtureFit> {
+    let n = t.len();
+    if n < 10 * (g + 2) {
+        return None;
+    }
+    let t_max = t.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let uniform_logpdf = -(t_max.ln());
+
+    // Initialisation: coverage constant from the median of clearly-nonzero
+    // values; Gamma hugging zero.
+    let mut nz: Vec<f64> = t.iter().cloned().filter(|&x| x > 2.0).collect();
+    if nz.is_empty() {
+        return None;
+    }
+    nz.sort_unstable_by(f64::total_cmp);
+    let cov0 = nz[nz.len() / 2].max(3.0);
+    let mut p = 0.5f64;
+    let mut mu = cov0 * (1.0 - p) / p; // so that μp/(1−p) = cov0
+    let mut alpha = 1.0f64;
+    let mut beta = 1.0f64;
+    let n_comp = g + 2;
+    let mut weights = vec![1.0 / n_comp as f64; n_comp];
+
+    let mut loglik = f64::NEG_INFINITY;
+    let mut resp = vec![0.0f64; n * n_comp];
+    for _iter in 0..max_iters {
+        // E step.
+        let mut ll = 0.0;
+        let mut counts = vec![0.0f64; n_comp]; // E[N_g]
+        let mut sum_t = vec![0.0f64; n_comp]; // E[T | Z_g]·N_g
+        let mut sum_t2 = vec![0.0f64; n_comp];
+        let mut sum_lnt_0 = 0.0f64;
+        let coverage = mu * p / (1.0 - p);
+        for (i, &x) in t.iter().enumerate() {
+            let mut logp = vec![0.0f64; n_comp];
+            logp[0] = weights[0].max(1e-300).ln() + gamma_logpdf(x.max(1e-6), alpha, beta);
+            for comp in 1..=g {
+                let mean = comp as f64 * coverage;
+                let var = comp as f64 * mu * p / ((1.0 - p) * (1.0 - p));
+                logp[comp] = weights[comp].max(1e-300).ln() + normal_logpdf(x, mean, var);
+            }
+            logp[g + 1] = weights[g + 1].max(1e-300).ln() + uniform_logpdf;
+            let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for lp in &mut logp {
+                *lp = (*lp - m).exp();
+                z += *lp;
+            }
+            ll += m + z.ln();
+            for (comp, &pz) in logp.iter().enumerate() {
+                let r = pz / z;
+                resp[i * n_comp + comp] = r;
+                counts[comp] += r;
+                sum_t[comp] += r * x;
+                sum_t2[comp] += r * x * x;
+            }
+            sum_lnt_0 += resp[i * n_comp] * x.max(1e-6).ln();
+        }
+
+        // M step: mixing weights.
+        for (comp, w) in weights.iter_mut().enumerate() {
+            *w = (counts[comp] / n as f64).max(1e-9);
+        }
+
+        // Gamma component.
+        if counts[0] > 1e-6 && sum_t[0] > 1e-12 {
+            let c = (sum_t[0] / counts[0]).ln() - sum_lnt_0 / counts[0];
+            alpha = solve_gamma_shape(c.max(1e-9)).clamp(0.05, 1e4);
+            beta = counts[0] * alpha / sum_t[0];
+        }
+
+        // Negative-binomial-linked Normal components: solve for p̂ by
+        // bisection with μ̂ given by the closed form of §3.7.
+        let s_n: f64 = (1..=g).map(|c| counts[c]).sum();
+        let s_gn: f64 = (1..=g).map(|c| c as f64 * counts[c]).sum();
+        let s_t: f64 = (1..=g).map(|c| sum_t[c]).sum();
+        let s_t2g: f64 = (1..=g).map(|c| sum_t2[c] / c as f64).sum();
+        if s_n > 1e-6 && s_gn > 1e-9 && s_t2g > 1e-9 {
+            let mu_of = |ph: f64| -> f64 {
+                let disc = s_n * s_n + 4.0 * (1.0 - ph) * (1.0 - ph) * s_gn * s_t2g;
+                // The positive root of the quadratic in μ (§3.7's form has a
+                // negative denominator; take the root giving μ > 0).
+                (disc.sqrt() - s_n) / (2.0 * ph * s_gn)
+            };
+            let f_of = |ph: f64| -> f64 {
+                let m = mu_of(ph);
+                (1.0 - ph) * (1.0 + ph) * s_t2g - 2.0 * m * ph * ph * s_t
+                    - m * m * ph * ph * s_gn
+                    - m * ph * (1.0 + ph) / (1.0 - ph) * s_n
+            };
+            let (mut lo, mut hi) = (1e-4, 1.0 - 1e-4);
+            let (flo, fhi) = (f_of(lo), f_of(hi));
+            if flo.is_finite() && fhi.is_finite() && flo * fhi < 0.0 {
+                for _ in 0..100 {
+                    let mid = 0.5 * (lo + hi);
+                    if f_of(mid) * flo > 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                p = 0.5 * (lo + hi);
+                mu = mu_of(p).max(1e-6);
+            } else {
+                // Fall back to moment matching: mean and variance of the
+                // g-scaled pooled component.
+                let mean1 = s_t / s_gn; // per-copy mean
+                let var1 = (s_t2g / s_n - mean1 * mean1 * (s_gn / s_n)).abs().max(1e-6);
+                // mean1 = μp/(1−p), var1 ≈ μp/(1−p)²  =>  1−p = mean1/var1.
+                let q = (mean1 / var1).clamp(1e-4, 1.0 - 1e-4);
+                p = 1.0 - q;
+                mu = (mean1 * (1.0 - p) / p).max(1e-6);
+            }
+        }
+
+        if (ll - loglik).abs() < 1e-8 * ll.abs().max(1.0) {
+            loglik = ll;
+            break;
+        }
+        loglik = ll;
+    }
+
+    // BIC: parameters = (n_comp − 1) mixing + α, β, μ, p.
+    let k_params = (n_comp - 1) + 4;
+    let bic = -2.0 * loglik + k_params as f64 * (n as f64).ln();
+
+    // Threshold: largest T assigned to the Gamma component by posterior
+    // argmax, scanning a fine grid up to the first Normal mean.
+    let coverage = mu * p / (1.0 - p);
+    let var1 = mu * p / ((1.0 - p) * (1.0 - p));
+    let mut threshold = 0.0f64;
+    let grid_max = coverage.max(2.0);
+    let steps = 400;
+    for s in 0..=steps {
+        let x = grid_max * s as f64 / steps as f64;
+        let lg = weights[0].max(1e-300).ln() + gamma_logpdf(x.max(1e-6), alpha, beta);
+        let ln1 = weights[1].max(1e-300).ln() + normal_logpdf(x, coverage, var1);
+        let lu = weights[g + 1].max(1e-300).ln() + (-(t_max.ln()));
+        if lg > ln1 && lg > lu {
+            threshold = x;
+        }
+    }
+
+    Some(MixtureFit {
+        weights,
+        alpha,
+        beta,
+        mu,
+        p,
+        g,
+        loglik,
+        bic,
+        threshold,
+        coverage_constant: coverage,
+    })
+}
+
+/// Estimate genome length and repeat structure from EM estimates — §3.6:
+/// "Indeed, T_l can be used to estimate genome length and repetition [Li
+/// and Waterman, 2003]": each genomic k-mer of occurrence `α` contributes
+/// `α · coverage_constant` expected attempts, so
+/// `|G| ≈ Σ T_l / coverage_constant` (k-mer-level length, i.e. `|G| − k + 1`
+/// for a single-stranded spectrum).
+pub fn estimate_genome_length(t: &[f64], coverage_constant: f64) -> f64 {
+    if coverage_constant <= 0.0 {
+        return 0.0;
+    }
+    t.iter().sum::<f64>() / coverage_constant
+}
+
+/// Fit the §3.7 mixture for `G ∈ 1..=max_g`, choosing Ĝ by BIC, and return
+/// the winning fit (with its implied detection threshold). Returns `None`
+/// when the data is degenerate (e.g. all-zero estimates).
+pub fn fit_threshold_model(t: &[f64], max_g: usize) -> Option<MixtureFit> {
+    (1..=max_g.max(1))
+        .filter_map(|g| fit_fixed_g(t, g, 200))
+        .min_by(|a, b| a.bic.total_cmp(&b.bic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic_t(coverage: f64, n_err: usize, n1: usize, n2: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Vec::new();
+        for _ in 0..n_err {
+            // Error kmers: small values hugging zero.
+            t.push(rng.gen_range(0.0..2.0f64));
+        }
+        for _ in 0..n1 {
+            let x: f64 = coverage + rng.gen_range(-3.0 * coverage.sqrt()..3.0 * coverage.sqrt());
+            t.push(x.max(0.1));
+        }
+        for _ in 0..n2 {
+            let x: f64 =
+                2.0 * coverage + rng.gen_range(-4.0 * coverage.sqrt()..4.0 * coverage.sqrt());
+            t.push(x.max(0.1));
+        }
+        t
+    }
+
+    #[test]
+    fn gamma_shape_solver_inverts() {
+        for alpha in [0.3f64, 1.0, 2.5, 10.0, 100.0] {
+            let c = alpha.ln() - digamma(alpha);
+            let back = solve_gamma_shape(c);
+            assert!(
+                (back - alpha).abs() / alpha < 1e-3,
+                "alpha={alpha} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_coverage_constant() {
+        let t = synthetic_t(57.0, 4000, 3000, 400, 1);
+        let fit = fit_threshold_model(&t, 3).expect("fit");
+        assert!(
+            (fit.coverage_constant - 57.0).abs() < 10.0,
+            "coverage constant {} (expected ~57)",
+            fit.coverage_constant
+        );
+    }
+
+    #[test]
+    fn threshold_separates_modes() {
+        let t = synthetic_t(60.0, 5000, 3000, 300, 2);
+        let fit = fit_threshold_model(&t, 3).expect("fit");
+        assert!(
+            fit.threshold > 2.0 && fit.threshold < 40.0,
+            "threshold {} should fall between the error spike and the \
+             coverage peak",
+            fit.threshold
+        );
+        // Classification sanity: nearly all error kmers below, genomic above.
+        let err_below = t[..5000].iter().filter(|&&x| x < fit.threshold).count();
+        let gen_above = t[5000..].iter().filter(|&&x| x >= fit.threshold).count();
+        assert!(err_below > 4800, "err_below={err_below}");
+        assert!(gen_above > 3200, "gen_above={gen_above}");
+    }
+
+    #[test]
+    fn bic_prefers_enough_components() {
+        let t = synthetic_t(50.0, 3000, 2500, 800, 3);
+        let fit = fit_threshold_model(&t, 4).expect("fit");
+        assert!(fit.g >= 1);
+        assert!(fit.loglik.is_finite());
+        assert!(fit.bic.is_finite());
+    }
+
+    #[test]
+    fn genome_length_estimate() {
+        // 1000 unique kmers at coverage 50 plus 100 two-copy kmers at 100.
+        let mut t = vec![50.0; 1000];
+        t.extend(vec![100.0; 100]);
+        let est = estimate_genome_length(&t, 50.0);
+        // True kmer-level genome length = 1000 + 2*100 = 1200.
+        assert!((est - 1200.0).abs() < 1e-9, "est {est}");
+        assert_eq!(estimate_genome_length(&t, 0.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_input_returns_none() {
+        assert!(fit_threshold_model(&[], 3).is_none());
+        let tiny = vec![0.5; 5];
+        assert!(fit_threshold_model(&tiny, 3).is_none());
+        let zeros = vec![0.0; 1000];
+        assert!(fit_threshold_model(&zeros, 3).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! `reptile` — Representative Tiling for Error Correction (Chapter 2).
+//!
+//! Reptile corrects substitution errors in short reads by working with the
+//! k-spectrum of the input instead of the reads themselves:
+//!
+//! 1. **Information extraction** (§2.3 Phase 1): the k-spectrum `R^k` over
+//!    both strands, the Hamming-graph neighbour index (masked replicas), and
+//!    the tile table with plain/high-quality occurrence counts;
+//! 2. **Per-read correction** (§2.3 Phase 2): place a tile (an
+//!    `l`-concatenation of two k-mers) on the read, compare it against its
+//!    d-mutant tiles (Algorithm 1), and advance the placement according to
+//!    decisions D1–D3 (Algorithm 2), in both the 5′→3′ and 3′→5′
+//!    directions. Contextual information from the neighbouring k-mer in the
+//!    same tile disambiguates corrections that a single k-mer cannot
+//!    (Fig. 2.1's α₂ vs α₂″ example).
+//!
+//! Ambiguous bases are handled by §2.4's density rule (module [`ambig`]).
+//! Thresholds are chosen from the data's own histograms (module [`params`]),
+//! "to help avoid the unrealistic assumptions of uniformly distributed read
+//! errors and uniform genome coverage".
+
+pub mod ambig;
+pub mod params;
+pub mod read_correct;
+pub mod tile_correct;
+
+pub use params::ReptileParams;
+pub use read_correct::ReptileStats;
+pub use tile_correct::TileDecision;
+
+use ngs_core::Read;
+use ngs_kmer::neighbor::{NeighborIndex, NeighborStrategy};
+use ngs_kmer::{KSpectrum, TileTable};
+use rayon::prelude::*;
+
+/// The Reptile corrector: immutable index data shared across reads.
+pub struct Reptile {
+    params: ReptileParams,
+    spectrum: KSpectrum,
+    tiles: TileTable,
+    /// Owned by `spectrum`; rebuilt views are cheap relative to correction.
+    neighbor_chunks: usize,
+}
+
+impl Reptile {
+    /// Build the Phase-1 indexes from the (already ambiguity-preprocessed)
+    /// read set.
+    pub fn build(reads: &[Read], params: ReptileParams) -> Reptile {
+        params.validate();
+        let spectrum = KSpectrum::from_reads_both_strands(reads, params.k);
+        let tiles = TileTable::build(reads, params.k, params.tile_overlap, params.qc);
+        let neighbor_chunks = params.neighbor_chunks();
+        Reptile { params, spectrum, tiles, neighbor_chunks }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ReptileParams {
+        &self.params
+    }
+
+    /// The k-spectrum (exposed for diagnostics and tests).
+    pub fn spectrum(&self) -> &KSpectrum {
+        &self.spectrum
+    }
+
+    /// The tile table (exposed for diagnostics and tests).
+    pub fn tiles(&self) -> &TileTable {
+        &self.tiles
+    }
+
+    /// Correct every read, returning corrected copies and statistics.
+    pub fn correct(&self, reads: &[Read]) -> (Vec<Read>, ReptileStats) {
+        let index = NeighborIndex::build(
+            &self.spectrum,
+            self.params.d,
+            NeighborStrategy::MaskedReplicas { chunks: self.neighbor_chunks },
+        );
+        let results: Vec<(Read, ReptileStats)> = reads
+            .par_iter()
+            .map(|r| {
+                let mut read = r.clone();
+                let stats = read_correct::correct_read(
+                    &mut read,
+                    &self.params,
+                    &self.tiles,
+                    &index,
+                );
+                (read, stats)
+            })
+            .collect();
+        let mut all = ReptileStats::default();
+        let mut out = Vec::with_capacity(results.len());
+        for (read, stats) in results {
+            all.merge(&stats);
+            out.push(read);
+        }
+        (out, all)
+    }
+
+    /// Full pipeline: preprocess ambiguous bases, build indexes, correct.
+    /// This is the entry point matching the released Reptile tool.
+    pub fn run(reads: &[Read], params: ReptileParams) -> (Vec<Read>, ReptileStats) {
+        let preprocessed = ambig::preprocess_ambiguous(reads, &params);
+        let reptile = Reptile::build(&preprocessed, params);
+        reptile.correct(&preprocessed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_eval::evaluate_correction;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+
+    fn simulate(
+        genome_len: usize,
+        pe: f64,
+        coverage: f64,
+        seed: u64,
+    ) -> (Vec<u8>, ngs_simulate::SimulatedReads) {
+        let g = GenomeSpec::uniform(genome_len).generate(23).seq;
+        let cfg = ReadSimConfig::with_coverage(
+            g.len(),
+            36,
+            coverage,
+            ErrorModel::illumina_like(36, pe),
+            seed,
+        );
+        let sim = simulate_reads(&g, &cfg);
+        (g, sim)
+    }
+
+    #[test]
+    fn corrects_most_errors_at_high_coverage() {
+        let (g, sim) = simulate(20_000, 0.01, 60.0, 1);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let (corrected, stats) = Reptile::run(&sim.reads, params);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        assert!(eval.gain() > 0.55, "gain={} {eval:?} stats={stats:?}", eval.gain());
+        assert!(eval.specificity() > 0.999, "specificity={}", eval.specificity());
+        assert!(eval.eba() < 0.05, "eba={}", eval.eba());
+    }
+
+    #[test]
+    fn error_free_data_untouched() {
+        let (g, sim) = simulate(20_000, 0.0, 40.0, 2);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        assert_eq!(eval.fp, 0, "{eval:?}");
+    }
+
+    #[test]
+    fn beats_no_correction_at_typical_coverage() {
+        let (g, sim) = simulate(15_000, 0.015, 40.0, 3);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        assert!(eval.gain() > 0.4, "gain={} {eval:?}", eval.gain());
+    }
+
+    #[test]
+    fn handles_reads_with_ambiguous_bases() {
+        let g = GenomeSpec::uniform(10_000).generate(29).seq;
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: 12_000,
+            error_model: ErrorModel::uniform(36, 0.005),
+            both_strands: true,
+            with_quals: true,
+            n_rate: 0.01,
+            seed: 4,
+        };
+        let sim = simulate_reads(&g, &cfg);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        // Most injected Ns should be resolved to the true base.
+        assert!(eval.gain() > 0.5, "gain={} {eval:?}", eval.gain());
+        // No read should still contain an N in a low-density region at high
+        // coverage... at least some Ns must be gone:
+        let n_before: usize =
+            sim.reads.iter().map(|r| r.seq.iter().filter(|&&b| b == b'N').count()).sum();
+        let n_after: usize =
+            corrected.iter().map(|r| r.seq.iter().filter(|&&b| b == b'N').count()).sum();
+        assert!(n_after < n_before / 4, "Ns before={n_before} after={n_after}");
+    }
+
+    #[test]
+    fn preserves_read_count_ids_and_lengths() {
+        let (g, sim) = simulate(8_000, 0.02, 30.0, 5);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        assert_eq!(corrected.len(), sim.reads.len());
+        for (a, b) in corrected.iter().zip(&sim.reads) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.qual, b.qual);
+        }
+    }
+}

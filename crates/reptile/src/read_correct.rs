@@ -1,0 +1,262 @@
+//! Read-level correction — Algorithm 2 (§2.3).
+//!
+//! A tiling of the read is grown from 5′ to 3′: after a validated or
+//! corrected tile, the next tile starts at the current tile's second k-mer
+//! ([D1]/[D2]: "select t_next such that the suffix-prefix overlap between t
+//! and t_next equals α₂; d₁ ← 0"). After an inconclusive decision, an
+//! alternative decomposition is tried — shifted placements first ([D3a]),
+//! then skipping past the dead-end region ([D3b]) leaving a small
+//! unvalidated gap, as in Fig. 2.2. "The same strategy is applied in the 3′
+//! to 5′ direction": we realise the backward pass by running the forward
+//! pass over the read's reverse complement (the k-spectrum and tile table
+//! are strand-symmetric, so every table lookup is valid verbatim).
+
+use crate::params::ReptileParams;
+use crate::tile_correct::{correct_tile, differing_positions, TileDecision};
+use ngs_core::alphabet;
+use ngs_core::Read;
+use ngs_kmer::neighbor::NeighborIndex;
+use ngs_kmer::packed::{decode_kmer, encode_kmer};
+use ngs_kmer::TileTable;
+
+/// Statistics for a correction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReptileStats {
+    /// Tile placements validated as-is.
+    pub tiles_validated: u64,
+    /// Tile placements corrected.
+    pub tiles_corrected: u64,
+    /// Tile placements with insufficient evidence.
+    pub tiles_unresolved: u64,
+    /// Individual bases changed.
+    pub bases_changed: u64,
+    /// Reads with at least one changed base.
+    pub reads_changed: u64,
+}
+
+impl ReptileStats {
+    /// Accumulate another run's counters.
+    pub fn merge(&mut self, other: &ReptileStats) {
+        self.tiles_validated += other.tiles_validated;
+        self.tiles_corrected += other.tiles_corrected;
+        self.tiles_unresolved += other.tiles_unresolved;
+        self.bases_changed += other.bases_changed;
+        self.reads_changed += other.reads_changed;
+    }
+}
+
+/// One directional pass of Algorithm 2 over `seq` (qualities index-aligned).
+fn pass(
+    seq: &mut [u8],
+    quals: Option<&[u8]>,
+    params: &ReptileParams,
+    tiles: &TileTable,
+    index: &NeighborIndex<'_>,
+    stats: &mut ReptileStats,
+) {
+    let k = params.k;
+    let m = params.tile_len();
+    let len = seq.len();
+    if len < m {
+        return;
+    }
+    let last_start = len - m;
+    let mut p = 0usize; // desired tile start
+    let mut d1 = params.d; // budget for the leading k-mer
+    loop {
+        let base = p.min(last_start);
+        let mut advanced = false;
+        // Try the aligned placement, then shifted alternatives (D3a).
+        for shift in 0..=params.max_shift_retries {
+            let q = base + shift;
+            if q > last_start {
+                break;
+            }
+            let span = &seq[q..q + m];
+            let (Some(a1), Some(a2)) = (encode_kmer(&span[..k]), encode_kmer(&span[m - k..]))
+            else {
+                // Ambiguous base inside the span: no tile can be formed.
+                continue;
+            };
+            // Shifted placements lose the "leading k-mer already validated"
+            // guarantee, so they get the full budget back.
+            let eff_d1 = if shift == 0 { d1.min(params.d) } else { params.d };
+            let tile_quals = quals.map(|qv| &qv[q..q + m]);
+            match correct_tile(a1, a2, eff_d1, params.d, tile_quals, params, tiles, index) {
+                TileDecision::Valid => {
+                    stats.tiles_validated += 1;
+                }
+                TileDecision::Corrected { tile } => {
+                    let original =
+                        ngs_kmer::tile::compose_tile(a1, a2, k, params.tile_overlap).unwrap();
+                    let new_bases = decode_kmer(tile, m);
+                    for i in differing_positions(original, tile, m) {
+                        seq[q + i] = new_bases[i];
+                        stats.bases_changed += 1;
+                    }
+                    stats.tiles_corrected += 1;
+                }
+                TileDecision::Unresolved => {
+                    stats.tiles_unresolved += 1;
+                    continue;
+                }
+            }
+            // Success: advance so the next tile's first k-mer is this tile's
+            // (possibly corrected) second k-mer.
+            if q == last_start {
+                return; // reached the 3' end
+            }
+            p = q + (m - k);
+            d1 = 0;
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            // D3b: skip past the dead-end region, leaving a gap.
+            if base == last_start {
+                return;
+            }
+            p = base + m;
+            d1 = params.d;
+        }
+    }
+}
+
+/// Correct one read in place (sequence only; id and qualities preserved).
+/// Runs the 5′→3′ pass, then the 3′→5′ pass via the reverse complement.
+pub fn correct_read(
+    read: &mut Read,
+    params: &ReptileParams,
+    tiles: &TileTable,
+    index: &NeighborIndex<'_>,
+) -> ReptileStats {
+    let mut stats = ReptileStats::default();
+    let before = read.seq.clone();
+
+    // Forward pass.
+    let quals = read.qual.clone();
+    pass(&mut read.seq, quals.as_deref(), params, tiles, index, &mut stats);
+
+    // Backward pass on the reverse complement (strand-symmetric tables).
+    let mut rc = alphabet::reverse_complement(&read.seq);
+    let rev_quals = quals.map(|mut q| {
+        q.reverse();
+        q
+    });
+    pass(&mut rc, rev_quals.as_deref(), params, tiles, index, &mut stats);
+    alphabet::reverse_complement_in_place(&mut rc);
+    read.seq = rc;
+
+    if read.seq != before {
+        stats.reads_changed = 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_kmer::neighbor::NeighborStrategy;
+    use ngs_kmer::KSpectrum;
+
+    /// A corpus of identical reads covering one "genome" string, plus one
+    /// read with planted errors.
+    fn setup(genome: &[u8], n_clean: usize, k: usize) -> (Vec<Read>, ReptileParams) {
+        let mut params = ReptileParams::defaults(1 << (2 * k));
+        params.k = k;
+        params.tile_overlap = 0;
+        params.cg = 8;
+        params.cm = 2;
+        params.qm = u8::MAX;
+        params.d = 1;
+        let reads: Vec<Read> = (0..n_clean)
+            .flat_map(|i| {
+                // Overlapping windows over the genome for tile diversity.
+                (0..=(genome.len() - 20)).step_by(4).map(move |s| {
+                    Read::new(format!("r{i}_{s}"), &genome[s..s + 20])
+                })
+            })
+            .collect();
+        (reads, params)
+    }
+
+    fn run_one(reads: &[Read], params: &ReptileParams, victim: Read) -> (Read, ReptileStats) {
+        let spectrum = KSpectrum::from_reads_both_strands(reads, params.k);
+        let tiles = TileTable::build(reads, params.k, params.tile_overlap, params.qc);
+        let index = NeighborIndex::build(
+            &spectrum,
+            params.d,
+            NeighborStrategy::MaskedReplicas { chunks: params.neighbor_chunks() },
+        );
+        let mut read = victim;
+        let stats = correct_read(&mut read, params, &tiles, &index);
+        (read, stats)
+    }
+
+    #[test]
+    fn fixes_single_error_mid_read() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATG";
+        let (reads, params) = setup(genome, 4, 5);
+        let clean = &genome[2..22];
+        let mut bad = clean.to_vec();
+        bad[9] = alphabet::complement_base(bad[9]);
+        let (fixed, stats) = run_one(&reads, &params, Read::new("victim", &bad));
+        assert_eq!(fixed.seq, clean.to_vec(), "stats={stats:?}");
+        assert!(stats.bases_changed >= 1);
+        assert_eq!(stats.reads_changed, 1);
+    }
+
+    #[test]
+    fn fixes_error_near_three_prime_end() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATG";
+        let (reads, params) = setup(genome, 4, 5);
+        let clean = &genome[0..20];
+        let mut bad = clean.to_vec();
+        bad[18] = alphabet::complement_base(bad[18]);
+        let (fixed, stats) = run_one(&reads, &params, Read::new("victim", &bad));
+        assert_eq!(fixed.seq, clean.to_vec(), "stats={stats:?}");
+    }
+
+    #[test]
+    fn fixes_error_at_five_prime_end() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATG";
+        let (reads, params) = setup(genome, 4, 5);
+        let clean = &genome[4..24];
+        let mut bad = clean.to_vec();
+        bad[0] = alphabet::complement_base(bad[0]);
+        let (fixed, stats) = run_one(&reads, &params, Read::new("victim", &bad));
+        assert_eq!(fixed.seq, clean.to_vec(), "stats={stats:?}");
+    }
+
+    #[test]
+    fn clean_read_unchanged() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATG";
+        let (reads, params) = setup(genome, 4, 5);
+        let clean = genome[3..23].to_vec();
+        let (fixed, stats) = run_one(&reads, &params, Read::new("victim", &clean));
+        assert_eq!(fixed.seq, clean);
+        assert_eq!(stats.reads_changed, 0);
+        assert_eq!(stats.bases_changed, 0);
+    }
+
+    #[test]
+    fn short_read_is_noop() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATG";
+        let (reads, params) = setup(genome, 4, 5);
+        let (fixed, stats) = run_one(&reads, &params, Read::new("tiny", b"ACGT"));
+        assert_eq!(fixed.seq, b"ACGT".to_vec());
+        assert_eq!(stats.tiles_validated + stats.tiles_corrected + stats.tiles_unresolved, 0);
+    }
+
+    #[test]
+    fn two_errors_in_different_tiles_both_fixed() {
+        let genome = b"ACGTTGCAGGATCCATTACAGTGGCCAATGTTACG";
+        let (reads, params) = setup(genome, 4, 5);
+        let clean = &genome[0..24];
+        let mut bad = clean.to_vec();
+        bad[3] = alphabet::complement_base(bad[3]);
+        bad[20] = alphabet::complement_base(bad[20]);
+        let (fixed, stats) = run_one(&reads, &params, Read::new("victim", &bad));
+        assert_eq!(fixed.seq, clean.to_vec(), "stats={stats:?}");
+    }
+}

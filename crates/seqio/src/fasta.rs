@@ -1,0 +1,183 @@
+//! FASTA parsing and serialization.
+
+use ngs_core::{NgsError, Read, Result};
+use std::io::{BufRead, BufReader, Write};
+
+/// Streaming FASTA reader yielding one [`Read`] per record.
+///
+/// Multi-line sequences are concatenated; leading/trailing whitespace on
+/// sequence lines is trimmed; sequences are uppercased.
+pub struct FastaReader<R: std::io::Read> {
+    inner: BufReader<R>,
+    /// Header of the next record, already consumed from the stream.
+    pending_header: Option<String>,
+    line: String,
+    done: bool,
+}
+
+impl<R: std::io::Read> FastaReader<R> {
+    /// Wrap a byte source in a FASTA reader.
+    pub fn new(source: R) -> FastaReader<R> {
+        FastaReader {
+            inner: BufReader::new(source),
+            pending_header: None,
+            line: String::new(),
+            done: false,
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Read>> {
+        if self.done {
+            return Ok(None);
+        }
+        // Find the header: either one left over from the previous record or
+        // the first non-empty line of the stream.
+        let header = loop {
+            if let Some(h) = self.pending_header.take() {
+                break h;
+            }
+            self.line.clear();
+            if self.inner.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                return Ok(None);
+            }
+            let t = self.line.trim_end();
+            if t.is_empty() {
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix('>') {
+                break rest.to_string();
+            }
+            return Err(NgsError::MalformedRecord(format!(
+                "expected FASTA header, got {t:?}"
+            )));
+        };
+
+        let mut seq = Vec::new();
+        loop {
+            self.line.clear();
+            if self.inner.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                break;
+            }
+            let t = self.line.trim_end();
+            if let Some(rest) = t.strip_prefix('>') {
+                self.pending_header = Some(rest.to_string());
+                break;
+            }
+            seq.extend(t.trim().bytes().map(|b| b.to_ascii_uppercase()));
+        }
+        Ok(Some(Read { id: header, seq, qual: None }))
+    }
+}
+
+impl<R: std::io::Read> Iterator for FastaReader<R> {
+    type Item = Result<Read>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Read all records from a FASTA source.
+pub fn read_fasta<R: std::io::Read>(source: R) -> Result<Vec<Read>> {
+    FastaReader::new(source).collect()
+}
+
+/// Buffered FASTA writer.
+pub struct FastaWriter<W: Write> {
+    inner: W,
+    /// Wrap sequence lines at this many columns (0 = no wrapping).
+    pub line_width: usize,
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Create a writer wrapping sequences at `line_width` columns.
+    pub fn new(inner: W, line_width: usize) -> FastaWriter<W> {
+        FastaWriter { inner, line_width }
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, read: &Read) -> Result<()> {
+        writeln!(self.inner, ">{}", read.id)?;
+        if self.line_width == 0 {
+            self.inner.write_all(&read.seq)?;
+            writeln!(self.inner)?;
+        } else {
+            for chunk in read.seq.chunks(self.line_width) {
+                self.inner.write_all(chunk)?;
+                writeln!(self.inner)?;
+            }
+            if read.seq.is_empty() {
+                writeln!(self.inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+/// Write all records to a FASTA sink, wrapping at `line_width` columns.
+pub fn write_fasta<W: Write>(sink: W, reads: &[Read], line_width: usize) -> Result<()> {
+    let mut w = FastaWriter::new(std::io::BufWriter::new(sink), line_width);
+    for r in reads {
+        w.write_record(r)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiline_records() {
+        let data = b">chr1 test\nACGT\nacgt\n\n>chr2\nNNN\n";
+        let reads = read_fasta(&data[..]).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id, "chr1 test");
+        assert_eq!(reads[0].seq, b"ACGTACGT");
+        assert_eq!(reads[1].id, "chr2");
+        assert_eq!(reads[1].seq, b"NNN");
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+        assert!(read_fasta(&b"\n\n"[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_before_header_is_an_error() {
+        assert!(read_fasta(&b"ACGT\n>x\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn record_without_trailing_newline() {
+        let reads = read_fasta(&b">x\nACG"[..]).unwrap();
+        assert_eq!(reads[0].seq, b"ACG");
+    }
+
+    #[test]
+    fn wrapping_respected() {
+        let r = Read::new("x", b"ACGTACGTAC");
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&r), 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, ">x\nACGT\nACGT\nAC\n");
+    }
+
+    #[test]
+    fn empty_sequence_round_trips() {
+        let r = Read::new("empty", b"");
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, std::slice::from_ref(&r), 60).unwrap();
+        let back = read_fasta(&buf[..]).unwrap();
+        assert_eq!(back, vec![r]);
+    }
+}

@@ -1,0 +1,170 @@
+//! FASTQ parsing and serialization (Sanger quality encoding).
+
+use ngs_core::qual::{decode_quals, encode_quals};
+use ngs_core::{NgsError, Read, Result};
+use std::io::{BufRead, BufReader, Write};
+
+/// Streaming FASTQ reader yielding one [`Read`] per 4-line record.
+pub struct FastqReader<R: std::io::Read> {
+    inner: BufReader<R>,
+    line: String,
+    record_no: usize,
+}
+
+impl<R: std::io::Read> FastqReader<R> {
+    /// Wrap a byte source in a FASTQ reader.
+    pub fn new(source: R) -> FastqReader<R> {
+        FastqReader { inner: BufReader::new(source), line: String::new(), record_no: 0 }
+    }
+
+    fn read_line(&mut self) -> Result<Option<&str>> {
+        self.line.clear();
+        if self.inner.read_line(&mut self.line)? == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.line.trim_end()))
+    }
+
+    fn next_record(&mut self) -> Result<Option<Read>> {
+        // Skip blank lines between records.
+        let header = loop {
+            match self.read_line()? {
+                None => return Ok(None),
+                Some("") => continue,
+                Some(l) => break l.to_string(),
+            }
+        };
+        let n = self.record_no;
+        self.record_no += 1;
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| {
+                NgsError::MalformedRecord(format!("record {n}: expected '@', got {header:?}"))
+            })?
+            .to_string();
+        let seq: Vec<u8> = self
+            .read_line()?
+            .ok_or_else(|| NgsError::MalformedRecord(format!("record {n}: missing sequence")))?
+            .bytes()
+            .map(|b| b.to_ascii_uppercase())
+            .collect();
+        let plus = self
+            .read_line()?
+            .ok_or_else(|| NgsError::MalformedRecord(format!("record {n}: missing '+' line")))?;
+        if !plus.starts_with('+') {
+            return Err(NgsError::MalformedRecord(format!(
+                "record {n}: expected '+', got {plus:?}"
+            )));
+        }
+        let qual_ascii = self
+            .read_line()?
+            .ok_or_else(|| NgsError::MalformedRecord(format!("record {n}: missing qualities")))?
+            .as_bytes()
+            .to_vec();
+        if qual_ascii.len() != seq.len() {
+            return Err(NgsError::MalformedRecord(format!(
+                "record {n}: sequence length {} != quality length {}",
+                seq.len(),
+                qual_ascii.len()
+            )));
+        }
+        Ok(Some(Read { id, seq, qual: Some(decode_quals(&qual_ascii)) }))
+    }
+}
+
+impl<R: std::io::Read> Iterator for FastqReader<R> {
+    type Item = Result<Read>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Read all records from a FASTQ source.
+pub fn read_fastq<R: std::io::Read>(source: R) -> Result<Vec<Read>> {
+    FastqReader::new(source).collect()
+}
+
+/// Buffered FASTQ writer.
+pub struct FastqWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FastqWriter<W> {
+    /// Create a FASTQ writer.
+    pub fn new(inner: W) -> FastqWriter<W> {
+        FastqWriter { inner }
+    }
+
+    /// Write one record. Reads without qualities get a uniform Q40 string so
+    /// the output stays structurally valid.
+    pub fn write_record(&mut self, read: &Read) -> Result<()> {
+        writeln!(self.inner, "@{}", read.id)?;
+        self.inner.write_all(&read.seq)?;
+        writeln!(self.inner, "\n+")?;
+        match &read.qual {
+            Some(q) => self.inner.write_all(&encode_quals(q))?,
+            None => self.inner.write_all(&encode_quals(&vec![40u8; read.seq.len()]))?,
+        }
+        writeln!(self.inner)?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+/// Write all records to a FASTQ sink.
+pub fn write_fastq<W: Write>(sink: W, reads: &[Read]) -> Result<()> {
+    let mut w = FastqWriter::new(std::io::BufWriter::new(sink));
+    for r in reads {
+        w.write_record(r)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_record() {
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nNN\n+r2\n!~\n";
+        let reads = read_fastq(&data[..]).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id, "r1");
+        assert_eq!(reads[0].seq, b"ACGT");
+        assert_eq!(reads[0].qual, Some(vec![40, 40, 40, 40]));
+        assert_eq!(reads[1].qual, Some(vec![0, 93]));
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let data = b"@r1\nACGT\n+\nIII\n";
+        assert!(read_fastq(&data[..]).is_err());
+    }
+
+    #[test]
+    fn missing_plus_is_error() {
+        let data = b"@r1\nACGT\nIIII\n";
+        assert!(read_fastq(&data[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let data = b"@r1\nACGT\n+\n";
+        assert!(read_fastq(&data[..]).is_err());
+    }
+
+    #[test]
+    fn reads_without_qual_get_q40() {
+        let r = Read::new("x", b"ACG");
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, std::slice::from_ref(&r)).unwrap();
+        let back = read_fastq(&buf[..]).unwrap();
+        assert_eq!(back[0].qual, Some(vec![40, 40, 40]));
+    }
+}

@@ -1,0 +1,57 @@
+//! `ngs-seqio` — streaming FASTA and FASTQ I/O.
+//!
+//! The datasets in the paper arrive as FASTA (reference genomes) and FASTQ
+//! (Illumina / 454 reads with quality strings). This crate provides buffered,
+//! allocation-conscious readers and writers for both formats, returning
+//! [`ngs_core::Read`] records.
+
+pub mod fasta;
+pub mod fastq;
+
+pub use fasta::{read_fasta, write_fasta, FastaReader, FastaWriter};
+pub use fastq::{read_fastq, write_fastq, FastqReader, FastqWriter};
+
+#[cfg(test)]
+mod round_trip_tests {
+    use super::*;
+    use ngs_core::Read;
+    use proptest::prelude::*;
+
+    fn arb_seq() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+            1..120,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn fasta_round_trips(seqs in proptest::collection::vec(arb_seq(), 1..8)) {
+            let reads: Vec<Read> = seqs
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| Read::new(format!("read_{i}"), s))
+                .collect();
+            let mut buf = Vec::new();
+            write_fasta(&mut buf, &reads, 60).unwrap();
+            let back = read_fasta(&buf[..]).unwrap();
+            prop_assert_eq!(back, reads);
+        }
+
+        #[test]
+        fn fastq_round_trips(seqs in proptest::collection::vec(arb_seq(), 1..8)) {
+            let reads: Vec<Read> = seqs
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let qual = (0..s.len()).map(|j| ((i + j) % 42) as u8).collect();
+                    Read::with_qual(format!("read_{i}"), s, qual)
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_fastq(&mut buf, &reads).unwrap();
+            let back = read_fastq(&buf[..]).unwrap();
+            prop_assert_eq!(back, reads);
+        }
+    }
+}

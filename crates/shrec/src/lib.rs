@@ -1,0 +1,323 @@
+//! `shrec` — reimplementation of the SHREC error corrector (baseline).
+//!
+//! SHREC (Schröder et al. 2009) is the comparator of Tables 2.3 and 3.4.
+//! The original "constructs a generalized suffix trie … using both forward
+//! and reverse complementary strands of input reads. For each internal node
+//! u, the concatenation of edge labels from the root to u spells a substring
+//! s_u …, and the number of times s_u occurs equals the number of leaves of
+//! the subtree rooted at u. The expected occurrence of s_u can be computed
+//! analytically assuming the reference genome G to be a random string …
+//! the sampling of s_u can be considered as a collection of Bernoulli
+//! trials, where the mean e = np … and the variance δ = np(1−p). Then, if
+//! the observed occurrence of s_u is less than e − αδ, s_u is considered as
+//! containing a sequencing error in the last base" (§1.2).
+//!
+//! A suffix trie truncated at depth `q` carries exactly the same statistics
+//! as the table of all `q`-gram counts: a depth-`q` node *is* a `q`-gram,
+//! its siblings are the `q`-grams sharing the `(q−1)`-prefix, and the
+//! children of its sibling are the `(q+1)`-grams extending it. This
+//! reimplementation therefore materialises the trie one level at a time as
+//! packed `q`-gram count tables — same statistics and decisions, bounded
+//! memory (the trade SHREC's Java implementation famously loses; cf. the
+//! out-of-memory entries in Table 2.3). The subtree-identity check when
+//! merging a suspicious node into a sibling is approximated by requiring the
+//! corrected base's *extension* window to be solid as well.
+
+pub mod sap;
+
+pub use sap::{SapCorrector, SapParams};
+
+use ngs_core::hash::FxHashMap;
+use ngs_core::{alphabet, Read};
+use ngs_kmer::packed::{encode_kmer, Kmer};
+use rayon::prelude::*;
+
+/// Parameters of the SHREC corrector.
+#[derive(Debug, Clone)]
+pub struct ShrecParams {
+    /// (Estimated) genome length `|G|`, used for the expected-count model.
+    pub genome_len: usize,
+    /// Strictness multiplier `α`: a node is suspicious when its count is
+    /// below `e − α·√δ`. The paper notes results "differ greatly with
+    /// different α … it is unclear how it should be chosen"; default 2.
+    pub alpha: f64,
+    /// Trie depths (substring lengths) analysed, shallow to deep.
+    pub levels: Vec<usize>,
+    /// Correction sweeps; each sweep can fix one more error per read region
+    /// ("for read with a high error rate, the above procedures could be
+    /// applied for a fixed number of iterations").
+    pub iterations: usize,
+}
+
+impl ShrecParams {
+    /// Sensible defaults for a genome of `genome_len` bases and reads of
+    /// `read_len` bases: three levels around `ceil(log4 |G|) + 4`.
+    pub fn recommended(genome_len: usize, read_len: usize) -> ShrecParams {
+        let q0 = ((genome_len as f64).log(4.0).ceil() as usize + 4).min(read_len.saturating_sub(2));
+        let q0 = q0.max(8);
+        let levels = vec![q0, (q0 + 2).min(read_len.saturating_sub(1)).max(q0)];
+        let mut levels = levels;
+        levels.dedup();
+        ShrecParams { genome_len, alpha: 2.0, levels, iterations: 3 }
+    }
+}
+
+/// Outcome statistics of a SHREC run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrecStats {
+    /// Total base corrections applied.
+    pub corrections: u64,
+    /// Windows flagged suspicious but left unchanged (no unique fix).
+    pub unresolved: u64,
+}
+
+/// The SHREC corrector.
+pub struct Shrec {
+    params: ShrecParams,
+}
+
+impl Shrec {
+    /// Create a corrector with the given parameters.
+    pub fn new(params: ShrecParams) -> Shrec {
+        assert!(!params.levels.is_empty(), "need at least one trie level");
+        assert!(params.levels.iter().all(|&q| (2..=32).contains(&q)));
+        Shrec { params }
+    }
+
+    /// Expected occurrence count of a unique genomic `q`-gram, over both
+    /// strands: `n` read windows of the level, uniform over `2(|G|−q+1)`
+    /// genomic positions per strand-symmetric table.
+    fn expected_count(&self, total_windows: u64, q: usize) -> f64 {
+        let positions = 2 * (self.params.genome_len.saturating_sub(q) + 1).max(1);
+        total_windows as f64 / positions as f64
+    }
+
+    fn threshold(&self, e: f64) -> f64 {
+        // Bernoulli-trial variance np(1−p) ≈ e for p << 1.
+        (e - self.params.alpha * e.sqrt()).max(2.0)
+    }
+
+    /// Count all `q`-grams of `reads` and their reverse complements.
+    fn count_level(reads: &[Read], q: usize) -> FxHashMap<Kmer, u32> {
+        let chunk = (reads.len() / (rayon::current_num_threads() * 4)).max(128);
+        reads
+            .par_chunks(chunk)
+            .map(|chunk| {
+                let mut m: FxHashMap<Kmer, u32> = FxHashMap::default();
+                for r in chunk {
+                    ngs_kmer::for_each_kmer(&r.seq, q, |_, v| {
+                        *m.entry(v).or_insert(0) += 1;
+                        *m.entry(ngs_kmer::packed::reverse_complement_packed(v, q)).or_insert(0) +=
+                            1;
+                    });
+                }
+                m
+            })
+            .reduce(FxHashMap::default, |a, b| {
+                let (mut big, small) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                for (k, c) in small {
+                    *big.entry(k).or_insert(0) += c;
+                }
+                big
+            })
+    }
+
+    /// Correct `reads`, returning corrected copies and statistics.
+    pub fn correct(&self, reads: &[Read]) -> (Vec<Read>, ShrecStats) {
+        let mut current: Vec<Read> = reads.to_vec();
+        let mut stats = ShrecStats::default();
+        for _ in 0..self.params.iterations {
+            let mut changed_any = false;
+            for &q in &self.params.levels {
+                let counts = Self::count_level(&current, q);
+                let total_windows: u64 = current
+                    .iter()
+                    .map(|r| 2 * (r.len().saturating_sub(q - 1)) as u64)
+                    .sum();
+                let e = self.expected_count(total_windows, q);
+                let thr = self.threshold(e);
+                let level_stats: Vec<(bool, ShrecStats)> = current
+                    .par_iter_mut()
+                    .map(|r| {
+                        let mut s = ShrecStats::default();
+                        let changed = correct_read_level(r, q, &counts, thr, &mut s);
+                        (changed, s)
+                    })
+                    .collect();
+                for (changed, s) in level_stats {
+                    changed_any |= changed;
+                    stats.corrections += s.corrections;
+                    stats.unresolved += s.unresolved;
+                }
+            }
+            if !changed_any {
+                break;
+            }
+        }
+        (current, stats)
+    }
+}
+
+/// Scan one read at trie depth `q`; correct suspicious windows in place.
+/// Returns whether anything changed.
+fn correct_read_level(
+    read: &mut Read,
+    q: usize,
+    counts: &FxHashMap<Kmer, u32>,
+    thr: f64,
+    stats: &mut ShrecStats,
+) -> bool {
+    if read.len() < q {
+        return false;
+    }
+    let mut changed = false;
+    let mut j = q - 1; // window ends at j
+    while j < read.len() {
+        let start = j + 1 - q;
+        let window = &read.seq[start..=j];
+        let Some(w) = encode_kmer(window) else {
+            j += 1;
+            continue;
+        };
+        let count = counts.get(&w).copied().unwrap_or(0) as f64;
+        if count >= thr {
+            j += 1;
+            continue;
+        }
+        // Suspicious: the last base of the window may be erroneous. Try the
+        // three sibling leaves (same prefix, different last base).
+        let last_code = alphabet::encode_base(read.seq[j]);
+        let mut candidates: Vec<(u8, u32)> = Vec::new();
+        for code in 0..4u8 {
+            if Some(code) == last_code {
+                continue;
+            }
+            let sibling = ngs_kmer::packed::set_base(w, q, q - 1, code);
+            let c = counts.get(&sibling).copied().unwrap_or(0);
+            if (c as f64) >= thr {
+                // Subtree check: the corrected base must also be solid in
+                // the next window (its extension), when one exists.
+                let solid_extension = if j + 1 < read.len() {
+                    let mut ext = read.seq[start + 1..=j + 1].to_vec();
+                    ext[q - 2] = alphabet::decode_base(code);
+                    match encode_kmer(&ext) {
+                        Some(ev) => {
+                            // Accept when the extension is at least as
+                            // plausible as the uncorrected one.
+                            let orig_ext = encode_kmer(&read.seq[start + 1..=j + 1]);
+                            let orig_c = orig_ext
+                                .and_then(|v| counts.get(&v).copied())
+                                .unwrap_or(0);
+                            counts.get(&ev).copied().unwrap_or(0) >= orig_c.max(1)
+                        }
+                        None => true, // N downstream: no extension evidence
+                    }
+                } else {
+                    true
+                };
+                if solid_extension {
+                    candidates.push((code, c));
+                }
+            }
+        }
+        match candidates.len() {
+            1 => {
+                read.seq[j] = alphabet::decode_base(candidates[0].0);
+                stats.corrections += 1;
+                changed = true;
+                // Re-examine from the next window (counts are the level's
+                // snapshot; the trie merge is emulated lazily).
+                j += 1;
+            }
+            0 => {
+                stats.unresolved += 1;
+                j += 1;
+            }
+            _ => {
+                // Ambiguous: SHREC merges only identical subtrees; multiple
+                // plausible siblings means no safe merge.
+                stats.unresolved += 1;
+                j += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_eval::evaluate_correction;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+
+    fn simulate(pe: f64, n: usize, seed: u64) -> (Vec<u8>, ngs_simulate::SimulatedReads) {
+        let g = GenomeSpec::uniform(20_000).generate(17).seq;
+        let cfg = ReadSimConfig {
+            read_len: 36,
+            n_reads: n,
+            error_model: ErrorModel::uniform(36, pe),
+            both_strands: true,
+            with_quals: false,
+            n_rate: 0.0,
+            seed,
+        };
+        let sim = simulate_reads(&g, &cfg);
+        (g, sim)
+    }
+
+    #[test]
+    fn recommended_params_reasonable() {
+        let p = ShrecParams::recommended(4_600_000, 36);
+        assert!(p.levels.iter().all(|&q| q < 36));
+        assert!(p.levels[0] >= 8);
+    }
+
+    #[test]
+    fn error_free_reads_untouched() {
+        let (g, sim) = simulate(0.0, 2_000, 1);
+        let shrec = Shrec::new(ShrecParams::recommended(g.len(), 36));
+        let (corrected, stats) = shrec.correct(&sim.reads);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        // Nothing to fix; a tiny number of FPs is tolerated but none expected
+        // at high coverage.
+        assert_eq!(eval.tp, 0);
+        assert!(eval.fp < 20, "fp={} corrections={}", eval.fp, stats.corrections);
+    }
+
+    #[test]
+    fn corrects_majority_of_errors_on_clean_genome() {
+        let (g, sim) = simulate(0.01, 22_000, 2); // ~40x coverage
+        let shrec = Shrec::new(ShrecParams::recommended(g.len(), 36));
+        let (corrected, _) = shrec.correct(&sim.reads);
+        let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+        let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+        assert!(eval.gain() > 0.4, "gain={} ({eval:?})", eval.gain());
+        assert!(eval.specificity() > 0.99, "specificity={}", eval.specificity());
+    }
+
+    #[test]
+    fn planted_single_error_fixed() {
+        // High coverage of a single region; one read carries one error.
+        let g = GenomeSpec::uniform(2_000).generate(3).seq;
+        let mut reads: Vec<Read> = (0..400)
+            .map(|i| {
+                let start = (i * 7) % (g.len() - 36);
+                Read::new(format!("r{i}"), &g[start..start + 36])
+            })
+            .collect();
+        let true_seq = reads[0].seq.clone();
+        reads[0].seq[18] = alphabet::complement_base(reads[0].seq[18]);
+        let shrec = Shrec::new(ShrecParams { genome_len: g.len(), alpha: 2.0, levels: vec![12], iterations: 2 });
+        let (corrected, stats) = shrec.correct(&reads);
+        assert_eq!(corrected[0].seq, true_seq, "stats={stats:?}");
+    }
+
+    #[test]
+    fn stats_track_corrections() {
+        let (g, sim) = simulate(0.02, 6_000, 4);
+        let shrec = Shrec::new(ShrecParams::recommended(g.len(), 36));
+        let (_, stats) = shrec.correct(&sim.reads);
+        assert!(stats.corrections > 0);
+    }
+}

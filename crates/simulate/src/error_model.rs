@@ -1,0 +1,217 @@
+//! Position-specific misread probability matrices.
+//!
+//! §3.4.1: "we estimated L 4×4 misread probability matrices
+//! M = (M₁, …, M_L), where … each entry (α,β) in misread probability matrix
+//! M_i is the probability a nucleotide α on the reference genome is
+//! (mis)read as β at position i in the read." The same object drives the
+//! read simulator and, transposed into k-mer coordinates, REDEEM's
+//! `q_i(α,β)` error model.
+
+#![allow(clippy::needless_range_loop)] // 4x4 matrix math reads best with indices
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-read-position misread matrices. `mats[i][alpha][beta]` is the
+/// probability that true base `alpha` is read as `beta` at read position `i`.
+/// Every row of every matrix sums to 1.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    mats: Vec<[[f64; 4]; 4]>,
+}
+
+impl ErrorModel {
+    /// Uniform model: every position errs with probability `pe`, the wrong
+    /// base chosen uniformly among the three alternatives (Eq. 3.1).
+    pub fn uniform(read_len: usize, pe: f64) -> ErrorModel {
+        assert!((0.0..1.0).contains(&pe), "pe must be in [0,1)");
+        let mut m = [[0.0f64; 4]; 4];
+        for (a, row) in m.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = if a == b { 1.0 - pe } else { pe / 3.0 };
+            }
+        }
+        ErrorModel { mats: vec![m; read_len] }
+    }
+
+    /// Illumina-shaped model averaging to `avg_rate`: the error rate ramps
+    /// up quadratically toward the 3′ end ("errors cluster in the 3′ portion
+    /// of reads", §3.2), and transitions (A↔G, C↔T) are favoured 4:1 over
+    /// transversions — the qualitative pattern of Table 3.2.
+    pub fn illumina_like(read_len: usize, avg_rate: f64) -> ErrorModel {
+        assert!(read_len > 0);
+        assert!((0.0..0.5).contains(&avg_rate));
+        // rate(i) = base · (0.3 + 2.1·x²) with x = i/(L−1); the bracket
+        // integrates to 1.0 over [0,1], so `base` equals the average rate.
+        let mats = (0..read_len)
+            .map(|i| {
+                let x = if read_len == 1 { 0.0 } else { i as f64 / (read_len - 1) as f64 };
+                let rate = (avg_rate * (0.3 + 2.1 * x * x)).min(0.45);
+                let mut m = [[0.0f64; 4]; 4];
+                for a in 0..4usize {
+                    // Transition partner: A(0)<->G(2), C(1)<->T(3).
+                    let transition = a ^ 2;
+                    for b in 0..4usize {
+                        m[a][b] = if a == b {
+                            1.0 - rate
+                        } else if b == transition {
+                            rate * 4.0 / 6.0
+                        } else {
+                            rate / 6.0
+                        };
+                    }
+                }
+                m
+            })
+            .collect();
+        ErrorModel { mats }
+    }
+
+    /// Estimate the model from aligned read/truth pairs, exactly as §3.4.1:
+    /// count, per read position, how often each true base is read as each
+    /// observed base. Positions never observed fall back to the identity.
+    /// Both slices are read-position-indexed ASCII sequences of equal length
+    /// per pair; ambiguous bases are skipped.
+    pub fn estimate(pairs: &[(&[u8], &[u8])], read_len: usize) -> ErrorModel {
+        let mut counts = vec![[[0u64; 4]; 4]; read_len];
+        for (observed, truth) in pairs {
+            for (i, (&o, &t)) in observed.iter().zip(truth.iter()).enumerate().take(read_len) {
+                if let (Some(oc), Some(tc)) =
+                    (ngs_core::alphabet::encode_base(o), ngs_core::alphabet::encode_base(t))
+                {
+                    counts[i][tc as usize][oc as usize] += 1;
+                }
+            }
+        }
+        let mats = counts
+            .into_iter()
+            .map(|c| {
+                let mut m = [[0.0f64; 4]; 4];
+                for a in 0..4 {
+                    let total: u64 = c[a].iter().sum();
+                    if total == 0 {
+                        m[a][a] = 1.0;
+                    } else {
+                        for b in 0..4 {
+                            m[a][b] = c[a][b] as f64 / total as f64;
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
+        ErrorModel { mats }
+    }
+
+    /// Read length this model covers.
+    pub fn read_len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// The misread matrix at read position `i` (clamped to the last position
+    /// for longer reads).
+    pub fn matrix(&self, i: usize) -> &[[f64; 4]; 4] {
+        &self.mats[i.min(self.mats.len() - 1)]
+    }
+
+    /// Error probability (1 − diagonal mass, averaged over a uniform true
+    /// base) at position `i`.
+    pub fn error_rate_at(&self, i: usize) -> f64 {
+        let m = self.matrix(i);
+        1.0 - (0..4).map(|a| m[a][a]).sum::<f64>() / 4.0
+    }
+
+    /// Average per-base error rate across all positions.
+    pub fn average_error_rate(&self) -> f64 {
+        (0..self.mats.len()).map(|i| self.error_rate_at(i)).sum::<f64>() / self.mats.len() as f64
+    }
+
+    /// Sample the observed base for true 2-bit code `alpha` at position `i`.
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng, i: usize, alpha: u8) -> u8 {
+        let row = &self.matrix(i)[alpha as usize];
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (b, &p) in row.iter().enumerate() {
+            acc += p;
+            if x <= acc {
+                return b as u8;
+            }
+        }
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rows_sum_to_one(m: &ErrorModel) {
+        for i in 0..m.read_len() {
+            for a in 0..4 {
+                let s: f64 = m.matrix(i)[a].iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "pos {i} base {a}: row sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_model_rate() {
+        let m = ErrorModel::uniform(36, 0.01);
+        rows_sum_to_one(&m);
+        assert!((m.average_error_rate() - 0.01).abs() < 1e-12);
+        // Flat profile.
+        assert!((m.error_rate_at(0) - m.error_rate_at(35)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn illumina_model_ramps_to_three_prime() {
+        let m = ErrorModel::illumina_like(36, 0.01);
+        rows_sum_to_one(&m);
+        assert!(m.error_rate_at(35) > 3.0 * m.error_rate_at(0));
+        assert!((m.average_error_rate() - 0.01).abs() < 0.002);
+    }
+
+    #[test]
+    fn illumina_model_transition_biased() {
+        let m = ErrorModel::illumina_like(36, 0.02);
+        let mat = m.matrix(35);
+        // A(0) misread as G(2) should dominate A misread as C(1) or T(3).
+        assert!(mat[0][2] > 2.0 * mat[0][1]);
+        assert!(mat[0][2] > 2.0 * mat[0][3]);
+    }
+
+    #[test]
+    fn sampling_respects_rates() {
+        let m = ErrorModel::uniform(1, 0.25);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let errors = (0..n).filter(|_| m.sample(&mut rng, 0, 0) != 0).count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn estimation_recovers_planted_confusion() {
+        // Truth base A is read as G 10% of the time at position 1.
+        let observed: Vec<Vec<u8>> = (0..1000)
+            .map(|i| if i % 10 == 0 { b"AGA".to_vec() } else { b"AAA".to_vec() })
+            .collect();
+        let truth = vec![b"AAA".to_vec(); 1000];
+        let pairs: Vec<(&[u8], &[u8])> =
+            observed.iter().zip(&truth).map(|(o, t)| (o.as_slice(), t.as_slice())).collect();
+        let m = ErrorModel::estimate(&pairs, 3);
+        rows_sum_to_one(&m);
+        assert!((m.matrix(1)[0][2] - 0.1).abs() < 1e-9);
+        assert!((m.matrix(0)[0][0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_skips_ambiguous() {
+        let pairs: Vec<(&[u8], &[u8])> = vec![(b"AN", b"AA")];
+        let m = ErrorModel::estimate(&pairs, 2);
+        // Position 1 unobserved -> identity fallback.
+        assert!((m.matrix(1)[0][0] - 1.0).abs() < 1e-12);
+    }
+}

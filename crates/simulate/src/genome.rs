@@ -1,0 +1,240 @@
+//! Synthetic reference genomes with controlled repeat structure.
+//!
+//! Table 3.1 of the paper evaluates on genomes with 20%, 50% and 80% of
+//! their length spanned by repeats of given `(length, multiplicity)`
+//! classes, generated from the nucleotide composition of a maize region
+//! (A 28%, C 23%, G 22%, T 27%). [`GenomeSpec`] reproduces that recipe:
+//! a random background sequence with the requested composition, into which
+//! each repeat class pastes `multiplicity` copies of a freshly drawn unit
+//! at random non-overlapping positions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One repeat class: `multiplicity` copies of a unit of `length` bases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatClass {
+    /// Repeat unit length in bases.
+    pub length: usize,
+    /// Number of copies embedded in the genome.
+    pub multiplicity: usize,
+}
+
+/// Specification for a synthetic genome.
+#[derive(Debug, Clone)]
+pub struct GenomeSpec {
+    /// Total genome length in bases.
+    pub length: usize,
+    /// Base composition (A, C, G, T); needs not be normalised.
+    pub composition: [f64; 4],
+    /// Repeat classes to embed.
+    pub repeats: Vec<RepeatClass>,
+}
+
+impl GenomeSpec {
+    /// The maize-region composition used throughout Chapter 3.
+    pub const MAIZE_COMPOSITION: [f64; 4] = [0.28, 0.23, 0.22, 0.27];
+
+    /// A repeat-free genome of `length` bases with maize composition.
+    pub fn uniform(length: usize) -> GenomeSpec {
+        GenomeSpec { length, composition: Self::MAIZE_COMPOSITION, repeats: Vec::new() }
+    }
+
+    /// A genome with the given repeat classes (maize composition).
+    pub fn with_repeats(length: usize, repeats: Vec<RepeatClass>) -> GenomeSpec {
+        GenomeSpec { length, composition: Self::MAIZE_COMPOSITION, repeats }
+    }
+
+    /// Draw the genome. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if the repeat classes cannot be placed without exceeding the
+    /// genome length (total repeat span must stay below ~90% of the genome
+    /// so random placement terminates).
+    pub fn generate(&self, seed: u64) -> SimulatedGenome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total: f64 = self.composition.iter().sum();
+        let cum = {
+            let mut c = [0.0f64; 4];
+            let mut acc = 0.0;
+            for (slot, comp) in c.iter_mut().zip(&self.composition) {
+                acc += comp / total;
+                *slot = acc;
+            }
+            c
+        };
+        let draw_base = |rng: &mut StdRng| -> u8 {
+            let x: f64 = rng.gen();
+            let code = cum.iter().position(|&c| x <= c).unwrap_or(3);
+            ngs_core::alphabet::decode_base(code as u8)
+        };
+
+        let mut seq: Vec<u8> = (0..self.length).map(|_| draw_base(&mut rng)).collect();
+
+        // Embed repeats at random non-overlapping positions.
+        let span: usize = self.repeats.iter().map(|r| r.length * r.multiplicity).sum();
+        assert!(
+            span as f64 <= self.length as f64 * 0.9,
+            "repeat span {span} too large for genome length {}",
+            self.length
+        );
+        // Gap-list placement: sample uniformly over *feasible* start
+        // positions so dense packings terminate (naive rejection sampling
+        // diverges once no wide-enough gap remains).
+        let mut gaps: Vec<(usize, usize)> = vec![(0, self.length)]; // sorted, half-open
+        let mut repeat_intervals: Vec<(usize, usize)> = Vec::new();
+        // Place longer classes first: dense packings succeed far more often
+        // when big blocks claim contiguous space before it fragments.
+        let mut classes: Vec<&RepeatClass> = self.repeats.iter().collect();
+        classes.sort_by_key(|c| std::cmp::Reverse(c.length));
+        for class in classes {
+            let unit: Vec<u8> = (0..class.length).map(|_| draw_base(&mut rng)).collect();
+            for copy in 0..class.multiplicity {
+                // Feasible starts: for each gap of length >= class.length,
+                // any of (gap_len - class.length + 1) offsets.
+                let feasible: u64 = gaps
+                    .iter()
+                    .map(|&(s, e)| (e - s).saturating_sub(class.length - 1) as u64)
+                    .sum();
+                assert!(
+                    feasible > 0,
+                    "no room left for repeat copy {copy} of class {class:?} \
+                     (genome too densely packed)"
+                );
+                let mut pick = rng.gen_range(0..feasible);
+                let (gi, start) = gaps
+                    .iter()
+                    .enumerate()
+                    .find_map(|(gi, &(s, e))| {
+                        let slots = (e - s).saturating_sub(class.length - 1) as u64;
+                        if pick < slots {
+                            Some((gi, s + pick as usize))
+                        } else {
+                            pick -= slots;
+                            None
+                        }
+                    })
+                    .expect("pick within feasible total");
+                let end = start + class.length;
+                seq[start..end].copy_from_slice(&unit);
+                repeat_intervals.push((start, end));
+                // Split the chosen gap around the placed block.
+                let (gs, ge) = gaps.remove(gi);
+                if end < ge {
+                    gaps.insert(gi, (end, ge));
+                }
+                if gs < start {
+                    gaps.insert(gi, (gs, start));
+                }
+            }
+        }
+        repeat_intervals.sort_unstable();
+        SimulatedGenome { seq, repeat_intervals }
+    }
+}
+
+/// A generated genome plus the intervals its repeats occupy.
+#[derive(Debug, Clone)]
+pub struct SimulatedGenome {
+    /// The genome sequence (uppercase ASCII, no ambiguous bases).
+    pub seq: Vec<u8>,
+    /// Sorted `(start, end)` intervals covered by embedded repeat copies.
+    pub repeat_intervals: Vec<(usize, usize)>,
+}
+
+impl SimulatedGenome {
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True for an empty genome.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Fraction of the genome spanned by embedded repeats.
+    pub fn repeat_fraction(&self) -> f64 {
+        if self.seq.is_empty() {
+            return 0.0;
+        }
+        let covered: usize = self.repeat_intervals.iter().map(|&(s, e)| e - s).sum();
+        covered as f64 / self.seq.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length() {
+        let g = GenomeSpec::uniform(10_000).generate(1);
+        assert_eq!(g.len(), 10_000);
+        assert!(g.seq.iter().all(|&b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        assert_eq!(g.repeat_fraction(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = GenomeSpec::uniform(5_000);
+        assert_eq!(spec.generate(7).seq, spec.generate(7).seq);
+        assert_ne!(spec.generate(7).seq, spec.generate(8).seq);
+    }
+
+    #[test]
+    fn composition_approximately_respected() {
+        let g = GenomeSpec::uniform(200_000).generate(3);
+        let mut counts = [0usize; 4];
+        for &b in &g.seq {
+            counts[ngs_core::alphabet::encode_base(b).unwrap() as usize] += 1;
+        }
+        let n = g.len() as f64;
+        for (i, &target) in GenomeSpec::MAIZE_COMPOSITION.iter().enumerate() {
+            let observed = counts[i] as f64 / n;
+            assert!(
+                (observed - target).abs() < 0.01,
+                "base {i}: observed {observed:.3}, target {target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeats_embedded_with_requested_fraction() {
+        // 20% repeats like dataset D1 of Table 3.1 (scaled).
+        let spec = GenomeSpec::with_repeats(
+            50_000,
+            vec![RepeatClass { length: 500, multiplicity: 20 }],
+        );
+        let g = spec.generate(11);
+        assert!((g.repeat_fraction() - 0.2).abs() < 1e-9);
+        // All copies carry identical sequence.
+        let (s0, e0) = g.repeat_intervals[0];
+        let unit = &g.seq[s0..e0];
+        for &(s, e) in &g.repeat_intervals {
+            assert_eq!(&g.seq[s..e], unit);
+        }
+    }
+
+    #[test]
+    fn repeat_intervals_disjoint() {
+        let spec = GenomeSpec::with_repeats(
+            20_000,
+            vec![
+                RepeatClass { length: 100, multiplicity: 30 },
+                RepeatClass { length: 300, multiplicity: 10 },
+            ],
+        );
+        let g = spec.generate(5);
+        for w in g.repeat_intervals.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping intervals {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_repeats_rejected() {
+        GenomeSpec::with_repeats(1_000, vec![RepeatClass { length: 500, multiplicity: 3 }])
+            .generate(1);
+    }
+}

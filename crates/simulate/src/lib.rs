@@ -1,0 +1,32 @@
+//! `ngs-simulate` — synthetic genomes, reads, and metagenomes with ground
+//! truth.
+//!
+//! Chapter 3 of the paper relies on exactly this machinery: "The simulated
+//! Illumina reads (type 1) were produced by first estimating an error
+//! distribution from a real Illumina short read dataset, then simulating
+//! uniformly distributed reads of the reference genomes with these error
+//! rates" (§3.4.1), and "only simulation can provide unambiguous error
+//! information" for repeat-rich genomes. We substitute the SRA datasets of
+//! Chapter 2 with the same kind of simulation (documented in `DESIGN.md`).
+//!
+//! * [`genome`] — random genomes with a given base composition and embedded
+//!   repeat classes `(length, multiplicity)` (Table 3.1);
+//! * [`error_model`] — position-specific misread probability matrices `M`
+//!   (`L` stochastic 4×4 matrices), with Illumina-shaped presets, uniform
+//!   models, and estimation from aligned reads;
+//! * [`illumina`] — the read simulator: uniform sampling over both strands,
+//!   base corruption through `M`, quality-score generation, optional
+//!   ambiguous-base (`N`) injection, full per-read ground truth;
+//! * [`metagenome`] — a 16S-style community simulator: a root gene
+//!   diversified down a taxonomic tree, power-law species abundances,
+//!   454-style variable-length reads, per-read lineage labels.
+
+pub mod error_model;
+pub mod genome;
+pub mod illumina;
+pub mod metagenome;
+
+pub use error_model::ErrorModel;
+pub use genome::{GenomeSpec, RepeatClass, SimulatedGenome};
+pub use illumina::{simulate_reads, ReadSimConfig, ReadTruth, SimulatedReads};
+pub use metagenome::{simulate_community, CommunityConfig, RankSpec, SimulatedCommunity};

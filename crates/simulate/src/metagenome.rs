@@ -1,0 +1,280 @@
+//! 16S-style metagenomic community simulation.
+//!
+//! Chapter 4 clusters 454 reads sampled from the 16S rRNA pool of mouse-gut
+//! communities. The real dataset has no ground truth; for ARI evaluation the
+//! paper relies on "datasets curated by biological experts, where the
+//! taxonomic rank of each read is known" (§4.5.2). This simulator produces
+//! exactly such data: a root gene (~1.5 kbp) is diversified down a taxonomic
+//! tree with per-rank divergence, species abundances follow a power law, and
+//! variable-length 454-style reads are sampled from random windows of their
+//! species' gene. Every read carries its full lineage, which defines the
+//! canonical clusters at every rank.
+
+use ngs_core::Read;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One taxonomic rank of the simulated tree.
+#[derive(Debug, Clone, Copy)]
+pub struct RankSpec {
+    /// Human-readable rank name (e.g. "genus").
+    pub name: &'static str,
+    /// Children spawned per node of the parent rank.
+    pub children: usize,
+    /// Per-base substitution divergence applied to each child relative to
+    /// its parent's sequence.
+    pub divergence: f64,
+}
+
+/// Configuration for the community simulator.
+#[derive(Debug, Clone)]
+pub struct CommunityConfig {
+    /// Length of the root gene (the paper's 16S rRNA is ~1500–1600 bp).
+    pub gene_len: usize,
+    /// Rank ladder, root-most first. The last rank's nodes are the species.
+    pub ranks: Vec<RankSpec>,
+    /// Number of reads to sample.
+    pub n_reads: usize,
+    /// Minimum read length (454 reads: "min 167–192" in Table 4.1).
+    pub read_len_min: usize,
+    /// Maximum read length (454 reads up to ~900 bp).
+    pub read_len_max: usize,
+    /// Per-base substitution error rate of the sequencer.
+    pub error_rate: f64,
+    /// Power-law exponent for species abundance (1.0 ≈ Zipf).
+    pub abundance_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CommunityConfig {
+    /// The default rank ladder used in the experiments: 4 phyla × 3 genera ×
+    /// 3 species, with divergences mirroring 16S practice (species ≈ 3%,
+    /// genus ≈ 8%, phylum ≈ 20%).
+    pub fn default_ranks() -> Vec<RankSpec> {
+        vec![
+            RankSpec { name: "phylum", children: 4, divergence: 0.20 },
+            RankSpec { name: "genus", children: 3, divergence: 0.08 },
+            RankSpec { name: "species", children: 3, divergence: 0.03 },
+        ]
+    }
+
+    /// A community with default ranks, 454-style read lengths and 1% errors.
+    pub fn standard(n_reads: usize, seed: u64) -> CommunityConfig {
+        CommunityConfig {
+            gene_len: 1_500,
+            ranks: Self::default_ranks(),
+            n_reads,
+            read_len_min: 170,
+            read_len_max: 420,
+            error_rate: 0.01,
+            abundance_exponent: 1.0,
+            seed,
+        }
+    }
+}
+
+/// A simulated community: reads plus per-read lineage labels.
+#[derive(Debug, Clone)]
+pub struct SimulatedCommunity {
+    /// The sampled reads.
+    pub reads: Vec<Read>,
+    /// `lineage[r][rank]` = node id (within that rank) of read `r`. The last
+    /// entry is the species id.
+    pub lineages: Vec<Vec<usize>>,
+    /// Rank names, parallel to the inner lineage vectors.
+    pub rank_names: Vec<String>,
+    /// Species gene sequences, indexed by species id.
+    pub species_genes: Vec<Vec<u8>>,
+    /// Species abundances (normalised to sum to 1), indexed by species id.
+    pub abundances: Vec<f64>,
+}
+
+impl SimulatedCommunity {
+    /// Number of species in the community.
+    pub fn n_species(&self) -> usize {
+        self.species_genes.len()
+    }
+
+    /// The canonical partition of reads at rank index `rank` (0 = root-most):
+    /// `labels[r]` is the canonical cluster id of read `r`.
+    pub fn canonical_labels(&self, rank: usize) -> Vec<usize> {
+        self.lineages.iter().map(|l| l[rank]).collect()
+    }
+}
+
+fn random_gene(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| ngs_core::alphabet::decode_base(rng.gen_range(0..4u8))).collect()
+}
+
+fn mutate(rng: &mut StdRng, seq: &[u8], rate: f64) -> Vec<u8> {
+    seq.iter()
+        .map(|&b| {
+            if rng.gen_bool(rate) {
+                let code = ngs_core::alphabet::encode_base(b).unwrap();
+                let delta = rng.gen_range(1..4u8);
+                ngs_core::alphabet::decode_base(code ^ delta)
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+/// Run the community simulation.
+///
+/// # Panics
+/// Panics on an empty rank ladder or read lengths exceeding the gene length.
+pub fn simulate_community(cfg: &CommunityConfig) -> SimulatedCommunity {
+    assert!(!cfg.ranks.is_empty(), "need at least one rank");
+    assert!(cfg.read_len_min >= 1 && cfg.read_len_min <= cfg.read_len_max);
+    assert!(cfg.read_len_max <= cfg.gene_len, "reads longer than the gene");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Diversify the root gene down the rank ladder. `nodes` holds, per rank,
+    // each node's (sequence, lineage-so-far).
+    let root = random_gene(&mut rng, cfg.gene_len);
+    let mut frontier: Vec<(Vec<u8>, Vec<usize>)> = vec![(root, Vec::new())];
+    for rank in &cfg.ranks {
+        let mut next = Vec::with_capacity(frontier.len() * rank.children);
+        for (seq, lineage) in &frontier {
+            for _ in 0..rank.children {
+                let child_seq = mutate(&mut rng, seq, rank.divergence);
+                let mut child_lineage = lineage.clone();
+                child_lineage.push(next.len());
+                next.push((child_seq, child_lineage));
+            }
+        }
+        frontier = next;
+    }
+    let (species_genes, species_lineages): (Vec<Vec<u8>>, Vec<Vec<usize>>) =
+        frontier.into_iter().unzip();
+
+    // Power-law abundances over species.
+    let n_species = species_genes.len();
+    let mut abundances: Vec<f64> =
+        (0..n_species).map(|i| 1.0 / ((i + 1) as f64).powf(cfg.abundance_exponent)).collect();
+    let total: f64 = abundances.iter().sum();
+    for a in &mut abundances {
+        *a /= total;
+    }
+    let cum: Vec<f64> = abundances
+        .iter()
+        .scan(0.0, |acc, &a| {
+            *acc += a;
+            Some(*acc)
+        })
+        .collect();
+
+    // Sample reads.
+    let mut reads = Vec::with_capacity(cfg.n_reads);
+    let mut lineages = Vec::with_capacity(cfg.n_reads);
+    for idx in 0..cfg.n_reads {
+        let x: f64 = rng.gen();
+        let sp = cum.partition_point(|&c| c < x).min(n_species - 1);
+        let gene = &species_genes[sp];
+        let len = rng.gen_range(cfg.read_len_min..=cfg.read_len_max);
+        let start = rng.gen_range(0..=gene.len() - len);
+        let seq = mutate(&mut rng, &gene[start..start + len], cfg.error_rate);
+        reads.push(Read::new(format!("mg_{idx}_sp{sp}"), &seq));
+        lineages.push(species_lineages[sp].clone());
+    }
+
+    SimulatedCommunity {
+        reads,
+        lineages,
+        rank_names: cfg.ranks.iter().map(|r| r.name.to_string()).collect(),
+        species_genes,
+        abundances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_align::fitting_identity;
+
+    fn tiny() -> CommunityConfig {
+        CommunityConfig {
+            gene_len: 400,
+            ranks: vec![
+                RankSpec { name: "phylum", children: 2, divergence: 0.2 },
+                RankSpec { name: "species", children: 2, divergence: 0.03 },
+            ],
+            n_reads: 200,
+            read_len_min: 80,
+            read_len_max: 150,
+            error_rate: 0.01,
+            abundance_exponent: 1.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn species_count_is_product_of_children() {
+        let c = simulate_community(&tiny());
+        assert_eq!(c.n_species(), 4);
+        assert_eq!(c.rank_names, vec!["phylum", "species"]);
+        assert_eq!(c.reads.len(), 200);
+    }
+
+    #[test]
+    fn lineages_consistent() {
+        let c = simulate_community(&tiny());
+        for l in &c.lineages {
+            assert_eq!(l.len(), 2);
+            // Species id determines phylum id under this tree shape.
+            assert_eq!(l[0], l[1] / 2);
+        }
+    }
+
+    #[test]
+    fn abundances_normalised_and_decreasing() {
+        let c = simulate_community(&tiny());
+        let sum: f64 = c.abundances.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for w in c.abundances.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn same_species_reads_more_similar_than_cross_phylum() {
+        // The structural property CLOSET's threshold ladder relies on.
+        let c = simulate_community(&tiny());
+        // Same-species gene identity vs cross-phylum gene identity.
+        let same = fitting_identity(&c.species_genes[0], &c.species_genes[1]);
+        let cross = fitting_identity(&c.species_genes[0], &c.species_genes[3]);
+        assert!(
+            same > cross + 0.05,
+            "same-genus identity {same:.3} should exceed cross-phylum {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn read_lengths_within_bounds() {
+        let c = simulate_community(&tiny());
+        for r in &c.reads {
+            assert!((80..=150).contains(&r.len()));
+        }
+    }
+
+    #[test]
+    fn canonical_labels_match_lineage() {
+        let c = simulate_community(&tiny());
+        let phyla = c.canonical_labels(0);
+        let species = c.canonical_labels(1);
+        for (i, l) in c.lineages.iter().enumerate() {
+            assert_eq!(phyla[i], l[0]);
+            assert_eq!(species[i], l[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = simulate_community(&tiny());
+        let b = simulate_community(&tiny());
+        assert_eq!(a.reads, b.reads);
+        assert_eq!(a.lineages, b.lineages);
+    }
+}

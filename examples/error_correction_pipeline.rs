@@ -1,0 +1,75 @@
+//! A full Chapter-2-style evaluation pipeline on one dataset:
+//! simulate → write/read FASTQ → map (RMAP substitute) → estimate the error
+//! rate → correct with Reptile *and* SHREC → compare Gain/EBA/time.
+//!
+//! ```sh
+//! cargo run --release --example error_correction_pipeline
+//! ```
+
+use ngs::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // D2-like dataset (Table 2.1, scaled): low error, typical coverage.
+    let genome = GenomeSpec::uniform(50_000).generate(11).seq;
+    let cfg = ReadSimConfig::with_coverage(
+        genome.len(),
+        36,
+        80.0,
+        ErrorModel::illumina_like(36, 0.006),
+        3,
+    );
+    let sim = simulate_reads(&genome, &cfg);
+
+    // Round-trip through FASTQ, as a real pipeline would.
+    let mut fastq = Vec::new();
+    write_fastq(&mut fastq, &sim.reads).expect("write fastq");
+    let reads = read_fastq(&fastq[..]).expect("read fastq");
+    println!("dataset: {} reads, {} bytes of FASTQ", reads.len(), fastq.len());
+
+    // Map against the reference (Table 2.2's uniquely/ambiguously mapped).
+    let mapper = Mapper::build(&genome, 6);
+    let (_, mstats) = mapper.map_all(&reads, 5);
+    println!(
+        "mapping: {:.1}% unique, {:.1}% ambiguous, estimated error rate {:.2}% (true {:.2}%)",
+        100.0 * mstats.unique_fraction(),
+        100.0 * mstats.ambiguous_fraction(),
+        100.0 * mstats.error_rate(),
+        100.0 * sim.error_rate()
+    );
+
+    let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+
+    // Reptile.
+    let params = ReptileParams::from_data(&reads, genome.len());
+    let t0 = Instant::now();
+    let (rep_out, _) = Reptile::run(&reads, params);
+    let rep_time = t0.elapsed();
+    let rep_eval = evaluate_correction(&reads, &rep_out, &truths);
+
+    // SHREC baseline.
+    let t1 = Instant::now();
+    let shrec = Shrec::new(ShrecParams::recommended(genome.len(), 36));
+    let (shrec_out, _) = shrec.correct(&reads);
+    let shrec_time = t1.elapsed();
+    let shrec_eval = evaluate_correction(&reads, &shrec_out, &truths);
+
+    println!("\n{:<8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
+        "method", "TP", "FP", "FN", "Sens%", "Gain%", "EBA%", "time");
+    for (name, e, t) in
+        [("Reptile", rep_eval, rep_time), ("SHREC", shrec_eval, shrec_time)]
+    {
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>6.1} {:>6.1} {:>6.2} {:>8.2?}",
+            name,
+            e.tp,
+            e.fp,
+            e.fn_,
+            100.0 * e.sensitivity(),
+            100.0 * e.gain(),
+            100.0 * e.eba(),
+            t
+        );
+    }
+    assert!(rep_eval.gain() > shrec_eval.gain() - 0.05, "Reptile should be competitive");
+}

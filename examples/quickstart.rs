@@ -1,0 +1,63 @@
+//! Quickstart: simulate a small Illumina-style dataset, correct it with
+//! Reptile, and report the §2.4 quality measures.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ngs::prelude::*;
+
+fn main() {
+    // 1. A 20 kbp reference genome and 60x of 36 bp reads at ~1% error.
+    let genome = GenomeSpec::uniform(20_000).generate(42).seq;
+    let cfg = ReadSimConfig::with_coverage(
+        genome.len(),
+        36,
+        60.0,
+        ErrorModel::illumina_like(36, 0.01),
+        7,
+    );
+    let sim = simulate_reads(&genome, &cfg);
+    println!(
+        "simulated {} reads ({:.0}x coverage, {:.2}% per-base error rate)",
+        sim.reads.len(),
+        sim.coverage(genome.len()),
+        100.0 * sim.error_rate()
+    );
+
+    // 2. Choose Reptile's thresholds from the data itself (§2.3) and run.
+    let params = ReptileParams::from_data(&sim.reads, genome.len());
+    println!(
+        "parameters from data: k={} d={} |t|={} Cg={} Cm={} Qc={}",
+        params.k,
+        params.d,
+        params.tile_len(),
+        params.cg,
+        params.cm,
+        params.qc
+    );
+    let t0 = std::time::Instant::now();
+    let (corrected, stats) = Reptile::run(&sim.reads, params);
+    println!(
+        "corrected in {:.2?}: {} tiles validated, {} corrected, {} bases changed",
+        t0.elapsed(),
+        stats.tiles_validated,
+        stats.tiles_corrected,
+        stats.bases_changed
+    );
+
+    // 3. Score against the simulator's ground truth.
+    let truths: Vec<Vec<u8>> = sim.truth.iter().map(|t| t.true_seq.clone()).collect();
+    let eval = evaluate_correction(&sim.reads, &corrected, &truths);
+    println!(
+        "TP={} FP={} FN={} | sensitivity={:.1}% specificity={:.3}% EBA={:.2}% Gain={:.1}%",
+        eval.tp,
+        eval.fp,
+        eval.fn_,
+        100.0 * eval.sensitivity(),
+        100.0 * eval.specificity(),
+        100.0 * eval.eba(),
+        100.0 * eval.gain()
+    );
+    assert!(eval.gain() > 0.5, "expected most errors removed");
+}

@@ -1,0 +1,138 @@
+//! Integration: the CLOSET pipeline end to end on simulated communities.
+
+use ngs::prelude::*;
+
+fn community(n_reads: usize, seed: u64) -> ngs::simulate::SimulatedCommunity {
+    let cfg = CommunityConfig {
+        gene_len: 500,
+        ranks: vec![
+            RankSpec { name: "phylum", children: 3, divergence: 0.2 },
+            RankSpec { name: "species", children: 2, divergence: 0.03 },
+        ],
+        n_reads,
+        read_len_min: 300,
+        read_len_max: 450,
+        error_rate: 0.005,
+        abundance_exponent: 0.7,
+        seed,
+    };
+    simulate_community(&cfg)
+}
+
+#[test]
+fn clusters_are_species_pure_at_high_threshold() {
+    let c = community(500, 1);
+    let params = ClosetParams::standard(380, vec![0.85, 0.6], 6);
+    let out = closet::run(&c.reads, &params);
+    let species = c.canonical_labels(1);
+    for (t, clusters) in &out.clusters_by_threshold {
+        let pure = clusters
+            .iter()
+            .filter(|cl| {
+                let s0 = species[cl.vertices[0] as usize];
+                cl.vertices.iter().all(|&v| species[v as usize] == s0)
+            })
+            .count();
+        let purity = pure as f64 / clusters.len().max(1) as f64;
+        assert!(purity > 0.9, "t={t}: purity {purity}");
+    }
+}
+
+#[test]
+fn edge_sets_are_incremental_and_cluster_sizes_grow() {
+    let c = community(400, 2);
+    let params = ClosetParams::standard(380, vec![0.9, 0.75, 0.55], 6);
+    let out = closet::run(&c.reads, &params);
+    // E_{k-1} ⊆ E_k (edge counts monotone).
+    let edges: Vec<usize> = out.threshold_stats.iter().map(|s| s.edges).collect();
+    assert!(edges.windows(2).all(|w| w[0] <= w[1]), "{edges:?}");
+    // Lower thresholds produce (weakly) larger maximum clusters.
+    let max_sizes: Vec<usize> = out
+        .clusters_by_threshold
+        .iter()
+        .map(|(_, cl)| cl.iter().map(|c| c.order()).max().unwrap_or(0))
+        .collect();
+    assert!(
+        max_sizes.windows(2).all(|w| w[0] <= w[1]),
+        "max cluster sizes should grow: {max_sizes:?}"
+    );
+}
+
+#[test]
+fn all_clusters_satisfy_density_invariant() {
+    let c = community(350, 3);
+    let params = ClosetParams::standard(380, vec![0.8, 0.6], 4);
+    let out = closet::run(&c.reads, &params);
+    for (_, clusters) in &out.clusters_by_threshold {
+        for cl in clusters {
+            assert!(
+                cl.density() >= params.gamma - 1e-9,
+                "cluster violates gamma: {cl:?}"
+            );
+            // Structural sanity: sorted unique vertices, edges within.
+            assert!(cl.vertices.windows(2).all(|w| w[0] < w[1]));
+            for &(a, b) in &cl.edges {
+                assert!(a < b);
+                assert!(cl.vertices.binary_search(&a).is_ok());
+                assert!(cl.vertices.binary_search(&b).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn mapreduce_worker_count_does_not_change_results() {
+    let c = community(300, 4);
+    let mut p2 = ClosetParams::standard(380, vec![0.8, 0.6], 2);
+    let mut p8 = ClosetParams::standard(380, vec![0.8, 0.6], 8);
+    p2.max_live_clusters = 0;
+    p8.max_live_clusters = 0;
+    let o2 = closet::run(&c.reads, &p2);
+    let o8 = closet::run(&c.reads, &p8);
+    assert_eq!(o2.confirmed_edges, o8.confirmed_edges);
+    for ((_, c2), (_, c8)) in
+        o2.clusters_by_threshold.iter().zip(&o8.clusters_by_threshold)
+    {
+        let mut v2: Vec<&Vec<u32>> = c2.iter().map(|c| &c.vertices).collect();
+        let mut v8: Vec<&Vec<u32>> = c8.iter().map(|c| &c.vertices).collect();
+        v2.sort();
+        v8.sort();
+        assert_eq!(v2, v8);
+    }
+}
+
+#[test]
+fn alignment_validator_agrees_with_kmer_validator_on_strong_edges() {
+    let c = community(200, 5);
+    let (candidates, _) = closet::build_candidate_edges(
+        &c.reads,
+        &ClosetParams::standard(380, vec![0.6], 2).sketch,
+        &JobConfig::with_workers(2),
+    );
+    let kmer_edges = closet::validate_edges(
+        &c.reads,
+        &candidates,
+        &Validator::KmerContainment { k: 15 },
+        0.8,
+    );
+    let align_edges = closet::validate_edges(
+        &c.reads,
+        &candidates,
+        &Validator::Alignment { min_overlap: 60 },
+        0.9,
+    );
+    // Every very-strong k-mer edge should also be a strong alignment edge.
+    let align_set: std::collections::HashSet<(u32, u32)> =
+        align_edges.iter().map(|&(a, b, _)| (a, b)).collect();
+    let mut agree = 0;
+    for &(a, b, _) in &kmer_edges {
+        if align_set.contains(&(a, b)) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 >= 0.9 * kmer_edges.len() as f64,
+        "{agree}/{} strong kmer edges confirmed by alignment",
+        kmer_edges.len()
+    );
+}

@@ -1,0 +1,168 @@
+//! Integration: the full Chapter-2 pipeline across crates —
+//! simulate → FASTQ round trip → map → correct (Reptile, SHREC) → evaluate.
+
+use ngs::prelude::*;
+
+fn dataset(
+    genome_len: usize,
+    read_len: usize,
+    coverage: f64,
+    err: f64,
+    seed: u64,
+) -> (Vec<u8>, ngs::simulate::SimulatedReads) {
+    let genome = GenomeSpec::uniform(genome_len).generate(seed ^ 0xABCD).seq;
+    let cfg = ReadSimConfig::with_coverage(
+        genome.len(),
+        read_len,
+        coverage,
+        ErrorModel::illumina_like(read_len, err),
+        seed,
+    );
+    let sim = simulate_reads(&genome, &cfg);
+    (genome, sim)
+}
+
+fn truths(sim: &ngs::simulate::SimulatedReads) -> Vec<Vec<u8>> {
+    sim.truth.iter().map(|t| t.true_seq.clone()).collect()
+}
+
+#[test]
+fn reptile_beats_shrec_on_standard_run() {
+    let (genome, sim) = dataset(12_000, 36, 60.0, 0.01, 1);
+    let t = truths(&sim);
+
+    let params = ReptileParams::from_data(&sim.reads, genome.len());
+    let (rep, _) = Reptile::run(&sim.reads, params);
+    let rep_eval = evaluate_correction(&sim.reads, &rep, &t);
+
+    let shrec = Shrec::new(ShrecParams::recommended(genome.len(), 36));
+    let (sh, _) = shrec.correct(&sim.reads);
+    let sh_eval = evaluate_correction(&sim.reads, &sh, &t);
+
+    // The paper's Table 2.3 shape: Reptile wins on Gain and EBA.
+    assert!(rep_eval.gain() > 0.5, "Reptile gain {}", rep_eval.gain());
+    assert!(
+        rep_eval.gain() >= sh_eval.gain(),
+        "Reptile {} vs SHREC {}",
+        rep_eval.gain(),
+        sh_eval.gain()
+    );
+    assert!(rep_eval.eba() <= sh_eval.eba() + 0.02);
+}
+
+#[test]
+fn pipeline_survives_fastq_round_trip() {
+    let (genome, sim) = dataset(8_000, 36, 50.0, 0.01, 2);
+    let mut buf = Vec::new();
+    write_fastq(&mut buf, &sim.reads).unwrap();
+    let reads = read_fastq(&buf[..]).unwrap();
+    assert_eq!(reads, sim.reads);
+
+    let params = ReptileParams::from_data(&reads, genome.len());
+    let (corrected, _) = Reptile::run(&reads, params);
+    let eval = evaluate_correction(&reads, &corrected, &truths(&sim));
+    assert!(eval.gain() > 0.4, "gain {}", eval.gain());
+}
+
+#[test]
+fn mapper_error_estimate_matches_simulation() {
+    let (genome, sim) = dataset(10_000, 36, 40.0, 0.012, 3);
+    let mapper = Mapper::build(&genome, 6);
+    let (results, stats) = mapper.map_all(&sim.reads, 5);
+    assert!(stats.unique_fraction() > 0.9);
+    // Mapper-estimated error rate tracks the simulator's truth.
+    assert!(
+        (stats.error_rate() - sim.error_rate()).abs() < 0.004,
+        "mapper {} vs sim {}",
+        stats.error_rate(),
+        sim.error_rate()
+    );
+    // Mapper-recovered truth pairs can train an error model whose average
+    // rate also matches.
+    let pairs = mapper.truth_pairs(&sim.reads, &results);
+    let borrowed: Vec<(&[u8], Vec<u8>)> = pairs;
+    let pairs_ref: Vec<(&[u8], &[u8])> =
+        borrowed.iter().map(|(o, t)| (*o, t.as_slice())).collect();
+    let model = ErrorModel::estimate(&pairs_ref, 36);
+    assert!((model.average_error_rate() - sim.error_rate()).abs() < 0.004);
+}
+
+#[test]
+fn correction_improves_mappability() {
+    // The (flawed, per the paper) SHREC-style validation criterion — more
+    // reads map after correction — should still hold directionally.
+    let (genome, sim) = dataset(8_000, 36, 50.0, 0.03, 4);
+    let params = ReptileParams::from_data(&sim.reads, genome.len());
+    let (corrected, _) = Reptile::run(&sim.reads, params);
+
+    let mapper = Mapper::build(&genome, 9);
+    let (_, before) = mapper.map_all(&sim.reads, 2);
+    let (_, after) = mapper.map_all(&corrected, 2);
+    assert!(
+        after.unique_fraction() > before.unique_fraction(),
+        "before {:.3} after {:.3}",
+        before.unique_fraction(),
+        after.unique_fraction()
+    );
+}
+
+#[test]
+fn longer_reads_are_supported() {
+    // A D6-like run: 101 bp reads, higher error rate.
+    let (genome, sim) = dataset(12_000, 101, 60.0, 0.02, 5);
+    let params = ReptileParams::from_data(&sim.reads, genome.len());
+    let (corrected, _) = Reptile::run(&sim.reads, params);
+    let eval = evaluate_correction(&sim.reads, &corrected, &truths(&sim));
+    assert!(eval.gain() > 0.4, "gain {}", eval.gain());
+    assert!(eval.specificity() > 0.999);
+}
+
+#[test]
+fn ambiguous_bases_corrected_to_truth() {
+    // Table 2.4's scenario: reads carry isolated Ns; Reptile must resolve
+    // most of them to the true base regardless of the default base chosen.
+    let genome = GenomeSpec::uniform(7_000).generate(77).seq;
+    let cfg = ReadSimConfig {
+        read_len: 36,
+        n_reads: 9_000,
+        error_model: ErrorModel::uniform(36, 0.004),
+        both_strands: true,
+        with_quals: true,
+        n_rate: 0.01,
+        seed: 6,
+    };
+    let sim = simulate_reads(&genome, &cfg);
+    let t = truths(&sim);
+    for default_base in [b'A', b'C', b'G', b'T'] {
+        let mut params = ReptileParams::from_data(&sim.reads, genome.len());
+        params.default_n_base = default_base;
+        let (corrected, _) = Reptile::run(&sim.reads, params);
+        let eval = evaluate_correction(&sim.reads, &corrected, &t);
+        assert!(
+            eval.gain() > 0.5,
+            "default {}: gain {}",
+            default_base as char,
+            eval.gain()
+        );
+        // Accuracy of N resolution: corrected-N bases that hit the truth.
+        let mut n_right = 0u64;
+        let mut n_changed = 0u64;
+        #[allow(clippy::needless_range_loop)] // three parallel sequences
+        for ((orig, corr), truth) in sim.reads.iter().zip(&corrected).zip(&t) {
+            for i in 0..orig.len() {
+                if orig.seq[i] == b'N' && corr.seq[i] != b'N' {
+                    n_changed += 1;
+                    n_right += u64::from(corr.seq[i] == truth[i]);
+                }
+            }
+        }
+        assert!(n_changed > 0);
+        let accuracy = n_right as f64 / n_changed as f64;
+        assert!(
+            accuracy > 0.98,
+            "default {}: N accuracy {}",
+            default_base as char,
+            accuracy
+        );
+    }
+}
