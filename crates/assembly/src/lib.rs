@@ -121,10 +121,7 @@ struct Graph {
 impl Graph {
     fn successors(&self, v: Kmer) -> Vec<Kmer> {
         let mask: u64 = if self.k == 32 { u64::MAX } else { (1u64 << (2 * self.k)) - 1 };
-        (0..4u64)
-            .map(|b| ((v << 2) | b) & mask)
-            .filter(|s| self.solid.contains(s))
-            .collect()
+        (0..4u64).map(|b| ((v << 2) | b) & mask).filter(|s| self.solid.contains(s)).collect()
     }
 
     fn predecessors(&self, v: Kmer) -> Vec<Kmer> {
@@ -140,11 +137,8 @@ pub fn assemble(reads: &[Read], params: AssemblyParams) -> Assembly {
     let k = params.k;
     assert!((2..=32).contains(&k));
     let spectrum = KSpectrum::from_reads_both_strands(reads, k);
-    let solid: FxHashSet<Kmer> = spectrum
-        .iter()
-        .filter(|&(_, c)| c >= params.min_count)
-        .map(|(v, _)| v)
-        .collect();
+    let solid: FxHashSet<Kmer> =
+        spectrum.iter().filter(|&(_, c)| c >= params.min_count).map(|(v, _)| v).collect();
     let graph = Graph { k, solid };
 
     let mut visited: FxHashSet<Kmer> = FxHashSet::default();
@@ -309,10 +303,7 @@ mod tests {
 
     #[test]
     fn n50_definition() {
-        let asm = Assembly {
-            unitigs: vec![vec![b'A'; 50], vec![b'A'; 30], vec![b'A'; 20]],
-            k: 15,
-        };
+        let asm = Assembly { unitigs: vec![vec![b'A'; 50], vec![b'A'; 30], vec![b'A'; 20]], k: 15 };
         let s = asm.stats();
         assert_eq!(s.count, 3);
         assert_eq!(s.total_len, 100);

@@ -1,11 +1,11 @@
 //! CLOSET stage benchmarks (Table 4.3's structure): sketching, validation
 //! and clustering on a small community, plus worker scaling.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use closet::{build_candidate_edges, validate_edges, ClosetParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_lite::JobConfig;
 use ngs_simulate::{simulate_community, CommunityConfig};
+use std::time::Duration;
 
 fn community() -> ngs_simulate::SimulatedCommunity {
     simulate_community(&CommunityConfig::standard(600, 9))
@@ -21,7 +21,8 @@ fn bench_stages(c: &mut Criterion) {
     g.bench_function("sketch_tasks_1_3", |b| {
         b.iter(|| build_candidate_edges(&com.reads, &params.sketch, &params.job))
     });
-    let (candidates, _) = build_candidate_edges(&com.reads, &params.sketch, &params.job);
+    let (candidates, _) =
+        build_candidate_edges(&com.reads, &params.sketch, &params.job).expect("sketch jobs");
     g.bench_function("validate_tasks_4_5", |b| {
         b.iter(|| validate_edges(&com.reads, &candidates, &params.validator, params.sketch.cmin))
     });

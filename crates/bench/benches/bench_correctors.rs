@@ -1,16 +1,21 @@
 //! Corrector wall-time comparison (the time column of Table 2.3):
 //! Reptile vs SHREC on a D2-shaped dataset.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
 use reptile::{Reptile, ReptileParams};
 use shrec::{Shrec, ShrecParams};
+use std::time::Duration;
 
 fn dataset() -> (Vec<u8>, ngs_simulate::SimulatedReads) {
     let genome = GenomeSpec::uniform(10_000).generate(7).seq;
     let cfg = ReadSimConfig::with_coverage(
-        genome.len(), 36, 40.0, ErrorModel::illumina_like(36, 0.006), 8);
+        genome.len(),
+        36,
+        40.0,
+        ErrorModel::illumina_like(36, 0.006),
+        8,
+    );
     let sim = simulate_reads(&genome, &cfg);
     (genome, sim)
 }
@@ -22,9 +27,7 @@ fn bench_correctors(c: &mut Criterion) {
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(8));
     let params = ReptileParams::from_data(&sim.reads, genome.len());
-    g.bench_function("reptile_full_run", |b| {
-        b.iter(|| Reptile::run(&sim.reads, params.clone()))
-    });
+    g.bench_function("reptile_full_run", |b| b.iter(|| Reptile::run(&sim.reads, params.clone())));
     let reptile = Reptile::build(&sim.reads, params.clone());
     g.bench_function("reptile_correct_only", |b| b.iter(|| reptile.correct(&sim.reads)));
     g.bench_function("shrec_full_run", |b| {

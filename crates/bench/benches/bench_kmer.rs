@@ -1,11 +1,11 @@
 //! k-mer substrate benchmarks, including the §2.3 data-structure ablation:
 //! masked-replica neighbour retrieval vs brute-force mutant enumeration.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ngs_kmer::neighbor::{NeighborIndex, NeighborStrategy};
 use ngs_kmer::{KSpectrum, TileTable};
 use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+use std::time::Duration;
 
 fn dataset() -> ngs_simulate::SimulatedReads {
     let genome = GenomeSpec::uniform(10_000).generate(1).seq;
@@ -28,9 +28,7 @@ fn bench_spectrum_build(c: &mut Criterion) {
     g.bench_function("both_strands_k13", |b| {
         b.iter(|| KSpectrum::from_reads_both_strands(&sim.reads, 13))
     });
-    g.bench_function("tile_table_k10", |b| {
-        b.iter(|| TileTable::build(&sim.reads, 10, 0, 20))
-    });
+    g.bench_function("tile_table_k10", |b| b.iter(|| TileTable::build(&sim.reads, 10, 0, 20)));
     g.finish();
 }
 
@@ -68,7 +66,9 @@ fn bench_index_build(c: &mut Criterion) {
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(8));
     g.bench_function("masked_replicas_c13_d1", |b| {
-        b.iter(|| NeighborIndex::build(&spectrum, 1, NeighborStrategy::MaskedReplicas { chunks: 13 }))
+        b.iter(|| {
+            NeighborIndex::build(&spectrum, 1, NeighborStrategy::MaskedReplicas { chunks: 13 })
+        })
     });
     g.finish();
 }

@@ -1,14 +1,19 @@
 //! Read-mapper throughput (the RMAP-substitute used in every evaluation).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ngs_mapper::Mapper;
 use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+use std::time::Duration;
 
 fn bench_mapper(c: &mut Criterion) {
     let genome = GenomeSpec::uniform(20_000).generate(2).seq;
     let cfg = ReadSimConfig::with_coverage(
-        genome.len(), 36, 10.0, ErrorModel::illumina_like(36, 0.01), 3);
+        genome.len(),
+        36,
+        10.0,
+        ErrorModel::illumina_like(36, 0.01),
+        3,
+    );
     let sim = simulate_reads(&genome, &cfg);
     let mut g = c.benchmark_group("mapper_20kbp");
     g.sample_size(10);

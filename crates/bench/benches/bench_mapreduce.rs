@@ -1,16 +1,16 @@
 //! MapReduce runtime scaling: a k-mer counting job at 1/2/4/8 workers, and
 //! the spill-to-disk overhead.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mapreduce_lite::{map_reduce, JobConfig};
 use ngs_core::Read;
 use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+use std::time::Duration;
 
 fn dataset() -> Vec<Read> {
     let genome = GenomeSpec::uniform(8_000).generate(5).seq;
-    let cfg = ReadSimConfig::with_coverage(
-        genome.len(), 50, 15.0, ErrorModel::uniform(50, 0.01), 6);
+    let cfg =
+        ReadSimConfig::with_coverage(genome.len(), 50, 15.0, ErrorModel::uniform(50, 0.01), 6);
     simulate_reads(&genome, &cfg).reads
 }
 
@@ -27,10 +27,9 @@ fn count_job(reads: &[Read], cfg: &JobConfig) -> usize {
             ngs_kmer::for_each_kmer(&r.seq, 13, |_, v| emit(v, 1));
         },
         Some(&combiner),
-        |k: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| {
-            emit((*k, vs.iter().sum()))
-        },
-    );
+        |k: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| emit((*k, vs.iter().sum())),
+    )
+    .expect("k-mer count job");
     counts.len()
 }
 
@@ -47,8 +46,7 @@ fn bench_scaling(c: &mut Criterion) {
         });
     }
     let mut spill = JobConfig::with_workers(4);
-    spill.spill_dir =
-        Some(std::env::temp_dir().join(format!("mr_bench_{}", std::process::id())));
+    spill.spill_dir = Some(std::env::temp_dir().join(format!("mr_bench_{}", std::process::id())));
     g.bench_function("workers_4_with_spill", |b| b.iter(|| count_job(&reads, &spill)));
     if let Some(dir) = spill.spill_dir {
         let _ = std::fs::remove_dir_all(dir);

@@ -1,17 +1,15 @@
 //! REDEEM cost benchmarks (the time column of Table 3.4): model build
 //! (Hamming graph + weights) and EM iterations.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig, RepeatClass};
 use redeem::{EmConfig, KmerErrorModel, Redeem};
+use std::time::Duration;
 
 fn dataset() -> ngs_simulate::SimulatedReads {
-    let genome = GenomeSpec::with_repeats(
-        8_000,
-        vec![RepeatClass { length: 500, multiplicity: 8 }],
-    )
-    .generate(3);
+    let genome =
+        GenomeSpec::with_repeats(8_000, vec![RepeatClass { length: 500, multiplicity: 8 }])
+            .generate(3);
     let cfg = ReadSimConfig {
         read_len: 36,
         n_reads: 8_000 * 50 / 36,
@@ -31,9 +29,7 @@ fn bench_redeem(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(8));
-    g.bench_function("model_build_k10_d1", |b| {
-        b.iter(|| Redeem::new(&sim.reads, 10, &model, 1))
-    });
+    g.bench_function("model_build_k10_d1", |b| b.iter(|| Redeem::new(&sim.reads, 10, &model, 1)));
     let redeem = Redeem::new(&sim.reads, 10, &model, 1);
     g.bench_function("em_10_iterations", |b| {
         b.iter(|| redeem.run(&EmConfig { dmax: 1, max_iters: 10, tol: 0.0 }))

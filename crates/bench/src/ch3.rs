@@ -16,10 +16,19 @@ const READ_LEN: usize = 36;
 fn error_models(true_rate: f64) -> Vec<(&'static str, KmerErrorModel)> {
     vec![
         // tIED: the true Illumina-shaped distribution, in k-mer coordinates.
-        ("tIED", KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, true_rate), K)),
+        (
+            "tIED",
+            KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, true_rate), K),
+        ),
         // wIED: an Illumina-shaped distribution from a "different lab":
         // 2.5x the error rate (the A. sp. dataset's rate vs E. coli's).
-        ("wIED", KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, true_rate * 2.5), K)),
+        (
+            "wIED",
+            KmerErrorModel::from_read_model(
+                &ErrorModel::illumina_like(READ_LEN, true_rate * 2.5),
+                K,
+            ),
+        ),
         // tUED: uniform with the true average rate.
         ("tUED", KmerErrorModel::uniform(K, true_rate)),
         // wUED: uniform with the rate overestimated at 2%.
@@ -97,8 +106,11 @@ pub fn table_3_1() -> String {
 /// mapper-aligned reads as in §3.4.1.
 pub fn table_3_2() -> String {
     let mut out = String::new();
-    writeln!(out, "== Table 3.2 — Estimated error probabilities q_i(a,b) x10^-2, kmer position 11 ==")
-        .unwrap();
+    writeln!(
+        out,
+        "== Table 3.2 — Estimated error probabilities q_i(a,b) x10^-2, kmer position 11 =="
+    )
+    .unwrap();
     let k = 13;
     for (name, rate, seed) in
         [("ecoli-like (0.6%)", 0.006, 501u64), ("asp-like (1.5%)", 0.015, 502)]
@@ -226,10 +238,8 @@ pub fn fig_3_3() -> String {
     writeln!(out, "== Fig 3.3 — Histogram of estimated T_l (ecoli-like) ==").unwrap();
     let spec = ch3_specs().into_iter().find(|s| s.id == "R6").unwrap();
     let (_, sim) = make_illumina(&spec);
-    let model = KmerErrorModel::from_read_model(
-        &ErrorModel::illumina_like(READ_LEN, spec.error_rate),
-        K,
-    );
+    let model =
+        KmerErrorModel::from_read_model(&ErrorModel::illumina_like(READ_LEN, spec.error_rate), K);
     let redeem = Redeem::new(&sim.reads, K, &model, 1);
     let result = redeem.run(&EmConfig::default());
     // Bucketed histogram (width 4) with text bars.

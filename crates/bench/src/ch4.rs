@@ -54,12 +54,7 @@ pub fn table_4_1() -> String {
 pub fn table_4_2() -> String {
     let mut out = String::new();
     writeln!(out, "== Table 4.2 — Data quantities per stage ==").unwrap();
-    writeln!(
-        out,
-        "{:<22} {:>10} {:>10} {:>10}",
-        "", "Small", "Medium", "Large"
-    )
-    .unwrap();
+    writeln!(out, "{:<22} {:>10} {:>10} {:>10}", "", "Small", "Medium", "Large").unwrap();
     let mut rows: Vec<(String, Vec<String>)> = vec![
         ("Predicted edges".into(), vec![]),
         ("Unique edges".into(), vec![]),
@@ -70,9 +65,13 @@ pub fn table_4_2() -> String {
         rows.push((format!("t={t:.2} processed"), vec![]));
         rows.push((format!("t={t:.2} clusters"), vec![]));
     }
+    let ft_base = rows.len();
+    rows.push(("Task failures".into(), vec![]));
+    rows.push(("Retried tasks".into(), vec![]));
+    rows.push(("Corrupt frames".into(), vec![]));
     for spec in ch4_specs() {
         let c = make_ch4(&spec);
-        let out_run = closet::run(&c.reads, &params_for(8));
+        let out_run = closet::run(&c.reads, &params_for(8)).expect("closet pipeline");
         rows[0].1.push(out_run.sketch_stats.predicted_edges.to_string());
         rows[1].1.push(out_run.sketch_stats.unique_edges.to_string());
         rows[2].1.push(out_run.confirmed_edges.to_string());
@@ -80,6 +79,9 @@ pub fn table_4_2() -> String {
             rows[3 + 2 * i].1.push(stats.clusters_processed.to_string());
             rows[4 + 2 * i].1.push(stats.resulting_clusters.to_string());
         }
+        rows[ft_base].1.push(out_run.job_stats.task_failures.to_string());
+        rows[ft_base + 1].1.push(out_run.job_stats.retried_tasks.to_string());
+        rows[ft_base + 2].1.push(out_run.job_stats.corrupt_frames.to_string());
     }
     for (label, cells) in rows {
         writeln!(
@@ -99,19 +101,16 @@ pub fn table_4_2() -> String {
 pub fn table_4_3() -> String {
     let mut out = String::new();
     writeln!(out, "== Table 4.3 — Stage run times (seconds) ==").unwrap();
-    writeln!(
-        out,
-        "{:<16} {:>10} {:>10} {:>10}",
-        "Stage", "Small", "Medium", "Large"
-    )
-    .unwrap();
+    writeln!(out, "{:<16} {:>10} {:>10} {:>10}", "Stage", "Small", "Medium", "Large").unwrap();
     let mut sketch = Vec::new();
     let mut validate = Vec::new();
     let mut filter = Vec::new();
     let mut cluster = Vec::new();
+    let mut retries = Vec::new();
     for spec in ch4_specs() {
         let c = make_ch4(&spec);
-        let run = closet::run(&c.reads, &params_for(8));
+        let run = closet::run(&c.reads, &params_for(8)).expect("closet pipeline");
+        retries.push(run.job_stats.retried_tasks);
         sketch.push(run.sketch_time.as_secs_f64());
         validate.push(run.validate_time.as_secs_f64());
         filter.push(run.threshold_stats.iter().map(|s| s.filter_time.as_secs_f64()).sum::<f64>());
@@ -123,13 +122,14 @@ pub fn table_4_3() -> String {
         ("Filtering", &filter),
         ("Clustering", &cluster),
     ] {
-        writeln!(
-            out,
-            "{:<16} {:>10.2} {:>10.2} {:>10.2}",
-            label, xs[0], xs[1], xs[2]
-        )
-        .unwrap();
+        writeln!(out, "{:<16} {:>10.2} {:>10.2} {:>10.2}", label, xs[0], xs[1], xs[2]).unwrap();
     }
+    writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>10}",
+        "Retried tasks", retries[0], retries[1], retries[2]
+    )
+    .unwrap();
 
     // Worker scaling on the Medium dataset (the "cluster size" axis).
     writeln!(out, "\nWorker scaling (Medium dataset, total pipeline seconds):").unwrap();
@@ -144,7 +144,7 @@ pub fn table_4_3() -> String {
         let mut p = params_for(w);
         p.job = JobConfig::with_workers(w);
         let t0 = std::time::Instant::now();
-        let _ = closet::run(&c.reads, &p);
+        closet::run(&c.reads, &p).expect("closet pipeline");
         write!(out, " {:>8.2}", t0.elapsed().as_secs_f64()).unwrap();
     }
     writeln!(out).unwrap();
@@ -159,7 +159,7 @@ pub fn table_4_4() -> String {
     writeln!(out, "== Table 4.4 — ARI / purity vs canonical taxonomy ==").unwrap();
     for spec in ch4_specs().into_iter().take(2) {
         let c = make_ch4(&spec);
-        let run = closet::run(&c.reads, &params_for(8));
+        let run = closet::run(&c.reads, &params_for(8)).expect("closet pipeline");
         writeln!(out, "\n{} ({} reads):", spec.id, c.reads.len()).unwrap();
         writeln!(
             out,

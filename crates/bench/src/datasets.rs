@@ -33,12 +33,60 @@ pub struct Ch2Spec {
 /// The six Chapter-2 datasets (Table 2.1), scaled.
 pub fn ch2_specs() -> Vec<Ch2Spec> {
     vec![
-        Ch2Spec { id: "D1", genome_name: "ecoli-like", genome_len: 30_000, read_len: 36, coverage: 160.0, error_rate: 0.006, seed: 101 },
-        Ch2Spec { id: "D2", genome_name: "ecoli-like", genome_len: 30_000, read_len: 36, coverage: 80.0, error_rate: 0.006, seed: 102 },
-        Ch2Spec { id: "D3", genome_name: "asp-like", genome_len: 24_000, read_len: 36, coverage: 173.0, error_rate: 0.015, seed: 103 },
-        Ch2Spec { id: "D4", genome_name: "asp-like", genome_len: 24_000, read_len: 36, coverage: 40.0, error_rate: 0.015, seed: 104 },
-        Ch2Spec { id: "D5", genome_name: "ecoli-like", genome_len: 30_000, read_len: 47, coverage: 71.0, error_rate: 0.033, seed: 105 },
-        Ch2Spec { id: "D6", genome_name: "ecoli-like", genome_len: 30_000, read_len: 101, coverage: 193.0, error_rate: 0.022, seed: 106 },
+        Ch2Spec {
+            id: "D1",
+            genome_name: "ecoli-like",
+            genome_len: 30_000,
+            read_len: 36,
+            coverage: 160.0,
+            error_rate: 0.006,
+            seed: 101,
+        },
+        Ch2Spec {
+            id: "D2",
+            genome_name: "ecoli-like",
+            genome_len: 30_000,
+            read_len: 36,
+            coverage: 80.0,
+            error_rate: 0.006,
+            seed: 102,
+        },
+        Ch2Spec {
+            id: "D3",
+            genome_name: "asp-like",
+            genome_len: 24_000,
+            read_len: 36,
+            coverage: 173.0,
+            error_rate: 0.015,
+            seed: 103,
+        },
+        Ch2Spec {
+            id: "D4",
+            genome_name: "asp-like",
+            genome_len: 24_000,
+            read_len: 36,
+            coverage: 40.0,
+            error_rate: 0.015,
+            seed: 104,
+        },
+        Ch2Spec {
+            id: "D5",
+            genome_name: "ecoli-like",
+            genome_len: 30_000,
+            read_len: 47,
+            coverage: 71.0,
+            error_rate: 0.033,
+            seed: 105,
+        },
+        Ch2Spec {
+            id: "D6",
+            genome_name: "ecoli-like",
+            genome_len: 30_000,
+            read_len: 101,
+            coverage: 193.0,
+            error_rate: 0.022,
+            seed: 106,
+        },
     ]
 }
 
@@ -151,8 +199,8 @@ pub fn ch3_specs() -> Vec<Ch3Spec> {
 /// Materialise a Chapter-3 dataset: reads are drawn single-stranded with a
 /// uniform error profile (matching the chapter's simulation protocol).
 pub fn make_ch3(spec: &Ch3Spec) -> (SimulatedGenome, SimulatedReads) {
-    let genome = GenomeSpec::with_repeats(spec.genome_len, spec.repeats.clone())
-        .generate(spec.seed);
+    let genome =
+        GenomeSpec::with_repeats(spec.genome_len, spec.repeats.clone()).generate(spec.seed);
     let read_len = 36;
     let cfg = ReadSimConfig {
         read_len,

@@ -12,12 +12,7 @@ pub mod datasets;
 
 /// Render a row of right-aligned columns for the experiment printouts.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Duration as fractional seconds for table cells.

@@ -2,7 +2,7 @@
 
 use closet::ClosetParams;
 use ngs_cli::{read_sequences, run_main, usage_gate, Args};
-use ngs_core::Result;
+use ngs_core::{NgsError, Result};
 use std::io::Write;
 
 const USAGE: &str = "closet-cluster — sketch + quasi-clique read clustering
@@ -29,14 +29,11 @@ fn real_main() -> Result<()> {
     let input = args.require("input")?;
     let output = args.require("output")?;
     let thresholds = args.get_f64_list("thresholds", &[0.8, 0.7, 0.6])?;
-    let workers: usize = args.get_parsed(
-        "workers",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    )?;
+    let workers: usize =
+        args.get_parsed("workers", std::thread::available_parallelism().map_or(4, |n| n.get()))?;
 
     let reads = read_sequences(input)?;
-    let avg_len =
-        reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
+    let avg_len = reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
     eprintln!("read {} sequences (avg {avg_len} bp)", reads.len());
 
     let mut params = ClosetParams::standard(avg_len.max(32), thresholds, workers);
@@ -46,13 +43,22 @@ fn real_main() -> Result<()> {
     }
 
     let t0 = std::time::Instant::now();
-    let result = closet::run(&reads, &params);
+    let result = closet::run(&reads, &params)
+        .map_err(|e| NgsError::Io(format!("mapreduce job failed: {e}")))?;
     eprintln!(
         "pipeline in {:.2?}: {} candidate edges, {} confirmed",
         t0.elapsed(),
         result.sketch_stats.unique_edges,
         result.confirmed_edges
     );
+    if result.job_stats.task_failures > 0 {
+        eprintln!(
+            "  fault tolerance: {} task failures, {} retried tasks, {} corrupt frames",
+            result.job_stats.task_failures,
+            result.job_stats.retried_tasks,
+            result.job_stats.corrupt_frames
+        );
+    }
     for stats in &result.threshold_stats {
         eprintln!(
             "  t={:.2}: {} edges, {} clusters ({} processed)",
@@ -64,11 +70,8 @@ fn real_main() -> Result<()> {
     writeln!(out, "threshold\tcluster\treads")?;
     for (t, clusters) in &result.clusters_by_threshold {
         for (ci, cluster) in clusters.iter().enumerate() {
-            let members: Vec<String> = cluster
-                .vertices
-                .iter()
-                .map(|&v| reads[v as usize].id.clone())
-                .collect();
+            let members: Vec<String> =
+                cluster.vertices.iter().map(|&v| reads[v as usize].id.clone()).collect();
             writeln!(out, "{t:.3}\t{ci}\t{}", members.join(","))?;
         }
     }

@@ -33,9 +33,9 @@ fn real_main() -> Result<()> {
 
     let mut params = ReptileParams::from_data(&reads, genome_len);
     if let Some(k) = args.get("k") {
-        params.k = k.parse().map_err(|_| {
-            ngs_core::NgsError::InvalidParameter(format!("--k: bad value {k:?}"))
-        })?;
+        params.k = k
+            .parse()
+            .map_err(|_| ngs_core::NgsError::InvalidParameter(format!("--k: bad value {k:?}")))?;
     }
     params.d = args.get_parsed("d", params.d)?;
     eprintln!(

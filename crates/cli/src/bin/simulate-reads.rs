@@ -48,11 +48,7 @@ fn real_main() -> Result<()> {
         Vec::new()
     };
     let genome = GenomeSpec::with_repeats(genome_len, repeats).generate(seed);
-    eprintln!(
-        "genome: {} bp, {:.1}% repeats",
-        genome.len(),
-        100.0 * genome.repeat_fraction()
-    );
+    eprintln!("genome: {} bp, {:.1}% repeats", genome.len(), 100.0 * genome.repeat_fraction());
 
     let error_model = if args.has_flag("uniform-errors") {
         ErrorModel::uniform(read_len, error_rate)
@@ -85,12 +81,7 @@ fn real_main() -> Result<()> {
                 read.id,
                 truth.genome_pos,
                 if truth.reverse_strand { '-' } else { '+' },
-                truth
-                    .error_positions
-                    .iter()
-                    .map(|p| p.to_string())
-                    .collect::<Vec<_>>()
-                    .join(","),
+                truth.error_positions.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","),
                 String::from_utf8_lossy(&truth.true_seq),
             )?;
         }

@@ -36,9 +36,7 @@ impl Args {
         while let Some(tok) = iter.next() {
             let key = tok
                 .strip_prefix("--")
-                .ok_or_else(|| {
-                    NgsError::InvalidParameter(format!("expected --flag, got {tok:?}"))
-                })?
+                .ok_or_else(|| NgsError::InvalidParameter(format!("expected --flag, got {tok:?}")))?
                 .to_string();
             if key.is_empty() {
                 return Err(NgsError::InvalidParameter("empty flag name".into()));
@@ -74,9 +72,9 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
         match self.get(name) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|_| {
-                NgsError::InvalidParameter(format!("--{name}: cannot parse {s:?}"))
-            }),
+            Some(s) => s
+                .parse()
+                .map_err(|_| NgsError::InvalidParameter(format!("--{name}: cannot parse {s:?}"))),
         }
     }
 

@@ -26,7 +26,7 @@ pub use quasiclique::{enumerate_quasicliques, Cluster};
 pub use sketch::{build_candidate_edges, read_hashes, SketchParams, SketchStats};
 pub use validate::{validate_edges, Validator};
 
-use mapreduce_lite::JobConfig;
+use mapreduce_lite::{JobConfig, JobError, JobStats};
 use ngs_core::Read;
 use std::time::{Duration, Instant};
 
@@ -108,6 +108,10 @@ pub struct ClosetOutput {
     pub validate_time: Duration,
     /// Per-threshold Phase-II statistics.
     pub threshold_stats: Vec<ThresholdStats>,
+    /// Merged MapReduce counters across every job of the run, including
+    /// the fault-tolerance counters (task failures, retried tasks,
+    /// corrupt spill frames) the Table 4.2/4.3-style reports surface.
+    pub job_stats: JobStats,
 }
 
 /// §4.5.2's parameter-selection methodology: score every threshold level of
@@ -123,10 +127,8 @@ pub fn ari_by_threshold(output: &ClosetOutput, labels: &[usize]) -> Vec<(f64, f6
         .clusters_by_threshold
         .iter()
         .map(|(t, clusters)| {
-            let member_lists: Vec<Vec<usize>> = clusters
-                .iter()
-                .map(|c| c.vertices.iter().map(|&v| v as usize).collect())
-                .collect();
+            let member_lists: Vec<Vec<usize>> =
+                clusters.iter().map(|c| c.vertices.iter().map(|&v| v as usize).collect()).collect();
             let partition = ngs_eval::clusters_to_partition(&member_lists, labels.len());
             (*t, ngs_eval::adjusted_rand_index(&partition, labels))
         })
@@ -136,20 +138,25 @@ pub fn ari_by_threshold(output: &ClosetOutput, labels: &[usize]) -> Vec<(f64, f6
 /// The threshold with the highest ARI against `labels` (first maximiser on
 /// ties); `None` for an empty series.
 pub fn select_threshold_by_ari(output: &ClosetOutput, labels: &[usize]) -> Option<(f64, f64)> {
-    ari_by_threshold(output, labels)
-        .into_iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
+    ari_by_threshold(output, labels).into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 /// Run the full CLOSET pipeline on `reads`.
-pub fn run(reads: &[Read], params: &ClosetParams) -> ClosetOutput {
+///
+/// # Errors
+/// Propagates [`JobError`] when any of the pipeline's MapReduce jobs
+/// exhausts its task attempts (only possible under injected faults or a
+/// persistently failing environment; transient failures are retried by
+/// the substrate).
+pub fn run(reads: &[Read], params: &ClosetParams) -> Result<ClosetOutput, JobError> {
     assert!(
         params.thresholds.windows(2).all(|w| w[0] > w[1]),
         "thresholds must be strictly decreasing"
     );
     // Phase I: candidate edges via sketching (Tasks 1–3).
     let t0 = Instant::now();
-    let (candidates, sketch_stats) = build_candidate_edges(reads, &params.sketch, &params.job);
+    let (candidates, sketch_stats) = build_candidate_edges(reads, &params.sketch, &params.job)?;
+    let mut job_stats = sketch_stats.job_stats.clone();
     let sketch_time = t0.elapsed();
 
     // Tasks 4–5: validation.
@@ -185,7 +192,8 @@ pub fn run(reads: &[Read], params: &ClosetParams) -> ClosetOutput {
             params.gamma,
             &params.job,
             params.max_live_clusters,
-        );
+        )?;
+        job_stats.merge(&result.job_stats);
         clusters = result.clusters;
         stats.clusters_processed = result.clusters_processed;
         stats.clusters_dropped = result.clusters_dropped;
@@ -196,14 +204,15 @@ pub fn run(reads: &[Read], params: &ClosetParams) -> ClosetOutput {
         threshold_stats.push(stats);
     }
 
-    ClosetOutput {
+    Ok(ClosetOutput {
         clusters_by_threshold,
         sketch_stats,
         confirmed_edges,
         sketch_time,
         validate_time,
         threshold_stats,
-    }
+        job_stats,
+    })
 }
 
 #[cfg(test)]
@@ -236,7 +245,7 @@ mod tests {
     fn pipeline_produces_clusters() {
         let c = community(400, 1);
         let params = ClosetParams::standard(300, vec![0.9, 0.8, 0.55], 4);
-        let out = run(&c.reads, &params);
+        let out = run(&c.reads, &params).expect("pipeline");
         assert!(out.sketch_stats.predicted_edges > 0);
         assert!(out.confirmed_edges > 0);
         assert_eq!(out.clusters_by_threshold.len(), 3);
@@ -253,7 +262,7 @@ mod tests {
     fn clustering_tracks_taxonomy() {
         let c = community(500, 2);
         let params = ClosetParams::standard(300, vec![0.85, 0.5], 4);
-        let out = run(&c.reads, &params);
+        let out = run(&c.reads, &params).expect("pipeline");
         // Like the paper's runs (Table 4.2: 5.6M reads → 3.3M clusters),
         // the output is many small *overlapping* quasi-cliques, so the
         // quality invariant is purity: clusters must not mix species.
@@ -284,11 +293,9 @@ mod tests {
         let mut p4 = ClosetParams::standard(300, vec![0.8, 0.6], 4);
         p1.max_live_clusters = 0;
         p4.max_live_clusters = 0;
-        let o1 = run(&c.reads, &p1);
-        let o4 = run(&c.reads, &p4);
-        for ((t1, c1), (t4, c4)) in
-            o1.clusters_by_threshold.iter().zip(&o4.clusters_by_threshold)
-        {
+        let o1 = run(&c.reads, &p1).expect("pipeline");
+        let o4 = run(&c.reads, &p4).expect("pipeline");
+        for ((t1, c1), (t4, c4)) in o1.clusters_by_threshold.iter().zip(&o4.clusters_by_threshold) {
             assert_eq!(t1, t4);
             let mut v1: Vec<Vec<u32>> = c1.iter().map(|c| c.vertices.clone()).collect();
             let mut v4: Vec<Vec<u32>> = c4.iter().map(|c| c.vertices.clone()).collect();
@@ -302,7 +309,7 @@ mod tests {
     fn ari_threshold_selection_runs() {
         let c = community(300, 9);
         let params = ClosetParams::standard(300, vec![0.85, 0.5], 4);
-        let out = run(&c.reads, &params);
+        let out = run(&c.reads, &params).expect("pipeline");
         let species = c.canonical_labels(1);
         let scores = ari_by_threshold(&out, &species);
         assert_eq!(scores.len(), 2);
@@ -319,6 +326,6 @@ mod tests {
     fn unsorted_thresholds_rejected() {
         let c = community(50, 4);
         let params = ClosetParams::standard(300, vec![0.6, 0.9], 2);
-        run(&c.reads, &params);
+        let _ = run(&c.reads, &params);
     }
 }

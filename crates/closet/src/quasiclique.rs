@@ -14,7 +14,7 @@
 //! (§4.1); after each round, clusters strictly contained in another are
 //! pruned as non-maximal.
 
-use mapreduce_lite::{map_reduce_simple, JobConfig};
+use mapreduce_lite::{map_reduce_simple, JobConfig, JobError, JobStats};
 use ngs_core::hash::{FxHashMap, FxHashSet};
 
 /// A quasi-clique: sorted vertex list plus its recorded edge set.
@@ -113,23 +113,31 @@ pub struct EnumerationResult {
     pub clusters_processed: u64,
     /// Clusters dropped by the live-cluster cap (0 normally).
     pub clusters_dropped: u64,
+    /// Merged MapReduce counters of every round's job (includes the
+    /// fault-tolerance counters: task failures, retries, corrupt frames).
+    pub job_stats: JobStats,
 }
 
 /// Grow γ-quasi-cliques from `carried`-over clusters plus fresh 2-cliques
 /// for `new_edges`, iterating Task 7/Task 8 rounds until stable.
+///
+/// # Errors
+/// Propagates [`JobError`] when a round's MapReduce job exhausts its task
+/// attempts.
 pub fn enumerate_quasicliques(
     carried: Vec<Cluster>,
     new_edges: &[(u32, u32)],
     gamma: f64,
     job: &JobConfig,
     max_live_clusters: usize,
-) -> EnumerationResult {
+) -> Result<EnumerationResult, JobError> {
     let mut clusters: Vec<Cluster> = carried;
     clusters.extend(new_edges.iter().map(|&(a, b)| Cluster::from_edge(a, b)));
     dedup_clusters(&mut clusters);
 
     let mut processed = clusters.len() as u64;
     let mut dropped = 0u64;
+    let mut job_stats = JobStats::default();
     let max_rounds = 30;
     for _round in 0..max_rounds {
         if clusters.len() > max_live_clusters && max_live_clusters > 0 {
@@ -141,12 +149,9 @@ pub fn enumerate_quasicliques(
 
         // Task 7: key every cluster by each of its vertices; reducers merge
         // greedily within a vertex group.
-        let indexed: Vec<(u32, Cluster)> = clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i as u32, c.clone()))
-            .collect();
-        let (merged_lists, _) = map_reduce_simple(
+        let indexed: Vec<(u32, Cluster)> =
+            clusters.iter().enumerate().map(|(i, c)| (i as u32, c.clone())).collect();
+        let (merged_lists, round_stats) = map_reduce_simple(
             job,
             &indexed,
             |(ci, c): &(u32, Cluster), emit: &mut dyn FnMut(u32, (Vec<u32>, Vec<u64>))| {
@@ -159,7 +164,7 @@ pub fn enumerate_quasicliques(
                     emit(v, (c.vertices.clone(), packed.clone()));
                 }
             },
-            |_v: &u32,raw_group: Vec<(Vec<u32>, Vec<u64>)>, emit: &mut dyn FnMut(Cluster)| {
+            |_v: &u32, raw_group: Vec<(Vec<u32>, Vec<u64>)>, emit: &mut dyn FnMut(Cluster)| {
                 let mut group: Vec<Cluster> = raw_group
                     .into_iter()
                     .map(|(vertices, packed)| Cluster {
@@ -189,7 +194,8 @@ pub fn enumerate_quasicliques(
                     emit(c);
                 }
             },
-        );
+        )?;
+        job_stats.merge(&round_stats);
 
         // Task 8: deduplicate by vertex set (uniting edge sets), then prune
         // non-maximal clusters.
@@ -211,7 +217,12 @@ pub fn enumerate_quasicliques(
         }
     }
     clusters.sort_by(|a, b| a.vertices.cmp(&b.vertices));
-    EnumerationResult { clusters, clusters_processed: processed, clusters_dropped: dropped }
+    Ok(EnumerationResult {
+        clusters,
+        clusters_processed: processed,
+        clusters_dropped: dropped,
+        job_stats,
+    })
 }
 
 /// Merge clusters with identical vertex sets (edge-set union).
@@ -246,9 +257,7 @@ fn prune_subsets(clusters: &mut Vec<Cluster>) {
     // Sort by descending order; a cluster can only be a subset of a larger
     // (or equal-size, but dedup removed those) one. Check containment via a
     // per-vertex inverted index over the kept clusters.
-    clusters.sort_by(|a, b| {
-        b.order().cmp(&a.order()).then_with(|| a.vertices.cmp(&b.vertices))
-    });
+    clusters.sort_by(|a, b| b.order().cmp(&a.order()).then_with(|| a.vertices.cmp(&b.vertices)));
     let mut kept: Vec<Cluster> = Vec::with_capacity(clusters.len());
     let mut member_of: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
     'outer: for c in clusters.drain(..) {
@@ -279,6 +288,7 @@ mod tests {
 
     fn enumerate(edges: &[(u32, u32)], gamma: f64) -> Vec<Cluster> {
         enumerate_quasicliques(Vec::new(), edges, gamma, &JobConfig::with_workers(2), 0)
+            .expect("enumeration jobs")
             .clusters
     }
 
@@ -342,7 +352,8 @@ mod tests {
             0.6,
             &JobConfig::with_workers(2),
             0,
-        );
+        )
+        .expect("enumeration jobs");
         // Second threshold adds edges attaching vertex 3 densely.
         let r2 = enumerate_quasicliques(
             r1.clusters,
@@ -350,7 +361,8 @@ mod tests {
             0.6,
             &JobConfig::with_workers(2),
             0,
-        );
+        )
+        .expect("enumeration jobs");
         assert_eq!(r2.clusters.len(), 1);
         assert_eq!(r2.clusters[0].vertices, vec![0, 1, 2, 3]);
         assert!(r2.clusters[0].density() >= 0.6);

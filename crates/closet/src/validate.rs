@@ -53,8 +53,7 @@ pub fn validate_edges(
         }
         Validator::KmerContainment { k } => {
             let k = *k;
-            let hashes: Vec<Vec<u64>> =
-                reads.par_iter().map(|r| read_hashes(r, k)).collect();
+            let hashes: Vec<Vec<u64>> = reads.par_iter().map(|r| read_hashes(r, k)).collect();
             edges
                 .par_iter()
                 .filter_map(|&(a, b)| {

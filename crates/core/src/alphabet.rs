@@ -105,10 +105,7 @@ mod tests {
     #[test]
     fn complement_code_is_xor3() {
         for c in 0..4u8 {
-            assert_eq!(
-                decode_base(complement_code(c)),
-                complement_base(decode_base(c))
-            );
+            assert_eq!(decode_base(complement_code(c)), complement_base(decode_base(c)));
         }
     }
 

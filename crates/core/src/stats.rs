@@ -81,11 +81,7 @@ impl Histogram {
 
     /// Iterate `(value, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(v, &c)| (v, c))
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(v, &c)| (v, c))
     }
 
     /// Mean of the distribution (0.0 when empty).
@@ -93,12 +89,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(v, &c)| v as f64 * c as f64)
-            .sum();
+        let sum: f64 = self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
         sum / self.total as f64
     }
 }
@@ -167,10 +158,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 #[cfg(test)]

@@ -128,11 +128,7 @@ mod tests {
     use super::*;
 
     fn eval_one(orig: &[u8], corr: &[u8], truth: &[u8]) -> CorrectionEval {
-        evaluate_correction(
-            &[Read::new("r", orig)],
-            &[Read::new("r", corr)],
-            &[truth.to_vec()],
-        )
+        evaluate_correction(&[Read::new("r", orig)], &[Read::new("r", corr)], &[truth.to_vec()])
     }
 
     #[test]

@@ -68,9 +68,7 @@ pub fn min_wrong_predictions(
     is_genomic: &[bool],
     thresholds: &[f64],
 ) -> Option<DetectionPoint> {
-    detection_curve(scores, is_genomic, thresholds)
-        .into_iter()
-        .min_by_key(|p| p.wrong())
+    detection_curve(scores, is_genomic, thresholds).into_iter().min_by_key(|p| p.wrong())
 }
 
 /// Integer thresholds `0..=max` as floats — the natural sweep for observed

@@ -86,7 +86,11 @@ impl<'s> NeighborIndex<'s> {
     /// # Panics
     /// Panics if `d == 0`, `d > k`, or (for masked replicas) `chunks` is not
     /// in `(d, k]`.
-    pub fn build(spectrum: &'s KSpectrum, d: usize, strategy: NeighborStrategy) -> NeighborIndex<'s> {
+    pub fn build(
+        spectrum: &'s KSpectrum,
+        d: usize,
+        strategy: NeighborStrategy,
+    ) -> NeighborIndex<'s> {
         let k = spectrum.k();
         assert!(d >= 1 && d <= k, "d must be in 1..=k");
         let replicas = match strategy {
@@ -96,8 +100,10 @@ impl<'s> NeighborIndex<'s> {
                 subsets(chunks, d)
                     .into_par_iter()
                     .map(|subset| {
-                        let masked_out: u64 =
-                            subset.iter().map(|&ci| chunk_mask(k, chunks, ci)).fold(0, |a, b| a | b);
+                        let masked_out: u64 = subset
+                            .iter()
+                            .map(|&ci| chunk_mask(k, chunks, ci))
+                            .fold(0, |a, b| a | b);
                         let keep_mask = !masked_out;
                         let mut order: Vec<u32> = (0..spectrum.len() as u32).collect();
                         order.sort_unstable_by_key(|&i| spectrum.kmers()[i as usize] & keep_mask);
@@ -267,7 +273,8 @@ mod tests {
         ]);
         for d in 1..=2usize {
             let bf = NeighborIndex::build(&sp, d, NeighborStrategy::BruteForce);
-            let mr = NeighborIndex::build(&sp, d, NeighborStrategy::MaskedReplicas { chunks: d + 2 });
+            let mr =
+                NeighborIndex::build(&sp, d, NeighborStrategy::MaskedReplicas { chunks: d + 2 });
             for &q in sp.kmers() {
                 assert_eq!(bf.neighbors(q, d), mr.neighbors(q, d), "d={d} q={q:x}");
             }

@@ -133,10 +133,7 @@ mod tests {
     fn revcomp_full_width_k32() {
         let s: Vec<u8> = b"ACGTACGTACGTACGTACGTACGTACGTACGT".to_vec();
         let v = encode_kmer(&s).unwrap();
-        assert_eq!(
-            decode_kmer(reverse_complement_packed(v, 32), 32),
-            reverse_complement(&s)
-        );
+        assert_eq!(decode_kmer(reverse_complement_packed(v, 32), 32), reverse_complement(&s));
     }
 
     #[test]

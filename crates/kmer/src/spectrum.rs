@@ -60,7 +60,10 @@ impl KSpectrum {
         Self::from_map(map, k)
     }
 
-    fn merge_into(mut big: FxHashMap<Kmer, u32>, small: FxHashMap<Kmer, u32>) -> FxHashMap<Kmer, u32> {
+    fn merge_into(
+        mut big: FxHashMap<Kmer, u32>,
+        small: FxHashMap<Kmer, u32>,
+    ) -> FxHashMap<Kmer, u32> {
         for (kmer, c) in small {
             *big.entry(kmer).or_insert(0) += c;
         }

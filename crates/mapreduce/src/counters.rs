@@ -28,6 +28,16 @@ pub struct JobStats {
     pub reduce_time: Duration,
     /// Bytes written to disk in spill mode (0 for in-memory shuffles).
     pub spilled_bytes: u64,
+    /// Task attempts that failed (panic, injected fault, I/O error, or
+    /// corrupt spill), across both stages.
+    pub task_failures: u64,
+    /// Tasks that needed more than one attempt to finish.
+    pub retried_tasks: u64,
+    /// Spill frames rejected by checksum verification.
+    pub corrupt_frames: u64,
+    /// DFS blocks restored to full replication after node failures
+    /// (folded in by drivers that run a [`crate::BlockStore`]).
+    pub re_replicated_blocks: u64,
 }
 
 impl JobStats {
@@ -48,6 +58,10 @@ impl JobStats {
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
         self.spilled_bytes += other.spilled_bytes;
+        self.task_failures += other.task_failures;
+        self.retried_tasks += other.retried_tasks;
+        self.corrupt_frames += other.corrupt_frames;
+        self.re_replicated_blocks += other.re_replicated_blocks;
     }
 }
 
@@ -62,11 +76,19 @@ mod tests {
             map_input_records: 4,
             reduce_output_records: 2,
             map_time: Duration::from_millis(5),
+            task_failures: 3,
+            retried_tasks: 2,
+            corrupt_frames: 1,
+            re_replicated_blocks: 5,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.map_input_records, 7);
         assert_eq!(a.reduce_output_records, 2);
+        assert_eq!(a.task_failures, 3);
+        assert_eq!(a.retried_tasks, 2);
+        assert_eq!(a.corrupt_frames, 1);
+        assert_eq!(a.re_replicated_blocks, 5);
         assert_eq!(a.map_time, Duration::from_millis(5));
         assert_eq!(a.total_time(), Duration::from_millis(5));
     }

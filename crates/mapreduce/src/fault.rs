@@ -1,0 +1,179 @@
+//! Deterministic fault injection for exercising the retry machinery.
+//!
+//! Hadoop's fault tolerance is only trustworthy because real clusters
+//! fail constantly; on a single machine nothing fails, so this module
+//! manufactures failures on demand. A [`FaultPlan`] decides, purely as a
+//! function of `(stage, task, attempt)` (plus an optional seed), whether
+//! a task attempt should be sabotaged and how — so any faulty run can be
+//! replayed exactly.
+
+/// Which phase of the job a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// A map task: map + combine + spill round-trip for one input chunk.
+    Map,
+    /// A reduce task: grouping and reducing one shuffle partition.
+    Reduce,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::Map => "map",
+            Stage::Reduce => "reduce",
+        })
+    }
+}
+
+/// The kind of failure injected into a task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The task panics mid-flight (a crashed worker process).
+    Panic,
+    /// Spill I/O fails (a full or yanked disk). For tasks with no spill
+    /// path the attempt fails with a synthetic I/O error anyway.
+    IoError,
+    /// A spill frame is corrupted after its checksum was computed (bit
+    /// rot / torn write). Only observable in spill mode, where the
+    /// read-back verification catches it; a no-op for in-memory jobs.
+    CorruptFrame,
+}
+
+/// One explicitly requested fault at exact coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Injection {
+    stage: Stage,
+    task: usize,
+    attempt: u32,
+    kind: FaultKind,
+}
+
+/// A reproducible schedule of faults.
+///
+/// Two layers, both deterministic:
+/// * **explicit** coordinates added with [`FaultPlan::with_fault`] —
+///   for tests that need one precise failure;
+/// * a **seeded** layer from [`FaultPlan::seeded`] that fails each
+///   task's *first* attempt with probability `p`, decided by hashing
+///   `(seed, stage, task)`. First-attempt-only means a job with
+///   `max_attempts ≥ 2` always converges, while still failing a
+///   predictable, replayable subset of tasks.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    explicit: Vec<Injection>,
+    seeded: Option<(u64, f64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan failing each task's first attempt with probability `p`,
+    /// reproducibly for a given `seed`.
+    pub fn seeded(seed: u64, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p), "fault probability out of range");
+        FaultPlan { explicit: Vec::new(), seeded: Some((seed, p)) }
+    }
+
+    /// Add one fault at exact `(stage, task, attempt)` coordinates.
+    pub fn with_fault(mut self, stage: Stage, task: usize, attempt: u32, kind: FaultKind) -> Self {
+        self.explicit.push(Injection { stage, task, attempt, kind });
+        self
+    }
+
+    /// True when the plan can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.explicit.is_empty() && self.seeded.is_none()
+    }
+
+    /// The fault to inject into this attempt, if any. Pure: the same
+    /// coordinates always produce the same answer.
+    pub fn fault_for(&self, stage: Stage, task: usize, attempt: u32) -> Option<FaultKind> {
+        if let Some(inj) = self
+            .explicit
+            .iter()
+            .find(|i| i.stage == stage && i.task == task && i.attempt == attempt)
+        {
+            return Some(inj.kind);
+        }
+        let (seed, p) = self.seeded?;
+        if attempt != 0 {
+            return None;
+        }
+        let h = mix(seed ^ mix(task as u64 ^ ((stage == Stage::Reduce) as u64) << 32));
+        let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if unit >= p {
+            return None;
+        }
+        // Derive the kind from independent bits of the same hash.
+        Some(match mix(h) % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::IoError,
+            _ => FaultKind::CorruptFrame,
+        })
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_faults_hit_exact_coordinates() {
+        let plan = FaultPlan::none().with_fault(Stage::Map, 2, 0, FaultKind::Panic).with_fault(
+            Stage::Reduce,
+            1,
+            1,
+            FaultKind::IoError,
+        );
+        assert_eq!(plan.fault_for(Stage::Map, 2, 0), Some(FaultKind::Panic));
+        assert_eq!(plan.fault_for(Stage::Map, 2, 1), None);
+        assert_eq!(plan.fault_for(Stage::Map, 1, 0), None);
+        assert_eq!(plan.fault_for(Stage::Reduce, 1, 1), Some(FaultKind::IoError));
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_first_attempt_only() {
+        let a = FaultPlan::seeded(42, 0.5);
+        let b = FaultPlan::seeded(42, 0.5);
+        let mut fired = 0;
+        for task in 0..64 {
+            for &stage in &[Stage::Map, Stage::Reduce] {
+                assert_eq!(a.fault_for(stage, task, 0), b.fault_for(stage, task, 0));
+                assert_eq!(a.fault_for(stage, task, 1), None);
+                if a.fault_for(stage, task, 0).is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        // 128 trials at p = 0.5: should fire a substantial number of times.
+        assert!((32..=96).contains(&fired), "fired {fired} of 128");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let plan = FaultPlan::seeded(7, 0.0);
+        for task in 0..100 {
+            assert_eq!(plan.fault_for(Stage::Map, task, 0), None);
+        }
+    }
+
+    #[test]
+    fn map_and_reduce_schedules_differ() {
+        let plan = FaultPlan::seeded(9, 0.4);
+        let map: Vec<bool> = (0..64).map(|t| plan.fault_for(Stage::Map, t, 0).is_some()).collect();
+        let reduce: Vec<bool> =
+            (0..64).map(|t| plan.fault_for(Stage::Reduce, t, 0).is_some()).collect();
+        assert_ne!(map, reduce);
+    }
+}

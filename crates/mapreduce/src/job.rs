@@ -6,14 +6,31 @@
 //! per-worker buffers of each partition are concatenated, sorted by key and
 //! grouped → reduce workers process partitions, each group invoking the
 //! reducer once — the same dataflow as Hadoop's mapper/combiner/partitioner/
-//! reducer contract (§1.3.1), minus distribution and fault tolerance.
+//! reducer contract (§1.3.1), including task-level fault tolerance:
+//!
+//! * every map and reduce task runs under [`std::panic::catch_unwind`]
+//!   and is retried with exponential backoff up to
+//!   [`JobConfig::max_attempts`] times (Hadoop's `mapred.map.max.attempts`);
+//! * a map task *attempt* covers map + combine + spill write/read-back, so
+//!   a corrupt or unreadable spill file re-runs the task that produced it;
+//! * spill files are checksummed frames ([`crate::codec::encode_frames`]):
+//!   corruption is detected, counted in [`JobStats::corrupt_frames`], and
+//!   repaired by re-execution rather than propagated;
+//! * a [`FaultPlan`] on the config deterministically injects panics, I/O
+//!   errors, and frame corruption at `(stage, task, attempt)` coordinates,
+//!   so the recovery paths are exercised by tests rather than trusted.
+//!
+//! A task that exhausts its attempts fails the job with [`JobError`]; no
+//! panic escapes `map_reduce`.
 
-use crate::codec::{decode_all, encode_all, Codec};
+use crate::codec::{decode_frames, encode_frames, Codec, FrameError};
 use crate::counters::JobStats;
+use crate::fault::{FaultKind, FaultPlan, Stage};
 use ngs_core_hash::hash_one;
-use parking_lot::Mutex;
 use std::hash::Hash;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Minimal internal hashing (FxHash-style) so the crate does not depend on
 /// `ngs-core`; the partitioner only needs speed and rough uniformity.
@@ -30,8 +47,7 @@ mod ngs_core_hash {
 
         fn write(&mut self, bytes: &[u8]) {
             for &b in bytes {
-                self.0 = (self.0.rotate_left(5) ^ b as u64)
-                    .wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+                self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
             }
         }
 
@@ -55,14 +71,28 @@ pub struct JobConfig {
     /// Number of reduce partitions (Hadoop's number of reducers).
     pub reduce_partitions: usize,
     /// When set, shuffle partitions round-trip through files in this
-    /// directory (length-prefixed frames), exercising the disk path.
+    /// directory (checksummed length-prefixed frames), exercising the
+    /// disk path and its corruption detection.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Attempts per task before the job fails (Hadoop default: 4).
+    pub max_attempts: u32,
+    /// Base delay before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Deterministic fault injection schedule (empty = no faults).
+    pub fault_plan: FaultPlan,
 }
 
 impl JobConfig {
     /// In-memory config with `workers` threads and `4·workers` partitions.
     pub fn with_workers(workers: usize) -> JobConfig {
-        JobConfig { workers: workers.max(1), reduce_partitions: workers.max(1) * 4, spill_dir: None }
+        JobConfig {
+            workers: workers.max(1),
+            reduce_partitions: workers.max(1) * 4,
+            spill_dir: None,
+            max_attempts: 4,
+            retry_backoff: Duration::from_millis(2),
+            fault_plan: FaultPlan::none(),
+        }
     }
 }
 
@@ -70,6 +100,210 @@ impl Default for JobConfig {
     fn default() -> JobConfig {
         JobConfig::with_workers(std::thread::available_parallelism().map_or(4, |n| n.get()))
     }
+}
+
+/// A task exhausted its attempts and failed the job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The stage the failing task belonged to.
+    pub stage: Stage,
+    /// Task index within its stage (map: input chunk; reduce: partition).
+    pub task: usize,
+    /// Attempts consumed, `== max_attempts`.
+    pub attempts: u32,
+    /// Human-readable description of the final failure.
+    pub last_error: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task {} failed after {} attempts: {}",
+            self.stage, self.task, self.attempts, self.last_error
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Fault-tolerance counters shared across worker threads.
+#[derive(Default)]
+struct FaultCounters {
+    task_failures: AtomicU64,
+    retried_tasks: AtomicU64,
+    corrupt_frames: AtomicU64,
+}
+
+/// Render a panic payload for [`JobError::last_error`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run one task to completion: call `body(attempt)` under `catch_unwind`,
+/// retrying with exponential backoff until success or `max_attempts`.
+fn run_attempts<T>(
+    stage: Stage,
+    task: usize,
+    cfg: &JobConfig,
+    counters: &FaultCounters,
+    body: impl Fn(u32) -> Result<T, String>,
+) -> Result<T, JobError> {
+    let max_attempts = cfg.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(attempt)));
+        let error = match outcome {
+            Ok(Ok(value)) => {
+                if attempt > 0 {
+                    counters.retried_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(value);
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => panic_message(payload),
+        };
+        counters.task_failures.fetch_add(1, Ordering::Relaxed);
+        attempt += 1;
+        if attempt >= max_attempts {
+            return Err(JobError { stage, task, attempts: attempt, last_error: error });
+        }
+        // Exponential backoff: base, 2·base, 4·base, …
+        std::thread::sleep(cfg.retry_backoff * (1u32 << (attempt - 1).min(16)));
+    }
+}
+
+/// Output of one successful map task.
+struct MapTaskOut<K, V> {
+    partitions: Vec<Vec<(K, V)>>,
+    emitted: u64,
+    combined: u64,
+    spilled_bytes: u64,
+}
+
+/// One map task attempt: map the chunk, combine, and (in spill mode)
+/// round-trip every partition through a checksummed spill file. Any
+/// injected fault, I/O error, or checksum mismatch fails the attempt.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn map_task_attempt<I, K, V, M>(
+    task: usize,
+    attempt: u32,
+    chunk: &[I],
+    parts: usize,
+    cfg: &JobConfig,
+    counters: &FaultCounters,
+    mapper: &M,
+    combiner: Option<&(dyn Fn(&K, &mut Vec<V>) + Sync)>,
+) -> Result<MapTaskOut<K, V>, String>
+where
+    K: Ord + Hash + Clone + Codec,
+    V: Codec,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+{
+    let fault = cfg.fault_plan.fault_for(Stage::Map, task, attempt);
+    if fault == Some(FaultKind::Panic) {
+        panic!("injected panic in map task {task} attempt {attempt}");
+    }
+    if fault == Some(FaultKind::IoError) && cfg.spill_dir.is_none() {
+        return Err(format!("injected I/O error in map task {task} attempt {attempt}"));
+    }
+
+    let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut emitted = 0u64;
+    for record in chunk {
+        mapper(record, &mut |k: K, v: V| {
+            let p = (hash_one(&k) % parts as u64) as usize;
+            partitions[p].push((k, v));
+            emitted += 1;
+        });
+    }
+
+    // Local combine: sort each partition, fold runs of equal keys
+    // through the combiner.
+    let mut combined = emitted;
+    if let Some(comb) = combiner {
+        combined = 0;
+        for part in &mut partitions {
+            part.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut result: Vec<(K, V)> = Vec::with_capacity(part.len());
+            let drained = std::mem::take(part);
+            let mut run_key: Option<K> = None;
+            let mut run_vals: Vec<V> = Vec::new();
+            for (k, v) in drained {
+                match &run_key {
+                    Some(rk) if *rk == k => run_vals.push(v),
+                    _ => {
+                        if let Some(rk) = run_key.take() {
+                            comb(&rk, &mut run_vals);
+                            for v in run_vals.drain(..) {
+                                result.push((rk.clone(), v));
+                            }
+                        }
+                        run_key = Some(k);
+                        run_vals.push(v);
+                    }
+                }
+            }
+            if let Some(rk) = run_key.take() {
+                comb(&rk, &mut run_vals);
+                for v in run_vals.drain(..) {
+                    result.push((rk.clone(), v));
+                }
+            }
+            combined += result.len() as u64;
+            *part = result;
+        }
+    }
+
+    // Spill round-trip: write each partition as checksummed frames, read
+    // it back, and verify before trusting it. This is part of the task
+    // attempt on purpose — a corrupt or unreadable spill re-runs the map
+    // task that owns it.
+    let mut spilled_bytes = 0u64;
+    if let Some(dir) = &cfg.spill_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create spill dir {}: {e}", dir.display()))?;
+        let mut restored = Vec::with_capacity(partitions.len());
+        for (pi, part) in partitions.into_iter().enumerate() {
+            let path = dir.join(format!("spill_t{task}_p{pi}.bin"));
+            let mut bytes = encode_frames(&part);
+            if fault == Some(FaultKind::IoError) && pi == 0 {
+                return Err(format!(
+                    "injected I/O error writing {} (attempt {attempt})",
+                    path.display()
+                ));
+            }
+            if fault == Some(FaultKind::CorruptFrame) && pi == 0 {
+                // Flip a bit in the first frame's stored checksum: always
+                // detectable, even for empty partitions.
+                bytes[8] ^= 0x01;
+            }
+            spilled_bytes += bytes.len() as u64;
+            std::fs::write(&path, &bytes)
+                .map_err(|e| format!("write spill {}: {e}", path.display()))?;
+            let data =
+                std::fs::read(&path).map_err(|e| format!("read spill {}: {e}", path.display()))?;
+            let _ = std::fs::remove_file(&path);
+            match decode_frames::<(K, V)>(&data) {
+                Ok(records) => restored.push(records),
+                Err(err) => {
+                    if err == FrameError::ChecksumMismatch {
+                        counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(format!("{err} in {}", path.display()));
+                }
+            }
+        }
+        partitions = restored;
+    }
+
+    Ok(MapTaskOut { partitions, emitted, combined, spilled_bytes })
 }
 
 /// Run a full map/combine/shuffle/reduce job.
@@ -80,8 +314,15 @@ impl Default for JobConfig {
 ///   with the values collected so far, replacing them.
 /// * `reducer(key, values, emit)` — called once per distinct key.
 ///
-/// Output order is deterministic: partitions in index order, keys sorted
-/// within each partition.
+/// Output order is deterministic — partitions in index order, keys sorted
+/// within each partition — and unaffected by retries: map outputs are
+/// collected by task index, not completion order, so a retried task's
+/// (re-computed, identical) output lands in the same slot.
+///
+/// # Errors
+/// [`JobError`] when any task fails [`JobConfig::max_attempts`] times.
+/// Panics in the mapper/combiner/reducer are caught, retried, and — if
+/// persistent — reported through the error, never propagated.
 #[allow(clippy::type_complexity)]
 pub fn map_reduce<I, K, V, O, M, R>(
     cfg: &JobConfig,
@@ -89,7 +330,7 @@ pub fn map_reduce<I, K, V, O, M, R>(
     mapper: M,
     combiner: Option<&(dyn Fn(&K, &mut Vec<V>) + Sync)>,
     reducer: R,
-) -> (Vec<O>, JobStats)
+) -> Result<(Vec<O>, JobStats), JobError>
 where
     I: Sync,
     K: Ord + Hash + Clone + Send + Sync + Codec,
@@ -101,103 +342,52 @@ where
     let mut stats = JobStats { map_input_records: input.len() as u64, ..Default::default() };
     let workers = cfg.workers.max(1);
     let parts = cfg.reduce_partitions.max(1);
+    let counters = FaultCounters::default();
 
     // ---- Map phase -------------------------------------------------------
+    // One task per input chunk; each task retried independently. Results
+    // are joined in task order, which keeps downstream processing
+    // deterministic regardless of scheduling or retries.
     let t0 = Instant::now();
     let chunk_size = input.len().div_ceil(workers).max(1);
-    #[allow(clippy::type_complexity)] // worker -> partition -> pairs
-    let map_outputs: Mutex<Vec<Vec<Vec<(K, V)>>>> = Mutex::new(Vec::new());
-    let emitted = Mutex::new(0u64);
-    let combined = Mutex::new(0u64);
-    crossbeam::thread::scope(|scope| {
-        for chunk in input.chunks(chunk_size) {
-            let map_outputs = &map_outputs;
-            let emitted = &emitted;
-            let combined = &combined;
-            let mapper = &mapper;
-            scope.spawn(move |_| {
-                let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
-                let mut count = 0u64;
-                for record in chunk {
-                    mapper(record, &mut |k: K, v: V| {
-                        let p = (hash_one(&k) % parts as u64) as usize;
-                        partitions[p].push((k, v));
-                        count += 1;
-                    });
-                }
-                *emitted.lock() += count;
-                // Local combine: sort each partition, fold runs of equal
-                // keys through the combiner.
-                if let Some(comb) = combiner {
-                    let mut after = 0u64;
-                    for part in &mut partitions {
-                        part.sort_by(|a, b| a.0.cmp(&b.0));
-                        let mut result: Vec<(K, V)> = Vec::with_capacity(part.len());
-                        let drained = std::mem::take(part);
-                        let mut run_key: Option<K> = None;
-                        let mut run_vals: Vec<V> = Vec::new();
-                        for (k, v) in drained {
-                            match &run_key {
-                                Some(rk) if *rk == k => run_vals.push(v),
-                                _ => {
-                                    if let Some(rk) = run_key.take() {
-                                        comb(&rk, &mut run_vals);
-                                        for v in run_vals.drain(..) {
-                                            result.push((rk.clone(), v));
-                                        }
-                                    }
-                                    run_key = Some(k);
-                                    run_vals.push(v);
-                                }
-                            }
-                        }
-                        if let Some(rk) = run_key.take() {
-                            comb(&rk, &mut run_vals);
-                            for v in run_vals.drain(..) {
-                                result.push((rk.clone(), v));
-                            }
-                        }
-                        after += result.len() as u64;
-                        *part = result;
-                    }
-                    *combined.lock() += after;
-                }
-                map_outputs.lock().push(partitions);
-            });
-        }
-    })
-    .expect("map worker panicked");
-    stats.map_output_records = *emitted.lock();
-    stats.combine_output_records =
-        if combiner.is_some() { *combined.lock() } else { stats.map_output_records };
+    let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
+    let mapper = &mapper;
+    let counters_ref = &counters;
+    let map_results: Vec<Result<MapTaskOut<K, V>, JobError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(task, chunk)| {
+                scope.spawn(move || {
+                    run_attempts(Stage::Map, task, cfg, counters_ref, |attempt| {
+                        map_task_attempt(
+                            task,
+                            attempt,
+                            chunk,
+                            parts,
+                            cfg,
+                            counters_ref,
+                            mapper,
+                            combiner,
+                        )
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("task harness must not panic")).collect()
+    });
+    let mut worker_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_results.len());
+    for result in map_results {
+        let out = result?;
+        stats.map_output_records += out.emitted;
+        stats.combine_output_records += out.combined;
+        stats.spilled_bytes += out.spilled_bytes;
+        worker_outputs.push(out.partitions);
+    }
     stats.map_time = t0.elapsed();
 
     // ---- Shuffle ---------------------------------------------------------
     let t1 = Instant::now();
-    let worker_outputs = map_outputs.into_inner();
-    // Optionally spill each (worker, partition) buffer to disk and read it
-    // back — the honest-I/O mode.
-    let worker_outputs: Vec<Vec<Vec<(K, V)>>> = if let Some(dir) = &cfg.spill_dir {
-        std::fs::create_dir_all(dir).expect("create spill dir");
-        let mut restored = Vec::with_capacity(worker_outputs.len());
-        for (wi, parts_of_worker) in worker_outputs.into_iter().enumerate() {
-            let mut back = Vec::with_capacity(parts_of_worker.len());
-            for (pi, part) in parts_of_worker.into_iter().enumerate() {
-                let path = dir.join(format!("spill_w{wi}_p{pi}.bin"));
-                let bytes = encode_all(&part);
-                stats.spilled_bytes += bytes.len() as u64;
-                std::fs::write(&path, &bytes).expect("write spill");
-                let data = std::fs::read(&path).expect("read spill");
-                let _ = std::fs::remove_file(&path);
-                back.push(decode_all::<(K, V)>(&data).expect("decode spill"));
-            }
-            restored.push(back);
-        }
-        restored
-    } else {
-        worker_outputs
-    };
-
     let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
     for worker_parts in worker_outputs {
         for (pi, mut part) in worker_parts.into_iter().enumerate() {
@@ -205,79 +395,110 @@ where
             partitions[pi].append(&mut part);
         }
     }
-    // Sort each partition by key (parallel over partitions).
-    crossbeam::thread::scope(|scope| {
-        for part in &mut partitions {
-            scope.spawn(move |_| part.sort_by(|a, b| a.0.cmp(&b.0)));
+    // Sort partitions by key using at most `workers` threads, each
+    // handling a contiguous tile of partitions (a job with hundreds of
+    // partitions must not spawn hundreds of threads).
+    let tile = parts.div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        for tile_slice in partitions.chunks_mut(tile) {
+            scope.spawn(move || {
+                for part in tile_slice {
+                    part.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+            });
         }
-    })
-    .expect("shuffle worker panicked");
+    });
     stats.shuffle_time = t1.elapsed();
 
     // ---- Reduce ----------------------------------------------------------
+    // One task per partition (the retry unit), executed by at most
+    // `workers` threads over contiguous tiles. Retrying is safe because
+    // a task only reads its partition and clones values out of it.
     let t2 = Instant::now();
-    let groups = Mutex::new(0u64);
-    let outputs: Mutex<Vec<(usize, Vec<O>)>> = Mutex::new(Vec::new());
     let reducer = &reducer;
-    crossbeam::thread::scope(|scope| {
-        // Static assignment of partitions to `workers` reduce workers.
-        let partitions = &partitions;
-        let groups = &groups;
-        let outputs = &outputs;
-        for w in 0..workers {
-            scope.spawn(move |_| {
-                let mut local_groups = 0u64;
-                for pi in (w..parts).step_by(workers) {
-                    let part = &partitions[pi];
-                    let mut out = Vec::new();
-                    let mut i = 0;
-                    while i < part.len() {
-                        let mut j = i + 1;
-                        while j < part.len() && part[j].0 == part[i].0 {
-                            j += 1;
-                        }
-                        // Clone the group's values out of the partition.
-                        let values: Vec<V> = part[i..j]
-                            .iter()
-                            .map(|(_, v)| {
-                                // Round-trip through the codec to avoid a
-                                // `V: Clone` bound: values are plain data.
-                                let mut buf = Vec::new();
-                                v.encode(&mut buf);
-                                let mut s = buf.as_slice();
-                                V::decode(&mut s).expect("codec round trip")
+    let partitions_ref = &partitions;
+    let reduce_results: Vec<Result<(Vec<O>, u64), JobError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..parts)
+            .step_by(tile)
+            .map(|start| {
+                let end = (start + tile).min(parts);
+                scope.spawn(move || {
+                    (start..end)
+                        .map(|pi| {
+                            run_attempts(Stage::Reduce, pi, cfg, counters_ref, |attempt| {
+                                reduce_task_attempt(pi, attempt, &partitions_ref[pi], cfg, reducer)
                             })
-                            .collect();
-                        local_groups += 1;
-                        reducer(&part[i].0, values, &mut |o: O| out.push(o));
-                        i = j;
-                    }
-                    outputs.lock().push((pi, out));
-                }
-                *groups.lock() += local_groups;
-            });
-        }
-    })
-    .expect("reduce worker panicked");
-    let mut collected = outputs.into_inner();
-    collected.sort_by_key(|(pi, _)| *pi);
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("task harness must not panic")).collect()
+    });
     let mut result = Vec::new();
-    for (_, mut out) in collected {
+    for part_result in reduce_results {
+        let (mut out, groups) = part_result?;
+        stats.reduce_input_groups += groups;
         result.append(&mut out);
     }
-    stats.reduce_input_groups = *groups.lock();
     stats.reduce_output_records = result.len() as u64;
     stats.reduce_time = t2.elapsed();
-    (result, stats)
+
+    stats.task_failures = counters.task_failures.load(Ordering::Relaxed);
+    stats.retried_tasks = counters.retried_tasks.load(Ordering::Relaxed);
+    stats.corrupt_frames = counters.corrupt_frames.load(Ordering::Relaxed);
+    Ok((result, stats))
+}
+
+/// One reduce task attempt: group and reduce a single sorted partition.
+fn reduce_task_attempt<K, V, O, R>(
+    task: usize,
+    attempt: u32,
+    part: &[(K, V)],
+    cfg: &JobConfig,
+    reducer: &R,
+) -> Result<(Vec<O>, u64), String>
+where
+    K: Ord + Codec,
+    V: Codec,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    match cfg.fault_plan.fault_for(Stage::Reduce, task, attempt) {
+        Some(FaultKind::Panic) => {
+            panic!("injected panic in reduce task {task} attempt {attempt}")
+        }
+        Some(kind) => {
+            return Err(format!("injected {kind:?} in reduce task {task} attempt {attempt}"))
+        }
+        None => {}
+    }
+    let mut out = Vec::new();
+    let mut groups = 0u64;
+    let mut i = 0;
+    while i < part.len() {
+        let mut j = i + 1;
+        while j < part.len() && part[j].0 == part[i].0 {
+            j += 1;
+        }
+        // Hand the reducer owned values; `clone_via_codec` is a direct
+        // clone for every provided codec (see its docs for why the
+        // public API uses the codec bound instead of `V: Clone`).
+        let values: Vec<V> = part[i..j].iter().map(|(_, v)| v.clone_via_codec()).collect();
+        groups += 1;
+        reducer(&part[i].0, values, &mut |o: O| out.push(o));
+        i = j;
+    }
+    Ok((out, groups))
 }
 
 /// Convenience wrapper without a combiner.
+#[allow(clippy::type_complexity)]
 pub fn map_reduce_simple<I, K, V, O, M, R>(
     cfg: &JobConfig,
     input: &[I],
     mapper: M,
     reducer: R,
-) -> (Vec<O>, JobStats)
+) -> Result<(Vec<O>, JobStats), JobError>
 where
     I: Sync,
     K: Ord + Hash + Clone + Send + Sync + Codec,
@@ -296,7 +517,17 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn word_count(cfg: &JobConfig, docs: &[&str]) -> Vec<(String, u64)> {
-        let (mut out, _) = map_reduce_simple(
+        let (mut out, _) = word_count_stats(cfg, docs).expect("job failed");
+        out.sort();
+        out
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn word_count_stats(
+        cfg: &JobConfig,
+        docs: &[&str],
+    ) -> Result<(Vec<(String, u64)>, JobStats), JobError> {
+        map_reduce_simple(
             cfg,
             docs,
             |doc: &&str, emit| {
@@ -305,9 +536,7 @@ mod tests {
                 }
             },
             |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.iter().sum())),
-        );
-        out.sort();
-        out
+        )
     }
 
     #[test]
@@ -315,10 +544,7 @@ mod tests {
         let docs = ["a b a", "b c", "a"];
         let cfg = JobConfig::with_workers(3);
         let got = word_count(&cfg, &docs);
-        assert_eq!(
-            got,
-            vec![("a".into(), 3u64), ("b".into(), 2), ("c".into(), 1)]
-        );
+        assert_eq!(got, vec![("a".into(), 3u64), ("b".into(), 2), ("c".into(), 1)]);
     }
 
     #[test]
@@ -344,13 +570,15 @@ mod tests {
         let reducer = |k: &String, vs: Vec<u64>, emit: &mut dyn FnMut((String, u64))| {
             emit((k.clone(), vs.iter().sum()))
         };
-        let (mut plain, s_plain) = map_reduce(&cfg, &input, mapper, None, reducer);
+        let (mut plain, s_plain) =
+            map_reduce(&cfg, &input, mapper, None, reducer).expect("plain job");
         let combiner = |_k: &String, vs: &mut Vec<u64>| {
             let total: u64 = vs.iter().sum();
             vs.clear();
             vs.push(total);
         };
-        let (mut combined, s_comb) = map_reduce(&cfg, &input, mapper, Some(&combiner), reducer);
+        let (mut combined, s_comb) =
+            map_reduce(&cfg, &input, mapper, Some(&combiner), reducer).expect("combined job");
         plain.sort();
         combined.sort();
         assert_eq!(plain, combined);
@@ -374,16 +602,7 @@ mod tests {
         let mut cfg = JobConfig::with_workers(2);
         cfg.spill_dir = Some(dir.clone());
         let docs = ["hello world hello"];
-        let (_, stats) = map_reduce_simple(
-            &cfg,
-            &docs,
-            |doc: &&str, emit| {
-                for w in doc.split_whitespace() {
-                    emit(w.to_string(), 1u64);
-                }
-            },
-            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
-        );
+        let (_, stats) = word_count_stats(&cfg, &docs).expect("job failed");
         assert!(stats.spilled_bytes > 0);
         let _ = std::fs::remove_dir_all(dir);
     }
@@ -392,20 +611,12 @@ mod tests {
     fn stats_are_plausible() {
         let docs = ["a a a", "b"];
         let cfg = JobConfig::with_workers(2);
-        let (_, stats) = map_reduce_simple(
-            &cfg,
-            &docs,
-            |doc: &&str, emit| {
-                for w in doc.split_whitespace() {
-                    emit(w.to_string(), 1u64);
-                }
-            },
-            |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
-        );
+        let (_, stats) = word_count_stats(&cfg, &docs).expect("job failed");
         assert_eq!(stats.map_input_records, 2);
         assert_eq!(stats.map_output_records, 4);
         assert_eq!(stats.reduce_input_groups, 2);
-        assert_eq!(stats.reduce_output_records, 2);
+        assert_eq!(stats.task_failures, 0);
+        assert_eq!(stats.retried_tasks, 0);
     }
 
     #[test]
@@ -416,9 +627,55 @@ mod tests {
             &empty,
             |_doc: &&str, _emit: &mut dyn FnMut(String, u64)| {},
             |k: &String, vs: Vec<u64>, emit| emit((k.clone(), vs.len() as u64)),
-        );
+        )
+        .expect("empty job");
         assert!(out.is_empty());
         assert_eq!(stats.map_input_records, 0);
+    }
+
+    #[test]
+    fn injected_map_panic_is_retried() {
+        let docs = ["a b a", "b c", "a"];
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.retry_backoff = Duration::from_micros(100);
+        cfg.fault_plan = FaultPlan::none().with_fault(Stage::Map, 1, 0, FaultKind::Panic);
+        let (mut out, stats) = word_count_stats(&cfg, &docs).expect("job must recover");
+        out.sort();
+        assert_eq!(out, word_count(&JobConfig::with_workers(3), &docs));
+        assert_eq!(stats.task_failures, 1);
+        assert_eq!(stats.retried_tasks, 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job_without_panicking() {
+        let docs = ["a b", "c d"];
+        let mut cfg = JobConfig::with_workers(2);
+        cfg.max_attempts = 3;
+        cfg.retry_backoff = Duration::from_micros(100);
+        cfg.fault_plan = FaultPlan::none()
+            .with_fault(Stage::Map, 0, 0, FaultKind::Panic)
+            .with_fault(Stage::Map, 0, 1, FaultKind::Panic)
+            .with_fault(Stage::Map, 0, 2, FaultKind::Panic);
+        let err = word_count_stats(&cfg, &docs).expect_err("job must fail");
+        assert_eq!(err.stage, Stage::Map);
+        assert_eq!(err.task, 0);
+        assert_eq!(err.attempts, 3);
+        assert!(err.last_error.contains("injected panic"), "{}", err.last_error);
+    }
+
+    #[test]
+    fn injected_reduce_failure_is_retried() {
+        let docs = ["a b a", "b c"];
+        let mut cfg = JobConfig::with_workers(2);
+        cfg.retry_backoff = Duration::from_micros(100);
+        cfg.fault_plan = FaultPlan::none()
+            .with_fault(Stage::Reduce, 0, 0, FaultKind::Panic)
+            .with_fault(Stage::Reduce, 3, 0, FaultKind::IoError);
+        let (mut out, stats) = word_count_stats(&cfg, &docs).expect("job must recover");
+        out.sort();
+        assert_eq!(out, word_count(&JobConfig::with_workers(2), &docs));
+        assert_eq!(stats.task_failures, 2);
+        assert_eq!(stats.retried_tasks, 2);
     }
 
     proptest! {
@@ -436,10 +693,22 @@ mod tests {
                 &pairs,
                 |&(k, v): &(u64, u32), emit| emit(k, v),
                 |k: &u64, vs: Vec<u32>, emit| emit((*k, vs.iter().map(|&v| v as u64).sum::<u64>())),
-            );
+            ).expect("job failed");
             got.sort();
             let expect: Vec<(u64, u64)> = expect.into_iter().collect();
             prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn seeded_faults_never_change_results(seed in any::<u64>(), workers in 1usize..5) {
+            let docs = ["the quick brown fox", "jumps over the lazy dog", "the end"];
+            let mut faulty = JobConfig::with_workers(workers);
+            faulty.retry_backoff = Duration::from_micros(50);
+            faulty.fault_plan = FaultPlan::seeded(seed, 0.5);
+            let clean_out = word_count(&JobConfig::with_workers(workers), &docs);
+            let (mut out, _) = word_count_stats(&faulty, &docs).expect("seeded faults must recover");
+            out.sort();
+            prop_assert_eq!(out, clean_out);
         }
     }
 }

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use ngs_mapper::{MapResult, Mapper};
     pub use ngs_seqio::{read_fasta, read_fastq, write_fasta, write_fastq};
     pub use ngs_simulate::{
-        simulate_community, simulate_reads, CommunityConfig, ErrorModel, GenomeSpec,
-        RankSpec, ReadSimConfig, RepeatClass,
+        simulate_community, simulate_reads, CommunityConfig, ErrorModel, GenomeSpec, RankSpec,
+        ReadSimConfig, RepeatClass,
     };
     pub use redeem::{EmConfig, KmerErrorModel, Redeem};
     pub use reptile::{Reptile, ReptileParams};

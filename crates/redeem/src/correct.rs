@@ -68,9 +68,8 @@ fn correct_one(
     if kmers.is_empty() {
         return;
     }
-    let suspicious = kmers.iter().any(|&(_, v)| {
-        spectrum.index_of(v).is_none_or(|i| t[i] < liberal_threshold)
-    });
+    let suspicious =
+        kmers.iter().any(|&(_, v)| spectrum.index_of(v).is_none_or(|i| t[i] < liberal_threshold));
     if !suspicious {
         return;
     }

@@ -77,9 +77,8 @@ impl Redeem {
     pub fn from_spectrum(spectrum: KSpectrum, model: &KmerErrorModel, dmax: usize) -> Redeem {
         let n = spectrum.len();
         let chunks = if dmax == 1 { spectrum.k() } else { (dmax + 4).min(spectrum.k()) };
-        let index = NeighborIndex::build(&spectrum, dmax, NeighborStrategy::MaskedReplicas {
-            chunks,
-        });
+        let index =
+            NeighborIndex::build(&spectrum, dmax, NeighborStrategy::MaskedReplicas { chunks });
         let adjacency = index.full_adjacency(dmax);
 
         // Raw (un-normalised) weights, then row sums, then two normalised
@@ -124,9 +123,7 @@ impl Redeem {
                 let mut in_row = Vec::with_capacity(e - s);
                 for &m in &nbr[s..e] {
                     let m = m as usize;
-                    out_row.push(
-                        model.pe_with_diag(kmers[l], kmers[m], diags[l]) / rowsums[l],
-                    );
+                    out_row.push(model.pe_with_diag(kmers[l], kmers[m], diags[l]) / rowsums[l]);
                     in_row.push(model.pe_with_diag(kmers[m], kmers[l], diags[m]) / rowsums[m]);
                 }
                 (s, out_row, in_row)
@@ -232,7 +229,12 @@ mod tests {
     use super::*;
     use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig, RepeatClass};
 
-    fn build(genome_len: usize, repeats: Vec<RepeatClass>, pe: f64, seed: u64) -> (Vec<u8>, Redeem, KmerErrorModel, ngs_simulate::SimulatedReads) {
+    fn build(
+        genome_len: usize,
+        repeats: Vec<RepeatClass>,
+        pe: f64,
+        seed: u64,
+    ) -> (Vec<u8>, Redeem, KmerErrorModel, ngs_simulate::SimulatedReads) {
         let g = GenomeSpec::with_repeats(genome_len, repeats).generate(31).seq;
         let cfg = ReadSimConfig {
             read_len: 36,
@@ -290,8 +292,7 @@ mod tests {
             }
         }
         assert!(ne > 0 && ng > 0);
-        let (tg, te, yg, ye) =
-            (tg / ng as f64, te / ne as f64, yg / ng as f64, ye / ne as f64);
+        let (tg, te, yg, ye) = (tg / ng as f64, te / ne as f64, yg / ng as f64, ye / ne as f64);
         // At maximum likelihood a singleton error k-mer keeps T close to
         // its count (the neighbourhood cannot explain a whole observation),
         // but T must still drop below Y and widen the genomic/error ratio.
@@ -307,12 +308,8 @@ mod tests {
         let res = redeem.run(&EmConfig::default());
         let genomic = genomic_flags(&g, redeem.spectrum());
         // Baseline: median T of genomic kmers.
-        let mut tg: Vec<f64> = genomic
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f)
-            .map(|(i, _)| res.t[i])
-            .collect();
+        let mut tg: Vec<f64> =
+            genomic.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| res.t[i]).collect();
         tg.sort_unstable_by(f64::total_cmp);
         let median = tg[tg.len() / 2];
         let max = *tg.last().unwrap();

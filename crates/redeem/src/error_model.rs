@@ -93,10 +93,9 @@ impl KmerErrorModel {
             for start in 0..=(l - k) {
                 for i in 0..k {
                     let (o, t) = (obs[start + i], truth[start + i]);
-                    if let (Some(oc), Some(tc)) = (
-                        ngs_core::alphabet::encode_base(o),
-                        ngs_core::alphabet::encode_base(t),
-                    ) {
+                    if let (Some(oc), Some(tc)) =
+                        (ngs_core::alphabet::encode_base(o), ngs_core::alphabet::encode_base(t))
+                    {
                         counts[i][tc as usize][oc as usize] += 1;
                     }
                 }
@@ -183,11 +182,7 @@ impl KmerErrorModel {
     /// Average per-base error rate implied by the model.
     pub fn average_error_rate(&self) -> f64 {
         let k = self.q.len() as f64;
-        self.q
-            .iter()
-            .map(|m| 1.0 - (0..4).map(|a| m[a][a]).sum::<f64>() / 4.0)
-            .sum::<f64>()
-            / k
+        self.q.iter().map(|m| 1.0 - (0..4).map(|a| m[a][a]).sum::<f64>() / 4.0).sum::<f64>() / k
     }
 }
 
@@ -262,8 +257,9 @@ mod tests {
     #[test]
     fn estimate_recovers_planted_rate() {
         // 10% A->T misreads at every position.
-        let observed: Vec<Vec<u8>> =
-            (0..1000).map(|i| if i % 10 == 0 { b"TAAA".to_vec() } else { b"AAAA".to_vec() }).collect();
+        let observed: Vec<Vec<u8>> = (0..1000)
+            .map(|i| if i % 10 == 0 { b"TAAA".to_vec() } else { b"AAAA".to_vec() })
+            .collect();
         let truth = vec![b"AAAA".to_vec(); 1000];
         let pairs: Vec<(&[u8], &[u8])> =
             observed.iter().zip(&truth).map(|(o, t)| (o.as_slice(), t.as_slice())).collect();

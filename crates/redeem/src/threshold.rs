@@ -163,7 +163,8 @@ fn fit_fixed_g(t: &[f64], g: usize, max_iters: usize) -> Option<MixtureFit> {
             };
             let f_of = |ph: f64| -> f64 {
                 let m = mu_of(ph);
-                (1.0 - ph) * (1.0 + ph) * s_t2g - 2.0 * m * ph * ph * s_t
+                (1.0 - ph) * (1.0 + ph) * s_t2g
+                    - 2.0 * m * ph * ph * s_t
                     - m * m * ph * ph * s_gn
                     - m * ph * (1.0 + ph) / (1.0 - ph) * s_n
             };
@@ -251,9 +252,7 @@ pub fn estimate_genome_length(t: &[f64], coverage_constant: f64) -> f64 {
 /// the winning fit (with its implied detection threshold). Returns `None`
 /// when the data is degenerate (e.g. all-zero estimates).
 pub fn fit_threshold_model(t: &[f64], max_g: usize) -> Option<MixtureFit> {
-    (1..=max_g.max(1))
-        .filter_map(|g| fit_fixed_g(t, g, 200))
-        .min_by(|a, b| a.bic.total_cmp(&b.bic))
+    (1..=max_g.max(1)).filter_map(|g| fit_fixed_g(t, g, 200)).min_by(|a, b| a.bic.total_cmp(&b.bic))
 }
 
 #[cfg(test)]
@@ -286,10 +285,7 @@ mod tests {
         for alpha in [0.3f64, 1.0, 2.5, 10.0, 100.0] {
             let c = alpha.ln() - digamma(alpha);
             let back = solve_gamma_shape(c);
-            assert!(
-                (back - alpha).abs() / alpha < 1e-3,
-                "alpha={alpha} back={back}"
-            );
+            assert!((back - alpha).abs() / alpha < 1e-3, "alpha={alpha} back={back}");
         }
     }
 

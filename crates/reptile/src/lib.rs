@@ -79,12 +79,8 @@ impl Reptile {
             .par_iter()
             .map(|r| {
                 let mut read = r.clone();
-                let stats = read_correct::correct_read(
-                    &mut read,
-                    &self.params,
-                    &self.tiles,
-                    &index,
-                );
+                let stats =
+                    read_correct::correct_read(&mut read, &self.params, &self.tiles, &index);
                 (read, stats)
             })
             .collect();

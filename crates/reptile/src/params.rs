@@ -155,13 +155,8 @@ mod tests {
     #[test]
     fn from_data_orders_thresholds() {
         let g = GenomeSpec::uniform(10_000).generate(1).seq;
-        let cfg = ReadSimConfig::with_coverage(
-            g.len(),
-            36,
-            50.0,
-            ErrorModel::illumina_like(36, 0.01),
-            7,
-        );
+        let cfg =
+            ReadSimConfig::with_coverage(g.len(), 36, 50.0, ErrorModel::illumina_like(36, 0.01), 7);
         let sim = simulate_reads(&g, &cfg);
         let p = ReptileParams::from_data(&sim.reads, g.len());
         assert!(p.cm < p.cg, "cm={} cg={}", p.cm, p.cg);

@@ -172,9 +172,9 @@ mod tests {
         let reads: Vec<Read> = (0..n_clean)
             .flat_map(|i| {
                 // Overlapping windows over the genome for tile diversity.
-                (0..=(genome.len() - 20)).step_by(4).map(move |s| {
-                    Read::new(format!("r{i}_{s}"), &genome[s..s + 20])
-                })
+                (0..=(genome.len() - 20))
+                    .step_by(4)
+                    .map(move |s| Read::new(format!("r{i}_{s}"), &genome[s..s + 20]))
             })
             .collect();
         (reads, params)

@@ -307,11 +307,8 @@ mod tests {
         reads.push(Read::new("err2", b"ACGTATTGGA"));
         let mut f = fixture(reads, 5);
         f.params.qm = 10; // corrections must touch a base with q < 10
-        let index = NeighborIndex::build(
-            &f.spectrum,
-            1,
-            NeighborStrategy::MaskedReplicas { chunks: 5 },
-        );
+        let index =
+            NeighborIndex::build(&f.spectrum, 1, NeighborStrategy::MaskedReplicas { chunks: 5 });
         let quals = vec![30u8; 10]; // all bases high quality
         let dec = correct_tile(
             encode_kmer(b"ACGTA").unwrap(),

@@ -48,9 +48,7 @@ impl<R: std::io::Read> FastaReader<R> {
             if let Some(rest) = t.strip_prefix('>') {
                 break rest.to_string();
             }
-            return Err(NgsError::MalformedRecord(format!(
-                "expected FASTA header, got {t:?}"
-            )));
+            return Err(NgsError::MalformedRecord(format!("expected FASTA header, got {t:?}")));
         };
 
         let mut seq = Vec::new();

@@ -167,4 +167,58 @@ mod tests {
         let back = read_fastq(&buf[..]).unwrap();
         assert_eq!(back[0].qual, Some(vec![40, 40, 40]));
     }
+
+    /// Expect a [`NgsError::MalformedRecord`] whose message names the
+    /// offending record.
+    fn expect_malformed(data: &[u8], record: usize, needle: &str) {
+        match read_fastq(data) {
+            Err(NgsError::MalformedRecord(msg)) => {
+                assert!(
+                    msg.contains(&format!("record {record}")),
+                    "message must name record {record}: {msg:?}"
+                );
+                assert!(msg.contains(needle), "{msg:?} should mention {needle:?}");
+            }
+            other => panic!("expected MalformedRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let data = b"@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nGG\r\n+\r\nII\r\n";
+        let reads = read_fastq(&data[..]).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].seq, b"ACGT");
+        assert_eq!(reads[0].qual, Some(vec![40, 40, 40, 40]));
+        assert_eq!(reads[1].seq, b"GG");
+    }
+
+    #[test]
+    fn truncated_final_record_names_record_number() {
+        // Record 0 is complete; record 1 ends after its sequence line.
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nGGTT\n";
+        expect_malformed(data, 1, "missing '+' line");
+        // Truncated even earlier: header only.
+        expect_malformed(b"@r1\nACGT\n+\nIIII\n@r2\n", 1, "missing sequence");
+        // Qualities missing entirely.
+        expect_malformed(b"@r1\nACGT\n+\n", 0, "missing qualities");
+    }
+
+    #[test]
+    fn plus_line_mismatch_names_record_number() {
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nGGTT\nXIIII\nIIII\n";
+        expect_malformed(data, 1, "expected '+'");
+    }
+
+    #[test]
+    fn seq_qual_length_mismatch_names_record_number() {
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nGGTT\n+\nII\n";
+        expect_malformed(data, 1, "sequence length 4 != quality length 2");
+    }
+
+    #[test]
+    fn header_without_at_names_record_number() {
+        let data = b"@r1\nAC\n+\nII\nr2\nGG\n+\nII\n";
+        expect_malformed(data, 1, "expected '@'");
+    }
 }

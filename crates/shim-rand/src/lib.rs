@@ -1,0 +1,261 @@
+//! Offline drop-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API surface it needs as a local crate: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! `gen`, `gen_range`, and `gen_bool`. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic for a given seed, with
+//! statistical quality comparable to `StdRng` for the simulation and
+//! test workloads here (which only assert distributional properties,
+//! never exact streams).
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable from uniform bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `bits`.
+    fn from_bits(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: &mut dyn FnMut() -> u64) -> f32 {
+        (bits() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: &mut dyn FnMut() -> u64) -> bool {
+        bits() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_bits(bits: &mut dyn FnMut() -> u64) -> $t {
+                bits() as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a uniform sampler. The per-type sampling lives here so the
+/// [`SampleRange`] impls below can be single blanket impls over `T`;
+/// separate per-type range impls would leave `gen_range`'s return type
+/// ambiguous in arithmetic contexts like `38.0 + rng.gen_range(-3.0..3.0)`
+/// (this mirrors `rand`'s own structure).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, bits: &mut dyn FnMut() -> u64) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide);
+                lo.wrapping_add((bits() as $wide % span) as $t)
+            }
+            fn sample_inclusive(lo: $t, hi: $t, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is admissible.
+                    return bits() as $t;
+                }
+                lo.wrapping_add((bits() as $wide % span) as $t)
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                lo + (hi - lo) * <$t as Standard>::from_bits(bits)
+            }
+            fn sample_inclusive(lo: $t, hi: $t, bits: &mut dyn FnMut() -> u64) -> $t {
+                lo + (hi - lo) * <$t as Standard>::from_bits(bits)
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(self.start, self.end, bits)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), bits)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(&mut || self.next_u64())
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Named generators (only [`StdRng`] is provided).
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, seeded via SplitMix64 — the offline stand-in for
+    /// `rand::rngs::StdRng`. Not cryptographically secure (neither use
+    /// here needs it).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of
+            // state, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..64).filter(|_| a.gen::<u64>() == c.gen::<u64>()).count();
+        assert!(same < 4, "different seeds should diverge");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u8..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

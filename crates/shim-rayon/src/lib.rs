@@ -1,0 +1,244 @@
+//! Offline drop-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API surface it needs: `par_iter` / `par_iter_mut` /
+//! `into_par_iter` / `par_chunks` with the `map`, `filter_map`,
+//! `enumerate`, `collect`, `sum`, and `reduce` adaptors, plus
+//! `par_sort_unstable_by_key` and [`current_num_threads`].
+//!
+//! Unlike a stub, the combinators genuinely run in parallel: the item
+//! stream is materialised, split into one contiguous chunk per thread,
+//! and processed under [`std::thread::scope`], preserving input order.
+//! This is eager rather than lazy (each adaptor completes before the
+//! next starts), which costs some intermediate allocation but keeps the
+//! semantics — deterministic order, panic propagation — identical for
+//! every call site in this workspace. Work-stealing is not implemented;
+//! the workloads here are uniform enough that static chunking is fine.
+
+/// Number of worker threads parallel adaptors will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Split `items` into at most `threads` contiguous runs of near-equal
+/// length (order preserved).
+fn split_chunks<T>(items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Apply `f` to every item in parallel, preserving order. Panics in `f`
+/// propagate to the caller (as with rayon).
+fn parallel_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, threads);
+    let f = &f;
+    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for r in results {
+        out.extend(r);
+    }
+    out
+}
+
+/// An eagerly evaluated parallel iterator over a materialised item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, order-preserving.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter { items: parallel_apply(self.items, f) }
+    }
+
+    /// Parallel filter-map, order-preserving.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        let opts = parallel_apply(self.items, f);
+        ParIter { items: opts.into_iter().flatten().collect() }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Collect the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Reduce with rayon's (identity, op) signature. `identity()` seeds
+    /// the fold, so an empty stream yields `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Run `f` on every item (parallel).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_apply(self.items, f);
+    }
+}
+
+/// `into_par_iter` for owning collections.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter` / `par_iter_mut` / `par_chunks` / `par_sort_unstable_by_key`
+/// over slices.
+pub trait ParallelSlice<T: Sync + Send> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous sub-slices of length `size`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(size.max(1)).collect() }
+    }
+}
+
+/// Mutable parallel access over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// In-place unstable sort by key (sequential fallback).
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+pub mod prelude {
+    //! The adaptor traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_and_enumerate() {
+        let v = [1u32, 2, 3, 4, 5, 6];
+        let evens: Vec<u32> = v.par_iter().filter_map(|&x| (x % 2 == 0).then_some(x)).collect();
+        assert_eq!(evens, vec![2, 4, 6]);
+        let idx: Vec<(usize, &u32)> = v.par_iter().enumerate().collect();
+        assert_eq!(idx[3], (3, &4));
+    }
+
+    #[test]
+    fn chunks_reduce_matches_sequential() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total: u64 = v.par_chunks(97).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn range_into_par_iter_sums() {
+        let s: usize = (0..1000usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut v = vec![1u32; 64];
+        v.par_iter_mut().map(|x| *x += 1).collect::<Vec<()>>();
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let v = [0u32, 1, 2];
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 2 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+}

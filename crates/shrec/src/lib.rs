@@ -130,10 +130,8 @@ impl Shrec {
             let mut changed_any = false;
             for &q in &self.params.levels {
                 let counts = Self::count_level(&current, q);
-                let total_windows: u64 = current
-                    .iter()
-                    .map(|r| 2 * (r.len().saturating_sub(q - 1)) as u64)
-                    .sum();
+                let total_windows: u64 =
+                    current.iter().map(|r| 2 * (r.len().saturating_sub(q - 1)) as u64).sum();
                 let e = self.expected_count(total_windows, q);
                 let thr = self.threshold(e);
                 let level_stats: Vec<(bool, ShrecStats)> = current
@@ -205,9 +203,8 @@ fn correct_read_level(
                             // Accept when the extension is at least as
                             // plausible as the uncorrected one.
                             let orig_ext = encode_kmer(&read.seq[start + 1..=j + 1]);
-                            let orig_c = orig_ext
-                                .and_then(|v| counts.get(&v).copied())
-                                .unwrap_or(0);
+                            let orig_c =
+                                orig_ext.and_then(|v| counts.get(&v).copied()).unwrap_or(0);
                             counts.get(&ev).copied().unwrap_or(0) >= orig_c.max(1)
                         }
                         None => true, // N downstream: no extension evidence
@@ -308,7 +305,12 @@ mod tests {
             .collect();
         let true_seq = reads[0].seq.clone();
         reads[0].seq[18] = alphabet::complement_base(reads[0].seq[18]);
-        let shrec = Shrec::new(ShrecParams { genome_len: g.len(), alpha: 2.0, levels: vec![12], iterations: 2 });
+        let shrec = Shrec::new(ShrecParams {
+            genome_len: g.len(),
+            alpha: 2.0,
+            levels: vec![12],
+            iterations: 2,
+        });
         let (corrected, stats) = shrec.correct(&reads);
         assert_eq!(corrected[0].seq, true_seq, "stats={stats:?}");
     }

@@ -202,10 +202,8 @@ mod tests {
     #[test]
     fn repeats_embedded_with_requested_fraction() {
         // 20% repeats like dataset D1 of Table 3.1 (scaled).
-        let spec = GenomeSpec::with_repeats(
-            50_000,
-            vec![RepeatClass { length: 500, multiplicity: 20 }],
-        );
+        let spec =
+            GenomeSpec::with_repeats(50_000, vec![RepeatClass { length: 500, multiplicity: 20 }]);
         let g = spec.generate(11);
         assert!((g.repeat_fraction() - 0.2).abs() < 1e-9);
         // All copies carry identical sequence.

@@ -168,7 +168,12 @@ pub fn simulate_reads(genome: &[u8], cfg: &ReadSimConfig) -> SimulatedReads {
             Read::new(id, &observed)
         };
         reads.push(read);
-        truth.push(ReadTruth { genome_pos: pos, reverse_strand: reverse, true_seq, error_positions });
+        truth.push(ReadTruth {
+            genome_pos: pos,
+            reverse_strand: reverse,
+            true_seq,
+            error_positions,
+        });
     }
     SimulatedReads { reads, truth }
 }

@@ -54,11 +54,11 @@ fn main() {
     let shrec_time = t1.elapsed();
     let shrec_eval = evaluate_correction(&reads, &shrec_out, &truths);
 
-    println!("\n{:<8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
-        "method", "TP", "FP", "FN", "Sens%", "Gain%", "EBA%", "time");
-    for (name, e, t) in
-        [("Reptile", rep_eval, rep_time), ("SHREC", shrec_eval, shrec_time)]
-    {
+    println!(
+        "\n{:<8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
+        "method", "TP", "FP", "FN", "Sens%", "Gain%", "EBA%", "time"
+    );
+    for (name, e, t) in [("Reptile", rep_eval, rep_time), ("SHREC", shrec_eval, shrec_time)] {
         println!(
             "{:<8} {:>8} {:>8} {:>8} {:>6.1} {:>6.1} {:>6.2} {:>8.2?}",
             name,

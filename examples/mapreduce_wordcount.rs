@@ -11,13 +11,8 @@ use ngs::prelude::*;
 
 fn main() {
     let genome = GenomeSpec::uniform(30_000).generate(3).seq;
-    let cfg = ReadSimConfig::with_coverage(
-        genome.len(),
-        50,
-        30.0,
-        ErrorModel::uniform(50, 0.005),
-        5,
-    );
+    let cfg =
+        ReadSimConfig::with_coverage(genome.len(), 50, 30.0, ErrorModel::uniform(50, 0.005), 5);
     let sim = simulate_reads(&genome, &cfg);
     let k = 12;
 
@@ -53,7 +48,8 @@ fn main() {
             |kmer: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| {
                 emit((*kmer, vs.iter().sum()))
             },
-        );
+        )
+        .expect("k-mer count job");
         println!(
             "workers={workers}: {} distinct {k}-mers in {:.2?} \
              (map {:.2?}, shuffle {:.2?}, reduce {:.2?}; combine shrank {} -> {})",
@@ -76,10 +72,9 @@ fn main() {
             ngs::kmer::for_each_kmer(&r.seq, k, |_, v| emit(v, 1));
         },
         Some(&combiner),
-        |kmer: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| {
-            emit((*kmer, vs.iter().sum()))
-        },
-    );
+        |kmer: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| emit((*kmer, vs.iter().sum())),
+    )
+    .expect("k-mer count job");
     let spectrum = KSpectrum::from_reads(&reads, k);
     assert_eq!(counts.len(), spectrum.len());
     for &(kmer, c) in &counts {

@@ -33,7 +33,7 @@ fn main() {
     );
 
     let params = ClosetParams::standard(380, vec![0.9, 0.75, 0.5], 8);
-    let out = closet::run(&community.reads, &params);
+    let out = closet::run(&community.reads, &params).expect("closet pipeline");
 
     println!(
         "\nsketching: {} predicted edge records -> {} unique candidates -> {} confirmed ({:.2?} + {:.2?})",
@@ -49,9 +49,7 @@ fn main() {
         "\n{:>6} {:>8} {:>10} {:>10} {:>8} {:>8}",
         "t", "edges", "processed", "clusters", "purity%", "ARI"
     );
-    for ((t, clusters), stats) in
-        out.clusters_by_threshold.iter().zip(&out.threshold_stats)
-    {
+    for ((t, clusters), stats) in out.clusters_by_threshold.iter().zip(&out.threshold_stats) {
         let pure = clusters
             .iter()
             .filter(|cl| {
@@ -59,10 +57,8 @@ fn main() {
                 cl.vertices.iter().all(|&v| species[v as usize] == s0)
             })
             .count();
-        let member_lists: Vec<Vec<usize>> = clusters
-            .iter()
-            .map(|c| c.vertices.iter().map(|&v| v as usize).collect())
-            .collect();
+        let member_lists: Vec<Vec<usize>> =
+            clusters.iter().map(|c| c.vertices.iter().map(|&v| v as usize).collect()).collect();
         let partition = clusters_to_partition(&member_lists, community.reads.len());
         let ari = adjusted_rand_index(&partition, &species);
         println!(

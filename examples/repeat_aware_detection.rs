@@ -20,11 +20,7 @@ fn main() {
         ],
     );
     let genome = spec.generate(5);
-    println!(
-        "genome: {} bp, {:.0}% repeats",
-        genome.len(),
-        100.0 * genome.repeat_fraction()
-    );
+    println!("genome: {} bp, {:.0}% repeats", genome.len(), 100.0 * genome.repeat_fraction());
 
     let cfg = ReadSimConfig {
         read_len: 36,
@@ -54,23 +50,14 @@ fn main() {
     ngs::kmer::for_each_kmer(&genome.seq, k, |_, v| {
         genomic.insert(v);
     });
-    let flags: Vec<bool> =
-        redeem.spectrum().kmers().iter().map(|v| genomic.contains(v)).collect();
+    let flags: Vec<bool> = redeem.spectrum().kmers().iter().map(|v| genomic.contains(v)).collect();
 
     // Sweep thresholds over Y and over T (Fig. 3.2's comparison).
     let thresholds: Vec<f64> = (0..=60).map(|m| m as f64).collect();
     let best_y = min_wrong_predictions(redeem.y(), &flags, &thresholds).unwrap();
     let best_t = min_wrong_predictions(&result.t, &flags, &thresholds).unwrap();
-    println!(
-        "min FP+FN thresholding Y: {} (at M={})",
-        best_y.wrong(),
-        best_y.threshold
-    );
-    println!(
-        "min FP+FN thresholding T: {} (at M={})",
-        best_t.wrong(),
-        best_t.threshold
-    );
+    println!("min FP+FN thresholding Y: {} (at M={})", best_y.wrong(), best_y.threshold);
+    println!("min FP+FN thresholding T: {} (at M={})", best_t.wrong(), best_t.threshold);
     assert!(
         best_t.wrong() <= best_y.wrong(),
         "T-thresholding should beat Y-thresholding on repeat-rich data"

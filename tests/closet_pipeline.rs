@@ -23,7 +23,7 @@ fn community(n_reads: usize, seed: u64) -> ngs::simulate::SimulatedCommunity {
 fn clusters_are_species_pure_at_high_threshold() {
     let c = community(500, 1);
     let params = ClosetParams::standard(380, vec![0.85, 0.6], 6);
-    let out = closet::run(&c.reads, &params);
+    let out = closet::run(&c.reads, &params).expect("closet pipeline");
     let species = c.canonical_labels(1);
     for (t, clusters) in &out.clusters_by_threshold {
         let pure = clusters
@@ -42,7 +42,7 @@ fn clusters_are_species_pure_at_high_threshold() {
 fn edge_sets_are_incremental_and_cluster_sizes_grow() {
     let c = community(400, 2);
     let params = ClosetParams::standard(380, vec![0.9, 0.75, 0.55], 6);
-    let out = closet::run(&c.reads, &params);
+    let out = closet::run(&c.reads, &params).expect("closet pipeline");
     // E_{k-1} ⊆ E_k (edge counts monotone).
     let edges: Vec<usize> = out.threshold_stats.iter().map(|s| s.edges).collect();
     assert!(edges.windows(2).all(|w| w[0] <= w[1]), "{edges:?}");
@@ -62,13 +62,10 @@ fn edge_sets_are_incremental_and_cluster_sizes_grow() {
 fn all_clusters_satisfy_density_invariant() {
     let c = community(350, 3);
     let params = ClosetParams::standard(380, vec![0.8, 0.6], 4);
-    let out = closet::run(&c.reads, &params);
+    let out = closet::run(&c.reads, &params).expect("closet pipeline");
     for (_, clusters) in &out.clusters_by_threshold {
         for cl in clusters {
-            assert!(
-                cl.density() >= params.gamma - 1e-9,
-                "cluster violates gamma: {cl:?}"
-            );
+            assert!(cl.density() >= params.gamma - 1e-9, "cluster violates gamma: {cl:?}");
             // Structural sanity: sorted unique vertices, edges within.
             assert!(cl.vertices.windows(2).all(|w| w[0] < w[1]));
             for &(a, b) in &cl.edges {
@@ -87,12 +84,10 @@ fn mapreduce_worker_count_does_not_change_results() {
     let mut p8 = ClosetParams::standard(380, vec![0.8, 0.6], 8);
     p2.max_live_clusters = 0;
     p8.max_live_clusters = 0;
-    let o2 = closet::run(&c.reads, &p2);
-    let o8 = closet::run(&c.reads, &p8);
+    let o2 = closet::run(&c.reads, &p2).expect("closet pipeline");
+    let o8 = closet::run(&c.reads, &p8).expect("closet pipeline");
     assert_eq!(o2.confirmed_edges, o8.confirmed_edges);
-    for ((_, c2), (_, c8)) in
-        o2.clusters_by_threshold.iter().zip(&o8.clusters_by_threshold)
-    {
+    for ((_, c2), (_, c8)) in o2.clusters_by_threshold.iter().zip(&o8.clusters_by_threshold) {
         let mut v2: Vec<&Vec<u32>> = c2.iter().map(|c| &c.vertices).collect();
         let mut v8: Vec<&Vec<u32>> = c8.iter().map(|c| &c.vertices).collect();
         v2.sort();
@@ -108,13 +103,10 @@ fn alignment_validator_agrees_with_kmer_validator_on_strong_edges() {
         &c.reads,
         &ClosetParams::standard(380, vec![0.6], 2).sketch,
         &JobConfig::with_workers(2),
-    );
-    let kmer_edges = closet::validate_edges(
-        &c.reads,
-        &candidates,
-        &Validator::KmerContainment { k: 15 },
-        0.8,
-    );
+    )
+    .expect("sketch jobs");
+    let kmer_edges =
+        closet::validate_edges(&c.reads, &candidates, &Validator::KmerContainment { k: 15 }, 0.8);
     let align_edges = closet::validate_edges(
         &c.reads,
         &candidates,

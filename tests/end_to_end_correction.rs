@@ -81,8 +81,7 @@ fn mapper_error_estimate_matches_simulation() {
     // rate also matches.
     let pairs = mapper.truth_pairs(&sim.reads, &results);
     let borrowed: Vec<(&[u8], Vec<u8>)> = pairs;
-    let pairs_ref: Vec<(&[u8], &[u8])> =
-        borrowed.iter().map(|(o, t)| (*o, t.as_slice())).collect();
+    let pairs_ref: Vec<(&[u8], &[u8])> = borrowed.iter().map(|(o, t)| (*o, t.as_slice())).collect();
     let model = ErrorModel::estimate(&pairs_ref, 36);
     assert!((model.average_error_rate() - sim.error_rate()).abs() < 0.004);
 }
@@ -138,12 +137,7 @@ fn ambiguous_bases_corrected_to_truth() {
         params.default_n_base = default_base;
         let (corrected, _) = Reptile::run(&sim.reads, params);
         let eval = evaluate_correction(&sim.reads, &corrected, &t);
-        assert!(
-            eval.gain() > 0.5,
-            "default {}: gain {}",
-            default_base as char,
-            eval.gain()
-        );
+        assert!(eval.gain() > 0.5, "default {}: gain {}", default_base as char, eval.gain());
         // Accuracy of N resolution: corrected-N bases that hit the truth.
         let mut n_right = 0u64;
         let mut n_changed = 0u64;
@@ -158,11 +152,6 @@ fn ambiguous_bases_corrected_to_truth() {
         }
         assert!(n_changed > 0);
         let accuracy = n_right as f64 / n_changed as f64;
-        assert!(
-            accuracy > 0.98,
-            "default {}: N accuracy {}",
-            default_base as char,
-            accuracy
-        );
+        assert!(accuracy > 0.98, "default {}: N accuracy {}", default_base as char, accuracy);
     }
 }

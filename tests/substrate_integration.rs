@@ -21,13 +21,8 @@ fn fasta_genome_round_trip_preserves_spectrum() {
 #[test]
 fn mapreduce_kmer_count_equals_kspectrum() {
     let genome = GenomeSpec::uniform(8_000).generate(2).seq;
-    let cfg = ReadSimConfig::with_coverage(
-        genome.len(),
-        40,
-        20.0,
-        ErrorModel::uniform(40, 0.01),
-        3,
-    );
+    let cfg =
+        ReadSimConfig::with_coverage(genome.len(), 40, 20.0, ErrorModel::uniform(40, 0.01), 3);
     let sim = simulate_reads(&genome, &cfg);
     let k = 13;
     let (counts, _) = map_reduce_simple(
@@ -36,10 +31,9 @@ fn mapreduce_kmer_count_equals_kspectrum() {
         |r: &Read, emit: &mut dyn FnMut(u64, u32)| {
             ngs::kmer::for_each_kmer(&r.seq, k, |_, v| emit(v, 1));
         },
-        |kmer: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| {
-            emit((*kmer, vs.len() as u32))
-        },
-    );
+        |kmer: &u64, vs: Vec<u32>, emit: &mut dyn FnMut((u64, u32))| emit((*kmer, vs.len() as u32)),
+    )
+    .expect("k-mer count job");
     let spectrum = KSpectrum::from_reads(&sim.reads, k);
     assert_eq!(counts.len(), spectrum.len());
     for (kmer, c) in counts {
@@ -50,19 +44,13 @@ fn mapreduce_kmer_count_equals_kspectrum() {
 #[test]
 fn dfs_stores_and_restores_fastq() {
     let genome = GenomeSpec::uniform(3_000).generate(4).seq;
-    let cfg = ReadSimConfig::with_coverage(
-        genome.len(),
-        36,
-        10.0,
-        ErrorModel::uniform(36, 0.005),
-        5,
-    );
+    let cfg =
+        ReadSimConfig::with_coverage(genome.len(), 36, 10.0, ErrorModel::uniform(36, 0.005), 5);
     let sim = simulate_reads(&genome, &cfg);
     let mut fastq = Vec::new();
     write_fastq(&mut fastq, &sim.reads).unwrap();
 
-    let mut dfs =
-        BlockStore::new(DfsConfig { block_size: 4096, replication: 2, data_nodes: 6 });
+    let mut dfs = BlockStore::new(DfsConfig { block_size: 4096, replication: 2, data_nodes: 6 });
     dfs.write("reads.fastq", &fastq);
     // Survive a node failure thanks to replication.
     dfs.fail_node(1);
@@ -75,18 +63,12 @@ fn dfs_stores_and_restores_fastq() {
 fn neighbor_index_strategies_agree_on_simulated_spectrum() {
     use ngs::kmer::neighbor::{NeighborIndex, NeighborStrategy};
     let genome = GenomeSpec::uniform(2_000).generate(6).seq;
-    let cfg = ReadSimConfig::with_coverage(
-        genome.len(),
-        36,
-        15.0,
-        ErrorModel::uniform(36, 0.02),
-        7,
-    );
+    let cfg =
+        ReadSimConfig::with_coverage(genome.len(), 36, 15.0, ErrorModel::uniform(36, 0.02), 7);
     let sim = simulate_reads(&genome, &cfg);
     let spectrum = KSpectrum::from_reads(&sim.reads, 9);
     let brute = NeighborIndex::build(&spectrum, 1, NeighborStrategy::BruteForce);
-    let masked =
-        NeighborIndex::build(&spectrum, 1, NeighborStrategy::MaskedReplicas { chunks: 9 });
+    let masked = NeighborIndex::build(&spectrum, 1, NeighborStrategy::MaskedReplicas { chunks: 9 });
     for &kmer in spectrum.kmers().iter().step_by(17) {
         assert_eq!(brute.neighbors(kmer, 1), masked.neighbors(kmer, 1));
     }
@@ -108,8 +90,7 @@ fn error_model_estimated_from_mapper_matches_truth_based_estimate() {
     let mapper = Mapper::build(&genome, 6);
     let (results, _) = mapper.map_all(&sim.reads, 5);
     let pairs = mapper.truth_pairs(&sim.reads, &results);
-    let pairs_ref: Vec<(&[u8], &[u8])> =
-        pairs.iter().map(|(o, t)| (*o, t.as_slice())).collect();
+    let pairs_ref: Vec<(&[u8], &[u8])> = pairs.iter().map(|(o, t)| (*o, t.as_slice())).collect();
     let mapped_model = ErrorModel::estimate(&pairs_ref, 36);
 
     // …and via the simulator's exact truth.
@@ -124,9 +105,6 @@ fn error_model_estimated_from_mapper_matches_truth_based_estimate() {
     for pos in [0usize, 17, 35] {
         let a = mapped_model.error_rate_at(pos);
         let b = truth_model.error_rate_at(pos);
-        assert!(
-            (a - b).abs() < 0.01,
-            "pos {pos}: mapped {a:.4} vs truth {b:.4}"
-        );
+        assert!((a - b).abs() < 0.01, "pos {pos}: mapped {a:.4} vs truth {b:.4}");
     }
 }
