@@ -1,0 +1,133 @@
+//! Observability smoke bench: run each pipeline on a tiny dataset with a
+//! recording collector, write `BENCH_<pipeline>.json` reports, and exit
+//! non-zero when any required span is missing. CI runs this on every push
+//! (the `smoke-bench` job), so a refactor that silently drops an
+//! instrumentation point fails the build instead of the next benchmarking
+//! session.
+//!
+//! Usage: `smoke_bench [--out-dir DIR]` (default `.`).
+
+use ngs_bench::datasets;
+use ngs_observe::Collector;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The spans every pipeline must produce, keyed by pipeline name. The same
+/// lists gate the CLIs' `--metrics-json` runs (see `crates/cli/src/bin/`).
+const REQUIRED: &[(&str, &[&str])] = &[
+    (
+        "reptile",
+        &[
+            "reptile.build.spectrum",
+            "reptile.build.tiles",
+            "reptile.build.neighbor_index",
+            "reptile.correct",
+        ],
+    ),
+    ("redeem", &["redeem.em.iteration", "redeem.threshold.fit"]),
+    ("closet", &["closet.sketch", "closet.validate", "closet.cluster"]),
+];
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from(".");
+    let mut argv = std::env::args().skip(1);
+    while let Some(tok) = argv.next() {
+        match tok.as_str() {
+            "--out-dir" => match argv.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out-dir requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}; usage: smoke_bench [--out-dir DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let runs: Vec<(&str, Collector)> =
+        vec![("reptile", run_reptile()), ("redeem", run_redeem()), ("closet", run_closet())];
+
+    let mut failed = false;
+    for (pipeline, collector) in &runs {
+        if let Err(msg) = check_and_write(pipeline, collector, &out_dir) {
+            eprintln!("FAIL {pipeline}: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Verify the pipeline's required spans and write its JSON report.
+fn check_and_write(pipeline: &str, collector: &Collector, out_dir: &Path) -> Result<(), String> {
+    let required =
+        REQUIRED.iter().find(|(p, _)| *p == pipeline).map(|(_, spans)| *spans).unwrap_or_default();
+    let report = collector.report(pipeline);
+    let missing = report.missing_spans(required);
+    if !missing.is_empty() {
+        return Err(format!("missing required spans: {}", missing.join(", ")));
+    }
+    let path = out_dir.join(format!("BENCH_{pipeline}.json"));
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!(
+        "OK {pipeline}: {} spans, {} counters -> {}",
+        report.spans.len(),
+        report.counters.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+/// Reptile on a tiny Chapter-2 dataset: two correction passes through one
+/// built index (exercising the index-reuse path).
+fn run_reptile() -> Collector {
+    let spec = datasets::Ch2Spec { genome_len: 6_000, ..datasets::ch2_specs()[1].clone() };
+    let (_, sim) = datasets::make_ch2(&spec);
+    let collector = Collector::new();
+    let params = reptile::ReptileParams::from_data(&sim.reads, spec.genome_len);
+    let corrector = reptile::Reptile::build_observed(&sim.reads, params, &collector);
+    let _ = corrector.correct_observed(&sim.reads, &collector);
+    collector
+}
+
+/// REDEEM on a tiny repeat genome: EM plus the §3.7 threshold fit.
+fn run_redeem() -> Collector {
+    let spec = datasets::Ch3Spec {
+        genome_len: 4_000,
+        // The R1 repeat classes scaled down to fit the shrunken genome.
+        repeats: vec![ngs_simulate::RepeatClass { length: 300, multiplicity: 5 }],
+        ..datasets::ch3_specs()[0].clone()
+    };
+    let (_, sim) = datasets::make_ch3(&spec);
+    let collector = Collector::new();
+    let k = 9;
+    let model = redeem::KmerErrorModel::uniform(k, spec.error_rate);
+    let redeem = redeem::Redeem::new(&sim.reads, k, &model, 1);
+    let result =
+        redeem.run_observed(&redeem::EmConfig { dmax: 1, max_iters: 30, tol: 1e-7 }, &collector);
+    let _ = redeem::fit_threshold_model_observed(&result.t, 3, &collector);
+    collector
+}
+
+/// CLOSET on a tiny community, with per-task MapReduce spans enabled.
+fn run_closet() -> Collector {
+    let spec = datasets::Ch4Spec { n_reads: 400, ..datasets::ch4_specs()[0].clone() };
+    let community = datasets::make_ch4(&spec);
+    let collector = std::sync::Arc::new(Collector::new());
+    let mut params = closet::ClosetParams::standard(370, vec![0.8, 0.6], 2);
+    params.job.collector = Some(collector.clone());
+    closet::run_observed(&community.reads, &params, &collector).expect("closet pipeline");
+    drop(params); // release the config's Arc clone
+    std::sync::Arc::try_unwrap(collector).expect("collector uniquely owned after the run")
+}

@@ -1,7 +1,7 @@
 //! Cluster metagenomic reads with CLOSET (Chapter 4).
 
 use closet::ClosetParams;
-use ngs_cli::{read_sequences, run_main, usage_gate, Args};
+use ngs_cli::{emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, Args};
 use ngs_core::{NgsError, Result};
 use std::io::Write;
 
@@ -17,7 +17,11 @@ OPTIONS:
   --gamma F           quasi-clique density                      [default: 0.6667]
   --workers N         MapReduce worker threads                  [default: all cores]
   --align             validate edges by alignment (slower)
+  --metrics-json PATH write a BENCH_closet.json metrics report here
   --help              print this message";
+
+/// Spans every instrumented run must produce (the smoke-bench gate).
+const REQUIRED_SPANS: &[&str] = &["closet.sketch", "closet.validate", "closet.cluster"];
 
 fn main() {
     run_main(real_main());
@@ -42,8 +46,15 @@ fn real_main() -> Result<()> {
         params.validator = closet::Validator::Alignment { min_overlap: 50 };
     }
 
+    // Per-task MapReduce spans need the collector on the job config, so it
+    // lives in an Arc shared between the config and this scope.
+    let collector = std::sync::Arc::new(metrics_collector(&args));
+    if collector.is_enabled() {
+        params.job.collector = Some(collector.clone());
+    }
+
     let t0 = std::time::Instant::now();
-    let result = closet::run(&reads, &params)
+    let result = closet::run_observed(&reads, &params, &collector)
         .map_err(|e| NgsError::Io(format!("mapreduce job failed: {e}")))?;
     eprintln!(
         "pipeline in {:.2?}: {} candidate edges, {} confirmed",
@@ -77,5 +88,6 @@ fn real_main() -> Result<()> {
     }
     out.flush()?;
     eprintln!("wrote {output}");
+    emit_metrics(&args, &collector, "closet", REQUIRED_SPANS)?;
     Ok(())
 }

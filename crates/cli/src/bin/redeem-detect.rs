@@ -1,7 +1,7 @@
 //! REDEEM EM over a read set (Chapter 3): emit per-k-mer observed counts
 //! `Y`, EM estimates `T`, and the §3.7 inferred threshold.
 
-use ngs_cli::{read_sequences, run_main, usage_gate, Args};
+use ngs_cli::{emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, Args};
 use ngs_core::Result;
 use redeem::{EmConfig, KmerErrorModel, Redeem};
 use std::io::Write;
@@ -19,7 +19,11 @@ OPTIONS:
   --dmax N            neighbourhood Hamming radius          [default: 1]
   --max-iters N       EM iteration cap                      [default: 60]
   --correct PATH      also write corrected reads here
+  --metrics-json PATH write a BENCH_redeem.json metrics report here
   --help              print this message";
+
+/// Spans every instrumented run must produce (the smoke-bench gate).
+const REQUIRED_SPANS: &[&str] = &["redeem.em.iteration", "redeem.threshold.fit"];
 
 fn main() {
     run_main(real_main());
@@ -44,10 +48,11 @@ fn real_main() -> Result<()> {
         redeem.spectrum().len(),
         redeem.average_degree()
     );
-    let result = redeem.run(&EmConfig { dmax, max_iters, tol: 1e-7 });
+    let collector = metrics_collector(&args);
+    let result = redeem.run_observed(&EmConfig { dmax, max_iters, tol: 1e-7 }, &collector);
     eprintln!("EM converged after {} iterations", result.iterations);
 
-    let fit = redeem::fit_threshold_model(&result.t, 3);
+    let fit = redeem::fit_threshold_model_observed(&result.t, 3, &collector);
     let threshold = fit.as_ref().map(|f| f.threshold).unwrap_or(0.0);
     if let Some(f) = &fit {
         eprintln!(
@@ -84,5 +89,6 @@ fn real_main() -> Result<()> {
         ngs_cli::write_sequences(corrected_path, &corrected)?;
         eprintln!("wrote corrected reads to {corrected_path}");
     }
+    emit_metrics(&args, &collector, "redeem", REQUIRED_SPANS)?;
     Ok(())
 }

@@ -1,6 +1,8 @@
 //! Correct a read file with Reptile (Chapter 2).
 
-use ngs_cli::{read_sequences, run_main, usage_gate, write_sequences, Args};
+use ngs_cli::{
+    emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, write_sequences, Args,
+};
 use ngs_core::Result;
 use reptile::{Reptile, ReptileParams};
 
@@ -15,7 +17,16 @@ OPTIONS:
   --genome-len N      genome length estimate (sets k)        [default: 1000000]
   --k N               k-mer length override (1..=16)
   --d N               max Hamming distance (1 or 2)          [default: 1]
+  --metrics-json PATH write a BENCH_reptile.json metrics report here
   --help              print this message";
+
+/// Spans every instrumented run must produce (the smoke-bench gate).
+const REQUIRED_SPANS: &[&str] = &[
+    "reptile.build.spectrum",
+    "reptile.build.tiles",
+    "reptile.build.neighbor_index",
+    "reptile.correct",
+];
 
 fn main() {
     run_main(real_main());
@@ -48,8 +59,9 @@ fn real_main() -> Result<()> {
         params.qc
     );
 
+    let collector = metrics_collector(&args);
     let t0 = std::time::Instant::now();
-    let (corrected, stats) = Reptile::run(&reads, params);
+    let (corrected, stats) = Reptile::run_observed(&reads, params, &collector);
     eprintln!(
         "corrected in {:.2?}: {} bases changed in {} reads \
          ({} tiles validated, {} corrected, {} unresolved)",
@@ -62,5 +74,6 @@ fn real_main() -> Result<()> {
     );
     write_sequences(output, &corrected)?;
     eprintln!("wrote {output}");
+    emit_metrics(&args, &collector, "reptile", REQUIRED_SPANS)?;
     Ok(())
 }

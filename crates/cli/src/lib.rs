@@ -116,6 +116,44 @@ pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
     }
 }
 
+/// Build the collector for a `--metrics-json` run: recording when the flag
+/// was given, disabled (every call a no-op) otherwise — un-instrumented
+/// runs pay nothing.
+pub fn metrics_collector(args: &Args) -> ngs_observe::Collector {
+    if args.get("metrics-json").is_some() {
+        ngs_observe::Collector::new()
+    } else {
+        ngs_observe::Collector::disabled()
+    }
+}
+
+/// When `--metrics-json PATH` was given: snapshot `collector` into a report
+/// for `pipeline`, fail if any `required` span is absent (the smoke-bench
+/// gate), print the human table to stderr and write the machine JSON
+/// (`BENCH_<pipeline>.json` schema) to PATH.
+pub fn emit_metrics(
+    args: &Args,
+    collector: &ngs_observe::Collector,
+    pipeline: &str,
+    required: &[&str],
+) -> Result<()> {
+    let Some(path) = args.get("metrics-json") else {
+        return Ok(());
+    };
+    let report = collector.report(pipeline);
+    let missing = report.missing_spans(required);
+    if !missing.is_empty() {
+        return Err(NgsError::InvalidParameter(format!(
+            "metrics report for {pipeline} is missing required spans: {}",
+            missing.join(", ")
+        )));
+    }
+    eprint!("{}", report.render_table());
+    std::fs::write(path, report.to_json())?;
+    eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
 /// Print usage and exit when `--help` was requested.
 pub fn usage_gate(args: &Args, usage: &str) {
     if args.has_flag("help") {

@@ -149,21 +149,49 @@ pub fn select_threshold_by_ari(output: &ClosetOutput, labels: &[usize]) -> Optio
 /// persistently failing environment; transient failures are retried by
 /// the substrate).
 pub fn run(reads: &[Read], params: &ClosetParams) -> Result<ClosetOutput, JobError> {
+    run_observed(reads, params, &ngs_observe::Collector::disabled())
+}
+
+/// [`run`] with observability: the three pipeline stages run under the
+/// `closet.sketch` / `closet.validate` / `closet.cluster` spans (one
+/// `closet.cluster` occurrence per threshold level), final cluster sizes
+/// feed the `closet.clique_size` histogram, and the merged MapReduce
+/// counters — fault-tolerance counters included — are folded in under the
+/// `closet.job.*` prefix via [`mapreduce_lite::record_job_stats`]. For
+/// per-task-attempt spans, additionally set [`JobConfig::collector`] on
+/// `params.job`.
+pub fn run_observed(
+    reads: &[Read],
+    params: &ClosetParams,
+    collector: &ngs_observe::Collector,
+) -> Result<ClosetOutput, JobError> {
     assert!(
         params.thresholds.windows(2).all(|w| w[0] > w[1]),
         "thresholds must be strictly decreasing"
     );
+    let workers = params.job.workers.max(1);
+    collector.add("closet.reads", reads.len() as u64);
+
     // Phase I: candidate edges via sketching (Tasks 1–3).
     let t0 = Instant::now();
-    let (candidates, sketch_stats) = build_candidate_edges(reads, &params.sketch, &params.job)?;
+    let (candidates, sketch_stats) = {
+        let _span = collector.span_with_threads("closet.sketch", workers);
+        build_candidate_edges(reads, &params.sketch, &params.job)?
+    };
     let mut job_stats = sketch_stats.job_stats.clone();
     let sketch_time = t0.elapsed();
+    collector.add("closet.candidate_edges", candidates.len() as u64);
+    collector.add("closet.predicted_edges", sketch_stats.predicted_edges);
 
     // Tasks 4–5: validation.
     let t1 = Instant::now();
-    let validated = validate_edges(reads, &candidates, &params.validator, params.sketch.cmin);
+    let validated = {
+        let _span = collector.span_with_threads("closet.validate", workers);
+        validate_edges(reads, &candidates, &params.validator, params.sketch.cmin)
+    };
     let confirmed_edges = validated.len();
     let validate_time = t1.elapsed();
+    collector.add("closet.confirmed_edges", confirmed_edges as u64);
 
     // Phase II: incremental quasi-clique enumeration per threshold.
     let mut clusters: Vec<Cluster> = Vec::new();
@@ -186,23 +214,40 @@ pub fn run(reads: &[Read], params: &ClosetParams) -> Result<ClosetOutput, JobErr
 
         // Tasks 7–8: merge quasi-cliques.
         let tc = Instant::now();
-        let result = enumerate_quasicliques(
-            clusters,
-            &new_edges,
-            params.gamma,
-            &params.job,
-            params.max_live_clusters,
-        )?;
+        let result = {
+            let _span = collector.span_with_threads("closet.cluster", workers);
+            enumerate_quasicliques(
+                clusters,
+                &new_edges,
+                params.gamma,
+                &params.job,
+                params.max_live_clusters,
+            )?
+        };
         job_stats.merge(&result.job_stats);
         clusters = result.clusters;
         stats.clusters_processed = result.clusters_processed;
         stats.clusters_dropped = result.clusters_dropped;
         stats.resulting_clusters = clusters.len();
         stats.cluster_time = tc.elapsed();
+        collector.add("closet.clusters_processed", stats.clusters_processed);
+        collector.add("closet.clusters_dropped", stats.clusters_dropped);
 
         clusters_by_threshold.push((t, clusters.clone()));
         threshold_stats.push(stats);
     }
+
+    // Clique sizes of the final (lowest-threshold) level, pre-aggregated
+    // locally so the collector is touched once.
+    if collector.is_enabled() {
+        let mut sizes = ngs_observe::LogHistogram::default();
+        for cluster in &clusters {
+            sizes.record(cluster.vertices.len() as u64);
+        }
+        collector.merge_histogram("closet.clique_size", &sizes);
+        collector.add("closet.clusters", clusters.len() as u64);
+    }
+    mapreduce_lite::record_job_stats(collector, "closet.job", &job_stats);
 
     Ok(ClosetOutput {
         clusters_by_threshold,
@@ -319,6 +364,36 @@ mod tests {
         let best = select_threshold_by_ari(&out, &species).unwrap();
         assert!(scores.iter().any(|&(t, a)| t == best.0 && a == best.1));
         assert!(scores.iter().all(|&(_, a)| a <= best.1));
+    }
+
+    #[test]
+    fn observed_run_reports_stage_spans_and_clique_sizes() {
+        let c = community(200, 5);
+        let mut params = ClosetParams::standard(300, vec![0.8, 0.6], 2);
+        let collector = std::sync::Arc::new(ngs_observe::Collector::new());
+        params.job.collector = Some(collector.clone());
+        let out = run_observed(&c.reads, &params, &collector).expect("pipeline");
+        let report = collector.report("closet");
+        assert!(report
+            .missing_spans(&["closet.sketch", "closet.validate", "closet.cluster"])
+            .is_empty());
+        // One closet.cluster occurrence per threshold level.
+        assert_eq!(report.spans["closet.cluster"].count, 2);
+        assert_eq!(report.counter("closet.confirmed_edges"), out.confirmed_edges as u64);
+        // The clique-size histogram covers the final level's clusters.
+        let (_, final_clusters) = out.clusters_by_threshold.last().unwrap();
+        let hist = &report.histograms["closet.clique_size"];
+        assert_eq!(hist.count(), final_clusters.len() as u64);
+        assert_eq!(hist.sum(), final_clusters.iter().map(|c| c.vertices.len() as u64).sum::<u64>());
+        // JobStats counters surface under closet.job.*, and per-task spans
+        // from the shared JobConfig collector are present too.
+        assert_eq!(report.counter("closet.job.map_input_records"), out.job_stats.map_input_records);
+        assert!(report.spans.contains_key("mapreduce.task.map"));
+        // Output must be identical to the un-instrumented entry point.
+        params.job.collector = None;
+        let plain = run(&c.reads, &params).expect("pipeline");
+        assert_eq!(plain.confirmed_edges, out.confirmed_edges);
+        assert_eq!(plain.clusters_by_threshold.len(), out.clusters_by_threshold.len());
     }
 
     #[test]

@@ -55,16 +55,59 @@ impl Phred {
         self.0.saturating_add(FASTQ_OFFSET)
     }
 
-    /// Parse from a Sanger-offset ASCII character. Characters below the
-    /// offset map to quality 0.
+    /// Parse from a Sanger-offset ASCII character, **clamping** out-of-range
+    /// input: characters below the offset map to quality 0, characters above
+    /// `~` to quality 93. Use [`Phred::try_from_ascii`] when out-of-range
+    /// characters should be treated as data corruption instead — a truncated
+    /// or garbage quality line otherwise parses as an ultra-low-quality read
+    /// and silently skews downstream quality-weighted counts.
     pub fn from_ascii(c: u8) -> Phred {
         Phred(c.saturating_sub(FASTQ_OFFSET).min(93))
     }
+
+    /// Parse from a Sanger-offset ASCII character, rejecting anything
+    /// outside the printable FASTQ range `'!'..='~'` (ASCII 33–126).
+    pub fn try_from_ascii(c: u8) -> Option<Phred> {
+        (FASTQ_OFFSET..=FASTQ_OFFSET + 93).contains(&c).then(|| Phred(c - FASTQ_OFFSET))
+    }
 }
 
-/// Decode a FASTQ quality string into raw scores.
+/// A quality character outside the printable FASTQ range, with its position
+/// in the quality string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidQual {
+    /// 0-based offset of the offending character.
+    pub pos: usize,
+    /// The raw byte found there.
+    pub byte: u8,
+}
+
+impl std::fmt::Display for InvalidQual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid quality character 0x{:02x} at offset {} (printable FASTQ range is '!'..='~')",
+            self.byte, self.pos
+        )
+    }
+}
+
+/// Decode a FASTQ quality string into raw scores, **clamping** out-of-range
+/// characters (see [`Phred::from_ascii`]).
 pub fn decode_quals(ascii: &[u8]) -> Vec<u8> {
     ascii.iter().map(|&c| Phred::from_ascii(c).0).collect()
+}
+
+/// Decode a FASTQ quality string, rejecting out-of-range characters.
+///
+/// # Errors
+/// [`InvalidQual`] naming the first offending byte and its offset.
+pub fn decode_quals_checked(ascii: &[u8]) -> Result<Vec<u8>, InvalidQual> {
+    ascii
+        .iter()
+        .enumerate()
+        .map(|(pos, &c)| Phred::try_from_ascii(c).map(|p| p.0).ok_or(InvalidQual { pos, byte: c }))
+        .collect()
 }
 
 /// Encode raw scores into a FASTQ quality string.
@@ -111,6 +154,34 @@ mod tests {
     fn qual_string_round_trip() {
         let quals = vec![0u8, 2, 20, 40, 93];
         assert_eq!(decode_quals(&encode_quals(&quals)), quals);
+    }
+
+    /// Regression: `from_ascii` silently clamps out-of-range characters, so
+    /// the checked variants must exist and reject exactly the bytes outside
+    /// `'!'..='~'`.
+    #[test]
+    fn checked_parse_rejects_out_of_range() {
+        for c in 0u8..=32 {
+            assert_eq!(Phred::try_from_ascii(c), None, "byte {c} below offset must be rejected");
+        }
+        for c in 33u8..=126 {
+            assert_eq!(Phred::try_from_ascii(c), Some(Phred(c - 33)));
+        }
+        for c in 127u8..=255 {
+            assert_eq!(Phred::try_from_ascii(c), None, "byte {c} above '~' must be rejected");
+        }
+        // The clamping variant still accepts everything (documented).
+        assert_eq!(Phred::from_ascii(b' '), Phred(0));
+        assert_eq!(Phred::from_ascii(0xff), Phred(93));
+    }
+
+    #[test]
+    fn decode_quals_checked_names_offset_and_byte() {
+        assert_eq!(decode_quals_checked(b"II!~"), Ok(vec![40, 40, 0, 93]));
+        let err = decode_quals_checked(b"II II").unwrap_err();
+        assert_eq!(err, InvalidQual { pos: 2, byte: b' ' });
+        assert!(err.to_string().contains("offset 2"), "{err}");
+        assert!(err.to_string().contains("0x20"), "{err}");
     }
 
     proptest! {

@@ -24,7 +24,7 @@ pub mod spectrum;
 pub mod tile;
 
 pub use extract::{for_each_kmer, kmers_of};
-pub use neighbor::NeighborIndex;
+pub use neighbor::{NeighborIndex, NeighborTables};
 pub use packed::{
     canonical, decode_kmer, encode_kmer, hamming_distance, mutate_base, packed_base,
     reverse_complement_packed, set_base, Kmer,

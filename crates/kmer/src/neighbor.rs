@@ -18,6 +18,7 @@
 use crate::packed::{hamming_distance, Kmer};
 use crate::spectrum::KSpectrum;
 use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// Strategy used by [`NeighborIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,21 +32,108 @@ pub enum NeighborStrategy {
     },
 }
 
+/// The owned, expensive-to-build part of a neighbour index: the masked
+/// replica permutations. Building sorts the spectrum once per chunk subset
+/// (Phase 1's dominant cost), so long-lived correctors build a
+/// `NeighborTables` once and take cheap [`NeighborTables::view`]s per
+/// query batch instead of re-sorting on every call.
+#[derive(Clone)]
+pub struct NeighborTables {
+    d: usize,
+    strategy: NeighborStrategy,
+    /// Length and k of the spectrum the tables were built over, so `view`
+    /// can reject a mismatched spectrum instead of answering garbage.
+    spectrum_len: usize,
+    k: usize,
+    replicas: Vec<Replica>,
+}
+
+#[derive(Clone)]
+struct Replica {
+    /// Bits to *keep* (complement of the masked-out chunk positions).
+    keep_mask: u64,
+    /// Spectrum indices sorted by `kmer & keep_mask`.
+    order: Vec<u32>,
+}
+
+impl NeighborTables {
+    /// Build the replica tables for distance-`d` queries over `spectrum`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`, `d > k`, or (for masked replicas) `chunks` is
+    /// not in `(d, k]`.
+    pub fn build(spectrum: &KSpectrum, d: usize, strategy: NeighborStrategy) -> NeighborTables {
+        let k = spectrum.k();
+        assert!(d >= 1 && d <= k, "d must be in 1..=k");
+        let replicas = match strategy {
+            NeighborStrategy::BruteForce => Vec::new(),
+            NeighborStrategy::MaskedReplicas { chunks } => {
+                assert!(chunks > d && chunks <= k, "need d < chunks <= k");
+                subsets(chunks, d)
+                    .into_par_iter()
+                    .map(|subset| {
+                        let masked_out: u64 = subset
+                            .iter()
+                            .map(|&ci| chunk_mask(k, chunks, ci))
+                            .fold(0, |a, b| a | b);
+                        let keep_mask = !masked_out;
+                        let mut order: Vec<u32> = (0..spectrum.len() as u32).collect();
+                        order.sort_unstable_by_key(|&i| spectrum.kmers()[i as usize] & keep_mask);
+                        Replica { keep_mask, order }
+                    })
+                    .collect()
+            }
+        };
+        NeighborTables { d, strategy, spectrum_len: spectrum.len(), k, replicas }
+    }
+
+    /// The maximum Hamming distance these tables answer.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The strategy the tables were built with.
+    pub fn strategy(&self) -> NeighborStrategy {
+        self.strategy
+    }
+
+    /// Number of replicas held (0 for brute force).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A query view pairing these tables with the spectrum they were built
+    /// over. O(1): no sorting, no allocation.
+    ///
+    /// # Panics
+    /// Panics when `spectrum` does not match the one the tables were built
+    /// from (by length and k — the cheap invariants we can check).
+    pub fn view<'s>(&'s self, spectrum: &'s KSpectrum) -> NeighborIndex<'s> {
+        assert_eq!(
+            (self.spectrum_len, self.k),
+            (spectrum.len(), spectrum.k()),
+            "NeighborTables::view: spectrum does not match the build-time spectrum"
+        );
+        NeighborIndex {
+            spectrum,
+            d: self.d,
+            strategy: self.strategy,
+            replicas: Cow::Borrowed(&self.replicas),
+        }
+    }
+}
+
 /// An index answering d-neighbourhood queries over a [`KSpectrum`].
+///
+/// Either owns its replica tables ([`NeighborIndex::build`]) or borrows
+/// them from a long-lived [`NeighborTables`] ([`NeighborTables::view`]).
 pub struct NeighborIndex<'s> {
     spectrum: &'s KSpectrum,
     d: usize,
     strategy: NeighborStrategy,
     /// One replica per chunk-subset: the mask applied to keys, and spectrum
     /// indices sorted by masked k-mer value. Empty for brute force.
-    replicas: Vec<Replica>,
-}
-
-struct Replica {
-    /// Bits to *keep* (complement of the masked-out chunk positions).
-    keep_mask: u64,
-    /// Spectrum indices sorted by `kmer & keep_mask`.
-    order: Vec<u32>,
+    replicas: Cow<'s, [Replica]>,
 }
 
 /// All `C(n, d)` subsets of `{0..n}` of size `d`, as index vectors.
@@ -81,7 +169,10 @@ fn chunk_mask(k: usize, c: usize, ci: usize) -> u64 {
 }
 
 impl<'s> NeighborIndex<'s> {
-    /// Build an index for distance-`d` queries.
+    /// Build a self-contained index for distance-`d` queries (tables owned
+    /// by the index). For repeated query batches over the same spectrum,
+    /// build a [`NeighborTables`] once and call [`NeighborTables::view`]
+    /// instead.
     ///
     /// # Panics
     /// Panics if `d == 0`, `d > k`, or (for masked replicas) `chunks` is not
@@ -91,28 +182,8 @@ impl<'s> NeighborIndex<'s> {
         d: usize,
         strategy: NeighborStrategy,
     ) -> NeighborIndex<'s> {
-        let k = spectrum.k();
-        assert!(d >= 1 && d <= k, "d must be in 1..=k");
-        let replicas = match strategy {
-            NeighborStrategy::BruteForce => Vec::new(),
-            NeighborStrategy::MaskedReplicas { chunks } => {
-                assert!(chunks > d && chunks <= k, "need d < chunks <= k");
-                subsets(chunks, d)
-                    .into_par_iter()
-                    .map(|subset| {
-                        let masked_out: u64 = subset
-                            .iter()
-                            .map(|&ci| chunk_mask(k, chunks, ci))
-                            .fold(0, |a, b| a | b);
-                        let keep_mask = !masked_out;
-                        let mut order: Vec<u32> = (0..spectrum.len() as u32).collect();
-                        order.sort_unstable_by_key(|&i| spectrum.kmers()[i as usize] & keep_mask);
-                        Replica { keep_mask, order }
-                    })
-                    .collect()
-            }
-        };
-        NeighborIndex { spectrum, d, strategy, replicas }
+        let tables = NeighborTables::build(spectrum, d, strategy);
+        NeighborIndex { spectrum, d, strategy, replicas: Cow::Owned(tables.replicas) }
     }
 
     /// The maximum Hamming distance this index answers.
@@ -179,7 +250,7 @@ impl<'s> NeighborIndex<'s> {
     fn via_replicas(&self, query: Kmer, max_d: usize) -> Vec<usize> {
         let kmers = self.spectrum.kmers();
         let mut out = Vec::new();
-        for rep in &self.replicas {
+        for rep in self.replicas.iter() {
             let key = query & rep.keep_mask;
             // Binary search for the first index whose masked value == key.
             let lo = rep.order.partition_point(|&i| (kmers[i as usize] & rep.keep_mask) < key);
@@ -300,6 +371,32 @@ mod tests {
         let ns = idx.neighbors(q, 1);
         assert_eq!(ns.len(), 1);
         assert_eq!(sp.kmers()[ns[0]], encode_kmer(b"AAAAA").unwrap());
+    }
+
+    #[test]
+    fn tables_view_matches_owned_index() {
+        let sp =
+            spectrum_of(&[b"ACGTACGTACGTA", b"ACGTACGTACGTT", b"ACGAACGTACGTA", b"TCGTACGTACGTA"]);
+        let tables = NeighborTables::build(&sp, 2, NeighborStrategy::MaskedReplicas { chunks: 4 });
+        let owned = NeighborIndex::build(&sp, 2, NeighborStrategy::MaskedReplicas { chunks: 4 });
+        // Two independent views over the same tables answer identically.
+        let v1 = tables.view(&sp);
+        let v2 = tables.view(&sp);
+        for &q in sp.kmers() {
+            assert_eq!(v1.neighbors(q, 2), owned.neighbors(q, 2));
+            assert_eq!(v2.neighbors(q, 2), owned.neighbors(q, 2));
+        }
+        assert_eq!(tables.replica_count(), v1.replica_count());
+        assert_eq!(tables.d(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn tables_view_rejects_mismatched_spectrum() {
+        let sp = spectrum_of(&[b"AAAAA", b"CCCCC"]);
+        let other = spectrum_of(&[b"AAAAA", b"CCCCC", b"GGGGG"]);
+        let tables = NeighborTables::build(&sp, 1, NeighborStrategy::MaskedReplicas { chunks: 3 });
+        let _ = tables.view(&other);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::extract::for_each_kmer;
 use crate::packed::{reverse_complement_packed, Kmer};
 use ngs_core::hash::FxHashMap;
-use ngs_core::Read;
+use ngs_core::{NgsError, Read};
 use rayon::prelude::*;
 
 /// A sorted k-spectrum: parallel arrays of distinct k-mers and their counts.
@@ -80,12 +80,36 @@ impl KSpectrum {
 
     /// Build from pre-sorted, deduplicated parallel arrays.
     ///
-    /// # Panics
-    /// Panics (debug builds) if the invariant is violated.
-    pub fn from_sorted(k: usize, kmers: Vec<Kmer>, counts: Vec<u32>) -> KSpectrum {
-        debug_assert_eq!(kmers.len(), counts.len());
-        debug_assert!(kmers.windows(2).all(|w| w[0] < w[1]));
-        KSpectrum { k, kmers, counts }
+    /// The invariant is validated unconditionally — also in release builds —
+    /// because every `count`/`index_of` lookup binary-searches `kmers`:
+    /// accepting unsorted or duplicated input would not crash, it would
+    /// silently return wrong counts for the rest of the run.
+    ///
+    /// # Errors
+    /// [`NgsError::InvalidParameter`] when the arrays differ in length or
+    /// `kmers` is not strictly increasing (i.e. unsorted or containing
+    /// duplicates); the message names the first offending index.
+    pub fn from_sorted(
+        k: usize,
+        kmers: Vec<Kmer>,
+        counts: Vec<u32>,
+    ) -> Result<KSpectrum, NgsError> {
+        if kmers.len() != counts.len() {
+            return Err(NgsError::InvalidParameter(format!(
+                "KSpectrum::from_sorted: {} kmers but {} counts",
+                kmers.len(),
+                counts.len()
+            )));
+        }
+        if let Some(i) = (1..kmers.len()).find(|&i| kmers[i - 1] >= kmers[i]) {
+            return Err(NgsError::InvalidParameter(format!(
+                "KSpectrum::from_sorted: kmers not strictly increasing at index {i} \
+                 ({:#x} then {:#x})",
+                kmers[i - 1],
+                kmers[i]
+            )));
+        }
+        Ok(KSpectrum { k, kmers, counts })
     }
 
     /// The k this spectrum was built with.
@@ -184,6 +208,31 @@ mod tests {
         let rs = reads(&[b"ACNGT"]);
         let sp = KSpectrum::from_reads(&rs, 3);
         assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_accepts_valid_input() {
+        let sp = KSpectrum::from_sorted(3, vec![1, 5, 9], vec![2, 1, 4]).unwrap();
+        assert_eq!(sp.count(5), 1);
+        assert_eq!(sp.count(9), 4);
+        assert_eq!(sp.count(2), 0);
+        assert!(KSpectrum::from_sorted(3, vec![], vec![]).unwrap().is_empty());
+    }
+
+    /// Regression (release-mode correctness): `from_sorted` used to only
+    /// `debug_assert!` its invariant, so release builds accepted unsorted
+    /// or duplicated input and binary-search lookups returned wrong counts.
+    #[test]
+    fn from_sorted_rejects_corrupt_input() {
+        // Unsorted.
+        let err = KSpectrum::from_sorted(3, vec![9, 1], vec![1, 1]).unwrap_err();
+        assert!(err.to_string().contains("not strictly increasing"), "{err}");
+        assert!(err.to_string().contains("index 1"), "{err}");
+        // Duplicated.
+        assert!(KSpectrum::from_sorted(3, vec![4, 4], vec![1, 1]).is_err());
+        // Length mismatch.
+        let err = KSpectrum::from_sorted(3, vec![1, 2], vec![1]).unwrap_err();
+        assert!(err.to_string().contains("2 kmers but 1 counts"), "{err}");
     }
 
     #[test]

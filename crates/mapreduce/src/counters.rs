@@ -65,6 +65,35 @@ impl JobStats {
     }
 }
 
+/// Fold a job's counters into an observe collector under `prefix` (e.g.
+/// `closet.job`): phase wall times become spans (`<prefix>.map`,
+/// `<prefix>.shuffle`, `<prefix>.reduce`), everything else becomes
+/// counters with the field name appended. The fault-tolerance counters
+/// (`task_failures`, `retried_tasks`, `corrupt_frames`) pass through
+/// unchanged, so reports surface recovery activity verbatim.
+pub fn record_job_stats(collector: &ngs_observe::Collector, prefix: &str, stats: &JobStats) {
+    let span_ns = |d: Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+    collector.record_span_ns(&format!("{prefix}.map"), span_ns(stats.map_time), 1);
+    collector.record_span_ns(&format!("{prefix}.shuffle"), span_ns(stats.shuffle_time), 1);
+    collector.record_span_ns(&format!("{prefix}.reduce"), span_ns(stats.reduce_time), 1);
+    let counters: [(&str, u64); 11] = [
+        ("map_input_records", stats.map_input_records),
+        ("map_output_records", stats.map_output_records),
+        ("combine_output_records", stats.combine_output_records),
+        ("shuffle_bytes", stats.shuffle_bytes),
+        ("reduce_input_groups", stats.reduce_input_groups),
+        ("reduce_output_records", stats.reduce_output_records),
+        ("spilled_bytes", stats.spilled_bytes),
+        ("task_failures", stats.task_failures),
+        ("retried_tasks", stats.retried_tasks),
+        ("corrupt_frames", stats.corrupt_frames),
+        ("re_replicated_blocks", stats.re_replicated_blocks),
+    ];
+    for (field, value) in counters {
+        collector.add(&format!("{prefix}.{field}"), value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +120,25 @@ mod tests {
         assert_eq!(a.re_replicated_blocks, 5);
         assert_eq!(a.map_time, Duration::from_millis(5));
         assert_eq!(a.total_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn record_job_stats_surfaces_fault_counters() {
+        let stats = JobStats {
+            map_input_records: 7,
+            task_failures: 3,
+            retried_tasks: 2,
+            corrupt_frames: 1,
+            map_time: Duration::from_millis(4),
+            ..Default::default()
+        };
+        let collector = ngs_observe::Collector::new();
+        record_job_stats(&collector, "job", &stats);
+        let report = collector.report("mr");
+        assert_eq!(report.counters["job.map_input_records"], 7);
+        assert_eq!(report.counters["job.task_failures"], 3);
+        assert_eq!(report.counters["job.retried_tasks"], 2);
+        assert_eq!(report.counters["job.corrupt_frames"], 1);
+        assert_eq!(report.spans["job.map"].total_ns, 4_000_000);
     }
 }

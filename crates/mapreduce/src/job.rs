@@ -80,6 +80,12 @@ pub struct JobConfig {
     pub retry_backoff: Duration,
     /// Deterministic fault injection schedule (empty = no faults).
     pub fault_plan: FaultPlan,
+    /// When set, every task attempt is timed under the
+    /// `mapreduce.task.map` / `mapreduce.task.reduce` spans and retries are
+    /// counted live (`mapreduce.task_retries`). Phase-level totals are the
+    /// caller's job — fold the returned [`JobStats`] with
+    /// [`crate::counters::record_job_stats`].
+    pub collector: Option<std::sync::Arc<ngs_observe::Collector>>,
 }
 
 impl JobConfig {
@@ -92,6 +98,7 @@ impl JobConfig {
             max_attempts: 4,
             retry_backoff: Duration::from_millis(2),
             fault_plan: FaultPlan::none(),
+            collector: None,
         }
     }
 }
@@ -156,13 +163,23 @@ fn run_attempts<T>(
     body: impl Fn(u32) -> Result<T, String>,
 ) -> Result<T, JobError> {
     let max_attempts = cfg.max_attempts.max(1);
+    let span_path = match stage {
+        Stage::Map => "mapreduce.task.map",
+        Stage::Reduce => "mapreduce.task.reduce",
+    };
     let mut attempt = 0;
     loop {
-        let outcome = catch_unwind(AssertUnwindSafe(|| body(attempt)));
+        let outcome = {
+            let _span = cfg.collector.as_deref().map(|c| c.span(span_path));
+            catch_unwind(AssertUnwindSafe(|| body(attempt)))
+        };
         let error = match outcome {
             Ok(Ok(value)) => {
                 if attempt > 0 {
                     counters.retried_tasks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = cfg.collector.as_deref() {
+                        c.incr("mapreduce.task_retries");
+                    }
                 }
                 return Ok(value);
             }
@@ -170,6 +187,9 @@ fn run_attempts<T>(
             Err(payload) => panic_message(payload),
         };
         counters.task_failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = cfg.collector.as_deref() {
+            c.incr("mapreduce.task_failures");
+        }
         attempt += 1;
         if attempt >= max_attempts {
             return Err(JobError { stage, task, attempts: attempt, last_error: error });
@@ -617,6 +637,24 @@ mod tests {
         assert_eq!(stats.reduce_input_groups, 2);
         assert_eq!(stats.task_failures, 0);
         assert_eq!(stats.retried_tasks, 0);
+    }
+
+    #[test]
+    fn collector_times_every_task_attempt() {
+        let docs = ["a b a", "b c", "a"];
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.retry_backoff = Duration::from_micros(100);
+        cfg.fault_plan = FaultPlan::none().with_fault(Stage::Map, 1, 0, FaultKind::Panic);
+        let collector = std::sync::Arc::new(ngs_observe::Collector::new());
+        cfg.collector = Some(collector.clone());
+        let (_, stats) = word_count_stats(&cfg, &docs).expect("job must recover");
+        let report = collector.report("mr");
+        // 3 map tasks + 1 retried attempt; one attempt per reduce partition.
+        assert_eq!(report.spans["mapreduce.task.map"].count, 4);
+        assert_eq!(report.spans["mapreduce.task.reduce"].count, cfg.reduce_partitions as u64);
+        // Live counters agree with the JobStats the caller gets back.
+        assert_eq!(report.counters["mapreduce.task_failures"], stats.task_failures);
+        assert_eq!(report.counters["mapreduce.task_retries"], stats.retried_tasks);
     }
 
     #[test]

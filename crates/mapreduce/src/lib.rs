@@ -38,7 +38,7 @@ pub mod fault;
 pub mod job;
 
 pub use codec::Codec;
-pub use counters::JobStats;
+pub use counters::{record_job_stats, JobStats};
 pub use dfs::{BlockStore, DfsConfig};
 pub use fault::{FaultKind, FaultPlan, Stage};
 pub use job::{map_reduce, map_reduce_simple, JobConfig, JobError};

@@ -16,6 +16,7 @@
 //! | Read & community simulation with ground truth | [`simulate`] | §3.4.1 |
 //! | RMAP-style mapping | [`mapper`] | §2.4 |
 //! | Gain/EBA, detection curves, ARI | [`eval`] | §2.4, §3.4, §4.5 |
+//! | Spans, counters, histograms, reports | [`observe`] | Tables 2.2–4.3 |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@ pub use ngs_core as core;
 pub use ngs_eval as eval;
 pub use ngs_kmer as kmer;
 pub use ngs_mapper as mapper;
+pub use ngs_observe as observe;
 pub use ngs_seqio as seqio;
 pub use ngs_simulate as simulate;
 pub use redeem;

@@ -1,0 +1,238 @@
+//! Log₂-bucketed histograms for heavy-tailed count data.
+//!
+//! K-mer multiplicities, clique sizes and EM deltas span many orders of
+//! magnitude; a log-scaled histogram captures their shape in 65 fixed
+//! buckets with no configuration. Bucket 0 holds the value 0; bucket `i ≥ 1`
+//! holds values in `[2^(i-1), 2^i)`.
+
+/// Number of buckets: one for zero plus one per possible leading-bit
+/// position of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable log₂ histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Bucket index of `value`: 0 for 0, else `1 + floor(log2(value))`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `count` identical observations.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.buckets[bucket_of(value)] += count;
+        self.count += count;
+        self.sum = self.sum.saturating_add(value.saturating_mul(count));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Commutative and associative.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` triples, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+            .collect()
+    }
+
+    /// Approximate value below which `q` of the mass lies (bucket upper
+    /// bound; `q` in `[0, 1]`). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= target.max(1) {
+                return Some(bucket_hi(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition() {
+        for i in 0..BUCKETS {
+            assert!(bucket_lo(i) <= bucket_hi(i), "bucket {i}");
+            assert_eq!(bucket_of(bucket_lo(i)), i);
+            assert_eq!(bucket_of(bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_tracks_stats() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(0);
+        h.record_n(9, 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 23);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean() - 5.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 100000] {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        let q99 = h.quantile(0.99).unwrap();
+        assert!(q50 <= q99);
+        assert_eq!(h.quantile(1.0), Some(100000));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_matches_sequential(a in proptest::collection::vec(any::<u64>(), 0..50),
+                                    b in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let mut all = LogHistogram::new();
+            for &v in a.iter().chain(&b) {
+                all.record(v);
+            }
+            let mut ha = LogHistogram::new();
+            let mut hb = LogHistogram::new();
+            for &v in &a { ha.record(v); }
+            for &v in &b { hb.record(v); }
+            ha.merge(&hb);
+            prop_assert_eq!(ha, all);
+        }
+
+        #[test]
+        fn merge_commutes(a in proptest::collection::vec(any::<u64>(), 0..30),
+                          b in proptest::collection::vec(any::<u64>(), 0..30)) {
+            let mut ha = LogHistogram::new();
+            let mut hb = LogHistogram::new();
+            for &v in &a { ha.record(v); }
+            for &v in &b { hb.record(v); }
+            let mut ab = ha.clone();
+            ab.merge(&hb);
+            let mut ba = hb.clone();
+            ba.merge(&ha);
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

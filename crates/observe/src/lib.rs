@@ -1,0 +1,251 @@
+//! `ngs-observe` — the workspace's observability substrate.
+//!
+//! The paper evaluates every system by per-stage quantities and run times
+//! (Tables 2.2–2.4, 3.3, 4.2–4.3); this crate is the shared instrumentation
+//! those reports are produced from. It is deliberately dependency-free so
+//! every layer of the workspace — including `mapreduce-lite`, which avoids
+//! `ngs-core` — can depend on it.
+//!
+//! Building blocks:
+//!
+//! * [`Collector`] — a thread-safe sink for spans, counters, gauges and
+//!   histograms. A disabled collector ([`Collector::disabled`]) makes every
+//!   recording call a cheap no-op, so un-instrumented entry points pay
+//!   (almost) nothing.
+//! * Spans — hierarchical by naming convention: dot-separated paths such as
+//!   `reptile.build.neighbor_index` (see DESIGN.md §Observability for the
+//!   naming rules). Each span aggregates call count, total/min/max wall
+//!   time, and the thread count in effect when it was opened.
+//! * Counters — monotonic `u64` sums (decision mixes, record counts).
+//! * Gauges — last-known `f64` values merged by *minimum* (used for BIC
+//!   traces, thresholds, coverage constants; minimum keeps
+//!   [`Report::merge`] associative and commutative).
+//! * [`LogHistogram`] — log₂-bucketed `u64` histograms for heavy-tailed
+//!   quantities: k-mer multiplicities, clique sizes, scaled EM deltas.
+//! * [`MemoryProbe`] — current and peak RSS from `/proc/self/status`
+//!   (zeros on non-Linux platforms).
+//! * [`Report`] — an immutable snapshot rendering both a human table
+//!   ([`Report::render_table`]) and machine-readable JSON
+//!   ([`Report::to_json`], the `BENCH_<pipeline>.json` schema), with
+//!   [`Report::merge`] for folding multi-process or multi-phase runs.
+
+mod histogram;
+mod memory;
+mod report;
+
+pub use histogram::LogHistogram;
+pub use memory::{read_memory, MemoryProbe};
+pub use report::{Report, SpanStat};
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Mutable aggregation state behind the collector's mutex.
+#[derive(Debug, Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+/// A thread-safe metrics sink.
+///
+/// All recording goes through one mutex; instrumentation is therefore meant
+/// for *stage-grained* events (a pipeline phase, an EM iteration, a
+/// MapReduce task attempt), not per-base inner loops — hot paths accumulate
+/// locally (e.g. `ReptileStats`) and fold into the collector once.
+#[derive(Debug, Default)]
+pub struct Collector {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// A recording collector.
+    pub fn new() -> Collector {
+        Collector { enabled: true, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// A collector that ignores everything (for un-instrumented entry
+    /// points; keeps plain `run()` overhead negligible).
+    pub fn disabled() -> Collector {
+        Collector { enabled: false, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Whether this collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span at `path` (dot-separated hierarchy). The span is recorded
+    /// when the returned guard drops. Thread count is captured from
+    /// [`std::thread::available_parallelism`]; use [`Collector::span_with_threads`]
+    /// when the caller knows its actual pool size (e.g. rayon).
+    pub fn span<'c>(&'c self, path: &str) -> SpanGuard<'c> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.span_with_threads(path, threads)
+    }
+
+    /// Open a span with an explicit thread count.
+    pub fn span_with_threads<'c>(&'c self, path: &str, threads: usize) -> SpanGuard<'c> {
+        SpanGuard {
+            collector: self,
+            path: if self.enabled { path.to_string() } else { String::new() },
+            start: Instant::now(),
+            threads,
+        }
+    }
+
+    /// Record a completed span of known duration (used when folding
+    /// externally-measured times, e.g. [`SpanStat`]s from `JobStats`).
+    pub fn record_span_ns(&self, path: &str, ns: u64, threads: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.spans.entry(path.to_string()).or_default().observe(ns, threads);
+    }
+
+    /// Add `delta` to the monotonic counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.enabled || delta == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set the gauge `name`. Gauges merge by minimum across reports.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation of `value` into histogram `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.record_n(name, value, 1);
+    }
+
+    /// Record `count` observations of `value` into histogram `name`
+    /// (folding pre-aggregated stats in one lock acquisition).
+    pub fn record_n(&self, name: &str, value: u64, count: u64) {
+        if !self.enabled || count == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name.to_string()).or_default().record_n(value, count);
+    }
+
+    /// Merge a pre-built histogram into `name` (for per-thread local
+    /// histograms folded at phase end).
+    pub fn merge_histogram(&self, name: &str, hist: &LogHistogram) {
+        if !self.enabled || hist.count() == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name.to_string()).or_default().merge(hist);
+    }
+
+    /// Snapshot everything recorded so far into a [`Report`] for
+    /// `pipeline`, probing process memory at snapshot time.
+    pub fn report(&self, pipeline: &str) -> Report {
+        let inner = self.inner.lock().unwrap();
+        Report {
+            pipeline: pipeline.to_string(),
+            spans: inner.spans.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+            memory: read_memory(),
+        }
+    }
+}
+
+/// RAII guard recording one span occurrence on drop.
+pub struct SpanGuard<'c> {
+    collector: &'c Collector,
+    path: String,
+    start: Instant,
+    threads: usize,
+}
+
+impl SpanGuard<'_> {
+    /// Elapsed time since the span opened (without closing it).
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.collector.enabled {
+            return;
+        }
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.collector.record_span_ns(&self.path, ns, self.threads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let c = Collector::new();
+        for _ in 0..3 {
+            let _g = c.span("a.b");
+        }
+        let r = c.report("test");
+        assert_eq!(r.spans["a.b"].count, 3);
+        assert!(r.spans["a.b"].total_ns >= r.spans["a.b"].max_ns);
+        assert!(r.spans["a.b"].threads >= 1);
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let c = Collector::new();
+        c.add("x", 2);
+        c.incr("x");
+        c.gauge("g", -12.5);
+        let r = c.report("test");
+        assert_eq!(r.counters["x"], 3);
+        assert_eq!(r.gauges["g"], -12.5);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = Collector::disabled();
+        {
+            let _g = c.span("a");
+        }
+        c.add("x", 5);
+        c.gauge("g", 1.0);
+        c.record("h", 9);
+        let r = c.report("test");
+        assert!(r.spans.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_via_collector() {
+        let c = Collector::new();
+        c.record("h", 1);
+        c.record_n("h", 100, 4);
+        let r = c.report("test");
+        assert_eq!(r.histograms["h"].count(), 5);
+        assert_eq!(r.histograms["h"].sum(), 401);
+    }
+}

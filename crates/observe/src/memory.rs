@@ -1,0 +1,75 @@
+//! Process memory probe.
+//!
+//! RSS and peak RSS are read from `/proc/self/status` (`VmRSS` / `VmHWM`),
+//! the only portable-enough source that needs no allocator hooks or
+//! dependencies. On platforms without procfs both fields are zero — reports
+//! stay valid, just without memory data.
+
+/// A point-in-time memory snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryProbe {
+    /// Resident set size in bytes (0 when unavailable).
+    pub rss_bytes: u64,
+    /// Peak resident set size in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+impl MemoryProbe {
+    /// Fold another probe in by taking per-field maxima (the only merge
+    /// that is meaningful for point samples, and it keeps report merging
+    /// associative and commutative).
+    pub fn merge(&mut self, other: &MemoryProbe) {
+        self.rss_bytes = self.rss_bytes.max(other.rss_bytes);
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
+    }
+}
+
+/// Parse a `Vm…: <n> kB` line into bytes.
+fn parse_kb_line(line: &str) -> Option<u64> {
+    let rest = line.split(':').nth(1)?;
+    let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Probe the current process. Returns zeros when `/proc` is unavailable.
+pub fn read_memory() -> MemoryProbe {
+    let mut probe = MemoryProbe::default();
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if line.starts_with("VmRSS:") {
+                probe.rss_bytes = parse_kb_line(line).unwrap_or(0);
+            } else if line.starts_with("VmHWM:") {
+                probe.peak_rss_bytes = parse_kb_line(line).unwrap_or(0);
+            }
+        }
+    }
+    probe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_lines() {
+        assert_eq!(parse_kb_line("VmRSS:\t  1024 kB"), Some(1024 * 1024));
+        assert_eq!(parse_kb_line("VmHWM:     12 kB"), Some(12 * 1024));
+        assert_eq!(parse_kb_line("garbage"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn probe_reports_nonzero_on_linux() {
+        let p = read_memory();
+        assert!(p.rss_bytes > 0);
+        assert!(p.peak_rss_bytes >= p.rss_bytes);
+    }
+
+    #[test]
+    fn merge_takes_maxima() {
+        let mut a = MemoryProbe { rss_bytes: 10, peak_rss_bytes: 20 };
+        let b = MemoryProbe { rss_bytes: 15, peak_rss_bytes: 5 };
+        a.merge(&b);
+        assert_eq!(a, MemoryProbe { rss_bytes: 15, peak_rss_bytes: 20 });
+    }
+}

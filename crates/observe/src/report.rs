@@ -1,0 +1,383 @@
+//! The [`Report`] snapshot: human table, `BENCH_*.json` JSON, and merging.
+//!
+//! JSON schema (`schema_version` 1) — all keys always present:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "pipeline": "reptile",
+//!   "memory": {"rss_bytes": 0, "peak_rss_bytes": 0},
+//!   "spans": {"reptile.build": {"count": 1, "total_ns": 9, "min_ns": 9,
+//!             "max_ns": 9, "threads": 8}},
+//!   "counters": {"reptile.bases_changed": 42},
+//!   "gauges": {"redeem.threshold.value": 7.25},
+//!   "histograms": {"reptile.kmer_multiplicity": {"count": 10, "sum": 55,
+//!                  "min": 1, "max": 16, "mean": 5.5,
+//!                  "buckets": [{"lo": 1, "hi": 1, "count": 3}]}}
+//! }
+//! ```
+
+use crate::histogram::LogHistogram;
+use crate::memory::MemoryProbe;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time across entries, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+    /// Largest thread count observed at span open.
+    pub threads: usize,
+}
+
+impl Default for SpanStat {
+    fn default() -> SpanStat {
+        SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0, threads: 0 }
+    }
+}
+
+impl SpanStat {
+    /// Fold one span occurrence in.
+    pub fn observe(&mut self, ns: u64, threads: usize) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.threads = self.threads.max(threads);
+    }
+
+    /// Fold another aggregate in. Commutative and associative.
+    pub fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.threads = self.threads.max(other.threads);
+    }
+
+    /// Total wall time as fractional seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// An immutable metrics snapshot for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Pipeline identifier (`reptile`, `redeem`, `closet`, …) — names the
+    /// `BENCH_<pipeline>.json` file.
+    pub pipeline: String,
+    /// Span aggregates keyed by dot-separated path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (merged by minimum).
+    pub gauges: BTreeMap<String, f64>,
+    /// Log histograms.
+    pub histograms: BTreeMap<String, LogHistogram>,
+    /// Memory probe taken at snapshot time.
+    pub memory: MemoryProbe,
+}
+
+impl Report {
+    /// Fold `other` into `self`: spans/histograms merge element-wise,
+    /// counters add, gauges take the minimum, memory takes maxima. With
+    /// equal `pipeline` names the operation is associative and commutative
+    /// (property-tested in `tests/observability.rs`).
+    pub fn merge(&mut self, other: &Report) {
+        for (k, v) in &other.spans {
+            self.spans.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.entry(k.clone()).and_modify(|g| *g = g.min(v)).or_insert(v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        self.memory.merge(&other.memory);
+    }
+
+    /// Span lookup by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Counter lookup (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The span paths in `required` that this report is missing — the CI
+    /// smoke-bench gate fails when this is non-empty.
+    pub fn missing_spans(&self, required: &[&str]) -> Vec<String> {
+        required.iter().filter(|&&p| !self.spans.contains_key(p)).map(|&p| p.to_string()).collect()
+    }
+
+    /// Render the human-readable table (for `--metrics-json` runs' stderr).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "== metrics: {} ==", self.pipeline).unwrap();
+        if !self.spans.is_empty() {
+            writeln!(
+                out,
+                "{:<44} {:>8} {:>12} {:>12} {:>7}",
+                "span", "count", "total_ms", "max_ms", "thr"
+            )
+            .unwrap();
+            for (path, s) in &self.spans {
+                writeln!(
+                    out,
+                    "{:<44} {:>8} {:>12.3} {:>12.3} {:>7}",
+                    path,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e6,
+                    s.threads
+                )
+                .unwrap();
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(out, "{:<44} {:>20}", "counter", "value").unwrap();
+            for (name, v) in &self.counters {
+                writeln!(out, "{:<44} {:>20}", name, v).unwrap();
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(out, "{:<44} {:>20}", "gauge", "value").unwrap();
+            for (name, v) in &self.gauges {
+                writeln!(out, "{:<44} {:>20.4}", name, v).unwrap();
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                out,
+                "{:<44} {:>10} {:>12} {:>8} {:>8} {:>10}",
+                "histogram", "count", "mean", "min", "max", "p99"
+            )
+            .unwrap();
+            for (name, h) in &self.histograms {
+                writeln!(
+                    out,
+                    "{:<44} {:>10} {:>12.2} {:>8} {:>8} {:>10}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.min().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0)
+                )
+                .unwrap();
+            }
+        }
+        writeln!(
+            out,
+            "memory: rss {:.1} MB, peak {:.1} MB",
+            self.memory.rss_bytes as f64 / (1024.0 * 1024.0),
+            self.memory.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        )
+        .unwrap();
+        out
+    }
+
+    /// Serialize to the `BENCH_<pipeline>.json` schema (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema_version\": 1,\n  \"pipeline\": ");
+        json_string(&mut out, &self.pipeline);
+        out.push_str(",\n  \"memory\": {\"rss_bytes\": ");
+        write!(out, "{}", self.memory.rss_bytes).unwrap();
+        out.push_str(", \"peak_rss_bytes\": ");
+        write!(out, "{}", self.memory.peak_rss_bytes).unwrap();
+        out.push_str("},\n  \"spans\": {");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, path);
+            write!(
+                out,
+                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"threads\": {}}}",
+                s.count,
+                s.total_ns,
+                if s.count == 0 { 0 } else { s.min_ns },
+                s.max_ns,
+                s.threads
+            )
+            .unwrap();
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            write!(out, ": {v}").unwrap();
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            json_f64(&mut out, *v);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": ",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0)
+            )
+            .unwrap();
+            json_f64(&mut out, h.mean());
+            out.push_str(", \"buckets\": [");
+            for (j, (lo, hi, c)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {c}}}").unwrap();
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Append a JSON-escaped string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite JSON number (non-finite values become null).
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        write!(out, "{v}").unwrap();
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let c = crate::Collector::new();
+        c.record_span_ns("p.build", 1_000_000, 4);
+        c.record_span_ns("p.build", 3_000_000, 8);
+        c.add("p.records", 7);
+        c.gauge("p.threshold", 2.5);
+        c.record_n("p.sizes", 3, 10);
+        c.report("p")
+    }
+
+    #[test]
+    fn span_stat_aggregates() {
+        let r = sample();
+        let s = r.span("p.build").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 4_000_000);
+        assert_eq!(s.min_ns, 1_000_000);
+        assert_eq!(s.max_ns, 3_000_000);
+        assert_eq!(s.threads, 8);
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let j = sample().to_json();
+        for needle in [
+            "\"schema_version\": 1",
+            "\"pipeline\": \"p\"",
+            "\"p.build\": {\"count\": 2, \"total_ns\": 4000000",
+            "\"p.records\": 7",
+            "\"p.threshold\": 2.5",
+            "\"p.sizes\": {\"count\": 10",
+            "\"buckets\": [{\"lo\": 2, \"hi\": 3, \"count\": 10}]",
+            "\"rss_bytes\"",
+        ] {
+            assert!(j.contains(needle), "missing {needle:?} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+        let mut s = String::new();
+        json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn table_renders_every_section() {
+        let t = sample().render_table();
+        assert!(t.contains("p.build"));
+        assert!(t.contains("p.records"));
+        assert!(t.contains("p.threshold"));
+        assert!(t.contains("p.sizes"));
+        assert!(t.contains("memory:"));
+    }
+
+    #[test]
+    fn missing_spans_lists_absent_paths() {
+        let r = sample();
+        assert!(r.missing_spans(&["p.build"]).is_empty());
+        assert_eq!(r.missing_spans(&["p.build", "p.absent"]), vec!["p.absent".to_string()]);
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.span("p.build").unwrap().count, 4);
+        assert_eq!(a.counter("p.records"), 14);
+        assert_eq!(a.gauges["p.threshold"], 2.5);
+        assert_eq!(a.histograms["p.sizes"].count(), 20);
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let a = sample();
+        let mut b = a.clone();
+        b.merge(&Report { pipeline: "p".into(), ..Default::default() });
+        assert_eq!(a, b);
+    }
+}

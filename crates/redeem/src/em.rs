@@ -168,6 +168,15 @@ impl Redeem {
 
     /// Run the EM, returning `T` estimates.
     pub fn run(&self, cfg: &EmConfig) -> EmResult {
+        self.run_observed(cfg, &ngs_observe::Collector::disabled())
+    }
+
+    /// [`Redeem::run`] with observability: each EM iteration is timed under
+    /// the `redeem.em.iteration` span, per-iteration log-likelihood
+    /// improvements feed the `redeem.em.loglik_delta` histogram (log₂
+    /// buckets of ⌈ΔLL⌉), and the final log-likelihood lands in the
+    /// `redeem.em.final_loglik` gauge.
+    pub fn run_observed(&self, cfg: &EmConfig, collector: &ngs_observe::Collector) -> EmResult {
         let n = self.spectrum.len();
         let mut t: Vec<f64> = self.y.clone();
         let mut trace = Vec::new();
@@ -175,6 +184,8 @@ impl Redeem {
         let mut iterations = 0;
         for _ in 0..cfg.max_iters {
             iterations += 1;
+            let _iter_span =
+                collector.span_with_threads("redeem.em.iteration", rayon::current_num_threads());
             // Denominators: denom_m = Σ_{l ∈ row m} T_l · pe(l → m), which
             // in CSR terms is a gather over row m with incoming weights.
             let denom: Vec<f64> = (0..n)
@@ -213,12 +224,17 @@ impl Redeem {
             t = t_new;
 
             if prev_ll.is_finite() {
+                collector.record("redeem.em.loglik_delta", (ll - prev_ll).abs().ceil() as u64);
                 let rel = (ll - prev_ll).abs() / (prev_ll.abs().max(1.0));
                 if rel < cfg.tol {
                     break;
                 }
             }
             prev_ll = ll;
+        }
+        collector.add("redeem.em.iterations", iterations as u64);
+        if let Some(&ll) = trace.last() {
+            collector.gauge("redeem.em.final_loglik", ll);
         }
         EmResult { t, loglik_trace: trace, iterations }
     }
@@ -332,5 +348,21 @@ mod tests {
     fn average_degree_reported() {
         let (_, redeem, _, _) = build(2_000, vec![], 0.01, 5);
         assert!(redeem.average_degree() >= 1.0);
+    }
+
+    #[test]
+    fn observed_run_reports_iteration_spans() {
+        let (_, redeem, _, _) = build(2_000, vec![], 0.01, 6);
+        let collector = ngs_observe::Collector::new();
+        let res = redeem.run_observed(&EmConfig { dmax: 1, max_iters: 8, tol: 0.0 }, &collector);
+        let report = collector.report("redeem");
+        let span = report.span("redeem.em.iteration").expect("iteration span");
+        assert_eq!(span.count, res.iterations as u64);
+        assert_eq!(report.counter("redeem.em.iterations"), res.iterations as u64);
+        assert!(report.gauges.contains_key("redeem.em.final_loglik"));
+        // The plain entry point must not record anything.
+        let silent = ngs_observe::Collector::disabled();
+        redeem.run_observed(&EmConfig::default(), &silent);
+        assert!(silent.report("redeem").spans.is_empty());
     }
 }

@@ -29,4 +29,6 @@ pub mod threshold;
 pub use correct::correct_reads;
 pub use em::{EmConfig, EmResult, Redeem};
 pub use error_model::KmerErrorModel;
-pub use threshold::{estimate_genome_length, fit_threshold_model, MixtureFit};
+pub use threshold::{
+    estimate_genome_length, fit_threshold_model, fit_threshold_model_observed, MixtureFit,
+};

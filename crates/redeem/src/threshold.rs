@@ -252,7 +252,35 @@ pub fn estimate_genome_length(t: &[f64], coverage_constant: f64) -> f64 {
 /// the winning fit (with its implied detection threshold). Returns `None`
 /// when the data is degenerate (e.g. all-zero estimates).
 pub fn fit_threshold_model(t: &[f64], max_g: usize) -> Option<MixtureFit> {
-    (1..=max_g.max(1)).filter_map(|g| fit_fixed_g(t, g, 200)).min_by(|a, b| a.bic.total_cmp(&b.bic))
+    fit_threshold_model_observed(t, max_g, &ngs_observe::Collector::disabled())
+}
+
+/// [`fit_threshold_model`] with observability: the whole BIC sweep runs
+/// under the `redeem.threshold.fit` span, each candidate `G` leaves its BIC
+/// in the `redeem.threshold.bic.g<G>` gauge (gauges merge by minimum, which
+/// is exactly the BIC selection rule), and the winner's threshold and
+/// coverage constant land in `redeem.threshold.value` /
+/// `redeem.threshold.coverage_constant`.
+pub fn fit_threshold_model_observed(
+    t: &[f64],
+    max_g: usize,
+    collector: &ngs_observe::Collector,
+) -> Option<MixtureFit> {
+    let _span = collector.span("redeem.threshold.fit");
+    let best = (1..=max_g.max(1))
+        .filter_map(|g| {
+            let fit = fit_fixed_g(t, g, 200)?;
+            collector.add("redeem.threshold.candidates", 1);
+            collector.gauge(&format!("redeem.threshold.bic.g{g}"), fit.bic);
+            Some(fit)
+        })
+        .min_by(|a, b| a.bic.total_cmp(&b.bic));
+    if let Some(fit) = &best {
+        collector.gauge("redeem.threshold.best_bic", fit.bic);
+        collector.gauge("redeem.threshold.value", fit.threshold);
+        collector.gauge("redeem.threshold.coverage_constant", fit.coverage_constant);
+    }
+    best
 }
 
 #[cfg(test)]
@@ -335,6 +363,23 @@ mod tests {
         // True kmer-level genome length = 1000 + 2*100 = 1200.
         assert!((est - 1200.0).abs() < 1e-9, "est {est}");
         assert_eq!(estimate_genome_length(&t, 0.0), 0.0);
+    }
+
+    #[test]
+    fn observed_fit_traces_bic_per_candidate() {
+        let t = synthetic_t(50.0, 3000, 2500, 800, 7);
+        let collector = ngs_observe::Collector::new();
+        let fit = fit_threshold_model_observed(&t, 3, &collector).expect("fit");
+        let report = collector.report("redeem");
+        assert!(report.span("redeem.threshold.fit").is_some());
+        assert_eq!(report.counter("redeem.threshold.candidates"), 3);
+        // Every candidate G leaves its BIC, and the winner's BIC is the min.
+        let best = report.gauges["redeem.threshold.best_bic"];
+        assert_eq!(best, fit.bic);
+        for g in 1..=3 {
+            assert!(report.gauges[&format!("redeem.threshold.bic.g{g}")] >= best);
+        }
+        assert_eq!(report.gauges["redeem.threshold.value"], fit.threshold);
     }
 
     #[test]

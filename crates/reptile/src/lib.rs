@@ -29,28 +29,66 @@ pub use read_correct::ReptileStats;
 pub use tile_correct::TileDecision;
 
 use ngs_core::Read;
-use ngs_kmer::neighbor::{NeighborIndex, NeighborStrategy};
+use ngs_kmer::neighbor::{NeighborStrategy, NeighborTables};
 use ngs_kmer::{KSpectrum, TileTable};
+use ngs_observe::{Collector, LogHistogram};
 use rayon::prelude::*;
 
 /// The Reptile corrector: immutable index data shared across reads.
+///
+/// All Phase-1 products — the k-spectrum, the tile table, *and* the
+/// Hamming-graph neighbour tables — are built exactly once in
+/// [`Reptile::build`] and reused by every [`Reptile::correct`] call, so
+/// repeated or chunked correction passes pay the Phase-1 cost only once.
 pub struct Reptile {
     params: ReptileParams,
     spectrum: KSpectrum,
     tiles: TileTable,
-    /// Owned by `spectrum`; rebuilt views are cheap relative to correction.
-    neighbor_chunks: usize,
+    /// Masked-replica neighbour tables over `spectrum`, built once;
+    /// `correct` takes O(1) views of them per call.
+    neighbor_tables: NeighborTables,
 }
 
 impl Reptile {
     /// Build the Phase-1 indexes from the (already ambiguity-preprocessed)
     /// read set.
     pub fn build(reads: &[Read], params: ReptileParams) -> Reptile {
+        Self::build_observed(reads, params, &Collector::disabled())
+    }
+
+    /// [`Reptile::build`] with observability: spans
+    /// `reptile.build.{spectrum,tiles,neighbor_index}`, the
+    /// `reptile.index_builds` counter, and the `reptile.kmer_multiplicity`
+    /// histogram land in `collector`.
+    pub fn build_observed(reads: &[Read], params: ReptileParams, collector: &Collector) -> Reptile {
         params.validate();
-        let spectrum = KSpectrum::from_reads_both_strands(reads, params.k);
-        let tiles = TileTable::build(reads, params.k, params.tile_overlap, params.qc);
-        let neighbor_chunks = params.neighbor_chunks();
-        Reptile { params, spectrum, tiles, neighbor_chunks }
+        let threads = rayon::current_num_threads();
+        let spectrum = {
+            let _s = collector.span_with_threads("reptile.build.spectrum", threads);
+            KSpectrum::from_reads_both_strands(reads, params.k)
+        };
+        let tiles = {
+            let _s = collector.span_with_threads("reptile.build.tiles", threads);
+            TileTable::build(reads, params.k, params.tile_overlap, params.qc)
+        };
+        let neighbor_tables = {
+            let _s = collector.span_with_threads("reptile.build.neighbor_index", threads);
+            collector.incr("reptile.index_builds");
+            NeighborTables::build(
+                &spectrum,
+                params.d,
+                NeighborStrategy::MaskedReplicas { chunks: params.neighbor_chunks() },
+            )
+        };
+        if collector.is_enabled() {
+            let mut hist = LogHistogram::new();
+            for &c in spectrum.counts() {
+                hist.record(c as u64);
+            }
+            collector.merge_histogram("reptile.kmer_multiplicity", &hist);
+            collector.add("reptile.distinct_kmers", spectrum.len() as u64);
+        }
+        Reptile { params, spectrum, tiles, neighbor_tables }
     }
 
     /// The parameters in use.
@@ -68,13 +106,27 @@ impl Reptile {
         &self.tiles
     }
 
+    /// The neighbour tables built in [`Reptile::build`] (exposed for
+    /// diagnostics and tests).
+    pub fn neighbor_tables(&self) -> &NeighborTables {
+        &self.neighbor_tables
+    }
+
     /// Correct every read, returning corrected copies and statistics.
     pub fn correct(&self, reads: &[Read]) -> (Vec<Read>, ReptileStats) {
-        let index = NeighborIndex::build(
-            &self.spectrum,
-            self.params.d,
-            NeighborStrategy::MaskedReplicas { chunks: self.neighbor_chunks },
-        );
+        self.correct_observed(reads, &Collector::disabled())
+    }
+
+    /// [`Reptile::correct`] with observability: the `reptile.correct` span,
+    /// the D1/D2/D3 decision counters, and the `reptile.tile_decision`
+    /// histogram land in `collector`.
+    pub fn correct_observed(
+        &self,
+        reads: &[Read],
+        collector: &Collector,
+    ) -> (Vec<Read>, ReptileStats) {
+        let span = collector.span_with_threads("reptile.correct", rayon::current_num_threads());
+        let index = self.neighbor_tables.view(&self.spectrum);
         let results: Vec<(Read, ReptileStats)> = reads
             .par_iter()
             .map(|r| {
@@ -90,15 +142,31 @@ impl Reptile {
             all.merge(&stats);
             out.push(read);
         }
+        drop(span);
+        all.record_into(collector);
+        collector.add("reptile.reads_corrected", reads.len() as u64);
         (out, all)
     }
 
     /// Full pipeline: preprocess ambiguous bases, build indexes, correct.
     /// This is the entry point matching the released Reptile tool.
     pub fn run(reads: &[Read], params: ReptileParams) -> (Vec<Read>, ReptileStats) {
-        let preprocessed = ambig::preprocess_ambiguous(reads, &params);
-        let reptile = Reptile::build(&preprocessed, params);
-        reptile.correct(&preprocessed)
+        Self::run_observed(reads, params, &Collector::disabled())
+    }
+
+    /// [`Reptile::run`] with observability (see [`Reptile::build_observed`]
+    /// and [`Reptile::correct_observed`] for the spans and counters).
+    pub fn run_observed(
+        reads: &[Read],
+        params: ReptileParams,
+        collector: &Collector,
+    ) -> (Vec<Read>, ReptileStats) {
+        let preprocessed = {
+            let _s = collector.span("reptile.preprocess");
+            ambig::preprocess_ambiguous(reads, &params)
+        };
+        let reptile = Reptile::build_observed(&preprocessed, params, collector);
+        reptile.correct_observed(&preprocessed, collector)
     }
 }
 
@@ -184,6 +252,39 @@ mod tests {
         let n_after: usize =
             corrected.iter().map(|r| r.seq.iter().filter(|&&b| b == b'N').count()).sum();
         assert!(n_after < n_before / 4, "Ns before={n_before} after={n_after}");
+    }
+
+    /// Regression: `correct` used to rebuild the full `NeighborIndex` on
+    /// every call even though the struct docs promised index data shared
+    /// across reads. Two `correct` calls must yield identical output, and
+    /// the observe report must show exactly one index build regardless of
+    /// how many correction passes ran.
+    #[test]
+    fn repeated_correct_reuses_single_index_build() {
+        let (g, sim) = simulate(8_000, 0.02, 30.0, 11);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let preprocessed = ambig::preprocess_ambiguous(&sim.reads, &params);
+        let collector = Collector::new();
+        let reptile = Reptile::build_observed(&preprocessed, params, &collector);
+        let (out1, stats1) = reptile.correct_observed(&preprocessed, &collector);
+        let (out2, stats2) = reptile.correct_observed(&preprocessed, &collector);
+        assert_eq!(stats1, stats2);
+        for (a, b) in out1.iter().zip(&out2) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.id, b.id);
+        }
+        let report = collector.report("reptile");
+        assert_eq!(report.counter("reptile.index_builds"), 1, "index must be built once");
+        let build_span = report.span("reptile.build.neighbor_index").expect("build span");
+        assert_eq!(build_span.count, 1, "one neighbour-index build span");
+        let correct_span = report.span("reptile.correct").expect("correct span");
+        assert_eq!(correct_span.count, 2, "two correction passes");
+        // Decision counters surfaced through the report match the stats.
+        assert_eq!(
+            report.counter("reptile.tiles_validated"),
+            stats1.tiles_validated + stats2.tiles_validated
+        );
+        assert_eq!(report.counter("reptile.bases_changed"), stats1.bases_changed * 2);
     }
 
     #[test]

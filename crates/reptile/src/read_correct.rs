@@ -43,6 +43,22 @@ impl ReptileStats {
         self.bases_changed += other.bases_changed;
         self.reads_changed += other.reads_changed;
     }
+
+    /// Fold the counters into an observe collector: one counter per field
+    /// plus the `reptile.tile_decision` histogram recording the D1/D2/D3
+    /// mix of Algorithm 2 (1 = validated, 2 = corrected, 3 = unresolved).
+    /// Stats are accumulated per-read and folded here once, so correction's
+    /// hot path never touches the collector.
+    pub fn record_into(&self, collector: &ngs_observe::Collector) {
+        collector.add("reptile.tiles_validated", self.tiles_validated);
+        collector.add("reptile.tiles_corrected", self.tiles_corrected);
+        collector.add("reptile.tiles_unresolved", self.tiles_unresolved);
+        collector.add("reptile.bases_changed", self.bases_changed);
+        collector.add("reptile.reads_changed", self.reads_changed);
+        collector.record_n("reptile.tile_decision", 1, self.tiles_validated);
+        collector.record_n("reptile.tile_decision", 2, self.tiles_corrected);
+        collector.record_n("reptile.tile_decision", 3, self.tiles_unresolved);
+    }
 }
 
 /// One directional pass of Algorithm 2 over `seq` (qualities index-aligned).

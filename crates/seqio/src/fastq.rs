@@ -1,6 +1,6 @@
 //! FASTQ parsing and serialization (Sanger quality encoding).
 
-use ngs_core::qual::{decode_quals, encode_quals};
+use ngs_core::qual::{decode_quals_checked, encode_quals};
 use ngs_core::{NgsError, Read, Result};
 use std::io::{BufRead, BufReader, Write};
 
@@ -68,7 +68,12 @@ impl<R: std::io::Read> FastqReader<R> {
                 qual_ascii.len()
             )));
         }
-        Ok(Some(Read { id, seq, qual: Some(decode_quals(&qual_ascii)) }))
+        // Out-of-range quality characters are corruption (truncated or
+        // garbage lines), not ultra-low-quality bases — reject rather than
+        // clamp, naming the record like the other malformed-input errors.
+        let qual = decode_quals_checked(&qual_ascii)
+            .map_err(|e| NgsError::MalformedRecord(format!("record {n}: {e}")))?;
+        Ok(Some(Read { id, seq, qual: Some(qual) }))
     }
 }
 
@@ -214,6 +219,20 @@ mod tests {
     fn seq_qual_length_mismatch_names_record_number() {
         let data = b"@r1\nACGT\n+\nIIII\n@r2\nGGTT\n+\nII\n";
         expect_malformed(data, 1, "sequence length 4 != quality length 2");
+    }
+
+    /// Regression: out-of-range quality characters used to be silently
+    /// clamped by `Phred::from_ascii`, so a corrupt quality line parsed as an
+    /// ultra-low-quality read. The reader must reject them instead, naming
+    /// the record like the other malformed-input errors.
+    #[test]
+    fn out_of_range_quality_names_record_number() {
+        // Record 1 carries a space (0x20, below '!') in its quality line.
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nGGTT\n+\nII I\n";
+        expect_malformed(data, 1, "invalid quality character 0x20");
+        // Control characters are rejected too (bytes above '~' are already
+        // unrepresentable here: the line reader requires UTF-8).
+        expect_malformed(b"@r1\nAC\n+\nI\x07\n", 0, "invalid quality character 0x07");
     }
 
     #[test]
