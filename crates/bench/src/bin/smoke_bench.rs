@@ -78,7 +78,7 @@ fn check_and_write(pipeline: &str, collector: &Collector, out_dir: &Path) -> Res
         return Err(format!("missing required spans: {}", missing.join(", ")));
     }
     let path = out_dir.join(format!("BENCH_{pipeline}.json"));
-    std::fs::write(&path, report.to_json())
+    ngs_durable::write_atomic(&path, report.to_json().as_bytes())
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     eprintln!(
         "OK {pipeline}: {} spans, {} counters -> {}",

@@ -1,9 +1,7 @@
 //! Cluster metagenomic reads with CLOSET (Chapter 4).
 
-use closet::ClosetParams;
-use ngs_cli::{emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, Args};
-use ngs_core::{NgsError, Result};
-use std::io::Write;
+use ngs_cli::{pipelines, run_main, usage_gate, Args};
+use ngs_core::Result;
 
 const USAGE: &str = "closet-cluster — sketch + quasi-clique read clustering
 
@@ -11,17 +9,18 @@ USAGE:
   closet-cluster --input reads.fasta --output clusters.tsv [options]
 
 OPTIONS:
-  --input PATH        input reads (.fasta or .fastq)            [required]
-  --output PATH       TSV: threshold, cluster id, read ids      [required]
-  --thresholds LIST   decreasing similarity series              [default: 0.8,0.7,0.6]
-  --gamma F           quasi-clique density                      [default: 0.6667]
-  --workers N         MapReduce worker threads                  [default: all cores]
-  --align             validate edges by alignment (slower)
-  --metrics-json PATH write a BENCH_closet.json metrics report here
-  --help              print this message";
-
-/// Spans every instrumented run must produce (the smoke-bench gate).
-const REQUIRED_SPANS: &[&str] = &["closet.sketch", "closet.validate", "closet.cluster"];
+  --input PATH          input reads (.fasta or .fastq)            [required]
+  --output PATH         TSV: threshold, cluster id, read ids      [required]
+  --thresholds LIST     decreasing similarity series              [default: 0.8,0.7,0.6]
+  --gamma F             quasi-clique density                      [default: 0.6667]
+  --workers N           MapReduce worker threads                  [default: all cores]
+  --align               validate edges by alignment (slower)
+  --checkpoint-dir DIR  persist the validated edge list here
+  --resume              reload a valid checkpoint instead of re-sketching
+  --max-bad-records N   skip up to N malformed input records      [default: 0 = fail fast]
+  --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stage: edges)
+  --metrics-json PATH   write a BENCH_closet.json metrics report here
+  --help                print this message";
 
 fn main() {
     run_main(real_main());
@@ -30,64 +29,5 @@ fn main() {
 fn real_main() -> Result<()> {
     let args = Args::parse(std::env::args().skip(1))?;
     usage_gate(&args, USAGE);
-    let input = args.require("input")?;
-    let output = args.require("output")?;
-    let thresholds = args.get_f64_list("thresholds", &[0.8, 0.7, 0.6])?;
-    let workers: usize =
-        args.get_parsed("workers", std::thread::available_parallelism().map_or(4, |n| n.get()))?;
-
-    let reads = read_sequences(input)?;
-    let avg_len = reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
-    eprintln!("read {} sequences (avg {avg_len} bp)", reads.len());
-
-    let mut params = ClosetParams::standard(avg_len.max(32), thresholds, workers);
-    params.gamma = args.get_parsed("gamma", params.gamma)?;
-    if args.has_flag("align") {
-        params.validator = closet::Validator::Alignment { min_overlap: 50 };
-    }
-
-    // Per-task MapReduce spans need the collector on the job config, so it
-    // lives in an Arc shared between the config and this scope.
-    let collector = std::sync::Arc::new(metrics_collector(&args));
-    if collector.is_enabled() {
-        params.job.collector = Some(collector.clone());
-    }
-
-    let t0 = std::time::Instant::now();
-    let result = closet::run_observed(&reads, &params, &collector)
-        .map_err(|e| NgsError::Io(format!("mapreduce job failed: {e}")))?;
-    eprintln!(
-        "pipeline in {:.2?}: {} candidate edges, {} confirmed",
-        t0.elapsed(),
-        result.sketch_stats.unique_edges,
-        result.confirmed_edges
-    );
-    if result.job_stats.task_failures > 0 {
-        eprintln!(
-            "  fault tolerance: {} task failures, {} retried tasks, {} corrupt frames",
-            result.job_stats.task_failures,
-            result.job_stats.retried_tasks,
-            result.job_stats.corrupt_frames
-        );
-    }
-    for stats in &result.threshold_stats {
-        eprintln!(
-            "  t={:.2}: {} edges, {} clusters ({} processed)",
-            stats.threshold, stats.edges, stats.resulting_clusters, stats.clusters_processed
-        );
-    }
-
-    let mut out = std::io::BufWriter::new(std::fs::File::create(output)?);
-    writeln!(out, "threshold\tcluster\treads")?;
-    for (t, clusters) in &result.clusters_by_threshold {
-        for (ci, cluster) in clusters.iter().enumerate() {
-            let members: Vec<String> =
-                cluster.vertices.iter().map(|&v| reads[v as usize].id.clone()).collect();
-            writeln!(out, "{t:.3}\t{ci}\t{}", members.join(","))?;
-        }
-    }
-    out.flush()?;
-    eprintln!("wrote {output}");
-    emit_metrics(&args, &collector, "closet", REQUIRED_SPANS)?;
-    Ok(())
+    pipelines::closet_cluster(&args)
 }

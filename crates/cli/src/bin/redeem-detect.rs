@@ -1,10 +1,8 @@
 //! REDEEM EM over a read set (Chapter 3): emit per-k-mer observed counts
 //! `Y`, EM estimates `T`, and the §3.7 inferred threshold.
 
-use ngs_cli::{emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, Args};
+use ngs_cli::{pipelines, run_main, usage_gate, Args};
 use ngs_core::Result;
-use redeem::{EmConfig, KmerErrorModel, Redeem};
-use std::io::Write;
 
 const USAGE: &str = "redeem-detect — repeat-aware erroneous k-mer detection via EM
 
@@ -12,18 +10,20 @@ USAGE:
   redeem-detect --input reads.fastq --output kmers.tsv [options]
 
 OPTIONS:
-  --input PATH        input reads (.fastq or .fasta)       [required]
-  --output PATH       TSV output: kmer, Y, T, erroneous     [required]
-  --k N               k-mer length                          [default: 13]
-  --error-rate F      per-base error rate of the model      [default: 0.01]
-  --dmax N            neighbourhood Hamming radius          [default: 1]
-  --max-iters N       EM iteration cap                      [default: 60]
-  --correct PATH      also write corrected reads here
-  --metrics-json PATH write a BENCH_redeem.json metrics report here
-  --help              print this message";
-
-/// Spans every instrumented run must produce (the smoke-bench gate).
-const REQUIRED_SPANS: &[&str] = &["redeem.em.iteration", "redeem.threshold.fit"];
+  --input PATH          input reads (.fastq or .fasta)       [required]
+  --output PATH         TSV output: kmer, Y, T, erroneous     [required]
+  --k N                 k-mer length                          [default: 13]
+  --error-rate F        per-base error rate of the model      [default: 0.01]
+  --dmax N              neighbourhood Hamming radius          [default: 1]
+  --max-iters N         EM iteration cap                      [default: 60]
+  --correct PATH        also write corrected reads here
+  --checkpoint-dir DIR  persist the misread graph + EM state here
+  --checkpoint-every N  EM iterations between state snapshots  [default: 10]
+  --resume              reload valid checkpoints instead of recomputing
+  --max-bad-records N   skip up to N malformed input records   [default: 0 = fail fast]
+  --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stages: model, em)
+  --metrics-json PATH   write a BENCH_redeem.json metrics report here
+  --help                print this message";
 
 fn main() {
     run_main(real_main());
@@ -32,63 +32,5 @@ fn main() {
 fn real_main() -> Result<()> {
     let args = Args::parse(std::env::args().skip(1))?;
     usage_gate(&args, USAGE);
-    let input = args.require("input")?;
-    let output = args.require("output")?;
-    let k: usize = args.get_parsed("k", 13)?;
-    let rate: f64 = args.get_parsed("error-rate", 0.01)?;
-    let dmax: usize = args.get_parsed("dmax", 1)?;
-    let max_iters: usize = args.get_parsed("max-iters", 60)?;
-
-    let reads = read_sequences(input)?;
-    eprintln!("read {} sequences; building misread graph (k={k}, dmax={dmax})", reads.len());
-    let model = KmerErrorModel::uniform(k, rate);
-    let redeem = Redeem::new(&reads, k, &model, dmax);
-    eprintln!(
-        "spectrum: {} distinct k-mers, average degree {:.2}",
-        redeem.spectrum().len(),
-        redeem.average_degree()
-    );
-    let collector = metrics_collector(&args);
-    let result = redeem.run_observed(&EmConfig { dmax, max_iters, tol: 1e-7 }, &collector);
-    eprintln!("EM converged after {} iterations", result.iterations);
-
-    let fit = redeem::fit_threshold_model_observed(&result.t, 3, &collector);
-    let threshold = fit.as_ref().map(|f| f.threshold).unwrap_or(0.0);
-    if let Some(f) = &fit {
-        eprintln!(
-            "mixture fit: G={} coverage constant={:.1} threshold={:.2} \
-             genome length estimate={:.0}",
-            f.g,
-            f.coverage_constant,
-            f.threshold,
-            redeem::estimate_genome_length(&result.t, f.coverage_constant)
-        );
-    } else {
-        eprintln!("mixture fit degenerate; reporting threshold 0 (nothing flagged)");
-    }
-
-    let mut out = std::io::BufWriter::new(std::fs::File::create(output)?);
-    writeln!(out, "kmer\tY\tT\terroneous")?;
-    for (i, (kmer, _)) in redeem.spectrum().iter().enumerate() {
-        writeln!(
-            out,
-            "{}\t{}\t{:.3}\t{}",
-            String::from_utf8_lossy(&ngs_kmer::packed::decode_kmer(kmer, k)),
-            redeem.y()[i] as u64,
-            result.t[i],
-            u8::from(result.t[i] < threshold),
-        )?;
-    }
-    out.flush()?;
-    eprintln!("wrote {output}");
-
-    if let Some(corrected_path) = args.get("correct") {
-        let cov = fit.as_ref().map(|f| f.coverage_constant).unwrap_or(20.0);
-        let corrected =
-            redeem::correct_reads(&redeem, &model, &result.t, &reads, cov * 0.5, threshold);
-        ngs_cli::write_sequences(corrected_path, &corrected)?;
-        eprintln!("wrote corrected reads to {corrected_path}");
-    }
-    emit_metrics(&args, &collector, "redeem", REQUIRED_SPANS)?;
-    Ok(())
+    pipelines::redeem_detect(&args)
 }

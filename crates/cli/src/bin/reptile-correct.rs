@@ -1,10 +1,7 @@
 //! Correct a read file with Reptile (Chapter 2).
 
-use ngs_cli::{
-    emit_metrics, metrics_collector, read_sequences, run_main, usage_gate, write_sequences, Args,
-};
+use ngs_cli::{pipelines, run_main, usage_gate, Args};
 use ngs_core::Result;
-use reptile::{Reptile, ReptileParams};
 
 const USAGE: &str = "reptile-correct — tile-based short-read error correction
 
@@ -12,21 +9,17 @@ USAGE:
   reptile-correct --input reads.fastq --output corrected.fastq [options]
 
 OPTIONS:
-  --input PATH        input reads (.fastq or .fasta)        [required]
-  --output PATH       corrected reads                        [required]
-  --genome-len N      genome length estimate (sets k)        [default: 1000000]
-  --k N               k-mer length override (1..=16)
-  --d N               max Hamming distance (1 or 2)          [default: 1]
-  --metrics-json PATH write a BENCH_reptile.json metrics report here
-  --help              print this message";
-
-/// Spans every instrumented run must produce (the smoke-bench gate).
-const REQUIRED_SPANS: &[&str] = &[
-    "reptile.build.spectrum",
-    "reptile.build.tiles",
-    "reptile.build.neighbor_index",
-    "reptile.correct",
-];
+  --input PATH          input reads (.fastq or .fasta)        [required]
+  --output PATH         corrected reads                        [required]
+  --genome-len N        genome length estimate (sets k)        [default: 1000000]
+  --k N                 k-mer length override (1..=16)
+  --d N                 max Hamming distance (1 or 2)          [default: 1]
+  --checkpoint-dir DIR  persist the Phase-1 index here
+  --resume              reload a valid checkpoint instead of rebuilding
+  --max-bad-records N   skip up to N malformed input records   [default: 0 = fail fast]
+  --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stage: index)
+  --metrics-json PATH   write a BENCH_reptile.json metrics report here
+  --help                print this message";
 
 fn main() {
     run_main(real_main());
@@ -35,45 +28,5 @@ fn main() {
 fn real_main() -> Result<()> {
     let args = Args::parse(std::env::args().skip(1))?;
     usage_gate(&args, USAGE);
-    let input = args.require("input")?;
-    let output = args.require("output")?;
-    let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
-
-    let reads = read_sequences(input)?;
-    eprintln!("read {} sequences from {input}", reads.len());
-
-    let mut params = ReptileParams::from_data(&reads, genome_len);
-    if let Some(k) = args.get("k") {
-        params.k = k
-            .parse()
-            .map_err(|_| ngs_core::NgsError::InvalidParameter(format!("--k: bad value {k:?}")))?;
-    }
-    params.d = args.get_parsed("d", params.d)?;
-    eprintln!(
-        "parameters: k={} d={} |t|={} Cg={} Cm={} Qc={}",
-        params.k,
-        params.d,
-        params.tile_len(),
-        params.cg,
-        params.cm,
-        params.qc
-    );
-
-    let collector = metrics_collector(&args);
-    let t0 = std::time::Instant::now();
-    let (corrected, stats) = Reptile::run_observed(&reads, params, &collector);
-    eprintln!(
-        "corrected in {:.2?}: {} bases changed in {} reads \
-         ({} tiles validated, {} corrected, {} unresolved)",
-        t0.elapsed(),
-        stats.bases_changed,
-        stats.reads_changed,
-        stats.tiles_validated,
-        stats.tiles_corrected,
-        stats.tiles_unresolved
-    );
-    write_sequences(output, &corrected)?;
-    eprintln!("wrote {output}");
-    emit_metrics(&args, &collector, "reptile", REQUIRED_SPANS)?;
-    Ok(())
+    pipelines::reptile_correct(&args)
 }

@@ -72,7 +72,8 @@ fn real_main() -> Result<()> {
         eprintln!("wrote {path}");
     }
     if let Some(path) = args.get("truth-out") {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let mut file = ngs_durable::AtomicFile::create(path)?;
+        let mut out = std::io::BufWriter::new(&mut file);
         writeln!(out, "read\tpos\tstrand\terrors\ttrue_seq")?;
         for (read, truth) in sim.reads.iter().zip(&sim.truth) {
             writeln!(
@@ -86,6 +87,8 @@ fn real_main() -> Result<()> {
             )?;
         }
         out.flush()?;
+        drop(out);
+        file.commit()?;
         eprintln!("wrote {path}");
     }
     Ok(())

@@ -14,7 +14,10 @@
 //! binaries stay thin and the logic is unit-testable.
 
 use ngs_core::{NgsError, Read, Result};
+use ngs_seqio::MalformedPolicy;
 use std::collections::BTreeMap;
+
+pub mod pipelines;
 
 /// A parsed `--key value` command line.
 #[derive(Debug, Clone, Default)]
@@ -62,15 +65,29 @@ impl Args {
         self.values.get(name).map(String::as_str)
     }
 
+    /// A string value, if present — but erroring when the key was given as
+    /// a *bare* flag (e.g. `--k` as the last token, or `--k --verbose`):
+    /// the user clearly meant to supply a value and dropping to the default
+    /// would silently misconfigure the run.
+    pub fn value_of(&self, name: &str) -> Result<Option<&str>> {
+        match self.get(name) {
+            Some(v) => Ok(Some(v)),
+            None if self.has_flag(name) => {
+                Err(NgsError::InvalidParameter(format!("missing value for --{name}")))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// A required string value.
     pub fn require(&self, name: &str) -> Result<&str> {
-        self.get(name)
+        self.value_of(name)?
             .ok_or_else(|| NgsError::InvalidParameter(format!("missing required --{name}")))
     }
 
     /// A parsed value with a default.
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
-        match self.get(name) {
+        match self.value_of(name)? {
             None => Ok(default),
             Some(s) => s
                 .parse()
@@ -80,7 +97,7 @@ impl Args {
 
     /// A comma-separated list of floats.
     pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Result<Vec<f64>> {
-        match self.get(name) {
+        match self.value_of(name)? {
             None => Ok(default.to_vec()),
             Some(s) => s
                 .split(',')
@@ -94,26 +111,43 @@ impl Args {
     }
 }
 
+fn is_fasta_path(path: &str) -> bool {
+    path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna")
+}
+
 /// Read sequences from a path, dispatching on extension (`.fa`/`.fasta` →
-/// FASTA, anything else → FASTQ).
+/// FASTA, anything else → FASTQ). Fails fast on the first malformed record.
 pub fn read_sequences(path: &str) -> Result<Vec<Read>> {
+    Ok(read_sequences_with_policy(path, MalformedPolicy::FailFast)?.0)
+}
+
+/// [`read_sequences`] under an explicit [`MalformedPolicy`]; also returns
+/// how many malformed records were skipped (always 0 under
+/// [`MalformedPolicy::FailFast`]).
+pub fn read_sequences_with_policy(
+    path: &str,
+    policy: MalformedPolicy,
+) -> Result<(Vec<Read>, usize)> {
     let file = std::fs::File::open(path)?;
-    if path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna") {
-        ngs_seqio::read_fasta(file)
+    if is_fasta_path(path) {
+        ngs_seqio::read_fasta_with_policy(file, policy)
     } else {
-        ngs_seqio::read_fastq(file)
+        ngs_seqio::read_fastq_with_policy(file, policy)
     }
 }
 
 /// Write sequences to a path, dispatching on extension like
-/// [`read_sequences`].
+/// [`read_sequences`]. The write is atomic (tmp + rename): a crash mid-way
+/// leaves the destination untouched, never truncated.
 pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
-    let file = std::fs::File::create(path)?;
-    if path.ends_with(".fa") || path.ends_with(".fasta") || path.ends_with(".fna") {
-        ngs_seqio::write_fasta(file, reads, 70)
+    let mut file = ngs_durable::AtomicFile::create(path)?;
+    if is_fasta_path(path) {
+        ngs_seqio::write_fasta(&mut file, reads, 70)?;
     } else {
-        ngs_seqio::write_fastq(file, reads)
+        ngs_seqio::write_fastq(&mut file, reads)?;
     }
+    file.commit()?;
+    Ok(())
 }
 
 /// Build the collector for a `--metrics-json` run: recording when the flag
@@ -137,7 +171,7 @@ pub fn emit_metrics(
     pipeline: &str,
     required: &[&str],
 ) -> Result<()> {
-    let Some(path) = args.get("metrics-json") else {
+    let Some(path) = args.value_of("metrics-json")? else {
         return Ok(());
     };
     let report = collector.report(pipeline);
@@ -149,7 +183,7 @@ pub fn emit_metrics(
         )));
     }
     eprint!("{}", report.render_table());
-    std::fs::write(path, report.to_json())?;
+    ngs_durable::write_atomic(path, report.to_json().as_bytes())?;
     eprintln!("wrote metrics to {path}");
     Ok(())
 }
@@ -217,6 +251,38 @@ mod tests {
     #[test]
     fn non_flag_leading_token_rejected() {
         assert!(Args::parse(vec!["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flag_missing_its_value_is_an_error_not_a_silent_default() {
+        // `--k` as the last token: the value was forgotten, not omitted.
+        let a = parse(&["--input", "x.fastq", "--k"]);
+        let err = a.get_parsed::<usize>("k", 13).unwrap_err();
+        assert!(err.to_string().contains("missing value for --k"), "got: {err}");
+        assert!(a.require("k").is_err());
+        assert!(a.value_of("k").is_err());
+        // Same when the next token is another flag.
+        let a = parse(&["--thresholds", "--verbose"]);
+        assert!(a.get_f64_list("thresholds", &[0.8]).is_err());
+        // Genuinely absent keys still default cleanly.
+        assert_eq!(a.get_parsed::<usize>("k", 13).unwrap(), 13);
+        // Intentional bare switches are unaffected.
+        assert!(a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn policy_reader_reports_skips() {
+        let dir = std::env::temp_dir().join(format!("ngs_cli_policy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.fastq");
+        std::fs::write(&path, "@r1\nACGT\n+\n!!!!\n@broken\nACGT\n@r2\nTTTT\n+\n!!!!\n").unwrap();
+        let path = path.to_str().unwrap();
+        assert!(read_sequences(path).is_err());
+        let (reads, skipped) =
+            read_sequences_with_policy(path, MalformedPolicy::Skip { max: 5 }).unwrap();
+        assert!(!reads.is_empty());
+        assert!(skipped >= 1);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

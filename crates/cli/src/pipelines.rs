@@ -1,0 +1,479 @@
+//! Durable pipeline drivers shared by the `reptile-correct`,
+//! `redeem-detect` and `closet-cluster` binaries.
+//!
+//! Each driver splits its pipeline at the stage boundaries the
+//! corresponding crate can snapshot (see `ngs_durable::CheckpointStore`),
+//! so `--checkpoint-dir DIR` persists expensive intermediate state and
+//! `--resume` restarts from it after a crash — re-validating the manifest
+//! checksums and the input-file fingerprint, and recomputing any stage
+//! whose parameters changed. Resumed runs produce byte-identical output to
+//! cold runs (all numeric state round-trips via `f64::to_bits`; see the
+//! `crash_resume` integration test).
+//!
+//! The `--crash-after STAGE` flag is the test hook for that guarantee: it
+//! kills the process (exit code [`CRASH_EXIT_CODE`]) immediately after the
+//! named stage's checkpoint lands, simulating a crash at the worst moment
+//! that is still recoverable.
+
+use crate::{emit_metrics, metrics_collector, read_sequences_with_policy, write_sequences, Args};
+use ngs_core::{NgsError, Read, Result};
+use ngs_durable::{ByteWriter, CheckpointStore, Fingerprint};
+use ngs_observe::Collector;
+use ngs_seqio::MalformedPolicy;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Exit code of a run killed by `--crash-after` (distinct from the generic
+/// error exit 1, so tests can tell an injected crash from a real failure).
+pub const CRASH_EXIT_CODE: i32 = 42;
+
+/// The durability-related flags shared by all three pipeline CLIs.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityOpts {
+    /// `--checkpoint-dir DIR`: persist stage snapshots here.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// `--resume`: reload valid snapshots instead of recomputing.
+    pub resume: bool,
+    /// `--max-bad-records N`: input error budget (0 = fail fast).
+    pub policy: MalformedPolicy,
+    /// `--crash-after STAGE`: test hook, exit(42) after that stage's
+    /// checkpoint is saved.
+    pub crash_after: Option<String>,
+}
+
+impl DurabilityOpts {
+    /// Parse the shared durability flags.
+    pub fn from_args(args: &Args) -> Result<DurabilityOpts> {
+        let checkpoint_dir = args.value_of("checkpoint-dir")?.map(PathBuf::from);
+        let resume = args.has_flag("resume");
+        if resume && checkpoint_dir.is_none() {
+            return Err(NgsError::InvalidParameter("--resume requires --checkpoint-dir".into()));
+        }
+        let max_bad: usize = args.get_parsed("max-bad-records", 0)?;
+        let policy = if max_bad == 0 {
+            MalformedPolicy::FailFast
+        } else {
+            MalformedPolicy::Skip { max: max_bad }
+        };
+        let crash_after = args.value_of("crash-after")?.map(String::from);
+        Ok(DurabilityOpts { checkpoint_dir, resume, policy, crash_after })
+    }
+
+    /// Open the checkpoint store when `--checkpoint-dir` was given,
+    /// fingerprinting `input` so snapshots taken against other data miss.
+    pub fn store<'c>(
+        &self,
+        pipeline: &str,
+        input: &str,
+        collector: &'c Collector,
+    ) -> Result<Option<CheckpointStore<'c>>> {
+        match &self.checkpoint_dir {
+            None => Ok(None),
+            Some(dir) => {
+                let fp = Fingerprint::of_file(input)?;
+                Ok(Some(CheckpointStore::open(dir, pipeline, fp, collector)?))
+            }
+        }
+    }
+
+    /// Test hook: die right after `stage`'s checkpoint landed.
+    pub fn crash_if_requested(&self, stage: &str) {
+        if self.crash_after.as_deref() == Some(stage) {
+            eprintln!("crash-after: simulated crash after stage {stage:?}");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+    }
+}
+
+/// Load the input reads under the run's [`MalformedPolicy`], folding the
+/// skip count into the collector (`seqio.records_skipped`).
+pub fn load_reads(input: &str, opts: &DurabilityOpts, collector: &Collector) -> Result<Vec<Read>> {
+    let (reads, skipped) = read_sequences_with_policy(input, opts.policy)?;
+    collector.add("seqio.records_skipped", skipped as u64);
+    if skipped > 0 {
+        eprintln!("skipped {skipped} malformed record(s) in {input}");
+    }
+    eprintln!("read {} sequences from {input}", reads.len());
+    Ok(reads)
+}
+
+fn key_of(build: impl FnOnce(&mut ByteWriter)) -> u64 {
+    let mut w = ByteWriter::with_capacity(64);
+    build(&mut w);
+    ngs_durable::checksum_bytes(&w.into_bytes())
+}
+
+// ---------------------------------------------------------------- reptile
+
+fn reptile_params_key(p: &reptile::ReptileParams) -> u64 {
+    key_of(|w| {
+        w.put_usize(p.k);
+        w.put_usize(p.d);
+        w.put_usize(p.tile_overlap);
+        w.put_u32(p.cg);
+        w.put_u32(p.cm);
+        w.put_f64(p.cr);
+        w.put_u8(p.qc);
+        w.put_u8(p.qm);
+        w.put_u8(p.default_n_base);
+        w.put_usize(p.max_n_per_window);
+        w.put_usize(p.max_shift_retries);
+    })
+}
+
+/// `reptile-correct` driver: build (or resume) the Phase-1 index, then
+/// correct. Checkpointed stage: `index` (spectrum + tile table + neighbour
+/// index, the dominant build cost).
+pub fn reptile_correct(args: &Args) -> Result<()> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
+    let opts = DurabilityOpts::from_args(args)?;
+
+    let collector = metrics_collector(args);
+    let reads = load_reads(input, &opts, &collector)?;
+
+    let mut params = reptile::ReptileParams::from_data(&reads, genome_len);
+    if let Some(k) = args.value_of("k")? {
+        params.k =
+            k.parse().map_err(|_| NgsError::InvalidParameter(format!("--k: bad value {k:?}")))?;
+    }
+    params.d = args.get_parsed("d", params.d)?;
+    eprintln!(
+        "parameters: k={} d={} |t|={} Cg={} Cm={} Qc={}",
+        params.k,
+        params.d,
+        params.tile_len(),
+        params.cg,
+        params.cm,
+        params.qc
+    );
+
+    // Mirror Reptile::run_observed: ambiguity preprocessing happens before
+    // the index is built, so a resumed index sees the same read set.
+    let pre = {
+        let _s = collector.span("reptile.preprocess");
+        reptile::ambig::preprocess_ambiguous(&reads, &params)
+    };
+
+    let mut store = opts.store("reptile", input, &collector)?;
+    let params_key = reptile_params_key(&params);
+    let cached = match (&store, opts.resume) {
+        (Some(s), true) => {
+            s.load("index", params_key).and_then(|b| reptile::Reptile::from_snapshot_bytes(&b).ok())
+        }
+        _ => None,
+    };
+    let resumed_index = cached.is_some();
+
+    let t0 = std::time::Instant::now();
+    let rpt = match cached {
+        Some(r) => {
+            eprintln!("resumed Phase-1 index from {}", store.as_ref().unwrap().dir().display());
+            r
+        }
+        None => {
+            let r = reptile::Reptile::build_observed(&pre, params, &collector);
+            if let Some(s) = store.as_mut() {
+                s.save("index", params_key, &r.snapshot_bytes())?;
+            }
+            opts.crash_if_requested("index");
+            r
+        }
+    };
+    let (corrected, stats) = rpt.correct_observed(&pre, &collector);
+    eprintln!(
+        "corrected in {:.2?}: {} bases changed in {} reads \
+         ({} tiles validated, {} corrected, {} unresolved)",
+        t0.elapsed(),
+        stats.bases_changed,
+        stats.reads_changed,
+        stats.tiles_validated,
+        stats.tiles_corrected,
+        stats.tiles_unresolved
+    );
+    write_sequences(output, &corrected)?;
+    eprintln!("wrote {output}");
+
+    // A resumed run never executes the build spans; gate only on what this
+    // process actually did.
+    let mut required = vec!["reptile.correct"];
+    if !resumed_index {
+        required.extend([
+            "reptile.build.spectrum",
+            "reptile.build.tiles",
+            "reptile.build.neighbor_index",
+        ]);
+    }
+    emit_metrics(args, &collector, "reptile", &required)?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------- redeem
+
+/// `redeem-detect` driver. Checkpointed stages: `model` (misread graph,
+/// the expensive construction) and `em` (EM state, every
+/// `--checkpoint-every` iterations).
+pub fn redeem_detect(args: &Args) -> Result<()> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let k: usize = args.get_parsed("k", 13)?;
+    let rate: f64 = args.get_parsed("error-rate", 0.01)?;
+    let dmax: usize = args.get_parsed("dmax", 1)?;
+    let max_iters: usize = args.get_parsed("max-iters", 60)?;
+    let checkpoint_every: usize = args.get_parsed("checkpoint-every", 10)?;
+    let opts = DurabilityOpts::from_args(args)?;
+
+    let collector = metrics_collector(args);
+    let reads = load_reads(input, &opts, &collector)?;
+
+    let mut store = opts.store("redeem", input, &collector)?;
+    let model_key = key_of(|w| {
+        w.put_usize(k);
+        w.put_f64(rate);
+        w.put_usize(dmax);
+    });
+
+    let model = redeem::KmerErrorModel::uniform(k, rate);
+    let cached = match (&store, opts.resume) {
+        (Some(s), true) => {
+            s.load("model", model_key).and_then(|b| redeem::Redeem::from_snapshot_bytes(&b).ok())
+        }
+        _ => None,
+    };
+    let rd = match cached {
+        Some(r) => {
+            eprintln!("resumed misread graph from checkpoint");
+            r
+        }
+        None => {
+            eprintln!("building misread graph (k={k}, dmax={dmax})");
+            let r = redeem::Redeem::new(&reads, k, &model, dmax);
+            if let Some(s) = store.as_mut() {
+                s.save("model", model_key, &r.snapshot_bytes())?;
+            }
+            opts.crash_if_requested("model");
+            r
+        }
+    };
+    eprintln!(
+        "spectrum: {} distinct k-mers, average degree {:.2}",
+        rd.spectrum().len(),
+        rd.average_degree()
+    );
+
+    let cfg = redeem::EmConfig { dmax, max_iters, tol: 1e-7 };
+    let em_key = key_of(|w| {
+        w.put_u64(model_key);
+        w.put_usize(cfg.max_iters);
+        w.put_f64(cfg.tol);
+    });
+    let resume_state = match (&store, opts.resume) {
+        (Some(s), true) => s.load("em", em_key).and_then(|b| redeem::EmState::from_bytes(&b).ok()),
+        _ => None,
+    };
+    let start_iters = resume_state.as_ref().map_or(0, |s| s.iterations);
+    if let Some(s) = &resume_state {
+        eprintln!("resumed EM state at iteration {}", s.iterations);
+    }
+
+    let every = if store.is_some() { checkpoint_every } else { 0 };
+    let mut hook_err: Option<NgsError> = None;
+    let result = rd.run_resumable(
+        &cfg,
+        resume_state,
+        every,
+        &mut |state| {
+            if let Some(s) = store.as_mut() {
+                if let Err(e) = s.save("em", em_key, &state.to_bytes()) {
+                    hook_err = Some(e);
+                    return false;
+                }
+                opts.crash_if_requested("em");
+            }
+            true
+        },
+        &collector,
+    );
+    if let Some(e) = hook_err {
+        return Err(e);
+    }
+    eprintln!("EM finished after {} iterations", result.iterations);
+
+    let fit = redeem::fit_threshold_model_observed(&result.t, 3, &collector);
+    let threshold = fit.as_ref().map(|f| f.threshold).unwrap_or(0.0);
+    if let Some(f) = &fit {
+        eprintln!(
+            "mixture fit: G={} coverage constant={:.1} threshold={:.2} \
+             genome length estimate={:.0}",
+            f.g,
+            f.coverage_constant,
+            f.threshold,
+            redeem::estimate_genome_length(&result.t, f.coverage_constant)
+        );
+    } else {
+        eprintln!("mixture fit degenerate; reporting threshold 0 (nothing flagged)");
+    }
+
+    let mut file = ngs_durable::AtomicFile::create(output)?;
+    {
+        let mut out = std::io::BufWriter::new(&mut file);
+        writeln!(out, "kmer\tY\tT\terroneous")?;
+        for (i, (kmer, _)) in rd.spectrum().iter().enumerate() {
+            writeln!(
+                out,
+                "{}\t{}\t{:.3}\t{}",
+                String::from_utf8_lossy(&ngs_kmer::packed::decode_kmer(kmer, k)),
+                rd.y()[i] as u64,
+                result.t[i],
+                u8::from(result.t[i] < threshold),
+            )?;
+        }
+        out.flush()?;
+    }
+    file.commit()?;
+    eprintln!("wrote {output}");
+
+    if let Some(corrected_path) = args.value_of("correct")? {
+        let cov = fit.as_ref().map(|f| f.coverage_constant).unwrap_or(20.0);
+        let corrected = redeem::correct_reads(&rd, &model, &result.t, &reads, cov * 0.5, threshold);
+        write_sequences(corrected_path, &corrected)?;
+        eprintln!("wrote corrected reads to {corrected_path}");
+    }
+
+    // A run resumed at (or past) convergence executes zero EM iterations,
+    // so the iteration span only gates when iterations actually ran here.
+    let mut required = vec!["redeem.threshold.fit"];
+    if result.iterations > start_iters {
+        required.push("redeem.em.iteration");
+    }
+    emit_metrics(args, &collector, "redeem", &required)?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------- closet
+
+fn closet_edges_key(params: &closet::ClosetParams) -> u64 {
+    // Only Phase-I-affecting parameters: the threshold series and γ shape
+    // Phase II, which always re-runs from the edge list.
+    key_of(|w| {
+        w.put_usize(params.sketch.k);
+        w.put_u64(params.sketch.modulus);
+        w.put_usize(params.sketch.rounds);
+        w.put_usize(params.sketch.cmax);
+        w.put_f64(params.sketch.cmin);
+        match params.validator {
+            closet::Validator::Alignment { min_overlap } => {
+                w.put_u8(0);
+                w.put_usize(min_overlap);
+            }
+            closet::Validator::KmerContainment { k } => {
+                w.put_u8(1);
+                w.put_usize(k);
+            }
+        }
+    })
+}
+
+/// `closet-cluster` driver. Checkpointed stage: `edges` (the validated edge
+/// list closing Phase I — sketching + validation dominate runtime, while
+/// Phase II is cheap and depends on the threshold series).
+pub fn closet_cluster(args: &Args) -> Result<()> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let thresholds = args.get_f64_list("thresholds", &[0.8, 0.7, 0.6])?;
+    let workers: usize =
+        args.get_parsed("workers", std::thread::available_parallelism().map_or(4, |n| n.get()))?;
+    let opts = DurabilityOpts::from_args(args)?;
+
+    // Per-task MapReduce spans need the collector on the job config, so it
+    // lives in an Arc shared between the config and this scope.
+    let collector = std::sync::Arc::new(metrics_collector(args));
+    let reads = load_reads(input, &opts, &collector)?;
+    let avg_len = reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
+    eprintln!("average read length {avg_len} bp");
+
+    let mut params = closet::ClosetParams::standard(avg_len.max(32), thresholds, workers);
+    params.gamma = args.get_parsed("gamma", params.gamma)?;
+    if args.has_flag("align") {
+        params.validator = closet::Validator::Alignment { min_overlap: 50 };
+    }
+    if collector.is_enabled() {
+        params.job.collector = Some(collector.clone());
+    }
+
+    let mut store = opts.store("closet", input, &collector)?;
+    let edges_key = closet_edges_key(&params);
+    let cached = match (&store, opts.resume) {
+        (Some(s), true) => s
+            .load("edges", edges_key)
+            .and_then(|b| closet::EdgePhase::from_bytes(&b, reads.len()).ok()),
+        _ => None,
+    };
+
+    let t0 = std::time::Instant::now();
+    let edges = match cached {
+        Some(e) => {
+            eprintln!("resumed {} validated edges from checkpoint", e.validated.len());
+            e.replay_observed(reads.len(), workers, &collector);
+            e
+        }
+        None => {
+            let e = closet::build_edges_observed(&reads, &params, &collector)
+                .map_err(|e| NgsError::Io(format!("mapreduce job failed: {e}")))?;
+            if let Some(s) = store.as_mut() {
+                s.save("edges", edges_key, &e.to_bytes())?;
+            }
+            opts.crash_if_requested("edges");
+            e
+        }
+    };
+    let result = closet::cluster_edges_observed(&edges, &params, &collector)
+        .map_err(|e| NgsError::Io(format!("mapreduce job failed: {e}")))?;
+    eprintln!(
+        "pipeline in {:.2?}: {} candidate edges, {} confirmed",
+        t0.elapsed(),
+        result.sketch_stats.unique_edges,
+        result.confirmed_edges
+    );
+    if result.job_stats.task_failures > 0 {
+        eprintln!(
+            "  fault tolerance: {} task failures, {} retried tasks, {} corrupt frames",
+            result.job_stats.task_failures,
+            result.job_stats.retried_tasks,
+            result.job_stats.corrupt_frames
+        );
+    }
+    for stats in &result.threshold_stats {
+        eprintln!(
+            "  t={:.2}: {} edges, {} clusters ({} processed)",
+            stats.threshold, stats.edges, stats.resulting_clusters, stats.clusters_processed
+        );
+    }
+
+    let mut file = ngs_durable::AtomicFile::create(output)?;
+    {
+        let mut out = std::io::BufWriter::new(&mut file);
+        writeln!(out, "threshold\tcluster\treads")?;
+        for (t, clusters) in &result.clusters_by_threshold {
+            for (ci, cluster) in clusters.iter().enumerate() {
+                let members: Vec<String> =
+                    cluster.vertices.iter().map(|&v| reads[v as usize].id.clone()).collect();
+                writeln!(out, "{t:.3}\t{ci}\t{}", members.join(","))?;
+            }
+        }
+        out.flush()?;
+    }
+    file.commit()?;
+    eprintln!("wrote {output}");
+
+    // Static gate: a resumed run replays the Phase-I spans from the
+    // checkpoint (EdgePhase::replay_observed), so all three always exist.
+    emit_metrics(
+        args,
+        &collector,
+        "closet",
+        &["closet.sketch", "closet.validate", "closet.cluster"],
+    )?;
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! Kill-at-every-stage crash/resume matrix for the three pipeline CLIs.
+//!
+//! For each pipeline and each checkpointable stage: run once cold (no
+//! checkpointing) to fix the expected output, run again with
+//! `--crash-after STAGE` (the process exits 42 right after that stage's
+//! checkpoint lands, simulating a crash at the worst recoverable moment),
+//! then run with `--resume` and require the resumed output to be
+//! *byte-identical* to the cold run. Also checks the atomicity contract:
+//! a crashed run leaves no output file at all, never a truncated one.
+
+use ngs_core::Read;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CRASH_EXIT_CODE: i32 = 42;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn random_genome(len: usize, seed: &mut u64) -> Vec<u8> {
+    (0..len).map(|_| b"ACGT"[(xorshift(seed) % 4) as usize]).collect()
+}
+
+/// Sample `n` error-bearing reads of `read_len` from `genome`.
+fn sample_reads(genome: &[u8], n: usize, read_len: usize, seed: &mut u64) -> Vec<Read> {
+    (0..n)
+        .map(|i| {
+            let pos = (xorshift(seed) as usize) % (genome.len() - read_len);
+            let mut seq = genome[pos..pos + read_len].to_vec();
+            if xorshift(seed) % 100 < 40 {
+                let at = (xorshift(seed) as usize) % read_len;
+                seq[at] = b"ACGT"[(xorshift(seed) % 4) as usize];
+            }
+            Read::new(format!("r{i}"), seq)
+        })
+        .collect()
+}
+
+fn write_fastq(path: &Path, reads: &[Read]) {
+    let file = std::fs::File::create(path).unwrap();
+    ngs_seqio::write_fastq(file, reads).unwrap();
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ngs_crash_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("spawn pipeline binary")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?}):\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Run the full matrix for one binary: cold run, then for every stage a
+/// crash run + resume run whose output must match the cold run's bytes.
+fn crash_resume_matrix(bin: &str, dir: &Path, input: &Path, extra: &[&str], stages: &[&str]) {
+    let input = input.to_str().unwrap();
+    let cold_out = dir.join("cold.out");
+    let cold_metrics = dir.join("cold_metrics.json");
+    let mut args = vec!["--input", input, "--output", cold_out.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    let cold_json = cold_metrics.to_str().unwrap().to_string();
+    args.extend_from_slice(&["--metrics-json", &cold_json]);
+    assert_ok(&run(bin, &args), "cold run");
+    let cold_bytes = std::fs::read(&cold_out).unwrap();
+    assert!(cold_metrics.exists(), "cold run wrote no metrics report");
+
+    for stage in stages {
+        let ckpt = dir.join(format!("ckpt_{stage}"));
+        let warm_out = dir.join(format!("warm_{stage}.out"));
+        let warm_metrics = dir.join(format!("warm_{stage}_metrics.json"));
+
+        // Crash right after `stage`'s checkpoint lands.
+        let mut args = vec!["--input", input, "--output", warm_out.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&[
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--crash-after",
+            stage,
+        ]);
+        let out = run(bin, &args);
+        assert_eq!(
+            out.status.code(),
+            Some(CRASH_EXIT_CODE),
+            "crash run for stage {stage} exited wrong:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Atomicity: the crashed run must not have left any output file —
+        // complete or truncated.
+        assert!(!warm_out.exists(), "stage {stage}: crashed run left an output file behind");
+        assert!(
+            ckpt.join("MANIFEST").exists(),
+            "stage {stage}: crash run saved no checkpoint manifest"
+        );
+
+        // Resume and require byte-identical output.
+        let mut args = vec!["--input", input, "--output", warm_out.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let warm_json = warm_metrics.to_str().unwrap().to_string();
+        args.extend_from_slice(&[
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--resume",
+            "--metrics-json",
+            &warm_json,
+        ]);
+        assert_ok(&run(bin, &args), &format!("resume run for stage {stage}"));
+        let warm_bytes = std::fs::read(&warm_out).unwrap();
+        assert_eq!(
+            warm_bytes, cold_bytes,
+            "stage {stage}: resumed output differs from the cold run"
+        );
+        // The resumed run must still pass its required-span metrics gate
+        // (emit_metrics errors out — nonzero exit — when spans are missing).
+        assert!(warm_metrics.exists(), "stage {stage}: resumed run wrote no metrics report");
+    }
+}
+
+#[test]
+fn reptile_resumes_byte_identically_after_crash_at_every_stage() {
+    let dir = test_dir("reptile");
+    let mut seed = 0x5eed_0001;
+    let genome = random_genome(1200, &mut seed);
+    let reads = sample_reads(&genome, 400, 50, &mut seed);
+    let input = dir.join("reads.fastq");
+    write_fastq(&input, &reads);
+    crash_resume_matrix(
+        env!("CARGO_BIN_EXE_reptile-correct"),
+        &dir,
+        &input,
+        &["--genome-len", "1200"],
+        &["index"],
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn redeem_resumes_byte_identically_after_crash_at_every_stage() {
+    let dir = test_dir("redeem");
+    let mut seed = 0x5eed_0002;
+    let genome = random_genome(600, &mut seed);
+    let reads = sample_reads(&genome, 250, 40, &mut seed);
+    let input = dir.join("reads.fastq");
+    write_fastq(&input, &reads);
+    crash_resume_matrix(
+        env!("CARGO_BIN_EXE_redeem-detect"),
+        &dir,
+        &input,
+        &["--k", "9", "--max-iters", "12", "--checkpoint-every", "2"],
+        &["model", "em"],
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn closet_resumes_byte_identically_after_crash_at_every_stage() {
+    let dir = test_dir("closet");
+    let mut seed = 0x5eed_0003;
+    // Two divergent gene families so clustering has structure.
+    let gene_a = random_genome(400, &mut seed);
+    let gene_b = random_genome(400, &mut seed);
+    let mut reads = sample_reads(&gene_a, 60, 120, &mut seed);
+    reads.extend(sample_reads(&gene_b, 60, 120, &mut seed));
+    for (i, r) in reads.iter_mut().enumerate() {
+        r.id = format!("r{i}");
+    }
+    let input = dir.join("reads.fastq");
+    write_fastq(&input, &reads);
+    crash_resume_matrix(
+        env!("CARGO_BIN_EXE_closet-cluster"),
+        &dir,
+        &input,
+        &["--workers", "2", "--thresholds", "0.7,0.5"],
+        &["edges"],
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The checkpoint/resume path composed with PR 1's fault injection: a
+/// Phase-I run that survives injected task faults checkpoints an edge list
+/// that resumes into the same clusters as a fault-free cold run.
+#[test]
+fn closet_checkpoint_is_stable_under_injected_task_faults() {
+    use mapreduce_lite::{FaultKind, FaultPlan, Stage};
+
+    let mut seed = 0x5eed_0004;
+    let gene = random_genome(300, &mut seed);
+    let reads = sample_reads(&gene, 80, 100, &mut seed);
+    let collector = ngs_observe::Collector::disabled();
+
+    let params = closet::ClosetParams::standard(100, vec![0.7, 0.5], 2);
+    let cold_phase = closet::build_edges_observed(&reads, &params, &collector).unwrap();
+    let cold = closet::cluster_edges_observed(&cold_phase, &params, &collector).unwrap();
+
+    // Same job under injected faults: first attempts of map task 0 and
+    // reduce task 1 die, retries recover.
+    let mut faulty = params.clone();
+    faulty.job.fault_plan = FaultPlan::none()
+        .with_fault(Stage::Map, 0, 0, FaultKind::Panic)
+        .with_fault(Stage::Reduce, 1, 0, FaultKind::Panic);
+    let phase = closet::build_edges_observed(&reads, &faulty, &collector).unwrap();
+    assert!(phase.sketch_stats.job_stats.task_failures > 0, "faults were not injected");
+    assert_eq!(phase.validated, cold_phase.validated);
+
+    // Round-trip through the checkpoint encoding and cluster from it.
+    let restored = closet::EdgePhase::from_bytes(&phase.to_bytes(), reads.len()).unwrap();
+    let warm = closet::cluster_edges_observed(&restored, &params, &collector).unwrap();
+    assert_eq!(warm.clusters_by_threshold.len(), cold.clusters_by_threshold.len());
+    for ((t1, c1), (t2, c2)) in cold.clusters_by_threshold.iter().zip(&warm.clusters_by_threshold) {
+        assert_eq!(t1, t2);
+        let v1: Vec<&Vec<u32>> = c1.iter().map(|c| &c.vertices).collect();
+        let v2: Vec<&Vec<u32>> = c2.iter().map(|c| &c.vertices).collect();
+        assert_eq!(v1, v2);
+    }
+}

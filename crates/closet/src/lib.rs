@@ -18,6 +18,7 @@
 //!   γ-quasi-cliques (`|E_U| ≥ γ·C(|U|,2)`), allowing overlapping clusters
 //!   — the paper's answer to imperfect similarity functions.
 
+pub mod checkpoint;
 pub mod quasiclique;
 pub mod sketch;
 pub mod validate;
@@ -141,6 +142,22 @@ pub fn select_threshold_by_ari(output: &ClosetOutput, labels: &[usize]) -> Optio
     ari_by_threshold(output, labels).into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
+/// The output of Phase I (Tasks 1–5): validated edges plus the statistics
+/// and timings needed to rebuild a [`ClosetOutput`] without re-running the
+/// sketch. This is the stage boundary `closet-cluster --checkpoint-dir`
+/// snapshots — see [`checkpoint`] for the byte format.
+#[derive(Debug, Clone)]
+pub struct EdgePhase {
+    /// Validated edges `(i, j, F)` with `i < j`, as read indices.
+    pub validated: Vec<(u32, u32, f64)>,
+    /// Phase-I sketching statistics (includes the merged job counters).
+    pub sketch_stats: SketchStats,
+    /// Wall time of the sketching stage (Tasks 1–3).
+    pub sketch_time: Duration,
+    /// Wall time of the validation stage (Tasks 4–5).
+    pub validate_time: Duration,
+}
+
 /// Run the full CLOSET pipeline on `reads`.
 ///
 /// # Errors
@@ -160,15 +177,34 @@ pub fn run(reads: &[Read], params: &ClosetParams) -> Result<ClosetOutput, JobErr
 /// `closet.job.*` prefix via [`mapreduce_lite::record_job_stats`]. For
 /// per-task-attempt spans, additionally set [`JobConfig::collector`] on
 /// `params.job`.
+///
+/// Composes [`build_edges_observed`] and [`cluster_edges_observed`]; call
+/// them separately to checkpoint (or resume from) the Phase-I boundary.
 pub fn run_observed(
     reads: &[Read],
     params: &ClosetParams,
     collector: &ngs_observe::Collector,
 ) -> Result<ClosetOutput, JobError> {
-    assert!(
-        params.thresholds.windows(2).all(|w| w[0] > w[1]),
-        "thresholds must be strictly decreasing"
-    );
+    // Reject a bad threshold series before paying for Phase I.
+    assert_thresholds(&params.thresholds);
+    let edges = build_edges_observed(reads, params, collector)?;
+    cluster_edges_observed(&edges, params, collector)
+}
+
+fn assert_thresholds(thresholds: &[f64]) {
+    assert!(thresholds.windows(2).all(|w| w[0] > w[1]), "thresholds must be strictly decreasing");
+}
+
+/// Phase I (Tasks 1–5): sketch candidate edges and validate them with `F`,
+/// under the `closet.sketch` / `closet.validate` spans.
+///
+/// # Errors
+/// Propagates [`JobError`] as [`run`] does.
+pub fn build_edges_observed(
+    reads: &[Read],
+    params: &ClosetParams,
+    collector: &ngs_observe::Collector,
+) -> Result<EdgePhase, JobError> {
     let workers = params.job.workers.max(1);
     collector.add("closet.reads", reads.len() as u64);
 
@@ -178,7 +214,6 @@ pub fn run_observed(
         let _span = collector.span_with_threads("closet.sketch", workers);
         build_candidate_edges(reads, &params.sketch, &params.job)?
     };
-    let mut job_stats = sketch_stats.job_stats.clone();
     let sketch_time = t0.elapsed();
     collector.add("closet.candidate_edges", candidates.len() as u64);
     collector.add("closet.predicted_edges", sketch_stats.predicted_edges);
@@ -189,9 +224,29 @@ pub fn run_observed(
         let _span = collector.span_with_threads("closet.validate", workers);
         validate_edges(reads, &candidates, &params.validator, params.sketch.cmin)
     };
-    let confirmed_edges = validated.len();
     let validate_time = t1.elapsed();
-    collector.add("closet.confirmed_edges", confirmed_edges as u64);
+    collector.add("closet.confirmed_edges", validated.len() as u64);
+
+    Ok(EdgePhase { validated, sketch_stats, sketch_time, validate_time })
+}
+
+/// Phase II (Tasks 6–8): incremental quasi-clique enumeration over a
+/// finished [`EdgePhase`] — freshly built or restored from a checkpoint.
+/// The returned [`ClosetOutput`] is identical to what [`run_observed`]
+/// would have produced in one shot.
+///
+/// # Errors
+/// Propagates [`JobError`] as [`run`] does.
+pub fn cluster_edges_observed(
+    edges: &EdgePhase,
+    params: &ClosetParams,
+    collector: &ngs_observe::Collector,
+) -> Result<ClosetOutput, JobError> {
+    assert_thresholds(&params.thresholds);
+    let workers = params.job.workers.max(1);
+    let validated = &edges.validated;
+    let confirmed_edges = validated.len();
+    let mut job_stats = edges.sketch_stats.job_stats.clone();
 
     // Phase II: incremental quasi-clique enumeration per threshold.
     let mut clusters: Vec<Cluster> = Vec::new();
@@ -251,10 +306,10 @@ pub fn run_observed(
 
     Ok(ClosetOutput {
         clusters_by_threshold,
-        sketch_stats,
+        sketch_stats: edges.sketch_stats.clone(),
         confirmed_edges,
-        sketch_time,
-        validate_time,
+        sketch_time: edges.sketch_time,
+        validate_time: edges.validate_time,
         threshold_stats,
         job_stats,
     })

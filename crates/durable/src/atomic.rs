@@ -1,0 +1,270 @@
+//! Atomic file writes: tmp + fsync + rename, with stale-tmp garbage
+//! collection.
+//!
+//! A bare `File::create(path)` truncates the destination immediately; a
+//! crash mid-write leaves a short, plausible-looking file that downstream
+//! tools happily parse. [`AtomicFile`] closes that window: bytes go to
+//! `<path>.tmp.<pid>.<seq>` in the same directory, are fsynced, and only
+//! then renamed over the destination (rename within one filesystem is
+//! atomic on POSIX). The destination is therefore always either the old
+//! complete file or the new complete file — never a torn mix.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number so concurrent [`AtomicFile`]s aimed at the
+/// same destination never share a tmp path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A file that becomes visible at its destination only on [`AtomicFile::commit`].
+///
+/// Dropping without committing removes the tmp file (the graceful error
+/// path); a process crash skips `Drop`, leaving a `*.tmp.<pid>.<seq>` file
+/// for [`clean_stale_tmp`] to collect on the next run.
+#[derive(Debug)]
+pub struct AtomicFile {
+    dest: PathBuf,
+    tmp: PathBuf,
+    file: Option<File>,
+    committed: bool,
+}
+
+impl AtomicFile {
+    /// Open a tmp file next to `dest` (creating parent directories).
+    pub fn create<P: AsRef<Path>>(dest: P) -> io::Result<AtomicFile> {
+        let dest = dest.as_ref().to_path_buf();
+        if let Some(parent) = dest.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let name = dest
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = dest.with_file_name(format!("{name}.tmp.{}.{seq}", std::process::id()));
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile { dest, tmp, file: Some(file), committed: false })
+    }
+
+    /// The destination path this file will appear at on commit.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// The tmp path bytes are currently going to.
+    pub fn tmp_path(&self) -> &Path {
+        &self.tmp
+    }
+
+    /// Flush, fsync, and rename the tmp file over the destination. The
+    /// containing directory is fsynced too (best-effort on platforms where
+    /// directories cannot be opened), so the rename itself survives a
+    /// crash.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("commit called once");
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.committed = true;
+        if let Some(parent) = self.dest.parent() {
+            let parent = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Test instrumentation: behave like a process crash between write and
+    /// rename — the handle is dropped *without* removing the tmp file, and
+    /// the destination is left untouched. Real code never calls this; the
+    /// crash-semantics tests use it to prove [`clean_stale_tmp`] and the
+    /// absent-or-complete guarantee.
+    pub fn simulate_crash(mut self) -> PathBuf {
+        self.file.take();
+        self.committed = true; // suppress Drop's cleanup
+        self.tmp.clone()
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.as_mut().expect("not committed").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.as_mut().expect("not committed").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.file.take();
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Write `bytes` to `path` atomically (tmp + fsync + rename).
+pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
+    let mut f = AtomicFile::create(path)?;
+    f.write_all(bytes)?;
+    f.commit()
+}
+
+/// Whether the process with this pid is still alive (Linux: `/proc/<pid>`
+/// exists; elsewhere, conservatively assume dead so stale tmps still get
+/// collected).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        false
+    }
+}
+
+/// Parse the owning pid out of a `*.tmp.<pid>.<seq>` (or legacy
+/// `*.tmp.<pid>`) file name.
+fn tmp_owner_pid(name: &str) -> Option<u32> {
+    let suffix = name.rsplit_once(".tmp.")?.1;
+    let pid_str = suffix.split('.').next()?;
+    pid_str.parse().ok()
+}
+
+/// Remove abandoned `*.tmp.<pid>.<seq>` files in `dir` whose owning process
+/// is gone (our own live tmps are skipped). Returns the number removed.
+/// Called by [`crate::CheckpointStore::open`], so every checkpointed run
+/// garbage-collects the debris of crashed predecessors.
+pub fn clean_stale_tmp<P: AsRef<Path>>(dir: P) -> io::Result<usize> {
+    let mut removed = 0;
+    let entries = match std::fs::read_dir(dir.as_ref()) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = tmp_owner_pid(name) else { continue };
+        if pid == std::process::id() || pid_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ngs_durable_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn commit_makes_bytes_visible() {
+        let dir = tmp_dir("commit");
+        let path = dir.join("out.txt");
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        assert!(!path.exists(), "destination must not exist before commit");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn commit_replaces_previous_content_atomically() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.txt");
+        std::fs::write(&path, b"old complete content").unwrap();
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"new").unwrap();
+        // Until commit, readers still see the old complete file.
+        assert_eq!(std::fs::read(&path).unwrap(), b"old complete content");
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn drop_without_commit_cleans_tmp_and_leaves_dest_untouched() {
+        let dir = tmp_dir("drop");
+        let path = dir.join("out.txt");
+        std::fs::write(&path, b"original").unwrap();
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"partial").unwrap();
+        } // dropped uncommitted: the graceful error path
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1, "tmp must be removed");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Satellite: a failure between write and rename (a crash, simulated by
+    /// dropping the handle without cleanup) leaves the destination
+    /// untouched, and the orphaned tmp is collected by the next run's GC.
+    #[test]
+    fn crash_between_write_and_rename_is_invisible_and_gcd() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("out.txt");
+        std::fs::write(&path, b"original").unwrap();
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"half-written output that must never be seen").unwrap();
+        let tmp = f.simulate_crash();
+        // Destination untouched; the debris is on disk.
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        assert!(tmp.exists());
+        // Our own pid is alive, so GC must NOT reap a tmp we might still be
+        // writing…
+        assert_eq!(clean_stale_tmp(&dir).unwrap(), 0);
+        assert!(tmp.exists());
+        // …but once the owning process is gone (simulated by renaming the
+        // tmp to a dead pid), the next run's GC removes it.
+        let dead = dir.join("out.txt.tmp.4294967294.0");
+        std::fs::rename(&tmp, &dead).unwrap();
+        assert_eq!(clean_stale_tmp(&dir).unwrap(), 1);
+        assert!(!dead.exists());
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_ignores_unrelated_files() {
+        let dir = tmp_dir("gc_unrelated");
+        std::fs::write(dir.join("data.bin"), b"x").unwrap();
+        std::fs::write(dir.join("weird.tmp.notapid"), b"x").unwrap();
+        std::fs::write(dir.join("f.tmp.4294967294.3"), b"x").unwrap();
+        assert_eq!(clean_stale_tmp(&dir).unwrap(), 1);
+        assert!(dir.join("data.bin").exists());
+        assert!(dir.join("weird.tmp.notapid").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn gc_on_missing_dir_is_zero() {
+        assert_eq!(clean_stale_tmp(std::env::temp_dir().join("no_such_dir_xyz")).unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_use_distinct_tmps() {
+        let dir = tmp_dir("seq");
+        let path = dir.join("out.txt");
+        let a = AtomicFile::create(&path).unwrap();
+        let b = AtomicFile::create(&path).unwrap();
+        assert_ne!(a.tmp_path(), b.tmp_path());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,310 @@
+//! A small length-checked byte codec for stage snapshots.
+//!
+//! Checkpoint files need a serialization format that is (a) deterministic —
+//! the same in-memory state always produces the same bytes, so checksums and
+//! byte-identical-resume tests are meaningful — and (b) honest about
+//! truncation: a short read is an error, never silently zero. Everything is
+//! little-endian; `f64`s round-trip through [`f64::to_bits`] so resumed
+//! numeric state (EM thresholds, edge densities) is bit-identical to the
+//! uninterrupted run.
+
+use ngs_core::hash::FxHasher;
+use ngs_core::NgsError;
+use std::hash::Hasher;
+
+/// FxHash checksum of a byte slice (the manifest and every checkpoint frame
+/// carry one).
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    // Length first so `[0,0]` and `[0,0,0]` (same padded tail word) differ.
+    h.write_u64(bytes.len() as u64);
+    h.write(bytes);
+    h.finish()
+}
+
+/// Append-only encoder; the inverse of [`ByteReader`].
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> ByteWriter {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
+    /// Length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Length-prefixed `f64` slice (bit-exact via `to_bits`).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Sanity cap on decoded slice lengths: refuse anything implying more bytes
+/// than remain in the buffer (protects against reading a corrupted length
+/// prefix and attempting a multi-terabyte allocation).
+fn check_len(
+    claimed: usize,
+    elem_size: usize,
+    remaining: usize,
+    what: &str,
+) -> Result<(), NgsError> {
+    if claimed.checked_mul(elem_size).is_none_or(|total| total > remaining) {
+        return Err(NgsError::MalformedRecord(format!(
+            "checkpoint codec: {what} length {claimed} exceeds remaining {remaining} bytes"
+        )));
+    }
+    Ok(())
+}
+
+/// Cursor-based decoder over a checkpoint frame; every read is bounds-checked
+/// and a short buffer yields `NgsError::MalformedRecord`.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the entire buffer has been consumed (trailing garbage is
+    /// as suspicious as truncation).
+    pub fn finish(self) -> Result<(), NgsError> {
+        if self.pos != self.buf.len() {
+            return Err(NgsError::MalformedRecord(format!(
+                "checkpoint codec: {} trailing bytes after decode",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NgsError> {
+        if self.remaining() < n {
+            return Err(NgsError::MalformedRecord(format!(
+                "checkpoint codec: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, NgsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, NgsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, NgsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, NgsError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| {
+            NgsError::MalformedRecord(format!("checkpoint codec: length {v} overflows usize"))
+        })
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, NgsError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], NgsError> {
+        let n = self.get_usize()?;
+        check_len(n, 1, self.remaining(), "byte string")?;
+        self.take(n)
+    }
+
+    pub fn get_str(&mut self) -> Result<&'a str, NgsError> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|e| NgsError::MalformedRecord(format!("checkpoint codec: bad UTF-8: {e}")))
+    }
+
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, NgsError> {
+        let n = self.get_usize()?;
+        check_len(n, 4, self.remaining(), "u32 slice")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_u32()?);
+        }
+        Ok(v)
+    }
+
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, NgsError> {
+        let n = self.get_usize()?;
+        check_len(n, 8, self.remaining(), "u64 slice")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_u64()?);
+        }
+        Ok(v)
+    }
+
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, NgsError> {
+        let n = self.get_usize()?;
+        check_len(n, 8, self.remaining(), "f64 slice")?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.get_f64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bytes(b"raw");
+        w.put_str("k-spectrum");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[u64::MAX]);
+        w.put_f64_slice(&[1.5, -2.25, f64::INFINITY]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_bytes().unwrap(), b"raw");
+        assert_eq!(r.get_str().unwrap(), "k-spectrum");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![u64::MAX]);
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.5, -2.25, f64::INFINITY]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_read_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(r.get_u64().is_err());
+    }
+
+    #[test]
+    fn corrupted_length_prefix_does_not_allocate() {
+        // A length prefix claiming u64::MAX elements must error, not OOM.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u64_vec().is_err());
+        let mut r2 = ByteReader::new(&bytes);
+        assert!(r2.get_bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_finish() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn checksum_is_length_aware_and_deterministic() {
+        assert_eq!(checksum_bytes(b"abc"), checksum_bytes(b"abc"));
+        assert_ne!(checksum_bytes(b"abc"), checksum_bytes(b"abd"));
+        // Same padded tail word, different length.
+        assert_ne!(checksum_bytes(&[0, 0]), checksum_bytes(&[0, 0, 0]));
+    }
+}

@@ -1,0 +1,36 @@
+//! `ngs-durable` — crash-safe pipeline substrate.
+//!
+//! The dissertation's pipelines (Reptile ch. 2, REDEEM ch. 3, CLOSET ch. 4)
+//! are long multi-stage batch jobs: exactly the shape that dies hours in and
+//! restarts from zero. Production correctors stage work through durable
+//! external state (RECKONER's k-mer database, BayesHammer's per-iteration
+//! restartability) precisely so partial work survives. This crate provides
+//! the three pieces the rest of the workspace builds whole-pipeline
+//! durability from:
+//!
+//! * [`AtomicFile`] — write-to-tmp, fsync, rename. An output file is either
+//!   absent or complete; a crash mid-write leaves only a `*.tmp.<pid>.<seq>`
+//!   file that the next run's [`clean_stale_tmp`] garbage-collects.
+//! * [`CheckpointStore`] — a versioned, checksummed manifest of stage
+//!   snapshots keyed by stage name and a parameter fingerprint, bound to an
+//!   input-file fingerprint (size, mtime, content hash). The manifest is
+//!   written *last* and atomically, so checkpoint save is itself crash-safe:
+//!   a crash between stage-file write and manifest write leaves the previous
+//!   manifest in force.
+//! * [`codec`] — a small length-checked byte codec ([`ByteWriter`] /
+//!   [`ByteReader`]) the pipeline crates use to serialize their stage
+//!   snapshots (`f64`s round-trip via `to_bits`, so resumed numeric state is
+//!   bit-identical).
+//!
+//! Observability: checkpoint saves and loads run under the
+//! `durable.checkpoint.save` / `durable.checkpoint.load` spans with
+//! `durable.checkpoint.{hits,misses}` counters, so `BENCH_*.json` records
+//! resume overhead (see DESIGN.md §Durability & resume).
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod codec;
+
+pub use atomic::{clean_stale_tmp, write_atomic, AtomicFile};
+pub use checkpoint::{CheckpointStore, Fingerprint};
+pub use codec::{checksum_bytes, ByteReader, ByteWriter};

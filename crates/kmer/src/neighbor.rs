@@ -17,6 +17,7 @@
 
 use crate::packed::{hamming_distance, Kmer};
 use crate::spectrum::KSpectrum;
+use ngs_core::NgsError;
 use rayon::prelude::*;
 use std::borrow::Cow;
 
@@ -100,6 +101,73 @@ impl NeighborTables {
     /// Number of replicas held (0 for brute force).
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Length of the spectrum the tables were built over.
+    pub fn spectrum_len(&self) -> usize {
+        self.spectrum_len
+    }
+
+    /// The k of the spectrum the tables were built over.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The raw replica data — `(keep_mask, sorted spectrum indices)` per
+    /// replica — for checkpoint serialization. Inverse of
+    /// [`NeighborTables::from_parts`].
+    pub fn replica_parts(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
+        self.replicas.iter().map(|r| (r.keep_mask, r.order.as_slice()))
+    }
+
+    /// Reassemble tables from checkpointed parts, validating the cheap
+    /// structural invariants (every order is a permutation-sized list of
+    /// in-range spectrum indices) so a corrupt checkpoint cannot produce an
+    /// index that answers garbage or panics on query.
+    pub fn from_parts(
+        d: usize,
+        strategy: NeighborStrategy,
+        spectrum_len: usize,
+        k: usize,
+        replicas: Vec<(u64, Vec<u32>)>,
+    ) -> Result<NeighborTables, NgsError> {
+        if d == 0 || d > k {
+            return Err(NgsError::InvalidParameter(format!(
+                "NeighborTables::from_parts: d={d} out of 1..={k}"
+            )));
+        }
+        match strategy {
+            NeighborStrategy::BruteForce if !replicas.is_empty() => {
+                return Err(NgsError::InvalidParameter(
+                    "NeighborTables::from_parts: brute force carries no replicas".into(),
+                ));
+            }
+            NeighborStrategy::MaskedReplicas { chunks } if chunks <= d || chunks > k => {
+                return Err(NgsError::InvalidParameter(format!(
+                    "NeighborTables::from_parts: chunks={chunks} out of ({d}, {k}]"
+                )));
+            }
+            _ => {}
+        }
+        let replicas = replicas
+            .into_iter()
+            .map(|(keep_mask, order)| {
+                if order.len() != spectrum_len {
+                    return Err(NgsError::InvalidParameter(format!(
+                        "NeighborTables::from_parts: replica order length {} != spectrum length \
+                         {spectrum_len}",
+                        order.len()
+                    )));
+                }
+                if order.iter().any(|&i| i as usize >= spectrum_len) {
+                    return Err(NgsError::InvalidParameter(
+                        "NeighborTables::from_parts: replica index out of range".into(),
+                    ));
+                }
+                Ok(Replica { keep_mask, order })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NeighborTables { d, strategy, spectrum_len, k, replicas })
     }
 
     /// A query view pairing these tables with the spectrum they were built

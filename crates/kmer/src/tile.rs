@@ -102,6 +102,28 @@ impl TileTable {
         self.map.iter().map(|(&t, &c)| (t, c))
     }
 
+    /// Reassemble a table from `(tile, counts)` entries — the inverse of
+    /// [`TileTable::iter`], used for checkpoint restore. Duplicate tiles sum
+    /// their counts.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ 16` and `l < k`, like [`TileTable::build`].
+    pub fn from_parts(
+        k: usize,
+        l: usize,
+        entries: impl IntoIterator<Item = (Tile, TileCounts)>,
+    ) -> TileTable {
+        assert!((1..=16).contains(&k), "tile table requires k in 1..=16");
+        assert!(l < k, "overlap l must be < k");
+        let mut map: FxHashMap<Tile, TileCounts> = FxHashMap::default();
+        for (t, c) in entries {
+            let e = map.entry(t).or_default();
+            e.oc += c.oc;
+            e.og += c.og;
+        }
+        TileTable { k, l, map }
+    }
+
     /// Build the table from `reads` **and their reverse complements**, using
     /// `q_c` as the high-quality cutoff: an instance contributes to `O_g`
     /// only if every covered base has quality `> q_c`. Reads without quality

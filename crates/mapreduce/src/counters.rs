@@ -38,6 +38,9 @@ pub struct JobStats {
     /// DFS blocks restored to full replication after node failures
     /// (folded in by drivers that run a [`crate::BlockStore`]).
     pub re_replicated_blocks: u64,
+    /// Map tasks reloaded from a checkpoint instead of recomputed
+    /// (non-zero only with [`crate::JobConfig::map_checkpoint_dir`] set).
+    pub map_tasks_resumed: u64,
 }
 
 impl JobStats {
@@ -62,6 +65,7 @@ impl JobStats {
         self.retried_tasks += other.retried_tasks;
         self.corrupt_frames += other.corrupt_frames;
         self.re_replicated_blocks += other.re_replicated_blocks;
+        self.map_tasks_resumed += other.map_tasks_resumed;
     }
 }
 
@@ -76,7 +80,7 @@ pub fn record_job_stats(collector: &ngs_observe::Collector, prefix: &str, stats:
     collector.record_span_ns(&format!("{prefix}.map"), span_ns(stats.map_time), 1);
     collector.record_span_ns(&format!("{prefix}.shuffle"), span_ns(stats.shuffle_time), 1);
     collector.record_span_ns(&format!("{prefix}.reduce"), span_ns(stats.reduce_time), 1);
-    let counters: [(&str, u64); 11] = [
+    let counters: [(&str, u64); 12] = [
         ("map_input_records", stats.map_input_records),
         ("map_output_records", stats.map_output_records),
         ("combine_output_records", stats.combine_output_records),
@@ -88,6 +92,7 @@ pub fn record_job_stats(collector: &ngs_observe::Collector, prefix: &str, stats:
         ("retried_tasks", stats.retried_tasks),
         ("corrupt_frames", stats.corrupt_frames),
         ("re_replicated_blocks", stats.re_replicated_blocks),
+        ("map_tasks_resumed", stats.map_tasks_resumed),
     ];
     for (field, value) in counters {
         collector.add(&format!("{prefix}.{field}"), value);
@@ -109,6 +114,7 @@ mod tests {
             retried_tasks: 2,
             corrupt_frames: 1,
             re_replicated_blocks: 5,
+            map_tasks_resumed: 4,
             ..Default::default()
         };
         a.merge(&b);
@@ -118,6 +124,7 @@ mod tests {
         assert_eq!(a.retried_tasks, 2);
         assert_eq!(a.corrupt_frames, 1);
         assert_eq!(a.re_replicated_blocks, 5);
+        assert_eq!(a.map_tasks_resumed, 4);
         assert_eq!(a.map_time, Duration::from_millis(5));
         assert_eq!(a.total_time(), Duration::from_millis(5));
     }
@@ -129,6 +136,7 @@ mod tests {
             task_failures: 3,
             retried_tasks: 2,
             corrupt_frames: 1,
+            map_tasks_resumed: 2,
             map_time: Duration::from_millis(4),
             ..Default::default()
         };
@@ -139,6 +147,7 @@ mod tests {
         assert_eq!(report.counters["job.task_failures"], 3);
         assert_eq!(report.counters["job.retried_tasks"], 2);
         assert_eq!(report.counters["job.corrupt_frames"], 1);
+        assert_eq!(report.counters["job.map_tasks_resumed"], 2);
         assert_eq!(report.spans["job.map"].total_ns, 4_000_000);
     }
 }

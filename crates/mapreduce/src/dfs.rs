@@ -96,16 +96,23 @@ impl BlockStore {
     /// Store `data` under `name`, splitting into blocks and replicating
     /// across live nodes. Overwrites any existing file of the same name.
     ///
-    /// # Panics
-    /// Panics when fewer live nodes remain than the replication factor.
-    pub fn write(&mut self, name: &str, data: &[u8]) {
+    /// Returns the replication actually achieved per block: the configured
+    /// factor when enough live nodes remain, otherwise the live-node count
+    /// (0 when every node is dead — the metadata is recorded but the
+    /// payload is lost). A degraded write is never silent: the deficit is
+    /// visible through [`BlockStore::under_replicated`] and repairable by
+    /// [`BlockStore::re_replicate`] once spare live nodes exist, mirroring
+    /// how HDFS accepts writes below the target factor and lets the
+    /// NameNode heal them later.
+    #[must_use = "fewer live nodes than the replication factor degrade the write; check the achieved replication"]
+    pub fn write(&mut self, name: &str, data: &[u8]) -> usize {
         self.delete(name);
         let live = self.live_nodes();
-        assert!(live.len() >= self.cfg.replication, "not enough live data nodes for replication");
+        let achieved = self.cfg.replication.min(live.len());
         let mut metas = Vec::new();
         for (index, chunk) in data.chunks(self.cfg.block_size.max(1)).enumerate() {
-            let mut replicas = Vec::with_capacity(self.cfg.replication);
-            for r in 0..self.cfg.replication {
+            let mut replicas = Vec::with_capacity(achieved);
+            for r in 0..achieved {
                 let node = live[(self.next_node + r) % live.len()];
                 self.datanodes[node].insert((name.to_string(), index), chunk.to_vec());
                 replicas.push(node);
@@ -115,6 +122,7 @@ impl BlockStore {
         }
         // Zero-length files still need a metadata entry.
         self.namenode.insert(name.to_string(), metas);
+        achieved
     }
 
     /// Read a file back, concatenating its blocks. Each block comes from
@@ -204,6 +212,7 @@ impl BlockStore {
                     continue; // no intact copy survives: data lost
                 };
                 let payload = self.datanodes[source][&key].clone();
+                let before = meta.replicas.len();
                 for &node in &live {
                     if meta.replicas.len() >= replication {
                         break;
@@ -214,8 +223,12 @@ impl BlockStore {
                     self.datanodes[node].insert(key.clone(), payload.clone());
                     meta.replicas.push(node);
                 }
-                repaired += 1;
-                self.re_replicated_total += 1;
+                // Only count blocks that actually gained a replica; with no
+                // spare live node there is nothing to repair onto.
+                if meta.replicas.len() > before {
+                    repaired += 1;
+                    self.re_replicated_total += 1;
+                }
             }
         }
         repaired
@@ -296,7 +309,7 @@ mod tests {
     fn write_read_round_trip() {
         let mut s = tiny_store(2);
         let data: Vec<u8> = (0..37).collect();
-        s.write("f", &data);
+        assert_eq!(s.write("f", &data), 2);
         assert_eq!(s.read("f"), Some(data));
         assert_eq!(s.blocks_of("f").unwrap().len(), 5); // ceil(37/8)
     }
@@ -304,7 +317,7 @@ mod tests {
     #[test]
     fn replication_doubles_storage() {
         let mut s = tiny_store(2);
-        s.write("f", &[0u8; 32]);
+        assert_eq!(s.write("f", &[0u8; 32]), 2);
         assert_eq!(s.stored_bytes(), 64);
     }
 
@@ -312,7 +325,7 @@ mod tests {
     fn survives_single_node_failure() {
         let mut s = tiny_store(2);
         let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
-        s.write("f", &data);
+        assert_eq!(s.write("f", &data), 2);
         s.fail_node(0);
         assert_eq!(s.read("f"), Some(data));
     }
@@ -320,7 +333,7 @@ mod tests {
     #[test]
     fn unreplicated_store_loses_data_on_failure() {
         let mut s = tiny_store(1);
-        s.write("f", &[1u8; 32]);
+        assert_eq!(s.write("f", &[1u8; 32]), 1);
         // Some block lives on node 0 with replication 1; failing enough
         // nodes must eventually lose the file.
         for node in 0..4 {
@@ -332,7 +345,7 @@ mod tests {
     #[test]
     fn delete_frees_space() {
         let mut s = tiny_store(2);
-        s.write("f", &[0u8; 32]);
+        assert_eq!(s.write("f", &[0u8; 32]), 2);
         s.delete("f");
         assert_eq!(s.stored_bytes(), 0);
         assert_eq!(s.read("f"), None);
@@ -342,8 +355,8 @@ mod tests {
     #[test]
     fn overwrite_replaces_content() {
         let mut s = tiny_store(2);
-        s.write("f", b"first content here");
-        s.write("f", b"second");
+        assert_eq!(s.write("f", b"first content here"), 2);
+        assert_eq!(s.write("f", b"second"), 2);
         assert_eq!(s.read("f"), Some(b"second".to_vec()));
         assert_eq!(s.file_count(), 1);
     }
@@ -351,7 +364,7 @@ mod tests {
     #[test]
     fn empty_file_supported() {
         let mut s = tiny_store(2);
-        s.write("empty", b"");
+        assert_eq!(s.write("empty", b""), 2);
         assert_eq!(s.read("empty"), Some(Vec::new()));
         assert_eq!(s.file_count(), 1);
     }
@@ -366,7 +379,7 @@ mod tests {
     fn re_replication_survives_second_failure() {
         let mut s = tiny_store(2);
         let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
-        s.write("f", &data);
+        assert_eq!(s.write("f", &data), 2);
         // First failure: still readable, but under-replicated.
         s.fail_node(0);
         assert!(s.under_replicated() > 0);
@@ -384,7 +397,7 @@ mod tests {
         // Control for the test above: replicas land on consecutive nodes,
         // so failing both copies of some block loses the file.
         let mut s = tiny_store(2);
-        s.write("f", &[7u8; 32]);
+        assert_eq!(s.write("f", &[7u8; 32]), 2);
         s.fail_node(0);
         s.fail_node(1);
         let lost = s.read("f").is_none();
@@ -396,7 +409,7 @@ mod tests {
     fn read_skips_corrupt_replica() {
         let mut s = tiny_store(2);
         let data: Vec<u8> = (100..164).collect();
-        s.write("f", &data);
+        assert_eq!(s.write("f", &data), 2);
         let node = s.blocks_of("f").unwrap()[0].replicas[0];
         assert!(s.corrupt_replica("f", 0, node));
         // First replica is corrupt; the checksum check falls through to
@@ -407,7 +420,7 @@ mod tests {
     #[test]
     fn scrub_drops_corrupt_copies_and_re_replication_heals() {
         let mut s = tiny_store(2);
-        s.write("f", &[3u8; 40]);
+        assert_eq!(s.write("f", &[3u8; 40]), 2);
         let node = s.blocks_of("f").unwrap()[1].replicas[1];
         assert!(s.corrupt_replica("f", 1, node));
         assert_eq!(s.scrub(), 1);
@@ -418,9 +431,32 @@ mod tests {
     }
 
     #[test]
+    fn degraded_write_returns_achieved_replication() {
+        let mut s = tiny_store(3);
+        s.fail_node(0);
+        s.fail_node(1);
+        // Two live nodes remain for a replication factor of 3: the write
+        // degrades instead of panicking and reports what it achieved.
+        assert_eq!(s.write("f", &[5u8; 16]), 2);
+        assert_eq!(s.read("f"), Some(vec![5u8; 16]));
+        // The deficit is visible, not hidden: both blocks under-replicated.
+        assert_eq!(s.under_replicated(), 2);
+        // With no spare live node, repair places nothing and says so.
+        assert_eq!(s.re_replicate(), 0);
+        assert_eq!(s.re_replicated_blocks(), 0);
+        assert_eq!(s.under_replicated(), 2);
+        // All nodes dead: zero replicas achieved; the read reports the
+        // loss instead of returning garbage.
+        s.fail_node(2);
+        s.fail_node(3);
+        assert_eq!(s.write("g", &[1u8; 8]), 0);
+        assert_eq!(s.read("g"), None);
+    }
+
+    #[test]
     fn re_replication_avoids_dead_nodes() {
         let mut s = tiny_store(2);
-        s.write("f", &[9u8; 16]);
+        assert_eq!(s.write("f", &[9u8; 16]), 2);
         s.fail_node(0);
         s.re_replicate();
         for meta in s.blocks_of("f").unwrap() {

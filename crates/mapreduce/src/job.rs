@@ -74,6 +74,15 @@ pub struct JobConfig {
     /// directory (checksummed length-prefixed frames), exercising the
     /// disk path and its corruption detection.
     pub spill_dir: Option<std::path::PathBuf>,
+    /// When set, every map task persists its (post-combine) partition
+    /// output here as a self-validating checkpoint (`map_t<task>.ckpt`,
+    /// written atomically), and later runs of the *same* job reload it
+    /// instead of re-mapping — the Hadoop-style "completed map output
+    /// survives a driver restart" contract. Reloaded tasks are counted in
+    /// [`JobStats::map_tasks_resumed`]. A stale, truncated, or corrupt
+    /// checkpoint is recomputed, never trusted. One directory per job:
+    /// different jobs must not share a directory.
+    pub map_checkpoint_dir: Option<std::path::PathBuf>,
     /// Attempts per task before the job fails (Hadoop default: 4).
     pub max_attempts: u32,
     /// Base delay before the first retry; doubles per attempt.
@@ -95,6 +104,7 @@ impl JobConfig {
             workers: workers.max(1),
             reduce_partitions: workers.max(1) * 4,
             spill_dir: None,
+            map_checkpoint_dir: None,
             max_attempts: 4,
             retry_backoff: Duration::from_millis(2),
             fault_plan: FaultPlan::none(),
@@ -205,6 +215,87 @@ struct MapTaskOut<K, V> {
     emitted: u64,
     combined: u64,
     spilled_bytes: u64,
+    /// Whether this output was reloaded from a map checkpoint instead of
+    /// being recomputed.
+    resumed: bool,
+}
+
+/// Map-checkpoint format magic + version; bump on any layout change so
+/// older checkpoints recompute cleanly instead of decoding as garbage.
+const MAP_CKPT_MAGIC: &[u8; 8] = b"MRCKPT01";
+
+fn map_checkpoint_path(dir: &std::path::Path, task: usize) -> std::path::PathBuf {
+    dir.join(format!("map_t{task}.ckpt"))
+}
+
+/// Encode a finished map task's output as a self-validating checkpoint:
+/// magic, shape header (chunk length + partition count, so a checkpoint
+/// taken against different input or config misses), the counters, each
+/// partition as checksummed frames, and a trailing whole-file checksum.
+fn encode_map_checkpoint<K: Codec, V: Codec>(out: &MapTaskOut<K, V>, chunk_len: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAP_CKPT_MAGIC);
+    bytes.extend_from_slice(&(chunk_len as u64).to_le_bytes());
+    bytes.extend_from_slice(&(out.partitions.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&out.emitted.to_le_bytes());
+    bytes.extend_from_slice(&out.combined.to_le_bytes());
+    for part in &out.partitions {
+        let frames = encode_frames(part);
+        bytes.extend_from_slice(&(frames.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&frames);
+    }
+    let ck = crate::codec::checksum(&bytes);
+    bytes.extend_from_slice(&ck.to_le_bytes());
+    bytes
+}
+
+/// Decode a map checkpoint, verifying the whole-file checksum, the magic,
+/// and that the shape matches the current job (`chunk_len`, `parts`).
+/// Returns `None` on any mismatch — the caller recomputes.
+fn decode_map_checkpoint<K, V>(
+    bytes: &[u8],
+    chunk_len: usize,
+    parts: usize,
+) -> Option<MapTaskOut<K, V>>
+where
+    K: Ord + Hash + Clone + Codec,
+    V: Codec,
+{
+    fn take<'a>(body: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+        let slice = body.get(*pos..pos.checked_add(n)?)?;
+        *pos += n;
+        Some(slice)
+    }
+    fn take_u64(body: &[u8], pos: &mut usize) -> Option<u64> {
+        Some(u64::from_le_bytes(take(body, pos, 8)?.try_into().ok()?))
+    }
+
+    if bytes.len() < 16 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    if crate::codec::checksum(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut pos = 0usize;
+    if take(body, &mut pos, 8)? != MAP_CKPT_MAGIC {
+        return None;
+    }
+    if take_u64(body, &mut pos)? != chunk_len as u64 || take_u64(body, &mut pos)? != parts as u64 {
+        return None;
+    }
+    let emitted = take_u64(body, &mut pos)?;
+    let combined = take_u64(body, &mut pos)?;
+    let mut partitions = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        let frame_len = take_u64(body, &mut pos)?;
+        let frames = take(body, &mut pos, usize::try_from(frame_len).ok()?)?;
+        partitions.push(decode_frames::<(K, V)>(frames).ok()?);
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some(MapTaskOut { partitions, emitted, combined, spilled_bytes: 0, resumed: true })
 }
 
 /// One map task attempt: map the chunk, combine, and (in spill mode)
@@ -226,6 +317,18 @@ where
     V: Codec,
     M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
 {
+    // Resume: a valid checkpoint from an earlier run of this job replaces
+    // the whole attempt (map + combine + spill) — its frames were verified
+    // when written and are re-verified here. Anything wrong with the file
+    // falls through to recomputation.
+    if let Some(dir) = &cfg.map_checkpoint_dir {
+        if let Ok(bytes) = std::fs::read(map_checkpoint_path(dir, task)) {
+            if let Some(out) = decode_map_checkpoint::<K, V>(&bytes, chunk.len(), parts) {
+                return Ok(out);
+            }
+        }
+    }
+
     let fault = cfg.fault_plan.fault_for(Stage::Map, task, attempt);
     if fault == Some(FaultKind::Panic) {
         panic!("injected panic in map task {task} attempt {attempt}");
@@ -305,7 +408,9 @@ where
                 bytes[8] ^= 0x01;
             }
             spilled_bytes += bytes.len() as u64;
-            std::fs::write(&path, &bytes)
+            // Atomic write: a crash mid-spill leaves no truncated file for
+            // a later attempt (or a resumed driver) to trip over.
+            ngs_durable::write_atomic(&path, &bytes)
                 .map_err(|e| format!("write spill {}: {e}", path.display()))?;
             let data =
                 std::fs::read(&path).map_err(|e| format!("read spill {}: {e}", path.display()))?;
@@ -323,7 +428,19 @@ where
         partitions = restored;
     }
 
-    Ok(MapTaskOut { partitions, emitted, combined, spilled_bytes })
+    let out = MapTaskOut { partitions, emitted, combined, spilled_bytes, resumed: false };
+
+    // Persist the finished task's output before reporting success: a save
+    // failure fails the attempt, so "checkpointed" always means "durably
+    // on disk" (manifest-last discipline at task granularity).
+    if let Some(dir) = &cfg.map_checkpoint_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create map checkpoint dir {}: {e}", dir.display()))?;
+        let path = map_checkpoint_path(dir, task);
+        ngs_durable::write_atomic(&path, &encode_map_checkpoint(&out, chunk.len()))
+            .map_err(|e| format!("write map checkpoint {}: {e}", path.display()))?;
+    }
+    Ok(out)
 }
 
 /// Run a full map/combine/shuffle/reduce job.
@@ -402,6 +519,7 @@ where
         stats.map_output_records += out.emitted;
         stats.combine_output_records += out.combined;
         stats.spilled_bytes += out.spilled_bytes;
+        stats.map_tasks_resumed += u64::from(out.resumed);
         worker_outputs.push(out.partitions);
     }
     stats.map_time = t0.elapsed();
@@ -655,6 +773,75 @@ mod tests {
         // Live counters agree with the JobStats the caller gets back.
         assert_eq!(report.counters["mapreduce.task_failures"], stats.task_failures);
         assert_eq!(report.counters["mapreduce.task_retries"], stats.retried_tasks);
+    }
+
+    #[test]
+    fn map_checkpoints_resume_and_skip_recompute() {
+        let dir = std::env::temp_dir().join(format!("mrlite_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.map_checkpoint_dir = Some(dir.clone());
+        let docs = ["a b a", "b c", "a"];
+        let (mut cold, s_cold) = word_count_stats(&cfg, &docs).expect("cold run");
+        assert_eq!(s_cold.map_tasks_resumed, 0);
+        // Second run of the same job: all three map tasks reload.
+        let (mut warm, s_warm) = word_count_stats(&cfg, &docs).expect("warm run");
+        assert_eq!(s_warm.map_tasks_resumed, 3);
+        assert_eq!(s_warm.map_output_records, s_cold.map_output_records);
+        cold.sort();
+        warm.sort();
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_stale_map_checkpoint_is_recomputed() {
+        let dir = std::env::temp_dir().join(format!("mrlite_ckpt_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.map_checkpoint_dir = Some(dir.clone());
+        let docs = ["a b a", "b c", "a"];
+        let (_, _) = word_count_stats(&cfg, &docs).expect("cold run");
+        // Flip one byte of task 0's checkpoint: the whole-file checksum
+        // must reject it and the task recomputes.
+        let path = dir.join("map_t0.ckpt");
+        let mut bytes = std::fs::read(&path).expect("checkpoint written");
+        bytes[10] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("corrupt checkpoint");
+        // Truncate task 1's checkpoint mid-file.
+        let path1 = dir.join("map_t1.ckpt");
+        let full = std::fs::read(&path1).expect("checkpoint written");
+        std::fs::write(&path1, &full[..full.len() / 2]).expect("truncate checkpoint");
+        let (mut warm, stats) = word_count_stats(&cfg, &docs).expect("warm run");
+        assert_eq!(stats.map_tasks_resumed, 1, "only the intact checkpoint reloads");
+        warm.sort();
+        assert_eq!(warm, word_count(&JobConfig::with_workers(3), &docs));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn map_checkpoints_survive_a_failed_job_and_resume_it() {
+        let dir = std::env::temp_dir().join(format!("mrlite_ckpt_fail_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let docs = ["a b a", "b c", "a"];
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.map_checkpoint_dir = Some(dir.clone());
+        cfg.max_attempts = 2;
+        cfg.retry_backoff = Duration::from_micros(100);
+        // Every reduce attempt of partition 0 fails: the job dies *after*
+        // the map phase checkpointed its output.
+        cfg.fault_plan = FaultPlan::none()
+            .with_fault(Stage::Reduce, 0, 0, FaultKind::IoError)
+            .with_fault(Stage::Reduce, 0, 1, FaultKind::IoError);
+        word_count_stats(&cfg, &docs).expect_err("reduce must exhaust attempts");
+        // The retry (same job, faults cleared) resumes every map task from
+        // disk and produces the correct output.
+        cfg.fault_plan = FaultPlan::none();
+        let (mut out, stats) = word_count_stats(&cfg, &docs).expect("resumed run");
+        assert_eq!(stats.map_tasks_resumed, 3);
+        out.sort();
+        assert_eq!(out, word_count(&JobConfig::with_workers(3), &docs));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

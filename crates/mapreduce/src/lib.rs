@@ -29,7 +29,11 @@
 //! task; a task that exhausts its attempts fails the whole job with a
 //! [`JobError`] instead of panicking. On a single machine the *failures*
 //! must be simulated — that is [`FaultPlan`]'s job — but the recovery
-//! machinery itself is the real thing.
+//! machinery itself is the real thing. For failures of the *driver*
+//! rather than a task, [`JobConfig::map_checkpoint_dir`] persists each
+//! finished map task's output (atomically, self-validating), so a re-run
+//! of the same job resumes past its completed map work — see
+//! [`JobStats::map_tasks_resumed`].
 
 pub mod codec;
 pub mod counters;

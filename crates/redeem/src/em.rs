@@ -47,6 +47,48 @@ pub struct EmResult {
     pub iterations: usize,
 }
 
+/// EM state at an iteration boundary — the unit `redeem-detect
+/// --checkpoint-dir` persists every N iterations.
+///
+/// The EM update reads nothing but `t`, `prev_ll` and the iteration count,
+/// so resuming [`Redeem::run_resumable`] from any checkpointed state is
+/// *exactly* equivalent to never having stopped: the remaining iterations
+/// compute bit-identical `T` values (all state round-trips through
+/// `f64::to_bits`). `converged` distinguishes a finished run from a
+/// mid-flight one, so resuming a converged state runs zero iterations
+/// instead of overshooting the tolerance check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmState {
+    /// Current `T_l` estimates, parallel to the spectrum.
+    pub t: Vec<f64>,
+    /// Log-likelihood of the previous iteration (`-inf` before the first).
+    pub prev_ll: f64,
+    /// Log-likelihood after each completed iteration.
+    pub loglik_trace: Vec<f64>,
+    /// Iterations completed so far.
+    pub iterations: usize,
+    /// Whether the tolerance check has already fired.
+    pub converged: bool,
+}
+
+impl EmState {
+    /// The EM starting point: `T = Y`.
+    pub fn initial(y: &[f64]) -> EmState {
+        EmState {
+            t: y.to_vec(),
+            prev_ll: f64::NEG_INFINITY,
+            loglik_trace: Vec::new(),
+            iterations: 0,
+            converged: false,
+        }
+    }
+
+    /// Finish this state into a result.
+    pub fn into_result(self) -> EmResult {
+        EmResult { t: self.t, loglik_trace: self.loglik_trace, iterations: self.iterations }
+    }
+}
+
 /// The REDEEM model: spectrum, misread graph and edge weights.
 pub struct Redeem {
     spectrum: KSpectrum,
@@ -143,6 +185,58 @@ impl Redeem {
         &self.spectrum
     }
 
+    /// The raw CSR arrays `(offsets, nbr, w_out, w_in)` for checkpoint
+    /// serialization — inverse of [`Redeem::from_csr_parts`].
+    pub fn csr_parts(&self) -> (&[u32], &[u32], &[f64], &[f64]) {
+        (&self.offsets, &self.nbr, &self.w_out, &self.w_in)
+    }
+
+    /// Reassemble a model from checkpointed CSR parts, re-validating the
+    /// structural invariants (offset monotonicity, in-range neighbour ids,
+    /// self-loop-first rows, parallel weight arrays) so a corrupt
+    /// checkpoint errors instead of producing a model that panics or
+    /// silently computes garbage mid-EM.
+    pub fn from_csr_parts(
+        spectrum: KSpectrum,
+        offsets: Vec<u32>,
+        nbr: Vec<u32>,
+        w_out: Vec<f64>,
+        w_in: Vec<f64>,
+    ) -> ngs_core::Result<Redeem> {
+        use ngs_core::NgsError;
+        let n = spectrum.len();
+        let bad = |msg: String| Err(NgsError::MalformedRecord(format!("redeem CSR: {msg}")));
+        if offsets.len() != n + 1 || offsets.first() != Some(&0) {
+            return bad(format!("{} offsets for {n} nodes", offsets.len()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return bad("offsets not monotone".into());
+        }
+        if *offsets.last().unwrap() as usize != nbr.len()
+            || w_out.len() != nbr.len()
+            || w_in.len() != nbr.len()
+        {
+            return bad(format!(
+                "edge arrays disagree: last offset {}, |nbr|={}, |w_out|={}, |w_in|={}",
+                offsets.last().unwrap(),
+                nbr.len(),
+                w_out.len(),
+                w_in.len()
+            ));
+        }
+        if nbr.iter().any(|&m| m as usize >= n) {
+            return bad("neighbour id out of range".into());
+        }
+        for l in 0..n {
+            let s = offsets[l] as usize;
+            if s == offsets[l + 1] as usize || nbr[s] != l as u32 {
+                return bad(format!("row {l} does not start with its self-loop"));
+            }
+        }
+        let y: Vec<f64> = spectrum.counts().iter().map(|&c| c as f64).collect();
+        Ok(Redeem { spectrum, offsets, nbr, w_out, w_in, y })
+    }
+
     /// Observed counts `Y` as floats (parallel to the spectrum).
     pub fn y(&self) -> &[f64] {
         &self.y
@@ -177,17 +271,35 @@ impl Redeem {
     /// buckets of ⌈ΔLL⌉), and the final log-likelihood lands in the
     /// `redeem.em.final_loglik` gauge.
     pub fn run_observed(&self, cfg: &EmConfig, collector: &ngs_observe::Collector) -> EmResult {
+        self.run_resumable(cfg, None, 0, &mut |_| true, collector)
+    }
+
+    /// [`Redeem::run_observed`] with checkpoint hooks: start from `resume`
+    /// (or the `T = Y` initial state), and every `checkpoint_every`
+    /// completed iterations hand the current [`EmState`] to
+    /// `on_checkpoint`. The hook returning `false` aborts the run at that
+    /// boundary and returns the state so far — the crash-injection tests
+    /// use this to kill the EM at an exact iteration; real callers persist
+    /// the state and return `true`. `checkpoint_every == 0` disables the
+    /// hook entirely.
+    pub fn run_resumable(
+        &self,
+        cfg: &EmConfig,
+        resume: Option<EmState>,
+        checkpoint_every: usize,
+        on_checkpoint: &mut dyn FnMut(&EmState) -> bool,
+        collector: &ngs_observe::Collector,
+    ) -> EmResult {
         let n = self.spectrum.len();
-        let mut t: Vec<f64> = self.y.clone();
-        let mut trace = Vec::new();
-        let mut prev_ll = f64::NEG_INFINITY;
-        let mut iterations = 0;
-        for _ in 0..cfg.max_iters {
-            iterations += 1;
+        let mut state = resume.unwrap_or_else(|| EmState::initial(&self.y));
+        let start_iterations = state.iterations;
+        while !state.converged && state.iterations < cfg.max_iters {
+            state.iterations += 1;
             let _iter_span =
                 collector.span_with_threads("redeem.em.iteration", rayon::current_num_threads());
             // Denominators: denom_m = Σ_{l ∈ row m} T_l · pe(l → m), which
             // in CSR terms is a gather over row m with incoming weights.
+            let t = &state.t;
             let denom: Vec<f64> = (0..n)
                 .into_par_iter()
                 .map(|m| {
@@ -203,7 +315,7 @@ impl Redeem {
 
             // Log-likelihood (up to constant): Σ_m Y_m ln denom_m.
             let ll: f64 = (0..n).into_par_iter().map(|m| self.y[m] * denom[m].ln()).sum();
-            trace.push(ll);
+            state.loglik_trace.push(ll);
 
             // M-step: T_l = Σ_{m ∈ row l} Y_m · T_l · pe(l→m) / denom_m.
             let t_new: Vec<f64> = (0..n)
@@ -221,22 +333,34 @@ impl Redeem {
                         .sum()
                 })
                 .collect();
-            t = t_new;
+            state.t = t_new;
 
-            if prev_ll.is_finite() {
-                collector.record("redeem.em.loglik_delta", (ll - prev_ll).abs().ceil() as u64);
-                let rel = (ll - prev_ll).abs() / (prev_ll.abs().max(1.0));
+            if state.prev_ll.is_finite() {
+                collector
+                    .record("redeem.em.loglik_delta", (ll - state.prev_ll).abs().ceil() as u64);
+                let rel = (ll - state.prev_ll).abs() / (state.prev_ll.abs().max(1.0));
                 if rel < cfg.tol {
-                    break;
+                    state.converged = true;
                 }
             }
-            prev_ll = ll;
+            if !state.converged {
+                state.prev_ll = ll;
+            }
+            if checkpoint_every > 0
+                && !state.converged
+                && state.iterations.is_multiple_of(checkpoint_every)
+                && !on_checkpoint(&state)
+            {
+                break;
+            }
         }
-        collector.add("redeem.em.iterations", iterations as u64);
-        if let Some(&ll) = trace.last() {
+        // Count only the iterations run in *this* session, so a resumed
+        // run's BENCH report reflects the work it actually did.
+        collector.add("redeem.em.iterations", (state.iterations - start_iterations) as u64);
+        if let Some(&ll) = state.loglik_trace.last() {
             collector.gauge("redeem.em.final_loglik", ll);
         }
-        EmResult { t, loglik_trace: trace, iterations }
+        state.into_result()
     }
 }
 
@@ -348,6 +472,77 @@ mod tests {
     fn average_degree_reported() {
         let (_, redeem, _, _) = build(2_000, vec![], 0.01, 5);
         assert!(redeem.average_degree() >= 1.0);
+    }
+
+    /// Resume equivalence: killing the EM at any checkpoint boundary and
+    /// resuming from the captured state must produce bit-identical `T`
+    /// values and the same iteration count as an uninterrupted run.
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        let (_, redeem, _, _) = build(3_000, vec![], 0.01, 7);
+        // tol 0 never converges, so every kill point is reached.
+        let cfg = EmConfig { dmax: 1, max_iters: 12, tol: 0.0 };
+        let collector = ngs_observe::Collector::disabled();
+        let full = redeem.run_resumable(&cfg, None, 0, &mut |_| true, &collector);
+        assert_eq!(full.iterations, 12);
+
+        for kill_after in [2usize, 4, 6, 10] {
+            // Run until the checkpoint at `kill_after` iterations, abort.
+            let mut captured: Option<EmState> = None;
+            let partial = redeem.run_resumable(
+                &cfg,
+                None,
+                kill_after,
+                &mut |s| {
+                    if captured.is_none() {
+                        captured = Some(s.clone());
+                        false // simulate the process dying here
+                    } else {
+                        true
+                    }
+                },
+                &collector,
+            );
+            let state = captured.expect("checkpoint hook must fire");
+            assert_eq!(partial.iterations, kill_after.min(full.iterations));
+            if state.iterations >= full.iterations {
+                continue; // converged before the kill point
+            }
+            // Resume and compare bit-for-bit.
+            let resumed = redeem.run_resumable(&cfg, Some(state), 0, &mut |_| true, &collector);
+            assert_eq!(resumed.iterations, full.iterations, "kill_after={kill_after}");
+            assert_eq!(resumed.loglik_trace.len(), full.loglik_trace.len());
+            for (a, b) in resumed.t.iter().zip(&full.t) {
+                assert_eq!(a.to_bits(), b.to_bits(), "T diverged after resume");
+            }
+            for (a, b) in resumed.loglik_trace.iter().zip(&full.loglik_trace) {
+                assert_eq!(a.to_bits(), b.to_bits(), "trace diverged after resume");
+            }
+        }
+    }
+
+    /// A state captured *after* convergence resumes to zero extra work.
+    #[test]
+    fn resuming_converged_state_runs_no_iterations() {
+        let (_, redeem, _, _) = build(2_000, vec![], 0.01, 8);
+        let cfg = EmConfig { dmax: 1, max_iters: 40, tol: 1e-4 };
+        let collector = ngs_observe::Collector::disabled();
+        let full = redeem.run_resumable(&cfg, None, 0, &mut |_| true, &collector);
+        assert!(full.iterations < 40, "should converge before the cap");
+        let finished = EmState {
+            t: full.t.clone(),
+            prev_ll: f64::NEG_INFINITY,
+            loglik_trace: full.loglik_trace.clone(),
+            iterations: full.iterations,
+            converged: true,
+        };
+        let c2 = ngs_observe::Collector::new();
+        let resumed = redeem.run_resumable(&cfg, Some(finished), 0, &mut |_| true, &c2);
+        assert_eq!(resumed.iterations, full.iterations);
+        assert_eq!(c2.report("redeem").counter("redeem.em.iterations"), 0);
+        for (a, b) in resumed.t.iter().zip(&full.t) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -24,10 +24,11 @@
 pub mod correct;
 pub mod em;
 pub mod error_model;
+pub mod snapshot;
 pub mod threshold;
 
 pub use correct::correct_reads;
-pub use em::{EmConfig, EmResult, Redeem};
+pub use em::{EmConfig, EmResult, EmState, Redeem};
 pub use error_model::KmerErrorModel;
 pub use threshold::{
     estimate_genome_length, fit_threshold_model, fit_threshold_model_observed, MixtureFit,

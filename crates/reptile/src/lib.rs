@@ -22,6 +22,7 @@
 pub mod ambig;
 pub mod params;
 pub mod read_correct;
+pub mod snapshot;
 pub mod tile_correct;
 
 pub use params::ReptileParams;

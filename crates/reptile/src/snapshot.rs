@@ -1,0 +1,236 @@
+//! Checkpoint serialization of the Phase-1 index ([`Reptile`]).
+//!
+//! Phase 1 (spectrum + tile table + neighbour index) dominates Reptile's
+//! build cost, so it is the stage boundary `reptile-correct --checkpoint-dir`
+//! snapshots. The encoding is deterministic — the tile map is emitted sorted
+//! by tile — so identical inputs produce identical snapshot bytes, and
+//! every numeric restores bit-exactly (see `ngs_durable::codec`).
+
+use crate::{Reptile, ReptileParams};
+use ngs_core::{NgsError, Result};
+use ngs_durable::{ByteReader, ByteWriter};
+use ngs_kmer::neighbor::{NeighborStrategy, NeighborTables};
+use ngs_kmer::tile::TileCounts;
+use ngs_kmer::{KSpectrum, TileTable};
+
+/// Format magic + version; bump on any layout change so older snapshots
+/// miss cleanly instead of decoding as garbage.
+const MAGIC: &str = "RPTSNAP1";
+
+impl Reptile {
+    /// Serialize the full Phase-1 state (params, spectrum, tile table,
+    /// neighbour tables) for checkpointing.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut w =
+            ByteWriter::with_capacity(64 + self.spectrum.len() * 12 + self.tiles.len() * 16);
+        w.put_str(MAGIC);
+
+        let p = &self.params;
+        w.put_usize(p.k);
+        w.put_usize(p.d);
+        w.put_usize(p.tile_overlap);
+        w.put_u32(p.cg);
+        w.put_u32(p.cm);
+        w.put_f64(p.cr);
+        w.put_u8(p.qc);
+        w.put_u8(p.qm);
+        w.put_u8(p.default_n_base);
+        w.put_usize(p.max_n_per_window);
+        w.put_usize(p.max_shift_retries);
+
+        w.put_usize(self.spectrum.k());
+        w.put_u64_slice(self.spectrum.kmers());
+        w.put_usize(self.spectrum.counts().len());
+        for &c in self.spectrum.counts() {
+            w.put_u32(c);
+        }
+
+        w.put_usize(self.tiles.k());
+        w.put_usize(self.tiles.overlap());
+        let mut entries: Vec<_> = self.tiles.iter().collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        w.put_usize(entries.len());
+        for (t, c) in entries {
+            w.put_u64(t);
+            w.put_u32(c.oc);
+            w.put_u32(c.og);
+        }
+
+        let nt = &self.neighbor_tables;
+        w.put_usize(nt.d());
+        match nt.strategy() {
+            NeighborStrategy::BruteForce => {
+                w.put_u8(0);
+                w.put_usize(0);
+            }
+            NeighborStrategy::MaskedReplicas { chunks } => {
+                w.put_u8(1);
+                w.put_usize(chunks);
+            }
+        }
+        w.put_usize(nt.spectrum_len());
+        w.put_usize(nt.k());
+        w.put_usize(nt.replica_count());
+        for (keep_mask, order) in nt.replica_parts() {
+            w.put_u64(keep_mask);
+            w.put_u32_slice(order);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild a corrector from [`Reptile::snapshot_bytes`] output.
+    /// Structural invariants (sorted spectrum, in-range replica indices,
+    /// parameter domains) are re-validated so a stale or corrupt snapshot
+    /// errors instead of producing a corrector that answers garbage.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Reptile> {
+        let mut r = ByteReader::new(bytes);
+        if r.get_str()? != MAGIC {
+            return Err(NgsError::MalformedRecord("reptile snapshot: bad magic or version".into()));
+        }
+
+        let params = ReptileParams {
+            k: r.get_usize()?,
+            d: r.get_usize()?,
+            tile_overlap: r.get_usize()?,
+            cg: r.get_u32()?,
+            cm: r.get_u32()?,
+            cr: r.get_f64()?,
+            qc: r.get_u8()?,
+            qm: r.get_u8()?,
+            default_n_base: r.get_u8()?,
+            max_n_per_window: r.get_usize()?,
+            max_shift_retries: r.get_usize()?,
+        };
+        // The same domain checks `ReptileParams::validate` asserts, as
+        // errors: a checkpoint must never panic the resuming process.
+        if !(1..=16).contains(&params.k)
+            || params.d == 0
+            || params.d > params.k
+            || params.tile_overlap >= params.k
+            || params.cr < 1.0
+            || !matches!(params.default_n_base, b'A' | b'C' | b'G' | b'T')
+        {
+            return Err(NgsError::MalformedRecord(
+                "reptile snapshot: parameters out of domain".into(),
+            ));
+        }
+
+        let sk = r.get_usize()?;
+        let kmers = r.get_u64_vec()?;
+        let n_counts = r.get_usize()?;
+        let mut counts = Vec::with_capacity(n_counts.min(kmers.len() + 1));
+        for _ in 0..n_counts {
+            counts.push(r.get_u32()?);
+        }
+        let spectrum = KSpectrum::from_sorted(sk, kmers, counts)
+            .map_err(|e| NgsError::MalformedRecord(format!("reptile snapshot: {e}")))?;
+
+        let tk = r.get_usize()?;
+        let tl = r.get_usize()?;
+        if !(1..=16).contains(&tk) || tl >= tk {
+            return Err(NgsError::MalformedRecord(
+                "reptile snapshot: tile table k/l out of domain".into(),
+            ));
+        }
+        let n_tiles = r.get_usize()?;
+        let mut entries = Vec::with_capacity(n_tiles.min(bytes.len() / 16 + 1));
+        for _ in 0..n_tiles {
+            let t = r.get_u64()?;
+            let oc = r.get_u32()?;
+            let og = r.get_u32()?;
+            entries.push((t, TileCounts { oc, og }));
+        }
+        let tiles = TileTable::from_parts(tk, tl, entries);
+
+        let nd = r.get_usize()?;
+        let strategy = match r.get_u8()? {
+            0 => {
+                r.get_usize()?;
+                NeighborStrategy::BruteForce
+            }
+            1 => NeighborStrategy::MaskedReplicas { chunks: r.get_usize()? },
+            tag => {
+                return Err(NgsError::MalformedRecord(format!(
+                    "reptile snapshot: unknown neighbour strategy tag {tag}"
+                )))
+            }
+        };
+        let nlen = r.get_usize()?;
+        let nk = r.get_usize()?;
+        let n_replicas = r.get_usize()?;
+        let mut replicas = Vec::with_capacity(n_replicas.min(bytes.len() / 8 + 1));
+        for _ in 0..n_replicas {
+            let keep_mask = r.get_u64()?;
+            let order = r.get_u32_vec()?;
+            replicas.push((keep_mask, order));
+        }
+        let neighbor_tables = NeighborTables::from_parts(nd, strategy, nlen, nk, replicas)
+            .map_err(|e| NgsError::MalformedRecord(format!("reptile snapshot: {e}")))?;
+        if (nlen, nk) != (spectrum.len(), spectrum.k()) {
+            return Err(NgsError::MalformedRecord(
+                "reptile snapshot: neighbour tables do not match spectrum".into(),
+            ));
+        }
+        r.finish()?;
+        Ok(Reptile { params, spectrum, tiles, neighbor_tables })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngs_core::Read;
+
+    fn sample() -> (Vec<Read>, Reptile) {
+        let reads: Vec<Read> = (0..40)
+            .map(|i| {
+                let base = b"ACGTACGTACGTTGCAACGTTGCAACGT";
+                let mut seq = base.to_vec();
+                seq.rotate_left(i % 4);
+                Read::new(format!("r{i}"), seq)
+            })
+            .collect();
+        let mut params = ReptileParams::defaults(1000);
+        params.k = 10;
+        let reptile = Reptile::build(&reads, params);
+        (reads, reptile)
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_corrects_identically() {
+        let (reads, reptile) = sample();
+        let bytes = reptile.snapshot_bytes();
+        let restored = Reptile::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.params(), reptile.params());
+        assert_eq!(restored.spectrum().kmers(), reptile.spectrum().kmers());
+        assert_eq!(restored.spectrum().counts(), reptile.spectrum().counts());
+        assert_eq!(restored.tiles().len(), reptile.tiles().len());
+        assert_eq!(
+            restored.neighbor_tables().replica_count(),
+            reptile.neighbor_tables().replica_count()
+        );
+        let (out_a, stats_a) = reptile.correct(&reads);
+        let (out_b, stats_b) = restored.correct(&reads);
+        assert_eq!(stats_a, stats_b);
+        for (a, b) in out_a.iter().zip(&out_b) {
+            assert_eq!(a.seq, b.seq);
+        }
+        // Determinism: serializing the restored corrector is byte-identical.
+        assert_eq!(restored.snapshot_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_an_error() {
+        let (_, reptile) = sample();
+        let bytes = reptile.snapshot_bytes();
+        assert!(Reptile::from_snapshot_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(Reptile::from_snapshot_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_an_error() {
+        let mut w = ngs_durable::ByteWriter::new();
+        w.put_str("RPTSNAP9");
+        assert!(Reptile::from_snapshot_bytes(w.as_bytes()).is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! FASTA parsing and serialization.
 
+use crate::MalformedPolicy;
 use ngs_core::{NgsError, Read, Result};
 use std::io::{BufRead, BufReader, Write};
 
@@ -13,21 +14,75 @@ pub struct FastaReader<R: std::io::Read> {
     pending_header: Option<String>,
     line: String,
     done: bool,
+    policy: MalformedPolicy,
+    skipped: usize,
 }
 
 impl<R: std::io::Read> FastaReader<R> {
-    /// Wrap a byte source in a FASTA reader.
+    /// Wrap a byte source in a FASTA reader with the default
+    /// [`MalformedPolicy::FailFast`].
     pub fn new(source: R) -> FastaReader<R> {
+        FastaReader::with_policy(source, MalformedPolicy::default())
+    }
+
+    /// Wrap a byte source in a FASTA reader with an explicit malformed-record
+    /// policy. Under [`MalformedPolicy::Skip`], a run of non-header garbage
+    /// lines where a header was expected counts as one skipped record and
+    /// parsing resumes at the next `>` header.
+    pub fn with_policy(source: R, policy: MalformedPolicy) -> FastaReader<R> {
         FastaReader {
             inner: BufReader::new(source),
             pending_header: None,
             line: String::new(),
             done: false,
+            policy,
+            skipped: 0,
+        }
+    }
+
+    /// How many malformed records have been skipped so far (always 0 under
+    /// [`MalformedPolicy::FailFast`]).
+    pub fn skipped_records(&self) -> usize {
+        self.skipped
+    }
+
+    /// Scan forward to the next `>` header and stash it.
+    fn resync(&mut self) -> Result<()> {
+        loop {
+            self.line.clear();
+            if self.inner.read_line(&mut self.line)? == 0 {
+                self.done = true;
+                return Ok(());
+            }
+            if let Some(rest) = self.line.trim_end().strip_prefix('>') {
+                self.pending_header = Some(rest.to_string());
+                return Ok(());
+            }
         }
     }
 
     fn next_record(&mut self) -> Result<Option<Read>> {
-        if self.done {
+        loop {
+            match self.parse_one() {
+                Ok(r) => return Ok(r),
+                Err(e) => match self.policy {
+                    MalformedPolicy::FailFast => return Err(e),
+                    MalformedPolicy::Skip { max } => {
+                        if self.skipped >= max {
+                            return Err(NgsError::MalformedRecord(format!(
+                                "malformed-record skip budget of {max} exhausted; next: {e}"
+                            )));
+                        }
+                        self.skipped += 1;
+                        self.resync()?;
+                    }
+                },
+            }
+        }
+    }
+
+    fn parse_one(&mut self) -> Result<Option<Read>> {
+        if self.done && self.pending_header.is_none() {
             return Ok(None);
         }
         // Find the header: either one left over from the previous record or
@@ -80,6 +135,20 @@ impl<R: std::io::Read> Iterator for FastaReader<R> {
 /// Read all records from a FASTA source.
 pub fn read_fasta<R: std::io::Read>(source: R) -> Result<Vec<Read>> {
     FastaReader::new(source).collect()
+}
+
+/// Read all records under `policy`, returning the reads and the number of
+/// malformed records skipped.
+pub fn read_fasta_with_policy<R: std::io::Read>(
+    source: R,
+    policy: MalformedPolicy,
+) -> Result<(Vec<Read>, usize)> {
+    let mut reader = FastaReader::with_policy(source, policy);
+    let mut reads = Vec::new();
+    while let Some(r) = reader.next_record()? {
+        reads.push(r);
+    }
+    Ok((reads, reader.skipped_records()))
 }
 
 /// Buffered FASTA writer.
@@ -168,6 +237,33 @@ mod tests {
         write_fasta(&mut buf, std::slice::from_ref(&r), 4).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text, ">x\nACGT\nACGT\nAC\n");
+    }
+
+    #[test]
+    fn skip_policy_resyncs_at_next_header() {
+        let data = b"garbage before\nany header\n>x\nACGT\n>y\nGG\n";
+        let (reads, skipped) =
+            read_fasta_with_policy(&data[..], MalformedPolicy::Skip { max: 3 }).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(reads.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn skip_budget_zero_behaves_like_fail_fast() {
+        let data = b"garbage\n>x\nACGT\n";
+        assert!(read_fasta_with_policy(&data[..], MalformedPolicy::Skip { max: 0 }).is_err());
+        let mut r = FastaReader::new(&data[..]);
+        assert!(r.next().unwrap().is_err());
+        assert_eq!(r.skipped_records(), 0);
+    }
+
+    #[test]
+    fn skip_policy_all_garbage_ends_cleanly() {
+        let data = b"no headers here\nat all\n";
+        let (reads, skipped) =
+            read_fasta_with_policy(&data[..], MalformedPolicy::Skip { max: 5 }).unwrap();
+        assert!(reads.is_empty());
+        assert_eq!(skipped, 1);
     }
 
     #[test]

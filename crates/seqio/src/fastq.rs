@@ -1,5 +1,6 @@
 //! FASTQ parsing and serialization (Sanger quality encoding).
 
+use crate::MalformedPolicy;
 use ngs_core::qual::{decode_quals_checked, encode_quals};
 use ngs_core::{NgsError, Read, Result};
 use std::io::{BufRead, BufReader, Write};
@@ -9,12 +10,37 @@ pub struct FastqReader<R: std::io::Read> {
     inner: BufReader<R>,
     line: String,
     record_no: usize,
+    policy: MalformedPolicy,
+    skipped: usize,
+    /// Header line found while resynchronizing after a malformed record,
+    /// already consumed from the stream.
+    pending_header: Option<String>,
 }
 
 impl<R: std::io::Read> FastqReader<R> {
-    /// Wrap a byte source in a FASTQ reader.
+    /// Wrap a byte source in a FASTQ reader with the default
+    /// [`MalformedPolicy::FailFast`].
     pub fn new(source: R) -> FastqReader<R> {
-        FastqReader { inner: BufReader::new(source), line: String::new(), record_no: 0 }
+        FastqReader::with_policy(source, MalformedPolicy::default())
+    }
+
+    /// Wrap a byte source in a FASTQ reader with an explicit malformed-record
+    /// policy.
+    pub fn with_policy(source: R, policy: MalformedPolicy) -> FastqReader<R> {
+        FastqReader {
+            inner: BufReader::new(source),
+            line: String::new(),
+            record_no: 0,
+            policy,
+            skipped: 0,
+            pending_header: None,
+        }
+    }
+
+    /// How many malformed records have been skipped so far (always 0 under
+    /// [`MalformedPolicy::FailFast`]).
+    pub fn skipped_records(&self) -> usize {
+        self.skipped
     }
 
     fn read_line(&mut self) -> Result<Option<&str>> {
@@ -25,14 +51,55 @@ impl<R: std::io::Read> FastqReader<R> {
         Ok(Some(self.line.trim_end()))
     }
 
-    fn next_record(&mut self) -> Result<Option<Read>> {
-        // Skip blank lines between records.
-        let header = loop {
+    /// Scan forward to the next line starting with `'@'` (the next plausible
+    /// record header) and stash it for the next parse attempt. Quality lines
+    /// may legitimately start with `'@'`, so this is a heuristic: a wrong
+    /// pick parses as another malformed record and consumes another unit of
+    /// the skip budget, so a systematically broken file still errors out.
+    fn resync(&mut self) -> Result<()> {
+        loop {
             match self.read_line()? {
-                None => return Ok(None),
-                Some("") => continue,
-                Some(l) => break l.to_string(),
+                None => return Ok(()),
+                Some(l) if l.starts_with('@') => {
+                    self.pending_header = Some(l.to_string());
+                    return Ok(());
+                }
+                Some(_) => continue,
             }
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<Read>> {
+        loop {
+            match self.parse_one() {
+                Ok(r) => return Ok(r),
+                Err(e) => match self.policy {
+                    MalformedPolicy::FailFast => return Err(e),
+                    MalformedPolicy::Skip { max } => {
+                        if self.skipped >= max {
+                            return Err(NgsError::MalformedRecord(format!(
+                                "malformed-record skip budget of {max} exhausted; next: {e}"
+                            )));
+                        }
+                        self.skipped += 1;
+                        self.resync()?;
+                    }
+                },
+            }
+        }
+    }
+
+    fn parse_one(&mut self) -> Result<Option<Read>> {
+        // Header: one stashed by resync, or the next non-blank line.
+        let header = match self.pending_header.take() {
+            Some(h) => h,
+            None => loop {
+                match self.read_line()? {
+                    None => return Ok(None),
+                    Some("") => continue,
+                    Some(l) => break l.to_string(),
+                }
+            },
         };
         let n = self.record_no;
         self.record_no += 1;
@@ -88,6 +155,20 @@ impl<R: std::io::Read> Iterator for FastqReader<R> {
 /// Read all records from a FASTQ source.
 pub fn read_fastq<R: std::io::Read>(source: R) -> Result<Vec<Read>> {
     FastqReader::new(source).collect()
+}
+
+/// Read all records under `policy`, returning the reads and the number of
+/// malformed records skipped.
+pub fn read_fastq_with_policy<R: std::io::Read>(
+    source: R,
+    policy: MalformedPolicy,
+) -> Result<(Vec<Read>, usize)> {
+    let mut reader = FastqReader::with_policy(source, policy);
+    let mut reads = Vec::new();
+    while let Some(r) = reader.next_record()? {
+        reads.push(r);
+    }
+    Ok((reads, reader.skipped_records()))
 }
 
 /// Buffered FASTQ writer.
@@ -239,5 +320,64 @@ mod tests {
     fn header_without_at_names_record_number() {
         let data = b"@r1\nAC\n+\nII\nr2\nGG\n+\nII\n";
         expect_malformed(data, 1, "expected '@'");
+    }
+
+    #[test]
+    fn skip_policy_recovers_good_records_around_bad_one() {
+        // Record 1 has a seq/qual length mismatch; records 0 and 2 are fine.
+        let data = b"@r1\nACGT\n+\nIIII\n@bad\nGGTT\n+\nII\n@r3\nCC\n+\nII\n";
+        let (reads, skipped) =
+            read_fastq_with_policy(&data[..], MalformedPolicy::Skip { max: 10 }).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].id, "r1");
+        assert_eq!(reads[1].id, "r3");
+    }
+
+    #[test]
+    fn skip_policy_resyncs_past_garbage_lines() {
+        let data = b"@r1\nAC\n+\nII\nnot a header\nstill not\n@r2\nGG\n+\nII\n";
+        let (reads, skipped) =
+            read_fastq_with_policy(&data[..], MalformedPolicy::Skip { max: 10 }).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(reads.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(), vec!["r1", "r2"]);
+    }
+
+    #[test]
+    fn skip_budget_exhaustion_is_an_error() {
+        let data = b"@b1\nACGT\n+\nII\n@b2\nACGT\n+\nII\n@r\nCC\n+\nII\n";
+        // Budget 1 covers the first bad record but not the second.
+        match read_fastq_with_policy(&data[..], MalformedPolicy::Skip { max: 1 }) {
+            Err(NgsError::MalformedRecord(msg)) => {
+                assert!(msg.contains("skip budget of 1 exhausted"), "{msg:?}");
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        // Budget 2 gets through to the good record.
+        let (reads, skipped) =
+            read_fastq_with_policy(&data[..], MalformedPolicy::Skip { max: 2 }).unwrap();
+        assert_eq!(skipped, 2);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].id, "r");
+    }
+
+    #[test]
+    fn fail_fast_is_the_default_and_skips_nothing() {
+        let data = b"@b1\nACGT\n+\nII\n";
+        let mut r = FastqReader::new(&data[..]);
+        assert!(r.next().unwrap().is_err());
+        assert_eq!(r.skipped_records(), 0);
+    }
+
+    #[test]
+    fn skip_policy_with_truncated_tail() {
+        // The final record is truncated mid-stream; skip policy consumes it
+        // and ends cleanly at EOF.
+        let data = b"@r1\nAC\n+\nII\n@r2\nGGTT\n";
+        let (reads, skipped) =
+            read_fastq_with_policy(&data[..], MalformedPolicy::Skip { max: 5 }).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].id, "r1");
     }
 }

@@ -8,8 +8,34 @@
 pub mod fasta;
 pub mod fastq;
 
-pub use fasta::{read_fasta, write_fasta, FastaReader, FastaWriter};
-pub use fastq::{read_fastq, write_fastq, FastqReader, FastqWriter};
+pub use fasta::{read_fasta, read_fasta_with_policy, write_fasta, FastaReader, FastaWriter};
+pub use fastq::{read_fastq, read_fastq_with_policy, write_fastq, FastqReader, FastqWriter};
+
+/// What a reader does with a structurally malformed record.
+///
+/// Real sequencing archives carry occasional truncated or corrupt records; a
+/// million-read correction run should not abort on one of them, but silent
+/// unbounded skipping would hide a systematically broken file. The policy
+/// makes the trade-off explicit:
+///
+/// * [`MalformedPolicy::FailFast`] (the default) — the first malformed
+///   record is an error, exactly the pre-policy behaviour.
+/// * [`MalformedPolicy::Skip`] — abandon the malformed record, resynchronize
+///   at the next plausible record header, and keep going, up to `max`
+///   skips; exceeding the budget is an error naming the budget. Skipped
+///   counts are reported by the readers (`skipped_records()`) and flow into
+///   the `seqio.records_skipped` observe counter and BENCH JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MalformedPolicy {
+    /// Error on the first malformed record.
+    #[default]
+    FailFast,
+    /// Skip malformed records, up to `max` of them.
+    Skip {
+        /// Maximum number of records that may be skipped before erroring.
+        max: usize,
+    },
+}
 
 #[cfg(test)]
 mod round_trip_tests {

@@ -20,7 +20,7 @@ fn main() {
     let mut dfs = BlockStore::new(DfsConfig { block_size: 1 << 16, replication: 2, data_nodes: 8 });
     let mut fastq = Vec::new();
     write_fastq(&mut fastq, &sim.reads).expect("serialize");
-    dfs.write("reads.fastq", &fastq);
+    assert_eq!(dfs.write("reads.fastq", &fastq), 2);
     println!(
         "dfs: {} file(s), {} blocks, {} bytes stored (replication 2)",
         dfs.file_count(),

@@ -125,7 +125,7 @@ fn dfs_re_replication_survives_second_node_failure() {
     write_fastq(&mut fastq, &reads).expect("serialize");
 
     let mut dfs = BlockStore::new(DfsConfig { block_size: 1024, replication: 2, data_nodes: 6 });
-    dfs.write("reads.fastq", &fastq);
+    assert_eq!(dfs.write("reads.fastq", &fastq), 2);
 
     dfs.fail_node(0);
     assert!(dfs.under_replicated() > 0, "a node failure must leave blocks under-replicated");
@@ -145,7 +145,7 @@ fn dfs_re_replication_survives_second_node_failure() {
 fn dfs_scrub_heals_corrupt_replicas() {
     let mut dfs = BlockStore::new(DfsConfig { block_size: 512, replication: 2, data_nodes: 4 });
     let payload: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
-    dfs.write("data.bin", &payload);
+    assert_eq!(dfs.write("data.bin", &payload), 2);
     let node = dfs.blocks_of("data.bin").unwrap()[0].replicas[0];
     assert!(dfs.corrupt_replica("data.bin", 0, node));
 

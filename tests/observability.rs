@@ -18,7 +18,7 @@ use std::time::Duration;
 const NAMES: &[&str] = &["a", "b.c", "b.d", "e.f.g", "h"];
 
 fn arb_job_stats() -> impl Strategy<Value = JobStats> {
-    vec(0u64..1_000_000, 14).prop_map(|v| JobStats {
+    vec(0u64..1_000_000, 15).prop_map(|v| JobStats {
         map_input_records: v[0],
         map_output_records: v[1],
         combine_output_records: v[2],
@@ -33,6 +33,7 @@ fn arb_job_stats() -> impl Strategy<Value = JobStats> {
         retried_tasks: v[11],
         corrupt_frames: v[12],
         re_replicated_blocks: v[13],
+        map_tasks_resumed: v[14],
     })
 }
 

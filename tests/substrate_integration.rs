@@ -51,7 +51,7 @@ fn dfs_stores_and_restores_fastq() {
     write_fastq(&mut fastq, &sim.reads).unwrap();
 
     let mut dfs = BlockStore::new(DfsConfig { block_size: 4096, replication: 2, data_nodes: 6 });
-    dfs.write("reads.fastq", &fastq);
+    assert_eq!(dfs.write("reads.fastq", &fastq), 2);
     // Survive a node failure thanks to replication.
     dfs.fail_node(1);
     let restored = dfs.read("reads.fastq").expect("file readable after failure");
