@@ -20,6 +20,7 @@ OPTIONS:
   --max-bad-records N   skip up to N malformed input records      [default: 0 = fail fast]
   --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stage: edges)
   --metrics-json PATH   write a BENCH_closet.json metrics report here
+  --trace-jsonl PATH    write an event trace here (view with ngs-trace)
   --help                print this message";
 
 fn main() {

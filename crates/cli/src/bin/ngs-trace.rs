@@ -1,0 +1,231 @@
+//! Trace and benchmark tooling over the `ngs-observe` artifacts:
+//!
+//! * `chrome` — convert a `--trace-jsonl` trace to Chrome `chrome://tracing`
+//!   JSON (also loads in Perfetto);
+//! * `summary` — validate a trace and print the top-N spans by *self* time
+//!   (duration minus direct children — the critical-path view);
+//! * `diff` — compare two `BENCH_*.json` reports with per-span tolerance
+//!   thresholds; exits 1 on regressions (the CI `perf-gate` contract), and
+//!   `--update-baseline` re-blesses the baseline instead for intentional
+//!   performance changes.
+//!
+//! Subcommands take positional file arguments, so this binary parses its
+//! command line by hand instead of through `ngs_cli::Args` (which is
+//! `--key value` only).
+
+use std::process::ExitCode;
+
+const USAGE: &str = "ngs-trace — trace viewer and benchmark diff tool
+
+USAGE:
+  ngs-trace chrome TRACE.jsonl [--out FILE.json]
+  ngs-trace summary TRACE.jsonl [--top N]
+  ngs-trace diff BASELINE.json CURRENT.json [options]
+
+DIFF OPTIONS:
+  --tolerance FRAC        allowed fractional growth per span [default: 0.15]
+  --min-total-ms MS       ignore spans below this total time [default: 1.0]
+  --span-tolerance N=F    per-span tolerance override (repeatable),
+                          e.g. --span-tolerance closet.validate=0.5
+  --update-baseline       overwrite BASELINE with CURRENT (bless an
+                          intentional perf change) instead of diffing
+
+EXIT CODES:
+  0  success / no regressions
+  1  regressions found (diff only)
+  2  usage, I/O or parse error";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match argv[0].as_str() {
+        "chrome" => cmd_chrome(&argv[1..]),
+        "summary" => cmd_summary(&argv[1..]),
+        "diff" => cmd_diff(&argv[1..]),
+        other => fail(&format!("unknown subcommand {other:?} (try --help)")),
+    }
+}
+
+/// `--key [value]` options in command-line order.
+type Opts<'a> = Vec<(&'a str, Option<&'a str>)>;
+
+/// Split `rest` into positional operands and `--key [value]` options.
+fn split_opts(rest: &[String]) -> Result<(Vec<&str>, Opts<'_>), String> {
+    let mut positional = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(key) = rest[i].strip_prefix("--") {
+            let takes_value = !matches!(key, "update-baseline");
+            if takes_value {
+                let value =
+                    rest.get(i + 1).map(String::as_str).ok_or(format!("--{key} needs a value"))?;
+                opts.push((key, Some(value)));
+                i += 2;
+            } else {
+                opts.push((key, None));
+                i += 1;
+            }
+        } else {
+            positional.push(rest[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn load_trace(path: &str) -> Result<ngs_observe::traceview::ParsedTrace, String> {
+    ngs_observe::traceview::parse_jsonl(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_chrome(rest: &[String]) -> ExitCode {
+    let (positional, opts) = match split_opts(rest) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let [trace_path] = positional[..] else {
+        return fail("usage: ngs-trace chrome TRACE.jsonl [--out FILE.json]");
+    };
+    let mut out_path: Option<&str> = None;
+    for (key, value) in opts {
+        match key {
+            "out" => out_path = value,
+            _ => return fail(&format!("unknown option --{key}")),
+        }
+    }
+    let trace = match load_trace(trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = ngs_observe::traceview::check_well_formed(&trace) {
+        return fail(&format!("{trace_path}: malformed trace: {e}"));
+    }
+    let chrome = ngs_observe::traceview::to_chrome_json(&trace);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = ngs_durable::write_atomic(path, chrome.as_bytes()) {
+                return fail(&format!("write {path}: {e}"));
+            }
+            eprintln!("wrote {} events to {path}", trace.events.len());
+        }
+        None => print!("{chrome}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_summary(rest: &[String]) -> ExitCode {
+    let (positional, opts) = match split_opts(rest) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let [trace_path] = positional[..] else {
+        return fail("usage: ngs-trace summary TRACE.jsonl [--top N]");
+    };
+    let mut top = 20usize;
+    for (key, value) in opts {
+        match key {
+            "top" => match value.and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return fail("--top: not a number"),
+            },
+            _ => return fail(&format!("unknown option --{key}")),
+        }
+    }
+    let trace = match load_trace(trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let spans = match ngs_observe::traceview::check_well_formed(&trace) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{trace_path}: malformed trace: {e}")),
+    };
+    let rows = ngs_observe::traceview::self_time_summary(&spans);
+    println!(
+        "== critical path: {} spans, top {} by self time ==",
+        spans.len(),
+        top.min(rows.len())
+    );
+    print!("{}", ngs_observe::traceview::render_summary(&rows, top));
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(rest: &[String]) -> ExitCode {
+    let (positional, opts) = match split_opts(rest) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let [baseline_path, current_path] = positional[..] else {
+        return fail("usage: ngs-trace diff BASELINE.json CURRENT.json [options]");
+    };
+    let mut cfg = ngs_observe::diff::DiffConfig::default();
+    let mut update_baseline = false;
+    for (key, value) in opts {
+        match key {
+            "tolerance" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => cfg.tolerance = t,
+                _ => return fail("--tolerance: not a non-negative number"),
+            },
+            "min-total-ms" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(ms) if ms >= 0.0 => cfg.min_total_ns = (ms * 1e6) as u64,
+                _ => return fail("--min-total-ms: not a non-negative number"),
+            },
+            "span-tolerance" => {
+                let Some((name, frac)) = value.and_then(|v| v.split_once('=')) else {
+                    return fail("--span-tolerance: expected NAME=FRACTION");
+                };
+                match frac.parse::<f64>() {
+                    Ok(f) if f >= 0.0 => {
+                        cfg.per_span.insert(name.to_string(), f);
+                    }
+                    _ => return fail("--span-tolerance: bad fraction"),
+                }
+            }
+            "update-baseline" => update_baseline = true,
+            _ => return fail(&format!("unknown option --{key}")),
+        }
+    }
+
+    let current = match read(current_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if update_baseline {
+        // Validate before blessing: a broken report must not become the
+        // baseline future runs are held to.
+        if let Err(e) = ngs_observe::diff::parse_bench_spans(&current) {
+            return fail(&format!("{current_path}: {e}"));
+        }
+        if let Err(e) = ngs_durable::write_atomic(baseline_path, current.as_bytes()) {
+            return fail(&format!("write {baseline_path}: {e}"));
+        }
+        eprintln!("updated baseline {baseline_path} from {current_path}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match read(baseline_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    match ngs_observe::diff::diff_bench_json(&baseline, &current, &cfg) {
+        Err(e) => fail(&e),
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.has_regressions() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

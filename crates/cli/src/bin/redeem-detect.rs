@@ -23,6 +23,7 @@ OPTIONS:
   --max-bad-records N   skip up to N malformed input records   [default: 0 = fail fast]
   --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stages: model, em)
   --metrics-json PATH   write a BENCH_redeem.json metrics report here
+  --trace-jsonl PATH    write an event trace here (view with ngs-trace)
   --help                print this message";
 
 fn main() {

@@ -150,15 +150,18 @@ pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
     Ok(())
 }
 
-/// Build the collector for a `--metrics-json` run: recording when the flag
-/// was given, disabled (every call a no-op) otherwise — un-instrumented
-/// runs pay nothing.
-pub fn metrics_collector(args: &Args) -> ngs_observe::Collector {
-    if args.get("metrics-json").is_some() {
+/// Build the collector for an instrumented run: recording when
+/// `--metrics-json` or `--trace-jsonl` was given (with an event tracer
+/// attached for the latter), disabled (every call a no-op) otherwise —
+/// un-instrumented runs pay nothing.
+pub fn metrics_collector(args: &Args) -> Result<ngs_observe::Collector> {
+    Ok(if args.value_of("trace-jsonl")?.is_some() {
+        ngs_observe::Collector::with_tracer(std::sync::Arc::new(ngs_observe::Tracer::new()))
+    } else if args.value_of("metrics-json")?.is_some() {
         ngs_observe::Collector::new()
     } else {
         ngs_observe::Collector::disabled()
-    }
+    })
 }
 
 /// When `--metrics-json PATH` was given: snapshot `collector` into a report
@@ -185,6 +188,23 @@ pub fn emit_metrics(
     eprint!("{}", report.render_table());
     ngs_durable::write_atomic(path, report.to_json().as_bytes())?;
     eprintln!("wrote metrics to {path}");
+    Ok(())
+}
+
+/// When `--trace-jsonl PATH` was given: serialise the collector's trace
+/// buffer as JSONL (`ngs-trace` schema, version 1) and write it atomically
+/// — a crash mid-write never leaves a torn trace file. Call this after
+/// every span guard (including the pipeline's root span) has dropped, or
+/// the trace will contain dangling begins.
+pub fn emit_trace(args: &Args, collector: &ngs_observe::Collector) -> Result<()> {
+    let Some(path) = args.value_of("trace-jsonl")? else {
+        return Ok(());
+    };
+    let tracer = collector.tracer().ok_or_else(|| {
+        NgsError::InvalidParameter("--trace-jsonl given but the collector has no tracer".into())
+    })?;
+    ngs_durable::write_atomic(path, tracer.to_jsonl().as_bytes())?;
+    eprintln!("wrote trace to {path}");
     Ok(())
 }
 

@@ -15,7 +15,9 @@
 //! named stage's checkpoint lands, simulating a crash at the worst moment
 //! that is still recoverable.
 
-use crate::{emit_metrics, metrics_collector, read_sequences_with_policy, write_sequences, Args};
+use crate::{
+    emit_metrics, emit_trace, metrics_collector, read_sequences_with_policy, write_sequences, Args,
+};
 use ngs_core::{NgsError, Read, Result};
 use ngs_durable::{ByteWriter, CheckpointStore, Fingerprint};
 use ngs_observe::Collector;
@@ -130,7 +132,11 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
     let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
     let opts = DurabilityOpts::from_args(args)?;
 
-    let collector = metrics_collector(args);
+    let collector = metrics_collector(args)?;
+    // Root span for the whole run: every phase span nests under it in the
+    // trace (ambient parenting on this thread). Dropped before the
+    // metrics/trace emit so it is recorded in both.
+    let run_span = collector.span("reptile.run");
     let reads = load_reads(input, &opts, &collector)?;
 
     let mut params = reptile::ReptileParams::from_data(&reads, genome_len);
@@ -197,7 +203,7 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
 
     // A resumed run never executes the build spans; gate only on what this
     // process actually did.
-    let mut required = vec!["reptile.correct"];
+    let mut required = vec!["reptile.run", "reptile.correct"];
     if !resumed_index {
         required.extend([
             "reptile.build.spectrum",
@@ -205,7 +211,9 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
             "reptile.build.neighbor_index",
         ]);
     }
+    drop(run_span);
     emit_metrics(args, &collector, "reptile", &required)?;
+    emit_trace(args, &collector)?;
     Ok(())
 }
 
@@ -224,7 +232,8 @@ pub fn redeem_detect(args: &Args) -> Result<()> {
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 10)?;
     let opts = DurabilityOpts::from_args(args)?;
 
-    let collector = metrics_collector(args);
+    let collector = metrics_collector(args)?;
+    let run_span = collector.span("redeem.run");
     let reads = load_reads(input, &opts, &collector)?;
 
     let mut store = opts.store("redeem", input, &collector)?;
@@ -343,11 +352,13 @@ pub fn redeem_detect(args: &Args) -> Result<()> {
 
     // A run resumed at (or past) convergence executes zero EM iterations,
     // so the iteration span only gates when iterations actually ran here.
-    let mut required = vec!["redeem.threshold.fit"];
+    let mut required = vec!["redeem.run", "redeem.threshold.fit"];
     if result.iterations > start_iters {
         required.push("redeem.em.iteration");
     }
+    drop(run_span);
     emit_metrics(args, &collector, "redeem", &required)?;
+    emit_trace(args, &collector)?;
     Ok(())
 }
 
@@ -388,7 +399,8 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
 
     // Per-task MapReduce spans need the collector on the job config, so it
     // lives in an Arc shared between the config and this scope.
-    let collector = std::sync::Arc::new(metrics_collector(args));
+    let collector = std::sync::Arc::new(metrics_collector(args)?);
+    let run_span = collector.span("closet.run");
     let reads = load_reads(input, &opts, &collector)?;
     let avg_len = reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
     eprintln!("average read length {avg_len} bp");
@@ -469,11 +481,13 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
 
     // Static gate: a resumed run replays the Phase-I spans from the
     // checkpoint (EdgePhase::replay_observed), so all three always exist.
+    drop(run_span);
     emit_metrics(
         args,
         &collector,
         "closet",
-        &["closet.sketch", "closet.validate", "closet.cluster"],
+        &["closet.run", "closet.sketch", "closet.validate", "closet.cluster"],
     )?;
+    emit_trace(args, &collector)?;
     Ok(())
 }

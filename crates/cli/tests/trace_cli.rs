@@ -1,0 +1,269 @@
+//! End-to-end tests for `--trace-jsonl` on the three pipeline CLIs and the
+//! `ngs-trace` tool: every pipeline writes a well-formed trace whose
+//! MapReduce-free span set covers the required metrics spans, `ngs-trace
+//! chrome` converts it, and `ngs-trace diff` catches a deliberate
+//! regression (and blesses one with `--update-baseline`).
+
+use ngs_core::Read;
+use ngs_observe::traceview;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn random_genome(len: usize, seed: &mut u64) -> Vec<u8> {
+    (0..len).map(|_| b"ACGT"[(xorshift(seed) % 4) as usize]).collect()
+}
+
+fn sample_reads(genome: &[u8], n: usize, read_len: usize, seed: &mut u64) -> Vec<Read> {
+    (0..n)
+        .map(|i| {
+            let pos = (xorshift(seed) as usize) % (genome.len() - read_len);
+            let mut seq = genome[pos..pos + read_len].to_vec();
+            if xorshift(seed) % 100 < 40 {
+                let at = (xorshift(seed) as usize) % read_len;
+                seq[at] = b"ACGT"[(xorshift(seed) % 4) as usize];
+            }
+            Read::new(format!("r{i}"), seq)
+        })
+        .collect()
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ngs_trace_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_input(dir: &Path, n: usize, read_len: usize, seed: u64) -> PathBuf {
+    let mut seed = seed;
+    let genome = random_genome(1200, &mut seed);
+    let reads = sample_reads(&genome, n, read_len, &mut seed);
+    let input = dir.join("reads.fastq");
+    let file = std::fs::File::create(&input).unwrap();
+    ngs_seqio::write_fastq(file, &reads).unwrap();
+    input
+}
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("spawn binary")
+}
+
+fn assert_ok(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?}):\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+const NGS_TRACE: &str = env!("CARGO_BIN_EXE_ngs-trace");
+
+/// Run one pipeline with `--trace-jsonl` + `--metrics-json`, validate the
+/// trace, and check the span contract: each of the pipeline's `required`
+/// metrics spans must appear both in the BENCH report and in the trace,
+/// because both views hang off the same collector. (The report also holds
+/// synthetic `*.job.*` phase spans derived from `JobStats`, which have no
+/// trace counterpart by design — the real per-attempt spans do.)
+fn pipeline_trace_roundtrip(
+    bin: &str,
+    dir: &Path,
+    extra: &[&str],
+    required: &[&str],
+) -> (PathBuf, PathBuf) {
+    let input = write_input(dir, 300, 60, 0x7ace_0001);
+    let output = dir.join("out.fastq");
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("BENCH.json");
+    let mut args = vec![
+        "--input",
+        input.to_str().unwrap(),
+        "--output",
+        output.to_str().unwrap(),
+        "--trace-jsonl",
+        trace.to_str().unwrap(),
+        "--metrics-json",
+        metrics.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    assert_ok(&run(bin, &args), "pipeline run");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let parsed = traceview::parse_jsonl(&text).expect("trace parses");
+    let spans = traceview::check_well_formed(&parsed).expect("trace well-formed");
+    assert!(!spans.is_empty(), "trace must contain spans");
+
+    let bench = std::fs::read_to_string(&metrics).expect("metrics written");
+    let (_, bench_spans) =
+        ngs_observe::diff::parse_bench_spans(&bench).expect("metrics report parses");
+    let trace_names = traceview::span_names(&parsed);
+    for name in required {
+        assert!(bench_spans.contains_key(*name), "required span {name:?} missing from report");
+        assert!(
+            trace_names.iter().any(|t| t == name),
+            "required span {name:?} missing from trace (trace has {trace_names:?})"
+        );
+    }
+    (trace, metrics)
+}
+
+/// `ngs-trace chrome` + `summary` must both accept a pipeline's trace.
+fn trace_tools_accept(trace: &Path, dir: &Path) {
+    let chrome_out = dir.join("chrome.json");
+    let out =
+        run(NGS_TRACE, &["chrome", trace.to_str().unwrap(), "--out", chrome_out.to_str().unwrap()]);
+    assert_ok(&out, "ngs-trace chrome");
+    let chrome = std::fs::read_to_string(&chrome_out).unwrap();
+    assert!(chrome.trim_start().starts_with('['), "chrome output is a JSON array");
+    assert!(chrome.contains("\"ph\": \"B\""), "chrome output has begin events");
+
+    let out = run(NGS_TRACE, &["summary", trace.to_str().unwrap(), "--top", "5"]);
+    assert_ok(&out, "ngs-trace summary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("critical path"), "summary header missing: {stdout}");
+}
+
+#[test]
+fn reptile_trace_converts_and_covers_required_spans() {
+    let dir = test_dir("reptile");
+    let (trace, _) = pipeline_trace_roundtrip(
+        env!("CARGO_BIN_EXE_reptile-correct"),
+        &dir,
+        &["--genome-len", "1200"],
+        &["reptile.run", "reptile.correct"],
+    );
+    trace_tools_accept(&trace, &dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn redeem_trace_converts_and_covers_required_spans() {
+    let dir = test_dir("redeem");
+    let (trace, _) = pipeline_trace_roundtrip(
+        env!("CARGO_BIN_EXE_redeem-detect"),
+        &dir,
+        &["--k", "9", "--max-iters", "8"],
+        &["redeem.run", "redeem.threshold.fit"],
+    );
+    trace_tools_accept(&trace, &dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn closet_trace_converts_and_covers_required_spans() {
+    let dir = test_dir("closet");
+    let (trace, _) = pipeline_trace_roundtrip(
+        env!("CARGO_BIN_EXE_closet-cluster"),
+        &dir,
+        &["--workers", "2", "--thresholds", "0.7,0.5"],
+        &["closet.run", "closet.sketch", "closet.validate", "closet.cluster"],
+    );
+    trace_tools_accept(&trace, &dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Re-serialise a parsed span map as a minimal BENCH report, scaling every
+/// total by `factor` — the "same input, deliberately slower" scenario.
+fn bench_with_scaled_spans(
+    pipeline: &str,
+    spans: &std::collections::BTreeMap<String, u64>,
+    factor: u64,
+) -> String {
+    let mut out = format!("{{\"pipeline\": \"{pipeline}\", \"spans\": {{");
+    for (i, (name, total)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {{\"total_ns\": {}}}", total * factor));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[test]
+fn diff_flags_deliberate_regression_and_update_baseline_blesses_it() {
+    let dir = test_dir("diff");
+    let (_, metrics) = pipeline_trace_roundtrip(
+        env!("CARGO_BIN_EXE_reptile-correct"),
+        &dir,
+        &["--genome-len", "1200"],
+        &["reptile.run", "reptile.correct"],
+    );
+    let bench = std::fs::read_to_string(&metrics).unwrap();
+    let (pipeline, spans) = ngs_observe::diff::parse_bench_spans(&bench).unwrap();
+
+    // Identical reports never regress.
+    let out = run(NGS_TRACE, &["diff", metrics.to_str().unwrap(), metrics.to_str().unwrap()]);
+    assert_ok(&out, "self-diff");
+
+    // Inflate every span 1000x: with the noise floor lowered this must exit
+    // nonzero and name at least one REGRESSED span.
+    let slow = dir.join("BENCH_slow.json");
+    std::fs::write(&slow, bench_with_scaled_spans(&pipeline, &spans, 1000)).unwrap();
+    let out = run(
+        NGS_TRACE,
+        &["diff", metrics.to_str().unwrap(), slow.to_str().unwrap(), "--min-total-ms", "0"],
+    );
+    assert_eq!(out.status.code(), Some(1), "inflated run must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "diff output must flag the regression: {stdout}");
+
+    // A generous per-span tolerance on every span lets the same diff pass.
+    let mut relaxed = vec![
+        "diff".to_string(),
+        metrics.to_str().unwrap().to_string(),
+        slow.to_str().unwrap().to_string(),
+        "--min-total-ms".to_string(),
+        "0".to_string(),
+    ];
+    for name in spans.keys() {
+        relaxed.push("--span-tolerance".to_string());
+        relaxed.push(format!("{name}=2000"));
+    }
+    let relaxed_args: Vec<&str> = relaxed.iter().map(String::as_str).collect();
+    assert_ok(&run(NGS_TRACE, &relaxed_args), "per-span tolerance overrides");
+
+    // --update-baseline blesses the slow run: afterwards the diff passes
+    // because baseline bytes equal the current report.
+    let baseline = dir.join("BENCH_baseline.json");
+    std::fs::copy(&metrics, &baseline).unwrap();
+    let out = run(
+        NGS_TRACE,
+        &["diff", baseline.to_str().unwrap(), slow.to_str().unwrap(), "--update-baseline"],
+    );
+    assert_ok(&out, "--update-baseline");
+    assert_eq!(
+        std::fs::read(&baseline).unwrap(),
+        std::fs::read(&slow).unwrap(),
+        "blessing must copy the current report over the baseline"
+    );
+    let out = run(NGS_TRACE, &["diff", baseline.to_str().unwrap(), slow.to_str().unwrap()]);
+    assert_ok(&out, "diff after blessing");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn malformed_trace_is_rejected_with_exit_2() {
+    let dir = test_dir("malformed");
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}\n\
+         {\"ev\": \"B\", \"seq\": 0, \"id\": 1, \"parent\": 0, \"name\": \"dangling\", \
+          \"detail\": \"\", \"tid\": 0, \"ts_ns\": 5}\n",
+    )
+    .unwrap();
+    let out = run(NGS_TRACE, &["chrome", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "dangling span must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "error should say malformed: {stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -93,8 +93,21 @@ pub struct JobConfig {
     /// `mapreduce.task.map` / `mapreduce.task.reduce` spans and retries are
     /// counted live (`mapreduce.task_retries`). Phase-level totals are the
     /// caller's job — fold the returned [`JobStats`] with
-    /// [`crate::counters::record_job_stats`].
+    /// [`crate::counters::record_job_stats`]. A collector built with
+    /// [`ngs_observe::Collector::with_tracer`] additionally emits the
+    /// job's trace tree (see [`JobConfig::trace`]).
     pub collector: Option<std::sync::Arc<ngs_observe::Collector>>,
+    /// Explicit trace parent for this job's span tree. When `None` (the
+    /// default) and the collector carries a tracer, the job parents under
+    /// the calling thread's innermost open span — which is what pipelines
+    /// want, since they call `map_reduce` inside a phase span. Set this
+    /// when the job is launched from a thread other than the one that
+    /// opened the phase span. Every traced job emits one `mapreduce.job`
+    /// span, one `mapreduce.stage.{map,shuffle,reduce}` span per phase,
+    /// and one span per task *attempt* (retries are sibling spans under
+    /// the same stage, annotated `task=N attempt=M`). If both this and a
+    /// collector tracer are set they must be the same tracer.
+    pub trace: Option<ngs_observe::TraceContext>,
 }
 
 impl JobConfig {
@@ -109,6 +122,7 @@ impl JobConfig {
             retry_backoff: Duration::from_millis(2),
             fault_plan: FaultPlan::none(),
             collector: None,
+            trace: None,
         }
     }
 }
@@ -165,11 +179,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Run one task to completion: call `body(attempt)` under `catch_unwind`,
 /// retrying with exponential backoff until success or `max_attempts`.
+/// `trace` parents each attempt's span under its stage — task attempts run
+/// on worker threads whose ambient span stacks are empty, so the parent
+/// must travel explicitly.
 fn run_attempts<T>(
     stage: Stage,
     task: usize,
     cfg: &JobConfig,
     counters: &FaultCounters,
+    trace: Option<&ngs_observe::TraceContext>,
     body: impl Fn(u32) -> Result<T, String>,
 ) -> Result<T, JobError> {
     let max_attempts = cfg.max_attempts.max(1);
@@ -177,10 +195,29 @@ fn run_attempts<T>(
         Stage::Map => "mapreduce.task.map",
         Stage::Reduce => "mapreduce.task.reduce",
     };
+    // Without a collector the trace events come straight from the tracer,
+    // so attempts still show up in the timeline.
+    let raw_trace = trace.filter(|_| cfg.collector.as_deref().is_none_or(|c| c.tracer().is_none()));
     let mut attempt = 0;
     loop {
+        // The span guards live *outside* catch_unwind: a panicking attempt
+        // still closes its trace span on unwind, keeping begin/end balanced.
+        let detail = trace.map(|_| format!("task={task} attempt={attempt}"));
         let outcome = {
-            let _span = cfg.collector.as_deref().map(|c| c.span(span_path));
+            let _span = cfg.collector.as_deref().map(|c| match trace {
+                Some(ctx) if c.tracer().is_some() => {
+                    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                    c.span_traced(span_path, ctx.parent(), detail.as_deref().unwrap_or(""), threads)
+                }
+                _ => c.span(span_path),
+            });
+            let _raw = raw_trace.map(|ctx| {
+                ctx.tracer().span_under_detail(
+                    span_path,
+                    ctx.parent(),
+                    detail.as_deref().unwrap_or(""),
+                )
+            });
             catch_unwind(AssertUnwindSafe(|| body(attempt)))
         };
         let error = match outcome {
@@ -199,6 +236,11 @@ fn run_attempts<T>(
         counters.task_failures.fetch_add(1, Ordering::Relaxed);
         if let Some(c) = cfg.collector.as_deref() {
             c.incr("mapreduce.task_failures");
+        }
+        if let Some(ctx) = trace {
+            let mut msg = format!("task={task} attempt={attempt} error={error}");
+            msg.truncate(200);
+            ctx.instant("mapreduce.task.failed", &msg);
         }
         attempt += 1;
         if attempt >= max_attempts {
@@ -481,6 +523,25 @@ where
     let parts = cfg.reduce_partitions.max(1);
     let counters = FaultCounters::default();
 
+    // ---- Trace scaffolding ----------------------------------------------
+    // One `mapreduce.job` span for the run, one stage span per phase; task
+    // attempts parent under their stage via the context handed to
+    // `run_attempts`. Job/stage spans are trace-only (raw tracer spans):
+    // phase *aggregates* already reach reports through `JobStats`, so
+    // duplicating them as collector spans would double-count.
+    let job_trace: Option<ngs_observe::TraceContext> = cfg
+        .trace
+        .clone()
+        .or_else(|| {
+            cfg.collector
+                .as_ref()
+                .and_then(|c| c.tracer().cloned())
+                .map(ngs_observe::TraceContext::new)
+        })
+        .filter(|ctx| ctx.tracer().is_enabled());
+    let job_span = job_trace.as_ref().map(|ctx| ctx.span("mapreduce.job"));
+    let job_ctx = job_trace.as_ref().zip(job_span.as_ref()).map(|(ctx, span)| ctx.child(span.id()));
+
     // ---- Map phase -------------------------------------------------------
     // One task per input chunk; each task retried independently. Results
     // are joined in task order, which keeps downstream processing
@@ -490,13 +551,17 @@ where
     let chunks: Vec<&[I]> = input.chunks(chunk_size).collect();
     let mapper = &mapper;
     let counters_ref = &counters;
+    let map_stage_span = job_ctx.as_ref().map(|ctx| ctx.span("mapreduce.stage.map"));
+    let map_stage_ctx =
+        job_ctx.as_ref().zip(map_stage_span.as_ref()).map(|(ctx, span)| ctx.child(span.id()));
+    let map_stage_ctx = map_stage_ctx.as_ref();
     let map_results: Vec<Result<MapTaskOut<K, V>, JobError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
             .map(|(task, chunk)| {
                 scope.spawn(move || {
-                    run_attempts(Stage::Map, task, cfg, counters_ref, |attempt| {
+                    run_attempts(Stage::Map, task, cfg, counters_ref, map_stage_ctx, |attempt| {
                         map_task_attempt(
                             task,
                             attempt,
@@ -513,6 +578,7 @@ where
             .collect();
         handles.into_iter().map(|h| h.join().expect("task harness must not panic")).collect()
     });
+    drop(map_stage_span);
     let mut worker_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_results.len());
     for result in map_results {
         let out = result?;
@@ -525,6 +591,9 @@ where
     stats.map_time = t0.elapsed();
 
     // ---- Shuffle ---------------------------------------------------------
+    // No retryable tasks here (pure in-memory regrouping), so the trace
+    // gets the stage span only.
+    let shuffle_span = job_ctx.as_ref().map(|ctx| ctx.span("mapreduce.stage.shuffle"));
     let t1 = Instant::now();
     let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
     for worker_parts in worker_outputs {
@@ -547,6 +616,7 @@ where
         }
     });
     stats.shuffle_time = t1.elapsed();
+    drop(shuffle_span);
 
     // ---- Reduce ----------------------------------------------------------
     // One task per partition (the retry unit), executed by at most
@@ -555,6 +625,10 @@ where
     let t2 = Instant::now();
     let reducer = &reducer;
     let partitions_ref = &partitions;
+    let reduce_stage_span = job_ctx.as_ref().map(|ctx| ctx.span("mapreduce.stage.reduce"));
+    let reduce_stage_ctx =
+        job_ctx.as_ref().zip(reduce_stage_span.as_ref()).map(|(ctx, span)| ctx.child(span.id()));
+    let reduce_stage_ctx = reduce_stage_ctx.as_ref();
     let reduce_results: Vec<Result<(Vec<O>, u64), JobError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..parts)
             .step_by(tile)
@@ -563,9 +637,22 @@ where
                 scope.spawn(move || {
                     (start..end)
                         .map(|pi| {
-                            run_attempts(Stage::Reduce, pi, cfg, counters_ref, |attempt| {
-                                reduce_task_attempt(pi, attempt, &partitions_ref[pi], cfg, reducer)
-                            })
+                            run_attempts(
+                                Stage::Reduce,
+                                pi,
+                                cfg,
+                                counters_ref,
+                                reduce_stage_ctx,
+                                |attempt| {
+                                    reduce_task_attempt(
+                                        pi,
+                                        attempt,
+                                        &partitions_ref[pi],
+                                        cfg,
+                                        reducer,
+                                    )
+                                },
+                            )
                         })
                         .collect::<Vec<_>>()
                 })
@@ -573,6 +660,7 @@ where
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("task harness must not panic")).collect()
     });
+    drop(reduce_stage_span);
     let mut result = Vec::new();
     for part_result in reduce_results {
         let (mut out, groups) = part_result?;
@@ -773,6 +861,52 @@ mod tests {
         // Live counters agree with the JobStats the caller gets back.
         assert_eq!(report.counters["mapreduce.task_failures"], stats.task_failures);
         assert_eq!(report.counters["mapreduce.task_retries"], stats.retried_tasks);
+    }
+
+    #[test]
+    fn trace_records_every_task_attempt_under_its_stage() {
+        use ngs_observe::{TraceEventKind, Tracer};
+        let docs = ["a b a", "b c", "a"];
+        let mut cfg = JobConfig::with_workers(3);
+        cfg.reduce_partitions = 2;
+        cfg.retry_backoff = Duration::from_micros(100);
+        cfg.fault_plan = FaultPlan::none().with_fault(Stage::Map, 1, 0, FaultKind::Panic);
+        let tracer = std::sync::Arc::new(Tracer::new());
+        let collector = std::sync::Arc::new(ngs_observe::Collector::with_tracer(tracer.clone()));
+        cfg.collector = Some(collector);
+        word_count_stats(&cfg, &docs).expect("job must recover");
+
+        let events = tracer.events();
+        let begins: Vec<_> = events.iter().filter(|e| e.kind == TraceEventKind::Begin).collect();
+        let by_name = |n: &str| begins.iter().filter(|e| e.name == n).collect::<Vec<_>>();
+        let job = by_name("mapreduce.job");
+        assert_eq!(job.len(), 1);
+        for stage in ["mapreduce.stage.map", "mapreduce.stage.shuffle", "mapreduce.stage.reduce"] {
+            let s = by_name(stage);
+            assert_eq!(s.len(), 1, "{stage}");
+            assert_eq!(s[0].parent, job[0].id, "{stage} parents under the job");
+        }
+        // 3 map tasks + 1 retried attempt, all siblings under the map stage.
+        let map_stage_id = by_name("mapreduce.stage.map")[0].id;
+        let map_tasks = by_name("mapreduce.task.map");
+        assert_eq!(map_tasks.len(), 4);
+        assert!(map_tasks.iter().all(|e| e.parent == map_stage_id));
+        let task1: Vec<_> = map_tasks.iter().filter(|e| e.detail.starts_with("task=1")).collect();
+        assert_eq!(task1.len(), 2, "failed attempt 0 and successful attempt 1");
+        assert!(task1.iter().any(|e| e.detail == "task=1 attempt=0"));
+        assert!(task1.iter().any(|e| e.detail == "task=1 attempt=1"));
+        // One attempt per reduce partition under the reduce stage.
+        let reduce_stage_id = by_name("mapreduce.stage.reduce")[0].id;
+        let reduce_tasks = by_name("mapreduce.task.reduce");
+        assert_eq!(reduce_tasks.len(), 2);
+        assert!(reduce_tasks.iter().all(|e| e.parent == reduce_stage_id));
+        // The injected failure left an instant marker.
+        assert!(events.iter().any(|e| e.kind == TraceEventKind::Instant
+            && e.name == "mapreduce.task.failed"
+            && e.detail.contains("task=1 attempt=0")));
+        // Begin/end balance (the panicked attempt included).
+        let ends = events.iter().filter(|e| e.kind == TraceEventKind::End).count();
+        assert_eq!(begins.len(), ends);
     }
 
     #[test]

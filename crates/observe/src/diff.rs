@@ -1,0 +1,274 @@
+//! Benchmark regression diffing over `BENCH_*.json` reports.
+//!
+//! The CI `perf-gate` job runs `smoke_bench`, then diffs the fresh reports
+//! against committed baselines in `bench/baselines/` with `ngs-trace diff`.
+//! A span whose `total_ns` grew more than the tolerance (default 15%)
+//! above baseline — and is large enough to matter (`min_total_ns` floor,
+//! which filters sub-millisecond jitter) — is a regression and fails the
+//! gate. Intentional changes re-bless the baselines via
+//! `ngs-trace diff --update-baseline` (see DESIGN.md §Tracing).
+
+use crate::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Diff thresholds.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Allowed fractional growth before a span counts as regressed
+    /// (0.15 = +15%).
+    pub tolerance: f64,
+    /// Spans whose baseline AND current totals are below this floor are
+    /// ignored — tiny spans are all scheduler noise.
+    pub min_total_ns: u64,
+    /// Per-span tolerance overrides (exact span name → fraction), for
+    /// known-noisy spans.
+    pub per_span: BTreeMap<String, f64>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            tolerance: 0.15,
+            min_total_ns: 1_000_000, // 1 ms
+            per_span: BTreeMap::new(),
+        }
+    }
+}
+
+/// One compared span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name.
+    pub name: String,
+    /// Baseline `total_ns` (`None` = absent from the baseline).
+    pub baseline_ns: Option<u64>,
+    /// Current `total_ns` (`None` = absent from the current report).
+    pub current_ns: Option<u64>,
+    /// Fractional change (`current/baseline − 1`) when both sides exist.
+    pub ratio: Option<f64>,
+    /// The tolerance applied to this span.
+    pub tolerance: f64,
+    /// Whether this span regressed (grew past tolerance, or vanished /
+    /// appeared above the noise floor).
+    pub regressed: bool,
+}
+
+/// The full diff result.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Pipeline name from the reports.
+    pub pipeline: String,
+    /// All compared spans, regressions first, then by name.
+    pub deltas: Vec<SpanDelta>,
+}
+
+impl DiffReport {
+    /// Whether any span regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Render the human diff table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "== bench diff: {} ==", self.pipeline).unwrap();
+        writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>9} {:>6}",
+            "span", "baseline_ms", "current_ms", "delta", "tol"
+        )
+        .unwrap();
+        let ms = |ns: Option<u64>| match ns {
+            Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+            None => "-".to_string(),
+        };
+        for d in &self.deltas {
+            let delta = match d.ratio {
+                Some(r) => format!("{:+.1}%", r * 100.0),
+                None => "-".to_string(),
+            };
+            writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>9} {:>5.0}%{}",
+                d.name,
+                ms(d.baseline_ns),
+                ms(d.current_ns),
+                delta,
+                d.tolerance * 100.0,
+                if d.regressed { "  REGRESSED" } else { "" }
+            )
+            .unwrap();
+        }
+        let n = self.deltas.iter().filter(|d| d.regressed).count();
+        if n > 0 {
+            writeln!(out, "{n} span(s) regressed").unwrap();
+        } else {
+            writeln!(out, "no regressions").unwrap();
+        }
+        out
+    }
+}
+
+/// Extract `pipeline` and the span → `total_ns` map from a `BENCH_*.json`
+/// document.
+pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), String> {
+    let doc = parse(text)?;
+    let pipeline = doc
+        .get("pipeline")
+        .and_then(Json::as_str)
+        .ok_or("report has no \"pipeline\" field")?
+        .to_string();
+    let spans_obj = doc.get("spans").and_then(Json::as_obj).ok_or("report has no \"spans\"")?;
+    let mut spans = BTreeMap::new();
+    for (name, stat) in spans_obj {
+        let total = stat
+            .get("total_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("span {name:?} has no integer \"total_ns\""))?;
+        spans.insert(name.clone(), total);
+    }
+    Ok((pipeline, spans))
+}
+
+/// Compare two span maps. Regression rules:
+///
+/// * both sides below `min_total_ns` → ignored (reported, never regressed);
+/// * grew more than the span's tolerance → regressed;
+/// * present in baseline above the floor but missing now (or vice versa) →
+///   regressed: a disappearing span means the instrumentation broke, an
+///   appearing one means the baseline is stale — both need a human.
+/// * shrank → fine (improvements are re-blessed by updating baselines).
+pub fn diff_spans(
+    pipeline: &str,
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    cfg: &DiffConfig,
+) -> DiffReport {
+    let mut names: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut deltas = Vec::new();
+    for name in names {
+        let b = baseline.get(name).copied();
+        let c = current.get(name).copied();
+        let tolerance = cfg.per_span.get(name).copied().unwrap_or(cfg.tolerance);
+        let above_floor = b.unwrap_or(0).max(c.unwrap_or(0)) >= cfg.min_total_ns;
+        let (ratio, regressed) = match (b, c) {
+            (Some(b), Some(c)) => {
+                let ratio = if b == 0 {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    c as f64 / b as f64 - 1.0
+                };
+                (Some(ratio), above_floor && ratio > tolerance)
+            }
+            _ => (None, above_floor),
+        };
+        deltas.push(SpanDelta {
+            name: name.clone(),
+            baseline_ns: b,
+            current_ns: c,
+            ratio,
+            tolerance,
+            regressed,
+        });
+    }
+    deltas.sort_by(|a, b| b.regressed.cmp(&a.regressed).then_with(|| a.name.cmp(&b.name)));
+    DiffReport { pipeline: pipeline.to_string(), deltas }
+}
+
+/// Convenience: parse both documents and diff them. The pipeline name is
+/// taken from the baseline; mismatched names are an error (diffing reptile
+/// against closet is never intended).
+pub fn diff_bench_json(
+    baseline_text: &str,
+    current_text: &str,
+    cfg: &DiffConfig,
+) -> Result<DiffReport, String> {
+    let (base_pipeline, base_spans) = parse_bench_spans(baseline_text)?;
+    let (cur_pipeline, cur_spans) = parse_bench_spans(current_text)?;
+    if base_pipeline != cur_pipeline {
+        return Err(format!(
+            "pipeline mismatch: baseline is {base_pipeline:?}, current is {cur_pipeline:?}"
+        ));
+    }
+    Ok(diff_spans(&base_pipeline, &base_spans, &cur_spans, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn growth_past_tolerance_regresses() {
+        let base = spans(&[("a", 100_000_000), ("b", 100_000_000)]);
+        let cur = spans(&[("a", 110_000_000), ("b", 130_000_000)]);
+        let report = diff_spans("p", &base, &cur, &DiffConfig::default());
+        assert!(report.has_regressions());
+        let b = report.deltas.iter().find(|d| d.name == "b").unwrap();
+        assert!(b.regressed, "+30% > 15% tolerance");
+        let a = report.deltas.iter().find(|d| d.name == "a").unwrap();
+        assert!(!a.regressed, "+10% within tolerance");
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn tiny_spans_are_noise() {
+        let base = spans(&[("tiny", 10_000)]);
+        let cur = spans(&[("tiny", 90_000)]);
+        let report = diff_spans("p", &base, &cur, &DiffConfig::default());
+        assert!(!report.has_regressions(), "+800% but below the 1ms floor");
+    }
+
+    #[test]
+    fn missing_spans_above_floor_regress() {
+        let base = spans(&[("gone", 50_000_000)]);
+        let cur = spans(&[("new", 50_000_000)]);
+        let report = diff_spans("p", &base, &cur, &DiffConfig::default());
+        assert_eq!(report.deltas.iter().filter(|d| d.regressed).count(), 2);
+    }
+
+    #[test]
+    fn per_span_override_applies() {
+        let base = spans(&[("noisy", 100_000_000)]);
+        let cur = spans(&[("noisy", 160_000_000)]);
+        let mut cfg = DiffConfig::default();
+        cfg.per_span.insert("noisy".to_string(), 0.75);
+        assert!(!diff_spans("p", &base, &cur, &cfg).has_regressions(), "+60% under 75% override");
+        assert!(
+            diff_spans("p", &base, &cur, &DiffConfig::default()).has_regressions(),
+            "+60% over the default 15%"
+        );
+    }
+
+    #[test]
+    fn improvements_never_regress() {
+        let base = spans(&[("fast", 200_000_000)]);
+        let cur = spans(&[("fast", 50_000_000)]);
+        assert!(!diff_spans("p", &base, &cur, &DiffConfig::default()).has_regressions());
+    }
+
+    #[test]
+    fn diff_bench_json_round_trips_report_output() {
+        let c = crate::Collector::new();
+        c.record_span_ns("p.build", 100_000_000, 4);
+        let base = c.report("p").to_json();
+        let c2 = crate::Collector::new();
+        c2.record_span_ns("p.build", 200_000_000, 4);
+        let cur = c2.report("p").to_json();
+        let report = diff_bench_json(&base, &cur, &DiffConfig::default()).unwrap();
+        assert!(report.has_regressions());
+        // Pipeline mismatch errors.
+        let other = crate::Collector::new().report("q").to_json();
+        assert!(diff_bench_json(&base, &other, &DiffConfig::default()).is_err());
+    }
+}

@@ -193,6 +193,69 @@ mod tests {
         assert!(h.nonzero_buckets().is_empty());
     }
 
+    /// Audit regression: bucket boundaries at exact powers of two. A value
+    /// of exactly 2^k must land in the bucket whose *inclusive lower bound*
+    /// is 2^k (bucket k+1), with 2^k−1 in the bucket below and 2^k+1
+    /// alongside 2^k — i.e. bucket i ≥ 1 covers [2^(i−1), 2^i) with no
+    /// off-by-one at either edge.
+    #[test]
+    fn power_of_two_boundaries_have_no_off_by_one() {
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_lo(2), 2);
+        for k in 1..64usize {
+            let p = 1u64 << k;
+            assert_eq!(bucket_of(p), k + 1, "2^{k} must open bucket {}", k + 1);
+            assert_eq!(bucket_lo(k + 1), p, "bucket {} must start at 2^{k}", k + 1);
+            assert_eq!(bucket_of(p - 1), k, "2^{k}-1 must close bucket {k}");
+            assert_eq!(bucket_hi(k), p - 1, "bucket {k} must end at 2^{k}-1");
+            assert_eq!(bucket_of(p + 1), k + 1, "2^{k}+1 shares 2^{k}'s bucket");
+        }
+        // Recording at the edges distributes as the bounds promise.
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 1 << 10, (1 << 10) - 1, (1 << 10) + 1] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![(1, 1, 1), (2, 3, 1), (512, 1023, 1), (1024, 2047, 2)],
+            "1→[1,1], 2→[2,3], 1023→[512,1023], 1024 and 1025→[1024,2047]"
+        );
+    }
+
+    /// Pins the quantile estimator against exact percentiles of a known
+    /// distribution (uniform 1..=1000). The estimate is the covering
+    /// bucket's upper bound clamped to the observed max, so it must never
+    /// undershoot the exact percentile and never overshoot by more than
+    /// one bucket width (2× for a log₂ histogram).
+    #[test]
+    fn quantile_estimates_pin_to_exact_percentiles() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Exact p50 = 500 → covering bucket [256,511] (cumulative 511) →
+        // estimate 511.
+        assert_eq!(h.quantile(0.5), Some(511));
+        // Exact p90 = 900 → bucket [512,1023] → clamped to max 1000.
+        assert_eq!(h.quantile(0.9), Some(1000));
+        // Exact p99 = 990 → same bucket, same clamp.
+        assert_eq!(h.quantile(0.99), Some(1000));
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let est = h.quantile(q).unwrap();
+            assert!(est >= exact, "p{q} estimate {est} undershoots exact {exact}");
+            assert!(est < exact * 2, "p{q} estimate {est} overshoots 2×exact {exact}");
+        }
+        // Degenerate distribution: every quantile is the single value.
+        let mut one = LogHistogram::new();
+        one.record_n(7, 100);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(7));
+        }
+    }
+
     #[test]
     fn quantile_is_monotone() {
         let mut h = LogHistogram::new();

@@ -23,22 +23,31 @@
 //! * [`LogHistogram`] — log₂-bucketed `u64` histograms for heavy-tailed
 //!   quantities: k-mer multiplicities, clique sizes, scaled EM deltas.
 //! * [`MemoryProbe`] — current and peak RSS from `/proc/self/status`
-//!   (zeros on non-Linux platforms).
+//!   (`None` on platforms without procfs).
 //! * [`Report`] — an immutable snapshot rendering both a human table
 //!   ([`Report::render_table`]) and machine-readable JSON
 //!   ([`Report::to_json`], the `BENCH_<pipeline>.json` schema), with
 //!   [`Report::merge`] for folding multi-process or multi-phase runs.
+//! * [`Tracer`] — per-occurrence event timelines beneath the aggregates:
+//!   hierarchical spans with begin/end/instant events, serialised as JSONL
+//!   and viewable in `chrome://tracing` via the `ngs-trace` binary (see
+//!   the [`trace`] module and DESIGN.md §Tracing).
 
+pub mod diff;
 mod histogram;
+pub mod json;
 mod memory;
 mod report;
+pub mod trace;
+pub mod traceview;
 
 pub use histogram::LogHistogram;
 pub use memory::{read_memory, MemoryProbe};
 pub use report::{Report, SpanStat};
+pub use trace::{SpanId, TraceContext, TraceEvent, TraceEventKind, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Mutable aggregation state behind the collector's mutex.
@@ -60,23 +69,35 @@ struct Inner {
 pub struct Collector {
     enabled: bool,
     inner: Mutex<Inner>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Collector {
     /// A recording collector.
     pub fn new() -> Collector {
-        Collector { enabled: true, inner: Mutex::new(Inner::default()) }
+        Collector { enabled: true, inner: Mutex::new(Inner::default()), tracer: None }
     }
 
     /// A collector that ignores everything (for un-instrumented entry
     /// points; keeps plain `run()` overhead negligible).
     pub fn disabled() -> Collector {
-        Collector { enabled: false, inner: Mutex::new(Inner::default()) }
+        Collector { enabled: false, inner: Mutex::new(Inner::default()), tracer: None }
+    }
+
+    /// A recording collector whose spans also emit trace events into
+    /// `tracer` (always enabled: a tracer needs the spans to fire).
+    pub fn with_tracer(tracer: Arc<Tracer>) -> Collector {
+        Collector { enabled: true, inner: Mutex::new(Inner::default()), tracer: Some(tracer) }
     }
 
     /// Whether this collector records anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Open a span at `path` (dot-separated hierarchy). The span is recorded
@@ -90,11 +111,41 @@ impl Collector {
 
     /// Open a span with an explicit thread count.
     pub fn span_with_threads<'c>(&'c self, path: &str, threads: usize) -> SpanGuard<'c> {
+        let trace_id = match &self.tracer {
+            Some(t) if self.enabled => t.begin(path),
+            _ => SpanId::ROOT,
+        };
         SpanGuard {
             collector: self,
             path: if self.enabled { path.to_string() } else { String::new() },
             start: Instant::now(),
             threads,
+            trace_id,
+        }
+    }
+
+    /// Open a span whose trace event parents under an explicit `parent`
+    /// span id (for work running on a different thread than the stage that
+    /// spawned it, e.g. MapReduce task attempts). `detail` annotates the
+    /// trace event (`task=3 attempt=1`); aggregates ignore it. Without a
+    /// tracer this is identical to [`Collector::span_with_threads`].
+    pub fn span_traced<'c>(
+        &'c self,
+        path: &str,
+        parent: SpanId,
+        detail: &str,
+        threads: usize,
+    ) -> SpanGuard<'c> {
+        let trace_id = match &self.tracer {
+            Some(t) if self.enabled => t.begin_under_detail(path, parent, detail),
+            _ => SpanId::ROOT,
+        };
+        SpanGuard {
+            collector: self,
+            path: if self.enabled { path.to_string() } else { String::new() },
+            start: Instant::now(),
+            threads,
+            trace_id,
         }
     }
 
@@ -171,12 +222,14 @@ impl Collector {
     }
 }
 
-/// RAII guard recording one span occurrence on drop.
+/// RAII guard recording one span occurrence on drop (and, when the
+/// collector carries a tracer, closing the matching trace span).
 pub struct SpanGuard<'c> {
     collector: &'c Collector,
     path: String,
     start: Instant,
     threads: usize,
+    trace_id: SpanId,
 }
 
 impl SpanGuard<'_> {
@@ -184,10 +237,19 @@ impl SpanGuard<'_> {
     pub fn elapsed(&self) -> std::time::Duration {
         self.start.elapsed()
     }
+
+    /// The trace span id backing this guard (`SpanId::ROOT` when no tracer
+    /// is attached) — pass it as the parent of cross-thread children.
+    pub fn trace_id(&self) -> SpanId {
+        self.trace_id
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        if let Some(t) = &self.collector.tracer {
+            t.end(self.trace_id);
+        }
         if !self.collector.enabled {
             return;
         }
@@ -237,6 +299,28 @@ mod tests {
         assert!(r.counters.is_empty());
         assert!(r.gauges.is_empty());
         assert!(r.histograms.is_empty());
+    }
+
+    #[test]
+    fn collector_spans_emit_trace_events() {
+        let tracer = Arc::new(Tracer::new());
+        let c = Collector::with_tracer(tracer.clone());
+        {
+            let outer = c.span("outer");
+            let _inner = c.span_traced("inner", outer.trace_id(), "task=0 attempt=0", 2);
+        }
+        let events = tracer.events();
+        let begins: Vec<_> = events.iter().filter(|e| e.kind == TraceEventKind::Begin).collect();
+        assert_eq!(begins.len(), 2);
+        assert_eq!(begins[0].name, "outer");
+        assert_eq!(begins[1].name, "inner");
+        assert_eq!(begins[1].parent, begins[0].id);
+        assert_eq!(begins[1].detail, "task=0 attempt=0");
+        assert_eq!(events.iter().filter(|e| e.kind == TraceEventKind::End).count(), 2);
+        // Aggregates still recorded.
+        let r = c.report("t");
+        assert_eq!(r.spans["outer"].count, 1);
+        assert_eq!(r.spans["inner"].count, 1);
     }
 
     #[test]

@@ -6,16 +6,22 @@
 //! {
 //!   "schema_version": 1,
 //!   "pipeline": "reptile",
-//!   "memory": {"rss_bytes": 0, "peak_rss_bytes": 0},
+//!   "memory": {"rss_bytes": 1048576, "peak_rss_bytes": 2097152},
 //!   "spans": {"reptile.build": {"count": 1, "total_ns": 9, "min_ns": 9,
 //!             "max_ns": 9, "threads": 8}},
 //!   "counters": {"reptile.bases_changed": 42},
 //!   "gauges": {"redeem.threshold.value": 7.25},
 //!   "histograms": {"reptile.kmer_multiplicity": {"count": 10, "sum": 55,
 //!                  "min": 1, "max": 16, "mean": 5.5,
+//!                  "p50": 4, "p90": 15, "p99": 16,
 //!                  "buckets": [{"lo": 1, "hi": 1, "count": 3}]}}
 //! }
 //! ```
+//!
+//! Memory fields are `null` when `/proc/self/status` is unavailable (the
+//! probe distinguishes "no reading" from "zero bytes"); `p50`/`p90`/`p99`
+//! are bucket-resolution estimates from the log₂ histogram (see
+//! [`LogHistogram::quantile`]) and are `null` on empty histograms.
 
 use crate::histogram::LogHistogram;
 use crate::memory::MemoryProbe;
@@ -162,31 +168,36 @@ impl Report {
         if !self.histograms.is_empty() {
             writeln!(
                 out,
-                "{:<44} {:>10} {:>12} {:>8} {:>8} {:>10}",
-                "histogram", "count", "mean", "min", "max", "p99"
+                "{:<44} {:>10} {:>12} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "min", "max", "p50", "p90", "p99"
             )
             .unwrap();
             for (name, h) in &self.histograms {
                 writeln!(
                     out,
-                    "{:<44} {:>10} {:>12.2} {:>8} {:>8} {:>10}",
+                    "{:<44} {:>10} {:>12.2} {:>8} {:>8} {:>10} {:>10} {:>10}",
                     name,
                     h.count(),
                     h.mean(),
                     h.min().unwrap_or(0),
                     h.max().unwrap_or(0),
+                    h.quantile(0.5).unwrap_or(0),
+                    h.quantile(0.9).unwrap_or(0),
                     h.quantile(0.99).unwrap_or(0)
                 )
                 .unwrap();
             }
         }
-        writeln!(
-            out,
-            "memory: rss {:.1} MB, peak {:.1} MB",
-            self.memory.rss_bytes as f64 / (1024.0 * 1024.0),
-            self.memory.peak_rss_bytes as f64 / (1024.0 * 1024.0)
-        )
-        .unwrap();
+        match (self.memory.rss_bytes, self.memory.peak_rss_bytes) {
+            (None, None) => {}
+            (rss, peak) => {
+                let mb = |b: Option<u64>| match b {
+                    Some(b) => format!("{:.1} MB", b as f64 / (1024.0 * 1024.0)),
+                    None => "n/a".to_string(),
+                };
+                writeln!(out, "memory: rss {}, peak {}", mb(rss), mb(peak)).unwrap();
+            }
+        }
         out
     }
 
@@ -196,9 +207,9 @@ impl Report {
         out.push_str("{\n  \"schema_version\": 1,\n  \"pipeline\": ");
         json_string(&mut out, &self.pipeline);
         out.push_str(",\n  \"memory\": {\"rss_bytes\": ");
-        write!(out, "{}", self.memory.rss_bytes).unwrap();
+        json_opt_u64(&mut out, self.memory.rss_bytes);
         out.push_str(", \"peak_rss_bytes\": ");
-        write!(out, "{}", self.memory.peak_rss_bytes).unwrap();
+        json_opt_u64(&mut out, self.memory.peak_rss_bytes);
         out.push_str("},\n  \"spans\": {");
         for (i, (path, s)) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -253,6 +264,12 @@ impl Report {
             )
             .unwrap();
             json_f64(&mut out, h.mean());
+            out.push_str(", \"p50\": ");
+            json_opt_u64(&mut out, h.quantile(0.5));
+            out.push_str(", \"p90\": ");
+            json_opt_u64(&mut out, h.quantile(0.9));
+            out.push_str(", \"p99\": ");
+            json_opt_u64(&mut out, h.quantile(0.99));
             out.push_str(", \"buckets\": [");
             for (j, (lo, hi, c)) in h.nonzero_buckets().into_iter().enumerate() {
                 if j > 0 {
@@ -268,7 +285,7 @@ impl Report {
 }
 
 /// Append a JSON-escaped string literal.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -290,6 +307,14 @@ fn json_f64(out: &mut String, v: f64) {
         write!(out, "{v}").unwrap();
     } else {
         out.push_str("null");
+    }
+}
+
+/// Append an optional integer (`None` → null).
+fn json_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => write!(out, "{v}").unwrap(),
+        None => out.push_str("null"),
     }
 }
 

@@ -1,0 +1,555 @@
+//! Structured event tracing: per-occurrence timelines beneath the
+//! aggregate [`Collector`](crate::Collector) metrics.
+//!
+//! Aggregates answer *how much*; traces answer *where and when*. A
+//! [`Tracer`] records begin/end/instant events with hierarchical span IDs
+//! (parent/child), per-thread tags and nanosecond timestamps into a
+//! lock-sharded buffer, and serialises them as JSONL (`schema_version 1`,
+//! see [`Tracer::to_jsonl`]). The `ngs-trace` binary converts a trace to
+//! Chrome `chrome://tracing` JSON, prints a critical-path summary, and
+//! diffs two `BENCH_*.json` reports (see `ngs_observe::{traceview, diff}`).
+//!
+//! Parenting works two ways:
+//!
+//! * **Ambient** — every thread keeps a stack of its open spans; a span
+//!   opened without an explicit parent nests under the innermost open span
+//!   of the same tracer on the same thread. RAII guards keep this stack
+//!   balanced, panics included.
+//! * **Explicit** — a [`TraceContext`] carries `(tracer, parent span)`
+//!   across thread boundaries, so work scheduled on other threads (e.g.
+//!   MapReduce task attempts) parents under the stage that spawned it
+//!   rather than under that worker thread's (empty) stack.
+//!
+//! A disabled tracer ([`Tracer::disabled`]) turns every call into a cheap
+//! branch — no allocation, no locking — so un-traced runs pay (almost)
+//! nothing, the same contract as the disabled collector.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Version of the JSONL trace schema written by [`Tracer::to_jsonl`].
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Buffer shards; events land in the shard of their thread tag, so
+/// concurrent recorders rarely contend on a lock.
+const SHARDS: usize = 16;
+
+/// Identifier of one span occurrence. `SpanId::ROOT` (0) is the synthetic
+/// root: spans parented there are top-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The synthetic root (no parent).
+    pub const ROOT: SpanId = SpanId(0);
+
+    /// Raw id value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id from its raw value (for trace file parsing).
+    pub fn from_u64(v: u64) -> SpanId {
+        SpanId(v)
+    }
+
+    /// Whether this is the synthetic root.
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point-in-time event (no duration).
+    Instant,
+}
+
+impl TraceEventKind {
+    /// One-letter JSONL tag (`B`/`E`/`I`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceEventKind::Begin => "B",
+            TraceEventKind::End => "E",
+            TraceEventKind::Instant => "I",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Begin / End / Instant.
+    pub kind: TraceEventKind,
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// The span this event belongs to (instants get their own id).
+    pub id: SpanId,
+    /// Parent span (ROOT for top-level; ROOT on End events — the tree is
+    /// reconstructed from Begin events).
+    pub parent: SpanId,
+    /// Span name (dot-separated path convention; empty on End events).
+    pub name: String,
+    /// Free-form annotation, e.g. `task=3 attempt=1` (empty = none).
+    pub detail: String,
+    /// Per-process thread tag (small dense integers, not OS TIDs).
+    pub thread: u64,
+    /// Nanoseconds since the tracer's epoch.
+    pub ts_ns: u64,
+}
+
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACER_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Dense per-thread tag, assigned on first trace activity.
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+    /// Ambient stack of open spans: `(tracer instance, span id)`. Tagged by
+    /// tracer instance so two tracers interleaving on one thread (tests,
+    /// nested tools) never see each other's spans as parents.
+    static AMBIENT: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// This thread's dense tag (stable for the thread's lifetime).
+pub fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| *t)
+}
+
+/// An event-recording tracer. Cheap no-op when disabled.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    instance: u64,
+    next_span: AtomicU64,
+    next_seq: AtomicU64,
+    epoch: Instant,
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    fn with_enabled(enabled: bool) -> Tracer {
+        Tracer {
+            enabled,
+            instance: NEXT_TRACER_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            next_span: AtomicU64::new(1),
+            next_seq: AtomicU64::new(1),
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// A recording tracer.
+    pub fn new() -> Tracer {
+        Tracer::with_enabled(true)
+    }
+
+    /// A tracer that ignores everything (for un-traced entry points).
+    pub fn disabled() -> Tracer {
+        Tracer::with_enabled(false)
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn push_event(&self, ev: TraceEvent) {
+        let shard = (ev.thread as usize) % SHARDS;
+        self.shards[shard].lock().unwrap().push(ev);
+    }
+
+    /// The innermost open span of *this* tracer on the current thread
+    /// (ROOT when none).
+    pub fn current_parent(&self) -> SpanId {
+        if !self.enabled {
+            return SpanId::ROOT;
+        }
+        AMBIENT.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|&&(inst, _)| inst == self.instance)
+                .map_or(SpanId::ROOT, |&(_, id)| SpanId(id))
+        })
+    }
+
+    /// Core begin: record the event, push the ambient stack, return the new
+    /// span id. `parent: None` means "use the ambient parent".
+    fn begin_full(&self, name: &str, parent: Option<SpanId>, detail: &str) -> SpanId {
+        if !self.enabled {
+            return SpanId::ROOT;
+        }
+        let parent = parent.unwrap_or_else(|| self.current_parent());
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        let ev = TraceEvent {
+            kind: TraceEventKind::Begin,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            id,
+            parent,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            thread: thread_tag(),
+            ts_ns: self.now_ns(),
+        };
+        self.push_event(ev);
+        AMBIENT.with(|stack| stack.borrow_mut().push((self.instance, id.0)));
+        id
+    }
+
+    /// Open a span under the ambient parent of the current thread.
+    pub fn begin(&self, name: &str) -> SpanId {
+        self.begin_full(name, None, "")
+    }
+
+    /// Open a span under an explicit parent (cross-thread propagation).
+    pub fn begin_under(&self, name: &str, parent: SpanId) -> SpanId {
+        self.begin_full(name, Some(parent), "")
+    }
+
+    /// Open a span under an explicit parent, with a detail annotation.
+    pub fn begin_under_detail(&self, name: &str, parent: SpanId, detail: &str) -> SpanId {
+        self.begin_full(name, Some(parent), detail)
+    }
+
+    /// Close span `id`. Tolerates out-of-order closes (the matching stack
+    /// entry is removed wherever it sits). No-op for ROOT / disabled.
+    pub fn end(&self, id: SpanId) {
+        if !self.enabled || id.is_root() {
+            return;
+        }
+        let ev = TraceEvent {
+            kind: TraceEventKind::End,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            id,
+            parent: SpanId::ROOT,
+            name: String::new(),
+            detail: String::new(),
+            thread: thread_tag(),
+            ts_ns: self.now_ns(),
+        };
+        self.push_event(ev);
+        AMBIENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) =
+                stack.iter().rposition(|&(inst, sid)| inst == self.instance && sid == id.0)
+            {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    /// Record an instant event under the ambient parent.
+    pub fn instant(&self, name: &str, detail: &str) {
+        self.instant_under(name, self.current_parent(), detail);
+    }
+
+    /// Record an instant event under an explicit parent.
+    pub fn instant_under(&self, name: &str, parent: SpanId, detail: &str) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            kind: TraceEventKind::Instant,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            id: SpanId(self.next_span.fetch_add(1, Ordering::Relaxed)),
+            parent,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            thread: thread_tag(),
+            ts_ns: self.now_ns(),
+        };
+        self.push_event(ev);
+    }
+
+    /// RAII span under the ambient parent.
+    pub fn span<'t>(&'t self, name: &str) -> TraceSpan<'t> {
+        TraceSpan { tracer: self, id: self.begin(name) }
+    }
+
+    /// RAII span under an explicit parent.
+    pub fn span_under<'t>(&'t self, name: &str, parent: SpanId) -> TraceSpan<'t> {
+        TraceSpan { tracer: self, id: self.begin_under(name, parent) }
+    }
+
+    /// RAII span under an explicit parent, with a detail annotation.
+    pub fn span_under_detail<'t>(
+        &'t self,
+        name: &str,
+        parent: SpanId,
+        detail: &str,
+    ) -> TraceSpan<'t> {
+        TraceSpan { tracer: self, id: self.begin_under_detail(name, parent, detail) }
+    }
+
+    /// Every event recorded so far, in global `seq` order. Snapshots (does
+    /// not drain), so it can be called mid-run.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().unwrap().iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Serialise the trace as JSONL (`schema_version` 1): a header object
+    /// followed by one event object per line. Keys are always present:
+    ///
+    /// ```json
+    /// {"schema_version": 1, "kind": "ngs-trace", "unit": "ns"}
+    /// {"ev": "B", "seq": 1, "id": 1, "parent": 0, "name": "reptile.run",
+    ///  "detail": "", "tid": 1, "ts_ns": 120}
+    /// {"ev": "E", "seq": 2, "id": 1, "parent": 0, "name": "", "detail": "",
+    ///  "tid": 1, "ts_ns": 990}
+    /// ```
+    ///
+    /// The caller persists this through `ngs_durable::write_atomic` (the
+    /// crate dependency points the other way, so the write lives with the
+    /// caller), which is what the `--trace-jsonl` CLI flag does — a crash
+    /// never leaves a torn trace file.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        writeln!(
+            out,
+            "{{\"schema_version\": {TRACE_SCHEMA_VERSION}, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}}"
+        )
+        .unwrap();
+        for e in &events {
+            write!(
+                out,
+                "{{\"ev\": \"{}\", \"seq\": {}, \"id\": {}, \"parent\": {}, \"name\": ",
+                e.kind.tag(),
+                e.seq,
+                e.id.as_u64(),
+                e.parent.as_u64()
+            )
+            .unwrap();
+            crate::report::json_string(&mut out, &e.name);
+            out.push_str(", \"detail\": ");
+            crate::report::json_string(&mut out, &e.detail);
+            writeln!(out, ", \"tid\": {}, \"ts_ns\": {}}}", e.thread, e.ts_ns).unwrap();
+        }
+        out
+    }
+}
+
+/// RAII guard closing its span on drop (panic-safe: unwinding drops it).
+pub struct TraceSpan<'t> {
+    tracer: &'t Tracer,
+    id: SpanId,
+}
+
+impl TraceSpan<'_> {
+    /// The span's id, for parenting children explicitly.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        self.tracer.end(self.id);
+    }
+}
+
+/// A `(tracer, parent span)` pair that crosses thread boundaries: clone it
+/// into worker closures so their spans parent under the stage/job that
+/// spawned them instead of the worker thread's own (empty) ambient stack.
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    tracer: Arc<Tracer>,
+    parent: SpanId,
+}
+
+impl TraceContext {
+    /// Context parented at the calling thread's ambient span (ROOT when
+    /// nothing is open).
+    pub fn new(tracer: Arc<Tracer>) -> TraceContext {
+        let parent = tracer.current_parent();
+        TraceContext { tracer, parent }
+    }
+
+    /// Context with an explicit parent.
+    pub fn with_parent(tracer: Arc<Tracer>, parent: SpanId) -> TraceContext {
+        TraceContext { tracer, parent }
+    }
+
+    /// The underlying tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The parent span this context points at.
+    pub fn parent(&self) -> SpanId {
+        self.parent
+    }
+
+    /// A child context parented at `parent` (same tracer).
+    pub fn child(&self, parent: SpanId) -> TraceContext {
+        TraceContext { tracer: self.tracer.clone(), parent }
+    }
+
+    /// RAII span under this context's parent.
+    pub fn span<'t>(&'t self, name: &str) -> TraceSpan<'t> {
+        self.tracer.span_under(name, self.parent)
+    }
+
+    /// Instant event under this context's parent.
+    pub fn instant(&self, name: &str, detail: &str) {
+        self.tracer.instant_under(name, self.parent, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begins(events: &[TraceEvent]) -> Vec<&TraceEvent> {
+        events.iter().filter(|e| e.kind == TraceEventKind::Begin).collect()
+    }
+
+    #[test]
+    fn ambient_nesting_parents_children() {
+        let t = Tracer::new();
+        {
+            let outer = t.span("outer");
+            {
+                let inner = t.span("inner");
+                assert_ne!(inner.id(), outer.id());
+            }
+            t.instant("tick", "n=1");
+        }
+        let events = t.events();
+        let b = begins(&events);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].parent, SpanId::ROOT);
+        assert_eq!(b[1].parent, b[0].id, "inner parents under outer");
+        let instant = events.iter().find(|e| e.kind == TraceEventKind::Instant).unwrap();
+        assert_eq!(instant.parent, b[0].id, "instant after inner closed parents under outer");
+        // Begin/end balance per id.
+        let ends: Vec<_> = events.iter().filter(|e| e.kind == TraceEventKind::End).collect();
+        assert_eq!(ends.len(), 2);
+    }
+
+    #[test]
+    fn explicit_parent_wins_over_ambient() {
+        let t = Tracer::new();
+        let outer = t.span("outer");
+        let detached = t.span_under("detached", SpanId::ROOT);
+        let events = t.events();
+        let b = begins(&events);
+        assert_eq!(b[1].parent, SpanId::ROOT);
+        drop(detached);
+        drop(outer);
+    }
+
+    #[test]
+    fn context_crosses_threads() {
+        let tracer = Arc::new(Tracer::new());
+        let stage = tracer.span("stage");
+        let ctx = TraceContext::with_parent(tracer.clone(), stage.id());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let ctx = ctx.clone();
+                scope.spawn(move || {
+                    let _task = ctx.span("task");
+                });
+            }
+        });
+        drop(stage);
+        let events = tracer.events();
+        let b = begins(&events);
+        let stage_id = b.iter().find(|e| e.name == "stage").unwrap().id;
+        let tasks: Vec<_> = b.iter().filter(|e| e.name == "task").collect();
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|e| e.parent == stage_id), "tasks parent under stage");
+        // Threads got distinct tags.
+        let tids: std::collections::BTreeSet<u64> = tasks.iter().map(|e| e.thread).collect();
+        assert_eq!(tids.len(), 3);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let s = t.span("x");
+        assert!(s.id().is_root());
+        drop(s);
+        t.instant("y", "");
+        assert!(t.events().is_empty());
+        assert_eq!(t.to_jsonl().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_parent() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        let _sa = a.span("a.outer");
+        let sb = b.span("b.span");
+        let events = b.events();
+        assert_eq!(begins(&events)[0].parent, SpanId::ROOT, "b must not parent under a's span");
+        drop(sb);
+    }
+
+    #[test]
+    fn end_survives_panic_via_guard() {
+        let t = Tracer::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _s = t.span("will_panic");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let events = t.events();
+        assert_eq!(events.len(), 2, "begin and end despite the panic");
+        assert_eq!(events[1].kind, TraceEventKind::End);
+        assert_eq!(t.current_parent(), SpanId::ROOT, "ambient stack unwound");
+    }
+
+    #[test]
+    fn jsonl_has_header_and_one_line_per_event() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("a");
+            t.instant("i", "k=v");
+        }
+        let text = t.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[0].contains("\"schema_version\": 1"));
+        assert!(lines[1].contains("\"ev\": \"B\""));
+        assert!(lines[2].contains("\"ev\": \"I\""));
+        assert!(lines[3].contains("\"ev\": \"E\""));
+    }
+
+    #[test]
+    fn seq_orders_events_totally() {
+        let t = Tracer::new();
+        for _ in 0..10 {
+            let _s = t.span("x");
+        }
+        let events = t.events();
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Reading and analysing JSONL traces: parsing, well-formedness checks,
+//! Chrome `chrome://tracing` conversion and critical-path summaries. The
+//! `ngs-trace` binary is a thin CLI over this module.
+
+use crate::json::{parse, Json};
+use crate::trace::{SpanId, TraceEvent, TraceEventKind, TRACE_SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed trace: the header's schema version plus the event list in
+/// `seq` order.
+#[derive(Debug, Clone)]
+pub struct ParsedTrace {
+    /// `schema_version` from the header line.
+    pub schema_version: u64,
+    /// Events sorted by `seq`.
+    pub events: Vec<TraceEvent>,
+}
+
+fn field_u64(obj: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer \"{key}\""))
+}
+
+fn field_str<'a>(obj: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    obj.get(key).and_then(Json::as_str).ok_or_else(|| format!("line {line_no}: missing \"{key}\""))
+}
+
+/// Parse a JSONL trace produced by [`Tracer::to_jsonl`](crate::Tracer::to_jsonl).
+/// Every line must parse; unknown schema versions and malformed events are
+/// errors, not skips — a trace a tool cannot fully read is a trace it
+/// cannot be trusted to analyse.
+pub fn parse_jsonl(text: &str) -> Result<ParsedTrace, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty trace: no header line")?;
+    let header = parse(header).map_err(|e| format!("line 1 (header): {e}"))?;
+    let schema_version = field_u64(&header, "schema_version", 1)?;
+    if schema_version != TRACE_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "unsupported schema_version {schema_version} (this tool reads {TRACE_SCHEMA_VERSION})"
+        ));
+    }
+    let mut events = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let obj = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let kind = match field_str(&obj, "ev", line_no)? {
+            "B" => TraceEventKind::Begin,
+            "E" => TraceEventKind::End,
+            "I" => TraceEventKind::Instant,
+            other => return Err(format!("line {line_no}: unknown event kind {other:?}")),
+        };
+        events.push(TraceEvent {
+            kind,
+            seq: field_u64(&obj, "seq", line_no)?,
+            id: SpanId::from_u64(field_u64(&obj, "id", line_no)?),
+            parent: SpanId::from_u64(field_u64(&obj, "parent", line_no)?),
+            name: field_str(&obj, "name", line_no)?.to_string(),
+            detail: field_str(&obj, "detail", line_no)?.to_string(),
+            thread: field_u64(&obj, "tid", line_no)?,
+            ts_ns: field_u64(&obj, "ts_ns", line_no)?,
+        });
+    }
+    events.sort_by_key(|e| e.seq);
+    Ok(ParsedTrace { schema_version, events })
+}
+
+/// One reconstructed span interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span's id.
+    pub id: SpanId,
+    /// Parent id (ROOT for top-level spans).
+    pub parent: SpanId,
+    /// Span name.
+    pub name: String,
+    /// Detail annotation from the begin event.
+    pub detail: String,
+    /// Thread the span began on.
+    pub thread: u64,
+    /// Begin timestamp, ns since trace epoch.
+    pub start_ns: u64,
+    /// End timestamp, ns since trace epoch.
+    pub end_ns: u64,
+}
+
+impl SpanNode {
+    /// Wall time of this span.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Check structural invariants and reconstruct the span tree:
+///
+/// 1. every Begin has exactly one matching End (per span id) and vice versa;
+/// 2. no span id begins twice;
+/// 3. every non-ROOT parent refers to a span that exists;
+/// 4. child intervals nest within their parent (`parent.start ≤ child.start`
+///    and `child.end ≤ parent.end`, with End-before-child's-End ordering
+///    checked on the seq axis so zero-length spans still validate).
+///
+/// Returns the spans keyed by id on success.
+pub fn check_well_formed(trace: &ParsedTrace) -> Result<BTreeMap<SpanId, SpanNode>, String> {
+    let mut spans: BTreeMap<SpanId, SpanNode> = BTreeMap::new();
+    let mut open: BTreeMap<SpanId, u64> = BTreeMap::new(); // id → begin seq
+    let mut end_seq: BTreeMap<SpanId, u64> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            TraceEventKind::Begin => {
+                if e.id.is_root() {
+                    return Err(format!("seq {}: begin with ROOT id", e.seq));
+                }
+                if spans.contains_key(&e.id) {
+                    return Err(format!("seq {}: span {} begins twice", e.seq, e.id.as_u64()));
+                }
+                open.insert(e.id, e.seq);
+                spans.insert(
+                    e.id,
+                    SpanNode {
+                        id: e.id,
+                        parent: e.parent,
+                        name: e.name.clone(),
+                        detail: e.detail.clone(),
+                        thread: e.thread,
+                        start_ns: e.ts_ns,
+                        end_ns: e.ts_ns,
+                    },
+                );
+            }
+            TraceEventKind::End => match open.remove(&e.id) {
+                None => {
+                    return Err(format!(
+                        "seq {}: end for span {} which is not open",
+                        e.seq,
+                        e.id.as_u64()
+                    ))
+                }
+                Some(_) => {
+                    let node = spans.get_mut(&e.id).unwrap();
+                    if e.ts_ns < node.start_ns {
+                        return Err(format!(
+                            "span {} ends at {} before it starts at {}",
+                            e.id.as_u64(),
+                            e.ts_ns,
+                            node.start_ns
+                        ));
+                    }
+                    node.end_ns = e.ts_ns;
+                    end_seq.insert(e.id, e.seq);
+                }
+            },
+            TraceEventKind::Instant => {}
+        }
+    }
+    if let Some((id, seq)) = open.iter().next() {
+        return Err(format!("span {} (begun at seq {seq}) never ends", id.as_u64()));
+    }
+    // Parent existence + interval nesting.
+    for node in spans.values() {
+        if node.parent.is_root() {
+            continue;
+        }
+        let parent = spans.get(&node.parent).ok_or_else(|| {
+            format!("span {} parents under unknown span {}", node.id.as_u64(), node.parent.as_u64())
+        })?;
+        if node.start_ns < parent.start_ns || node.end_ns > parent.end_ns {
+            return Err(format!(
+                "span {} [{}, {}] escapes parent {} [{}, {}]",
+                node.id.as_u64(),
+                node.start_ns,
+                node.end_ns,
+                parent.id.as_u64(),
+                parent.start_ns,
+                parent.end_ns
+            ));
+        }
+        if end_seq[&node.id] > end_seq[&node.parent] {
+            return Err(format!(
+                "span {} closes after its parent {}",
+                node.id.as_u64(),
+                node.parent.as_u64()
+            ));
+        }
+    }
+    Ok(spans)
+}
+
+/// The distinct span names in a trace (instants excluded) — what the CLI
+/// compares against `--metrics-json` required-span lists.
+pub fn span_names(trace: &ParsedTrace) -> Vec<String> {
+    let mut names: Vec<String> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::Begin)
+        .map(|e| e.name.clone())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Convert to Chrome `chrome://tracing` / Perfetto JSON (array-of-events
+/// form). Durations become `ph: "B"`/`"E"` pairs, instants `ph: "i"`;
+/// timestamps are microseconds as floats, so nanosecond precision
+/// survives. End events inherit their span's name (Chrome matches B/E
+/// pairs per thread by name, and our guards are LIFO per thread).
+pub fn to_chrome_json(trace: &ParsedTrace) -> String {
+    let mut names: BTreeMap<SpanId, &str> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == TraceEventKind::Begin {
+            names.insert(e.id, &e.name);
+        }
+    }
+    let mut out = String::with_capacity(64 + trace.events.len() * 128);
+    out.push_str("[\n");
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = match e.kind {
+            TraceEventKind::Begin => "B",
+            TraceEventKind::End => "E",
+            TraceEventKind::Instant => "i",
+        };
+        let name = match e.kind {
+            TraceEventKind::End => names.get(&e.id).copied().unwrap_or(""),
+            _ => &e.name,
+        };
+        write!(out, "{{\"ph\": \"{ph}\", \"pid\": 1, \"tid\": {}, \"ts\": ", e.thread).unwrap();
+        // Microseconds with ns precision.
+        write!(out, "{}.{:03}", e.ts_ns / 1_000, e.ts_ns % 1_000).unwrap();
+        out.push_str(", \"name\": ");
+        crate::report::json_string(&mut out, name);
+        if e.kind == TraceEventKind::Instant {
+            out.push_str(", \"s\": \"t\"");
+        }
+        if !e.detail.is_empty() || e.kind != TraceEventKind::End {
+            out.push_str(", \"args\": {\"detail\": ");
+            crate::report::json_string(&mut out, &e.detail);
+            write!(out, ", \"span_id\": {}, \"parent_id\": {}}}", e.id.as_u64(), e.parent.as_u64())
+                .unwrap();
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// One row of the critical-path summary: a span name with its aggregate
+/// *self* time (duration minus the time covered by direct children —
+/// where the run actually spent its wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfTimeRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Σ span duration.
+    pub total_ns: u64,
+    /// Σ max(0, duration − Σ direct children durations). Children running
+    /// concurrently on other threads can overlap each other, so self time
+    /// clamps at zero rather than going negative.
+    pub self_ns: u64,
+}
+
+/// Aggregate self time per span name, sorted by descending self time
+/// (then name, for determinism).
+pub fn self_time_summary(spans: &BTreeMap<SpanId, SpanNode>) -> Vec<SelfTimeRow> {
+    let mut child_total: BTreeMap<SpanId, u64> = BTreeMap::new();
+    for node in spans.values() {
+        if !node.parent.is_root() {
+            *child_total.entry(node.parent).or_insert(0) += node.duration_ns();
+        }
+    }
+    let mut rows: BTreeMap<&str, SelfTimeRow> = BTreeMap::new();
+    for node in spans.values() {
+        let duration = node.duration_ns();
+        let children = child_total.get(&node.id).copied().unwrap_or(0);
+        let row = rows.entry(&node.name).or_insert_with(|| SelfTimeRow {
+            name: node.name.clone(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        row.count += 1;
+        row.total_ns += duration;
+        row.self_ns += duration.saturating_sub(children);
+    }
+    let mut out: Vec<SelfTimeRow> = rows.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// Render the top-`n` self-time rows as a human table.
+pub fn render_summary(rows: &[SelfTimeRow], n: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "{:<44} {:>8} {:>14} {:>14}", "span", "count", "total_ms", "self_ms").unwrap();
+    for row in rows.iter().take(n) {
+        writeln!(
+            out,
+            "{:<44} {:>8} {:>14.3} {:>14.3}",
+            row.name,
+            row.count,
+            row.total_ns as f64 / 1e6,
+            row.self_ns as f64 / 1e6
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn sample_trace() -> ParsedTrace {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            t.instant("tick", "k=v");
+        }
+        parse_jsonl(&t.to_jsonl()).expect("own output must parse")
+    }
+
+    #[test]
+    fn round_trips_own_jsonl() {
+        let trace = sample_trace();
+        assert_eq!(trace.schema_version, 1);
+        assert_eq!(trace.events.len(), 5);
+        let spans = check_well_formed(&trace).expect("well-formed");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(span_names(&trace), vec!["inner".to_string(), "outer".to_string()]);
+    }
+
+    #[test]
+    fn detects_unbalanced_and_escaping_traces() {
+        let t = Tracer::new();
+        let id = t.begin("dangling");
+        let trace = parse_jsonl(&t.to_jsonl()).unwrap();
+        assert!(check_well_formed(&trace).unwrap_err().contains("never ends"));
+        t.end(id);
+
+        // Hand-built: child interval escapes its parent.
+        let bad = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"p\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 10}
+{\"ev\": \"B\", \"seq\": 2, \"id\": 2, \"parent\": 1, \"name\": \"c\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 20}
+{\"ev\": \"E\", \"seq\": 3, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 30}
+{\"ev\": \"E\", \"seq\": 4, \"id\": 2, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 40}
+";
+        let trace = parse_jsonl(bad).unwrap();
+        let err = check_well_formed(&trace).unwrap_err();
+        assert!(err.contains("escapes parent") || err.contains("closes after"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_schema_and_lines() {
+        assert!(parse_jsonl("").is_err());
+        assert!(parse_jsonl("{\"schema_version\": 99}").is_err());
+        let trace_with_garbage =
+            "{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}\nnot json\n";
+        assert!(parse_jsonl(trace_with_garbage).is_err());
+    }
+
+    #[test]
+    fn chrome_conversion_has_one_record_per_event() {
+        let trace = sample_trace();
+        let chrome = to_chrome_json(&trace);
+        let parsed = crate::json::parse(&chrome).expect("chrome JSON parses");
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), trace.events.len());
+        // B and E records carry the same name so Chrome can pair them.
+        let names: Vec<&str> =
+            arr.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+        assert_eq!(names.iter().filter(|&&n| n == "outer").count(), 2);
+        assert_eq!(names.iter().filter(|&&n| n == "inner").count(), 2);
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let bad = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"p\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"B\", \"seq\": 2, \"id\": 2, \"parent\": 1, \"name\": \"c\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 100}
+{\"ev\": \"E\", \"seq\": 3, \"id\": 2, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 700}
+{\"ev\": \"E\", \"seq\": 4, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 1000}
+";
+        let spans = check_well_formed(&parse_jsonl(bad).unwrap()).unwrap();
+        let rows = self_time_summary(&spans);
+        assert_eq!(rows[0].name, "c", "child dominates self time");
+        assert_eq!(rows[0].self_ns, 600);
+        assert_eq!(rows[1].name, "p");
+        assert_eq!(rows[1].self_ns, 400);
+        assert_eq!(rows[1].total_ns, 1000);
+        let table = render_summary(&rows, 10);
+        assert!(table.contains("self_ms"));
+    }
+}
