@@ -5,12 +5,25 @@
 //! instrumentation point fails the build instead of the next benchmarking
 //! session.
 //!
-//! Usage: `smoke_bench [--out-dir DIR]` (default `.`).
+//! Usage: `smoke_bench [--out-dir DIR] [--profile-mem] [--resource-jsonl PATH]`
+//! (default out-dir `.`). With `--profile-mem` the tracking allocator is
+//! enabled, so the reports carry nonzero `alloc` figures and per-span
+//! `alloc_peak_bytes`, and the peak watermark is rebased between pipelines
+//! so each report shows its own peak. The `NGS_SMOKE_ALLOC_BLOWUP_MB` env
+//! var is a test-only hook that holds an extra N-MiB buffer live across the
+//! reptile run — CI uses it to prove `ngs-trace diff` fails on the memory
+//! axis while wall time stays in tolerance.
 
 use ngs_bench::datasets;
 use ngs_observe::Collector;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Registered at compile time; counts nothing until `--profile-mem` flips
+/// it on (see `ngs_observe::alloc`).
+#[global_allocator]
+static ALLOC: ngs_observe::alloc::TrackingAllocator = ngs_observe::alloc::TrackingAllocator;
 
 /// The spans every pipeline must produce, keyed by pipeline name. The same
 /// lists gate the CLIs' `--metrics-json` runs (see `crates/cli/src/bin/`).
@@ -30,6 +43,8 @@ const REQUIRED: &[(&str, &[&str])] = &[
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from(".");
+    let mut profile_mem = false;
+    let mut resource_jsonl: Option<PathBuf> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(tok) = argv.next() {
         match tok.as_str() {
@@ -40,8 +55,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--profile-mem" => profile_mem = true,
+            "--resource-jsonl" => match argv.next() {
+                Some(path) => resource_jsonl = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--resource-jsonl requires a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!("unknown argument {other:?}; usage: smoke_bench [--out-dir DIR]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     smoke_bench [--out-dir DIR] [--profile-mem] [--resource-jsonl PATH]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -51,14 +77,55 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let runs: Vec<(&str, Collector)> =
-        vec![("reptile", run_reptile()), ("redeem", run_redeem()), ("closet", run_closet())];
+    // Measure tracking overhead before the pipelines so the figure lands in
+    // every report (the acceptance criterion wants it in the artifact).
+    let overhead_frac = profile_mem.then(measure_tracking_overhead);
+    if let Some(frac) = overhead_frac {
+        eprintln!("allocator tracking overhead on an alloc-heavy loop: {:+.2}%", frac * 100.0);
+        if !ngs_observe::alloc::enable() {
+            eprintln!("tracking allocator failed to install");
+            return ExitCode::FAILURE;
+        }
+    }
+    let sampler = resource_jsonl.as_ref().map(|_| {
+        ngs_observe::sampler::ResourceSampler::start(std::time::Duration::from_millis(50))
+    });
+
+    // Rebase the peak watermark before each pipeline so each BENCH report
+    // carries that pipeline's own peak, not the max so far.
+    let runs: Vec<(&str, Collector)> = [
+        ("reptile", run_reptile as fn() -> Collector),
+        ("redeem", run_redeem),
+        ("closet", run_closet),
+    ]
+    .into_iter()
+    .map(|(name, run)| {
+        ngs_observe::alloc::reset_peak();
+        let blowup = (name == "reptile").then(alloc_blowup);
+        let collector = run();
+        drop(blowup);
+        (name, collector)
+    })
+    .collect();
 
     let mut failed = false;
     for (pipeline, collector) in &runs {
+        if let Some(frac) = overhead_frac {
+            collector.gauge("bench.alloc_tracking_overhead_frac", frac);
+        }
         if let Err(msg) = check_and_write(pipeline, collector, &out_dir) {
             eprintln!("FAIL {pipeline}: {msg}");
             failed = true;
+        }
+    }
+    if let (Some(sampler), Some(path)) = (sampler, resource_jsonl) {
+        let samples = sampler.stop();
+        let jsonl = ngs_observe::sampler::to_jsonl(&samples);
+        if let Err(e) = ngs_durable::write_atomic(&path, jsonl.as_bytes()) {
+            eprintln!("write {}: {e}", path.display());
+            failed = true;
+        } else {
+            eprintln!("wrote {} resource samples to {}", samples.len(), path.display());
         }
     }
     if failed {
@@ -66,6 +133,36 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Time an allocation-heavy loop with tracking off, then on, and return the
+/// fractional slowdown. One quick reading on a shared CI box — logged as a
+/// gauge for trend-watching, asserted loosely (< 3x) only in
+/// `crates/observe/tests/alloc_tracking.rs`.
+fn measure_tracking_overhead() -> f64 {
+    fn storm() -> std::time::Duration {
+        let start = Instant::now();
+        for i in 0..100_000usize {
+            let v = vec![0u8; 64 + (i % 512)];
+            std::hint::black_box(&v);
+        }
+        start.elapsed()
+    }
+    ngs_observe::alloc::disable();
+    storm(); // warm-up
+    let disabled = storm().as_secs_f64().max(1e-9);
+    ngs_observe::alloc::enable();
+    let enabled = storm().as_secs_f64();
+    ngs_observe::alloc::disable();
+    enabled / disabled - 1.0
+}
+
+/// Test-only hook: hold an extra `NGS_SMOKE_ALLOC_BLOWUP_MB` MiB live for
+/// the duration of a pipeline run, inflating its spans' peak-memory figures
+/// without touching their wall time.
+fn alloc_blowup() -> Option<Vec<u8>> {
+    let mb: usize = std::env::var("NGS_SMOKE_ALLOC_BLOWUP_MB").ok()?.parse().ok()?;
+    (mb > 0).then(|| vec![0xAB; mb << 20])
 }
 
 /// Verify the pipeline's required spans and write its JSON report.

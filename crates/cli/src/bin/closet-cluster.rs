@@ -3,6 +3,11 @@
 use ngs_cli::{pipelines, run_main, usage_gate, Args};
 use ngs_core::Result;
 
+/// Registered at compile time; counts nothing until `--profile-mem` flips
+/// it on (see `ngs_observe::alloc`).
+#[global_allocator]
+static ALLOC: ngs_observe::alloc::TrackingAllocator = ngs_observe::alloc::TrackingAllocator;
+
 const USAGE: &str = "closet-cluster — sketch + quasi-clique read clustering
 
 USAGE:
@@ -21,6 +26,9 @@ OPTIONS:
   --crash-after STAGE   test hook: exit(42) after STAGE checkpoints (stage: edges)
   --metrics-json PATH   write a BENCH_closet.json metrics report here
   --trace-jsonl PATH    write an event trace here (view with ngs-trace)
+  --profile-mem         track allocations (alloc fields in metrics/resources)
+  --resource-jsonl PATH write a sampled resource timeline (RSS, CPU, alloc) here
+  --progress            print throughput/ETA heartbeat lines (auto on a TTY)
   --help                print this message";
 
 fn main() {

@@ -27,8 +27,12 @@ DIFF OPTIONS:
   --min-total-ms MS       ignore spans below this total time [default: 1.0]
   --span-tolerance N=F    per-span tolerance override (repeatable),
                           e.g. --span-tolerance closet.validate=0.5
+  --mem-tolerance FRAC    allowed fractional peak-memory growth per span
+                          [default: 0.20] (spans without alloc figures on
+                          either side skip the memory comparison)
+  --min-alloc-mb MB       ignore spans whose peaks are below this [default: 1.0]
   --update-baseline       overwrite BASELINE with CURRENT (bless an
-                          intentional perf change) instead of diffing
+                          intentional perf or memory change) instead of diffing
 
 EXIT CODES:
   0  success / no regressions
@@ -180,6 +184,14 @@ fn cmd_diff(rest: &[String]) -> ExitCode {
             "min-total-ms" => match value.and_then(|v| v.parse::<f64>().ok()) {
                 Some(ms) if ms >= 0.0 => cfg.min_total_ns = (ms * 1e6) as u64,
                 _ => return fail("--min-total-ms: not a non-negative number"),
+            },
+            "mem-tolerance" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => cfg.mem_tolerance = t,
+                _ => return fail("--mem-tolerance: not a non-negative number"),
+            },
+            "min-alloc-mb" => match value.and_then(|v| v.parse::<f64>().ok()) {
+                Some(mb) if mb >= 0.0 => cfg.min_alloc_bytes = (mb * 1024.0 * 1024.0) as u64,
+                _ => return fail("--min-alloc-mb: not a non-negative number"),
             },
             "span-tolerance" => {
                 let Some((name, frac)) = value.and_then(|v| v.split_once('=')) else {

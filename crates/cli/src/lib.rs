@@ -136,6 +136,22 @@ pub fn read_sequences_with_policy(
     }
 }
 
+/// [`read_sequences_with_policy`] ticking the `seqio.bytes_read` /
+/// `seqio.records_read` counters on `collector` while reading, so a live
+/// progress meter has throughput and an ETA denominator.
+pub fn read_sequences_observed(
+    path: &str,
+    policy: MalformedPolicy,
+    collector: &ngs_observe::Collector,
+) -> Result<(Vec<Read>, usize)> {
+    let file = std::fs::File::open(path)?;
+    if is_fasta_path(path) {
+        ngs_seqio::read_fasta_observed(file, policy, collector)
+    } else {
+        ngs_seqio::read_fastq_observed(file, policy, collector)
+    }
+}
+
 /// Write sequences to a path, dispatching on extension like
 /// [`read_sequences`]. The write is atomic (tmp + rename): a crash mid-way
 /// leaves the destination untouched, never truncated.
@@ -150,14 +166,19 @@ pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
     Ok(())
 }
 
-/// Build the collector for an instrumented run: recording when
-/// `--metrics-json` or `--trace-jsonl` was given (with an event tracer
-/// attached for the latter), disabled (every call a no-op) otherwise —
+/// Build the collector for an instrumented run: recording when any
+/// observability flag was given — `--metrics-json`, `--trace-jsonl` (with
+/// an event tracer attached), `--resource-jsonl`, `--profile-mem` or
+/// `--progress` — disabled (every call a no-op) otherwise, so
 /// un-instrumented runs pay nothing.
 pub fn metrics_collector(args: &Args) -> Result<ngs_observe::Collector> {
+    let recording = args.value_of("metrics-json")?.is_some()
+        || args.value_of("resource-jsonl")?.is_some()
+        || args.has_flag("profile-mem")
+        || args.has_flag("progress");
     Ok(if args.value_of("trace-jsonl")?.is_some() {
         ngs_observe::Collector::with_tracer(std::sync::Arc::new(ngs_observe::Tracer::new()))
-    } else if args.value_of("metrics-json")?.is_some() {
+    } else if recording {
         ngs_observe::Collector::new()
     } else {
         ngs_observe::Collector::disabled()

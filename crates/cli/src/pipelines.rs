@@ -16,14 +16,17 @@
 //! that is still recoverable.
 
 use crate::{
-    emit_metrics, emit_trace, metrics_collector, read_sequences_with_policy, write_sequences, Args,
+    emit_metrics, emit_trace, metrics_collector, read_sequences_observed, write_sequences, Args,
 };
 use ngs_core::{NgsError, Read, Result};
 use ngs_durable::{ByteWriter, CheckpointStore, Fingerprint};
+use ngs_observe::sampler::{ProgressMeter, ResourceSampler};
 use ngs_observe::Collector;
 use ngs_seqio::MalformedPolicy;
-use std::io::Write as _;
+use std::io::{IsTerminal as _, Write as _};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Exit code of a run killed by `--crash-after` (distinct from the generic
 /// error exit 1, so tests can tell an injected crash from a real failure).
@@ -88,15 +91,105 @@ impl DurabilityOpts {
 }
 
 /// Load the input reads under the run's [`MalformedPolicy`], folding the
-/// skip count into the collector (`seqio.records_skipped`).
+/// skip count into the collector (`seqio.records_skipped`) and ticking the
+/// `seqio.bytes_read` / `seqio.records_read` counters while reading.
 pub fn load_reads(input: &str, opts: &DurabilityOpts, collector: &Collector) -> Result<Vec<Read>> {
-    let (reads, skipped) = read_sequences_with_policy(input, opts.policy)?;
+    let (reads, skipped) = read_sequences_observed(input, opts.policy, collector)?;
     collector.add("seqio.records_skipped", skipped as u64);
     if skipped > 0 {
         eprintln!("skipped {skipped} malformed record(s) in {input}");
     }
     eprintln!("read {} sequences from {input}", reads.len());
     Ok(reads)
+}
+
+/// The observability flags shared by all three pipeline CLIs.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveOpts {
+    /// `--profile-mem`: enable the tracking allocator's counters (the
+    /// binary must have registered [`ngs_observe::alloc::TrackingAllocator`]
+    /// as its global allocator — all three pipeline binaries do).
+    pub profile_mem: bool,
+    /// `--resource-jsonl PATH`: sample allocator + `/proc` stats on a
+    /// background thread and write the timeline JSONL here at the end.
+    pub resource_jsonl: Option<PathBuf>,
+    /// `--progress`: force the live progress heartbeat even when stderr is
+    /// not a TTY (a TTY stderr turns it on automatically for instrumented
+    /// runs).
+    pub progress: bool,
+}
+
+impl ObserveOpts {
+    /// Parse the shared observability flags.
+    pub fn from_args(args: &Args) -> Result<ObserveOpts> {
+        Ok(ObserveOpts {
+            profile_mem: args.has_flag("profile-mem"),
+            resource_jsonl: args.value_of("resource-jsonl")?.map(PathBuf::from),
+            progress: args.has_flag("progress"),
+        })
+    }
+}
+
+/// Live telemetry for one pipeline run: the tracking allocator, the
+/// background resource sampler, and the progress heartbeat. Construct with
+/// [`ObserveSession::begin`] before the input is read (so ingest throughput
+/// is visible live) and call [`ObserveSession::finish`] after the run's
+/// spans close to stop the threads and write the resource timeline.
+pub struct ObserveSession {
+    sampler: Option<ResourceSampler>,
+    progress: Option<ProgressMeter>,
+    resource_path: Option<PathBuf>,
+}
+
+impl ObserveSession {
+    /// How often the background sampler snapshots allocator + `/proc`
+    /// stats. 100 ms keeps timelines readable for runs of seconds to
+    /// minutes while costing well under 0.1% CPU.
+    pub const SAMPLE_INTERVAL: Duration = Duration::from_millis(100);
+    /// Progress heartbeat cadence — 1 line per second keeps long runs
+    /// legible without flooding stderr.
+    pub const PROGRESS_INTERVAL: Duration = Duration::from_secs(1);
+
+    /// Start the requested telemetry. `input` is the pipeline's input path;
+    /// its file size becomes the ETA denominator for the ingest phase.
+    pub fn begin(opts: &ObserveOpts, collector: &Arc<Collector>, input: &str) -> ObserveSession {
+        if opts.profile_mem && !ngs_observe::alloc::enable() {
+            eprintln!(
+                "warning: --profile-mem given but this binary did not register the \
+                 tracking allocator; allocation figures will be absent"
+            );
+        }
+        let sampler =
+            opts.resource_jsonl.as_ref().map(|_| ResourceSampler::start(Self::SAMPLE_INTERVAL));
+        // Auto-enable the heartbeat on interactive runs of instrumented
+        // pipelines; `--progress` forces it for piped/captured stderr.
+        let want_progress =
+            (opts.progress || std::io::stderr().is_terminal()) && collector.is_enabled();
+        let progress = want_progress.then(|| {
+            ProgressMeter::start(
+                collector.clone(),
+                "seqio.records_read",
+                "seqio.bytes_read",
+                std::fs::metadata(input).ok().map(|m| m.len()),
+                Self::PROGRESS_INTERVAL,
+            )
+        });
+        ObserveSession { sampler, progress, resource_path: opts.resource_jsonl.clone() }
+    }
+
+    /// Stop the telemetry threads and write the resource timeline (if
+    /// `--resource-jsonl` was given) atomically.
+    pub fn finish(self) -> Result<()> {
+        if let Some(p) = self.progress {
+            p.stop();
+        }
+        if let (Some(sampler), Some(path)) = (self.sampler, self.resource_path) {
+            let samples = sampler.stop();
+            ngs_durable::write_atomic(&path, ngs_observe::sampler::to_jsonl(&samples).as_bytes())?;
+            eprintln!("wrote resource timeline to {}", path.display());
+        }
+        Ok(())
+    }
 }
 
 fn key_of(build: impl FnOnce(&mut ByteWriter)) -> u64 {
@@ -131,8 +224,10 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
     let output = args.require("output")?;
     let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
     let opts = DurabilityOpts::from_args(args)?;
+    let obs = ObserveOpts::from_args(args)?;
 
-    let collector = metrics_collector(args)?;
+    let collector = Arc::new(metrics_collector(args)?);
+    let session = ObserveSession::begin(&obs, &collector, input);
     // Root span for the whole run: every phase span nests under it in the
     // trace (ambient parenting on this thread). Dropped before the
     // metrics/trace emit so it is recorded in both.
@@ -214,6 +309,7 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
     drop(run_span);
     emit_metrics(args, &collector, "reptile", &required)?;
     emit_trace(args, &collector)?;
+    session.finish()?;
     Ok(())
 }
 
@@ -231,8 +327,10 @@ pub fn redeem_detect(args: &Args) -> Result<()> {
     let max_iters: usize = args.get_parsed("max-iters", 60)?;
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 10)?;
     let opts = DurabilityOpts::from_args(args)?;
+    let obs = ObserveOpts::from_args(args)?;
 
-    let collector = metrics_collector(args)?;
+    let collector = Arc::new(metrics_collector(args)?);
+    let session = ObserveSession::begin(&obs, &collector, input);
     let run_span = collector.span("redeem.run");
     let reads = load_reads(input, &opts, &collector)?;
 
@@ -359,6 +457,7 @@ pub fn redeem_detect(args: &Args) -> Result<()> {
     drop(run_span);
     emit_metrics(args, &collector, "redeem", &required)?;
     emit_trace(args, &collector)?;
+    session.finish()?;
     Ok(())
 }
 
@@ -396,10 +495,12 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
     let workers: usize =
         args.get_parsed("workers", std::thread::available_parallelism().map_or(4, |n| n.get()))?;
     let opts = DurabilityOpts::from_args(args)?;
+    let obs = ObserveOpts::from_args(args)?;
 
     // Per-task MapReduce spans need the collector on the job config, so it
     // lives in an Arc shared between the config and this scope.
-    let collector = std::sync::Arc::new(metrics_collector(args)?);
+    let collector = Arc::new(metrics_collector(args)?);
+    let session = ObserveSession::begin(&obs, &collector, input);
     let run_span = collector.span("closet.run");
     let reads = load_reads(input, &opts, &collector)?;
     let avg_len = reads.iter().map(|r| r.len()).sum::<usize>() / reads.len().max(1);
@@ -489,5 +590,6 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
         &["closet.run", "closet.sketch", "closet.validate", "closet.cluster"],
     )?;
     emit_trace(args, &collector)?;
+    session.finish()?;
     Ok(())
 }

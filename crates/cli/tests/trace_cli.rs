@@ -250,6 +250,75 @@ fn diff_flags_deliberate_regression_and_update_baseline_blesses_it() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// A minimal v2-style BENCH report: fixed wall times, per-span peak bytes.
+fn bench_with_alloc(pipeline: &str, spans: &[(&str, u64, u64)]) -> String {
+    let mut out = format!("{{\"pipeline\": \"{pipeline}\", \"schema_version\": 2, \"spans\": {{");
+    for (i, (name, total_ns, peak)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{name}\": {{\"total_ns\": {total_ns}, \"alloc_peak_bytes\": {peak}}}"
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// The memory axis is independent of wall time: a report whose spans keep
+/// their exact wall times but double their peak allocation must fail the
+/// gate, name the memory regression, and pass again under a generous
+/// `--mem-tolerance`.
+#[test]
+fn diff_fails_on_memory_axis_while_wall_time_is_identical() {
+    let dir = test_dir("memdiff");
+    const MB: u64 = 1 << 20;
+    let baseline = dir.join("BENCH_base.json");
+    let blown = dir.join("BENCH_blown.json");
+    std::fs::write(
+        &baseline,
+        bench_with_alloc(
+            "demo",
+            &[("demo.build", 40_000_000, 32 * MB), ("demo.run", 60_000_000, 64 * MB)],
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &blown,
+        bench_with_alloc(
+            "demo",
+            &[("demo.build", 40_000_000, 32 * MB), ("demo.run", 60_000_000, 128 * MB)],
+        ),
+    )
+    .unwrap();
+
+    let out = run(NGS_TRACE, &["diff", baseline.to_str().unwrap(), blown.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "doubled peak must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MEM REGRESSED"), "must flag the memory axis: {stdout}");
+    assert!(stdout.contains("0 span(s) regressed on wall time"), "wall axis stays green: {stdout}");
+
+    // A tolerance that admits a 2x peak lets the same diff pass.
+    let out = run(
+        NGS_TRACE,
+        &["diff", baseline.to_str().unwrap(), blown.to_str().unwrap(), "--mem-tolerance", "1.5"],
+    );
+    assert_ok(&out, "generous --mem-tolerance");
+
+    // A v1 baseline (no alloc fields) skips the memory axis entirely.
+    let v1 = dir.join("BENCH_v1.json");
+    std::fs::write(
+        &v1,
+        "{\"pipeline\": \"demo\", \"spans\": {\
+          \"demo.build\": {\"total_ns\": 40000000}, \
+          \"demo.run\": {\"total_ns\": 60000000}}}",
+    )
+    .unwrap();
+    let out = run(NGS_TRACE, &["diff", v1.to_str().unwrap(), blown.to_str().unwrap()]);
+    assert_ok(&out, "v1 baseline skips the memory comparison");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn malformed_trace_is_rejected_with_exit_2() {
     let dir = test_dir("malformed");

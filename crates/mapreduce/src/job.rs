@@ -579,6 +579,7 @@ where
         handles.into_iter().map(|h| h.join().expect("task harness must not panic")).collect()
     });
     drop(map_stage_span);
+    record_stage_peak_mem(cfg, "map");
     let mut worker_outputs: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_results.len());
     for result in map_results {
         let out = result?;
@@ -617,6 +618,7 @@ where
     });
     stats.shuffle_time = t1.elapsed();
     drop(shuffle_span);
+    record_stage_peak_mem(cfg, "shuffle");
 
     // ---- Reduce ----------------------------------------------------------
     // One task per partition (the retry unit), executed by at most
@@ -661,6 +663,7 @@ where
         handles.into_iter().flat_map(|h| h.join().expect("task harness must not panic")).collect()
     });
     drop(reduce_stage_span);
+    record_stage_peak_mem(cfg, "reduce");
     let mut result = Vec::new();
     for part_result in reduce_results {
         let (mut out, groups) = part_result?;
@@ -674,6 +677,23 @@ where
     stats.retried_tasks = counters.retried_tasks.load(Ordering::Relaxed);
     stats.corrupt_frames = counters.corrupt_frames.load(Ordering::Relaxed);
     Ok((result, stats))
+}
+
+/// Record a `mapreduce.stage.<stage>.peak_mem_bytes` max-merged gauge on the
+/// job's collector at a stage boundary. Prefers the tracking allocator's
+/// live-byte high-watermark (exact, when the binary runs with
+/// `--profile-mem`), falling back to `/proc` peak RSS; no-op when neither
+/// source is available or the job has no collector.
+fn record_stage_peak_mem(cfg: &JobConfig, stage: &str) {
+    let Some(collector) = cfg.collector.as_deref() else {
+        return;
+    };
+    let peak = ngs_observe::alloc::snapshot()
+        .map(|s| s.peak_live_bytes)
+        .or_else(|| ngs_observe::read_memory().peak_rss_bytes);
+    if let Some(peak) = peak {
+        collector.gauge_max(&format!("mapreduce.stage.{stage}.peak_mem_bytes"), peak as f64);
+    }
 }
 
 /// One reduce task attempt: group and reduce a single sorted partition.

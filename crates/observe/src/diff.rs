@@ -2,11 +2,20 @@
 //!
 //! The CI `perf-gate` job runs `smoke_bench`, then diffs the fresh reports
 //! against committed baselines in `bench/baselines/` with `ngs-trace diff`.
-//! A span whose `total_ns` grew more than the tolerance (default 15%)
-//! above baseline — and is large enough to matter (`min_total_ns` floor,
-//! which filters sub-millisecond jitter) — is a regression and fails the
-//! gate. Intentional changes re-bless the baselines via
-//! `ngs-trace diff --update-baseline` (see DESIGN.md §Tracing).
+//! Two independent axes are compared per span:
+//!
+//! * **wall time** — `total_ns` grew more than the tolerance (default 15%)
+//!   above baseline, and the span is large enough to matter
+//!   (`min_total_ns` floor, which filters sub-millisecond jitter);
+//! * **memory** — `alloc_peak_bytes` (schema v2, tracking allocator) grew
+//!   more than `mem_tolerance` (default 20%) above baseline, with its own
+//!   `min_alloc_bytes` floor. Reports without allocation figures on either
+//!   side (schema v1 baselines, or runs without `--profile-mem`) skip the
+//!   memory comparison instead of failing it.
+//!
+//! A regression on either axis fails the gate. Intentional changes re-bless
+//! the baselines via `ngs-trace diff --update-baseline` (see DESIGN.md
+//! §Tracing and §Memory profiling).
 
 use crate::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -15,14 +24,21 @@ use std::fmt::Write as _;
 /// Diff thresholds.
 #[derive(Debug, Clone)]
 pub struct DiffConfig {
-    /// Allowed fractional growth before a span counts as regressed
-    /// (0.15 = +15%).
+    /// Allowed fractional wall-time growth before a span counts as
+    /// regressed (0.15 = +15%).
     pub tolerance: f64,
     /// Spans whose baseline AND current totals are below this floor are
-    /// ignored — tiny spans are all scheduler noise.
+    /// ignored on the wall axis — tiny spans are all scheduler noise.
     pub min_total_ns: u64,
-    /// Per-span tolerance overrides (exact span name → fraction), for
-    /// known-noisy spans.
+    /// Allowed fractional `alloc_peak_bytes` growth before a span counts
+    /// as memory-regressed (0.20 = +20%).
+    pub mem_tolerance: f64,
+    /// Spans whose baseline AND current peaks are below this floor are
+    /// ignored on the memory axis — small allocations jitter with thread
+    /// scheduling.
+    pub min_alloc_bytes: u64,
+    /// Per-span wall tolerance overrides (exact span name → fraction),
+    /// for known-noisy spans.
     pub per_span: BTreeMap<String, f64>,
 }
 
@@ -31,9 +47,21 @@ impl Default for DiffConfig {
         DiffConfig {
             tolerance: 0.15,
             min_total_ns: 1_000_000, // 1 ms
+            mem_tolerance: 0.20,
+            min_alloc_bytes: 1 << 20, // 1 MiB
             per_span: BTreeMap::new(),
         }
     }
+}
+
+/// One span's figures from a `BENCH_*.json` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BenchSpan {
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Peak live bytes while the span was open (`None` on schema-v1
+    /// reports or runs without the tracking allocator).
+    pub alloc_peak_bytes: Option<u64>,
 }
 
 /// One compared span.
@@ -45,13 +73,22 @@ pub struct SpanDelta {
     pub baseline_ns: Option<u64>,
     /// Current `total_ns` (`None` = absent from the current report).
     pub current_ns: Option<u64>,
-    /// Fractional change (`current/baseline − 1`) when both sides exist.
+    /// Fractional wall change (`current/baseline − 1`) when both sides
+    /// exist.
     pub ratio: Option<f64>,
-    /// The tolerance applied to this span.
+    /// The wall tolerance applied to this span.
     pub tolerance: f64,
-    /// Whether this span regressed (grew past tolerance, or vanished /
-    /// appeared above the noise floor).
+    /// Whether this span regressed on the wall axis (grew past tolerance,
+    /// or vanished / appeared above the noise floor).
     pub regressed: bool,
+    /// Baseline `alloc_peak_bytes` (`None` = no figure on that side).
+    pub baseline_alloc: Option<u64>,
+    /// Current `alloc_peak_bytes`.
+    pub current_alloc: Option<u64>,
+    /// Fractional peak-memory change when both sides have figures.
+    pub mem_ratio: Option<f64>,
+    /// Whether this span regressed on the memory axis.
+    pub mem_regressed: bool,
 }
 
 /// The full diff result.
@@ -64,23 +101,34 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    /// Whether any span regressed.
+    /// Whether any span regressed on either axis.
     pub fn has_regressions(&self) -> bool {
-        self.deltas.iter().any(|d| d.regressed)
+        self.deltas.iter().any(|d| d.regressed || d.mem_regressed)
     }
 
-    /// Render the human diff table.
+    /// Render the human diff table. Memory columns appear only when at
+    /// least one span carries allocation figures.
     pub fn render(&self) -> String {
         let mut out = String::new();
         writeln!(out, "== bench diff: {} ==", self.pipeline).unwrap();
-        writeln!(
+        let with_mem =
+            self.deltas.iter().any(|d| d.baseline_alloc.is_some() || d.current_alloc.is_some());
+        write!(
             out,
             "{:<44} {:>14} {:>14} {:>9} {:>6}",
             "span", "baseline_ms", "current_ms", "delta", "tol"
         )
         .unwrap();
+        if with_mem {
+            write!(out, " {:>12} {:>12} {:>9}", "base_mb", "cur_mb", "mem_delta").unwrap();
+        }
+        writeln!(out).unwrap();
         let ms = |ns: Option<u64>| match ns {
             Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+            None => "-".to_string(),
+        };
+        let mb = |b: Option<u64>| match b {
+            Some(b) => format!("{:.2}", b as f64 / (1024.0 * 1024.0)),
             None => "-".to_string(),
         };
         for d in &self.deltas {
@@ -88,21 +136,42 @@ impl DiffReport {
                 Some(r) => format!("{:+.1}%", r * 100.0),
                 None => "-".to_string(),
             };
-            writeln!(
+            write!(
                 out,
-                "{:<44} {:>14} {:>14} {:>9} {:>5.0}%{}",
+                "{:<44} {:>14} {:>14} {:>9} {:>5.0}%",
                 d.name,
                 ms(d.baseline_ns),
                 ms(d.current_ns),
                 delta,
                 d.tolerance * 100.0,
-                if d.regressed { "  REGRESSED" } else { "" }
             )
             .unwrap();
+            if with_mem {
+                let mem_delta = match d.mem_ratio {
+                    Some(r) => format!("{:+.1}%", r * 100.0),
+                    None => "-".to_string(),
+                };
+                write!(
+                    out,
+                    " {:>12} {:>12} {:>9}",
+                    mb(d.baseline_alloc),
+                    mb(d.current_alloc),
+                    mem_delta
+                )
+                .unwrap();
+            }
+            match (d.regressed, d.mem_regressed) {
+                (true, true) => write!(out, "  REGRESSED+MEM").unwrap(),
+                (true, false) => write!(out, "  REGRESSED").unwrap(),
+                (false, true) => write!(out, "  MEM REGRESSED").unwrap(),
+                (false, false) => {}
+            }
+            writeln!(out).unwrap();
         }
-        let n = self.deltas.iter().filter(|d| d.regressed).count();
-        if n > 0 {
-            writeln!(out, "{n} span(s) regressed").unwrap();
+        let wall = self.deltas.iter().filter(|d| d.regressed).count();
+        let mem = self.deltas.iter().filter(|d| d.mem_regressed).count();
+        if wall + mem > 0 {
+            writeln!(out, "{wall} span(s) regressed on wall time, {mem} on memory").unwrap();
         } else {
             writeln!(out, "no regressions").unwrap();
         }
@@ -110,9 +179,10 @@ impl DiffReport {
     }
 }
 
-/// Extract `pipeline` and the span → `total_ns` map from a `BENCH_*.json`
-/// document.
-pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), String> {
+/// Extract `pipeline` and the span → [`BenchSpan`] map from a
+/// `BENCH_*.json` document. `alloc_peak_bytes` is optional per span so
+/// schema-v1 documents and hand-written fixtures keep parsing.
+pub fn parse_bench_report(text: &str) -> Result<(String, BTreeMap<String, BenchSpan>), String> {
     let doc = parse(text)?;
     let pipeline = doc
         .get("pipeline")
@@ -126,12 +196,20 @@ pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), 
             .get("total_ns")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("span {name:?} has no integer \"total_ns\""))?;
-        spans.insert(name.clone(), total);
+        let alloc_peak_bytes = stat.get("alloc_peak_bytes").and_then(Json::as_u64);
+        spans.insert(name.clone(), BenchSpan { total_ns: total, alloc_peak_bytes });
     }
     Ok((pipeline, spans))
 }
 
-/// Compare two span maps. Regression rules:
+/// Extract `pipeline` and the span → `total_ns` map from a `BENCH_*.json`
+/// document (wall-time view of [`parse_bench_report`]).
+pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), String> {
+    let (pipeline, spans) = parse_bench_report(text)?;
+    Ok((pipeline, spans.into_iter().map(|(k, v)| (k, v.total_ns)).collect()))
+}
+
+/// Compare two span maps. Wall-axis regression rules:
 ///
 /// * both sides below `min_total_ns` → ignored (reported, never regressed);
 /// * grew more than the span's tolerance → regressed;
@@ -139,10 +217,15 @@ pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), 
 ///   regressed: a disappearing span means the instrumentation broke, an
 ///   appearing one means the baseline is stale — both need a human.
 /// * shrank → fine (improvements are re-blessed by updating baselines).
+///
+/// Memory-axis rules mirror the growth rule with `mem_tolerance` /
+/// `min_alloc_bytes`, except a missing figure on either side skips the
+/// comparison (schema-v1 baselines must not fail the gate before they are
+/// re-blessed with memory data).
 pub fn diff_spans(
     pipeline: &str,
-    baseline: &BTreeMap<String, u64>,
-    current: &BTreeMap<String, u64>,
+    baseline: &BTreeMap<String, BenchSpan>,
+    current: &BTreeMap<String, BenchSpan>,
     cfg: &DiffConfig,
 ) -> DiffReport {
     let mut names: Vec<&String> = baseline.keys().chain(current.keys()).collect();
@@ -152,9 +235,11 @@ pub fn diff_spans(
     for name in names {
         let b = baseline.get(name).copied();
         let c = current.get(name).copied();
+        let b_ns = b.map(|s| s.total_ns);
+        let c_ns = c.map(|s| s.total_ns);
         let tolerance = cfg.per_span.get(name).copied().unwrap_or(cfg.tolerance);
-        let above_floor = b.unwrap_or(0).max(c.unwrap_or(0)) >= cfg.min_total_ns;
-        let (ratio, regressed) = match (b, c) {
+        let above_floor = b_ns.unwrap_or(0).max(c_ns.unwrap_or(0)) >= cfg.min_total_ns;
+        let (ratio, regressed) = match (b_ns, c_ns) {
             (Some(b), Some(c)) => {
                 let ratio = if b == 0 {
                     if c == 0 {
@@ -169,16 +254,42 @@ pub fn diff_spans(
             }
             _ => (None, above_floor),
         };
+        let b_alloc = b.and_then(|s| s.alloc_peak_bytes);
+        let c_alloc = c.and_then(|s| s.alloc_peak_bytes);
+        let (mem_ratio, mem_regressed) = match (b_alloc, c_alloc) {
+            (Some(b), Some(c)) => {
+                let above_mem_floor = b.max(c) >= cfg.min_alloc_bytes;
+                let ratio = if b == 0 {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    c as f64 / b as f64 - 1.0
+                };
+                (Some(ratio), above_mem_floor && ratio > cfg.mem_tolerance)
+            }
+            _ => (None, false),
+        };
         deltas.push(SpanDelta {
             name: name.clone(),
-            baseline_ns: b,
-            current_ns: c,
+            baseline_ns: b_ns,
+            current_ns: c_ns,
             ratio,
             tolerance,
             regressed,
+            baseline_alloc: b_alloc,
+            current_alloc: c_alloc,
+            mem_ratio,
+            mem_regressed,
         });
     }
-    deltas.sort_by(|a, b| b.regressed.cmp(&a.regressed).then_with(|| a.name.cmp(&b.name)));
+    deltas.sort_by(|a, b| {
+        (b.regressed || b.mem_regressed)
+            .cmp(&(a.regressed || a.mem_regressed))
+            .then_with(|| a.name.cmp(&b.name))
+    });
     DiffReport { pipeline: pipeline.to_string(), deltas }
 }
 
@@ -190,8 +301,8 @@ pub fn diff_bench_json(
     current_text: &str,
     cfg: &DiffConfig,
 ) -> Result<DiffReport, String> {
-    let (base_pipeline, base_spans) = parse_bench_spans(baseline_text)?;
-    let (cur_pipeline, cur_spans) = parse_bench_spans(current_text)?;
+    let (base_pipeline, base_spans) = parse_bench_report(baseline_text)?;
+    let (cur_pipeline, cur_spans) = parse_bench_report(current_text)?;
     if base_pipeline != cur_pipeline {
         return Err(format!(
             "pipeline mismatch: baseline is {base_pipeline:?}, current is {cur_pipeline:?}"
@@ -204,8 +315,20 @@ pub fn diff_bench_json(
 mod tests {
     use super::*;
 
-    fn spans(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
-        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    fn spans(pairs: &[(&str, u64)]) -> BTreeMap<String, BenchSpan> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), BenchSpan { total_ns: v, alloc_peak_bytes: None }))
+            .collect()
+    }
+
+    fn spans_mem(pairs: &[(&str, u64, u64)]) -> BTreeMap<String, BenchSpan> {
+        pairs
+            .iter()
+            .map(|&(k, ns, peak)| {
+                (k.to_string(), BenchSpan { total_ns: ns, alloc_peak_bytes: Some(peak) })
+            })
+            .collect()
     }
 
     #[test]
@@ -255,6 +378,67 @@ mod tests {
         let base = spans(&[("fast", 200_000_000)]);
         let cur = spans(&[("fast", 50_000_000)]);
         assert!(!diff_spans("p", &base, &cur, &DiffConfig::default()).has_regressions());
+    }
+
+    #[test]
+    fn memory_regression_fails_while_wall_stays_green() {
+        // Wall time identical, peak memory doubled: only the memory axis
+        // trips (the acceptance-criteria scenario).
+        let base = spans_mem(&[("build", 100_000_000, 64 << 20)]);
+        let cur = spans_mem(&[("build", 100_000_000, 128 << 20)]);
+        let report = diff_spans("p", &base, &cur, &DiffConfig::default());
+        assert!(report.has_regressions());
+        let d = &report.deltas[0];
+        assert!(!d.regressed, "wall time unchanged");
+        assert!(d.mem_regressed, "+100% peak > 20% tolerance");
+        assert!(report.render().contains("MEM REGRESSED"));
+    }
+
+    #[test]
+    fn memory_within_tolerance_passes() {
+        let base = spans_mem(&[("build", 100_000_000, 100 << 20)]);
+        let cur = spans_mem(&[("build", 100_000_000, 110 << 20)]);
+        assert!(
+            !diff_spans("p", &base, &cur, &DiffConfig::default()).has_regressions(),
+            "+10% peak within the 20% tolerance"
+        );
+    }
+
+    #[test]
+    fn small_allocations_below_floor_are_noise() {
+        let base = spans_mem(&[("build", 100_000_000, 10_000)]);
+        let cur = spans_mem(&[("build", 100_000_000, 500_000)]);
+        assert!(
+            !diff_spans("p", &base, &cur, &DiffConfig::default()).has_regressions(),
+            "both peaks under the 1 MiB floor"
+        );
+    }
+
+    #[test]
+    fn v1_baseline_without_alloc_skips_memory_axis() {
+        // Baseline predates schema v2: no alloc figures. Current has a huge
+        // peak — no memory verdict is possible, so the gate stays green.
+        let base = spans(&[("build", 100_000_000)]);
+        let cur = spans_mem(&[("build", 100_000_000, 1 << 30)]);
+        let report = diff_spans("p", &base, &cur, &DiffConfig::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.deltas[0].mem_ratio, None);
+    }
+
+    #[test]
+    fn parse_bench_report_reads_alloc_fields() {
+        let c = crate::Collector::new();
+        c.record_span_alloc("p.build", 100_000_000, 4, 2048, 4096);
+        let json = c.report("p").to_json();
+        let (pipeline, spans) = parse_bench_report(&json).unwrap();
+        assert_eq!(pipeline, "p");
+        assert_eq!(
+            spans["p.build"],
+            BenchSpan { total_ns: 100_000_000, alloc_peak_bytes: Some(4096) }
+        );
+        // The wall-only view still works.
+        let (_, flat) = parse_bench_spans(&json).unwrap();
+        assert_eq!(flat["p.build"], 100_000_000);
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //!   naming rules). Each span aggregates call count, total/min/max wall
 //!   time, and the thread count in effect when it was opened.
 //! * Counters — monotonic `u64` sums (decision mixes, record counts).
-//! * Gauges — last-known `f64` values merged by *minimum* (used for BIC
-//!   traces, thresholds, coverage constants; minimum keeps
-//!   [`Report::merge`] associative and commutative).
+//! * Gauges — last-known `f64` values with a per-gauge merge mode
+//!   ([`GaugeMerge`]): minimum by default (BIC traces, thresholds; keeps
+//!   [`Report::merge`] associative and commutative), maximum for
+//!   high-watermarks such as peak memory, or last-write for
+//!   order-dependent folds.
 //! * [`LogHistogram`] — log₂-bucketed `u64` histograms for heavy-tailed
 //!   quantities: k-mer multiplicities, clique sizes, scaled EM deltas.
 //! * [`MemoryProbe`] — current and peak RSS from `/proc/self/status`
@@ -32,18 +34,28 @@
 //!   hierarchical spans with begin/end/instant events, serialised as JSONL
 //!   and viewable in `chrome://tracing` via the `ngs-trace` binary (see
 //!   the [`trace`] module and DESIGN.md §Tracing).
+//! * [`alloc`] — the tracking global allocator (`--profile-mem`): when a
+//!   binary registers [`alloc::TrackingAllocator`] and enables it, every
+//!   span additionally records allocated-byte and peak-live-byte figures,
+//!   and reports carry a process-wide allocator section (see DESIGN.md
+//!   §Memory profiling).
+//! * [`sampler`] — background resource timeline (allocator + procfs
+//!   snapshots as JSONL, the `--resource-jsonl` flag) and the
+//!   [`sampler::ProgressMeter`] throughput heartbeat.
 
+pub mod alloc;
 pub mod diff;
 mod histogram;
 pub mod json;
 mod memory;
 mod report;
+pub mod sampler;
 pub mod trace;
 pub mod traceview;
 
 pub use histogram::LogHistogram;
 pub use memory::{read_memory, MemoryProbe};
-pub use report::{Report, SpanStat};
+pub use report::{GaugeMerge, Report, SpanStat};
 pub use trace::{SpanId, TraceContext, TraceEvent, TraceEventKind, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;
@@ -56,6 +68,8 @@ struct Inner {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    /// Merge modes for gauges recorded with a non-default mode.
+    gauge_modes: BTreeMap<String, GaugeMerge>,
     histograms: BTreeMap<String, LogHistogram>,
 }
 
@@ -121,6 +135,7 @@ impl Collector {
             start: Instant::now(),
             threads,
             trace_id,
+            alloc_start: self.alloc_baseline(),
         }
     }
 
@@ -146,17 +161,42 @@ impl Collector {
             start: Instant::now(),
             threads,
             trace_id,
+            alloc_start: self.alloc_baseline(),
         }
+    }
+
+    /// The thread-allocated-bytes baseline for a span opening now, when
+    /// both this collector and the tracking allocator are live.
+    fn alloc_baseline(&self) -> Option<u64> {
+        (self.enabled && alloc::is_enabled()).then(alloc::thread_allocated_bytes)
     }
 
     /// Record a completed span of known duration (used when folding
     /// externally-measured times, e.g. [`SpanStat`]s from `JobStats`).
     pub fn record_span_ns(&self, path: &str, ns: u64, threads: usize) {
+        self.record_span_alloc(path, ns, threads, 0, 0);
+    }
+
+    /// Record a completed span with allocation figures: `alloc_bytes` is
+    /// the bytes the span's thread allocated while it was open,
+    /// `alloc_peak_bytes` the process-wide live-byte high-watermark at
+    /// close. [`SpanGuard`] fills these automatically when the tracking
+    /// allocator is enabled (see the [`alloc`] module).
+    pub fn record_span_alloc(
+        &self,
+        path: &str,
+        ns: u64,
+        threads: usize,
+        alloc_bytes: u64,
+        alloc_peak_bytes: u64,
+    ) {
         if !self.enabled {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
-        inner.spans.entry(path.to_string()).or_default().observe(ns, threads);
+        let stat = inner.spans.entry(path.to_string()).or_default();
+        stat.observe(ns, threads);
+        stat.observe_alloc(alloc_bytes, alloc_peak_bytes);
     }
 
     /// Add `delta` to the monotonic counter `name`.
@@ -173,13 +213,42 @@ impl Collector {
         self.add(name, 1);
     }
 
-    /// Set the gauge `name`. Gauges merge by minimum across reports.
+    /// Current value of the counter `name` (0 when never incremented).
+    /// Cheap enough for a progress thread to poll, not for an inner loop.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.inner.lock().unwrap().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the gauge `name` with the default [`GaugeMerge::Min`] mode
+    /// (reports merge it by minimum).
     pub fn gauge(&self, name: &str, value: f64) {
+        self.gauge_with_mode(name, value, GaugeMerge::Min);
+    }
+
+    /// Set the gauge `name` merging by maximum — for high-watermarks such
+    /// as per-stage peak memory, where min-merging would silently report
+    /// the *smallest* peak across folded reports.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        self.gauge_with_mode(name, value, GaugeMerge::Max);
+    }
+
+    /// Set the gauge `name` under an explicit merge mode. Within one
+    /// collector the latest write always wins; the mode governs how
+    /// [`Report::merge`] folds the gauge across reports. Use one mode per
+    /// gauge name — mixing modes leaves the last non-default mode in
+    /// effect.
+    pub fn gauge_with_mode(&self, name: &str, value: f64, mode: GaugeMerge) {
         if !self.enabled {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
         inner.gauges.insert(name.to_string(), value);
+        if mode != GaugeMerge::Min {
+            inner.gauge_modes.insert(name.to_string(), mode);
+        }
     }
 
     /// Record one observation of `value` into histogram `name`.
@@ -208,7 +277,8 @@ impl Collector {
     }
 
     /// Snapshot everything recorded so far into a [`Report`] for
-    /// `pipeline`, probing process memory at snapshot time.
+    /// `pipeline`, probing process memory (and, when tracking is enabled,
+    /// the allocator counters) at snapshot time.
     pub fn report(&self, pipeline: &str) -> Report {
         let inner = self.inner.lock().unwrap();
         Report {
@@ -216,8 +286,10 @@ impl Collector {
             spans: inner.spans.clone(),
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
+            gauge_modes: inner.gauge_modes.clone(),
             histograms: inner.histograms.clone(),
             memory: read_memory(),
+            alloc: alloc::snapshot(),
         }
     }
 }
@@ -230,6 +302,9 @@ pub struct SpanGuard<'c> {
     start: Instant,
     threads: usize,
     trace_id: SpanId,
+    /// Thread-allocated bytes at open (`Some` only when the tracking
+    /// allocator was enabled then — the drop diffs against it).
+    alloc_start: Option<u64>,
 }
 
 impl SpanGuard<'_> {
@@ -254,7 +329,17 @@ impl Drop for SpanGuard<'_> {
             return;
         }
         let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        self.collector.record_span_ns(&self.path, ns, self.threads);
+        // Allocation attribution: bytes this thread allocated while the
+        // span was open, plus the process-wide peak watermark at close
+        // (meaningful even for spans whose work ran on other threads).
+        let (alloc_bytes, alloc_peak) = match self.alloc_start {
+            Some(start) => (
+                alloc::thread_allocated_bytes().saturating_sub(start),
+                alloc::snapshot().map_or(0, |s| s.peak_live_bytes),
+            ),
+            None => (0, 0),
+        };
+        self.collector.record_span_alloc(&self.path, ns, self.threads, alloc_bytes, alloc_peak);
     }
 }
 

@@ -1,14 +1,18 @@
 //! The [`Report`] snapshot: human table, `BENCH_*.json` JSON, and merging.
 //!
-//! JSON schema (`schema_version` 1) — all keys always present:
+//! JSON schema (`schema_version` 2) — all keys always present:
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "pipeline": "reptile",
 //!   "memory": {"rss_bytes": 1048576, "peak_rss_bytes": 2097152},
+//!   "alloc": {"allocated_bytes": 4096, "freed_bytes": 1024,
+//!             "live_bytes": 3072, "peak_live_bytes": 4096,
+//!             "alloc_count": 3},
 //!   "spans": {"reptile.build": {"count": 1, "total_ns": 9, "min_ns": 9,
-//!             "max_ns": 9, "threads": 8}},
+//!             "max_ns": 9, "threads": 8,
+//!             "alloc_bytes": 2048, "alloc_peak_bytes": 4096}},
 //!   "counters": {"reptile.bases_changed": 42},
 //!   "gauges": {"redeem.threshold.value": 7.25},
 //!   "histograms": {"reptile.kmer_multiplicity": {"count": 10, "sum": 55,
@@ -18,15 +22,40 @@
 //! }
 //! ```
 //!
+//! Schema history: version 2 added the top-level `alloc` section and the
+//! per-span `alloc_bytes`/`alloc_peak_bytes` fields (all zero / `null`
+//! without the tracking allocator — see DESIGN.md §Memory profiling);
+//! readers of version-1 documents keep working because every version-1 key
+//! is unchanged.
+//!
 //! Memory fields are `null` when `/proc/self/status` is unavailable (the
-//! probe distinguishes "no reading" from "zero bytes"); `p50`/`p90`/`p99`
-//! are bucket-resolution estimates from the log₂ histogram (see
+//! probe distinguishes "no reading" from "zero bytes"); `alloc` is `null`
+//! unless the tracking allocator is installed and enabled; `p50`/`p90`/
+//! `p99` are bucket-resolution estimates from the log₂ histogram (see
 //! [`LogHistogram::quantile`]) and are `null` on empty histograms.
 
+use crate::alloc::AllocStats;
 use crate::histogram::LogHistogram;
 use crate::memory::MemoryProbe;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// How a gauge folds across [`Report::merge`].
+///
+/// [`GaugeMerge::Min`] and [`GaugeMerge::Max`] are associative and
+/// commutative; [`GaugeMerge::Last`] is inherently order-dependent (the
+/// right-hand report wins) and is for folds with a meaningful order, e.g.
+/// sequential phases of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeMerge {
+    /// Keep the minimum (the historical default: BIC scores, thresholds).
+    #[default]
+    Min,
+    /// Keep the maximum (high-watermarks: peak memory, widest clique).
+    Max,
+    /// Keep the most recently merged value.
+    Last,
+}
 
 /// Aggregated statistics for one span path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +70,25 @@ pub struct SpanStat {
     pub max_ns: u64,
     /// Largest thread count observed at span open.
     pub threads: usize,
+    /// Σ bytes the opening thread allocated while the span was open
+    /// (0 without the tracking allocator — see `ngs_observe::alloc`).
+    pub alloc_bytes: u64,
+    /// Largest process-wide live-byte high-watermark observed at any
+    /// entry's close (0 without the tracking allocator).
+    pub alloc_peak_bytes: u64,
 }
 
 impl Default for SpanStat {
     fn default() -> SpanStat {
-        SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0, threads: 0 }
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            threads: 0,
+            alloc_bytes: 0,
+            alloc_peak_bytes: 0,
+        }
     }
 }
 
@@ -59,6 +102,13 @@ impl SpanStat {
         self.threads = self.threads.max(threads);
     }
 
+    /// Fold one occurrence's allocation figures in (complements
+    /// [`SpanStat::observe`], which counts the occurrence itself).
+    pub fn observe_alloc(&mut self, alloc_bytes: u64, alloc_peak_bytes: u64) {
+        self.alloc_bytes = self.alloc_bytes.saturating_add(alloc_bytes);
+        self.alloc_peak_bytes = self.alloc_peak_bytes.max(alloc_peak_bytes);
+    }
+
     /// Fold another aggregate in. Commutative and associative.
     pub fn merge(&mut self, other: &SpanStat) {
         self.count += other.count;
@@ -66,6 +116,8 @@ impl SpanStat {
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
         self.threads = self.threads.max(other.threads);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
+        self.alloc_peak_bytes = self.alloc_peak_bytes.max(other.alloc_peak_bytes);
     }
 
     /// Total wall time as fractional seconds.
@@ -84,19 +136,28 @@ pub struct Report {
     pub spans: BTreeMap<String, SpanStat>,
     /// Monotonic counters.
     pub counters: BTreeMap<String, u64>,
-    /// Gauges (merged by minimum).
+    /// Gauges (merged per [`GaugeMerge`] mode, minimum by default).
     pub gauges: BTreeMap<String, f64>,
+    /// Merge modes for gauges recorded with a non-default mode (absent
+    /// names merge by [`GaugeMerge::Min`]).
+    pub gauge_modes: BTreeMap<String, GaugeMerge>,
     /// Log histograms.
     pub histograms: BTreeMap<String, LogHistogram>,
     /// Memory probe taken at snapshot time.
     pub memory: MemoryProbe,
+    /// Tracking-allocator snapshot taken at report time (`None` without
+    /// the tracking allocator installed and enabled).
+    pub alloc: Option<AllocStats>,
 }
 
 impl Report {
     /// Fold `other` into `self`: spans/histograms merge element-wise,
-    /// counters add, gauges take the minimum, memory takes maxima. With
-    /// equal `pipeline` names the operation is associative and commutative
-    /// (property-tested in `tests/observability.rs`).
+    /// counters add, gauges fold per their [`GaugeMerge`] mode (minimum by
+    /// default), memory and alloc snapshots take maxima. With equal
+    /// `pipeline` names and no [`GaugeMerge::Last`] gauges the operation
+    /// is associative and commutative (property-tested in
+    /// `tests/observability.rs`). When the two reports disagree on a
+    /// gauge's mode, `self`'s wins.
     pub fn merge(&mut self, other: &Report) {
         for (k, v) in &other.spans {
             self.spans.entry(k.clone()).or_default().merge(v);
@@ -105,12 +166,35 @@ impl Report {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, &v) in &other.gauges {
-            self.gauges.entry(k.clone()).and_modify(|g| *g = g.min(v)).or_insert(v);
+            let mode = self
+                .gauge_modes
+                .get(k)
+                .or_else(|| other.gauge_modes.get(k))
+                .copied()
+                .unwrap_or_default();
+            self.gauges
+                .entry(k.clone())
+                .and_modify(|g| {
+                    *g = match mode {
+                        GaugeMerge::Min => g.min(v),
+                        GaugeMerge::Max => g.max(v),
+                        GaugeMerge::Last => v,
+                    }
+                })
+                .or_insert(v);
+        }
+        for (k, &m) in &other.gauge_modes {
+            self.gauge_modes.entry(k.clone()).or_insert(m);
         }
         for (k, v) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(v);
         }
         self.memory.merge(&other.memory);
+        match (&mut self.alloc, &other.alloc) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            (_, None) => {}
+        }
     }
 
     /// Span lookup by exact path.
@@ -133,15 +217,22 @@ impl Report {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         writeln!(out, "== metrics: {} ==", self.pipeline).unwrap();
+        // Allocation columns only when some span actually has figures —
+        // untracked runs keep the narrow table.
+        let with_alloc = self.spans.values().any(|s| s.alloc_peak_bytes > 0 || s.alloc_bytes > 0);
         if !self.spans.is_empty() {
-            writeln!(
+            write!(
                 out,
                 "{:<44} {:>8} {:>12} {:>12} {:>7}",
                 "span", "count", "total_ms", "max_ms", "thr"
             )
             .unwrap();
+            if with_alloc {
+                write!(out, " {:>12} {:>12}", "alloc_mb", "peak_mb").unwrap();
+            }
+            writeln!(out).unwrap();
             for (path, s) in &self.spans {
-                writeln!(
+                write!(
                     out,
                     "{:<44} {:>8} {:>12.3} {:>12.3} {:>7}",
                     path,
@@ -151,6 +242,16 @@ impl Report {
                     s.threads
                 )
                 .unwrap();
+                if with_alloc {
+                    write!(
+                        out,
+                        " {:>12.2} {:>12.2}",
+                        s.alloc_bytes as f64 / (1024.0 * 1024.0),
+                        s.alloc_peak_bytes as f64 / (1024.0 * 1024.0)
+                    )
+                    .unwrap();
+                }
+                writeln!(out).unwrap();
             }
         }
         if !self.counters.is_empty() {
@@ -198,19 +299,40 @@ impl Report {
                 writeln!(out, "memory: rss {}, peak {}", mb(rss), mb(peak)).unwrap();
             }
         }
+        if let Some(a) = &self.alloc {
+            writeln!(
+                out,
+                "alloc: live {:.1} MB, peak {:.1} MB, {} allocations",
+                a.live_bytes as f64 / (1024.0 * 1024.0),
+                a.peak_live_bytes as f64 / (1024.0 * 1024.0),
+                a.alloc_count
+            )
+            .unwrap();
+        }
         out
     }
 
     /// Serialize to the `BENCH_<pipeline>.json` schema (see module docs).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema_version\": 1,\n  \"pipeline\": ");
+        out.push_str("{\n  \"schema_version\": 2,\n  \"pipeline\": ");
         json_string(&mut out, &self.pipeline);
         out.push_str(",\n  \"memory\": {\"rss_bytes\": ");
         json_opt_u64(&mut out, self.memory.rss_bytes);
         out.push_str(", \"peak_rss_bytes\": ");
         json_opt_u64(&mut out, self.memory.peak_rss_bytes);
-        out.push_str("},\n  \"spans\": {");
+        out.push_str("},\n  \"alloc\": ");
+        match &self.alloc {
+            Some(a) => write!(
+                out,
+                "{{\"allocated_bytes\": {}, \"freed_bytes\": {}, \"live_bytes\": {}, \
+                 \"peak_live_bytes\": {}, \"alloc_count\": {}}}",
+                a.allocated_bytes, a.freed_bytes, a.live_bytes, a.peak_live_bytes, a.alloc_count
+            )
+            .unwrap(),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"spans\": {");
         for (i, (path, s)) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -219,12 +341,15 @@ impl Report {
             json_string(&mut out, path);
             write!(
                 out,
-                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"threads\": {}}}",
+                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"threads\": {}, \
+                 \"alloc_bytes\": {}, \"alloc_peak_bytes\": {}}}",
                 s.count,
                 s.total_ns,
                 if s.count == 0 { 0 } else { s.min_ns },
                 s.max_ns,
-                s.threads
+                s.threads,
+                s.alloc_bytes,
+                s.alloc_peak_bytes
             )
             .unwrap();
         }
@@ -347,9 +472,10 @@ mod tests {
     fn json_contains_all_sections() {
         let j = sample().to_json();
         for needle in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"pipeline\": \"p\"",
             "\"p.build\": {\"count\": 2, \"total_ns\": 4000000",
+            "\"alloc_bytes\": 0, \"alloc_peak_bytes\": 0",
             "\"p.records\": 7",
             "\"p.threshold\": 2.5",
             "\"p.sizes\": {\"count\": 10",
@@ -358,6 +484,29 @@ mod tests {
         ] {
             assert!(j.contains(needle), "missing {needle:?} in:\n{j}");
         }
+        // Without the tracking allocator the alloc section is explicit null,
+        // not a zeroed object.
+        assert!(j.contains("\"alloc\": null"), "missing alloc null in:\n{j}");
+    }
+
+    #[test]
+    fn json_emits_alloc_section_when_present() {
+        let mut r = sample();
+        r.alloc = Some(AllocStats {
+            allocated_bytes: 4096,
+            freed_bytes: 1024,
+            live_bytes: 3072,
+            peak_live_bytes: 4096,
+            alloc_count: 3,
+        });
+        let j = r.to_json();
+        assert!(
+            j.contains(
+                "\"alloc\": {\"allocated_bytes\": 4096, \"freed_bytes\": 1024, \
+                 \"live_bytes\": 3072, \"peak_live_bytes\": 4096, \"alloc_count\": 3}"
+            ),
+            "missing alloc object in:\n{j}"
+        );
     }
 
     #[test]
@@ -404,5 +553,58 @@ mod tests {
         let mut b = a.clone();
         b.merge(&Report { pipeline: "p".into(), ..Default::default() });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gauges_min_merge_by_default() {
+        let ca = crate::Collector::new();
+        ca.gauge("p.threshold", 5.0);
+        let cb = crate::Collector::new();
+        cb.gauge("p.threshold", 2.0);
+        let mut a = ca.report("p");
+        a.merge(&cb.report("p"));
+        assert_eq!(a.gauges["p.threshold"], 2.0, "default merge is min");
+        assert!(a.gauge_modes.is_empty(), "Min mode is implicit, not stored");
+    }
+
+    #[test]
+    fn gauges_max_merge_keeps_peak() {
+        let ca = crate::Collector::new();
+        ca.gauge_max("p.peak_mem", 100.0);
+        let cb = crate::Collector::new();
+        cb.gauge_max("p.peak_mem", 300.0);
+        let mut ab = ca.report("p");
+        ab.merge(&cb.report("p"));
+        let mut ba = cb.report("p");
+        ba.merge(&ca.report("p"));
+        assert_eq!(ab.gauges["p.peak_mem"], 300.0, "max mode keeps the peak");
+        assert_eq!(ab.gauges, ba.gauges, "max merge is commutative");
+        assert_eq!(ab.gauge_modes.get("p.peak_mem"), Some(&GaugeMerge::Max));
+    }
+
+    #[test]
+    fn gauge_mode_survives_merge_into_untyped_report() {
+        // The max mode must win even when the left-hand report never saw
+        // the gauge (e.g. merging a worker's report into a fresh one).
+        let cb = crate::Collector::new();
+        cb.gauge_max("p.peak_mem", 300.0);
+        let mut a = crate::Collector::new().report("p");
+        a.merge(&cb.report("p"));
+        assert_eq!(a.gauges["p.peak_mem"], 300.0);
+        let cc = crate::Collector::new();
+        cc.gauge_max("p.peak_mem", 150.0);
+        a.merge(&cc.report("p"));
+        assert_eq!(a.gauges["p.peak_mem"], 300.0, "mode was inherited from the first merge");
+    }
+
+    #[test]
+    fn gauges_last_merge_takes_right_hand_value() {
+        let ca = crate::Collector::new();
+        ca.gauge_with_mode("p.phase", 1.0, GaugeMerge::Last);
+        let cb = crate::Collector::new();
+        cb.gauge_with_mode("p.phase", 2.0, GaugeMerge::Last);
+        let mut a = ca.report("p");
+        a.merge(&cb.report("p"));
+        assert_eq!(a.gauges["p.phase"], 2.0, "last mode: right-hand report wins");
     }
 }

@@ -1,0 +1,335 @@
+//! Background resource sampling and live progress reporting.
+//!
+//! [`ResourceSampler`] runs a thread that periodically snapshots the
+//! tracking allocator ([`crate::alloc::snapshot`]) and `/proc/self/{statm,stat}`
+//! (RSS, user/system CPU ticks, thread count) into a timestamped timeline.
+//! [`to_jsonl`] serialises the timeline (`schema_version` 1, kind
+//! `ngs-resources`): a header line followed by one JSON object per sample,
+//! written next to the trace by the CLIs' `--resource-jsonl` flag.
+//!
+//! [`ProgressMeter`] is the human-facing companion: a thread that polls two
+//! collector counters (records and bytes read) once a second and prints a
+//! throughput/ETA heartbeat to stderr, for long runs on a terminal.
+
+use crate::alloc::AllocStats;
+use crate::Collector;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One point on the resource timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceSample {
+    /// Milliseconds since the sampler started.
+    pub elapsed_ms: u64,
+    /// Tracking-allocator snapshot (`None` while tracking is off).
+    pub alloc: Option<AllocStats>,
+    /// Resident set size in bytes from `/proc/self/statm` (`None` off-Linux).
+    pub rss_bytes: Option<u64>,
+    /// User-mode CPU ticks from `/proc/self/stat`.
+    pub utime_ticks: Option<u64>,
+    /// Kernel-mode CPU ticks from `/proc/self/stat`.
+    pub stime_ticks: Option<u64>,
+    /// OS thread count from `/proc/self/stat`.
+    pub num_threads: Option<u64>,
+}
+
+/// Process stats from procfs (split out so the parser is testable without
+/// a live sampler).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcSample {
+    /// Resident set size in bytes.
+    pub rss_bytes: Option<u64>,
+    /// User-mode CPU ticks.
+    pub utime_ticks: Option<u64>,
+    /// Kernel-mode CPU ticks.
+    pub stime_ticks: Option<u64>,
+    /// OS thread count.
+    pub num_threads: Option<u64>,
+}
+
+/// Parse `/proc/self/statm` content: the second field is resident pages.
+/// `page_size` is almost universally 4096 on Linux; the sampler passes the
+/// constant rather than calling `sysconf` (no libc dependency).
+pub fn parse_statm(text: &str, page_size: u64) -> Option<u64> {
+    let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * page_size)
+}
+
+/// Parse `/proc/self/stat` content. The command field (2nd) may contain
+/// spaces and parentheses, so fields are counted after the *last* `)`:
+/// `utime` is field 14, `stime` 15 and `num_threads` 20 (1-indexed as in
+/// proc(5)).
+pub fn parse_stat(text: &str) -> (Option<u64>, Option<u64>, Option<u64>) {
+    let Some(rest) = text.rfind(')').map(|i| &text[i + 1..]) else {
+        return (None, None, None);
+    };
+    // `rest` starts at field 3 ("state"), so field N lives at index N - 3.
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let field = |n: usize| fields.get(n - 3).and_then(|s| s.parse::<u64>().ok());
+    (field(14), field(15), field(20))
+}
+
+/// Read `/proc/self/{statm,stat}`. Fields are `None` when procfs is
+/// unavailable (non-Linux) — the timeline stays valid and just omits them.
+pub fn read_proc_sample() -> ProcSample {
+    let rss_bytes =
+        std::fs::read_to_string("/proc/self/statm").ok().and_then(|t| parse_statm(&t, 4096));
+    let (utime_ticks, stime_ticks, num_threads) = std::fs::read_to_string("/proc/self/stat")
+        .ok()
+        .map_or((None, None, None), |t| parse_stat(&t));
+    ProcSample { rss_bytes, utime_ticks, stime_ticks, num_threads }
+}
+
+/// Take one full resource sample at `elapsed` since the sampler epoch.
+fn take_sample(elapsed: Duration) -> ResourceSample {
+    let proc = read_proc_sample();
+    ResourceSample {
+        elapsed_ms: elapsed.as_millis().min(u64::MAX as u128) as u64,
+        alloc: crate::alloc::snapshot(),
+        rss_bytes: proc.rss_bytes,
+        utime_ticks: proc.utime_ticks,
+        stime_ticks: proc.stime_ticks,
+        num_threads: proc.num_threads,
+    }
+}
+
+/// Background thread snapshotting resources every `interval` until
+/// [`ResourceSampler::stop`] joins it and returns the timeline.
+pub struct ResourceSampler {
+    stop: Arc<AtomicBool>,
+    samples: Arc<Mutex<Vec<ResourceSample>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ResourceSampler {
+    /// Start sampling every `interval` (one sample is taken immediately, so
+    /// even a short run gets a baseline point).
+    pub fn start(interval: Duration) -> ResourceSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let samples = Arc::new(Mutex::new(vec![take_sample(Duration::ZERO)]));
+        let handle = {
+            let stop = stop.clone();
+            let samples = samples.clone();
+            std::thread::Builder::new()
+                .name("ngs-resource-sampler".into())
+                .spawn(move || {
+                    let epoch = Instant::now();
+                    while !stop.load(Relaxed) {
+                        std::thread::sleep(interval);
+                        samples.lock().unwrap().push(take_sample(epoch.elapsed()));
+                    }
+                })
+                .expect("spawn resource sampler thread")
+        };
+        ResourceSampler { stop, samples, handle: Some(handle) }
+    }
+
+    /// Stop the thread, append a final sample and return the timeline.
+    pub fn stop(mut self) -> Vec<ResourceSample> {
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let mut samples = std::mem::take(&mut *self.samples.lock().unwrap());
+        // Close the timeline with a final reading so short phases between
+        // ticks still show their end state.
+        let last_ms = samples.last().map_or(0, |s| s.elapsed_ms);
+        let mut fin = take_sample(Duration::ZERO);
+        fin.elapsed_ms = last_ms;
+        samples.push(fin);
+        samples
+    }
+}
+
+impl Drop for ResourceSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn push_opt(out: &mut String, key: &str, v: Option<u64>) {
+    use std::fmt::Write as _;
+    match v {
+        Some(v) => write!(out, ", \"{key}\": {v}").unwrap(),
+        None => write!(out, ", \"{key}\": null").unwrap(),
+    }
+}
+
+/// Serialise a timeline as JSONL: a header object
+/// `{"schema_version": 1, "kind": "ngs-resources", "unit": "ms"}` followed
+/// by one object per sample. Absent readings serialise as `null`, never 0.
+pub fn to_jsonl(samples: &[ResourceSample]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + samples.len() * 160);
+    out.push_str("{\"schema_version\": 1, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}\n");
+    for s in samples {
+        write!(out, "{{\"elapsed_ms\": {}", s.elapsed_ms).unwrap();
+        match s.alloc {
+            Some(a) => write!(
+                out,
+                ", \"alloc\": {{\"allocated_bytes\": {}, \"freed_bytes\": {}, \
+                 \"live_bytes\": {}, \"peak_live_bytes\": {}, \"alloc_count\": {}}}",
+                a.allocated_bytes, a.freed_bytes, a.live_bytes, a.peak_live_bytes, a.alloc_count
+            )
+            .unwrap(),
+            None => out.push_str(", \"alloc\": null"),
+        }
+        push_opt(&mut out, "rss_bytes", s.rss_bytes);
+        push_opt(&mut out, "utime_ticks", s.utime_ticks);
+        push_opt(&mut out, "stime_ticks", s.stime_ticks);
+        push_opt(&mut out, "num_threads", s.num_threads);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Live progress heartbeat: polls two counters on a shared [`Collector`]
+/// and prints `progress: …` lines with throughput (records/s, MB/s) and,
+/// when the input size is known, an ETA for the ingest phase.
+pub struct ProgressMeter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressMeter {
+    /// Start the heartbeat, polling `records_counter` and `bytes_counter`
+    /// every `interval`. `total_bytes` (typically the input file size)
+    /// enables the ETA column while bytes remain.
+    pub fn start(
+        collector: Arc<Collector>,
+        records_counter: &str,
+        bytes_counter: &str,
+        total_bytes: Option<u64>,
+        interval: Duration,
+    ) -> ProgressMeter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let records_counter = records_counter.to_string();
+        let bytes_counter = bytes_counter.to_string();
+        let handle = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("ngs-progress".into())
+                .spawn(move || {
+                    let mut last = (0u64, 0u64);
+                    loop {
+                        std::thread::sleep(interval);
+                        if stop.load(Relaxed) {
+                            return;
+                        }
+                        let records = collector.counter_value(&records_counter);
+                        let bytes = collector.counter_value(&bytes_counter);
+                        let secs = interval.as_secs_f64();
+                        let rec_rate = (records.saturating_sub(last.0)) as f64 / secs;
+                        let byte_rate = (bytes.saturating_sub(last.1)) as f64 / secs;
+                        last = (records, bytes);
+                        let eta = match total_bytes {
+                            Some(total) if bytes < total && byte_rate > 0.0 => {
+                                format!(", eta {:.0}s", (total - bytes) as f64 / byte_rate)
+                            }
+                            _ => String::new(),
+                        };
+                        eprintln!(
+                            "progress: {records} records ({rec_rate:.0}/s), \
+                             {:.1} MB ({:.1} MB/s){eta}",
+                            bytes as f64 / 1e6,
+                            byte_rate / 1e6,
+                        );
+                    }
+                })
+                .expect("spawn progress thread")
+        };
+        ProgressMeter { stop, handle: Some(handle) }
+    }
+
+    /// Stop the heartbeat (also happens on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProgressMeter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statm_parses_resident_pages() {
+        assert_eq!(parse_statm("12345 678 90 1 0 2 0\n", 4096), Some(678 * 4096));
+        assert_eq!(parse_statm("garbage", 4096), None);
+        assert_eq!(parse_statm("", 4096), None);
+    }
+
+    #[test]
+    fn stat_parses_after_last_paren() {
+        // A comm field with spaces and a ')' inside — the classic trap.
+        let line = "1234 (my (weird) proc) S 1 1 1 0 -1 4194560 100 0 0 0 \
+                    77 33 0 0 20 0 9 0 123456 1000000 200 18446744073709551615";
+        let (utime, stime, threads) = parse_stat(line);
+        assert_eq!(utime, Some(77));
+        assert_eq!(stime, Some(33));
+        assert_eq!(threads, Some(9));
+        assert_eq!(parse_stat("no parens here"), (None, None, None));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn proc_sample_reads_live_values() {
+        let s = read_proc_sample();
+        assert!(s.rss_bytes.unwrap() > 0);
+        assert!(s.num_threads.unwrap() >= 1);
+    }
+
+    #[test]
+    fn sampler_produces_monotonic_timeline() {
+        let sampler = ResourceSampler::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(25));
+        let samples = sampler.stop();
+        assert!(samples.len() >= 3, "initial + periodic + final, got {}", samples.len());
+        assert!(samples.windows(2).all(|w| w[0].elapsed_ms <= w[1].elapsed_ms));
+        let jsonl = to_jsonl(&samples);
+        let mut lines = jsonl.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"schema_version\": 1, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}"
+        );
+        assert_eq!(lines.count(), samples.len());
+        for line in jsonl.lines() {
+            crate::json::parse(line).expect("every timeline line parses as JSON");
+        }
+    }
+
+    #[test]
+    fn progress_meter_reports_counter_movement() {
+        let collector = Arc::new(Collector::new());
+        collector.add("t.records", 10);
+        collector.add("t.bytes", 1000);
+        let meter = ProgressMeter::start(
+            collector.clone(),
+            "t.records",
+            "t.bytes",
+            Some(2000),
+            Duration::from_millis(5),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        meter.stop();
+        // The meter only prints to stderr; this test pins that start/stop
+        // does not hang or panic while counters move underneath it.
+        collector.add("t.records", 1);
+    }
+}

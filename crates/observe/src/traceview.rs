@@ -257,7 +257,10 @@ pub struct SelfTimeRow {
     pub name: String,
     /// Occurrences.
     pub count: u64,
-    /// Σ span duration.
+    /// Σ span duration, counting only spans with no same-name ancestor:
+    /// a recursive span's outer interval already covers its nested
+    /// re-entries, so adding the inner intervals would double-count the
+    /// same wall clock under one name.
     pub total_ns: u64,
     /// Σ max(0, duration − Σ direct children durations). Children running
     /// concurrently on other threads can overlap each other, so self time
@@ -267,6 +270,12 @@ pub struct SelfTimeRow {
 
 /// Aggregate self time per span name, sorted by descending self time
 /// (then name, for determinism).
+///
+/// Self time is computed per span *id* (each interval subtracts only its
+/// own direct children), so recursion cannot double-count it. The per-name
+/// `total_ns` needs the explicit same-name-ancestor exclusion below:
+/// without it a recursive name's total would exceed the wall clock it
+/// actually occupied.
 pub fn self_time_summary(spans: &BTreeMap<SpanId, SpanNode>) -> Vec<SelfTimeRow> {
     let mut child_total: BTreeMap<SpanId, u64> = BTreeMap::new();
     for node in spans.values() {
@@ -274,6 +283,17 @@ pub fn self_time_summary(spans: &BTreeMap<SpanId, SpanNode>) -> Vec<SelfTimeRow>
             *child_total.entry(node.parent).or_insert(0) += node.duration_ns();
         }
     }
+    // A span is "outermost for its name" when no ancestor shares its name.
+    let has_same_name_ancestor = |node: &SpanNode| {
+        let mut at = node.parent;
+        while let Some(ancestor) = spans.get(&at) {
+            if ancestor.name == node.name {
+                return true;
+            }
+            at = ancestor.parent;
+        }
+        false
+    };
     let mut rows: BTreeMap<&str, SelfTimeRow> = BTreeMap::new();
     for node in spans.values() {
         let duration = node.duration_ns();
@@ -285,7 +305,9 @@ pub fn self_time_summary(spans: &BTreeMap<SpanId, SpanNode>) -> Vec<SelfTimeRow>
             self_ns: 0,
         });
         row.count += 1;
-        row.total_ns += duration;
+        if !has_same_name_ancestor(node) {
+            row.total_ns += duration;
+        }
         row.self_ns += duration.saturating_sub(children);
     }
     let mut out: Vec<SelfTimeRow> = rows.into_values().collect();
@@ -401,5 +423,33 @@ mod tests {
         assert_eq!(rows[1].total_ns, 1000);
         let table = render_summary(&rows, 10);
         assert!(table.contains("self_ms"));
+    }
+
+    #[test]
+    fn recursive_spans_do_not_double_count() {
+        // p [0,1000] ⊃ p [100,700] ⊃ c [200,500]: the recursive name "p"
+        // occupies 1000ns of wall clock, not 1000+600.
+        let trace = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"p\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"B\", \"seq\": 2, \"id\": 2, \"parent\": 1, \"name\": \"p\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 100}
+{\"ev\": \"B\", \"seq\": 3, \"id\": 3, \"parent\": 2, \"name\": \"c\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 200}
+{\"ev\": \"E\", \"seq\": 4, \"id\": 3, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 500}
+{\"ev\": \"E\", \"seq\": 5, \"id\": 2, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 700}
+{\"ev\": \"E\", \"seq\": 6, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 1000}
+";
+        let spans = check_well_formed(&parse_jsonl(trace).unwrap()).unwrap();
+        let rows = self_time_summary(&spans);
+        let p = rows.iter().find(|r| r.name == "p").unwrap();
+        assert_eq!(p.count, 2, "both occurrences are counted");
+        assert_eq!(p.total_ns, 1000, "only the outermost interval contributes total time");
+        // Self time per id: outer p = 1000−600, inner p = 600−300.
+        assert_eq!(p.self_ns, 400 + 300);
+        let c = rows.iter().find(|r| r.name == "c").unwrap();
+        assert_eq!(c.total_ns, 300);
+        assert_eq!(c.self_ns, 300);
+        // Totals for distinct names may overlap (c nests in p); the fix is
+        // only about one *name* never exceeding its own wall clock.
+        assert!(p.total_ns <= 1000);
     }
 }

@@ -16,6 +16,7 @@ pub struct FastaReader<R: std::io::Read> {
     done: bool,
     policy: MalformedPolicy,
     skipped: usize,
+    bytes_read: u64,
 }
 
 impl<R: std::io::Read> FastaReader<R> {
@@ -37,6 +38,7 @@ impl<R: std::io::Read> FastaReader<R> {
             done: false,
             policy,
             skipped: 0,
+            bytes_read: 0,
         }
     }
 
@@ -46,11 +48,25 @@ impl<R: std::io::Read> FastaReader<R> {
         self.skipped
     }
 
+    /// Raw bytes consumed from the source so far (newlines included) — the
+    /// denominator for throughput/ETA math against the input file size.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Read the next line into `self.line`, counting its bytes. Returns the
+    /// untrimmed length (0 at EOF).
+    fn fill_line(&mut self) -> Result<usize> {
+        self.line.clear();
+        let n = self.inner.read_line(&mut self.line)?;
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
+
     /// Scan forward to the next `>` header and stash it.
     fn resync(&mut self) -> Result<()> {
         loop {
-            self.line.clear();
-            if self.inner.read_line(&mut self.line)? == 0 {
+            if self.fill_line()? == 0 {
                 self.done = true;
                 return Ok(());
             }
@@ -91,8 +107,7 @@ impl<R: std::io::Read> FastaReader<R> {
             if let Some(h) = self.pending_header.take() {
                 break h;
             }
-            self.line.clear();
-            if self.inner.read_line(&mut self.line)? == 0 {
+            if self.fill_line()? == 0 {
                 self.done = true;
                 return Ok(None);
             }
@@ -108,8 +123,7 @@ impl<R: std::io::Read> FastaReader<R> {
 
         let mut seq = Vec::new();
         loop {
-            self.line.clear();
-            if self.inner.read_line(&mut self.line)? == 0 {
+            if self.fill_line()? == 0 {
                 self.done = true;
                 break;
             }
@@ -148,6 +162,35 @@ pub fn read_fasta_with_policy<R: std::io::Read>(
     while let Some(r) = reader.next_record()? {
         reads.push(r);
     }
+    Ok((reads, reader.skipped_records()))
+}
+
+/// Like [`read_fasta_with_policy`], but ticks the `seqio.bytes_read` /
+/// `seqio.records_read` counters on `collector` every
+/// [`crate::OBSERVE_FLUSH_RECORDS`] records (and once at the end), so a
+/// progress meter polling the collector sees throughput while the read is
+/// still in flight.
+pub fn read_fasta_observed<R: std::io::Read>(
+    source: R,
+    policy: MalformedPolicy,
+    collector: &ngs_observe::Collector,
+) -> Result<(Vec<Read>, usize)> {
+    let mut reader = FastaReader::with_policy(source, policy);
+    let mut reads = Vec::new();
+    let mut flushed_bytes = 0u64;
+    let mut flushed_records = 0u64;
+    while let Some(r) = reader.next_record()? {
+        reads.push(r);
+        if reads.len() % crate::OBSERVE_FLUSH_RECORDS == 0 {
+            let b = reader.bytes_read();
+            collector.add("seqio.bytes_read", b - flushed_bytes);
+            collector.add("seqio.records_read", reads.len() as u64 - flushed_records);
+            flushed_bytes = b;
+            flushed_records = reads.len() as u64;
+        }
+    }
+    collector.add("seqio.bytes_read", reader.bytes_read() - flushed_bytes);
+    collector.add("seqio.records_read", reads.len() as u64 - flushed_records);
     Ok((reads, reader.skipped_records()))
 }
 
@@ -264,6 +307,28 @@ mod tests {
             read_fasta_with_policy(&data[..], MalformedPolicy::Skip { max: 5 }).unwrap();
         assert!(reads.is_empty());
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn bytes_read_counts_raw_input() {
+        let data = b">chr1 test\nACGT\nacgt\n\n>chr2\nNNN\n";
+        let mut reader = FastaReader::new(&data[..]);
+        for r in reader.by_ref() {
+            r.unwrap();
+        }
+        assert_eq!(reader.bytes_read(), data.len() as u64, "newlines included");
+    }
+
+    #[test]
+    fn observed_reader_ticks_collector_counters() {
+        let data = b">x\nACGT\n>y\nGG\n";
+        let c = ngs_observe::Collector::new();
+        let (reads, skipped) =
+            read_fasta_observed(&data[..], MalformedPolicy::FailFast, &c).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(c.counter_value("seqio.records_read"), 2);
+        assert_eq!(c.counter_value("seqio.bytes_read"), data.len() as u64);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct FastqReader<R: std::io::Read> {
     /// Header line found while resynchronizing after a malformed record,
     /// already consumed from the stream.
     pending_header: Option<String>,
+    bytes_read: u64,
 }
 
 impl<R: std::io::Read> FastqReader<R> {
@@ -34,6 +35,7 @@ impl<R: std::io::Read> FastqReader<R> {
             policy,
             skipped: 0,
             pending_header: None,
+            bytes_read: 0,
         }
     }
 
@@ -43,11 +45,18 @@ impl<R: std::io::Read> FastqReader<R> {
         self.skipped
     }
 
+    /// Raw bytes consumed from the source so far (newlines included) — the
+    /// denominator for throughput/ETA math against the input file size.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
     fn read_line(&mut self) -> Result<Option<&str>> {
         self.line.clear();
         if self.inner.read_line(&mut self.line)? == 0 {
             return Ok(None);
         }
+        self.bytes_read += self.line.len() as u64;
         Ok(Some(self.line.trim_end()))
     }
 
@@ -168,6 +177,35 @@ pub fn read_fastq_with_policy<R: std::io::Read>(
     while let Some(r) = reader.next_record()? {
         reads.push(r);
     }
+    Ok((reads, reader.skipped_records()))
+}
+
+/// Like [`read_fastq_with_policy`], but ticks the `seqio.bytes_read` /
+/// `seqio.records_read` counters on `collector` every
+/// [`crate::OBSERVE_FLUSH_RECORDS`] records (and once at the end), so a
+/// progress meter polling the collector sees throughput while the read is
+/// still in flight.
+pub fn read_fastq_observed<R: std::io::Read>(
+    source: R,
+    policy: MalformedPolicy,
+    collector: &ngs_observe::Collector,
+) -> Result<(Vec<Read>, usize)> {
+    let mut reader = FastqReader::with_policy(source, policy);
+    let mut reads = Vec::new();
+    let mut flushed_bytes = 0u64;
+    let mut flushed_records = 0u64;
+    while let Some(r) = reader.next_record()? {
+        reads.push(r);
+        if reads.len() % crate::OBSERVE_FLUSH_RECORDS == 0 {
+            let b = reader.bytes_read();
+            collector.add("seqio.bytes_read", b - flushed_bytes);
+            collector.add("seqio.records_read", reads.len() as u64 - flushed_records);
+            flushed_bytes = b;
+            flushed_records = reads.len() as u64;
+        }
+    }
+    collector.add("seqio.bytes_read", reader.bytes_read() - flushed_bytes);
+    collector.add("seqio.records_read", reads.len() as u64 - flushed_records);
     Ok((reads, reader.skipped_records()))
 }
 
@@ -367,6 +405,28 @@ mod tests {
         let mut r = FastqReader::new(&data[..]);
         assert!(r.next().unwrap().is_err());
         assert_eq!(r.skipped_records(), 0);
+    }
+
+    #[test]
+    fn bytes_read_counts_raw_input() {
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nNN\n+r2\n!~\n";
+        let mut reader = FastqReader::new(&data[..]);
+        for r in reader.by_ref() {
+            r.unwrap();
+        }
+        assert_eq!(reader.bytes_read(), data.len() as u64, "newlines included");
+    }
+
+    #[test]
+    fn observed_reader_ticks_collector_counters() {
+        let data = b"@r1\nACGT\n+\nIIII\n@r2\nNN\n+\n!~\n";
+        let c = ngs_observe::Collector::new();
+        let (reads, skipped) =
+            read_fastq_observed(&data[..], MalformedPolicy::FailFast, &c).unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(c.counter_value("seqio.records_read"), 2);
+        assert_eq!(c.counter_value("seqio.bytes_read"), data.len() as u64);
     }
 
     #[test]
