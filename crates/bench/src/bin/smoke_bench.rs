@@ -38,14 +38,36 @@ const REQUIRED: &[(&str, &[&str])] = &[
         ],
     ),
     ("redeem", &["redeem.em.iteration", "redeem.threshold.fit"]),
-    ("closet", &["closet.sketch", "closet.validate", "closet.cluster"]),
+    (
+        "closet",
+        &[
+            "closet.sketch",
+            "closet.validate",
+            "closet.cluster",
+            // The worker-pool comparison pair: Phase-I sketch jobs
+            // in-process vs on worker processes. Blessed into
+            // bench/baselines/BENCH_closet.json, so a regression in pool
+            // overhead fails the perf gate like any other span.
+            "closet.mr.inproc",
+            "closet.mr.pooled",
+        ],
+    ),
 ];
 
 fn main() -> ExitCode {
+    // Hidden worker mode: the closet comparison pair re-execs this binary
+    // as its pool workers, so driver and workers share one build.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_some_and(|a| a == "--mr-worker") {
+        let mut registry = mapreduce_lite::JobRegistry::with_builtins();
+        closet::register_specs(&mut registry);
+        std::process::exit(mapreduce_lite::worker_main(&registry, &raw[1..]));
+    }
+
     let mut out_dir = PathBuf::from(".");
     let mut profile_mem = false;
     let mut resource_jsonl: Option<PathBuf> = None;
-    let mut argv = std::env::args().skip(1);
+    let mut argv = raw.into_iter();
     while let Some(tok) = argv.next() {
         match tok.as_str() {
             "--out-dir" => match argv.next() {
@@ -217,7 +239,8 @@ fn run_redeem() -> Collector {
     collector
 }
 
-/// CLOSET on a tiny community, with per-task MapReduce spans enabled.
+/// CLOSET on a tiny community, with per-task MapReduce spans enabled,
+/// plus the in-process vs multi-process Phase-I comparison pair.
 fn run_closet() -> Collector {
     let spec = datasets::Ch4Spec { n_reads: 400, ..datasets::ch4_specs()[0].clone() };
     let community = datasets::make_ch4(&spec);
@@ -225,6 +248,30 @@ fn run_closet() -> Collector {
     let mut params = closet::ClosetParams::standard(370, vec![0.8, 0.6], 2);
     params.job.collector = Some(collector.clone());
     closet::run_observed(&community.reads, &params, &collector).expect("closet pipeline");
+
+    // The same sketch jobs once in-process and once on two worker
+    // processes (this binary, re-execed). The pooled run must cost only
+    // IPC overhead on top of the in-process one; both spans land in the
+    // baseline so the gap is regression-gated.
+    let span_ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+    let job = mapreduce_lite::JobConfig::with_workers(2);
+    let t0 = Instant::now();
+    let (inproc, _) =
+        closet::build_candidate_edges_pooled(&community.reads, &params.sketch, &job, None)
+            .expect("in-process sketch");
+    collector.record_span_ns("closet.mr.inproc", span_ns(t0.elapsed()), 2);
+    let exe = std::env::current_exe().expect("own executable");
+    let pool = mapreduce_lite::PoolConfig::with_worker_cmd(
+        2,
+        vec![exe.to_string_lossy().into_owned(), "--mr-worker".into()],
+    );
+    let t1 = Instant::now();
+    let (pooled, _) =
+        closet::build_candidate_edges_pooled(&community.reads, &params.sketch, &job, Some(&pool))
+            .expect("pooled sketch");
+    collector.record_span_ns("closet.mr.pooled", span_ns(t1.elapsed()), 2);
+    assert_eq!(pooled, inproc, "pooled sketch diverged from in-process bytes");
+
     drop(params); // release the config's Arc clone
     std::sync::Arc::try_unwrap(collector).expect("collector uniquely owned after the run")
 }

@@ -19,6 +19,8 @@ OPTIONS:
   --thresholds LIST     decreasing similarity series              [default: 0.8,0.7,0.6]
   --gamma F             quasi-clique density                      [default: 0.6667]
   --workers N           MapReduce worker threads                  [default: all cores]
+  --mr-workers N        run sketch jobs on N crash-survivable worker
+                        *processes* instead of threads             [default: 0 = in-process]
   --align               validate edges by alignment (slower)
   --checkpoint-dir DIR  persist the validated edge list here
   --resume              reload a valid checkpoint instead of re-sketching
@@ -32,11 +34,17 @@ OPTIONS:
   --help                print this message";
 
 fn main() {
-    run_main(real_main());
+    // Hidden worker mode: `closet-cluster --mr-worker <socket> <id>` is
+    // what the pool re-execs; it must be handled before flag parsing.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "--mr-worker") {
+        std::process::exit(ngs_cli::mr_worker_main(&argv[1..]));
+    }
+    run_main(real_main(argv));
 }
 
-fn real_main() -> Result<()> {
-    let args = Args::parse(std::env::args().skip(1))?;
+fn real_main(argv: Vec<String>) -> Result<()> {
+    let args = Args::parse(argv)?;
     usage_gate(&args, USAGE);
     pipelines::closet_cluster(&args)
 }

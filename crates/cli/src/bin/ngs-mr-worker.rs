@@ -1,0 +1,14 @@
+//! `ngs-mr-worker` — standalone MapReduce worker process.
+//!
+//! Normally the pool re-execs the *driver* binary in its hidden
+//! `--mr-worker` mode, so driver and workers are guaranteed the same
+//! build. This dedicated binary exists for harnesses that point
+//! `PoolConfig::worker_cmd` somewhere explicit (the worker-crash CI
+//! matrix does, via `CARGO_BIN_EXE_ngs-mr-worker`) and as the documented
+//! shape of the worker protocol: connect to the driver's socket, say
+//! Hello, serve task attempts until drained.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ngs_cli::mr_worker_main(&argv));
+}

@@ -19,6 +19,23 @@ use std::collections::BTreeMap;
 
 pub mod pipelines;
 
+/// The registry every worker entry point resolves job specs against:
+/// `mapreduce-lite`'s builtins plus CLOSET's Phase-I tasks. Driver and
+/// worker must agree on this set, so there is exactly one builder.
+pub fn worker_registry() -> mapreduce_lite::JobRegistry {
+    let mut registry = mapreduce_lite::JobRegistry::with_builtins();
+    closet::register_specs(&mut registry);
+    registry
+}
+
+/// Hidden worker mode behind `--mr-worker` (and the `ngs-mr-worker`
+/// binary): connect to the driver's socket and serve task attempts until
+/// drained. `argv` is everything after the mode flag — socket path and
+/// worker id. Returns the process exit code.
+pub fn mr_worker_main(argv: &[String]) -> i32 {
+    mapreduce_lite::worker_main(&worker_registry(), argv)
+}
+
 /// A parsed `--key value` command line.
 #[derive(Debug, Clone, Default)]
 pub struct Args {

@@ -511,6 +511,18 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
     if args.has_flag("align") {
         params.validator = closet::Validator::Alignment { min_overlap: 50 };
     }
+    let mr_workers: usize = args.get_parsed("mr-workers", 0)?;
+    if mr_workers > 0 {
+        // Re-exec this binary in its hidden `--mr-worker` mode; the pool
+        // appends the socket path and worker id per spawn.
+        let exe = std::env::current_exe()
+            .map_err(|e| NgsError::Io(format!("cannot locate own executable: {e}")))?;
+        params.pool = Some(mapreduce_lite::PoolConfig::with_worker_cmd(
+            mr_workers,
+            vec![exe.to_string_lossy().into_owned(), "--mr-worker".into()],
+        ));
+        eprintln!("multi-process MapReduce: {mr_workers} worker processes");
+    }
     if collector.is_enabled() {
         params.job.collector = Some(collector.clone());
     }

@@ -18,7 +18,7 @@ use std::time::Duration;
 
 /// Format magic + version; bump on any layout change so older snapshots
 /// miss cleanly instead of decoding as garbage.
-const MAGIC: &str = "CLSEDGE1";
+const MAGIC: &str = "CLSEDGE2"; // v2: worker-pool counters joined JobStats
 
 fn duration_ns(d: Duration) -> u64 {
     d.as_nanos().min(u64::MAX as u128) as u64
@@ -40,6 +40,9 @@ fn put_job_stats(w: &mut ByteWriter, s: &JobStats) {
     w.put_u64(s.corrupt_frames);
     w.put_u64(s.re_replicated_blocks);
     w.put_u64(s.map_tasks_resumed);
+    w.put_u64(s.worker_deaths);
+    w.put_u64(s.workers_respawned);
+    w.put_u64(s.tasks_reassigned);
 }
 
 fn get_job_stats(r: &mut ByteReader) -> Result<JobStats> {
@@ -59,6 +62,9 @@ fn get_job_stats(r: &mut ByteReader) -> Result<JobStats> {
         corrupt_frames: r.get_u64()?,
         re_replicated_blocks: r.get_u64()?,
         map_tasks_resumed: r.get_u64()?,
+        worker_deaths: r.get_u64()?,
+        workers_respawned: r.get_u64()?,
+        tasks_reassigned: r.get_u64()?,
     })
 }
 

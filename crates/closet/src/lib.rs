@@ -19,15 +19,19 @@
 //!   — the paper's answer to imperfect similarity functions.
 
 pub mod checkpoint;
+pub mod dist;
 pub mod quasiclique;
 pub mod sketch;
 pub mod validate;
 
+pub use dist::{register_specs, PairCountSpec, SketchGroupSpec};
 pub use quasiclique::{enumerate_quasicliques, Cluster};
-pub use sketch::{build_candidate_edges, read_hashes, SketchParams, SketchStats};
+pub use sketch::{
+    build_candidate_edges, build_candidate_edges_pooled, read_hashes, SketchParams, SketchStats,
+};
 pub use validate::{validate_edges, Validator};
 
-use mapreduce_lite::{JobConfig, JobError, JobStats};
+use mapreduce_lite::{JobConfig, JobError, JobStats, PoolConfig};
 use ngs_core::Read;
 use std::time::{Duration, Instant};
 
@@ -44,6 +48,11 @@ pub struct ClosetParams {
     pub thresholds: Vec<f64>,
     /// MapReduce runtime configuration (worker count = "cluster size").
     pub job: JobConfig,
+    /// When set, Phase I's sketch jobs (Tasks 1–2) run on a pool of
+    /// crash-survivable worker *processes* instead of in-process threads
+    /// — same output bytes, SIGKILL-tolerant. `None` (the default) keeps
+    /// everything in-process.
+    pub pool: Option<PoolConfig>,
     /// Safety cap on live clusters per enumeration round (0 = uncapped).
     /// When hit, smallest clusters are dropped and the event is recorded in
     /// [`ThresholdStats::clusters_dropped`] — never silently.
@@ -68,6 +77,7 @@ impl ClosetParams {
             gamma: 2.0 / 3.0,
             thresholds,
             job: JobConfig::with_workers(workers),
+            pool: None,
             max_live_clusters: 2_000_000,
         }
     }
@@ -212,7 +222,7 @@ pub fn build_edges_observed(
     let t0 = Instant::now();
     let (candidates, sketch_stats) = {
         let _span = collector.span_with_threads("closet.sketch", workers);
-        build_candidate_edges(reads, &params.sketch, &params.job)?
+        build_candidate_edges_pooled(reads, &params.sketch, &params.job, params.pool.as_ref())?
     };
     let sketch_time = t0.elapsed();
     collector.add("closet.candidate_edges", candidates.len() as u64);
@@ -402,6 +412,24 @@ mod tests {
             v1.sort();
             v4.sort();
             assert_eq!(v1, v4);
+        }
+    }
+
+    #[test]
+    fn pooled_phase_one_matches_in_process() {
+        let c = community(150, 7);
+        let inproc = ClosetParams::standard(300, vec![0.8, 0.6], 2);
+        let mut pooled = inproc.clone();
+        pooled.pool = Some(PoolConfig::with_workers(2));
+        let a = run(&c.reads, &inproc).expect("in-process");
+        let b = run(&c.reads, &pooled).expect("pooled");
+        assert_eq!(a.confirmed_edges, b.confirmed_edges);
+        assert_eq!(a.sketch_stats.unique_edges, b.sketch_stats.unique_edges);
+        for ((ta, ca), (tb, cb)) in a.clusters_by_threshold.iter().zip(&b.clusters_by_threshold) {
+            assert_eq!(ta, tb);
+            let va: Vec<&Vec<u32>> = ca.iter().map(|c| &c.vertices).collect();
+            let vb: Vec<&Vec<u32>> = cb.iter().map(|c| &c.vertices).collect();
+            assert_eq!(va, vb);
         }
     }
 

@@ -262,6 +262,31 @@ pub fn decode_frames<T: Codec>(mut inp: &[u8]) -> Result<Vec<T>, FrameError> {
     Ok(out)
 }
 
+/// Verify the structural integrity and checksums of a frame sequence
+/// without decoding the records — the frame layout is type-free, so a
+/// driver can vet bytes produced by a worker before handing them to a
+/// typed consumer. Returns the number of frames on success.
+pub fn verify_frames(mut inp: &[u8]) -> Result<usize, FrameError> {
+    if inp.is_empty() {
+        return Err(FrameError::Malformed);
+    }
+    let mut frames = 0usize;
+    while !inp.is_empty() {
+        let len = u64::decode(&mut inp).ok_or(FrameError::Malformed)? as usize;
+        let expected = u64::decode(&mut inp).ok_or(FrameError::Malformed)?;
+        if inp.len() < len {
+            return Err(FrameError::Malformed);
+        }
+        let (payload, rest) = inp.split_at(len);
+        inp = rest;
+        if checksum(payload) != expected {
+            return Err(FrameError::ChecksumMismatch);
+        }
+        frames += 1;
+    }
+    Ok(frames)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +376,24 @@ mod tests {
         let buf = encode_frames(&items);
         assert_eq!(decode_frames::<u64>(&buf[..buf.len() - 3]), Err(FrameError::Malformed));
         assert_eq!(decode_frames::<u64>(&[]), Err(FrameError::Malformed));
+    }
+
+    #[test]
+    fn verify_frames_agrees_with_decode() {
+        let items: Vec<(u64, u32)> =
+            (0..(FRAME_RECORDS as u64 + 11)).map(|i| (i, i as u32)).collect();
+        let buf = encode_frames(&items);
+        assert_eq!(verify_frames(&buf), Ok(2));
+        // Concatenated sequences (how a driver stores multi-task output)
+        // verify as one longer sequence.
+        let double: Vec<u8> = [buf.clone(), buf.clone()].concat();
+        assert_eq!(verify_frames(&double), Ok(4));
+        let mut bad = buf.clone();
+        let target = bad.len() - 1;
+        bad[target] ^= 0x10;
+        assert_eq!(verify_frames(&bad), Err(FrameError::ChecksumMismatch));
+        assert_eq!(verify_frames(&buf[..buf.len() - 2]), Err(FrameError::Malformed));
+        assert_eq!(verify_frames(&[]), Err(FrameError::Malformed));
     }
 
     proptest! {

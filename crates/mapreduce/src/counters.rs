@@ -41,6 +41,17 @@ pub struct JobStats {
     /// Map tasks reloaded from a checkpoint instead of recomputed
     /// (non-zero only with [`crate::JobConfig::map_checkpoint_dir`] set).
     pub map_tasks_resumed: u64,
+    /// Worker processes that died (SIGKILL, OOM-kill, crash) or were
+    /// declared dead after missing their heartbeat deadline. Only the
+    /// multi-process executor can move this counter.
+    pub worker_deaths: u64,
+    /// Dead workers respawned by the driver (bounded by the pool's respawn
+    /// budget; a death past the budget fails the job instead).
+    pub workers_respawned: u64,
+    /// Task leases reassigned to a healthy worker after their owner died
+    /// or stalled. Each reassignment also counts as a `task_failures` +
+    /// retry, so existing retry accounting carries over unchanged.
+    pub tasks_reassigned: u64,
 }
 
 impl JobStats {
@@ -66,6 +77,9 @@ impl JobStats {
         self.corrupt_frames += other.corrupt_frames;
         self.re_replicated_blocks += other.re_replicated_blocks;
         self.map_tasks_resumed += other.map_tasks_resumed;
+        self.worker_deaths += other.worker_deaths;
+        self.workers_respawned += other.workers_respawned;
+        self.tasks_reassigned += other.tasks_reassigned;
     }
 }
 
@@ -80,7 +94,7 @@ pub fn record_job_stats(collector: &ngs_observe::Collector, prefix: &str, stats:
     collector.record_span_ns(&format!("{prefix}.map"), span_ns(stats.map_time), 1);
     collector.record_span_ns(&format!("{prefix}.shuffle"), span_ns(stats.shuffle_time), 1);
     collector.record_span_ns(&format!("{prefix}.reduce"), span_ns(stats.reduce_time), 1);
-    let counters: [(&str, u64); 12] = [
+    let counters: [(&str, u64); 15] = [
         ("map_input_records", stats.map_input_records),
         ("map_output_records", stats.map_output_records),
         ("combine_output_records", stats.combine_output_records),
@@ -93,6 +107,9 @@ pub fn record_job_stats(collector: &ngs_observe::Collector, prefix: &str, stats:
         ("corrupt_frames", stats.corrupt_frames),
         ("re_replicated_blocks", stats.re_replicated_blocks),
         ("map_tasks_resumed", stats.map_tasks_resumed),
+        ("worker_deaths", stats.worker_deaths),
+        ("workers_respawned", stats.workers_respawned),
+        ("tasks_reassigned", stats.tasks_reassigned),
     ];
     for (field, value) in counters {
         collector.add(&format!("{prefix}.{field}"), value);
@@ -115,6 +132,9 @@ mod tests {
             corrupt_frames: 1,
             re_replicated_blocks: 5,
             map_tasks_resumed: 4,
+            worker_deaths: 2,
+            workers_respawned: 1,
+            tasks_reassigned: 3,
             ..Default::default()
         };
         a.merge(&b);
@@ -125,6 +145,9 @@ mod tests {
         assert_eq!(a.corrupt_frames, 1);
         assert_eq!(a.re_replicated_blocks, 5);
         assert_eq!(a.map_tasks_resumed, 4);
+        assert_eq!(a.worker_deaths, 2);
+        assert_eq!(a.workers_respawned, 1);
+        assert_eq!(a.tasks_reassigned, 3);
         assert_eq!(a.map_time, Duration::from_millis(5));
         assert_eq!(a.total_time(), Duration::from_millis(5));
     }
@@ -137,6 +160,9 @@ mod tests {
             retried_tasks: 2,
             corrupt_frames: 1,
             map_tasks_resumed: 2,
+            worker_deaths: 2,
+            workers_respawned: 1,
+            tasks_reassigned: 2,
             map_time: Duration::from_millis(4),
             ..Default::default()
         };
@@ -148,6 +174,9 @@ mod tests {
         assert_eq!(report.counters["job.retried_tasks"], 2);
         assert_eq!(report.counters["job.corrupt_frames"], 1);
         assert_eq!(report.counters["job.map_tasks_resumed"], 2);
+        assert_eq!(report.counters["job.worker_deaths"], 2);
+        assert_eq!(report.counters["job.workers_respawned"], 1);
+        assert_eq!(report.counters["job.tasks_reassigned"], 2);
         assert_eq!(report.spans["job.map"].total_ns, 4_000_000);
     }
 }

@@ -127,20 +127,54 @@ impl BlockStore {
 
     /// Read a file back, concatenating its blocks. Each block comes from
     /// the first replica whose payload exists *and* matches the block
-    /// checksum; corrupt replicas are skipped. `None` when the file is
-    /// unknown or some block has no intact replica left.
-    pub fn read(&self, name: &str) -> Option<Vec<u8>> {
-        let metas = self.namenode.get(name)?;
-        let mut out = Vec::new();
+    /// checksum. A checksum mismatch is not just skipped: the corrupt
+    /// replica is dropped on the spot and, once the read completes, the
+    /// damaged blocks are re-replicated from their surviving intact copies
+    /// (scrub-on-read — HDFS reports a corrupt replica to the NameNode
+    /// when a client read trips over it, rather than waiting for the next
+    /// scanner sweep). Healed blocks show up in
+    /// [`BlockStore::re_replicated_blocks`]. `None` when the file is
+    /// unknown or some block has no intact replica left — corrupt copies
+    /// of such blocks are still dropped, so the damage is visible to
+    /// [`BlockStore::under_replicated`] instead of lingering as garbage.
+    pub fn read(&mut self, name: &str) -> Option<Vec<u8>> {
+        let metas = self.namenode.get_mut(name)?;
+        let mut out = Some(Vec::new());
+        let mut scrubbed = false;
         for meta in metas {
-            let chunk = meta.replicas.iter().find_map(|&node| {
-                self.datanodes[node]
-                    .get(&(name.to_string(), meta.index))
-                    .filter(|payload| checksum(payload) == meta.checksum)
-            })?;
-            out.extend_from_slice(chunk);
+            let key = (name.to_string(), meta.index);
+            let mut chunk = None;
+            let datanodes = &mut self.datanodes;
+            meta.replicas.retain(|&node| {
+                if chunk.is_some() {
+                    return true; // already served; leave the tail unverified
+                }
+                match datanodes[node].get(&key) {
+                    Some(payload) if checksum(payload) == meta.checksum => {
+                        chunk = Some(payload.clone());
+                        true
+                    }
+                    Some(_) => {
+                        // Verified corrupt: drop the copy now so repair can
+                        // see the deficit.
+                        datanodes[node].remove(&key);
+                        scrubbed = true;
+                        false
+                    }
+                    None => false, // lost with its node; nothing to drop
+                }
+            });
+            match (chunk, &mut out) {
+                (Some(chunk), Some(out)) => out.extend_from_slice(&chunk),
+                // Keep scanning the remaining blocks even after the read
+                // has failed: their corrupt replicas should be dropped too.
+                _ => out = None,
+            }
         }
-        Some(out)
+        if scrubbed {
+            self.re_replicate();
+        }
+        out
     }
 
     /// Remove a file and its blocks.
@@ -415,6 +449,45 @@ mod tests {
         // First replica is corrupt; the checksum check falls through to
         // the intact copy.
         assert_eq!(s.read("f"), Some(data));
+    }
+
+    #[test]
+    fn read_scrubs_corrupt_replica_and_heals_in_place() {
+        let mut s = tiny_store(2);
+        let data: Vec<u8> = (0..40).collect();
+        assert_eq!(s.write("f", &data), 2);
+        let node = s.blocks_of("f").unwrap()[2].replicas[0];
+        assert!(s.corrupt_replica("f", 2, node));
+        // The read serves intact bytes AND repairs as a side effect: the
+        // corrupt copy is dropped and the block re-replicated from the
+        // surviving replica, without an explicit scrub() sweep.
+        assert_eq!(s.read("f"), Some(data.clone()));
+        assert_eq!(s.re_replicated_blocks(), 1);
+        assert_eq!(s.under_replicated(), 0);
+        assert_eq!(s.blocks_of("f").unwrap()[2].replicas.len(), 2);
+        // Every surviving replica of the healed block passes its checksum.
+        for &n in &s.blocks_of("f").unwrap()[2].replicas.clone() {
+            let payload = s.datanodes[n][&("f".to_string(), 2)].clone();
+            assert_eq!(checksum(&payload), s.blocks_of("f").unwrap()[2].checksum);
+        }
+        // A second read needs no further repair.
+        assert_eq!(s.read("f"), Some(data));
+        assert_eq!(s.re_replicated_blocks(), 1);
+    }
+
+    #[test]
+    fn read_with_no_intact_replica_drops_garbage_and_reports_loss() {
+        let mut s = tiny_store(2);
+        assert_eq!(s.write("f", &[9u8; 20]), 2);
+        let replicas = s.blocks_of("f").unwrap()[0].replicas.clone();
+        for node in replicas {
+            assert!(s.corrupt_replica("f", 0, node));
+        }
+        // Both copies corrupt: the read fails rather than returning
+        // garbage, and the verified-corrupt copies are gone.
+        assert_eq!(s.read("f"), None);
+        assert!(s.blocks_of("f").unwrap()[0].replicas.is_empty());
+        assert!(s.under_replicated() > 0);
     }
 
     #[test]

@@ -12,14 +12,39 @@
 pub enum Stage {
     /// A map task: map + combine + spill round-trip for one input chunk.
     Map,
+    /// A shuffle task: sorting one partition's concatenated map output.
+    /// Only a distinct task unit under the multi-process executor; the
+    /// in-process engine sorts partitions inline without a retry unit.
+    Shuffle,
     /// A reduce task: grouping and reducing one shuffle partition.
     Reduce,
+}
+
+impl Stage {
+    /// Stable wire discriminant (travels in worker-pool frames).
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Stage::Map => 0,
+            Stage::Shuffle => 1,
+            Stage::Reduce => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Stage> {
+        match code {
+            0 => Some(Stage::Map),
+            1 => Some(Stage::Shuffle),
+            2 => Some(Stage::Reduce),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Stage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             Stage::Map => "map",
+            Stage::Shuffle => "shuffle",
             Stage::Reduce => "reduce",
         })
     }
@@ -28,7 +53,7 @@ impl std::fmt::Display for Stage {
 /// The kind of failure injected into a task attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
-    /// The task panics mid-flight (a crashed worker process).
+    /// The task panics mid-flight (a crashed worker thread).
     Panic,
     /// Spill I/O fails (a full or yanked disk). For tasks with no spill
     /// path the attempt fails with a synthetic I/O error anyway.
@@ -37,6 +62,38 @@ pub enum FaultKind {
     /// rot / torn write). Only observable in spill mode, where the
     /// read-back verification catches it; a no-op for in-memory jobs.
     CorruptFrame,
+    /// Process-level: the worker process that owns the attempt SIGKILLs
+    /// itself mid-result-write, leaving a torn frame on the wire. Under
+    /// the in-process executor this degrades to a plain attempt failure
+    /// (a thread cannot be SIGKILLed), so plans stay portable.
+    KillWorker,
+    /// Process-level: the worker stops heartbeating and hangs, so the
+    /// driver's liveness deadline must detect it and reassign the lease.
+    /// Degrades to a plain attempt failure in-process.
+    StallHeartbeat,
+}
+
+impl FaultKind {
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            FaultKind::Panic => 0,
+            FaultKind::IoError => 1,
+            FaultKind::CorruptFrame => 2,
+            FaultKind::KillWorker => 3,
+            FaultKind::StallHeartbeat => 4,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<FaultKind> {
+        match code {
+            0 => Some(FaultKind::Panic),
+            1 => Some(FaultKind::IoError),
+            2 => Some(FaultKind::CorruptFrame),
+            3 => Some(FaultKind::KillWorker),
+            4 => Some(FaultKind::StallHeartbeat),
+            _ => None,
+        }
+    }
 }
 
 /// One explicitly requested fault at exact coordinates.
@@ -102,17 +159,79 @@ impl FaultPlan {
         if attempt != 0 {
             return None;
         }
-        let h = mix(seed ^ mix(task as u64 ^ ((stage == Stage::Reduce) as u64) << 32));
+        let h = mix(seed ^ mix(task as u64 ^ (stage.code() as u64) << 32));
         let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         if unit >= p {
             return None;
         }
-        // Derive the kind from independent bits of the same hash.
+        // Derive the kind from independent bits of the same hash. The
+        // seeded layer only draws the thread-level kinds: process-level
+        // faults (KillWorker, StallHeartbeat) are explicit-coordinates
+        // only, so a seeded plan stays meaningful under both executors.
         Some(match mix(h) % 3 {
             0 => FaultKind::Panic,
             1 => FaultKind::IoError,
             _ => FaultKind::CorruptFrame,
         })
+    }
+
+    /// Serialize the plan for travel to a worker process (the `Setup`
+    /// frame of the pool protocol). Fixed-width little-endian layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.explicit.len() as u64).to_le_bytes());
+        for inj in &self.explicit {
+            out.push(inj.stage.code());
+            out.push(inj.kind.code());
+            out.extend_from_slice(&(inj.task as u64).to_le_bytes());
+            out.extend_from_slice(&inj.attempt.to_le_bytes());
+        }
+        match self.seeded {
+            Some((seed, p)) => {
+                out.push(1);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&p.to_bits().to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Decode a plan produced by [`FaultPlan::to_bytes`]. `None` on any
+    /// structural mismatch (a worker must fail setup rather than run with
+    /// a half-understood schedule).
+    pub fn from_bytes(bytes: &[u8]) -> Option<FaultPlan> {
+        fn take<'a>(inp: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if inp.len() < n {
+                return None;
+            }
+            let (head, rest) = inp.split_at(n);
+            *inp = rest;
+            Some(head)
+        }
+        let mut inp = bytes;
+        let n = u64::from_le_bytes(take(&mut inp, 8)?.try_into().ok()?);
+        let mut explicit = Vec::new();
+        for _ in 0..n {
+            let stage = Stage::from_code(take(&mut inp, 1)?[0])?;
+            let kind = FaultKind::from_code(take(&mut inp, 1)?[0])?;
+            let task = u64::from_le_bytes(take(&mut inp, 8)?.try_into().ok()?) as usize;
+            let attempt = u32::from_le_bytes(take(&mut inp, 4)?.try_into().ok()?);
+            explicit.push(Injection { stage, task, attempt, kind });
+        }
+        let seeded = match take(&mut inp, 1)?[0] {
+            0 => None,
+            1 => {
+                let seed = u64::from_le_bytes(take(&mut inp, 8)?.try_into().ok()?);
+                let p = f64::from_bits(u64::from_le_bytes(take(&mut inp, 8)?.try_into().ok()?));
+                Some((seed, p))
+            }
+            _ => return None,
+        };
+        if !inp.is_empty() {
+            return None;
+        }
+        Some(FaultPlan { explicit, seeded })
     }
 }
 
@@ -165,6 +284,33 @@ mod tests {
         let plan = FaultPlan::seeded(7, 0.0);
         for task in 0..100 {
             assert_eq!(plan.fault_for(Stage::Map, task, 0), None);
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_bytes() {
+        let plan = FaultPlan::seeded(17, 0.25)
+            .with_fault(Stage::Map, 3, 1, FaultKind::KillWorker)
+            .with_fault(Stage::Shuffle, 0, 0, FaultKind::StallHeartbeat)
+            .with_fault(Stage::Reduce, 7, 2, FaultKind::CorruptFrame);
+        let back = FaultPlan::from_bytes(&plan.to_bytes()).expect("round trip");
+        assert_eq!(back.explicit, plan.explicit);
+        assert_eq!(back.seeded, plan.seeded);
+        // Behavioural equivalence at a few coordinates.
+        for task in 0..16 {
+            for &stage in &[Stage::Map, Stage::Shuffle, Stage::Reduce] {
+                for attempt in 0..3 {
+                    assert_eq!(
+                        back.fault_for(stage, task, attempt),
+                        plan.fault_for(stage, task, attempt)
+                    );
+                }
+            }
+        }
+        // Truncation at any offset must fail decode, not mis-decode.
+        let bytes = plan.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(FaultPlan::from_bytes(&bytes[..cut]).is_none(), "cut at {cut}");
         }
     }
 

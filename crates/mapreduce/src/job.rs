@@ -26,7 +26,7 @@
 use crate::codec::{decode_frames, encode_frames, Codec, FrameError};
 use crate::counters::JobStats;
 use crate::fault::{FaultKind, FaultPlan, Stage};
-use ngs_core_hash::hash_one;
+pub(crate) use ngs_core_hash::hash_one;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,6 +193,7 @@ fn run_attempts<T>(
     let max_attempts = cfg.max_attempts.max(1);
     let span_path = match stage {
         Stage::Map => "mapreduce.task.map",
+        Stage::Shuffle => "mapreduce.task.shuffle",
         Stage::Reduce => "mapreduce.task.reduce",
     };
     // Without a collector the trace events come straight from the tracer,
@@ -246,9 +247,70 @@ fn run_attempts<T>(
         if attempt >= max_attempts {
             return Err(JobError { stage, task, attempts: attempt, last_error: error });
         }
-        // Exponential backoff: base, 2·base, 4·base, …
-        std::thread::sleep(cfg.retry_backoff * (1u32 << (attempt - 1).min(16)));
+        std::thread::sleep(backoff_with_jitter(cfg.retry_backoff, attempt, stage, task));
     }
+}
+
+/// The delay before retry number `attempt` (1-based): exponential in the
+/// attempt (`base, 2·base, 4·base, …`) scaled by a jitter factor in
+/// `[0.5, 1.0)` drawn from a RNG seeded purely by the task's coordinates.
+/// Jitter de-synchronizes simultaneous retries (many tasks failing in the
+/// same tick — e.g. every lease of a killed worker — would otherwise hammer
+/// the scheduler in lock-step), while the coordinate seed keeps every run
+/// byte-for-byte reproducible. Never exceeds the un-jittered delay.
+pub(crate) fn backoff_with_jitter(
+    base: Duration,
+    attempt: u32,
+    stage: Stage,
+    task: usize,
+) -> Duration {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let exp = base * (1u32 << (attempt - 1).min(16));
+    let seed = hash_one(&(stage.code() as u64, task as u64, attempt as u64));
+    let factor = StdRng::seed_from_u64(seed).gen_range(0.5..1.0);
+    exp.mul_f64(factor)
+}
+
+/// Sort one partition by key and fold runs of equal keys through the
+/// combiner in place; returns the partition's post-combine length. Shared
+/// by the in-process map attempt and the worker-pool map task, so both
+/// executors combine identically (a requirement for byte-identical output).
+pub(crate) fn combine_partition<K, V>(
+    part: &mut Vec<(K, V)>,
+    comb: &(dyn Fn(&K, &mut Vec<V>) + Sync),
+) -> usize
+where
+    K: Ord + Clone,
+{
+    part.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut result: Vec<(K, V)> = Vec::with_capacity(part.len());
+    let drained = std::mem::take(part);
+    let mut run_key: Option<K> = None;
+    let mut run_vals: Vec<V> = Vec::new();
+    for (k, v) in drained {
+        match &run_key {
+            Some(rk) if *rk == k => run_vals.push(v),
+            _ => {
+                if let Some(rk) = run_key.take() {
+                    comb(&rk, &mut run_vals);
+                    for v in run_vals.drain(..) {
+                        result.push((rk.clone(), v));
+                    }
+                }
+                run_key = Some(k);
+                run_vals.push(v);
+            }
+        }
+    }
+    if let Some(rk) = run_key.take() {
+        comb(&rk, &mut run_vals);
+        for v in run_vals.drain(..) {
+            result.push((rk.clone(), v));
+        }
+    }
+    *part = result;
+    part.len()
 }
 
 /// Output of one successful map task.
@@ -378,6 +440,12 @@ where
     if fault == Some(FaultKind::IoError) && cfg.spill_dir.is_none() {
         return Err(format!("injected I/O error in map task {task} attempt {attempt}"));
     }
+    // Process-level faults degrade to plain attempt failures in-process: a
+    // thread cannot be SIGKILLed, but the plan must still perturb the same
+    // coordinates so portable plans exercise the retry path everywhere.
+    if matches!(fault, Some(FaultKind::KillWorker | FaultKind::StallHeartbeat)) {
+        return Err(format!("injected {:?} in map task {task} attempt {attempt}", fault.unwrap()));
+    }
 
     let mut partitions: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
     let mut emitted = 0u64;
@@ -395,34 +463,7 @@ where
     if let Some(comb) = combiner {
         combined = 0;
         for part in &mut partitions {
-            part.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut result: Vec<(K, V)> = Vec::with_capacity(part.len());
-            let drained = std::mem::take(part);
-            let mut run_key: Option<K> = None;
-            let mut run_vals: Vec<V> = Vec::new();
-            for (k, v) in drained {
-                match &run_key {
-                    Some(rk) if *rk == k => run_vals.push(v),
-                    _ => {
-                        if let Some(rk) = run_key.take() {
-                            comb(&rk, &mut run_vals);
-                            for v in run_vals.drain(..) {
-                                result.push((rk.clone(), v));
-                            }
-                        }
-                        run_key = Some(k);
-                        run_vals.push(v);
-                    }
-                }
-            }
-            if let Some(rk) = run_key.take() {
-                comb(&rk, &mut run_vals);
-                for v in run_vals.drain(..) {
-                    result.push((rk.clone(), v));
-                }
-            }
-            combined += result.len() as u64;
-            *part = result;
+            combined += combine_partition(part, comb) as u64;
         }
     }
 
@@ -718,6 +759,18 @@ where
         }
         None => {}
     }
+    Ok(reduce_sorted(part, reducer))
+}
+
+/// Group a key-sorted partition into runs and invoke the reducer once per
+/// distinct key; returns `(outputs, group_count)`. Shared by the in-process
+/// reduce attempt and the worker-pool reduce task.
+pub(crate) fn reduce_sorted<K, V, O, R>(part: &[(K, V)], reducer: &R) -> (Vec<O>, u64)
+where
+    K: Ord + Codec,
+    V: Codec,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
     let mut out = Vec::new();
     let mut groups = 0u64;
     let mut i = 0;
@@ -734,7 +787,7 @@ where
         reducer(&part[i].0, values, &mut |o: O| out.push(o));
         i = j;
     }
-    Ok((out, groups))
+    (out, groups)
 }
 
 /// Convenience wrapper without a combiner.
@@ -996,6 +1049,24 @@ mod tests {
         out.sort();
         assert_eq!(out, word_count(&JobConfig::with_workers(3), &docs));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_desynchronized() {
+        let base = Duration::from_millis(8);
+        for attempt in 1..6u32 {
+            let exp = base * (1u32 << (attempt - 1));
+            for task in 0..32 {
+                let d = backoff_with_jitter(base, attempt, Stage::Map, task);
+                assert_eq!(d, backoff_with_jitter(base, attempt, Stage::Map, task));
+                assert!(d >= exp.mul_f64(0.5) && d < exp, "{d:?} vs {exp:?}");
+            }
+        }
+        // Coordinates actually spread the delays: tasks failing in the same
+        // tick must not all sleep the same duration.
+        let delays: std::collections::BTreeSet<Duration> =
+            (0..16).map(|t| backoff_with_jitter(base, 1, Stage::Reduce, t)).collect();
+        assert!(delays.len() > 8, "only {} distinct delays of 16", delays.len());
     }
 
     #[test]

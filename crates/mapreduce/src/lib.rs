@@ -20,7 +20,17 @@
 //!   placement over simulated data nodes, re-replication and scrubbing
 //!   after failures): the HDFS-lite layer;
 //! * [`fault`] — deterministic fault injection, so the recovery paths
-//!   above are continuously exercised by tests.
+//!   above are continuously exercised by tests;
+//! * [`executor`], [`protocol`], [`transport`] — the multi-process worker
+//!   pool: the driver re-executes itself as N worker processes and assigns
+//!   task attempts over a Unix-socket transport carrying length-prefixed,
+//!   checksummed frames. Workers can be SIGKILLed mid-task (or stall their
+//!   heartbeat) and the job still completes byte-identically: the driver
+//!   detects torn frames and missed heartbeat/lease deadlines, reassigns
+//!   the lease, and respawns dead workers within a bounded, jittered
+//!   backoff budget. [`run_pooled`] is the entry point; jobs are named
+//!   [`MapReduceSpec`]s resolved through a [`JobRegistry`] on the worker
+//!   side, because closures cannot cross a process boundary.
 //!
 //! Fault tolerance follows Hadoop's task-attempt model: every map and
 //! reduce task runs under `catch_unwind` and is retried with exponential
@@ -38,11 +48,19 @@
 pub mod codec;
 pub mod counters;
 pub mod dfs;
+pub mod executor;
 pub mod fault;
 pub mod job;
+pub mod protocol;
+pub mod transport;
 
 pub use codec::Codec;
 pub use counters::{record_job_stats, JobStats};
 pub use dfs::{BlockStore, DfsConfig};
+pub use executor::{
+    run_local, run_pooled, worker_main, JobRegistry, MapReduceSpec, PoolConfig, WordCountSpec,
+};
 pub use fault::{FaultKind, FaultPlan, Stage};
 pub use job::{map_reduce, map_reduce_simple, JobConfig, JobError};
+pub use protocol::{Message, ProtocolError};
+pub use transport::FrameConn;

@@ -1,0 +1,160 @@
+//! Unix-socket transport for the worker pool.
+//!
+//! A [`FrameConn`] wraps one `UnixStream` and speaks the outer frame
+//! format of [`crate::protocol`]. Each `send` serializes the whole frame
+//! into one buffer and hands it to a single `write_all`, so a *live*
+//! writer never interleaves partial frames — only process death can tear
+//! one, which is exactly what the reader's torn-frame detection is for.
+//! [`FrameConn::send_torn`] deliberately writes half a frame and is the
+//! hook behind [`crate::FaultKind::KillWorker`] injection.
+
+use crate::protocol::{encode_frame, read_frame, Message, ProtocolError};
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One framed, checksummed connection end.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: UnixStream,
+}
+
+impl FrameConn {
+    /// Connect to a listening pool socket.
+    pub fn connect(path: &Path) -> Result<FrameConn, ProtocolError> {
+        UnixStream::connect(path)
+            .map(FrameConn::from_stream)
+            .map_err(|e| ProtocolError::Io(format!("connect {}: {e}", path.display())))
+    }
+
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: UnixStream) -> FrameConn {
+        FrameConn { stream }
+    }
+
+    /// Clone the connection (shared underlying socket) so one end can be
+    /// read and written from different threads.
+    pub fn try_clone(&self) -> Result<FrameConn, ProtocolError> {
+        self.stream
+            .try_clone()
+            .map(FrameConn::from_stream)
+            .map_err(|e| ProtocolError::Io(e.to_string()))
+    }
+
+    /// Send one message as one atomic frame.
+    pub fn send(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        self.stream
+            .write_all(&encode_frame(&msg.to_payload()))
+            .map_err(|e| ProtocolError::Io(e.to_string()))
+    }
+
+    /// Receive one message, blocking until a full frame arrives.
+    pub fn recv(&mut self) -> Result<Message, ProtocolError> {
+        Message::from_payload(&read_frame(&mut self.stream)?)
+    }
+
+    /// Write only the first half of the frame, then shut the write side —
+    /// the wire image of a worker SIGKILLed mid-result. Fault injection
+    /// only; the peer must observe [`ProtocolError::Torn`].
+    pub fn send_torn(&mut self, msg: &Message) -> Result<(), ProtocolError> {
+        let frame = encode_frame(&msg.to_payload());
+        let half = &frame[..frame.len() / 2];
+        self.stream.write_all(half).map_err(|e| ProtocolError::Io(e.to_string()))?;
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        Ok(())
+    }
+
+    /// Shut down both directions; subsequent reads on the peer see EOF.
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Bind the pool listener, replacing any stale socket file left by a
+/// crashed earlier driver.
+pub fn bind_socket(path: &Path) -> std::io::Result<UnixListener> {
+    if path.exists() {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    UnixListener::bind(path)
+}
+
+/// A socket path unique to this process and call site, under `dir` (or
+/// the system temp dir). Kept short: `sun_path` is ~107 bytes.
+pub fn scratch_socket_path(dir: Option<&Path>, tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let base = dir.map(Path::to_path_buf).unwrap_or_else(std::env::temp_dir);
+    base.join(format!("mrpool_{tag}_{}_{seq}.sock", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_cross_a_socket_both_ways() {
+        let path = scratch_socket_path(None, "t1");
+        let listener = bind_socket(&path).expect("bind");
+        let srv = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream);
+            let hello = conn.recv().expect("hello");
+            assert_eq!(hello, Message::Hello { worker_id: 9, pid: 1 });
+            conn.send(&Message::Drain).expect("drain");
+            // Peer closes after Drain: clean EOF, not an error.
+            assert_eq!(conn.recv(), Err(ProtocolError::Closed));
+        });
+        let mut conn = FrameConn::connect(&path).expect("connect");
+        conn.send(&Message::Hello { worker_id: 9, pid: 1 }).expect("send");
+        assert_eq!(conn.recv().expect("recv"), Message::Drain);
+        conn.shutdown();
+        srv.join().expect("server thread");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_send_surfaces_as_torn_on_the_peer() {
+        let path = scratch_socket_path(None, "t2");
+        let listener = bind_socket(&path).expect("bind");
+        let srv = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream);
+            conn.recv()
+        });
+        let mut conn = FrameConn::connect(&path).expect("connect");
+        conn.send_torn(&Message::Failed { stage: 0, task: 0, attempt: 0, error: "x".repeat(100) })
+            .expect("torn send");
+        assert_eq!(srv.join().expect("server thread"), Err(ProtocolError::Torn));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reader_and_writer_clones_share_one_socket() {
+        let path = scratch_socket_path(None, "t3");
+        let listener = bind_socket(&path).expect("bind");
+        let srv = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream);
+            let mut got = Vec::new();
+            while let Ok(msg) = conn.recv() {
+                got.push(msg);
+            }
+            got
+        });
+        let conn = FrameConn::connect(&path).expect("connect");
+        let mut a = conn.try_clone().expect("clone");
+        let mut b = conn.try_clone().expect("clone");
+        a.send(&Message::Heartbeat { worker_id: 0, rss_bytes: 1 }).expect("send a");
+        b.send(&Message::Heartbeat { worker_id: 0, rss_bytes: 2 }).expect("send b");
+        drop((a, b));
+        conn.shutdown();
+        let got = srv.join().expect("server thread");
+        assert_eq!(got.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

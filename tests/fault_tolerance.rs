@@ -149,12 +149,14 @@ fn dfs_scrub_heals_corrupt_replicas() {
     let node = dfs.blocks_of("data.bin").unwrap()[0].replicas[0];
     assert!(dfs.corrupt_replica("data.bin", 0, node));
 
-    // The read path already skips the corrupt copy…
+    // The read serves the intact copy AND scrubs on read: the corrupt
+    // replica is dropped and the block re-replicated before returning.
     assert_eq!(dfs.read("data.bin"), Some(payload.clone()));
-    // …and scrub + re-replicate restores full redundancy.
-    assert_eq!(dfs.scrub(), 1);
-    assert_eq!(dfs.re_replicate(), 1);
+    assert_eq!(dfs.re_replicated_blocks(), 1);
     assert_eq!(dfs.under_replicated(), 0);
+    // A background scrub afterwards finds nothing left to heal.
+    assert_eq!(dfs.scrub(), 0);
+    assert_eq!(dfs.re_replicate(), 0);
     assert_eq!(dfs.read("data.bin"), Some(payload));
 }
 

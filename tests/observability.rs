@@ -18,7 +18,7 @@ use std::time::Duration;
 const NAMES: &[&str] = &["a", "b.c", "b.d", "e.f.g", "h"];
 
 fn arb_job_stats() -> impl Strategy<Value = JobStats> {
-    vec(0u64..1_000_000, 15).prop_map(|v| JobStats {
+    vec(0u64..1_000_000, 18).prop_map(|v| JobStats {
         map_input_records: v[0],
         map_output_records: v[1],
         combine_output_records: v[2],
@@ -34,6 +34,9 @@ fn arb_job_stats() -> impl Strategy<Value = JobStats> {
         corrupt_frames: v[12],
         re_replicated_blocks: v[13],
         map_tasks_resumed: v[14],
+        worker_deaths: v[15],
+        workers_respawned: v[16],
+        tasks_reassigned: v[17],
     })
 }
 
