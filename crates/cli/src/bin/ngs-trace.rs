@@ -219,6 +219,14 @@ fn cmd_diff(rest: &[String]) -> ExitCode {
         if let Err(e) = ngs_observe::diff::parse_bench_spans(&current) {
             return fail(&format!("{current_path}: {e}"));
         }
+        // …and spans that violate the count/total/min/max invariants
+        // (hand-edited envelope figures) never become a baseline.
+        if let Err(violations) = ngs_observe::diff::validate_bench_invariants(&current) {
+            return fail(&format!(
+                "{current_path}: span invariant violations:\n  {}",
+                violations.join("\n  ")
+            ));
+        }
         if let Err(e) = ngs_durable::write_atomic(baseline_path, current.as_bytes()) {
             return fail(&format!("write {baseline_path}: {e}"));
         }

@@ -31,6 +31,7 @@ OPTIONS:
   --trace-jsonl PATH    write an event trace here (view with ngs-trace)
   --profile-mem         track allocations (alloc fields in metrics/resources)
   --resource-jsonl PATH write a sampled resource timeline (RSS, CPU, alloc) here
+  --threads N           parallel runtime threads (also: NGS_THREADS env) [default: all cores]
   --progress            print throughput/ETA heartbeat lines (auto on a TTY)
   --help                print this message";
 

@@ -103,6 +103,21 @@ pub fn load_reads(input: &str, opts: &DurabilityOpts, collector: &Collector) -> 
     Ok(reads)
 }
 
+/// Apply the shared `--threads N` flag: pin the size of the global
+/// parallel runtime before its first use (equivalent to, and taking
+/// precedence over, the `NGS_THREADS` environment variable). Without the
+/// flag the pool sizes itself from `NGS_THREADS` or the available cores.
+pub fn apply_threads_flag(args: &Args) -> Result<()> {
+    if let Some(raw) = args.value_of("threads")? {
+        let threads: usize =
+            raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                NgsError::InvalidParameter(format!("--threads: bad count {raw:?}"))
+            })?;
+        rayon::set_num_threads(threads);
+    }
+    Ok(())
+}
+
 /// The observability flags shared by all three pipeline CLIs.
 #[derive(Debug, Clone, Default)]
 pub struct ObserveOpts {
@@ -225,6 +240,7 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
     let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
     let opts = DurabilityOpts::from_args(args)?;
     let obs = ObserveOpts::from_args(args)?;
+    apply_threads_flag(args)?;
 
     let collector = Arc::new(metrics_collector(args)?);
     let session = ObserveSession::begin(&obs, &collector, input);
@@ -328,6 +344,7 @@ pub fn redeem_detect(args: &Args) -> Result<()> {
     let checkpoint_every: usize = args.get_parsed("checkpoint-every", 10)?;
     let opts = DurabilityOpts::from_args(args)?;
     let obs = ObserveOpts::from_args(args)?;
+    apply_threads_flag(args)?;
 
     let collector = Arc::new(metrics_collector(args)?);
     let session = ObserveSession::begin(&obs, &collector, input);
@@ -496,6 +513,7 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
         args.get_parsed("workers", std::thread::available_parallelism().map_or(4, |n| n.get()))?;
     let opts = DurabilityOpts::from_args(args)?;
     let obs = ObserveOpts::from_args(args)?;
+    apply_threads_flag(args)?;
 
     // Per-task MapReduce spans need the collector on the job config, so it
     // lives in an Arc shared between the config and this scope.

@@ -231,8 +231,12 @@ pub fn build_edges_observed(
     // Tasks 4–5: validation.
     let t1 = Instant::now();
     let validated = {
-        let _span = collector.span_with_threads("closet.validate", workers);
-        validate_edges(reads, &candidates, &params.validator, params.sketch.cmin)
+        // Validation runs on the rayon pool (not the MapReduce workers),
+        // so close the span with the parallelism it actually got.
+        let mut span = collector.span_with_threads("closet.validate", workers);
+        let validated = validate_edges(reads, &candidates, &params.validator, params.sketch.cmin);
+        span.set_threads(rayon::last_threads_used());
+        validated
     };
     let validate_time = t1.elapsed();
     collector.add("closet.confirmed_edges", validated.len() as u64);

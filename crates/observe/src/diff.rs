@@ -209,6 +209,61 @@ pub fn parse_bench_spans(text: &str) -> Result<(String, BTreeMap<String, u64>), 
     Ok((pipeline, spans.into_iter().map(|(k, v)| (k, v.total_ns)).collect()))
 }
 
+/// Check every span of a `BENCH_*.json` document against the span-stat
+/// invariants, returning one message per violation:
+///
+/// * `count == 0` ⇒ `total_ns == 0`;
+/// * `count == 1` ⇒ `total_ns == min_ns == max_ns` (a single occurrence
+///   *is* the minimum, maximum, and total);
+/// * `count >= 1` ⇒ `min_ns <= max_ns <= total_ns`.
+///
+/// `ngs-trace diff --update-baseline` refuses to bless a report that
+/// fails this, so hand-edited envelope figures (how the historical
+/// count-1 violations got committed) can no longer enter
+/// `bench/baselines/`. Spans missing any of the four fields are skipped —
+/// this validator hardens full schema-v2 reports, not hand-written
+/// wall-only fixtures.
+pub fn validate_bench_invariants(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("unparseable report: {e}")]),
+    };
+    let Some(spans) = doc.get("spans").and_then(Json::as_obj) else {
+        return Ok(());
+    };
+    let mut violations = Vec::new();
+    for (name, stat) in spans {
+        let field = |k: &str| stat.get(k).and_then(Json::as_u64);
+        let (Some(count), Some(total), Some(min), Some(max)) =
+            (field("count"), field("total_ns"), field("min_ns"), field("max_ns"))
+        else {
+            continue;
+        };
+        if count == 0 {
+            if total != 0 {
+                violations.push(format!("span {name:?}: count 0 but total_ns {total}"));
+            }
+            continue;
+        }
+        if count == 1 && !(total == min && total == max) {
+            violations.push(format!(
+                "span {name:?}: count 1 requires total_ns == min_ns == max_ns, \
+                 got total_ns {total}, min_ns {min}, max_ns {max}"
+            ));
+        } else if min > max || max > total {
+            violations.push(format!(
+                "span {name:?}: requires min_ns <= max_ns <= total_ns, \
+                 got total_ns {total}, min_ns {min}, max_ns {max}"
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
 /// Compare two span maps. Wall-axis regression rules:
 ///
 /// * both sides below `min_total_ns` → ignored (reported, never regressed);
@@ -439,6 +494,37 @@ mod tests {
         // The wall-only view still works.
         let (_, flat) = parse_bench_spans(&json).unwrap();
         assert_eq!(flat["p.build"], 100_000_000);
+    }
+
+    #[test]
+    fn validator_accepts_collector_reports() {
+        let c = crate::Collector::new();
+        c.record_span_ns("p.once", 5_000, 1);
+        c.record_span_ns("p.twice", 1_000, 2);
+        c.record_span_ns("p.twice", 3_000, 2);
+        validate_bench_invariants(&c.report("p").to_json()).expect("honest report validates");
+    }
+
+    #[test]
+    fn validator_rejects_count_one_envelope_totals() {
+        // The exact corruption shipped in the historical baselines:
+        // count 1 with total_ns inflated past min/max.
+        let json = r#"{"pipeline": "p", "spans": {
+            "reptile.build.tiles": {"count": 1, "total_ns": 18008569,
+                                    "min_ns": 17324288, "max_ns": 17324288}}}"#;
+        let violations = validate_bench_invariants(json).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("count 1"), "{violations:?}");
+    }
+
+    #[test]
+    fn validator_rejects_inverted_extrema_and_zero_count_totals() {
+        let json = r#"{"pipeline": "p", "spans": {
+            "a": {"count": 2, "total_ns": 10, "min_ns": 9, "max_ns": 12},
+            "b": {"count": 0, "total_ns": 7, "min_ns": 0, "max_ns": 0},
+            "wall_only": {"total_ns": 5}}}"#;
+        let violations = validate_bench_invariants(json).unwrap_err();
+        assert_eq!(violations.len(), 2, "{violations:?}");
     }
 
     #[test]

@@ -318,6 +318,15 @@ impl SpanGuard<'_> {
     pub fn trace_id(&self) -> SpanId {
         self.trace_id
     }
+
+    /// Replace the thread count this span will record on drop. Spans are
+    /// opened with the parallelism *available* (all that is knowable up
+    /// front); call this just before the span closes with the parallelism
+    /// the work actually *got* (e.g. `rayon::last_threads_used()`), so
+    /// BENCH reports stop claiming full fan-out for sequential runs.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
 }
 
 impl Drop for SpanGuard<'_> {

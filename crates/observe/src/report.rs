@@ -110,11 +110,32 @@ impl SpanStat {
     }
 
     /// Fold another aggregate in. Commutative and associative.
+    ///
+    /// Wall-time figures only flow from sides that actually counted an
+    /// occurrence: a `count == 0` operand contributes nothing to
+    /// `total_ns`/`min_ns`/`max_ns` (its fields are by definition the
+    /// fold identity, and a hand-built stat carrying nonzero figures at
+    /// count 0 must not skew totals without moving the extrema — that
+    /// is exactly how `total_ns > max_ns` crept into count-1 spans of
+    /// blessed baselines). Symmetrically, when `self` has never counted
+    /// an occurrence its wall fields are replaced, not folded, which
+    /// keeps the operation commutative. The invariant
+    /// `count == 1 ⇒ total_ns == min_ns == max_ns` therefore survives
+    /// any sequence of merges (property-tested in
+    /// `tests/observability.rs`).
     pub fn merge(&mut self, other: &SpanStat) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.total_ns = other.total_ns;
+                self.min_ns = other.min_ns;
+                self.max_ns = other.max_ns;
+            } else {
+                self.total_ns = self.total_ns.saturating_add(other.total_ns);
+                self.min_ns = self.min_ns.min(other.min_ns);
+                self.max_ns = self.max_ns.max(other.max_ns);
+            }
+        }
         self.count += other.count;
-        self.total_ns = self.total_ns.saturating_add(other.total_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
         self.threads = self.threads.max(other.threads);
         self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
         self.alloc_peak_bytes = self.alloc_peak_bytes.max(other.alloc_peak_bytes);
@@ -545,6 +566,39 @@ mod tests {
         assert_eq!(a.counter("p.records"), 14);
         assert_eq!(a.gauges["p.threshold"], 2.5);
         assert_eq!(a.histograms["p.sizes"].count(), 20);
+    }
+
+    #[test]
+    fn count_zero_operand_contributes_no_wall_time() {
+        // A corrupt stat claiming wall time at count 0 must not skew a
+        // count-1 span's totals away from its extrema — in either
+        // merge direction.
+        let mut real = SpanStat::default();
+        real.observe(1_000, 4);
+        let corrupt = SpanStat { count: 0, total_ns: 999_999, max_ns: 7, ..Default::default() };
+
+        let mut left = real;
+        left.merge(&corrupt);
+        assert_eq!((left.count, left.total_ns, left.min_ns, left.max_ns), (1, 1_000, 1_000, 1_000));
+
+        let mut right = corrupt;
+        right.merge(&real);
+        assert_eq!(
+            (right.count, right.total_ns, right.min_ns, right.max_ns),
+            (1, 1_000, 1_000, 1_000)
+        );
+    }
+
+    #[test]
+    fn count_one_invariant_survives_merge_chains() {
+        let mut a = SpanStat::default();
+        a.observe(5_000, 2);
+        let mut acc = SpanStat::default();
+        acc.merge(&a);
+        acc.merge(&SpanStat::default());
+        assert_eq!(acc.count, 1);
+        assert_eq!(acc.total_ns, acc.min_ns);
+        assert_eq!(acc.total_ns, acc.max_ns);
     }
 
     #[test]

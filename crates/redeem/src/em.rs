@@ -295,7 +295,7 @@ impl Redeem {
         let start_iterations = state.iterations;
         while !state.converged && state.iterations < cfg.max_iters {
             state.iterations += 1;
-            let _iter_span =
+            let mut iter_span =
                 collector.span_with_threads("redeem.em.iteration", rayon::current_num_threads());
             // Denominators: denom_m = Σ_{l ∈ row m} T_l · pe(l → m), which
             // in CSR terms is a gather over row m with incoming weights.
@@ -334,6 +334,9 @@ impl Redeem {
                 })
                 .collect();
             state.t = t_new;
+            // Report the parallelism the E/M gathers actually got, not
+            // the pool size (they may have run sequentially).
+            iter_span.set_threads(rayon::last_threads_used());
 
             if state.prev_ll.is_finite() {
                 collector

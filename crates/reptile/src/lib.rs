@@ -63,23 +63,32 @@ impl Reptile {
     /// histogram land in `collector`.
     pub fn build_observed(reads: &[Read], params: ReptileParams, collector: &Collector) -> Reptile {
         params.validate();
+        // Spans open with the pool size and close with the thread count
+        // the parallel work actually used, so sequential fallbacks (small
+        // inputs, NGS_THREADS=1) stop reporting full fan-out.
         let threads = rayon::current_num_threads();
         let spectrum = {
-            let _s = collector.span_with_threads("reptile.build.spectrum", threads);
-            KSpectrum::from_reads_both_strands(reads, params.k)
+            let mut s = collector.span_with_threads("reptile.build.spectrum", threads);
+            let spectrum = KSpectrum::from_reads_both_strands(reads, params.k);
+            s.set_threads(rayon::last_threads_used());
+            spectrum
         };
         let tiles = {
-            let _s = collector.span_with_threads("reptile.build.tiles", threads);
-            TileTable::build(reads, params.k, params.tile_overlap, params.qc)
+            let mut s = collector.span_with_threads("reptile.build.tiles", threads);
+            let tiles = TileTable::build(reads, params.k, params.tile_overlap, params.qc);
+            s.set_threads(rayon::last_threads_used());
+            tiles
         };
         let neighbor_tables = {
-            let _s = collector.span_with_threads("reptile.build.neighbor_index", threads);
+            let mut s = collector.span_with_threads("reptile.build.neighbor_index", threads);
             collector.incr("reptile.index_builds");
-            NeighborTables::build(
+            let tables = NeighborTables::build(
                 &spectrum,
                 params.d,
                 NeighborStrategy::MaskedReplicas { chunks: params.neighbor_chunks() },
-            )
+            );
+            s.set_threads(rayon::last_threads_used());
+            tables
         };
         if collector.is_enabled() {
             let mut hist = LogHistogram::new();
@@ -126,7 +135,7 @@ impl Reptile {
         reads: &[Read],
         collector: &Collector,
     ) -> (Vec<Read>, ReptileStats) {
-        let span = collector.span_with_threads("reptile.correct", rayon::current_num_threads());
+        let mut span = collector.span_with_threads("reptile.correct", rayon::current_num_threads());
         let index = self.neighbor_tables.view(&self.spectrum);
         let results: Vec<(Read, ReptileStats)> = reads
             .par_iter()
@@ -137,6 +146,7 @@ impl Reptile {
                 (read, stats)
             })
             .collect();
+        span.set_threads(rayon::last_threads_used());
         let mut all = ReptileStats::default();
         let mut out = Vec::with_capacity(results.len());
         for (read, stats) in results {

@@ -54,6 +54,21 @@ fn arb_spans() -> impl Strategy<Value = BTreeMap<String, SpanStat>> {
     })
 }
 
+/// Hand-built count-0 stats carrying garbage wall figures — the
+/// adversarial input for the span-invariant property (a well-behaved
+/// writer can only produce these by bypassing `SpanStat::observe`).
+fn arb_corrupt_spans() -> impl Strategy<Value = BTreeMap<String, SpanStat>> {
+    vec((0usize..NAMES.len(), 1u64..1_000_000), 0..3).prop_map(|kvs| {
+        kvs.into_iter()
+            .map(|(i, ns)| {
+                let stat =
+                    SpanStat { count: 0, total_ns: ns, max_ns: ns / 2, ..SpanStat::default() };
+                (NAMES[i].to_string(), stat)
+            })
+            .collect()
+    })
+}
+
 fn arb_counters() -> impl Strategy<Value = BTreeMap<String, u64>> {
     vec((0usize..NAMES.len(), 0u64..1_000_000), 0..4)
         .prop_map(|kvs| kvs.into_iter().map(|(i, v)| (NAMES[i].to_string(), v)).collect())
@@ -129,6 +144,36 @@ proptest! {
     #[test]
     fn report_merge_is_associative(a in arb_report(), b in arb_report(), c in arb_report()) {
         prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn count_one_span_invariant_survives_merge(
+        a in arb_report(),
+        b in arb_report(),
+        corrupt in arb_corrupt_spans(),
+    ) {
+        // Merge two honest reports plus one carrying hand-built count-0
+        // stats with garbage wall figures (the shape that once produced
+        // blessed baselines where a count-1 span had total_ns != max_ns).
+        // Every counted span in the result must satisfy the span
+        // invariants, in particular count == 1 ⇒ total == min == max.
+        let poison = Report {
+            pipeline: "p".to_string(),
+            spans: corrupt,
+            ..Default::default()
+        };
+        let m = merged(&merged(&a, &poison), &b);
+        for (name, s) in &m.spans {
+            if s.count == 0 {
+                continue;
+            }
+            prop_assert!(s.min_ns <= s.max_ns, "{name}: min {} > max {}", s.min_ns, s.max_ns);
+            prop_assert!(s.max_ns <= s.total_ns, "{name}: max {} > total {}", s.max_ns, s.total_ns);
+            if s.count == 1 {
+                prop_assert_eq!(s.total_ns, s.min_ns, "{}", name);
+                prop_assert_eq!(s.total_ns, s.max_ns, "{}", name);
+            }
+        }
     }
 
     #[test]
