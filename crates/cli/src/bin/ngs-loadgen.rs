@@ -1,0 +1,53 @@
+//! Closed-loop load generator and latency bench for `ngs-serve`.
+
+use ngs_cli::{run_main, serving, usage_gate, Args};
+use ngs_core::Result;
+
+/// Registered at compile time; counts nothing until `--profile-mem` flips
+/// it on (see `ngs_observe::alloc`).
+#[global_allocator]
+static ALLOC: ngs_observe::alloc::TrackingAllocator = ngs_observe::alloc::TrackingAllocator;
+
+const USAGE: &str = "ngs-loadgen — closed-loop load generator for ngs-serve
+
+Runs a swarm of clients against a server (a running one via --connect, or
+an in-process one built from --input) and reports latency quantiles. With
+--metrics-json the p50/p90/p99 land in the BENCH_serve.json schema, so
+`ngs-trace diff` can gate regressions against a blessed baseline.
+
+USAGE:
+  ngs-loadgen --input reads.fastq [--connect ENDPOINT] [options]
+
+OPTIONS:
+  --input PATH            reads to batch into requests            [required]
+  --connect ENDPOINT      target a running server (default: in-process)
+  --clients N             concurrent closed-loop clients          [default: 2]
+  --requests-per-client N requests each client issues             [default: 20]
+  --batch-size N          reads per request                       [default: 32]
+  --deadline-ms N         per-request deadline budget (0 = server default)
+  --max-attempts N        tries per request (first + retries)     [default: 8]
+  --base-backoff-ms N     base of the jittered backoff            [default: 10]
+  --max-backoff-ms N      ceiling for a single backoff sleep      [default: 2000]
+  --seed N                jitter seed (varied per client)         [default: 24301]
+  In-process server tuning (ignored with --connect):
+  --genome-len N, --k N, --d N, --workers N, --queue-capacity N,
+  --default-deadline-ms N, --max-reads-per-request N, --checkpoint-dir DIR,
+  --resume
+  --max-bad-records N     skip up to N malformed input records    [default: 0 = fail fast]
+  --metrics-json PATH     write a BENCH_serve.json metrics report here
+  --trace-jsonl PATH      write an event trace here (view with ngs-trace)
+  --profile-mem           track allocations
+  --resource-jsonl PATH   write a sampled resource timeline here
+  --threads N             parallel runtime threads (also: NGS_THREADS env)
+  --progress              print throughput/ETA heartbeat lines (auto on a TTY)
+  --help                  print this message";
+
+fn main() {
+    run_main(real_main());
+}
+
+fn real_main() -> Result<()> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    usage_gate(&args, USAGE);
+    serving::loadgen_main(&args)
+}

@@ -8,7 +8,11 @@
 //! * `closet-cluster` — CLOSET clustering at a threshold series, clusters
 //!   as TSV;
 //! * `assemble` — de Bruijn unitig assembly to FASTA;
-//! * `simulate-reads` — generate a synthetic dataset with ground truth.
+//! * `simulate-reads` — generate a synthetic dataset with ground truth;
+//! * `ngs-serve` — long-lived correction server over a unix/TCP socket;
+//! * `ngs-client` — batch client for `ngs-serve` with retry/backoff;
+//! * `ngs-loadgen` — closed-loop load generator + latency bench for
+//!   `ngs-serve`.
 //!
 //! This module hosts the shared argument parser and I/O helpers so the
 //! binaries stay thin and the logic is unit-testable.
@@ -18,6 +22,7 @@ use ngs_seqio::MalformedPolicy;
 use std::collections::BTreeMap;
 
 pub mod pipelines;
+pub mod serving;
 
 /// The registry every worker entry point resolves job specs against:
 /// `mapreduce-lite`'s builtins plus CLOSET's Phase-I tasks. Driver and
@@ -254,11 +259,21 @@ pub fn usage_gate(args: &Args, usage: &str) {
     }
 }
 
+/// Exit code for a failed run: 2 for usage/parameter errors (the caller
+/// typed something wrong — distinct from runtime failure so scripts and CI
+/// can tell "fix the command line" from "the run broke"), 1 otherwise.
+pub fn error_exit_code(e: &NgsError) -> i32 {
+    match e {
+        NgsError::InvalidParameter(_) => 2,
+        _ => 1,
+    }
+}
+
 /// Standard error-and-exit wrapper for binary main functions.
 pub fn run_main(result: Result<()>) {
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(error_exit_code(&e));
     }
 }
 
@@ -326,6 +341,13 @@ mod tests {
         assert_eq!(a.get_parsed::<usize>("k", 13).unwrap(), 13);
         // Intentional bare switches are unaffected.
         assert!(a.has_flag("verbose"));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime_errors() {
+        assert_eq!(error_exit_code(&NgsError::InvalidParameter("--threads: bad".into())), 2);
+        assert_eq!(error_exit_code(&NgsError::MalformedRecord("truncated record".into())), 1);
+        assert_eq!(error_exit_code(&NgsError::Io("disk gone".into())), 1);
     }
 
     #[test]

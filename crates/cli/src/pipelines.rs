@@ -103,17 +103,36 @@ pub fn load_reads(input: &str, opts: &DurabilityOpts, collector: &Collector) -> 
     Ok(reads)
 }
 
+/// Parse a thread count from `--threads` or `NGS_THREADS`. Zero,
+/// negatives, overflow, and garbage are all [`NgsError::InvalidParameter`]
+/// (exit code 2 through `run_main`) with a message naming the origin —
+/// never a silent fallback to "all cores".
+pub fn parse_thread_count(raw: &str, origin: &str) -> Result<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(NgsError::InvalidParameter(format!(
+            "{origin}: thread count must be at least 1, got 0"
+        ))),
+        Ok(n) => Ok(n),
+        Err(_) => Err(NgsError::InvalidParameter(format!(
+            "{origin}: cannot parse thread count {raw:?} (expected a positive integer \
+             no larger than {})",
+            usize::MAX
+        ))),
+    }
+}
+
 /// Apply the shared `--threads N` flag: pin the size of the global
-/// parallel runtime before its first use (equivalent to, and taking
-/// precedence over, the `NGS_THREADS` environment variable). Without the
-/// flag the pool sizes itself from `NGS_THREADS` or the available cores.
+/// parallel runtime before its first use (taking precedence over the
+/// `NGS_THREADS` environment variable). Without the flag, a *set*
+/// `NGS_THREADS` is validated here too — the pool itself silently ignores
+/// malformed values, which would turn a typo'd `NGS_THREADS=O8` into an
+/// accidental all-cores run. Unset env and absent flag fall through to the
+/// pool's own sizing (env, then available cores).
 pub fn apply_threads_flag(args: &Args) -> Result<()> {
     if let Some(raw) = args.value_of("threads")? {
-        let threads: usize =
-            raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                NgsError::InvalidParameter(format!("--threads: bad count {raw:?}"))
-            })?;
-        rayon::set_num_threads(threads);
+        rayon::set_num_threads(parse_thread_count(raw, "--threads")?);
+    } else if let Ok(raw) = std::env::var("NGS_THREADS") {
+        rayon::set_num_threads(parse_thread_count(&raw, "NGS_THREADS")?);
     }
     Ok(())
 }
@@ -215,7 +234,7 @@ fn key_of(build: impl FnOnce(&mut ByteWriter)) -> u64 {
 
 // ---------------------------------------------------------------- reptile
 
-fn reptile_params_key(p: &reptile::ReptileParams) -> u64 {
+pub(crate) fn reptile_params_key(p: &reptile::ReptileParams) -> u64 {
     key_of(|w| {
         w.put_usize(p.k);
         w.put_usize(p.d);
@@ -229,6 +248,25 @@ fn reptile_params_key(p: &reptile::ReptileParams) -> u64 {
         w.put_usize(p.max_n_per_window);
         w.put_usize(p.max_shift_retries);
     })
+}
+
+/// Reptile parameters from the data, with the shared `--k`/`--d`
+/// overrides applied. One function so `reptile-correct` and `ngs-serve`
+/// derive *identical* parameters (and thus an identical checkpoint key)
+/// from identical flags — that is what lets a batch run warm-start the
+/// server and vice versa.
+pub(crate) fn reptile_params_from_args(
+    args: &Args,
+    reads: &[Read],
+    genome_len: usize,
+) -> Result<reptile::ReptileParams> {
+    let mut params = reptile::ReptileParams::from_data(reads, genome_len);
+    if let Some(k) = args.value_of("k")? {
+        params.k =
+            k.parse().map_err(|_| NgsError::InvalidParameter(format!("--k: bad value {k:?}")))?;
+    }
+    params.d = args.get_parsed("d", params.d)?;
+    Ok(params)
 }
 
 /// `reptile-correct` driver: build (or resume) the Phase-1 index, then
@@ -250,12 +288,7 @@ pub fn reptile_correct(args: &Args) -> Result<()> {
     let run_span = collector.span("reptile.run");
     let reads = load_reads(input, &opts, &collector)?;
 
-    let mut params = reptile::ReptileParams::from_data(&reads, genome_len);
-    if let Some(k) = args.value_of("k")? {
-        params.k =
-            k.parse().map_err(|_| NgsError::InvalidParameter(format!("--k: bad value {k:?}")))?;
-    }
-    params.d = args.get_parsed("d", params.d)?;
+    let params = reptile_params_from_args(args, &reads, genome_len)?;
     eprintln!(
         "parameters: k={} d={} |t|={} Cg={} Cm={} Qc={}",
         params.k,
@@ -622,4 +655,51 @@ pub fn closet_cluster(args: &Args) -> Result<()> {
     emit_trace(args, &collector)?;
     session.finish()?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_parse_strictly() {
+        assert_eq!(parse_thread_count("4", "--threads").unwrap(), 4);
+        assert_eq!(parse_thread_count(" 8 ", "NGS_THREADS").unwrap(), 8);
+
+        let zero = parse_thread_count("0", "--threads").unwrap_err();
+        assert!(matches!(zero, NgsError::InvalidParameter(_)), "got: {zero:?}");
+        assert!(zero.to_string().contains("--threads"), "got: {zero}");
+        assert!(zero.to_string().contains("at least 1"), "got: {zero}");
+
+        for bad in ["", "wat", "-2", "3.5", "0x8", "18446744073709551616000"] {
+            let err = parse_thread_count(bad, "NGS_THREADS").unwrap_err();
+            assert!(matches!(err, NgsError::InvalidParameter(_)), "{bad:?} -> {err:?}");
+            assert!(err.to_string().contains("NGS_THREADS"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_rejects_zero_and_garbage() {
+        for bad in ["0", "lots"] {
+            let args = Args::parse(["--threads".to_string(), bad.to_string()]).unwrap();
+            let err = apply_threads_flag(&args).unwrap_err();
+            assert!(matches!(err, NgsError::InvalidParameter(_)), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn env_thread_count_is_validated_not_silently_ignored() {
+        // Process-global env var: other unit tests in this binary never
+        // touch NGS_THREADS, and the determinism suite that does runs as a
+        // separate integration-test process.
+        std::env::set_var("NGS_THREADS", "O8");
+        let args = Args::parse(std::iter::empty::<String>()).unwrap();
+        let err = apply_threads_flag(&args).unwrap_err();
+        std::env::remove_var("NGS_THREADS");
+        assert!(matches!(err, NgsError::InvalidParameter(_)), "got: {err:?}");
+        assert!(err.to_string().contains("NGS_THREADS"), "got: {err}");
+        // A --threads flag takes precedence over the (now absent) env var.
+        let args = Args::parse(["--threads".to_string(), "2".to_string()]).unwrap();
+        apply_threads_flag(&args).unwrap();
+    }
 }

@@ -1,0 +1,370 @@
+//! Drivers for the serving binaries: `ngs-serve` (long-lived correction
+//! server), `ngs-client` (batch client with retry/backoff) and
+//! `ngs-loadgen` (closed-loop latency bench).
+//!
+//! `ngs-serve` shares the Reptile checkpoint layout with `reptile-correct`
+//! — pipeline `reptile`, stage `index`, the same parameter key — so a
+//! prior batch run warm-starts the server (and a server run warms later
+//! batch runs). A warm start is visible in the trace: a `serve.index.load`
+//! span instead of the three `reptile.build.*` spans.
+
+use crate::pipelines::{
+    apply_threads_flag, load_reads, parse_thread_count, reptile_params_from_args,
+    reptile_params_key, DurabilityOpts, ObserveOpts, ObserveSession,
+};
+use crate::{emit_metrics, emit_trace, metrics_collector, write_sequences, Args};
+use ngs_core::{NgsError, Result};
+use ngs_observe::Collector;
+use ngs_server::{Client, ClientConfig, ClientError, Endpoint, Listener, Server, ServerConfig};
+use reptile::Reptile;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parse_endpoint(args: &Args, flag: &str) -> Result<Endpoint> {
+    let raw = args.require(flag)?;
+    Endpoint::parse(raw).map_err(|e| NgsError::InvalidParameter(format!("--{flag}: {e}")))
+}
+
+fn client_config(args: &Args) -> Result<ClientConfig> {
+    let d = ClientConfig::default();
+    Ok(ClientConfig {
+        max_attempts: positive(args, "max-attempts", d.max_attempts)?,
+        base_backoff: millis(args, "base-backoff-ms", d.base_backoff)?,
+        max_backoff: millis(args, "max-backoff-ms", d.max_backoff)?,
+        seed: args.get_parsed("seed", d.seed)?,
+    })
+}
+
+fn millis(args: &Args, flag: &str, default: Duration) -> Result<Duration> {
+    Ok(Duration::from_millis(args.get_parsed(flag, default.as_millis() as u64)?))
+}
+
+fn positive(args: &Args, flag: &str, default: usize) -> Result<usize> {
+    let n: usize = args.get_parsed(flag, default)?;
+    if n == 0 {
+        return Err(NgsError::InvalidParameter(format!("--{flag}: must be at least 1, got 0")));
+    }
+    Ok(n)
+}
+
+fn client_failure(e: ClientError) -> NgsError {
+    NgsError::Io(e.to_string())
+}
+
+// ------------------------------------------------------------- ngs-serve
+
+/// Build (or warm-start) the Reptile index for `ngs-serve`, sharing the
+/// `reptile-correct` checkpoint slot. Returns the index and whether it
+/// came from a snapshot.
+fn load_or_build_index(
+    args: &Args,
+    input: &str,
+    opts: &DurabilityOpts,
+    collector: &Arc<Collector>,
+) -> Result<(Arc<Reptile>, bool)> {
+    let genome_len: usize = args.get_parsed("genome-len", 1_000_000)?;
+    let reads = load_reads(input, opts, collector)?;
+    let params = reptile_params_from_args(args, &reads, genome_len)?;
+    eprintln!(
+        "parameters: k={} d={} |t|={} Cg={} Cm={} Qc={}",
+        params.k,
+        params.d,
+        params.tile_len(),
+        params.cg,
+        params.cm,
+        params.qc
+    );
+
+    // Same preprocessing as the batch pipeline: the index must be built
+    // over the identical read set for served corrections to be
+    // byte-identical to `reptile-correct` output.
+    let pre = {
+        let _s = collector.span("serve.preprocess");
+        reptile::ambig::preprocess_ambiguous(&reads, &params)
+    };
+
+    let mut store = opts.store("reptile", input, collector)?;
+    let params_key = reptile_params_key(&params);
+    let cached = match (&store, opts.resume) {
+        (Some(s), true) => {
+            let _s = collector.span("serve.index.load");
+            s.load("index", params_key).and_then(|b| Reptile::from_snapshot_bytes(&b).ok())
+        }
+        _ => None,
+    };
+    let warmed = cached.is_some();
+    let rpt = match cached {
+        Some(r) => {
+            eprintln!(
+                "warm start: resumed Phase-1 index from {}",
+                store.as_ref().unwrap().dir().display()
+            );
+            r
+        }
+        None => {
+            let r = Reptile::build_observed(&pre, params, collector);
+            if let Some(s) = store.as_mut() {
+                s.save("index", params_key, &r.snapshot_bytes())?;
+                eprintln!("saved Phase-1 index snapshot to {}", s.dir().display());
+            }
+            r
+        }
+    };
+    Ok((Arc::new(rpt), warmed))
+}
+
+fn server_config(args: &Args) -> Result<ServerConfig> {
+    let d = ServerConfig::default();
+    let workers = match args.value_of("workers")? {
+        Some(raw) => parse_thread_count(raw, "--workers")?,
+        None => d.workers,
+    };
+    Ok(ServerConfig {
+        workers,
+        queue_capacity: positive(args, "queue-capacity", d.queue_capacity)?,
+        default_deadline: millis(args, "default-deadline-ms", d.default_deadline)?,
+        max_reads_per_request: positive(args, "max-reads-per-request", d.max_reads_per_request)?,
+        idle_timeout: millis(args, "idle-timeout-ms", d.idle_timeout)?,
+        poll_interval: millis(args, "poll-interval-ms", d.poll_interval)?,
+        max_requests: args
+            .value_of("max-requests")?
+            .map(|s| {
+                s.parse::<u64>().map_err(|_| {
+                    NgsError::InvalidParameter(format!("--max-requests: cannot parse {s:?}"))
+                })
+            })
+            .transpose()?,
+    })
+}
+
+/// `ngs-serve` driver: load/build the index once, bind the socket, print
+/// the ready line, serve until SIGTERM/SIGINT (or `--max-requests`), then
+/// drain gracefully and exit 0.
+pub fn serve_main(args: &Args) -> Result<()> {
+    let input = args.require("input")?;
+    let endpoint = parse_endpoint(args, "listen")?;
+    let opts = DurabilityOpts::from_args(args)?;
+    let obs = ObserveOpts::from_args(args)?;
+    let config = server_config(args)?;
+    apply_threads_flag(args)?;
+
+    let collector = Arc::new(metrics_collector(args)?);
+    let session = ObserveSession::begin(&obs, &collector, input);
+    let (reptile, warmed) = load_or_build_index(args, input, &opts, &collector)?;
+
+    // Bind before installing the signal handler so a failed bind is an
+    // ordinary startup error, then advertise readiness on stdout — the
+    // chaos harness (and any supervisor) waits for this exact line.
+    let listener =
+        Listener::bind(&endpoint).map_err(|e| NgsError::Io(format!("bind {endpoint}: {e}")))?;
+    let actual = listener.local_endpoint();
+    println!("ngs-serve: listening on {actual}");
+    std::io::stdout().flush().map_err(|e| NgsError::Io(e.to_string()))?;
+
+    // Signal bridge: the async-signal-safe handler only flips a static
+    // flag; this thread forwards it into the server's drain flag so the
+    // server itself stays signal-agnostic (in-process tests flip the flag
+    // directly).
+    ngs_server::signal::install_drain_handler();
+    let drain = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let bridge = {
+        let drain = drain.clone();
+        let done = done.clone();
+        let poll = config.poll_interval;
+        std::thread::Builder::new()
+            .name("serve-signal".into())
+            .spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    if ngs_server::signal::drain_requested() {
+                        drain.store(true, Ordering::Release);
+                        break;
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn signal bridge")
+    };
+
+    let workers = config.workers;
+    let summary = Server::new(reptile, config, collector.clone()).serve(listener, drain);
+    done.store(true, Ordering::Release);
+    let _ = bridge.join();
+    eprintln!(
+        "drained: {} corrected, {} overloaded, {} deadline-exceeded, {} draining-rejected, \
+         {} request errors over {} connections ({} connection errors), {} workers",
+        summary.corrected,
+        summary.overloaded,
+        summary.deadline_exceeded,
+        summary.draining_rejected,
+        summary.request_errors,
+        summary.connections,
+        summary.connection_errors,
+        workers
+    );
+
+    let mut required = vec!["serve.run"];
+    if warmed {
+        required.push("serve.index.load");
+    } else {
+        required.extend(["reptile.build.spectrum", "reptile.build.tiles"]);
+    }
+    emit_metrics(args, &collector, "serve", &required)?;
+    emit_trace(args, &collector)?;
+    session.finish()?;
+    Ok(())
+}
+
+// ------------------------------------------------------------ ngs-client
+
+/// `ngs-client` driver: ping, or correct a whole file in batches through
+/// a running `ngs-serve`, writing the reassembled output atomically.
+pub fn client_main(args: &Args) -> Result<()> {
+    let endpoint = parse_endpoint(args, "connect")?;
+    let mut client = Client::new(endpoint, client_config(args)?);
+
+    if args.has_flag("ping") {
+        let (k, distinct) = client.ping().map_err(client_failure)?;
+        println!("pong: k={k} distinct_kmers={distinct}");
+        return Ok(());
+    }
+
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let batch_size = positive(args, "batch-size", 512)?;
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", 0)?;
+    let opts = DurabilityOpts::from_args(args)?;
+    let collector = Arc::new(metrics_collector(args)?);
+    let reads = load_reads(input, &opts, &collector)?;
+
+    let t0 = std::time::Instant::now();
+    let mut corrected = Vec::with_capacity(reads.len());
+    let mut bases_changed = 0u64;
+    let mut reads_changed = 0u64;
+    let mut batches = 0u64;
+    for chunk in reads.chunks(batch_size) {
+        let batch = client.correct(chunk, deadline_ms).map_err(client_failure)?;
+        if batch.reads.len() != chunk.len() {
+            return Err(NgsError::Io(format!(
+                "server returned {} reads for a {}-read batch",
+                batch.reads.len(),
+                chunk.len()
+            )));
+        }
+        corrected.extend(batch.reads);
+        bases_changed += batch.bases_changed;
+        reads_changed += batch.reads_changed;
+        batches += 1;
+    }
+    write_sequences(output, &corrected)?;
+    eprintln!(
+        "corrected {} reads in {:.2?}: {} bases changed in {} reads \
+         ({} batches, {} retries)",
+        corrected.len(),
+        t0.elapsed(),
+        bases_changed,
+        reads_changed,
+        batches,
+        client.retries
+    );
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+// ----------------------------------------------------------- ngs-loadgen
+
+/// `ngs-loadgen` driver: run a closed-loop client swarm and bless the
+/// latency quantiles into the `BENCH_serve.json` schema.
+///
+/// With `--connect` the swarm targets a running server; without it an
+/// in-process server is built from `--input` on a scratch unix socket
+/// (sharing this process's collector, so server-side spans land in the
+/// same report).
+pub fn loadgen_main(args: &Args) -> Result<()> {
+    let input = args.require("input")?;
+    let opts = DurabilityOpts::from_args(args)?;
+    let obs = ObserveOpts::from_args(args)?;
+    apply_threads_flag(args)?;
+
+    let collector = Arc::new(metrics_collector(args)?);
+    let session = ObserveSession::begin(&obs, &collector, input);
+    let reads = load_reads(input, &opts, &collector)?;
+    if reads.is_empty() {
+        return Err(NgsError::InvalidParameter(format!("{input}: no reads to load with")));
+    }
+
+    let cfg = ngs_server::loadgen::LoadGenConfig {
+        clients: positive(args, "clients", 2)?,
+        requests_per_client: positive(args, "requests-per-client", 20)?,
+        batch_size: positive(args, "batch-size", 32)?,
+        deadline_ms: args.get_parsed("deadline-ms", 0)?,
+        client: client_config(args)?,
+    };
+
+    // External server, or an in-process one on a scratch socket.
+    let (endpoint, server) = match args.value_of("connect")? {
+        Some(raw) => {
+            let ep = Endpoint::parse(raw)
+                .map_err(|e| NgsError::InvalidParameter(format!("--connect: {e}")))?;
+            (ep, None)
+        }
+        None => {
+            let (reptile, _) = load_or_build_index(args, input, &opts, &collector)?;
+            let endpoint = ngs_server::conn::scratch_endpoint("loadgen");
+            let listener = Listener::bind(&endpoint)
+                .map_err(|e| NgsError::Io(format!("bind {endpoint}: {e}")))?;
+            let endpoint = listener.local_endpoint();
+            let handle =
+                Server::new(reptile, server_config(args)?, collector.clone()).spawn(listener);
+            (endpoint, Some(handle))
+        }
+    };
+
+    let run_span = collector.span_with_threads("serve.loadgen", cfg.clients);
+    let report = ngs_server::loadgen::run(&endpoint, &reads, &cfg);
+    drop(run_span);
+    if let Some(handle) = server {
+        handle.shutdown();
+    }
+
+    if report.corrected == 0 {
+        return Err(NgsError::Io(format!(
+            "load run produced no successful requests ({} failed)",
+            report.failed
+        )));
+    }
+    eprintln!(
+        "loadgen: {} ok, {} failed, {} retries, {:.1} req/s over {:.2?}",
+        report.corrected,
+        report.failed,
+        report.retries,
+        report.qps(),
+        report.elapsed
+    );
+
+    // Bless the user-visible latency quantiles as count-1 spans — the
+    // shape `ngs-trace diff` gates on (and `validate_bench_invariants`
+    // accepts: count == 1 with total == min == max).
+    // Client-observed latency (includes retries and reconnects) under its
+    // own name: the in-process server already records server-side
+    // `serve.latency_us` into this same collector.
+    collector.merge_histogram("serve.latency_client_us", &report.latency_us);
+    for (name, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        let us = report.quantile_us(q).expect("corrected > 0 implies non-empty histogram");
+        let ns = us.saturating_mul(1000).max(1);
+        collector.record_span_ns(&format!("serve.latency.{name}"), ns, 1);
+        eprintln!("  {name}: {us} us");
+    }
+
+    emit_metrics(
+        args,
+        &collector,
+        "serve",
+        &["serve.loadgen", "serve.latency.p50", "serve.latency.p90", "serve.latency.p99"],
+    )?;
+    emit_trace(args, &collector)?;
+    session.finish()?;
+    Ok(())
+}

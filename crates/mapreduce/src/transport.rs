@@ -133,6 +133,101 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    // ---- adversarial I/O: the reader must be correct for *any* byte
+    // arrival pattern the kernel is allowed to produce, not just whole
+    // frames. These tests drive the raw stream directly.
+
+    /// A frame delivered one byte per write (worst-case fragmentation —
+    /// the kernel may split a stream anywhere) must decode identically,
+    /// including a second frame following immediately.
+    #[test]
+    fn one_byte_at_a_time_writes_still_frame_correctly() {
+        let path = scratch_socket_path(None, "t4");
+        let listener = bind_socket(&path).expect("bind");
+        let srv = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream);
+            (conn.recv(), conn.recv())
+        });
+        let first = Message::Failed { stage: 1, task: 2, attempt: 3, error: "boom".into() };
+        let second = Message::Heartbeat { worker_id: 7, rss_bytes: 1 << 20 };
+        let mut wire = encode_frame(&first.to_payload());
+        wire.extend_from_slice(&encode_frame(&second.to_payload()));
+        let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+        for byte in wire {
+            raw.write_all(&[byte]).expect("write one byte");
+        }
+        let (a, b) = srv.join().expect("server thread");
+        assert_eq!(a, Ok(first));
+        assert_eq!(b, Ok(second));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A peer that dies after any strict prefix of a frame must surface
+    /// as `Torn` (bytes seen, frame incomplete); dying cleanly between
+    /// frames is `Closed`. Exercises cuts inside the magic, inside the
+    /// header, at the payload boundary, and one byte short of complete.
+    #[test]
+    fn disconnect_at_every_interesting_offset_is_torn_never_garbage() {
+        let msg = Message::Failed { stage: 0, task: 9, attempt: 1, error: "x".repeat(64) };
+        let wire = encode_frame(&msg.to_payload());
+        let header_len = 20; // magic + payload_len + checksum
+        let cuts = [0usize, 1, 3, header_len - 1, header_len, header_len + 1, wire.len() - 1];
+        for &cut in &cuts {
+            let path = scratch_socket_path(None, "t5");
+            let listener = bind_socket(&path).expect("bind");
+            let srv = std::thread::spawn(move || {
+                let (stream, _) = listener.accept().expect("accept");
+                FrameConn::from_stream(stream).recv()
+            });
+            let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+            raw.write_all(&wire[..cut]).expect("partial write");
+            drop(raw); // disconnect mid-frame
+            let got = srv.join().expect("server thread");
+            let want = if cut == 0 { ProtocolError::Closed } else { ProtocolError::Torn };
+            assert_eq!(got, Err(want), "cut at byte {cut} of {}", wire.len());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Frames interleaved with arbitrary pauses and splits that straddle
+    /// message boundaries — each burst ends mid-frame — must still decode
+    /// in order. This is the wire image of a slow or bursty peer.
+    #[test]
+    fn interleaved_partial_frames_decode_in_order() {
+        let path = scratch_socket_path(None, "t6");
+        let listener = bind_socket(&path).expect("bind");
+        let msgs = vec![
+            Message::Hello { worker_id: 1, pid: 100 },
+            Message::Heartbeat { worker_id: 1, rss_bytes: 42 },
+            Message::Failed { stage: 2, task: 4, attempt: 0, error: "late".into() },
+            Message::Drain,
+        ];
+        let expect = msgs.clone();
+        let srv = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream);
+            expect.iter().map(|_| conn.recv().expect("recv")).collect::<Vec<_>>()
+        });
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(&m.to_payload()));
+        }
+        // Split points chosen to land inside headers and payloads of
+        // different frames, never on a frame boundary.
+        let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+        let mut sent = 0;
+        for frac in [3usize, 7, 11, 23, 31, 57] {
+            let next = (wire.len() * frac / 64).clamp(sent, wire.len());
+            raw.write_all(&wire[sent..next]).expect("burst");
+            sent = next;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        raw.write_all(&wire[sent..]).expect("final burst");
+        assert_eq!(srv.join().expect("server thread"), msgs);
+        let _ = std::fs::remove_file(&path);
+    }
+
     #[test]
     fn reader_and_writer_clones_share_one_socket() {
         let path = scratch_socket_path(None, "t3");

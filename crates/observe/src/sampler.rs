@@ -187,9 +187,48 @@ pub fn to_jsonl(samples: &[ResourceSample]) -> String {
     out
 }
 
+/// Throughput over one poll window; `None` when the window is degenerate
+/// (zero or non-finite length) — the case that used to print `inf`/`NaN`
+/// rates in heartbeat lines.
+pub fn rate_per_sec(delta: u64, secs: f64) -> Option<f64> {
+    if secs.is_finite() && secs > 0.0 {
+        Some(delta as f64 / secs)
+    } else {
+        None
+    }
+}
+
+/// ETA in seconds for reaching `total_bytes`, `None` when unknowable: the
+/// total is absent or zero (empty or unsized input), the rate is absent,
+/// non-positive or non-finite, or ingest already passed the total. Callers
+/// render `None` as `--`, never as `inf`/`NaN` seconds.
+pub fn eta_secs(bytes: u64, byte_rate: Option<f64>, total_bytes: Option<u64>) -> Option<f64> {
+    let total = total_bytes.filter(|&t| t > 0)?;
+    let rate = byte_rate.filter(|r| r.is_finite() && *r > 0.0)?;
+    if bytes < total {
+        Some((total - bytes) as f64 / rate)
+    } else {
+        None
+    }
+}
+
+fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) if r.is_finite() => format!("{r:.0}"),
+        _ => "--".into(),
+    }
+}
+
+fn fmt_rate_mb(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) if r.is_finite() => format!("{:.1}", r / 1e6),
+        _ => "--".into(),
+    }
+}
+
 /// Live progress heartbeat: polls two counters on a shared [`Collector`]
-/// and prints `progress: …` lines with throughput (records/s, MB/s) and,
-/// when the input size is known, an ETA for the ingest phase.
+/// and prints `progress: …` lines with throughput (records/s, MB/s) and an
+/// ETA for the ingest phase — `--` when the input size is unknown or zero.
 pub struct ProgressMeter {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -223,20 +262,18 @@ impl ProgressMeter {
                         let records = collector.counter_value(&records_counter);
                         let bytes = collector.counter_value(&bytes_counter);
                         let secs = interval.as_secs_f64();
-                        let rec_rate = (records.saturating_sub(last.0)) as f64 / secs;
-                        let byte_rate = (bytes.saturating_sub(last.1)) as f64 / secs;
+                        let rec_rate = rate_per_sec(records.saturating_sub(last.0), secs);
+                        let byte_rate = rate_per_sec(bytes.saturating_sub(last.1), secs);
                         last = (records, bytes);
-                        let eta = match total_bytes {
-                            Some(total) if bytes < total && byte_rate > 0.0 => {
-                                format!(", eta {:.0}s", (total - bytes) as f64 / byte_rate)
-                            }
-                            _ => String::new(),
+                        let eta = match eta_secs(bytes, byte_rate, total_bytes) {
+                            Some(s) => format!("{s:.0}s"),
+                            None => "--".into(),
                         };
                         eprintln!(
-                            "progress: {records} records ({rec_rate:.0}/s), \
-                             {:.1} MB ({:.1} MB/s){eta}",
+                            "progress: {records} records ({}/s), {:.1} MB ({} MB/s), eta {eta}",
+                            fmt_rate(rec_rate),
                             bytes as f64 / 1e6,
-                            byte_rate / 1e6,
+                            fmt_rate_mb(byte_rate),
                         );
                     }
                 })
@@ -312,6 +349,51 @@ mod tests {
         for line in jsonl.lines() {
             crate::json::parse(line).expect("every timeline line parses as JSON");
         }
+    }
+
+    #[test]
+    fn degenerate_rates_and_etas_are_none_never_inf_or_nan() {
+        // Zero-length poll window: rate is unknowable, not infinite.
+        assert_eq!(rate_per_sec(100, 0.0), None);
+        assert_eq!(rate_per_sec(100, f64::NAN), None);
+        assert_eq!(rate_per_sec(100, -1.0), None);
+        assert_eq!(rate_per_sec(50, 2.0), Some(25.0));
+        assert_eq!(rate_per_sec(0, 2.0), Some(0.0));
+
+        // Unknown input size (stdin, generated data): no ETA.
+        assert_eq!(eta_secs(10, Some(5.0), None), None);
+        // Zero-byte input: 0/0 used to be NaN; now simply unknowable.
+        assert_eq!(eta_secs(0, Some(0.0), Some(0)), None);
+        assert_eq!(eta_secs(0, None, Some(0)), None);
+        // Stalled or degenerate rate against a known total.
+        assert_eq!(eta_secs(10, Some(0.0), Some(100)), None);
+        assert_eq!(eta_secs(10, Some(f64::INFINITY), Some(100)), None);
+        assert_eq!(eta_secs(10, None, Some(100)), None);
+        // Already past the total (counter counts more than file bytes).
+        assert_eq!(eta_secs(200, Some(5.0), Some(100)), None);
+        // The healthy case still computes.
+        assert_eq!(eta_secs(40, Some(30.0), Some(100)), Some(2.0));
+
+        // And the renderers never emit inf/NaN text.
+        assert_eq!(fmt_rate(None), "--");
+        assert_eq!(fmt_rate(Some(f64::INFINITY)), "--");
+        assert_eq!(fmt_rate(Some(12.4)), "12");
+        assert_eq!(fmt_rate_mb(None), "--");
+        assert_eq!(fmt_rate_mb(Some(2_500_000.0)), "2.5");
+    }
+
+    #[test]
+    fn progress_meter_with_zero_total_does_not_panic() {
+        let collector = Arc::new(Collector::new());
+        let meter = ProgressMeter::start(
+            collector.clone(),
+            "z.records",
+            "z.bytes",
+            Some(0),
+            Duration::from_millis(5),
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        meter.stop();
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! `ngs-server` — a crash-tolerant correction daemon for the Reptile
+//! pipeline (DESIGN.md §Serving).
+//!
+//! Batch `reptile-correct` pays the Phase-1 index build on every
+//! invocation; this crate keeps that index **warm in one process** and
+//! serves correction requests over a Unix or TCP socket, speaking the same
+//! MRW1 length-prefixed checksummed frames as the MapReduce worker pool.
+//! The correction contract is byte-identical to batch mode: the same
+//! ambiguity preprocessing, the same per-read algorithm, the same output
+//! for the same input — which is what makes requests idempotent and
+//! client-side retries safe.
+//!
+//! The robustness invariants, each enforced by a layer here and exercised
+//! by the `serve_chaos` suite in `ngs-cli`:
+//!
+//! * **Bounded admission** ([`queue::BoundedQueue`]) — a full queue
+//!   returns `Overloaded` immediately; the server never buffers more than
+//!   `queue_capacity + workers` requests, so RSS stays flat under floods.
+//! * **Deadlines** ([`server`]) — each request carries a budget; expired
+//!   work is cancelled *between reads* and answered `DeadlineExceeded`,
+//!   never half-served.
+//! * **Connection isolation** ([`conn::FrameReader`]) — torn frames,
+//!   garbage, checksum mismatches, and stalled peers kill exactly one
+//!   connection.
+//! * **Graceful drain** ([`signal`]) — SIGTERM stops accepting, finishes
+//!   in-flight work, answers late arrivals `Draining`, and exits 0.
+//! * **Retrying client** ([`client::Client`]) — full-jitter exponential
+//!   backoff; `Overloaded`/`Draining`/torn connections are retryable,
+//!   `DeadlineExceeded`/`RequestError` are terminal.
+//! * **Measured** ([`loadgen`]) — every request is a `serve.request`
+//!   trace span; the closed-loop load generator folds user-visible
+//!   latency into the `LogHistogram` behind the blessed p50/p90/p99
+//!   baselines.
+
+pub mod client;
+pub mod conn;
+pub mod loadgen;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use client::{Client, ClientConfig, ClientError, CorrectedBatch};
+pub use conn::{Conn, Endpoint, Listener};
+pub use proto::ServeMessage;
+pub use server::{ServeSummary, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,183 @@
+//! Closed-loop load generator for the correction server.
+//!
+//! Drives `clients` concurrent [`Client`]s, each issuing
+//! `requests_per_client` batches carved round-robin from the input reads,
+//! and folds per-request latencies into one [`LogHistogram`] — the p50/p90/
+//! p99 figures the `ngs-loadgen` bench blesses into `bench/baselines/`.
+//! Retries (Overloaded, torn connections) happen inside the client, so a
+//! request's recorded latency covers its full user-visible wait including
+//! backoff — the number an SLO would measure.
+
+use crate::client::{Client, ClientConfig, ClientError};
+use crate::conn::Endpoint;
+use ngs_core::Read;
+use ngs_observe::LogHistogram;
+use std::time::{Duration, Instant};
+
+/// Swarm shape.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Reads per request.
+    pub batch_size: usize,
+    /// Per-request deadline budget in ms (0 = server default).
+    pub deadline_ms: u64,
+    /// Retry/backoff tuning for every client (seed is varied per client).
+    pub client: ClientConfig,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> LoadGenConfig {
+        LoadGenConfig {
+            clients: 2,
+            requests_per_client: 20,
+            batch_size: 32,
+            deadline_ms: 0,
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Per-request wall latency in microseconds (includes retries).
+    pub latency_us: LogHistogram,
+    /// Requests that returned `Corrected`.
+    pub corrected: u64,
+    /// Requests that ended in a terminal error or exhausted retries.
+    pub failed: u64,
+    /// Total retries across all clients.
+    pub retries: u64,
+    /// Total bases changed across all successful requests.
+    pub bases_changed: u64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadGenReport {
+    /// Successful requests per second over the run.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.corrected as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency quantile in microseconds (upper bucket bound; `None` when
+    /// nothing succeeded).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        self.latency_us.quantile(q)
+    }
+}
+
+/// Run the swarm against `endpoint`, batching from `reads`.
+pub fn run(endpoint: &Endpoint, reads: &[Read], cfg: &LoadGenConfig) -> LoadGenReport {
+    assert!(!reads.is_empty(), "load generator needs at least one read");
+    let batch = cfg.batch_size.clamp(1, reads.len());
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..cfg.clients.max(1))
+        .map(|ci| {
+            let endpoint = endpoint.clone();
+            let reads = reads.to_vec();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut client_cfg = cfg.client.clone();
+                client_cfg.seed = cfg.client.seed.wrapping_add(ci as u64 + 1);
+                let mut client = Client::new(endpoint, client_cfg);
+                let mut hist = LogHistogram::new();
+                let (mut ok, mut failed, mut bases) = (0u64, 0u64, 0u64);
+                for ri in 0..cfg.requests_per_client {
+                    // Rotate the window so concurrent clients hit
+                    // different slices of the corpus.
+                    let start = ((ci * cfg.requests_per_client + ri) * batch)
+                        % (reads.len() - batch + 1).max(1);
+                    let slice = &reads[start..start + batch];
+                    let t = Instant::now();
+                    match client.correct(slice, cfg.deadline_ms) {
+                        Ok(done) => {
+                            hist.record(t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            ok += 1;
+                            bases += done.bases_changed;
+                        }
+                        Err(ClientError::DeadlineExceeded) => failed += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                (hist, ok, failed, bases, client.retries)
+            })
+        })
+        .collect();
+
+    let mut report = LoadGenReport {
+        latency_us: LogHistogram::new(),
+        corrected: 0,
+        failed: 0,
+        retries: 0,
+        bases_changed: 0,
+        elapsed: Duration::ZERO,
+    };
+    for t in threads {
+        let (hist, ok, failed, bases, retries) = t.join().expect("load client panicked");
+        report.latency_us.merge(&hist);
+        report.corrected += ok;
+        report.failed += failed;
+        report.bases_changed += bases;
+        report.retries += retries;
+    }
+    report.elapsed = t0.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::{scratch_endpoint, Listener};
+    use crate::server::{Server, ServerConfig};
+    use ngs_observe::Collector;
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+    use reptile::{Reptile, ReptileParams};
+    use std::sync::Arc;
+
+    #[test]
+    fn swarm_round_trips_and_measures_latency() {
+        let g = GenomeSpec::uniform(3_000).generate(3).seq;
+        let cfg =
+            ReadSimConfig::with_coverage(g.len(), 36, 20.0, ErrorModel::illumina_like(36, 0.01), 5);
+        let sim = simulate_reads(&g, &cfg);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let pre = reptile::ambig::preprocess_ambiguous(&sim.reads, &params);
+        let rpt = Arc::new(Reptile::build(&pre, params));
+
+        let ep = scratch_endpoint("loadgen");
+        let listener = Listener::bind(&ep).expect("bind");
+        let handle = Server::new(
+            rpt,
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+            Arc::new(Collector::new()),
+        )
+        .spawn(listener);
+
+        let load = LoadGenConfig {
+            clients: 2,
+            requests_per_client: 5,
+            batch_size: 16,
+            ..LoadGenConfig::default()
+        };
+        let report = run(&ep, &sim.reads, &load);
+        assert_eq!(report.corrected, 10, "{report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(report.latency_us.count(), 10);
+        assert!(report.quantile_us(0.5).is_some());
+        assert!(report.quantile_us(0.99).unwrap() >= report.quantile_us(0.5).unwrap());
+        assert!(report.qps() > 0.0);
+
+        let summary = handle.shutdown();
+        assert_eq!(summary.corrected, 10);
+    }
+}

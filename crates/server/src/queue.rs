@@ -1,0 +1,187 @@
+//! The bounded admission queue behind the server's backpressure story.
+//!
+//! Admission is **fail-fast**: [`BoundedQueue::try_push`] never blocks and
+//! never buffers past the configured capacity — a full queue returns the
+//! item to the caller, which replies `Overloaded` on the wire. That keeps
+//! the server's memory bounded under any flood: the only queued state is
+//! `capacity` requests plus one in-flight request per worker.
+//!
+//! Draining is cooperative: [`BoundedQueue::close`] rejects further pushes
+//! but lets consumers pop everything already admitted, so an admitted
+//! request is always either served or (after a crash) retried by its
+//! client — never silently dropped by a live server.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed for draining; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPMC queue with a hard capacity and close-for-drain.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; for telemetry only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued (telemetry only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit `item` if there is room, returning the depth *after* the
+    /// push. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Pop the oldest item, blocking until one arrives or the queue is
+    /// closed *and* empty (`None`: the consumer should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: further pushes fail with [`PushError::Closed`],
+    /// consumers drain what was already admitted, then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_is_a_hard_ceiling() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_admitted_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+        // Pop after drain keeps returning None, never blocks.
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(9).unwrap();
+        q.close();
+        let got: Vec<Option<u32>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1, "{got:?}");
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn many_producers_and_consumers_conserve_items() {
+        let q = Arc::new(BoundedQueue::<u64>::new(8));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..100 {
+                        if q.try_push(p * 1000 + i).is_ok() {
+                            accepted += 1;
+                        }
+                        if i % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+        q.close();
+        let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(accepted, consumed, "every admitted item is consumed exactly once");
+    }
+}

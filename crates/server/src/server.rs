@@ -1,0 +1,695 @@
+//! The correction server: accept loop, per-connection handlers, worker
+//! pool, admission control, deadlines, and graceful drain.
+//!
+//! Threading model (one thread per role, no shared mutable read state):
+//!
+//! ```text
+//! accept loop ──spawns──▶ handler (1/conn) ──try_push──▶ BoundedQueue
+//!      │                     ▲     │                        │ pop
+//!      │ polls drain flag    │     └── sole writer to conn  ▼
+//!      ▼                     └────── mpsc reply ◀──── worker (N threads)
+//! ```
+//!
+//! * The **handler** reads one request at a time through the incremental
+//!   [`FrameReader`], so a torn frame, checksum mismatch, or stalled peer
+//!   kills exactly that connection. It admits work with a non-blocking
+//!   [`BoundedQueue::try_push`] and replies `Overloaded` itself when the
+//!   queue is full — the server never buffers beyond
+//!   `queue_capacity + workers` requests, bounding memory under any flood.
+//! * **Workers** own the correction. They re-check the request deadline
+//!   when the item is popped (it may have expired while queued) and after
+//!   every read, so expired work is cancelled between reads and answered
+//!   with `DeadlineExceeded`, never half-served.
+//! * **Drain** (SIGTERM → flag): the accept loop stops accepting, handlers
+//!   finish their in-flight request and reply `Draining` to anything that
+//!   arrives after the flag, the queue closes, workers drain what was
+//!   admitted, and `serve` returns a summary — exit 0.
+
+use crate::conn::{ConnError, FrameReader, Listener, ReadOutcome};
+use crate::proto::ServeMessage;
+use crate::queue::{BoundedQueue, PushError};
+use ngs_core::Read;
+use ngs_observe::{Collector, SpanId};
+use reptile::read_correct::correct_read;
+use reptile::{Reptile, ReptileStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Correction worker threads.
+    pub workers: usize,
+    /// Admission queue capacity; the `queue_capacity + 1`-th concurrent
+    /// request is refused with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries `deadline_ms: 0`.
+    pub default_deadline: Duration,
+    /// Requests with more reads than this get `RequestError`.
+    pub max_reads_per_request: usize,
+    /// A peer silent mid-frame for this long is disconnected.
+    pub idle_timeout: Duration,
+    /// Poll cadence for the accept loop and frame reader (drain latency).
+    pub poll_interval: Duration,
+    /// Test hook: request a drain after this many queue-served requests.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(10),
+            max_reads_per_request: 100_000,
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+            max_requests: None,
+        }
+    }
+}
+
+/// What one `serve` lifetime did (mirrors the `serve.*` counters).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered with `Corrected`.
+    pub corrected: u64,
+    /// Requests refused with `Overloaded`.
+    pub overloaded: u64,
+    /// Requests answered with `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Requests refused with `Draining`.
+    pub draining_rejected: u64,
+    /// Requests refused with `RequestError`.
+    pub request_errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections killed by protocol errors or stalls.
+    pub connection_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    corrected: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    draining_rejected: AtomicU64,
+    request_errors: AtomicU64,
+    connections: AtomicU64,
+    connection_errors: AtomicU64,
+}
+
+impl Counters {
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            corrected: self.corrected.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            draining_rejected: self.draining_rejected.load(Ordering::Relaxed),
+            request_errors: self.request_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            connection_errors: self.connection_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted request travelling from a handler to a worker.
+struct Admitted {
+    request_id: u64,
+    reads: Vec<Read>,
+    deadline: Instant,
+    enqueued: Instant,
+    /// Where the `Corrected`/`DeadlineExceeded` reply goes; a dead handler
+    /// (peer vanished) just makes the send a no-op.
+    reply: mpsc::Sender<ServeMessage>,
+}
+
+struct Shared {
+    reptile: Arc<Reptile>,
+    queue: BoundedQueue<Admitted>,
+    collector: Arc<Collector>,
+    config: ServerConfig,
+    drain: Arc<AtomicBool>,
+    counters: Counters,
+    /// Trace parent for per-request spans (the `serve.run` root).
+    root: SpanId,
+    served_total: AtomicU64,
+}
+
+/// A warm corrector bound to a socket.
+pub struct Server {
+    reptile: Arc<Reptile>,
+    config: ServerConfig,
+    collector: Arc<Collector>,
+}
+
+impl Server {
+    /// Wrap an already-built (or warm-started) index.
+    pub fn new(reptile: Arc<Reptile>, config: ServerConfig, collector: Arc<Collector>) -> Server {
+        Server { reptile, config, collector }
+    }
+
+    /// Serve until `drain` flips, then drain gracefully and return the
+    /// summary. The caller owns binding (so tests can grab the ephemeral
+    /// port first) and flipping `drain` (signal handler, test, or the
+    /// `max_requests` hook inside).
+    pub fn serve(self, listener: Listener, drain: Arc<AtomicBool>) -> ServeSummary {
+        let run_span =
+            self.collector.span_with_threads("serve.run", self.config.workers.max(1) + 1);
+        let shared = Arc::new(Shared {
+            reptile: self.reptile,
+            queue: BoundedQueue::new(self.config.queue_capacity),
+            collector: self.collector.clone(),
+            drain: drain.clone(),
+            counters: Counters::default(),
+            root: run_span.trace_id(),
+            served_total: AtomicU64::new(0),
+            config: self.config,
+        });
+
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        if let Err(e) = listener.set_nonblocking(true) {
+            eprintln!("serve: cannot enter non-blocking accept: {e}");
+            drain.store(true, Ordering::Release);
+        }
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !drain.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok(conn) => {
+                    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.collector.incr("serve.connections");
+                    let shared = shared.clone();
+                    let h = std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || handle_conn(&shared, conn))
+                        .expect("spawn handler");
+                    handlers.push(h);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(shared.config.poll_interval);
+                    // Reap finished handlers so a long-lived server does
+                    // not accumulate join handles.
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(shared.config.poll_interval);
+                }
+            }
+        }
+
+        // Drain: no new connections (loop exited); handlers observe the
+        // flag at their next frame boundary and exit; everything already
+        // admitted is still served because the queue closes only after the
+        // last handler (the only pushers) is gone.
+        drop(listener);
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        drop(run_span);
+        shared.counters.summary()
+    }
+
+    /// Spawn `serve` on a background thread (in-process tests, the load
+    /// generator). The returned handle owns the drain flag.
+    pub fn spawn(self, listener: Listener) -> ServerHandle {
+        let drain = Arc::new(AtomicBool::new(false));
+        let flag = drain.clone();
+        let thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || self.serve(listener, flag))
+            .expect("spawn server");
+        ServerHandle { drain, thread }
+    }
+}
+
+/// Handle to an in-process [`Server::spawn`] instance.
+pub struct ServerHandle {
+    drain: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// The drain flag (flip to begin a graceful shutdown).
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        self.drain.clone()
+    }
+
+    /// Request a drain and wait for the summary.
+    pub fn shutdown(self) -> ServeSummary {
+        self.drain.store(true, Ordering::Release);
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Per-connection loop: read a frame, admit or refuse, relay the reply.
+fn handle_conn(shared: &Shared, conn: crate::conn::Conn) {
+    let mut reader = match FrameReader::new(conn, shared.config.poll_interval) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve: connection setup failed: {e}");
+            shared.counters.connection_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    loop {
+        match reader.read_message(&shared.drain, shared.config.idle_timeout) {
+            Ok(ReadOutcome::Message(msg)) => {
+                if !handle_message(shared, &mut reader, msg) {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Drained) => break,
+            Err(e) => {
+                // Per-connection isolation: a torn frame, garbage bytes, a
+                // checksum mismatch, or a stalled peer ends *this*
+                // connection; the listener and every other connection
+                // continue unaffected.
+                let detail = match &e {
+                    ConnError::Protocol(p) => format!("protocol error: {p}"),
+                    ConnError::Stalled { buffered } => {
+                        format!("stalled mid-frame ({buffered} byte(s) buffered)")
+                    }
+                };
+                eprintln!("serve: dropping connection: {detail}");
+                shared.counters.connection_errors.fetch_add(1, Ordering::Relaxed);
+                shared.collector.incr("serve.conn_errors");
+                break;
+            }
+        }
+    }
+    reader.shutdown();
+}
+
+/// Dispatch one decoded message; `false` ends the connection.
+fn handle_message(shared: &Shared, reader: &mut FrameReader, msg: ServeMessage) -> bool {
+    match msg {
+        ServeMessage::Ping { request_id } => {
+            let pong = ServeMessage::Pong {
+                request_id,
+                k: shared.reptile.params().k as u64,
+                distinct_kmers: shared.reptile.spectrum().len() as u64,
+            };
+            pong.write_to(reader.conn_mut()).is_ok()
+        }
+        ServeMessage::Correct { request_id, deadline_ms, reads } => {
+            handle_correct(shared, reader, request_id, deadline_ms, reads)
+        }
+        other => {
+            // A structurally valid frame carrying a server→client tag is a
+            // confused or malicious peer; cut it off.
+            eprintln!(
+                "serve: dropping connection: unexpected client message (request_id {})",
+                other.request_id()
+            );
+            shared.counters.connection_errors.fetch_add(1, Ordering::Relaxed);
+            shared.collector.incr("serve.conn_errors");
+            false
+        }
+    }
+}
+
+fn handle_correct(
+    shared: &Shared,
+    reader: &mut FrameReader,
+    request_id: u64,
+    deadline_ms: u64,
+    reads: Vec<Read>,
+) -> bool {
+    shared.collector.incr("serve.requests");
+    if reads.is_empty() || reads.len() > shared.config.max_reads_per_request {
+        shared.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+        shared.collector.incr("serve.request_errors");
+        let reply = ServeMessage::RequestError {
+            request_id,
+            message: format!(
+                "batch of {} read(s) outside 1..={}",
+                reads.len(),
+                shared.config.max_reads_per_request
+            ),
+        };
+        return reply.write_to(reader.conn_mut()).is_ok();
+    }
+    if shared.drain.load(Ordering::Acquire) {
+        shared.counters.draining_rejected.fetch_add(1, Ordering::Relaxed);
+        shared.collector.incr("serve.draining_rejected");
+        return ServeMessage::Draining { request_id }.write_to(reader.conn_mut()).is_ok();
+    }
+    let enqueued = Instant::now();
+    let budget = if deadline_ms == 0 {
+        shared.config.default_deadline
+    } else {
+        Duration::from_millis(deadline_ms)
+    };
+    shared.collector.record("serve.batch_reads", reads.len() as u64);
+    let (tx, rx) = mpsc::channel();
+    let item = Admitted { request_id, reads, deadline: enqueued + budget, enqueued, reply: tx };
+    match shared.queue.try_push(item) {
+        Ok(depth) => {
+            shared.collector.gauge_max("serve.queue_depth_peak", depth as f64);
+            match rx.recv() {
+                // The handler is the connection's only writer, so the
+                // worker's reply is relayed here, never interleaved.
+                Ok(reply) => reply.write_to(reader.conn_mut()).is_ok(),
+                // Worker died (panicked); treat as a server-side error.
+                Err(_) => {
+                    let reply = ServeMessage::RequestError {
+                        request_id,
+                        message: "internal: worker lost".into(),
+                    };
+                    let _ = reply.write_to(reader.conn_mut());
+                    false
+                }
+            }
+        }
+        Err(PushError::Full(_)) => {
+            // Explicit backpressure: refuse now, buffer nothing.
+            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            shared.collector.incr("serve.overloaded");
+            let reply = ServeMessage::Overloaded {
+                request_id,
+                queue_capacity: shared.queue.capacity() as u64,
+            };
+            reply.write_to(reader.conn_mut()).is_ok()
+        }
+        Err(PushError::Closed(_)) => {
+            shared.counters.draining_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.collector.incr("serve.draining_rejected");
+            ServeMessage::Draining { request_id }.write_to(reader.conn_mut()).is_ok()
+        }
+    }
+}
+
+/// Worker loop: pop admitted requests until the queue closes and drains.
+fn worker_loop(shared: &Shared) {
+    while let Some(item) = shared.queue.pop() {
+        serve_one(shared, item);
+        let served = shared.served_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = shared.config.max_requests {
+            if served >= max {
+                shared.drain.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
+fn serve_one(shared: &Shared, item: Admitted) {
+    let wait_us = item.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    shared.collector.record("serve.queue_wait_us", wait_us);
+    let detail = format!("request={} reads={}", item.request_id, item.reads.len());
+    let span = shared.collector.span_traced("serve.request", shared.root, &detail, 1);
+    let reply = correct_batch(shared, &item);
+    match &reply {
+        ServeMessage::Corrected { .. } => {
+            shared.counters.corrected.fetch_add(1, Ordering::Relaxed);
+            shared.collector.incr("serve.corrected");
+        }
+        ServeMessage::DeadlineExceeded { .. } => {
+            shared.counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            shared.collector.incr("serve.deadline_exceeded");
+        }
+        _ => {}
+    }
+    drop(span);
+    let latency_us = item.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    shared.collector.record("serve.latency_us", latency_us);
+    // A dead handler (connection gone) makes this a no-op; the client
+    // retries idempotently against whoever is alive.
+    let _ = item.reply.send(reply);
+}
+
+/// Run the correction, cancelling between reads once the deadline passes.
+fn correct_batch(shared: &Shared, item: &Admitted) -> ServeMessage {
+    if Instant::now() >= item.deadline {
+        // Expired while queued: cancel before doing any work.
+        return ServeMessage::DeadlineExceeded { request_id: item.request_id };
+    }
+    let rpt = &shared.reptile;
+    // Identical preprocessing to batch `reptile-correct` (per-read
+    // independent, so serving a batch in pieces stays byte-identical).
+    let pre = reptile::ambig::preprocess_ambiguous(&item.reads, rpt.params());
+    let index = rpt.neighbor_tables().view(rpt.spectrum());
+    let mut stats = ReptileStats::default();
+    let mut out = Vec::with_capacity(pre.len());
+    for read in pre {
+        if Instant::now() >= item.deadline {
+            return ServeMessage::DeadlineExceeded { request_id: item.request_id };
+        }
+        let mut read = read;
+        let s = correct_read(&mut read, rpt.params(), rpt.tiles(), &index);
+        stats.merge(&s);
+        out.push(read);
+    }
+    shared.collector.add("serve.bases_changed", stats.bases_changed);
+    ServeMessage::Corrected {
+        request_id: item.request_id,
+        reads: out,
+        bases_changed: stats.bases_changed,
+        reads_changed: stats.reads_changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::{scratch_endpoint, Endpoint};
+    use ngs_simulate::{simulate_reads, ErrorModel, GenomeSpec, ReadSimConfig};
+    use reptile::ReptileParams;
+
+    fn small_reptile() -> (Vec<Read>, Arc<Reptile>) {
+        let g = GenomeSpec::uniform(4_000).generate(7).seq;
+        let cfg = ReadSimConfig::with_coverage(
+            g.len(),
+            36,
+            25.0,
+            ErrorModel::illumina_like(36, 0.01),
+            99,
+        );
+        let sim = simulate_reads(&g, &cfg);
+        let params = ReptileParams::from_data(&sim.reads, g.len());
+        let pre = reptile::ambig::preprocess_ambiguous(&sim.reads, &params);
+        let rpt = Arc::new(Reptile::build(&pre, params));
+        (sim.reads, rpt)
+    }
+
+    fn start(rpt: Arc<Reptile>, config: ServerConfig) -> (Endpoint, ServerHandle, Arc<Collector>) {
+        let collector = Arc::new(Collector::new());
+        let ep = scratch_endpoint("srvtest");
+        let listener = Listener::bind(&ep).expect("bind");
+        let handle = Server::new(rpt, config, collector.clone()).spawn(listener);
+        (ep, handle, collector)
+    }
+
+    fn roundtrip(ep: &Endpoint, msg: &ServeMessage) -> ServeMessage {
+        let mut conn = ep.connect().expect("connect");
+        msg.write_to(&mut conn).expect("write");
+        ServeMessage::read_from(&mut conn).expect("read reply")
+    }
+
+    #[test]
+    fn serves_corrections_matching_batch_mode() {
+        let (reads, rpt) = small_reptile();
+        let batch: Vec<Read> = reads[..40].to_vec();
+        let (expected, _) =
+            rpt.correct(&reptile::ambig::preprocess_ambiguous(&batch, rpt.params()));
+
+        let (ep, handle, collector) = start(rpt, ServerConfig::default());
+        let reply =
+            roundtrip(&ep, &ServeMessage::Correct { request_id: 5, deadline_ms: 0, reads: batch });
+        match reply {
+            ServeMessage::Corrected { request_id, reads: got, .. } => {
+                assert_eq!(request_id, 5);
+                assert_eq!(got.len(), expected.len());
+                for (a, b) in got.iter().zip(&expected) {
+                    assert_eq!(a.seq, b.seq, "served output must match batch output");
+                    assert_eq!(a.id, b.id);
+                }
+            }
+            other => panic!("expected Corrected, got {other:?}"),
+        }
+        let summary = handle.shutdown();
+        assert_eq!(summary.corrected, 1);
+        assert_eq!(summary.connections, 1);
+        let report = collector.report("serve");
+        assert_eq!(report.span("serve.request").expect("span").count, 1);
+        assert_eq!(report.histograms["serve.latency_us"].count(), 1);
+    }
+
+    #[test]
+    fn ping_reports_the_warm_index() {
+        let (_, rpt) = small_reptile();
+        let k = rpt.params().k as u64;
+        let distinct = rpt.spectrum().len() as u64;
+        let (ep, handle, _) = start(rpt, ServerConfig::default());
+        let reply = roundtrip(&ep, &ServeMessage::Ping { request_id: 77 });
+        assert_eq!(reply, ServeMessage::Pong { request_id: 77, k, distinct_kmers: distinct });
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_and_empty_batches_get_request_error() {
+        let (reads, rpt) = small_reptile();
+        let config = ServerConfig { max_reads_per_request: 3, ..ServerConfig::default() };
+        let (ep, handle, _) = start(rpt, config);
+        let reply = roundtrip(
+            &ep,
+            &ServeMessage::Correct { request_id: 1, deadline_ms: 0, reads: reads[..5].to_vec() },
+        );
+        assert!(matches!(reply, ServeMessage::RequestError { request_id: 1, .. }), "{reply:?}");
+        let reply =
+            roundtrip(&ep, &ServeMessage::Correct { request_id: 2, deadline_ms: 0, reads: vec![] });
+        assert!(matches!(reply, ServeMessage::RequestError { request_id: 2, .. }), "{reply:?}");
+        let summary = handle.shutdown();
+        assert_eq!(summary.request_errors, 2);
+        assert_eq!(summary.corrected, 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_not_half_served() {
+        let (reads, rpt) = small_reptile();
+        // One worker busy on a slow request starves the queued one past
+        // its 1 ms deadline.
+        let config = ServerConfig { workers: 1, queue_capacity: 4, ..ServerConfig::default() };
+        let (ep, handle, _) = start(rpt, config);
+        let mut busy = ep.connect().expect("connect");
+        ServeMessage::Correct { request_id: 1, deadline_ms: 0, reads: reads.clone() }
+            .write_to(&mut busy)
+            .expect("write");
+        // Give the worker a beat to pick the big request up.
+        std::thread::sleep(Duration::from_millis(30));
+        let reply = roundtrip(
+            &ep,
+            &ServeMessage::Correct { request_id: 2, deadline_ms: 1, reads: reads[..10].to_vec() },
+        );
+        assert_eq!(reply, ServeMessage::DeadlineExceeded { request_id: 2 });
+        let first = ServeMessage::read_from(&mut busy).expect("busy reply");
+        assert!(matches!(first, ServeMessage::Corrected { request_id: 1, .. }), "{first:?}");
+        let summary = handle.shutdown();
+        assert_eq!(summary.deadline_exceeded, 1);
+        assert_eq!(summary.corrected, 1);
+    }
+
+    #[test]
+    fn queue_full_is_refused_with_overloaded() {
+        let (reads, rpt) = small_reptile();
+        let config = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
+        let (ep, handle, _) = start(rpt, config);
+        // Saturate: one request occupies the worker, one fills the queue,
+        // further requests must be shed immediately.
+        let conns: Vec<_> = (0..6)
+            .map(|i| {
+                let mut c = ep.connect().expect("connect");
+                ServeMessage::Correct { request_id: i, deadline_ms: 0, reads: reads.clone() }
+                    .write_to(&mut c)
+                    .expect("write");
+                c
+            })
+            .collect();
+        let mut overloaded = 0;
+        let mut served = 0;
+        for mut c in conns {
+            match ServeMessage::read_from(&mut c).expect("reply") {
+                ServeMessage::Overloaded { queue_capacity, .. } => {
+                    assert_eq!(queue_capacity, 1);
+                    overloaded += 1;
+                }
+                ServeMessage::Corrected { .. } => served += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(overloaded >= 1, "flood must shed load explicitly");
+        assert!(served >= 1, "admitted work must still be served");
+        assert_eq!(overloaded + served, 6);
+        let summary = handle.shutdown();
+        assert_eq!(summary.overloaded, overloaded);
+        assert_eq!(summary.corrected, served);
+    }
+
+    #[test]
+    fn torn_connection_kills_only_that_connection() {
+        let (reads, rpt) = small_reptile();
+        let (ep, handle, _) = start(rpt, ServerConfig::default());
+        // Kill one connection mid-frame...
+        {
+            let mut c = ep.connect().expect("connect");
+            let mut wire = Vec::new();
+            ServeMessage::Correct { request_id: 1, deadline_ms: 0, reads: reads[..4].to_vec() }
+                .write_to(&mut wire)
+                .unwrap();
+            use std::io::Write as _;
+            c.write_all(&wire[..wire.len() / 2]).unwrap();
+            drop(c);
+        }
+        // ...and one with garbage...
+        {
+            let mut c = ep.connect().expect("connect");
+            use std::io::Write as _;
+            c.write_all(b"NOPE definitely not a frame").unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // ...the server still answers a healthy client.
+        let reply = roundtrip(
+            &ep,
+            &ServeMessage::Correct { request_id: 3, deadline_ms: 0, reads: reads[..4].to_vec() },
+        );
+        assert!(matches!(reply, ServeMessage::Corrected { request_id: 3, .. }), "{reply:?}");
+        let summary = handle.shutdown();
+        assert!(summary.connection_errors >= 2, "{summary:?}");
+        assert_eq!(summary.corrected, 1);
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_and_refuses_new_work() {
+        let (reads, rpt) = small_reptile();
+        let config = ServerConfig { workers: 1, ..ServerConfig::default() };
+        let (ep, handle, _) = start(rpt, config);
+        let mut inflight = ep.connect().expect("connect");
+        ServeMessage::Correct { request_id: 1, deadline_ms: 0, reads: reads.clone() }
+            .write_to(&mut inflight)
+            .expect("write");
+        std::thread::sleep(Duration::from_millis(20));
+        // Drain while request 1 is being corrected; it must still finish.
+        handle.drain_flag().store(true, Ordering::Release);
+        let reply = ServeMessage::read_from(&mut inflight).expect("in-flight reply");
+        assert!(matches!(reply, ServeMessage::Corrected { request_id: 1, .. }), "{reply:?}");
+        let summary = handle.shutdown();
+        assert_eq!(summary.corrected, 1);
+        // And the socket is gone afterwards: no more connections.
+        assert!(ep.connect().is_err(), "drained server must stop accepting");
+    }
+
+    #[test]
+    fn max_requests_hook_drains_after_n() {
+        let (reads, rpt) = small_reptile();
+        let config = ServerConfig { workers: 1, max_requests: Some(2), ..ServerConfig::default() };
+        let (ep, handle, _) = start(rpt, config);
+        for i in 0..2 {
+            let reply = roundtrip(
+                &ep,
+                &ServeMessage::Correct {
+                    request_id: i,
+                    deadline_ms: 0,
+                    reads: reads[..4].to_vec(),
+                },
+            );
+            assert!(matches!(reply, ServeMessage::Corrected { .. }), "{reply:?}");
+        }
+        let summary = handle.shutdown();
+        assert_eq!(summary.corrected, 2);
+    }
+}
