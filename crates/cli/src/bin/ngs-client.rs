@@ -15,10 +15,15 @@ const USAGE: &str = "ngs-client — batch client for ngs-serve
 USAGE:
   ngs-client --connect unix:/tmp/ngs.sock --input reads.fastq --output corrected.fastq
   ngs-client --connect tcp:127.0.0.1:7878 --ping
+  ngs-client --connect tcp:127.0.0.1:7878 --stats --watch 2
 
 OPTIONS:
   --connect ENDPOINT    unix:/path/to.sock or tcp:host:port       [required]
   --ping                probe the server (prints its index k and size) and exit
+  --stats               print a live server snapshot (queue, latency percentiles,
+                        RSS, uptime) and exit
+  --watch N             with --stats: refresh every N seconds until interrupted
+  --samples N           with --watch: stop after N snapshots (0 = forever)
   --input PATH          reads to correct (.fastq or .fasta)
   --output PATH         corrected reads (written atomically)
   --batch-size N        reads per request                         [default: 512]

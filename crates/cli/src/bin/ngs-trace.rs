@@ -20,7 +20,16 @@ const USAGE: &str = "ngs-trace — trace viewer and benchmark diff tool
 USAGE:
   ngs-trace chrome TRACE.jsonl [--out FILE.json]
   ngs-trace summary TRACE.jsonl [--top N]
+  ngs-trace merge PROC1.jsonl PROC2.jsonl ... --out MERGED.jsonl [--chrome FILE.json]
   ngs-trace diff BASELINE.json CURRENT.json [options]
+
+MERGE:
+  Stitch per-process traces (e.g. the `trace.jsonl.driver` and
+  `trace.jsonl.worker*` components a pooled run emits) into one
+  well-formed timeline: each file's clock offset is applied, colliding
+  span ids are remapped, and the output is independent of argument
+  order. --chrome additionally writes a Chrome/Perfetto export with one
+  lane per process.
 
 DIFF OPTIONS:
   --tolerance FRAC        allowed fractional growth per span [default: 0.15]
@@ -57,6 +66,7 @@ fn main() -> ExitCode {
     match argv[0].as_str() {
         "chrome" => cmd_chrome(&argv[1..]),
         "summary" => cmd_summary(&argv[1..]),
+        "merge" => cmd_merge(&argv[1..]),
         "diff" => cmd_diff(&argv[1..]),
         other => fail(&format!("unknown subcommand {other:?} (try --help)")),
     }
@@ -162,6 +172,71 @@ fn cmd_summary(rest: &[String]) -> ExitCode {
         top.min(rows.len())
     );
     print!("{}", ngs_observe::traceview::render_summary(&rows, top));
+    ExitCode::SUCCESS
+}
+
+fn cmd_merge(rest: &[String]) -> ExitCode {
+    let (positional, opts) = match split_opts(rest) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if positional.is_empty() {
+        return fail(
+            "usage: ngs-trace merge PROC1.jsonl ... --out MERGED.jsonl [--chrome FILE.json]",
+        );
+    }
+    let mut out_path: Option<&str> = None;
+    let mut chrome_path: Option<&str> = None;
+    for (key, value) in opts {
+        match key {
+            "out" => out_path = value,
+            "chrome" => chrome_path = value,
+            _ => return fail(&format!("unknown option --{key}")),
+        }
+    }
+    let mut inputs = Vec::with_capacity(positional.len());
+    for path in &positional {
+        match load_trace(path) {
+            Ok(t) => inputs.push(t),
+            Err(e) => return fail(&e),
+        }
+    }
+    let merged = match ngs_observe::traceview::merge_traces(&inputs) {
+        Ok(m) => m,
+        Err(e) => return fail(&format!("merge: {e}")),
+    };
+    // A merge that produces an ill-formed timeline is a bug worth failing
+    // on, not a file worth writing.
+    if let Err(e) = ngs_observe::traceview::check_well_formed(&merged) {
+        return fail(&format!("merged trace is malformed: {e}"));
+    }
+    let jsonl = ngs_observe::trace::render_jsonl(&merged.events, &merged.meta);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = ngs_durable::write_atomic(path, jsonl.as_bytes()) {
+                return fail(&format!("write {path}: {e}"));
+            }
+            eprintln!(
+                "merged {} file(s), {} events ({} process(es)) into {path}",
+                positional.len(),
+                merged.events.len(),
+                merged
+                    .events
+                    .iter()
+                    .map(|e| e.pid)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    if let Some(path) = chrome_path {
+        let chrome = ngs_observe::traceview::to_chrome_json(&merged);
+        if let Err(e) = ngs_durable::write_atomic(path, chrome.as_bytes()) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote Chrome export to {path}");
+    }
     ExitCode::SUCCESS
 }
 

@@ -235,10 +235,15 @@ pub fn emit_metrics(
 }
 
 /// When `--trace-jsonl PATH` was given: serialise the collector's trace
-/// buffer as JSONL (`ngs-trace` schema, version 1) and write it atomically
+/// buffer as JSONL (`ngs-trace` schema, version 2) and write it atomically
 /// — a crash mid-write never leaves a torn trace file. Call this after
 /// every span guard (including the pipeline's root span) has dropped, or
 /// the trace will contain dangling begins.
+///
+/// A run that stitched in worker traces (pooled `--mr-workers`) also
+/// writes one component file per process — `PATH.driver`,
+/// `PATH.worker0`, … — so `ngs-trace merge` can be exercised on real
+/// per-process files; the stitched PATH is already the merged view.
 pub fn emit_trace(args: &Args, collector: &ngs_observe::Collector) -> Result<()> {
     let Some(path) = args.value_of("trace-jsonl")? else {
         return Ok(());
@@ -248,6 +253,36 @@ pub fn emit_trace(args: &Args, collector: &ngs_observe::Collector) -> Result<()>
     })?;
     ngs_durable::write_atomic(path, tracer.to_jsonl().as_bytes())?;
     eprintln!("wrote trace to {path}");
+
+    let foreign: Vec<_> =
+        tracer.processes().into_iter().filter(|m| m.pid != tracer.pid()).collect();
+    // In-process pooled runs share one pid; a per-pid partition would just
+    // duplicate the stitched file, so components are only written when a
+    // genuinely foreign process contributed events.
+    if !foreign.is_empty() {
+        let own = ngs_observe::trace::ProcessMeta {
+            pid: tracer.pid(),
+            role: "driver".into(),
+            clock_offset_ns: 0,
+        };
+        let mut role_count: BTreeMap<&str, usize> = BTreeMap::new();
+        for m in &foreign {
+            *role_count.entry(m.role.as_str()).or_default() += 1;
+        }
+        for meta in std::iter::once(&own).chain(&foreign) {
+            // A run that launched several pools (e.g. one job per
+            // threshold) re-uses worker roles across distinct processes;
+            // the pid keeps each process its own file.
+            let name = if role_count.get(meta.role.as_str()).is_some_and(|&n| n > 1) {
+                format!("{}-{}", meta.role, meta.pid)
+            } else {
+                meta.role.clone()
+            };
+            let component = format!("{path}.{name}");
+            ngs_durable::write_atomic(&component, tracer.to_jsonl_for_pid(meta).as_bytes())?;
+            eprintln!("wrote {name} component to {component}");
+        }
+    }
     Ok(())
 }
 

@@ -150,7 +150,12 @@ pub fn serve_main(args: &Args) -> Result<()> {
     let config = server_config(args)?;
     apply_threads_flag(args)?;
 
-    let collector = Arc::new(metrics_collector(args)?);
+    // A long-lived server always records: `ngs-client --stats` must see
+    // real queue-wait/latency percentiles even when the operator passed no
+    // observability flags at startup.
+    let collector = metrics_collector(args)?;
+    let collector =
+        Arc::new(if collector.is_enabled() { collector } else { ngs_observe::Collector::new() });
     let session = ObserveSession::begin(&obs, &collector, input);
     let (reptile, warmed) = load_or_build_index(args, input, &opts, &collector)?;
 
@@ -229,6 +234,38 @@ pub fn client_main(args: &Args) -> Result<()> {
         let (k, distinct) = client.ping().map_err(client_failure)?;
         println!("pong: k={k} distinct_kmers={distinct}");
         return Ok(());
+    }
+
+    if args.has_flag("stats") {
+        let watch_secs: u64 = args.get_parsed("watch", 0)?;
+        let samples: u64 = args.get_parsed("samples", 0)?;
+        let mut taken = 0u64;
+        loop {
+            let s = client.stats().map_err(client_failure)?;
+            println!(
+                "up {:>6.1}s  queue {}/{}  in-flight {}  conn-errors {}  rss {} MiB\n\
+                 \x20 latency    p50 {:>8} us  p90 {:>8} us  p99 {:>8} us\n\
+                 \x20 queue-wait p50 {:>8} us  p90 {:>8} us  p99 {:>8} us",
+                s.uptime_ms as f64 / 1000.0,
+                s.queue_depth,
+                s.queue_capacity,
+                s.in_flight,
+                s.conn_errors,
+                s.rss_bytes >> 20,
+                s.latency_p50_us,
+                s.latency_p90_us,
+                s.latency_p99_us,
+                s.queue_wait_p50_us,
+                s.queue_wait_p90_us,
+                s.queue_wait_p99_us,
+            );
+            std::io::stdout().flush().map_err(|e| NgsError::Io(e.to_string()))?;
+            taken += 1;
+            if watch_secs == 0 || (samples != 0 && taken >= samples) {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_secs(watch_secs));
+        }
     }
 
     let input = args.require("input")?;
@@ -358,12 +395,33 @@ pub fn loadgen_main(args: &Args) -> Result<()> {
         eprintln!("  {name}: {us} us");
     }
 
-    emit_metrics(
-        args,
-        &collector,
-        "serve",
-        &["serve.loadgen", "serve.latency.p50", "serve.latency.p90", "serve.latency.p99"],
-    )?;
+    let mut required =
+        vec!["serve.loadgen", "serve.latency.p50", "serve.latency.p90", "serve.latency.p99"];
+
+    // Server-side queue-wait percentiles, blessed next to the client view
+    // so the perf gate sees both sides of an admission regression. The
+    // in-process server records into this same collector; with --connect
+    // the histogram lives in the remote process, so it is skipped here
+    // (probe it live with `ngs-client --stats` instead).
+    let queue_wait = collector.report("serve").histograms.get("serve.queue_wait_us").cloned();
+    match queue_wait {
+        Some(h) => {
+            for (name, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                let us = h.quantile(q).unwrap_or(0);
+                let ns = us.saturating_mul(1000).max(1);
+                collector.record_span_ns(&format!("serve.queue_wait.{name}"), ns, 1);
+                eprintln!("  queue-wait {name}: {us} us");
+            }
+            required.extend([
+                "serve.queue_wait.p50",
+                "serve.queue_wait.p90",
+                "serve.queue_wait.p99",
+            ]);
+        }
+        None => eprintln!("  queue-wait: n/a (remote server; probe with ngs-client --stats)"),
+    }
+
+    emit_metrics(args, &collector, "serve", &required)?;
     emit_trace(args, &collector)?;
     session.finish()?;
     Ok(())

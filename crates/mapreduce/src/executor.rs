@@ -307,6 +307,9 @@ struct Lease {
     attempt: u32,
     started: Instant,
     span: Option<ngs_observe::SpanId>,
+    /// Driver-tracer timestamp at which `span` began — the lower clamp
+    /// bound when the worker's trace chunk is stitched under it.
+    span_begin_ns: u64,
 }
 
 /// One worker slot: at most one live worker (process or thread) at a time,
@@ -321,6 +324,13 @@ struct Slot {
     lease: Option<Lease>,
     respawns_left: u32,
     span: Option<ngs_observe::SpanId>,
+    /// OS pid the worker reported in `Hello` (its own pid in thread mode).
+    pid: u64,
+    /// Estimated ns to add to this worker's trace timestamps to land on
+    /// the driver's tracer timeline (see the `Hello` handshake).
+    clock_offset_ns: i64,
+    /// Driver-tracer timestamp at which the worker's span began.
+    span_begin_ns: u64,
 }
 
 /// Result of one finished task attempt.
@@ -435,6 +445,9 @@ impl<'a> Pool<'a> {
                     lease: None,
                     respawns_left: pcfg.max_respawns,
                     span: None,
+                    pid: 0,
+                    clock_offset_ns: 0,
+                    span_begin_ns: 0,
                 })
                 .collect(),
             slot_of_conn: HashMap::new(),
@@ -635,7 +648,9 @@ impl<'a> Pool<'a> {
                 input: st.tasks[task].input.clone(),
             };
             st.tasks[task].assigned = true;
-            self.slots[widx].lease = Some(Lease { task, attempt, started: Instant::now(), span });
+            let span_begin_ns = self.tracer.as_ref().map_or(0, |t| t.now_ns());
+            self.slots[widx].lease =
+                Some(Lease { task, attempt, started: Instant::now(), span, span_begin_ns });
             let send = self.slots[widx].conn.as_mut().expect("checked above").send(&msg);
             if let Err(e) = send {
                 self.on_worker_death(widx, st, &format!("send failed: {e}"))?;
@@ -664,9 +679,31 @@ impl<'a> Pool<'a> {
         Ok(())
     }
 
+    /// Stitch a worker's shipped trace chunk into the driver trace under
+    /// `under`, clamped to `[lo, now]` on the driver timeline.
+    fn ingest_chunk(
+        &self,
+        idx: usize,
+        chunk: &[ngs_observe::trace::TraceEvent],
+        under: ngs_observe::SpanId,
+        lo: u64,
+    ) {
+        let Some(t) = self.tracer.as_ref() else { return };
+        if chunk.is_empty() {
+            return;
+        }
+        let slot = &self.slots[idx];
+        let meta = ngs_observe::trace::ProcessMeta {
+            pid: slot.pid as u32,
+            role: format!("worker{idx}"),
+            clock_offset_ns: slot.clock_offset_ns,
+        };
+        t.ingest(chunk, under, &meta, (lo, t.now_ns()));
+    }
+
     fn handle_msg(&mut self, cid: u64, msg: Message, st: &mut StageState) -> Result<(), JobError> {
         match msg {
-            Message::Hello { worker_id, pid } => {
+            Message::Hello { worker_id, pid, now_ns } => {
                 let idx = worker_id as usize;
                 let Some(mut conn) = self.pending_conns.remove(&cid) else {
                     return Ok(());
@@ -676,7 +713,19 @@ impl<'a> Pool<'a> {
                     conn.shutdown();
                     return Ok(());
                 }
-                if conn.send(&self.setup).is_err() {
+                // Clock-offset estimate: the worker's monotonic now,
+                // bracketed by our receive time, so the error is at most
+                // one send-to-dispatch latency (and always makes worker
+                // events look *later*, never earlier, than they were —
+                // residual error is absorbed by clamping at ingest).
+                let clock_offset_ns =
+                    self.tracer.as_ref().map_or(0, |t| t.now_ns() as i64 - now_ns as i64);
+                let mut setup = self.setup.clone();
+                if let Message::Setup { traced, clock_offset_ns: offset, .. } = &mut setup {
+                    *traced = self.tracer.is_some();
+                    *offset = clock_offset_ns;
+                }
+                if conn.send(&setup).is_err() {
                     conn.shutdown();
                     return Ok(());
                 }
@@ -685,16 +734,19 @@ impl<'a> Pool<'a> {
                 slot.conn_id = Some(cid);
                 slot.ready = true;
                 slot.last_beat = Instant::now();
+                slot.pid = pid;
+                slot.clock_offset_ns = clock_offset_ns;
                 slot.span = self.tracer.as_ref().zip(self.job_span).map(|(t, parent)| {
                     t.begin_under_detail(
                         &format!("mapreduce.worker.{idx}"),
                         parent,
-                        &format!("pid={pid}"),
+                        &format!("pid={pid} clock_offset_ns={clock_offset_ns}"),
                     )
                 });
+                slot.span_begin_ns = self.tracer.as_ref().map_or(0, |t| t.now_ns());
                 self.slot_of_conn.insert(cid, idx);
             }
-            Message::Heartbeat { worker_id, rss_bytes } => {
+            Message::Heartbeat { worker_id, rss_bytes, peak_alloc_bytes, alloc_count } => {
                 let idx = worker_id as usize;
                 if let Some(slot) = self.slots.get_mut(idx) {
                     if slot.conn_id == Some(cid) {
@@ -704,11 +756,35 @@ impl<'a> Pool<'a> {
                                 &format!("mapreduce.worker.{idx}.peak_rss_bytes"),
                                 rss_bytes as f64,
                             );
+                            // Allocator stats only flow when the worker
+                            // profiles memory; zero means "not tracking".
+                            if peak_alloc_bytes > 0 {
+                                c.gauge_max(
+                                    &format!("mapreduce.worker.{idx}.peak_alloc_bytes"),
+                                    peak_alloc_bytes as f64,
+                                );
+                            }
+                            if alloc_count > 0 {
+                                c.gauge_max(
+                                    &format!("mapreduce.worker.{idx}.alloc_count"),
+                                    alloc_count as f64,
+                                );
+                            }
                         }
                     }
                 }
             }
-            Message::Done { stage, task, attempt, emitted, combined, groups, busy_ns, output } => {
+            Message::Done {
+                stage,
+                task,
+                attempt,
+                emitted,
+                combined,
+                groups,
+                busy_ns,
+                output,
+                trace,
+            } => {
                 let Some(&idx) = self.slot_of_conn.get(&cid) else {
                     return Ok(());
                 };
@@ -720,6 +796,9 @@ impl<'a> Pool<'a> {
                 }
                 let lease = self.slots[idx].lease.take().expect("checked above");
                 if let (Some(t), Some(span)) = (self.tracer.as_ref(), lease.span) {
+                    // Stitch before ending the lease span: children must
+                    // close no later than their parent.
+                    self.ingest_chunk(idx, &trace, span, lease.span_begin_ns);
                     t.end(span);
                 }
                 if let Some(c) = self.cfg.collector.as_deref() {
@@ -760,7 +839,7 @@ impl<'a> Pool<'a> {
                     st.done += 1;
                 }
             }
-            Message::Failed { stage, task, attempt, error } => {
+            Message::Failed { stage, task, attempt, error, trace } => {
                 let Some(&idx) = self.slot_of_conn.get(&cid) else {
                     return Ok(());
                 };
@@ -772,9 +851,23 @@ impl<'a> Pool<'a> {
                 }
                 let lease = self.slots[idx].lease.take().expect("checked above");
                 if let (Some(t), Some(span)) = (self.tracer.as_ref(), lease.span) {
+                    self.ingest_chunk(idx, &trace, span, lease.span_begin_ns);
                     t.end(span);
                 }
                 self.fail_attempt(st, task as usize, attempt, &error)?;
+            }
+            Message::TraceFlush { worker_id, trace } => {
+                // Normally seen by the drain pump in teardown; mid-stage it
+                // means the worker flushed out-of-band — stitch under its
+                // worker span.
+                let idx = worker_id as usize;
+                if let Some(slot) = self.slots.get(idx) {
+                    if slot.conn_id == Some(cid) {
+                        if let Some(span) = slot.span {
+                            self.ingest_chunk(idx, &trace, span, slot.span_begin_ns);
+                        }
+                    }
+                }
             }
             // Workers never receive these; a confused peer is ignored.
             Message::Setup { .. } | Message::Task { .. } | Message::Drain => {}
@@ -876,12 +969,45 @@ impl<'a> Pool<'a> {
             .collect())
     }
 
-    /// Graceful drain: tell every live worker the job is over, reap
-    /// processes (kill stragglers), stop the accept thread.
+    /// Graceful drain: tell every live worker the job is over, collect
+    /// their final trace flushes, reap processes (kill stragglers), stop
+    /// the accept thread.
     fn teardown(&mut self) {
         for slot in &mut self.slots {
             if let Some(conn) = slot.conn.as_mut() {
                 let _ = conn.send(&Message::Drain);
+            }
+        }
+        // Traced runs: each live worker answers `Drain` with a final
+        // `TraceFlush` before closing its socket. Pump the event channel
+        // until every such worker has flushed or disconnected, so those
+        // chunks land under the worker spans *before* the spans end below.
+        if self.tracer.is_some() {
+            let mut waiting: std::collections::HashSet<u64> =
+                self.slots.iter().filter_map(|s| s.conn.as_ref().and(s.conn_id)).collect();
+            let deadline = Instant::now() + Duration::from_millis(500);
+            while !waiting.is_empty() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.events.recv_timeout(deadline - now) {
+                    Ok(Event::Msg(cid, Message::TraceFlush { worker_id, trace })) => {
+                        let idx = worker_id as usize;
+                        if self.slots.get(idx).is_some_and(|s| s.conn_id == Some(cid)) {
+                            if let Some(span) = self.slots[idx].span {
+                                let lo = self.slots[idx].span_begin_ns;
+                                self.ingest_chunk(idx, &trace, span, lo);
+                            }
+                            waiting.remove(&cid);
+                        }
+                    }
+                    Ok(Event::Gone(cid, _)) => {
+                        waiting.remove(&cid);
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
             }
         }
         for idx in 0..self.slots.len() {
@@ -939,6 +1065,11 @@ pub fn run_pooled<S: MapReduceSpec>(
         parts: parts as u64,
         fault_plan: cfg.fault_plan.to_bytes(),
         heartbeat_ms: pool.heartbeat_interval.as_millis().max(1) as u64,
+        // Patched per worker at `Hello`: traced mirrors the driver tracer,
+        // clock_offset_ns is that worker's estimate.
+        traced: false,
+        profile_mem: ngs_observe::alloc::is_enabled(),
+        clock_offset_ns: 0,
     };
     let mut registry = JobRegistry::new();
     registry.register::<S>();
@@ -1055,14 +1186,29 @@ fn worker_loop(
     };
     let writer = Arc::new(Mutex::new(writer));
     let pid = std::process::id() as u64;
-    if writer.lock().expect("writer lock").send(&Message::Hello { worker_id, pid }).is_err() {
+    // One session tracer for the whole worker lifetime: a single epoch, so
+    // the driver's one clock-offset estimate (from the `now_ns` below)
+    // covers every chunk this worker ever ships.
+    let session_tracer = ngs_observe::Tracer::new();
+    let hello = Message::Hello { worker_id, pid, now_ns: session_tracer.now_ns() };
+    if writer.lock().expect("writer lock").send(&hello).is_err() {
         return 2;
     }
     let setup = match reader.recv() {
         Ok(msg @ Message::Setup { .. }) => msg,
         _ => return 2,
     };
-    let Message::Setup { spec, spec_bytes, parts, fault_plan, heartbeat_ms } = setup else {
+    let Message::Setup {
+        spec,
+        spec_bytes,
+        parts,
+        fault_plan,
+        heartbeat_ms,
+        traced,
+        profile_mem,
+        clock_offset_ns: _,
+    } = setup
+    else {
         unreachable!("matched above");
     };
     let Some(runner) = registry.make(&spec, &spec_bytes) else {
@@ -1074,6 +1220,17 @@ fn worker_loop(
         return 2;
     };
     let parts = parts as usize;
+    if profile_mem {
+        // The worker binary carries the same tracking allocator as the
+        // driver; enabling is a no-op when it is not installed.
+        ngs_observe::alloc::enable();
+    }
+    let tracer = if traced {
+        session_tracer.set_role(&format!("worker{worker_id}"));
+        Some(session_tracer)
+    } else {
+        None
+    };
 
     // Heartbeats from a dedicated thread, so a worker busy in a long task
     // still proves liveness. StallHeartbeat injection raises `stalled`,
@@ -1091,12 +1248,11 @@ fn worker_loop(
                     break;
                 }
                 let rss_bytes = ngs_observe::read_memory().rss_bytes.unwrap_or(0);
-                if writer
-                    .lock()
-                    .expect("writer lock")
-                    .send(&Message::Heartbeat { worker_id, rss_bytes })
-                    .is_err()
-                {
+                let (peak_alloc_bytes, alloc_count) = ngs_observe::alloc::snapshot()
+                    .map_or((0, 0), |s| (s.peak_live_bytes, s.alloc_count));
+                let beat =
+                    Message::Heartbeat { worker_id, rss_bytes, peak_alloc_bytes, alloc_count };
+                if writer.lock().expect("writer lock").send(&beat).is_err() {
                     break;
                 }
             }
@@ -1105,7 +1261,7 @@ fn worker_loop(
 
     let code = loop {
         match reader.recv() {
-            Ok(Message::Task { stage, task, attempt, trace_span: _, input }) => {
+            Ok(Message::Task { stage, task, attempt, trace_span, input }) => {
                 let Some(stage) = Stage::from_code(stage) else {
                     break 2;
                 };
@@ -1119,9 +1275,25 @@ fn worker_loop(
                     }
                 }
                 let started = Instant::now();
+                // One root span per attempt: the chunk shipped with the
+                // result holds exactly this attempt's events, and its root
+                // re-parents under the driver-side lease span (whose id
+                // rides along in the detail for post-hoc correlation).
+                let task_span = tracer.as_ref().map(|t| {
+                    t.begin_under_detail(
+                        "worker.task",
+                        ngs_observe::SpanId::ROOT,
+                        &format!("stage={stage} task={task} attempt={attempt} lease={trace_span}"),
+                    )
+                });
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let _exec = tracer.as_ref().map(|t| t.span("worker.exec"));
                     run_worker_task(&*runner, stage, task as usize, attempt, &fault, &input, parts)
                 }));
+                if let (Some(t), Some(s)) = (tracer.as_ref(), task_span) {
+                    t.end(s);
+                }
+                let trace = tracer.as_ref().map_or_else(Vec::new, |t| t.take_events());
                 let busy_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 let msg = match outcome {
                     Ok(Ok((output, emitted, combined, groups))) => Message::Done {
@@ -1133,8 +1305,11 @@ fn worker_loop(
                         groups,
                         busy_ns,
                         output,
+                        trace,
                     },
-                    Ok(Err(error)) => Message::Failed { stage: stage.code(), task, attempt, error },
+                    Ok(Err(error)) => {
+                        Message::Failed { stage: stage.code(), task, attempt, error, trace }
+                    }
                     Err(payload) => {
                         let error = payload
                             .downcast_ref::<String>()
@@ -1146,6 +1321,7 @@ fn worker_loop(
                             task,
                             attempt,
                             error: format!("panic: {error}"),
+                            trace,
                         }
                     }
                 };
@@ -1171,7 +1347,17 @@ fn worker_loop(
                     break 0;
                 }
             }
-            Ok(Message::Drain) => break 0,
+            Ok(Message::Drain) => {
+                // Flush any events recorded outside a task attempt before
+                // the socket closes, so the driver's stitched trace is
+                // complete even for idle workers.
+                if let Some(t) = tracer.as_ref() {
+                    t.instant_under("worker.drain", ngs_observe::SpanId::ROOT, "");
+                    let flush = Message::TraceFlush { worker_id, trace: t.take_events() };
+                    let _ = writer.lock().expect("writer lock").send(&flush);
+                }
+                break 0;
+            }
             Ok(_) => break 2,
             // Driver gone (job done and socket closed, or driver crash):
             // nothing left to flush — exit cleanly.
@@ -1405,6 +1591,54 @@ mod tests {
         // Task timing reached the collector from worker-reported busy_ns.
         let report = collector.report("mr");
         assert!(report.spans.contains_key("mapreduce.task.map"));
+    }
+
+    #[test]
+    fn pooled_run_stitches_worker_spans_under_leases() {
+        use ngs_observe::TraceEventKind;
+        let input = docs();
+        let tracer = Arc::new(ngs_observe::Tracer::new());
+        let collector = Arc::new(ngs_observe::Collector::with_tracer(tracer.clone()));
+        let mut traced = cfg();
+        traced.collector = Some(collector);
+        run_pooled(&WordCountSpec, &input, &traced, &pool()).expect("pooled");
+
+        // The stitched trace must be structurally sound end to end:
+        // timestamps corrected and clamped, every worker span nested.
+        let parsed = ngs_observe::traceview::parse_jsonl(&tracer.to_jsonl()).expect("parses");
+        let spans = ngs_observe::traceview::check_well_formed(&parsed).expect("well-formed");
+
+        let events = tracer.events();
+        let begins: Vec<_> = events.iter().filter(|e| e.kind == TraceEventKind::Begin).collect();
+        let lease_count = begins.iter().filter(|e| e.name.starts_with("mapreduce.task.")).count();
+        let worker_tasks: Vec<_> = begins.iter().filter(|e| e.name == "worker.task").collect();
+        assert_eq!(
+            worker_tasks.len(),
+            lease_count,
+            "every completed lease carries exactly one shipped worker.task span"
+        );
+        // Each worker.task parents under a mapreduce.task.* lease span and
+        // stays inside its interval.
+        for wt in &worker_tasks {
+            let parent = spans.get(&wt.parent).expect("parent exists");
+            assert!(parent.name.starts_with("mapreduce.task."), "parent {}", parent.name);
+            let node = &spans[&wt.id];
+            assert!(node.start_ns >= parent.start_ns && node.end_ns <= parent.end_ns);
+        }
+        // worker.exec nests under worker.task (intra-chunk parentage).
+        for ex in begins.iter().filter(|e| e.name == "worker.exec") {
+            assert!(worker_tasks.iter().any(|wt| wt.id == ex.parent));
+        }
+        // The drain flush landed too: one worker.drain instant per worker,
+        // parented under its mapreduce.worker.<id> span.
+        let drains: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Instant && e.name == "worker.drain")
+            .collect();
+        assert_eq!(drains.len(), 2);
+        for d in drains {
+            assert!(spans[&d.parent].name.starts_with("mapreduce.worker."));
+        }
     }
 
     #[test]

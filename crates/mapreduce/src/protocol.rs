@@ -19,6 +19,7 @@
 //! typed [`ProtocolError`]; no input panics or silently short-reads.
 
 use crate::codec::{checksum, Codec};
+use ngs_observe::trace::{SpanId, TraceEvent, TraceEventKind};
 use std::io::{Read, Write};
 
 /// Outer-frame magic. Version-bump the last byte on layout changes so a
@@ -137,6 +138,10 @@ pub enum Message {
         worker_id: u64,
         /// The worker's OS pid, so the driver can SIGKILL a stalled one.
         pid: u64,
+        /// The worker tracer's monotonic clock at send time, in ns since
+        /// its epoch. The driver brackets this with its own receive time to
+        /// estimate the clock offset between the two trace timelines.
+        now_ns: u64,
     },
     /// Driver → worker: job parameters, sent once after `Hello`.
     Setup {
@@ -150,6 +155,16 @@ pub enum Message {
         fault_plan: Vec<u8>,
         /// Interval at which the worker must heartbeat, in milliseconds.
         heartbeat_ms: u64,
+        /// Whether the driver is tracing: workers record and ship trace
+        /// chunks only when set, so un-traced runs pay nothing.
+        traced: bool,
+        /// Whether the driver profiles memory: workers enable their
+        /// tracking allocator and report stats in heartbeats when set.
+        profile_mem: bool,
+        /// The driver's offset estimate for this worker (ns to add to
+        /// worker-local timestamps to land on the driver timeline), echoed
+        /// so the worker can annotate its own exports.
+        clock_offset_ns: i64,
     },
     /// Driver → worker: run one task attempt.
     Task {
@@ -181,13 +196,37 @@ pub enum Message {
         /// Stage output: map → one inner-framed buffer per partition;
         /// shuffle/reduce → a single buffer.
         output: Vec<Vec<u8>>,
+        /// Trace events the worker recorded during this attempt (drained
+        /// from its tracer, so each chunk holds exactly one attempt).
+        /// Empty when the run is untraced.
+        trace: Vec<TraceEvent>,
     },
     /// Worker → driver: a task attempt failed but the worker is healthy.
-    Failed { stage: u8, task: u64, attempt: u32, error: String },
-    /// Worker → driver: periodic liveness beacon with the worker's RSS.
-    Heartbeat { worker_id: u64, rss_bytes: u64 },
+    Failed {
+        stage: u8,
+        task: u64,
+        attempt: u32,
+        error: String,
+        /// Trace events recorded up to the failure (see [`Message::Done`]).
+        trace: Vec<TraceEvent>,
+    },
+    /// Worker → driver: periodic liveness beacon with the worker's RSS and
+    /// (when `--profile-mem` is on) its tracking-allocator stats.
+    Heartbeat {
+        worker_id: u64,
+        rss_bytes: u64,
+        /// Peak live bytes per the worker's tracking allocator (0 when
+        /// memory profiling is off or the allocator is not installed).
+        peak_alloc_bytes: u64,
+        /// Total allocation count per the tracking allocator (0 when off).
+        alloc_count: u64,
+    },
     /// Driver → worker: no more tasks; finish up and exit 0.
     Drain,
+    /// Worker → driver, in response to `Drain`: any trace events still
+    /// buffered outside a task attempt (e.g. the worker's drain marker),
+    /// flushed before the socket closes.
+    TraceFlush { worker_id: u64, trace: Vec<TraceEvent> },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -197,22 +236,83 @@ const TAG_DONE: u8 = 4;
 const TAG_FAILED: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
 const TAG_DRAIN: u8 = 7;
+const TAG_TRACE_FLUSH: u8 = 8;
+
+/// Append the wire encoding of a trace chunk: a count followed by one
+/// fixed-shape record per event. Span ids travel as their raw `u64`.
+fn encode_trace(trace: &[TraceEvent], out: &mut Vec<u8>) {
+    (trace.len() as u32).encode(out);
+    for e in trace {
+        let kind: u8 = match e.kind {
+            TraceEventKind::Begin => 0,
+            TraceEventKind::End => 1,
+            TraceEventKind::Instant => 2,
+        };
+        (kind, e.seq, e.id.as_u64()).encode(out);
+        e.parent.as_u64().encode(out);
+        e.name.encode(out);
+        e.detail.encode(out);
+        (e.thread, e.ts_ns, e.pid).encode(out);
+    }
+}
+
+/// Decode a trace chunk written by [`encode_trace`]. `None` on malformed
+/// or truncated input (including an unknown event-kind byte).
+fn decode_trace(inp: &mut &[u8]) -> Option<Vec<TraceEvent>> {
+    let n = u32::decode(inp)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let (kind, seq, id) = <(u8, u64, u64)>::decode(inp)?;
+        let kind = match kind {
+            0 => TraceEventKind::Begin,
+            1 => TraceEventKind::End,
+            2 => TraceEventKind::Instant,
+            _ => return None,
+        };
+        let parent = u64::decode(inp)?;
+        let name = String::decode(inp)?;
+        let detail = String::decode(inp)?;
+        let (thread, ts_ns, pid) = <(u64, u64, u32)>::decode(inp)?;
+        out.push(TraceEvent {
+            kind,
+            seq,
+            id: SpanId::from_u64(id),
+            parent: SpanId::from_u64(parent),
+            name,
+            detail,
+            thread,
+            ts_ns,
+            pid,
+        });
+    }
+    Some(out)
+}
 
 impl Message {
     /// Encode into an outer-frame payload.
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Message::Hello { worker_id, pid } => {
+            Message::Hello { worker_id, pid, now_ns } => {
                 out.push(TAG_HELLO);
-                (*worker_id, *pid).encode(&mut out);
+                (*worker_id, *pid, *now_ns).encode(&mut out);
             }
-            Message::Setup { spec, spec_bytes, parts, fault_plan, heartbeat_ms } => {
+            Message::Setup {
+                spec,
+                spec_bytes,
+                parts,
+                fault_plan,
+                heartbeat_ms,
+                traced,
+                profile_mem,
+                clock_offset_ns,
+            } => {
                 out.push(TAG_SETUP);
                 spec.encode(&mut out);
                 spec_bytes.encode(&mut out);
                 (*parts, *heartbeat_ms).encode(&mut out);
                 fault_plan.encode(&mut out);
+                (*traced, *profile_mem, *clock_offset_ns).encode(&mut out);
             }
             Message::Task { stage, task, attempt, trace_span, input } => {
                 out.push(TAG_TASK);
@@ -220,23 +320,41 @@ impl Message {
                 trace_span.encode(&mut out);
                 input.encode(&mut out);
             }
-            Message::Done { stage, task, attempt, emitted, combined, groups, busy_ns, output } => {
+            Message::Done {
+                stage,
+                task,
+                attempt,
+                emitted,
+                combined,
+                groups,
+                busy_ns,
+                output,
+                trace,
+            } => {
                 out.push(TAG_DONE);
                 (*stage, *task, *attempt).encode(&mut out);
                 (*emitted, *combined, *groups).encode(&mut out);
                 busy_ns.encode(&mut out);
                 output.encode(&mut out);
+                encode_trace(trace, &mut out);
             }
-            Message::Failed { stage, task, attempt, error } => {
+            Message::Failed { stage, task, attempt, error, trace } => {
                 out.push(TAG_FAILED);
                 (*stage, *task, *attempt).encode(&mut out);
                 error.encode(&mut out);
+                encode_trace(trace, &mut out);
             }
-            Message::Heartbeat { worker_id, rss_bytes } => {
+            Message::Heartbeat { worker_id, rss_bytes, peak_alloc_bytes, alloc_count } => {
                 out.push(TAG_HEARTBEAT);
                 (*worker_id, *rss_bytes).encode(&mut out);
+                (*peak_alloc_bytes, *alloc_count).encode(&mut out);
             }
             Message::Drain => out.push(TAG_DRAIN),
+            Message::TraceFlush { worker_id, trace } => {
+                out.push(TAG_TRACE_FLUSH);
+                worker_id.encode(&mut out);
+                encode_trace(trace, &mut out);
+            }
         }
         out
     }
@@ -248,8 +366,9 @@ impl Message {
         let inp = &mut inp;
         let msg = match tag {
             TAG_HELLO => {
-                let (worker_id, pid) = <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
-                Message::Hello { worker_id, pid }
+                let (worker_id, pid, now_ns) =
+                    <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                Message::Hello { worker_id, pid, now_ns }
             }
             TAG_SETUP => {
                 let spec = String::decode(inp).ok_or(ProtocolError::Malformed)?;
@@ -257,7 +376,18 @@ impl Message {
                 let (parts, heartbeat_ms) =
                     <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let fault_plan = Vec::<u8>::decode(inp).ok_or(ProtocolError::Malformed)?;
-                Message::Setup { spec, spec_bytes, parts, fault_plan, heartbeat_ms }
+                let (traced, profile_mem, clock_offset_ns) =
+                    <(bool, bool, i64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                Message::Setup {
+                    spec,
+                    spec_bytes,
+                    parts,
+                    fault_plan,
+                    heartbeat_ms,
+                    traced,
+                    profile_mem,
+                    clock_offset_ns,
+                }
             }
             TAG_TASK => {
                 let (stage, task, attempt) =
@@ -273,20 +403,39 @@ impl Message {
                     <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let busy_ns = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let output = Vec::<Vec<u8>>::decode(inp).ok_or(ProtocolError::Malformed)?;
-                Message::Done { stage, task, attempt, emitted, combined, groups, busy_ns, output }
+                let trace = decode_trace(inp).ok_or(ProtocolError::Malformed)?;
+                Message::Done {
+                    stage,
+                    task,
+                    attempt,
+                    emitted,
+                    combined,
+                    groups,
+                    busy_ns,
+                    output,
+                    trace,
+                }
             }
             TAG_FAILED => {
                 let (stage, task, attempt) =
                     <(u8, u64, u32)>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let error = String::decode(inp).ok_or(ProtocolError::Malformed)?;
-                Message::Failed { stage, task, attempt, error }
+                let trace = decode_trace(inp).ok_or(ProtocolError::Malformed)?;
+                Message::Failed { stage, task, attempt, error, trace }
             }
             TAG_HEARTBEAT => {
                 let (worker_id, rss_bytes) =
                     <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
-                Message::Heartbeat { worker_id, rss_bytes }
+                let (peak_alloc_bytes, alloc_count) =
+                    <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                Message::Heartbeat { worker_id, rss_bytes, peak_alloc_bytes, alloc_count }
             }
             TAG_DRAIN => Message::Drain,
+            TAG_TRACE_FLUSH => {
+                let worker_id = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let trace = decode_trace(inp).ok_or(ProtocolError::Malformed)?;
+                Message::TraceFlush { worker_id, trace }
+            }
             _ => return Err(ProtocolError::Malformed),
         };
         if !inp.is_empty() {
@@ -329,15 +478,59 @@ mod tests {
         }
     }
 
+    /// A small but non-trivial trace chunk: parented spans, an instant,
+    /// non-ASCII detail — so the adversarial frame tests chew on the trace
+    /// encoding too.
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                kind: TraceEventKind::Begin,
+                seq: 1,
+                id: SpanId::from_u64(1),
+                parent: SpanId::ROOT,
+                name: "worker.task".into(),
+                detail: "stage=map task=7 attempt=1".into(),
+                thread: 3,
+                ts_ns: 1_000,
+                pid: 31_337,
+            },
+            TraceEvent {
+                kind: TraceEventKind::Instant,
+                seq: 2,
+                id: SpanId::from_u64(2),
+                parent: SpanId::from_u64(1),
+                name: "worker.tick".into(),
+                detail: "κλειδί".into(),
+                thread: 3,
+                ts_ns: 1_500,
+                pid: 31_337,
+            },
+            TraceEvent {
+                kind: TraceEventKind::End,
+                seq: 3,
+                id: SpanId::from_u64(1),
+                parent: SpanId::ROOT,
+                name: String::new(),
+                detail: String::new(),
+                thread: 3,
+                ts_ns: 2_000,
+                pid: 31_337,
+            },
+        ]
+    }
+
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Hello { worker_id: 3, pid: 4242 },
+            Message::Hello { worker_id: 3, pid: 4242, now_ns: 123_456_789 },
             Message::Setup {
                 spec: "wordcount".into(),
                 spec_bytes: vec![1, 2, 3],
                 parts: 8,
                 fault_plan: crate::FaultPlan::seeded(5, 0.1).to_bytes(),
                 heartbeat_ms: 50,
+                traced: true,
+                profile_mem: true,
+                clock_offset_ns: -987_654,
             },
             Message::Task {
                 stage: 0,
@@ -355,10 +548,23 @@ mod tests {
                 groups: 3,
                 busy_ns: 12345,
                 output: vec![vec![9, 8, 7], vec![], vec![1]],
+                trace: sample_trace(),
             },
-            Message::Failed { stage: 1, task: 0, attempt: 2, error: "injected".into() },
-            Message::Heartbeat { worker_id: 1, rss_bytes: 1 << 20 },
+            Message::Failed {
+                stage: 1,
+                task: 0,
+                attempt: 2,
+                error: "injected".into(),
+                trace: sample_trace(),
+            },
+            Message::Heartbeat {
+                worker_id: 1,
+                rss_bytes: 1 << 20,
+                peak_alloc_bytes: 3 << 20,
+                alloc_count: 777,
+            },
             Message::Drain,
+            Message::TraceFlush { worker_id: 2, trace: sample_trace() },
         ]
     }
 
@@ -409,7 +615,8 @@ mod tests {
     fn torn_tail_after_complete_frame_is_detected() {
         // A completed frame followed by a half-written one: the reader must
         // deliver the first and flag the second — the SIGKILL-mid-write shape.
-        let good = Message::Heartbeat { worker_id: 0, rss_bytes: 1 };
+        let good =
+            Message::Heartbeat { worker_id: 0, rss_bytes: 1, peak_alloc_bytes: 0, alloc_count: 0 };
         let torn = Message::Done {
             stage: 0,
             task: 0,
@@ -419,6 +626,7 @@ mod tests {
             groups: 0,
             busy_ns: 1,
             output: vec![vec![0; 64]],
+            trace: sample_trace(),
         };
         let mut wire = encode_frame(&good.to_payload());
         let second = encode_frame(&torn.to_payload());
@@ -449,6 +657,37 @@ mod tests {
         let mut payload = Message::Drain.to_payload();
         payload.push(0);
         assert_eq!(Message::from_payload(&payload), Err(ProtocolError::Malformed));
+    }
+
+    #[test]
+    fn trace_chunk_truncation_at_every_offset_is_typed_never_silent() {
+        let msg = Message::TraceFlush { worker_id: 9, trace: sample_trace() };
+        let wire = encode_frame(&msg.to_payload());
+        for cut in 0..wire.len() {
+            let mut cur = Cursor::new(&wire[..cut]);
+            let got = read_frame(&mut cur);
+            let expect = if cut == 0 { ProtocolError::Closed } else { ProtocolError::Torn };
+            assert_eq!(got, Err(expect), "cut at {cut}");
+        }
+        // Payload-level truncation (torn before the checksum was written)
+        // is Malformed, never a partial chunk.
+        let payload = msg.to_payload();
+        for cut in 1..payload.len() {
+            assert_eq!(
+                Message::from_payload(&payload[..cut]),
+                Err(ProtocolError::Malformed),
+                "payload cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_chunk_rejects_unknown_event_kind() {
+        let payload = Message::TraceFlush { worker_id: 0, trace: sample_trace() }.to_payload();
+        // tag(1) + worker_id(8) + count(4) leaves the first event's kind byte.
+        let mut bad = payload.clone();
+        bad[1 + 8 + 4] = 7;
+        assert_eq!(Message::from_payload(&bad), Err(ProtocolError::Malformed));
     }
 
     proptest! {

@@ -104,13 +104,13 @@ mod tests {
             let (stream, _) = listener.accept().expect("accept");
             let mut conn = FrameConn::from_stream(stream);
             let hello = conn.recv().expect("hello");
-            assert_eq!(hello, Message::Hello { worker_id: 9, pid: 1 });
+            assert_eq!(hello, Message::Hello { worker_id: 9, pid: 1, now_ns: 5 });
             conn.send(&Message::Drain).expect("drain");
             // Peer closes after Drain: clean EOF, not an error.
             assert_eq!(conn.recv(), Err(ProtocolError::Closed));
         });
         let mut conn = FrameConn::connect(&path).expect("connect");
-        conn.send(&Message::Hello { worker_id: 9, pid: 1 }).expect("send");
+        conn.send(&Message::Hello { worker_id: 9, pid: 1, now_ns: 5 }).expect("send");
         assert_eq!(conn.recv().expect("recv"), Message::Drain);
         conn.shutdown();
         srv.join().expect("server thread");
@@ -127,8 +127,14 @@ mod tests {
             conn.recv()
         });
         let mut conn = FrameConn::connect(&path).expect("connect");
-        conn.send_torn(&Message::Failed { stage: 0, task: 0, attempt: 0, error: "x".repeat(100) })
-            .expect("torn send");
+        conn.send_torn(&Message::Failed {
+            stage: 0,
+            task: 0,
+            attempt: 0,
+            error: "x".repeat(100),
+            trace: vec![],
+        })
+        .expect("torn send");
         assert_eq!(srv.join().expect("server thread"), Err(ProtocolError::Torn));
         let _ = std::fs::remove_file(&path);
     }
@@ -149,8 +155,14 @@ mod tests {
             let mut conn = FrameConn::from_stream(stream);
             (conn.recv(), conn.recv())
         });
-        let first = Message::Failed { stage: 1, task: 2, attempt: 3, error: "boom".into() };
-        let second = Message::Heartbeat { worker_id: 7, rss_bytes: 1 << 20 };
+        let first =
+            Message::Failed { stage: 1, task: 2, attempt: 3, error: "boom".into(), trace: vec![] };
+        let second = Message::Heartbeat {
+            worker_id: 7,
+            rss_bytes: 1 << 20,
+            peak_alloc_bytes: 0,
+            alloc_count: 0,
+        };
         let mut wire = encode_frame(&first.to_payload());
         wire.extend_from_slice(&encode_frame(&second.to_payload()));
         let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
@@ -169,7 +181,8 @@ mod tests {
     /// header, at the payload boundary, and one byte short of complete.
     #[test]
     fn disconnect_at_every_interesting_offset_is_torn_never_garbage() {
-        let msg = Message::Failed { stage: 0, task: 9, attempt: 1, error: "x".repeat(64) };
+        let msg =
+            Message::Failed { stage: 0, task: 9, attempt: 1, error: "x".repeat(64), trace: vec![] };
         let wire = encode_frame(&msg.to_payload());
         let header_len = 20; // magic + payload_len + checksum
         let cuts = [0usize, 1, 3, header_len - 1, header_len, header_len + 1, wire.len() - 1];
@@ -198,9 +211,9 @@ mod tests {
         let path = scratch_socket_path(None, "t6");
         let listener = bind_socket(&path).expect("bind");
         let msgs = vec![
-            Message::Hello { worker_id: 1, pid: 100 },
-            Message::Heartbeat { worker_id: 1, rss_bytes: 42 },
-            Message::Failed { stage: 2, task: 4, attempt: 0, error: "late".into() },
+            Message::Hello { worker_id: 1, pid: 100, now_ns: 0 },
+            Message::Heartbeat { worker_id: 1, rss_bytes: 42, peak_alloc_bytes: 0, alloc_count: 0 },
+            Message::Failed { stage: 2, task: 4, attempt: 0, error: "late".into(), trace: vec![] },
             Message::Drain,
         ];
         let expect = msgs.clone();
@@ -244,8 +257,20 @@ mod tests {
         let conn = FrameConn::connect(&path).expect("connect");
         let mut a = conn.try_clone().expect("clone");
         let mut b = conn.try_clone().expect("clone");
-        a.send(&Message::Heartbeat { worker_id: 0, rss_bytes: 1 }).expect("send a");
-        b.send(&Message::Heartbeat { worker_id: 0, rss_bytes: 2 }).expect("send b");
+        a.send(&Message::Heartbeat {
+            worker_id: 0,
+            rss_bytes: 1,
+            peak_alloc_bytes: 0,
+            alloc_count: 0,
+        })
+        .expect("send a");
+        b.send(&Message::Heartbeat {
+            worker_id: 0,
+            rss_bytes: 2,
+            peak_alloc_bytes: 0,
+            alloc_count: 0,
+        })
+        .expect("send b");
         drop((a, b));
         conn.shutdown();
         let got = srv.join().expect("server thread");

@@ -31,7 +31,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Version of the JSONL trace schema written by [`Tracer::to_jsonl`].
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the process-metadata header (`pid`, `role`,
+/// `clock_offset_ns`) and the optional per-event `pid` key for events
+/// ingested from other processes; version-1 files remain readable.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Buffer shards; events land in the shard of their thread tag, so
 /// concurrent recorders rarely contend on a lock.
@@ -104,6 +107,26 @@ pub struct TraceEvent {
     pub thread: u64,
     /// Nanoseconds since the tracer's epoch.
     pub ts_ns: u64,
+    /// OS process id of the recording process. Locally recorded events
+    /// carry the tracer's own pid; events stitched in from another process
+    /// via [`Tracer::ingest`] keep their origin pid, which is what gives
+    /// the Chrome export its per-process lanes.
+    pub pid: u32,
+}
+
+/// Metadata for one process whose events appear in a trace: the schema-v2
+/// header fields, and the registry entry [`Tracer::ingest`] records per
+/// foreign process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessMeta {
+    /// OS process id.
+    pub pid: u32,
+    /// Human-readable role, e.g. `driver` or `worker3`.
+    pub role: String,
+    /// Estimated nanoseconds to *add* to this process's local timestamps
+    /// to land on the reference (driver) timeline. 0 when the file is
+    /// already in reference time.
+    pub clock_offset_ns: i64,
 }
 
 static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
@@ -132,6 +155,10 @@ pub struct Tracer {
     next_seq: AtomicU64,
     epoch: Instant,
     shards: Vec<Mutex<Vec<TraceEvent>>>,
+    pid: u32,
+    role: Mutex<String>,
+    /// Foreign processes whose events were stitched in via [`Tracer::ingest`].
+    processes: Mutex<Vec<ProcessMeta>>,
 }
 
 impl Default for Tracer {
@@ -149,6 +176,9 @@ impl Tracer {
             next_seq: AtomicU64::new(1),
             epoch: Instant::now(),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            pid: std::process::id(),
+            role: Mutex::new("main".to_string()),
+            processes: Mutex::new(Vec::new()),
         }
     }
 
@@ -170,6 +200,28 @@ impl Tracer {
     /// Nanoseconds since this tracer's epoch.
     pub fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// OS process id stamped on locally recorded events and the JSONL
+    /// header.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Set the role written to the JSONL header (default `main`).
+    pub fn set_role(&self, role: &str) {
+        *self.role.lock().unwrap() = role.to_string();
+    }
+
+    /// This tracer's role (see [`Tracer::set_role`]).
+    pub fn role(&self) -> String {
+        self.role.lock().unwrap().clone()
+    }
+
+    /// The foreign processes stitched into this trace so far, in ingestion
+    /// order (one entry per distinct pid).
+    pub fn processes(&self) -> Vec<ProcessMeta> {
+        self.processes.lock().unwrap().clone()
     }
 
     fn push_event(&self, ev: TraceEvent) {
@@ -210,6 +262,7 @@ impl Tracer {
             detail: detail.to_string(),
             thread: thread_tag(),
             ts_ns: self.now_ns(),
+            pid: self.pid,
         };
         self.push_event(ev);
         AMBIENT.with(|stack| stack.borrow_mut().push((self.instance, id.0)));
@@ -246,6 +299,7 @@ impl Tracer {
             detail: String::new(),
             thread: thread_tag(),
             ts_ns: self.now_ns(),
+            pid: self.pid,
         };
         self.push_event(ev);
         AMBIENT.with(|stack| {
@@ -277,6 +331,7 @@ impl Tracer {
             detail: detail.to_string(),
             thread: thread_tag(),
             ts_ns: self.now_ns(),
+            pid: self.pid,
         };
         self.push_event(ev);
     }
@@ -312,11 +367,125 @@ impl Tracer {
         all
     }
 
-    /// Serialise the trace as JSONL (`schema_version` 1): a header object
-    /// followed by one event object per line. Keys are always present:
+    /// Drain every buffered event, in global `seq` order. This is the
+    /// shipping primitive for cross-process tracing: a pooled worker drains
+    /// its buffer into each `Done`/`Failed` reply, so worker memory stays
+    /// bounded and each chunk holds exactly one task attempt's events.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut shard.lock().unwrap());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Stitch a chunk of events recorded by another process into this
+    /// trace, re-parented under `under`:
+    ///
+    /// * span ids and seqs are re-allocated from this tracer's counters
+    ///   (intra-chunk parent links are preserved; chunk roots and parents
+    ///   not present in the chunk attach to `under`);
+    /// * timestamps are shifted by `meta.clock_offset_ns` onto this
+    ///   tracer's timeline and clamped into `[clamp.0, clamp.1]`, so
+    ///   residual clock-estimate error can never make a worker span escape
+    ///   its driver-side parent;
+    /// * spans the chunk left open (it should not — but a crashing worker
+    ///   might) are closed at `clamp.1`, keeping the stitched trace
+    ///   well-formed; `End` events for spans the chunk never began are
+    ///   dropped;
+    /// * `meta` is recorded in the process registry (one entry per pid)
+    ///   and `meta.pid` is stamped on every stitched event.
+    ///
+    /// Call this *before* ending the span passed as `under`: the
+    /// well-formedness checker requires children to close no later than
+    /// their parent.
+    pub fn ingest(
+        &self,
+        chunk: &[TraceEvent],
+        under: SpanId,
+        meta: &ProcessMeta,
+        clamp: (u64, u64),
+    ) {
+        if !self.enabled {
+            return;
+        }
+        {
+            let mut procs = self.processes.lock().unwrap();
+            if !procs.iter().any(|p| p.pid == meta.pid) {
+                procs.push(meta.clone());
+            }
+        }
+        if chunk.is_empty() {
+            return;
+        }
+        let (lo, hi) = clamp;
+        let shift = |ts: u64| ts.saturating_add_signed(meta.clock_offset_ns).clamp(lo, hi.max(lo));
+        let mut sorted: Vec<&TraceEvent> = chunk.iter().collect();
+        sorted.sort_by_key(|e| e.seq);
+        let mut map: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        // Ids still open after the loop, in open order, for synthetic closes.
+        let mut open: Vec<u64> = Vec::new();
+        for e in sorted {
+            let (id, parent) = match e.kind {
+                TraceEventKind::End => {
+                    let Some(&mapped) = map.get(&e.id.as_u64()) else {
+                        continue; // end without a begin in this chunk
+                    };
+                    if let Some(pos) = open.iter().rposition(|&id| id == mapped) {
+                        open.remove(pos);
+                    }
+                    (mapped, SpanId::ROOT)
+                }
+                TraceEventKind::Begin | TraceEventKind::Instant => {
+                    let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+                    map.insert(e.id.as_u64(), id);
+                    if e.kind == TraceEventKind::Begin {
+                        open.push(id);
+                    }
+                    let parent = if e.parent.is_root() {
+                        under
+                    } else {
+                        map.get(&e.parent.as_u64()).map_or(under, |&p| SpanId(p))
+                    };
+                    (id, parent)
+                }
+            };
+            self.push_event(TraceEvent {
+                kind: e.kind,
+                seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+                id: SpanId(id),
+                parent,
+                name: e.name.clone(),
+                detail: e.detail.clone(),
+                thread: e.thread,
+                ts_ns: shift(e.ts_ns),
+                pid: meta.pid,
+            });
+        }
+        for id in open.into_iter().rev() {
+            self.push_event(TraceEvent {
+                kind: TraceEventKind::End,
+                seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+                id: SpanId(id),
+                parent: SpanId::ROOT,
+                name: String::new(),
+                detail: String::new(),
+                thread: 0,
+                ts_ns: hi.max(lo),
+                pid: meta.pid,
+            });
+        }
+    }
+
+    /// Serialise the trace as JSONL (`schema_version` 2): a header object
+    /// carrying the process metadata, followed by one event object per
+    /// line. Event keys are always present except `pid`, which appears
+    /// only on events stitched in from a *different* process:
     ///
     /// ```json
-    /// {"schema_version": 1, "kind": "ngs-trace", "unit": "ns"}
+    /// {"schema_version": 2, "kind": "ngs-trace", "unit": "ns",
+    ///  "pid": 4242, "role": "main", "clock_offset_ns": 0}
     /// {"ev": "B", "seq": 1, "id": 1, "parent": 0, "name": "reptile.run",
     ///  "detail": "", "tid": 1, "ts_ns": 120}
     /// {"ev": "E", "seq": 2, "id": 1, "parent": 0, "name": "", "detail": "",
@@ -328,30 +497,56 @@ impl Tracer {
     /// caller), which is what the `--trace-jsonl` CLI flag does — a crash
     /// never leaves a torn trace file.
     pub fn to_jsonl(&self) -> String {
-        let events = self.events();
-        let mut out = String::with_capacity(64 + events.len() * 96);
-        writeln!(
+        render_jsonl(
+            &self.events(),
+            &ProcessMeta { pid: self.pid, role: self.role(), clock_offset_ns: 0 },
+        )
+    }
+
+    /// Serialise only the events recorded by process `meta.pid` (the
+    /// per-process component files a pooled driver writes next to its
+    /// stitched trace, see `ngs-trace merge`). Timestamps are left as they
+    /// are stored — already on this tracer's timeline — so the component
+    /// header carries `clock_offset_ns: 0`.
+    pub fn to_jsonl_for_pid(&self, meta: &ProcessMeta) -> String {
+        let events: Vec<TraceEvent> =
+            self.events().into_iter().filter(|e| e.pid == meta.pid).collect();
+        render_jsonl(&events, &ProcessMeta { clock_offset_ns: 0, ..meta.clone() })
+    }
+}
+
+/// Render `events` as schema-v2 JSONL under `meta`'s header. Events whose
+/// pid differs from the header pid get an explicit `"pid"` key.
+pub fn render_jsonl(events: &[TraceEvent], meta: &ProcessMeta) -> String {
+    let mut out = String::with_capacity(96 + events.len() * 96);
+    write!(
+        out,
+        "{{\"schema_version\": {TRACE_SCHEMA_VERSION}, \"kind\": \"ngs-trace\", \"unit\": \"ns\", \"pid\": {}, \"role\": ",
+        meta.pid
+    )
+    .unwrap();
+    crate::report::json_string(&mut out, &meta.role);
+    writeln!(out, ", \"clock_offset_ns\": {}}}", meta.clock_offset_ns).unwrap();
+    for e in events {
+        write!(
             out,
-            "{{\"schema_version\": {TRACE_SCHEMA_VERSION}, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}}"
+            "{{\"ev\": \"{}\", \"seq\": {}, \"id\": {}, \"parent\": {}, \"name\": ",
+            e.kind.tag(),
+            e.seq,
+            e.id.as_u64(),
+            e.parent.as_u64()
         )
         .unwrap();
-        for e in &events {
-            write!(
-                out,
-                "{{\"ev\": \"{}\", \"seq\": {}, \"id\": {}, \"parent\": {}, \"name\": ",
-                e.kind.tag(),
-                e.seq,
-                e.id.as_u64(),
-                e.parent.as_u64()
-            )
-            .unwrap();
-            crate::report::json_string(&mut out, &e.name);
-            out.push_str(", \"detail\": ");
-            crate::report::json_string(&mut out, &e.detail);
-            writeln!(out, ", \"tid\": {}, \"ts_ns\": {}}}", e.thread, e.ts_ns).unwrap();
+        crate::report::json_string(&mut out, &e.name);
+        out.push_str(", \"detail\": ");
+        crate::report::json_string(&mut out, &e.detail);
+        write!(out, ", \"tid\": {}, \"ts_ns\": {}", e.thread, e.ts_ns).unwrap();
+        if e.pid != meta.pid {
+            write!(out, ", \"pid\": {}", e.pid).unwrap();
         }
-        out
+        out.push_str("}\n");
     }
+    out
 }
 
 /// RAII guard closing its span on drop (panic-safe: unwinding drops it).
@@ -535,10 +730,122 @@ mod tests {
         let text = t.to_jsonl();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 3);
-        assert!(lines[0].contains("\"schema_version\": 1"));
+        assert!(lines[0].contains("\"schema_version\": 2"));
+        assert!(lines[0].contains(&format!("\"pid\": {}", std::process::id())));
+        assert!(lines[0].contains("\"role\": \"main\""));
+        assert!(lines[0].contains("\"clock_offset_ns\": 0"));
         assert!(lines[1].contains("\"ev\": \"B\""));
         assert!(lines[2].contains("\"ev\": \"I\""));
         assert!(lines[3].contains("\"ev\": \"E\""));
+        // Local events carry the header pid implicitly — no per-event key.
+        assert!(!lines[1].contains(", \"pid\":"));
+    }
+
+    #[test]
+    fn take_events_drains_the_buffer() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("a");
+        }
+        let first = t.take_events();
+        assert_eq!(first.len(), 2);
+        assert!(t.take_events().is_empty(), "drained");
+        {
+            let _s = t.span("b");
+        }
+        let second = t.take_events();
+        assert_eq!(second.len(), 2);
+        assert!(second[0].seq > first[1].seq, "seq counter keeps advancing");
+    }
+
+    #[test]
+    fn ingest_remaps_reparents_and_corrects_timestamps() {
+        // "Worker": record a small tree with its own ids/seqs/timestamps.
+        let worker = Tracer::new();
+        {
+            let task = worker.span("worker.task");
+            let _exec = worker.span_under("worker.exec", task.id());
+            worker.instant_under("worker.tick", task.id(), "n=1");
+        }
+        let chunk = worker.take_events();
+
+        // "Driver": stitch the chunk under a lease span with a clock shift.
+        let driver = Tracer::new();
+        let lease = driver.begin("mapreduce.task.map");
+        let lo = driver.now_ns();
+        let meta =
+            ProcessMeta { pid: 99_999, role: "worker0".to_string(), clock_offset_ns: 1_000_000 };
+        driver.ingest(&chunk, lease, &meta, (lo, lo + 500));
+        driver.end(lease);
+
+        let events = driver.events();
+        let b: Vec<_> = events.iter().filter(|e| e.kind == TraceEventKind::Begin).collect();
+        let lease_ev = b.iter().find(|e| e.name == "mapreduce.task.map").unwrap();
+        let task_ev = b.iter().find(|e| e.name == "worker.task").unwrap();
+        let exec_ev = b.iter().find(|e| e.name == "worker.exec").unwrap();
+        assert_eq!(task_ev.parent, lease_ev.id, "chunk root re-parents under the lease");
+        assert_eq!(exec_ev.parent, task_ev.id, "intra-chunk parentage preserved");
+        assert_eq!(task_ev.pid, 99_999);
+        assert_eq!(lease_ev.pid, std::process::id());
+        // Timestamps clamped into the lease interval despite the huge shift.
+        for e in &events {
+            if e.pid == 99_999 {
+                assert!(e.ts_ns >= lo && e.ts_ns <= lo + 500, "clamped: {}", e.ts_ns);
+            }
+        }
+        // Fresh ids: no collisions between driver and stitched spans.
+        let mut ids: Vec<u64> = b.iter().map(|e| e.id.as_u64()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), b.len());
+        // Balance holds, and stitched ends precede the lease end in seq.
+        let ends = events.iter().filter(|e| e.kind == TraceEventKind::End).count();
+        assert_eq!(b.len(), ends);
+        assert_eq!(driver.processes(), vec![meta]);
+    }
+
+    #[test]
+    fn ingest_closes_spans_a_crashed_worker_left_open() {
+        let worker = Tracer::new();
+        let open = worker.begin("worker.task");
+        let _ = open; // never ended: simulates a chunk from a dying worker
+        let chunk = worker.take_events();
+        assert_eq!(chunk.len(), 1);
+
+        let driver = Tracer::new();
+        let lease = driver.begin("lease");
+        let meta = ProcessMeta { pid: 7, role: "worker1".to_string(), clock_offset_ns: 0 };
+        driver.ingest(&chunk, lease, &meta, (0, 10));
+        driver.end(lease);
+        let events = driver.events();
+        let begins = events.iter().filter(|e| e.kind == TraceEventKind::Begin).count();
+        let ends = events.iter().filter(|e| e.kind == TraceEventKind::End).count();
+        assert_eq!(begins, ends, "synthetic end balances the open span");
+    }
+
+    #[test]
+    fn component_export_partitions_by_pid() {
+        let driver = Tracer::new();
+        let lease = driver.begin("lease");
+        let worker = Tracer::new();
+        {
+            let _t = worker.span("worker.task");
+        }
+        let meta = ProcessMeta { pid: 31_337, role: "worker0".to_string(), clock_offset_ns: 0 };
+        driver.ingest(&worker.take_events(), lease, &meta, (0, u64::MAX));
+        driver.end(lease);
+
+        let own = driver.to_jsonl_for_pid(&ProcessMeta {
+            pid: driver.pid(),
+            role: "driver".into(),
+            clock_offset_ns: 0,
+        });
+        assert!(own.contains("\"lease\""));
+        assert!(!own.contains("worker.task"));
+        let theirs = driver.to_jsonl_for_pid(&meta);
+        assert!(theirs.contains("worker.task"));
+        assert!(!theirs.contains("\"lease\""));
+        assert!(theirs.lines().next().unwrap().contains("\"pid\": 31337"));
     }
 
     #[test]

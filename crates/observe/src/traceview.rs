@@ -3,16 +3,19 @@
 //! `ngs-trace` binary is a thin CLI over this module.
 
 use crate::json::{parse, Json};
-use crate::trace::{SpanId, TraceEvent, TraceEventKind, TRACE_SCHEMA_VERSION};
-use std::collections::BTreeMap;
+use crate::trace::{ProcessMeta, SpanId, TraceEvent, TraceEventKind, TRACE_SCHEMA_VERSION};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
-/// A parsed trace: the header's schema version plus the event list in
-/// `seq` order.
+/// A parsed trace: the header's schema version and process metadata plus
+/// the event list in `seq` order.
 #[derive(Debug, Clone)]
 pub struct ParsedTrace {
     /// `schema_version` from the header line.
     pub schema_version: u64,
+    /// Process metadata from the header. Schema-v1 files (no metadata)
+    /// default to pid 1, role `main`, offset 0.
+    pub meta: ProcessMeta,
     /// Events sorted by `seq`.
     pub events: Vec<TraceEvent>,
 }
@@ -28,19 +31,29 @@ fn field_str<'a>(obj: &'a Json, key: &str, line_no: usize) -> Result<&'a str, St
 }
 
 /// Parse a JSONL trace produced by [`Tracer::to_jsonl`](crate::Tracer::to_jsonl).
-/// Every line must parse; unknown schema versions and malformed events are
-/// errors, not skips — a trace a tool cannot fully read is a trace it
-/// cannot be trusted to analyse.
+/// Both schema versions 1 and 2 are read; a missing or unknown
+/// `schema_version` is an error naming the found version, and malformed
+/// events are errors, not skips — a trace a tool cannot fully read is a
+/// trace it cannot be trusted to analyse.
 pub fn parse_jsonl(text: &str) -> Result<ParsedTrace, String> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or("empty trace: no header line")?;
     let header = parse(header).map_err(|e| format!("line 1 (header): {e}"))?;
-    let schema_version = field_u64(&header, "schema_version", 1)?;
-    if schema_version != TRACE_SCHEMA_VERSION as u64 {
+    let schema_version = header
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("header has no \"schema_version\" (not an ngs-trace file?)")?;
+    if schema_version == 0 || schema_version > TRACE_SCHEMA_VERSION as u64 {
         return Err(format!(
-            "unsupported schema_version {schema_version} (this tool reads {TRACE_SCHEMA_VERSION})"
+            "unsupported schema_version {schema_version} (this tool reads 1..={TRACE_SCHEMA_VERSION})"
         ));
     }
+    let header_pid = header.get("pid").and_then(Json::as_u64).unwrap_or(1) as u32;
+    let meta = ProcessMeta {
+        pid: header_pid,
+        role: header.get("role").and_then(Json::as_str).unwrap_or("main").to_string(),
+        clock_offset_ns: header.get("clock_offset_ns").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+    };
     let mut events = Vec::new();
     for (idx, line) in lines {
         let line_no = idx + 1;
@@ -60,10 +73,120 @@ pub fn parse_jsonl(text: &str) -> Result<ParsedTrace, String> {
             detail: field_str(&obj, "detail", line_no)?.to_string(),
             thread: field_u64(&obj, "tid", line_no)?,
             ts_ns: field_u64(&obj, "ts_ns", line_no)?,
+            pid: obj.get("pid").and_then(Json::as_u64).unwrap_or(header_pid as u64) as u32,
         });
     }
     events.sort_by_key(|e| e.seq);
-    Ok(ParsedTrace { schema_version, events })
+    Ok(ParsedTrace { schema_version, meta, events })
+}
+
+/// Stitch N per-process traces into one timeline (the `ngs-trace merge`
+/// subcommand):
+///
+/// * inputs are ordered by `(pid, role)`, **not** argument order, so the
+///   merged output is byte-identical however the files are listed;
+/// * each file's events are shifted onto the reference timeline by its
+///   header `clock_offset_ns`;
+/// * when span ids and seqs are already globally unique — the component
+///   files a pooled driver writes share one id space — events are merged
+///   as-is, preserving cross-file parent links (a worker span may parent
+///   under a driver-file lease span);
+/// * colliding id spaces (independently recorded traces) are re-mapped
+///   per file: fresh ids, parents resolved within their own file (dangling
+///   cross-file parents become roots), and fresh seqs assigned in
+///   `(ts_ns, file, seq)` order, which preserves every per-file invariant.
+///
+/// The caller decides whether to require well-formedness of the result
+/// (merge itself only stitches).
+pub fn merge_traces(inputs: &[ParsedTrace]) -> Result<ParsedTrace, String> {
+    if inputs.is_empty() {
+        return Err("nothing to merge: no input traces".to_string());
+    }
+    // Deterministic input order, independent of argv order.
+    let mut sorted: Vec<&ParsedTrace> = inputs.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.meta.pid, &a.meta.role, a.events.len(), a.events.first().map(|e| e.seq)).cmp(&(
+            b.meta.pid,
+            &b.meta.role,
+            b.events.len(),
+            b.events.first().map(|e| e.seq),
+        ))
+    });
+
+    // Shift each file onto the reference timeline and stamp pids.
+    let mut files: Vec<Vec<TraceEvent>> = sorted
+        .iter()
+        .map(|t| {
+            t.events
+                .iter()
+                .map(|e| TraceEvent {
+                    ts_ns: e.ts_ns.saturating_add_signed(t.meta.clock_offset_ns),
+                    ..e.clone()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Are ids and seqs globally unique across files?
+    let mut ids = BTreeSet::new();
+    let mut seqs = BTreeSet::new();
+    let mut disjoint = true;
+    'outer: for file in &files {
+        for e in file {
+            if !seqs.insert(e.seq) || (e.kind != TraceEventKind::End && !ids.insert(e.id)) {
+                disjoint = false;
+                break 'outer;
+            }
+        }
+    }
+    if !disjoint {
+        // Re-map each file into a fresh id space; parents resolve within
+        // their own file only.
+        let mut next_id = 1u64;
+        for file in &mut files {
+            let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+            for e in file.iter_mut() {
+                if e.kind != TraceEventKind::End {
+                    map.insert(e.id.as_u64(), next_id);
+                    e.id = SpanId::from_u64(next_id);
+                    next_id += 1;
+                    e.parent = e
+                        .parent
+                        .is_root()
+                        .then_some(SpanId::ROOT)
+                        .or_else(|| map.get(&e.parent.as_u64()).map(|&p| SpanId::from_u64(p)))
+                        .unwrap_or(SpanId::ROOT);
+                } else {
+                    e.id = map.get(&e.id.as_u64()).map_or(SpanId::ROOT, |&m| SpanId::from_u64(m));
+                    e.parent = SpanId::ROOT;
+                }
+            }
+            file.retain(|e| !(e.kind == TraceEventKind::End && e.id.is_root()));
+        }
+        // Fresh seqs in (ts, file, seq) order: per-file relative order is
+        // preserved, so per-file invariants survive.
+        let mut tagged: Vec<(u64, usize, u64, TraceEvent)> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for e in file {
+                tagged.push((e.ts_ns, fi, e.seq, e.clone()));
+            }
+        }
+        tagged.sort_by_key(|a| (a.0, a.1, a.2));
+        files = vec![tagged
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, _, mut e))| {
+                e.seq = i as u64 + 1;
+                e
+            })
+            .collect()];
+    }
+
+    let mut events: Vec<TraceEvent> = files.into_iter().flatten().collect();
+    events.sort_by_key(|e| e.seq);
+    let meta =
+        ProcessMeta { pid: sorted[0].meta.pid, role: "merged".to_string(), clock_offset_ns: 0 };
+    Ok(ParsedTrace { schema_version: TRACE_SCHEMA_VERSION as u64, meta, events })
 }
 
 /// One reconstructed span interval.
@@ -205,7 +328,9 @@ pub fn span_names(trace: &ParsedTrace) -> Vec<String> {
 /// form). Durations become `ph: "B"`/`"E"` pairs, instants `ph: "i"`;
 /// timestamps are microseconds as floats, so nanosecond precision
 /// survives. End events inherit their span's name (Chrome matches B/E
-/// pairs per thread by name, and our guards are LIFO per thread).
+/// pairs per thread by name, and our guards are LIFO per thread). Each
+/// event keeps its origin pid, so a stitched multi-process trace renders
+/// with one lane per process.
 pub fn to_chrome_json(trace: &ParsedTrace) -> String {
     let mut names: BTreeMap<SpanId, &str> = BTreeMap::new();
     for e in &trace.events {
@@ -228,7 +353,8 @@ pub fn to_chrome_json(trace: &ParsedTrace) -> String {
             TraceEventKind::End => names.get(&e.id).copied().unwrap_or(""),
             _ => &e.name,
         };
-        write!(out, "{{\"ph\": \"{ph}\", \"pid\": 1, \"tid\": {}, \"ts\": ", e.thread).unwrap();
+        write!(out, "{{\"ph\": \"{ph}\", \"pid\": {}, \"tid\": {}, \"ts\": ", e.pid, e.thread)
+            .unwrap();
         // Microseconds with ns precision.
         write!(out, "{}.{:03}", e.ts_ns / 1_000, e.ts_ns % 1_000).unwrap();
         out.push_str(", \"name\": ");
@@ -354,11 +480,32 @@ mod tests {
     #[test]
     fn round_trips_own_jsonl() {
         let trace = sample_trace();
-        assert_eq!(trace.schema_version, 1);
+        assert_eq!(trace.schema_version, TRACE_SCHEMA_VERSION as u64);
+        assert_eq!(trace.meta.pid, std::process::id());
+        assert_eq!(trace.meta.role, "main");
+        assert_eq!(trace.meta.clock_offset_ns, 0);
         assert_eq!(trace.events.len(), 5);
+        assert!(trace.events.iter().all(|e| e.pid == std::process::id()));
         let spans = check_well_formed(&trace).expect("well-formed");
         assert_eq!(spans.len(), 2);
         assert_eq!(span_names(&trace), vec!["inner".to_string(), "outer".to_string()]);
+    }
+
+    #[test]
+    fn reads_v1_files_with_default_meta() {
+        let v1 = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"p\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 10}
+{\"ev\": \"E\", \"seq\": 2, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 30}
+";
+        let trace = parse_jsonl(v1).expect("v1 stays readable");
+        assert_eq!(trace.schema_version, 1);
+        assert_eq!(
+            trace.meta,
+            ProcessMeta { pid: 1, role: "main".to_string(), clock_offset_ns: 0 }
+        );
+        assert!(trace.events.iter().all(|e| e.pid == 1), "events inherit the header pid");
+        check_well_formed(&trace).expect("well-formed");
     }
 
     #[test]
@@ -385,10 +532,69 @@ mod tests {
     #[test]
     fn rejects_bad_schema_and_lines() {
         assert!(parse_jsonl("").is_err());
-        assert!(parse_jsonl("{\"schema_version\": 99}").is_err());
+        let err = parse_jsonl("{\"schema_version\": 99}").unwrap_err();
+        assert!(err.contains("unsupported schema_version 99"), "{err}");
+        assert!(err.contains("1..="), "error names the readable range: {err}");
+        let err = parse_jsonl("{\"kind\": \"ngs-trace\"}").unwrap_err();
+        assert!(err.contains("schema_version"), "missing version named: {err}");
         let trace_with_garbage =
             "{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}\nnot json\n";
         assert!(parse_jsonl(trace_with_garbage).is_err());
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_preserves_cross_file_parents() {
+        // A pooled driver's component files: one id/seq space, the worker
+        // file's root span parents under a lease span in the driver file.
+        let driver_file = "\
+{\"schema_version\": 2, \"kind\": \"ngs-trace\", \"unit\": \"ns\", \"pid\": 100, \"role\": \"driver\", \"clock_offset_ns\": 0}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"lease\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 10}
+{\"ev\": \"E\", \"seq\": 6, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 90}
+";
+        let worker_file = "\
+{\"schema_version\": 2, \"kind\": \"ngs-trace\", \"unit\": \"ns\", \"pid\": 200, \"role\": \"worker0\", \"clock_offset_ns\": 0}
+{\"ev\": \"B\", \"seq\": 2, \"id\": 2, \"parent\": 1, \"name\": \"worker.task\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 20}
+{\"ev\": \"E\", \"seq\": 5, \"id\": 2, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 80}
+";
+        let a = parse_jsonl(driver_file).unwrap();
+        let b = parse_jsonl(worker_file).unwrap();
+        let ab = merge_traces(&[a.clone(), b.clone()]).unwrap();
+        let ba = merge_traces(&[b, a]).unwrap();
+        assert_eq!(ab.events, ba.events, "merge is independent of input order");
+        assert_eq!(ab.meta.role, "merged");
+        let spans = check_well_formed(&ab).expect("stitched trace is well-formed");
+        let task = spans.values().find(|s| s.name == "worker.task").unwrap();
+        let lease = spans.values().find(|s| s.name == "lease").unwrap();
+        assert_eq!(task.parent, lease.id, "cross-file parent link preserved");
+        // Per-event pids survive into the merged render.
+        let pids: BTreeSet<u32> = ab.events.iter().map(|e| e.pid).collect();
+        assert_eq!(pids, BTreeSet::from([100, 200]));
+    }
+
+    #[test]
+    fn merge_applies_clock_offsets_and_remaps_colliding_ids() {
+        // Two independently recorded traces: same ids/seqs (collision), and
+        // the second runs on a clock 1000ns behind the reference.
+        let one = "\
+{\"schema_version\": 2, \"kind\": \"ngs-trace\", \"unit\": \"ns\", \"pid\": 10, \"role\": \"a\", \"clock_offset_ns\": 0}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"a.run\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"E\", \"seq\": 2, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 500}
+";
+        let two = "\
+{\"schema_version\": 2, \"kind\": \"ngs-trace\", \"unit\": \"ns\", \"pid\": 20, \"role\": \"b\", \"clock_offset_ns\": 1000}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"b.run\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"E\", \"seq\": 2, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 200}
+";
+        let merged = merge_traces(&[parse_jsonl(two).unwrap(), parse_jsonl(one).unwrap()]).unwrap();
+        let spans = check_well_formed(&merged).expect("well-formed after remap");
+        assert_eq!(spans.len(), 2);
+        let b_run = spans.values().find(|s| s.name == "b.run").unwrap();
+        assert_eq!((b_run.start_ns, b_run.end_ns), (1000, 1200), "offset applied");
+        let a_run = spans.values().find(|s| s.name == "a.run").unwrap();
+        assert_ne!(a_run.id, b_run.id, "colliding ids re-mapped");
+        // Determinism holds on the remap path too.
+        let again = merge_traces(&[parse_jsonl(one).unwrap(), parse_jsonl(two).unwrap()]).unwrap();
+        assert_eq!(merged.events, again.events);
     }
 
     #[test]

@@ -87,6 +87,24 @@ pub struct CorrectedBatch {
     pub attempts: u32,
 }
 
+/// A live operational snapshot of the server (the decoded
+/// [`ServeMessage::StatsReply`], minus the request id plumbing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub queue_depth: u64,
+    pub queue_capacity: u64,
+    pub in_flight: u64,
+    pub conn_errors: u64,
+    pub latency_p50_us: u64,
+    pub latency_p90_us: u64,
+    pub latency_p99_us: u64,
+    pub queue_wait_p50_us: u64,
+    pub queue_wait_p90_us: u64,
+    pub queue_wait_p99_us: u64,
+    pub rss_bytes: u64,
+    pub uptime_ms: u64,
+}
+
 /// What one attempt produced, before the retry policy is applied.
 enum Attempt {
     Done(ServeMessage),
@@ -141,6 +159,44 @@ impl Client {
         let reply = self.call(&ServeMessage::Ping { request_id })?;
         match reply.0 {
             ServeMessage::Pong { k, distinct_kmers, .. } => Ok((k, distinct_kmers)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch a live stats snapshot (queue, percentiles, memory, uptime).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let reply = self.call(&ServeMessage::Stats { request_id })?;
+        match reply.0 {
+            ServeMessage::StatsReply {
+                queue_depth,
+                queue_capacity,
+                in_flight,
+                conn_errors,
+                latency_p50_us,
+                latency_p90_us,
+                latency_p99_us,
+                queue_wait_p50_us,
+                queue_wait_p90_us,
+                queue_wait_p99_us,
+                rss_bytes,
+                uptime_ms,
+                ..
+            } => Ok(StatsSnapshot {
+                queue_depth,
+                queue_capacity,
+                in_flight,
+                conn_errors,
+                latency_p50_us,
+                latency_p90_us,
+                latency_p99_us,
+                queue_wait_p50_us,
+                queue_wait_p90_us,
+                queue_wait_p99_us,
+                rss_bytes,
+                uptime_ms,
+            }),
             other => Err(unexpected(other)),
         }
     }
@@ -350,6 +406,61 @@ mod tests {
         );
         assert_eq!(c.ping(), Ok((15, 7)));
         assert_eq!(c.retries, 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stats_round_trips_and_retries_like_any_request() {
+        let ep = scratch_endpoint("stats");
+        let reply = ServeMessage::StatsReply {
+            request_id: 1,
+            queue_depth: 2,
+            queue_capacity: 64,
+            in_flight: 1,
+            conn_errors: 0,
+            latency_p50_us: 4_000,
+            latency_p90_us: 8_000,
+            latency_p99_us: 16_000,
+            queue_wait_p50_us: 100,
+            queue_wait_p90_us: 500,
+            queue_wait_p99_us: 900,
+            rss_bytes: 10 << 20,
+            uptime_ms: 5_000,
+        };
+        let server = scripted_server(
+            &ep,
+            vec![vec![
+                ServeMessage::Overloaded { request_id: 1, queue_capacity: 64 },
+                reply.clone(),
+            ]],
+        );
+        let mut c = Client::new(
+            ep,
+            ClientConfig {
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+                ..ClientConfig::default()
+            },
+        );
+        let snap = c.stats().expect("stats");
+        assert_eq!(
+            snap,
+            StatsSnapshot {
+                queue_depth: 2,
+                queue_capacity: 64,
+                in_flight: 1,
+                conn_errors: 0,
+                latency_p50_us: 4_000,
+                latency_p90_us: 8_000,
+                latency_p99_us: 16_000,
+                queue_wait_p50_us: 100,
+                queue_wait_p90_us: 500,
+                queue_wait_p99_us: 900,
+                rss_bytes: 10 << 20,
+                uptime_ms: 5_000,
+            }
+        );
+        assert_eq!(c.retries, 1, "Overloaded before StatsReply must be retried");
         server.join().unwrap();
     }
 

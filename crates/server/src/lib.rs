@@ -40,7 +40,7 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 
-pub use client::{Client, ClientConfig, ClientError, CorrectedBatch};
+pub use client::{Client, ClientConfig, ClientError, CorrectedBatch, StatsSnapshot};
 pub use conn::{Conn, Endpoint, Listener};
 pub use proto::ServeMessage;
 pub use server::{ServeSummary, Server, ServerConfig, ServerHandle};

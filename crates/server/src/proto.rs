@@ -31,6 +31,8 @@ const TAG_DRAINING: u8 = TAG_BASE + 4;
 const TAG_REQUEST_ERROR: u8 = TAG_BASE + 5;
 const TAG_PING: u8 = TAG_BASE + 6;
 const TAG_PONG: u8 = TAG_BASE + 7;
+const TAG_STATS: u8 = TAG_BASE + 8;
+const TAG_STATS_REPLY: u8 = TAG_BASE + 9;
 
 fn encode_read(r: &Read, out: &mut Vec<u8>) {
     r.id.encode(out);
@@ -120,6 +122,36 @@ pub enum ServeMessage {
         /// Distinct k-mers in the loaded spectrum.
         distinct_kmers: u64,
     },
+    /// Client → server: request a live operational snapshot. Never queued —
+    /// answered inline even when the admission queue is full, so an operator
+    /// can see *why* requests are bouncing.
+    Stats { request_id: u64 },
+    /// Server → client: point-in-time snapshot of the server's collector.
+    /// Percentiles come from the same histograms the post-run BENCH report
+    /// reads, so a live probe and the report agree within bucket tolerance.
+    StatsReply {
+        request_id: u64,
+        /// Requests currently waiting in the admission queue.
+        queue_depth: u64,
+        /// Admission queue capacity (`--queue` at startup).
+        queue_capacity: u64,
+        /// Requests admitted and currently being corrected.
+        in_flight: u64,
+        /// Connections dropped for protocol or I/O errors since start.
+        conn_errors: u64,
+        /// End-to-end request latency percentiles, µs (0 until first request).
+        latency_p50_us: u64,
+        latency_p90_us: u64,
+        latency_p99_us: u64,
+        /// Admission-queue wait percentiles, µs (0 until first request).
+        queue_wait_p50_us: u64,
+        queue_wait_p90_us: u64,
+        queue_wait_p99_us: u64,
+        /// Resident set size of the server process, bytes (0 if unreadable).
+        rss_bytes: u64,
+        /// Milliseconds since the server finished loading its index.
+        uptime_ms: u64,
+    },
 }
 
 impl ServeMessage {
@@ -133,7 +165,9 @@ impl ServeMessage {
             | ServeMessage::Draining { request_id }
             | ServeMessage::RequestError { request_id, .. }
             | ServeMessage::Ping { request_id }
-            | ServeMessage::Pong { request_id, .. } => *request_id,
+            | ServeMessage::Pong { request_id, .. }
+            | ServeMessage::Stats { request_id }
+            | ServeMessage::StatsReply { request_id, .. } => *request_id,
         }
     }
 
@@ -175,6 +209,32 @@ impl ServeMessage {
             ServeMessage::Pong { request_id, k, distinct_kmers } => {
                 out.push(TAG_PONG);
                 (*request_id, *k, *distinct_kmers).encode(&mut out);
+            }
+            ServeMessage::Stats { request_id } => {
+                out.push(TAG_STATS);
+                request_id.encode(&mut out);
+            }
+            ServeMessage::StatsReply {
+                request_id,
+                queue_depth,
+                queue_capacity,
+                in_flight,
+                conn_errors,
+                latency_p50_us,
+                latency_p90_us,
+                latency_p99_us,
+                queue_wait_p50_us,
+                queue_wait_p90_us,
+                queue_wait_p99_us,
+                rss_bytes,
+                uptime_ms,
+            } => {
+                out.push(TAG_STATS_REPLY);
+                (*request_id, *queue_depth, *queue_capacity).encode(&mut out);
+                (*in_flight, *conn_errors).encode(&mut out);
+                (*latency_p50_us, *latency_p90_us, *latency_p99_us).encode(&mut out);
+                (*queue_wait_p50_us, *queue_wait_p90_us, *queue_wait_p99_us).encode(&mut out);
+                (*rss_bytes, *uptime_ms).encode(&mut out);
             }
         }
         out
@@ -226,6 +286,37 @@ impl ServeMessage {
                     <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 ServeMessage::Pong { request_id, k, distinct_kmers }
             }
+            TAG_STATS => {
+                let request_id = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
+                ServeMessage::Stats { request_id }
+            }
+            TAG_STATS_REPLY => {
+                let (request_id, queue_depth, queue_capacity) =
+                    <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let (in_flight, conn_errors) =
+                    <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let (latency_p50_us, latency_p90_us, latency_p99_us) =
+                    <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let (queue_wait_p50_us, queue_wait_p90_us, queue_wait_p99_us) =
+                    <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let (rss_bytes, uptime_ms) =
+                    <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                ServeMessage::StatsReply {
+                    request_id,
+                    queue_depth,
+                    queue_capacity,
+                    in_flight,
+                    conn_errors,
+                    latency_p50_us,
+                    latency_p90_us,
+                    latency_p99_us,
+                    queue_wait_p50_us,
+                    queue_wait_p90_us,
+                    queue_wait_p99_us,
+                    rss_bytes,
+                    uptime_ms,
+                }
+            }
             _ => return Err(ProtocolError::Malformed),
         };
         if !inp.is_empty() {
@@ -276,7 +367,27 @@ mod tests {
             ServeMessage::RequestError { request_id: 12, message: "too many reads".into() },
             ServeMessage::Ping { request_id: 13 },
             ServeMessage::Pong { request_id: 13, k: 15, distinct_kmers: 123_456 },
+            ServeMessage::Stats { request_id: 14 },
+            sample_stats_reply(),
         ]
+    }
+
+    fn sample_stats_reply() -> ServeMessage {
+        ServeMessage::StatsReply {
+            request_id: 14,
+            queue_depth: 3,
+            queue_capacity: 64,
+            in_flight: 2,
+            conn_errors: 1,
+            latency_p50_us: 4_100,
+            latency_p90_us: 8_200,
+            latency_p99_us: 16_400,
+            queue_wait_p50_us: 120,
+            queue_wait_p90_us: 900,
+            queue_wait_p99_us: 4_000,
+            rss_bytes: 48 << 20,
+            uptime_ms: 90_000,
+        }
     }
 
     #[test]
@@ -313,7 +424,49 @@ mod tests {
         assert_eq!(ServeMessage::from_payload(&[200]), Err(ProtocolError::Malformed));
     }
 
+    #[test]
+    fn stats_truncation_at_every_offset_is_typed_never_silent() {
+        use mapreduce_lite::protocol::{encode_frame, read_frame};
+        for msg in [ServeMessage::Stats { request_id: 14 }, sample_stats_reply()] {
+            let wire = encode_frame(&msg.to_payload());
+            for cut in 0..wire.len() {
+                let mut cur = Cursor::new(&wire[..cut]);
+                let got = read_frame(&mut cur);
+                let expect = if cut == 0 { ProtocolError::Closed } else { ProtocolError::Torn };
+                assert_eq!(got, Err(expect), "cut at {cut}");
+            }
+            // Payload-level truncation (torn before the checksum was
+            // written) is Malformed, never a partial snapshot.
+            let payload = msg.to_payload();
+            for cut in 0..payload.len() {
+                assert_eq!(
+                    ServeMessage::from_payload(&payload[..cut]),
+                    Err(ProtocolError::Malformed),
+                    "payload cut at {cut}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn stats_frames_reject_every_single_bit_flip(
+            flip_byte in 0usize..200,
+            flip_bit in 0u8..8,
+        ) {
+            use mapreduce_lite::protocol::encode_frame;
+            let reply = sample_stats_reply();
+            let mut wire = encode_frame(&reply.to_payload());
+            let idx = flip_byte % wire.len();
+            wire[idx] ^= 1 << flip_bit;
+            let mut cur = Cursor::new(wire.as_slice());
+            // Magic, length, checksum or payload — a flipped bit must never
+            // surface as a different-but-valid snapshot.
+            if let Ok(got) = ServeMessage::read_from(&mut cur) {
+                prop_assert_eq!(got, reply, "corruption passed verification");
+            }
+        }
+
         #[test]
         fn arbitrary_bytes_never_panic_the_decoder(
             junk in proptest::collection::vec(any::<u8>(), 0..500),

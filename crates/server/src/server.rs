@@ -135,6 +135,10 @@ struct Shared {
     /// Trace parent for per-request spans (the `serve.run` root).
     root: SpanId,
     served_total: AtomicU64,
+    /// Requests popped by a worker and not yet answered (for `Stats`).
+    in_flight: AtomicU64,
+    /// When `serve` started (index already warm) — the `Stats` uptime epoch.
+    started: Instant,
 }
 
 /// A warm corrector bound to a socket.
@@ -165,6 +169,8 @@ impl Server {
             counters: Counters::default(),
             root: run_span.trace_id(),
             served_total: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
             config: self.config,
         });
 
@@ -310,6 +316,11 @@ fn handle_message(shared: &Shared, reader: &mut FrameReader, msg: ServeMessage) 
         ServeMessage::Correct { request_id, deadline_ms, reads } => {
             handle_correct(shared, reader, request_id, deadline_ms, reads)
         }
+        // Answered inline by the handler — never queued — so an operator
+        // still gets a snapshot while the admission queue is rejecting.
+        ServeMessage::Stats { request_id } => {
+            stats_snapshot(shared, request_id).write_to(reader.conn_mut()).is_ok()
+        }
         other => {
             // A structurally valid frame carrying a server→client tag is a
             // confused or malicious peer; cut it off.
@@ -395,10 +406,35 @@ fn handle_correct(
     }
 }
 
+/// Build a `StatsReply` from the live collector — the same histograms the
+/// post-run BENCH report reads, so the two views agree within a bucket.
+fn stats_snapshot(shared: &Shared, request_id: u64) -> ServeMessage {
+    let report = shared.collector.report("serve");
+    let pct =
+        |name: &str, p: f64| report.histograms.get(name).and_then(|h| h.quantile(p)).unwrap_or(0);
+    ServeMessage::StatsReply {
+        request_id,
+        queue_depth: shared.queue.len() as u64,
+        queue_capacity: shared.queue.capacity() as u64,
+        in_flight: shared.in_flight.load(Ordering::Relaxed),
+        conn_errors: shared.counters.connection_errors.load(Ordering::Relaxed),
+        latency_p50_us: pct("serve.latency_us", 0.5),
+        latency_p90_us: pct("serve.latency_us", 0.9),
+        latency_p99_us: pct("serve.latency_us", 0.99),
+        queue_wait_p50_us: pct("serve.queue_wait_us", 0.5),
+        queue_wait_p90_us: pct("serve.queue_wait_us", 0.9),
+        queue_wait_p99_us: pct("serve.queue_wait_us", 0.99),
+        rss_bytes: ngs_observe::read_memory().rss_bytes.unwrap_or(0),
+        uptime_ms: shared.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+    }
+}
+
 /// Worker loop: pop admitted requests until the queue closes and drains.
 fn worker_loop(shared: &Shared) {
     while let Some(item) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         serve_one(shared, item);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         let served = shared.served_total.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(max) = shared.config.max_requests {
             if served >= max {
@@ -671,6 +707,62 @@ mod tests {
         assert_eq!(summary.corrected, 1);
         // And the socket is gone afterwards: no more connections.
         assert!(ep.connect().is_err(), "drained server must stop accepting");
+    }
+
+    #[test]
+    fn stats_snapshot_matches_the_collectors_own_report() {
+        let (reads, rpt) = small_reptile();
+        let config = ServerConfig { queue_capacity: 7, ..ServerConfig::default() };
+        let (ep, handle, collector) = start(rpt, config);
+        for i in 0..3 {
+            let reply = roundtrip(
+                &ep,
+                &ServeMessage::Correct {
+                    request_id: i,
+                    deadline_ms: 0,
+                    reads: reads[..8].to_vec(),
+                },
+            );
+            assert!(matches!(reply, ServeMessage::Corrected { .. }), "{reply:?}");
+        }
+        let reply = roundtrip(&ep, &ServeMessage::Stats { request_id: 42 });
+        let report = collector.report("serve");
+        match reply {
+            ServeMessage::StatsReply {
+                request_id,
+                queue_depth,
+                queue_capacity,
+                in_flight,
+                conn_errors,
+                latency_p50_us,
+                latency_p99_us,
+                queue_wait_p50_us,
+                uptime_ms,
+                ..
+            } => {
+                assert_eq!(request_id, 42);
+                assert_eq!(queue_depth, 0, "idle server must report an empty queue");
+                assert_eq!(queue_capacity, 7);
+                assert_eq!(in_flight, 0);
+                assert_eq!(conn_errors, 0);
+                // The reply is drawn from the very histograms the BENCH
+                // report reads, so quantiles agree exactly, not just
+                // within a bucket.
+                let h = &report.histograms["serve.latency_us"];
+                assert_eq!(h.count(), 3);
+                assert_eq!(latency_p50_us, h.quantile(0.5).unwrap());
+                assert_eq!(latency_p99_us, h.quantile(0.99).unwrap());
+                let w = &report.histograms["serve.queue_wait_us"];
+                assert_eq!(queue_wait_p50_us, w.quantile(0.5).unwrap());
+                assert!(latency_p50_us > 0);
+                assert!(uptime_ms < 600_000, "uptime must be this run, not an epoch");
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+        // A stats probe is not a correction request: counters untouched.
+        let summary = handle.shutdown();
+        assert_eq!(summary.corrected, 3);
+        assert_eq!(summary.request_errors, 0);
     }
 
     #[test]
