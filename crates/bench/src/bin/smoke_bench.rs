@@ -5,11 +5,14 @@
 //! instrumentation point fails the build instead of the next benchmarking
 //! session.
 //!
-//! Usage: `smoke_bench [--out-dir DIR] [--profile-mem] [--resource-jsonl PATH]`
-//! (default out-dir `.`). With `--profile-mem` the tracking allocator is
-//! enabled, so the reports carry nonzero `alloc` figures and per-span
-//! `alloc_peak_bytes`, and the peak watermark is rebased between pipelines
-//! so each report shows its own peak. The `NGS_SMOKE_ALLOC_BLOWUP_MB` env
+//! Usage: `smoke_bench [--out-dir DIR] [--profile-mem] [--profile-cpu[=HZ]]
+//! [--resource-jsonl PATH]` (default out-dir `.`). With `--profile-mem` the
+//! tracking allocator is enabled, so the reports carry nonzero `alloc`
+//! figures and per-span `alloc_peak_bytes`, and the peak watermark is
+//! rebased between pipelines so each report shows its own peak. With
+//! `--profile-cpu` each pipeline runs under the span-stack CPU sampler: its
+//! BENCH report carries the v3 `cpu` axis and a `PROFILE_<pipeline>.folded`
+//! collapsed-stack file lands next to it. The `NGS_SMOKE_ALLOC_BLOWUP_MB` env
 //! var is a test-only hook that holds an extra N-MiB buffer live across the
 //! reptile run — CI uses it to prove `ngs-trace diff` fails on the memory
 //! axis while wall time stays in tolerance.
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
 
     let mut out_dir = PathBuf::from(".");
     let mut profile_mem = false;
+    let mut profile_cpu: Option<u32> = None;
     let mut resource_jsonl: Option<PathBuf> = None;
     let mut argv = raw.into_iter();
     while let Some(tok) = argv.next() {
@@ -78,6 +82,16 @@ fn main() -> ExitCode {
                 }
             },
             "--profile-mem" => profile_mem = true,
+            "--profile-cpu" => profile_cpu = Some(ngs_observe::profile::DEFAULT_HZ),
+            tok if tok.starts_with("--profile-cpu=") => {
+                match tok["--profile-cpu=".len()..].parse::<u32>() {
+                    Ok(hz) if (1..=10_000).contains(&hz) => profile_cpu = Some(hz),
+                    _ => {
+                        eprintln!("--profile-cpu: rate must be an integer in 1..=10000 Hz");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--resource-jsonl" => match argv.next() {
                 Some(path) => resource_jsonl = Some(PathBuf::from(path)),
                 None => {
@@ -88,7 +102,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: \
-                     smoke_bench [--out-dir DIR] [--profile-mem] [--resource-jsonl PATH]"
+                     smoke_bench [--out-dir DIR] [--profile-mem] [--profile-cpu[=HZ]] \
+                     [--resource-jsonl PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -114,7 +129,10 @@ fn main() -> ExitCode {
     });
 
     // Rebase the peak watermark before each pipeline so each BENCH report
-    // carries that pipeline's own peak, not the max so far.
+    // carries that pipeline's own peak, not the max so far. The CPU
+    // profiler likewise restarts per pipeline, so each folded file and
+    // each report's `cpu` axis covers exactly that pipeline's samples.
+    let mut failed = false;
     let runs: Vec<(&str, Collector)> = [
         ("reptile", run_reptile as fn() -> Collector),
         ("redeem", run_redeem),
@@ -124,13 +142,29 @@ fn main() -> ExitCode {
     .map(|(name, run)| {
         ngs_observe::alloc::reset_peak();
         let blowup = (name == "reptile").then(alloc_blowup);
+        let profiler = profile_cpu.and_then(ngs_observe::profile::start);
         let collector = run();
+        if let Some(p) = profiler {
+            let data = p.stop();
+            collector.apply_cpu_profile(&data);
+            let path = out_dir.join(format!("PROFILE_{name}.folded"));
+            match ngs_durable::write_atomic(&path, data.to_folded_string().as_bytes()) {
+                Ok(()) => eprintln!(
+                    "wrote {} cpu samples ({} stacks) to {}",
+                    data.oncpu_samples + data.offcpu_samples,
+                    data.folded.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("write {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
         drop(blowup);
         (name, collector)
     })
     .collect();
-
-    let mut failed = false;
     for (pipeline, collector) in &runs {
         if let Some(frac) = overhead_frac {
             collector.gauge("bench.alloc_tracking_overhead_frac", frac);

@@ -21,7 +21,16 @@ USAGE:
   ngs-trace chrome TRACE.jsonl [--out FILE.json]
   ngs-trace summary TRACE.jsonl [--top N]
   ngs-trace merge PROC1.jsonl PROC2.jsonl ... --out MERGED.jsonl [--chrome FILE.json]
+  ngs-trace flamegraph IN.folded [MORE.folded ...] [--out FILE.svg] [--collapsed FILE.folded]
   ngs-trace diff BASELINE.json CURRENT.json [options]
+
+FLAMEGRAPH:
+  Render one or more collapsed-stack profiles (the `PROFILE_*.folded`
+  files `--profile-cpu` writes) as a self-contained SVG flamegraph.
+  Multiple inputs are merged by summing counts per stack; the output is
+  independent of argument order. --out writes the SVG (default stdout);
+  --collapsed additionally writes the merged folded file for external
+  tooling.
 
 MERGE:
   Stitch per-process traces (e.g. the `trace.jsonl.driver` and
@@ -67,6 +76,7 @@ fn main() -> ExitCode {
         "chrome" => cmd_chrome(&argv[1..]),
         "summary" => cmd_summary(&argv[1..]),
         "merge" => cmd_merge(&argv[1..]),
+        "flamegraph" => cmd_flamegraph(&argv[1..]),
         "diff" => cmd_diff(&argv[1..]),
         other => fail(&format!("unknown subcommand {other:?} (try --help)")),
     }
@@ -236,6 +246,63 @@ fn cmd_merge(rest: &[String]) -> ExitCode {
             return fail(&format!("write {path}: {e}"));
         }
         eprintln!("wrote Chrome export to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_flamegraph(rest: &[String]) -> ExitCode {
+    let (positional, opts) = match split_opts(rest) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if positional.is_empty() {
+        return fail(
+            "usage: ngs-trace flamegraph IN.folded [MORE.folded ...] \
+             [--out FILE.svg] [--collapsed FILE.folded]",
+        );
+    }
+    let mut out_path: Option<&str> = None;
+    let mut collapsed_path: Option<&str> = None;
+    for (key, value) in opts {
+        match key {
+            "out" => out_path = value,
+            "collapsed" => collapsed_path = value,
+            _ => return fail(&format!("unknown option --{key}")),
+        }
+    }
+    let mut inputs = Vec::with_capacity(positional.len());
+    for path in &positional {
+        let text = match read(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&e),
+        };
+        match ngs_observe::profile::parse_folded(&text) {
+            Ok(folded) => inputs.push(folded),
+            Err(e) => return fail(&format!("{path}: {e}")),
+        }
+    }
+    let merged = ngs_observe::profile::merge_folded(inputs);
+    let total: u64 = merged.values().sum();
+    if let Some(path) = collapsed_path {
+        let text = ngs_observe::profile::render_folded(&merged);
+        if let Err(e) = ngs_durable::write_atomic(path, text.as_bytes()) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote merged collapsed stacks to {path}");
+    }
+    let svg = ngs_observe::profile::flamegraph_svg(&merged);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = ngs_durable::write_atomic(path, svg.as_bytes()) {
+                return fail(&format!("write {path}: {e}"));
+            }
+            eprintln!(
+                "rendered {} stack(s), {total} sample(s) from {} file(s) into {path}",
+                merged.len(),
+                positional.len()
+            );
+        }
+        None => print!("{svg}"),
     }
     ExitCode::SUCCESS
 }

@@ -54,7 +54,9 @@ impl Args {
     ///
     /// Every `--key` consumes the following token as its value unless that
     /// token is itself a `--key`, in which case the first key is recorded
-    /// as a bare flag.
+    /// as a bare flag. `--key=value` binds explicitly, which is how
+    /// optional-value switches like `--profile-cpu[=HZ]` take a rate
+    /// without swallowing the next token.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args> {
         let mut args = Args::default();
         let mut iter = argv.into_iter().peekable();
@@ -65,6 +67,13 @@ impl Args {
                 .to_string();
             if key.is_empty() {
                 return Err(NgsError::InvalidParameter("empty flag name".into()));
+            }
+            if let Some((k, v)) = key.split_once('=') {
+                if k.is_empty() {
+                    return Err(NgsError::InvalidParameter("empty flag name".into()));
+                }
+                args.values.insert(k.to_string(), v.to_string());
+                continue;
             }
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
@@ -188,15 +197,37 @@ pub fn write_sequences(path: &str, reads: &[Read]) -> Result<()> {
     Ok(())
 }
 
+/// The `--profile-cpu[=HZ]` sampling rate: `None` when the flag is
+/// absent, the default 97 Hz for the bare flag, an explicit rate for
+/// `--profile-cpu=250` (or `--profile-cpu 250`).
+pub fn profile_cpu_hz(args: &Args) -> Result<Option<u32>> {
+    if let Some(raw) = args.get("profile-cpu") {
+        let hz: u32 = raw.parse().map_err(|_| {
+            NgsError::InvalidParameter(format!("--profile-cpu: bad sampling rate {raw:?}"))
+        })?;
+        if hz == 0 || hz > 10_000 {
+            return Err(NgsError::InvalidParameter(format!(
+                "--profile-cpu: sampling rate must be 1..=10000 Hz, got {hz}"
+            )));
+        }
+        Ok(Some(hz))
+    } else if args.has_flag("profile-cpu") {
+        Ok(Some(ngs_observe::profile::DEFAULT_HZ))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Build the collector for an instrumented run: recording when any
 /// observability flag was given — `--metrics-json`, `--trace-jsonl` (with
-/// an event tracer attached), `--resource-jsonl`, `--profile-mem` or
-/// `--progress` — disabled (every call a no-op) otherwise, so
-/// un-instrumented runs pay nothing.
+/// an event tracer attached), `--resource-jsonl`, `--profile-mem`,
+/// `--profile-cpu` or `--progress` — disabled (every call a no-op)
+/// otherwise, so un-instrumented runs pay nothing.
 pub fn metrics_collector(args: &Args) -> Result<ngs_observe::Collector> {
     let recording = args.value_of("metrics-json")?.is_some()
         || args.value_of("resource-jsonl")?.is_some()
         || args.has_flag("profile-mem")
+        || profile_cpu_hz(args)?.is_some()
         || args.has_flag("progress");
     Ok(if args.value_of("trace-jsonl")?.is_some() {
         ngs_observe::Collector::with_tracer(std::sync::Arc::new(ngs_observe::Tracer::new()))
@@ -359,6 +390,35 @@ mod tests {
     #[test]
     fn non_flag_leading_token_rejected() {
         assert!(Args::parse(vec!["positional".to_string()]).is_err());
+    }
+
+    #[test]
+    fn equals_form_binds_without_consuming_the_next_token() {
+        let a = parse(&["--profile-cpu=250", "--input", "x.fastq"]);
+        assert_eq!(a.get("profile-cpu"), Some("250"));
+        assert_eq!(a.get("input"), Some("x.fastq"));
+        // Empty key is still rejected.
+        assert!(Args::parse(vec!["--=5".to_string()]).is_err());
+        // Value may itself contain '=' (only the first splits).
+        let a = parse(&["--define=a=b"]);
+        assert_eq!(a.get("define"), Some("a=b"));
+    }
+
+    #[test]
+    fn profile_cpu_flag_parses_rate_and_default() {
+        assert_eq!(profile_cpu_hz(&parse(&[])).unwrap(), None);
+        assert_eq!(
+            profile_cpu_hz(&parse(&["--profile-cpu"])).unwrap(),
+            Some(ngs_observe::profile::DEFAULT_HZ)
+        );
+        assert_eq!(profile_cpu_hz(&parse(&["--profile-cpu=250"])).unwrap(), Some(250));
+        assert_eq!(profile_cpu_hz(&parse(&["--profile-cpu", "42"])).unwrap(), Some(42));
+        assert!(profile_cpu_hz(&parse(&["--profile-cpu=0"])).is_err());
+        assert!(profile_cpu_hz(&parse(&["--profile-cpu=wat"])).is_err());
+        assert!(profile_cpu_hz(&parse(&["--profile-cpu=99999"])).is_err());
+        // The flag alone makes the collector record.
+        assert!(metrics_collector(&parse(&["--profile-cpu"])).unwrap().is_enabled());
+        assert!(!metrics_collector(&parse(&[])).unwrap().is_enabled());
     }
 
     #[test]

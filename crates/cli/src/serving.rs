@@ -156,7 +156,7 @@ pub fn serve_main(args: &Args) -> Result<()> {
     let collector = metrics_collector(args)?;
     let collector =
         Arc::new(if collector.is_enabled() { collector } else { ngs_observe::Collector::new() });
-    let session = ObserveSession::begin(&obs, &collector, input);
+    let session = ObserveSession::begin(&obs, &collector, input, "serve");
     let (reptile, warmed) = load_or_build_index(args, input, &opts, &collector)?;
 
     // Bind before installing the signal handler so a failed bind is an
@@ -216,9 +216,9 @@ pub fn serve_main(args: &Args) -> Result<()> {
     } else {
         required.extend(["reptile.build.spectrum", "reptile.build.tiles"]);
     }
+    session.finish(&collector)?;
     emit_metrics(args, &collector, "serve", &required)?;
     emit_trace(args, &collector)?;
-    session.finish()?;
     Ok(())
 }
 
@@ -259,6 +259,14 @@ pub fn client_main(args: &Args) -> Result<()> {
                 s.queue_wait_p90_us,
                 s.queue_wait_p99_us,
             );
+            if !s.cpu_top.is_empty() {
+                let total: u64 = s.cpu_top.iter().map(|(_, n)| n).sum();
+                println!("  cpu-top (self samples since start)");
+                for (name, samples) in &s.cpu_top {
+                    let pct = if total > 0 { *samples as f64 * 100.0 / total as f64 } else { 0.0 };
+                    println!("    {samples:>8}  {pct:>5.1}%  {name}");
+                }
+            }
             std::io::stdout().flush().map_err(|e| NgsError::Io(e.to_string()))?;
             taken += 1;
             if watch_secs == 0 || (samples != 0 && taken >= samples) {
@@ -326,7 +334,7 @@ pub fn loadgen_main(args: &Args) -> Result<()> {
     apply_threads_flag(args)?;
 
     let collector = Arc::new(metrics_collector(args)?);
-    let session = ObserveSession::begin(&obs, &collector, input);
+    let session = ObserveSession::begin(&obs, &collector, input, "serve");
     let reads = load_reads(input, &opts, &collector)?;
     if reads.is_empty() {
         return Err(NgsError::InvalidParameter(format!("{input}: no reads to load with")));
@@ -421,8 +429,8 @@ pub fn loadgen_main(args: &Args) -> Result<()> {
         None => eprintln!("  queue-wait: n/a (remote server; probe with ngs-client --stats)"),
     }
 
+    session.finish(&collector)?;
     emit_metrics(args, &collector, "serve", &required)?;
     emit_trace(args, &collector)?;
-    session.finish()?;
     Ok(())
 }

@@ -784,10 +784,15 @@ impl<'a> Pool<'a> {
                 busy_ns,
                 output,
                 trace,
+                profile,
             } => {
                 let Some(&idx) = self.slot_of_conn.get(&cid) else {
                     return Ok(());
                 };
+                // Profile samples are real CPU time regardless of lease
+                // bookkeeping — fold them into this worker's lane before
+                // any early return below.
+                ngs_observe::profile::ingest_folded(&format!("worker{idx}"), &profile);
                 let matches = self.slots[idx].lease.as_ref().is_some_and(|l| {
                     l.task == task as usize && l.attempt == attempt && stage == st.stage.code()
                 });
@@ -856,13 +861,14 @@ impl<'a> Pool<'a> {
                 }
                 self.fail_attempt(st, task as usize, attempt, &error)?;
             }
-            Message::TraceFlush { worker_id, trace } => {
+            Message::TraceFlush { worker_id, trace, profile } => {
                 // Normally seen by the drain pump in teardown; mid-stage it
                 // means the worker flushed out-of-band — stitch under its
                 // worker span.
                 let idx = worker_id as usize;
                 if let Some(slot) = self.slots.get(idx) {
                     if slot.conn_id == Some(cid) {
+                        ngs_observe::profile::ingest_folded(&format!("worker{idx}"), &profile);
                         if let Some(span) = slot.span {
                             self.ingest_chunk(idx, &trace, span, slot.span_begin_ns);
                         }
@@ -978,11 +984,13 @@ impl<'a> Pool<'a> {
                 let _ = conn.send(&Message::Drain);
             }
         }
-        // Traced runs: each live worker answers `Drain` with a final
-        // `TraceFlush` before closing its socket. Pump the event channel
-        // until every such worker has flushed or disconnected, so those
-        // chunks land under the worker spans *before* the spans end below.
-        if self.tracer.is_some() {
+        // Traced or CPU-profiled runs: each live worker answers `Drain`
+        // with a final `TraceFlush` before closing its socket. Pump the
+        // event channel until every such worker has flushed or
+        // disconnected, so trace chunks land under the worker spans
+        // *before* the spans end below and the last profile samples make
+        // it into the merged flamegraph.
+        if self.tracer.is_some() || ngs_observe::profile::active_hz().is_some() {
             let mut waiting: std::collections::HashSet<u64> =
                 self.slots.iter().filter_map(|s| s.conn.as_ref().and(s.conn_id)).collect();
             let deadline = Instant::now() + Duration::from_millis(500);
@@ -992,9 +1000,10 @@ impl<'a> Pool<'a> {
                     break;
                 }
                 match self.events.recv_timeout(deadline - now) {
-                    Ok(Event::Msg(cid, Message::TraceFlush { worker_id, trace })) => {
+                    Ok(Event::Msg(cid, Message::TraceFlush { worker_id, trace, profile })) => {
                         let idx = worker_id as usize;
                         if self.slots.get(idx).is_some_and(|s| s.conn_id == Some(cid)) {
+                            ngs_observe::profile::ingest_folded(&format!("worker{idx}"), &profile);
                             if let Some(span) = self.slots[idx].span {
                                 let lo = self.slots[idx].span_begin_ns;
                                 self.ingest_chunk(idx, &trace, span, lo);
@@ -1069,6 +1078,10 @@ pub fn run_pooled<S: MapReduceSpec>(
         // clock_offset_ns is that worker's estimate.
         traced: false,
         profile_mem: ngs_observe::alloc::is_enabled(),
+        // Mirror the driver's ambient CPU-profiler rate so worker lanes
+        // sample at the same cadence and the merged flamegraph's counts
+        // are comparable across processes.
+        profile_hz: ngs_observe::profile::active_hz().unwrap_or(0) as u64,
         clock_offset_ns: 0,
     };
     let mut registry = JobRegistry::new();
@@ -1206,6 +1219,7 @@ fn worker_loop(
         heartbeat_ms,
         traced,
         profile_mem,
+        profile_hz,
         clock_offset_ns: _,
     } = setup
     else {
@@ -1225,6 +1239,13 @@ fn worker_loop(
         // driver; enabling is a no-op when it is not installed.
         ngs_observe::alloc::enable();
     }
+    // CPU profiler for the worker's own span stacks: folded stacks ship
+    // back with every `Done` and the final `Drain` reply, so the driver
+    // merges one lane per worker process. Held for the worker lifetime;
+    // drop stops the sampler thread.
+    let _profiler = (profile_hz > 0)
+        .then(|| ngs_observe::profile::start(profile_hz.min(u32::MAX as u64) as u32))
+        .flatten();
     let tracer = if traced {
         session_tracer.set_role(&format!("worker{worker_id}"));
         Some(session_tracer)
@@ -1286,10 +1307,16 @@ fn worker_loop(
                         &format!("stage={stage} task={task} attempt={attempt} lease={trace_span}"),
                     )
                 });
+                // The raw begin/end pair above never feeds the CPU
+                // profiler (only strictly-scoped guards do), so publish
+                // the frame explicitly — it must exist even untraced,
+                // or a profiled-but-untraced worker samples nothing.
+                ngs_observe::profile::on_span_enter("worker.task");
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let _exec = tracer.as_ref().map(|t| t.span("worker.exec"));
                     run_worker_task(&*runner, stage, task as usize, attempt, &fault, &input, parts)
                 }));
+                ngs_observe::profile::on_span_exit();
                 if let (Some(t), Some(s)) = (tracer.as_ref(), task_span) {
                     t.end(s);
                 }
@@ -1306,6 +1333,7 @@ fn worker_loop(
                         busy_ns,
                         output,
                         trace,
+                        profile: ngs_observe::profile::drain_folded(),
                     },
                     Ok(Err(error)) => {
                         Message::Failed { stage: stage.code(), task, attempt, error, trace }
@@ -1348,12 +1376,17 @@ fn worker_loop(
                 }
             }
             Ok(Message::Drain) => {
-                // Flush any events recorded outside a task attempt before
-                // the socket closes, so the driver's stitched trace is
+                // Flush any events recorded outside a task attempt — and
+                // the last profile samples — before the socket closes, so
+                // the driver's stitched trace and merged flamegraph are
                 // complete even for idle workers.
                 if let Some(t) = tracer.as_ref() {
                     t.instant_under("worker.drain", ngs_observe::SpanId::ROOT, "");
-                    let flush = Message::TraceFlush { worker_id, trace: t.take_events() };
+                }
+                let trace = tracer.as_ref().map_or_else(Vec::new, |t| t.take_events());
+                let profile = ngs_observe::profile::drain_folded();
+                if tracer.is_some() || !profile.is_empty() {
+                    let flush = Message::TraceFlush { worker_id, trace, profile };
                     let _ = writer.lock().expect("writer lock").send(&flush);
                 }
                 break 0;

@@ -161,6 +161,10 @@ pub enum Message {
         /// Whether the driver profiles memory: workers enable their
         /// tracking allocator and report stats in heartbeats when set.
         profile_mem: bool,
+        /// CPU-profiler sampling rate in Hz; 0 = off. When set, workers
+        /// run their own span-stack sampler and ship folded stacks back
+        /// in `Done` and `TraceFlush`.
+        profile_hz: u64,
         /// The driver's offset estimate for this worker (ns to add to
         /// worker-local timestamps to land on the driver timeline), echoed
         /// so the worker can annotate its own exports.
@@ -200,6 +204,10 @@ pub enum Message {
         /// from its tracer, so each chunk holds exactly one attempt).
         /// Empty when the run is untraced.
         trace: Vec<TraceEvent>,
+        /// Folded CPU-profile rows (`stack`, `count`) drained from the
+        /// worker's sampler since the last ship. Empty when the run is
+        /// unprofiled.
+        profile: Vec<(String, u64)>,
     },
     /// Worker → driver: a task attempt failed but the worker is healthy.
     Failed {
@@ -224,9 +232,10 @@ pub enum Message {
     /// Driver → worker: no more tasks; finish up and exit 0.
     Drain,
     /// Worker → driver, in response to `Drain`: any trace events still
-    /// buffered outside a task attempt (e.g. the worker's drain marker),
-    /// flushed before the socket closes.
-    TraceFlush { worker_id: u64, trace: Vec<TraceEvent> },
+    /// buffered outside a task attempt (e.g. the worker's drain marker)
+    /// and any folded CPU-profile rows not yet shipped, flushed before
+    /// the socket closes.
+    TraceFlush { worker_id: u64, trace: Vec<TraceEvent>, profile: Vec<(String, u64)> },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -254,6 +263,29 @@ fn encode_trace(trace: &[TraceEvent], out: &mut Vec<u8>) {
         e.detail.encode(out);
         (e.thread, e.ts_ns, e.pid).encode(out);
     }
+}
+
+/// Append the wire encoding of a folded-profile chunk: a count followed by
+/// one (`stack`, `count`) pair per row.
+fn encode_profile(rows: &[(String, u64)], out: &mut Vec<u8>) {
+    (rows.len() as u32).encode(out);
+    for (stack, count) in rows {
+        stack.encode(out);
+        count.encode(out);
+    }
+}
+
+/// Decode a folded-profile chunk written by [`encode_profile`]. `None` on
+/// malformed or truncated input.
+fn decode_profile(inp: &mut &[u8]) -> Option<Vec<(String, u64)>> {
+    let n = u32::decode(inp)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let stack = String::decode(inp)?;
+        let count = u64::decode(inp)?;
+        out.push((stack, count));
+    }
+    Some(out)
 }
 
 /// Decode a trace chunk written by [`encode_trace`]. `None` on malformed
@@ -305,6 +337,7 @@ impl Message {
                 heartbeat_ms,
                 traced,
                 profile_mem,
+                profile_hz,
                 clock_offset_ns,
             } => {
                 out.push(TAG_SETUP);
@@ -313,6 +346,7 @@ impl Message {
                 (*parts, *heartbeat_ms).encode(&mut out);
                 fault_plan.encode(&mut out);
                 (*traced, *profile_mem, *clock_offset_ns).encode(&mut out);
+                profile_hz.encode(&mut out);
             }
             Message::Task { stage, task, attempt, trace_span, input } => {
                 out.push(TAG_TASK);
@@ -330,6 +364,7 @@ impl Message {
                 busy_ns,
                 output,
                 trace,
+                profile,
             } => {
                 out.push(TAG_DONE);
                 (*stage, *task, *attempt).encode(&mut out);
@@ -337,6 +372,7 @@ impl Message {
                 busy_ns.encode(&mut out);
                 output.encode(&mut out);
                 encode_trace(trace, &mut out);
+                encode_profile(profile, &mut out);
             }
             Message::Failed { stage, task, attempt, error, trace } => {
                 out.push(TAG_FAILED);
@@ -350,10 +386,11 @@ impl Message {
                 (*peak_alloc_bytes, *alloc_count).encode(&mut out);
             }
             Message::Drain => out.push(TAG_DRAIN),
-            Message::TraceFlush { worker_id, trace } => {
+            Message::TraceFlush { worker_id, trace, profile } => {
                 out.push(TAG_TRACE_FLUSH);
                 worker_id.encode(&mut out);
                 encode_trace(trace, &mut out);
+                encode_profile(profile, &mut out);
             }
         }
         out
@@ -378,6 +415,7 @@ impl Message {
                 let fault_plan = Vec::<u8>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let (traced, profile_mem, clock_offset_ns) =
                     <(bool, bool, i64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let profile_hz = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
                 Message::Setup {
                     spec,
                     spec_bytes,
@@ -386,6 +424,7 @@ impl Message {
                     heartbeat_ms,
                     traced,
                     profile_mem,
+                    profile_hz,
                     clock_offset_ns,
                 }
             }
@@ -404,6 +443,7 @@ impl Message {
                 let busy_ns = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let output = Vec::<Vec<u8>>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let trace = decode_trace(inp).ok_or(ProtocolError::Malformed)?;
+                let profile = decode_profile(inp).ok_or(ProtocolError::Malformed)?;
                 Message::Done {
                     stage,
                     task,
@@ -414,6 +454,7 @@ impl Message {
                     busy_ns,
                     output,
                     trace,
+                    profile,
                 }
             }
             TAG_FAILED => {
@@ -434,7 +475,8 @@ impl Message {
             TAG_TRACE_FLUSH => {
                 let worker_id = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let trace = decode_trace(inp).ok_or(ProtocolError::Malformed)?;
-                Message::TraceFlush { worker_id, trace }
+                let profile = decode_profile(inp).ok_or(ProtocolError::Malformed)?;
+                Message::TraceFlush { worker_id, trace, profile }
             }
             _ => return Err(ProtocolError::Malformed),
         };
@@ -519,6 +561,16 @@ mod tests {
         ]
     }
 
+    /// Folded-profile rows with separator-bearing and non-ASCII stacks so
+    /// the adversarial frame tests chew on the profile encoding too.
+    fn sample_profile() -> Vec<(String, u64)> {
+        vec![
+            ("oncpu;closet.run;closet.sketch".into(), 42),
+            ("offcpu;closet.run".into(), 7),
+            ("oncpu;κλειδί".into(), 1),
+        ]
+    }
+
     fn sample_messages() -> Vec<Message> {
         vec![
             Message::Hello { worker_id: 3, pid: 4242, now_ns: 123_456_789 },
@@ -530,6 +582,7 @@ mod tests {
                 heartbeat_ms: 50,
                 traced: true,
                 profile_mem: true,
+                profile_hz: 97,
                 clock_offset_ns: -987_654,
             },
             Message::Task {
@@ -549,6 +602,7 @@ mod tests {
                 busy_ns: 12345,
                 output: vec![vec![9, 8, 7], vec![], vec![1]],
                 trace: sample_trace(),
+                profile: sample_profile(),
             },
             Message::Failed {
                 stage: 1,
@@ -564,7 +618,7 @@ mod tests {
                 alloc_count: 777,
             },
             Message::Drain,
-            Message::TraceFlush { worker_id: 2, trace: sample_trace() },
+            Message::TraceFlush { worker_id: 2, trace: sample_trace(), profile: sample_profile() },
         ]
     }
 
@@ -627,6 +681,7 @@ mod tests {
             busy_ns: 1,
             output: vec![vec![0; 64]],
             trace: sample_trace(),
+            profile: sample_profile(),
         };
         let mut wire = encode_frame(&good.to_payload());
         let second = encode_frame(&torn.to_payload());
@@ -661,7 +716,8 @@ mod tests {
 
     #[test]
     fn trace_chunk_truncation_at_every_offset_is_typed_never_silent() {
-        let msg = Message::TraceFlush { worker_id: 9, trace: sample_trace() };
+        let msg =
+            Message::TraceFlush { worker_id: 9, trace: sample_trace(), profile: sample_profile() };
         let wire = encode_frame(&msg.to_payload());
         for cut in 0..wire.len() {
             let mut cur = Cursor::new(&wire[..cut]);
@@ -683,7 +739,9 @@ mod tests {
 
     #[test]
     fn trace_chunk_rejects_unknown_event_kind() {
-        let payload = Message::TraceFlush { worker_id: 0, trace: sample_trace() }.to_payload();
+        let payload =
+            Message::TraceFlush { worker_id: 0, trace: sample_trace(), profile: sample_profile() }
+                .to_payload();
         // tag(1) + worker_id(8) + count(4) leaves the first event's kind byte.
         let mut bad = payload.clone();
         bad[1 + 8 + 4] = 7;

@@ -62,6 +62,12 @@ pub struct BenchSpan {
     /// Peak live bytes while the span was open (`None` on schema-v1
     /// reports or runs without the tracking allocator).
     pub alloc_peak_bytes: Option<u64>,
+    /// On-CPU samples attributed to this span as the stack leaf (`None`
+    /// on pre-v3 reports or runs without `--profile-cpu` — the CPU axis
+    /// is then skipped, exactly like the v1→v2 alloc axis).
+    pub cpu_self_samples: Option<u64>,
+    /// On-CPU samples with this span anywhere on the stack.
+    pub cpu_total_samples: Option<u64>,
 }
 
 /// One compared span.
@@ -197,7 +203,14 @@ pub fn parse_bench_report(text: &str) -> Result<(String, BTreeMap<String, BenchS
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("span {name:?} has no integer \"total_ns\""))?;
         let alloc_peak_bytes = stat.get("alloc_peak_bytes").and_then(Json::as_u64);
-        spans.insert(name.clone(), BenchSpan { total_ns: total, alloc_peak_bytes });
+        // `null` (unprofiled run) and absent (pre-v3 schema) both read as
+        // None: the CPU axis was skipped, not measured at zero.
+        let cpu_self_samples = stat.get("cpu_self_samples").and_then(Json::as_u64);
+        let cpu_total_samples = stat.get("cpu_total_samples").and_then(Json::as_u64);
+        spans.insert(
+            name.clone(),
+            BenchSpan { total_ns: total, alloc_peak_bytes, cpu_self_samples, cpu_total_samples },
+        );
     }
     Ok((pipeline, spans))
 }
@@ -255,6 +268,19 @@ pub fn validate_bench_invariants(text: &str) -> Result<(), Vec<String>> {
                 "span {name:?}: requires min_ns <= max_ns <= total_ns, \
                  got total_ns {total}, min_ns {min}, max_ns {max}"
             ));
+        }
+        // Schema v3 CPU axis: a leaf sample is also a stack sample, so
+        // self can never exceed total. Null/absent figures (unprofiled
+        // runs, pre-v3 reports) are skipped like the wall fields above.
+        if let (Some(cpu_self), Some(cpu_total)) =
+            (field("cpu_self_samples"), field("cpu_total_samples"))
+        {
+            if cpu_self > cpu_total {
+                violations.push(format!(
+                    "span {name:?}: requires cpu_self_samples <= cpu_total_samples, \
+                     got self {cpu_self}, total {cpu_total}"
+                ));
+            }
         }
     }
     if violations.is_empty() {
@@ -373,7 +399,7 @@ mod tests {
     fn spans(pairs: &[(&str, u64)]) -> BTreeMap<String, BenchSpan> {
         pairs
             .iter()
-            .map(|&(k, v)| (k.to_string(), BenchSpan { total_ns: v, alloc_peak_bytes: None }))
+            .map(|&(k, v)| (k.to_string(), BenchSpan { total_ns: v, ..Default::default() }))
             .collect()
     }
 
@@ -381,7 +407,10 @@ mod tests {
         pairs
             .iter()
             .map(|&(k, ns, peak)| {
-                (k.to_string(), BenchSpan { total_ns: ns, alloc_peak_bytes: Some(peak) })
+                (
+                    k.to_string(),
+                    BenchSpan { total_ns: ns, alloc_peak_bytes: Some(peak), ..Default::default() },
+                )
             })
             .collect()
     }
@@ -489,11 +518,55 @@ mod tests {
         assert_eq!(pipeline, "p");
         assert_eq!(
             spans["p.build"],
-            BenchSpan { total_ns: 100_000_000, alloc_peak_bytes: Some(4096) }
+            BenchSpan { total_ns: 100_000_000, alloc_peak_bytes: Some(4096), ..Default::default() }
         );
         // The wall-only view still works.
         let (_, flat) = parse_bench_spans(&json).unwrap();
         assert_eq!(flat["p.build"], 100_000_000);
+    }
+
+    #[test]
+    fn parse_bench_report_reads_cpu_fields_and_skips_nulls() {
+        // Unprofiled v3 report: per-span CPU figures are explicit nulls.
+        let c = crate::Collector::new();
+        c.record_span_ns("p.build", 100_000_000, 4);
+        let (_, spans) = parse_bench_report(&c.report("p").to_json()).unwrap();
+        assert_eq!(spans["p.build"].cpu_self_samples, None);
+        assert_eq!(spans["p.build"].cpu_total_samples, None);
+        // Profiled report: numbers come through.
+        let json = r#"{"pipeline": "p", "spans": {
+            "p.build": {"total_ns": 5, "cpu_self_samples": 7, "cpu_total_samples": 11}}}"#;
+        let (_, spans) = parse_bench_report(json).unwrap();
+        assert_eq!(spans["p.build"].cpu_self_samples, Some(7));
+        assert_eq!(spans["p.build"].cpu_total_samples, Some(11));
+    }
+
+    #[test]
+    fn validator_rejects_cpu_self_above_total() {
+        let json = r#"{"pipeline": "p", "spans": {
+            "a": {"count": 1, "total_ns": 5, "min_ns": 5, "max_ns": 5,
+                  "cpu_self_samples": 9, "cpu_total_samples": 3},
+            "skipped": {"count": 1, "total_ns": 5, "min_ns": 5, "max_ns": 5,
+                        "cpu_self_samples": null, "cpu_total_samples": null}}}"#;
+        let violations = validate_bench_invariants(json).unwrap_err();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("cpu_self_samples"), "{violations:?}");
+    }
+
+    #[test]
+    fn validator_accepts_profiled_collector_reports() {
+        let c = crate::Collector::new();
+        c.record_span_ns("p.run", 5_000_000, 1);
+        let mut r = c.report("p");
+        r.cpu = Some(crate::CpuTotals {
+            sample_hz: 97,
+            oncpu_samples: 10,
+            offcpu_samples: 2,
+            torn_samples: 0,
+        });
+        r.spans.get_mut("p.run").unwrap().cpu_self_samples = 4;
+        r.spans.get_mut("p.run").unwrap().cpu_total_samples = 10;
+        validate_bench_invariants(&r.to_json()).expect("profiled report validates");
     }
 
     #[test]

@@ -42,12 +42,18 @@
 //! * [`sampler`] — background resource timeline (allocator + procfs
 //!   snapshots as JSONL, the `--resource-jsonl` flag) and the
 //!   [`sampler::ProgressMeter`] throughput heartbeat.
+//! * [`profile`] — the continuous span-stack CPU profiler
+//!   (`--profile-cpu`): seqlock-published per-thread span stacks sampled
+//!   at a fixed rate, split on-CPU vs off-CPU, folded into collapsed
+//!   flamegraph stacks and per-span `cpu_*` figures (BENCH schema v3; see
+//!   DESIGN.md §Continuous profiling).
 
 pub mod alloc;
 pub mod diff;
 mod histogram;
 pub mod json;
 mod memory;
+pub mod profile;
 mod report;
 pub mod sampler;
 pub mod trace;
@@ -55,12 +61,22 @@ pub mod traceview;
 
 pub use histogram::LogHistogram;
 pub use memory::{read_memory, MemoryProbe};
-pub use report::{GaugeMerge, Report, SpanStat};
+pub use report::{CpuTotals, GaugeMerge, Report, SpanStat};
 pub use trace::{SpanId, TraceContext, TraceEvent, TraceEventKind, TraceSpan, Tracer};
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Lock `m`, recovering the data when a previous holder panicked. The
+/// observability substrate must never cascade a secondary panic into a
+/// pipeline that already survived the first one: a poisoned telemetry
+/// mutex means one sample/event may be mid-write, which is exactly the
+/// kind of damage aggregate metrics tolerate — losing the whole run's
+/// report to a `PoisonError` unwrap is strictly worse.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Mutable aggregation state behind the collector's mutex.
 #[derive(Debug, Default)]
@@ -71,6 +87,9 @@ struct Inner {
     /// Merge modes for gauges recorded with a non-default mode.
     gauge_modes: BTreeMap<String, GaugeMerge>,
     histograms: BTreeMap<String, LogHistogram>,
+    /// CPU-profiler totals, set once by [`Collector::apply_cpu_profile`]
+    /// when a `--profile-cpu` run folds its samples in.
+    cpu: Option<report::CpuTotals>,
 }
 
 /// A thread-safe metrics sink.
@@ -129,6 +148,12 @@ impl Collector {
             Some(t) if self.enabled => t.begin(path),
             _ => SpanId::ROOT,
         };
+        // The guard feeds the CPU profiler directly (not via the tracer):
+        // guards are strictly scoped, which the profiler's per-thread
+        // stack requires, and the hook must fire with or without a tracer.
+        if self.enabled {
+            profile::on_span_enter(path);
+        }
         SpanGuard {
             collector: self,
             path: if self.enabled { path.to_string() } else { String::new() },
@@ -155,6 +180,9 @@ impl Collector {
             Some(t) if self.enabled => t.begin_under_detail(path, parent, detail),
             _ => SpanId::ROOT,
         };
+        if self.enabled {
+            profile::on_span_enter(path);
+        }
         SpanGuard {
             collector: self,
             path: if self.enabled { path.to_string() } else { String::new() },
@@ -193,7 +221,7 @@ impl Collector {
         if !self.enabled {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let stat = inner.spans.entry(path.to_string()).or_default();
         stat.observe(ns, threads);
         stat.observe_alloc(alloc_bytes, alloc_peak_bytes);
@@ -204,7 +232,7 @@ impl Collector {
         if !self.enabled || delta == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
@@ -219,7 +247,7 @@ impl Collector {
         if !self.enabled {
             return 0;
         }
-        self.inner.lock().unwrap().counters.get(name).copied().unwrap_or(0)
+        lock_unpoisoned(&self.inner).counters.get(name).copied().unwrap_or(0)
     }
 
     /// Set the gauge `name` with the default [`GaugeMerge::Min`] mode
@@ -244,7 +272,7 @@ impl Collector {
         if !self.enabled {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.gauges.insert(name.to_string(), value);
         if mode != GaugeMerge::Min {
             inner.gauge_modes.insert(name.to_string(), mode);
@@ -262,7 +290,7 @@ impl Collector {
         if !self.enabled || count == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.histograms.entry(name.to_string()).or_default().record_n(value, count);
     }
 
@@ -272,7 +300,7 @@ impl Collector {
         if !self.enabled || hist.count() == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.histograms.entry(name.to_string()).or_default().merge(hist);
     }
 
@@ -280,7 +308,7 @@ impl Collector {
     /// `pipeline`, probing process memory (and, when tracking is enabled,
     /// the allocator counters) at snapshot time.
     pub fn report(&self, pipeline: &str) -> Report {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_unpoisoned(&self.inner);
         Report {
             pipeline: pipeline.to_string(),
             spans: inner.spans.clone(),
@@ -290,7 +318,33 @@ impl Collector {
             histograms: inner.histograms.clone(),
             memory: read_memory(),
             alloc: alloc::snapshot(),
+            cpu: inner.cpu,
         }
+    }
+
+    /// Fold a finished CPU profile into the collector: per-span sample
+    /// counts land on the matching span stats (spans the profiler saw but
+    /// the collector never recorded get a zero-duration stat so they still
+    /// appear in the report), and the totals become the report's `cpu`
+    /// section. Call once, after [`profile::Profiler::stop`].
+    pub fn apply_cpu_profile(&self, data: &profile::ProfileData) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = lock_unpoisoned(&self.inner);
+        for (path, samples) in &data.per_span {
+            inner
+                .spans
+                .entry(path.clone())
+                .or_default()
+                .observe_cpu(samples.self_samples, samples.total_samples);
+        }
+        inner.cpu = Some(report::CpuTotals {
+            sample_hz: data.hz,
+            oncpu_samples: data.oncpu_samples,
+            offcpu_samples: data.offcpu_samples,
+            torn_samples: data.torn_samples,
+        });
     }
 }
 
@@ -333,6 +387,9 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(t) = &self.collector.tracer {
             t.end(self.trace_id);
+        }
+        if self.collector.enabled {
+            profile::on_span_exit();
         }
         if !self.collector.enabled {
             return;

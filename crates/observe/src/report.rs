@@ -1,18 +1,22 @@
 //! The [`Report`] snapshot: human table, `BENCH_*.json` JSON, and merging.
 //!
-//! JSON schema (`schema_version` 2) — all keys always present:
+//! JSON schema (`schema_version` 3) — all keys always present:
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "pipeline": "reptile",
 //!   "memory": {"rss_bytes": 1048576, "peak_rss_bytes": 2097152},
 //!   "alloc": {"allocated_bytes": 4096, "freed_bytes": 1024,
 //!             "live_bytes": 3072, "peak_live_bytes": 4096,
 //!             "alloc_count": 3},
+//!   "cpu": {"sample_hz": 97, "oncpu_samples": 120, "offcpu_samples": 30,
+//!           "torn_samples": 0},
 //!   "spans": {"reptile.build": {"count": 1, "total_ns": 9, "min_ns": 9,
 //!             "max_ns": 9, "threads": 8,
-//!             "alloc_bytes": 2048, "alloc_peak_bytes": 4096}},
+//!             "alloc_bytes": 2048, "alloc_peak_bytes": 4096,
+//!             "cpu_self_samples": 80, "cpu_total_samples": 115,
+//!             "cpu_self_frac": 0.6667}},
 //!   "counters": {"reptile.bases_changed": 42},
 //!   "gauges": {"redeem.threshold.value": 7.25},
 //!   "histograms": {"reptile.kmer_multiplicity": {"count": 10, "sum": 55,
@@ -25,13 +29,19 @@
 //! Schema history: version 2 added the top-level `alloc` section and the
 //! per-span `alloc_bytes`/`alloc_peak_bytes` fields (all zero / `null`
 //! without the tracking allocator — see DESIGN.md §Memory profiling);
-//! readers of version-1 documents keep working because every version-1 key
-//! is unchanged.
+//! version 3 added the top-level `cpu` section and the per-span
+//! `cpu_self_samples`/`cpu_total_samples`/`cpu_self_frac` fields from the
+//! continuous profiler (`--profile-cpu`, DESIGN.md §Continuous
+//! profiling). Each version is a strict superset of the previous one:
+//! readers of older documents keep working, and an unprofiled run writes
+//! `cpu: null` with `null` per-span CPU figures so diff tooling treats
+//! the CPU axis as skipped, exactly like the v1→v2 alloc axis.
 //!
 //! Memory fields are `null` when `/proc/self/status` is unavailable (the
 //! probe distinguishes "no reading" from "zero bytes"); `alloc` is `null`
-//! unless the tracking allocator is installed and enabled; `p50`/`p90`/
-//! `p99` are bucket-resolution estimates from the log₂ histogram (see
+//! unless the tracking allocator is installed and enabled; `cpu` is
+//! `null` unless the CPU profiler ran; `p50`/`p90`/`p99` are
+//! bucket-resolution estimates from the log₂ histogram (see
 //! [`LogHistogram::quantile`]) and are `null` on empty histograms.
 
 use crate::alloc::AllocStats;
@@ -76,6 +86,38 @@ pub struct SpanStat {
     /// Largest process-wide live-byte high-watermark observed at any
     /// entry's close (0 without the tracking allocator).
     pub alloc_peak_bytes: u64,
+    /// On-CPU profiler samples with this span as the innermost open span
+    /// (0 without `--profile-cpu` — see `ngs_observe::profile`).
+    pub cpu_self_samples: u64,
+    /// On-CPU profiler samples with this span anywhere on the stack.
+    pub cpu_total_samples: u64,
+}
+
+/// Report-level totals from one continuous-profiling session (the
+/// `cpu` section of BENCH schema v3). `None` on the report means the
+/// profiler never ran — serialised as `null`, and diff tooling skips the
+/// CPU axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuTotals {
+    /// Configured sampling rate, Hz.
+    pub sample_hz: u32,
+    /// Samples taken while the sampled thread was runnable (`R`).
+    pub oncpu_samples: u64,
+    /// Samples taken while the sampled thread was blocked/sleeping.
+    pub offcpu_samples: u64,
+    /// Snapshots the seqlock check discarded.
+    pub torn_samples: u64,
+}
+
+impl CpuTotals {
+    /// Fold another session's totals in (rates keep the maximum so a
+    /// merged report never under-states its sampling resolution).
+    pub fn merge(&mut self, other: &CpuTotals) {
+        self.sample_hz = self.sample_hz.max(other.sample_hz);
+        self.oncpu_samples = self.oncpu_samples.saturating_add(other.oncpu_samples);
+        self.offcpu_samples = self.offcpu_samples.saturating_add(other.offcpu_samples);
+        self.torn_samples = self.torn_samples.saturating_add(other.torn_samples);
+    }
 }
 
 impl Default for SpanStat {
@@ -88,6 +130,8 @@ impl Default for SpanStat {
             threads: 0,
             alloc_bytes: 0,
             alloc_peak_bytes: 0,
+            cpu_self_samples: 0,
+            cpu_total_samples: 0,
         }
     }
 }
@@ -107,6 +151,13 @@ impl SpanStat {
     pub fn observe_alloc(&mut self, alloc_bytes: u64, alloc_peak_bytes: u64) {
         self.alloc_bytes = self.alloc_bytes.saturating_add(alloc_bytes);
         self.alloc_peak_bytes = self.alloc_peak_bytes.max(alloc_peak_bytes);
+    }
+
+    /// Fold a profiling session's on-CPU sample counts in (additive, like
+    /// the allocation bytes: a second session's samples accumulate).
+    pub fn observe_cpu(&mut self, self_samples: u64, total_samples: u64) {
+        self.cpu_self_samples = self.cpu_self_samples.saturating_add(self_samples);
+        self.cpu_total_samples = self.cpu_total_samples.saturating_add(total_samples);
     }
 
     /// Fold another aggregate in. Commutative and associative.
@@ -139,6 +190,8 @@ impl SpanStat {
         self.threads = self.threads.max(other.threads);
         self.alloc_bytes = self.alloc_bytes.saturating_add(other.alloc_bytes);
         self.alloc_peak_bytes = self.alloc_peak_bytes.max(other.alloc_peak_bytes);
+        self.cpu_self_samples = self.cpu_self_samples.saturating_add(other.cpu_self_samples);
+        self.cpu_total_samples = self.cpu_total_samples.saturating_add(other.cpu_total_samples);
     }
 
     /// Total wall time as fractional seconds.
@@ -169,6 +222,9 @@ pub struct Report {
     /// Tracking-allocator snapshot taken at report time (`None` without
     /// the tracking allocator installed and enabled).
     pub alloc: Option<AllocStats>,
+    /// Continuous-profiler totals (`None` when `--profile-cpu` never ran
+    /// for this report — the CPU axis is then skipped by diff tooling).
+    pub cpu: Option<CpuTotals>,
 }
 
 impl Report {
@@ -216,6 +272,11 @@ impl Report {
             (slot @ None, Some(b)) => *slot = Some(*b),
             (_, None) => {}
         }
+        match (&mut self.cpu, &other.cpu) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(*b),
+            (_, None) => {}
+        }
     }
 
     /// Span lookup by exact path.
@@ -241,6 +302,8 @@ impl Report {
         // Allocation columns only when some span actually has figures —
         // untracked runs keep the narrow table.
         let with_alloc = self.spans.values().any(|s| s.alloc_peak_bytes > 0 || s.alloc_bytes > 0);
+        // CPU columns only when the profiler ran for this report.
+        let with_cpu = self.cpu.is_some();
         if !self.spans.is_empty() {
             write!(
                 out,
@@ -250,6 +313,9 @@ impl Report {
             .unwrap();
             if with_alloc {
                 write!(out, " {:>12} {:>12}", "alloc_mb", "peak_mb").unwrap();
+            }
+            if with_cpu {
+                write!(out, " {:>9} {:>9}", "cpu_self", "cpu_tot").unwrap();
             }
             writeln!(out).unwrap();
             for (path, s) in &self.spans {
@@ -271,6 +337,9 @@ impl Report {
                         s.alloc_peak_bytes as f64 / (1024.0 * 1024.0)
                     )
                     .unwrap();
+                }
+                if with_cpu {
+                    write!(out, " {:>9} {:>9}", s.cpu_self_samples, s.cpu_total_samples).unwrap();
                 }
                 writeln!(out).unwrap();
             }
@@ -330,13 +399,21 @@ impl Report {
             )
             .unwrap();
         }
+        if let Some(c) = &self.cpu {
+            writeln!(
+                out,
+                "cpu: {} Hz, {} on-cpu / {} off-cpu samples ({} torn discarded)",
+                c.sample_hz, c.oncpu_samples, c.offcpu_samples, c.torn_samples
+            )
+            .unwrap();
+        }
         out
     }
 
     /// Serialize to the `BENCH_<pipeline>.json` schema (see module docs).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema_version\": 2,\n  \"pipeline\": ");
+        out.push_str("{\n  \"schema_version\": 3,\n  \"pipeline\": ");
         json_string(&mut out, &self.pipeline);
         out.push_str(",\n  \"memory\": {\"rss_bytes\": ");
         json_opt_u64(&mut out, self.memory.rss_bytes);
@@ -353,6 +430,17 @@ impl Report {
             .unwrap(),
             None => out.push_str("null"),
         }
+        out.push_str(",\n  \"cpu\": ");
+        match &self.cpu {
+            Some(c) => write!(
+                out,
+                "{{\"sample_hz\": {}, \"oncpu_samples\": {}, \"offcpu_samples\": {}, \
+                 \"torn_samples\": {}}}",
+                c.sample_hz, c.oncpu_samples, c.offcpu_samples, c.torn_samples
+            )
+            .unwrap(),
+            None => out.push_str("null"),
+        }
         out.push_str(",\n  \"spans\": {");
         for (i, (path, s)) in self.spans.iter().enumerate() {
             if i > 0 {
@@ -363,7 +451,7 @@ impl Report {
             write!(
                 out,
                 ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"threads\": {}, \
-                 \"alloc_bytes\": {}, \"alloc_peak_bytes\": {}}}",
+                 \"alloc_bytes\": {}, \"alloc_peak_bytes\": {}",
                 s.count,
                 s.total_ns,
                 if s.count == 0 { 0 } else { s.min_ns },
@@ -373,6 +461,31 @@ impl Report {
                 s.alloc_peak_bytes
             )
             .unwrap();
+            // CPU figures exist only when the profiler ran — an
+            // unprofiled run must be distinguishable from one that
+            // sampled zero hits ("axis skipped" vs a true zero).
+            match &self.cpu {
+                Some(c) => {
+                    write!(
+                        out,
+                        ", \"cpu_self_samples\": {}, \"cpu_total_samples\": {}, \
+                         \"cpu_self_frac\": ",
+                        s.cpu_self_samples, s.cpu_total_samples
+                    )
+                    .unwrap();
+                    let frac = if c.oncpu_samples == 0 {
+                        0.0
+                    } else {
+                        s.cpu_self_samples as f64 / c.oncpu_samples as f64
+                    };
+                    json_f64(&mut out, (frac * 1e4).round() / 1e4);
+                }
+                None => out.push_str(
+                    ", \"cpu_self_samples\": null, \"cpu_total_samples\": null, \
+                     \"cpu_self_frac\": null",
+                ),
+            }
+            out.push('}');
         }
         out.push_str("\n  },\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -493,7 +606,7 @@ mod tests {
     fn json_contains_all_sections() {
         let j = sample().to_json();
         for needle in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"pipeline\": \"p\"",
             "\"p.build\": {\"count\": 2, \"total_ns\": 4000000",
             "\"alloc_bytes\": 0, \"alloc_peak_bytes\": 0",
@@ -508,6 +621,43 @@ mod tests {
         // Without the tracking allocator the alloc section is explicit null,
         // not a zeroed object.
         assert!(j.contains("\"alloc\": null"), "missing alloc null in:\n{j}");
+        // Without the CPU profiler the cpu section and per-span CPU figures
+        // are explicit nulls — diff tooling treats the axis as skipped.
+        assert!(j.contains("\"cpu\": null"), "missing cpu null in:\n{j}");
+        assert!(
+            j.contains(
+                "\"cpu_self_samples\": null, \"cpu_total_samples\": null, \"cpu_self_frac\": null"
+            ),
+            "missing per-span cpu nulls in:\n{j}"
+        );
+    }
+
+    #[test]
+    fn json_emits_cpu_section_when_profiled() {
+        let mut r = sample();
+        r.cpu = Some(CpuTotals {
+            sample_hz: 97,
+            oncpu_samples: 200,
+            offcpu_samples: 40,
+            torn_samples: 1,
+        });
+        r.spans.get_mut("p.build").unwrap().cpu_self_samples = 50;
+        r.spans.get_mut("p.build").unwrap().cpu_total_samples = 120;
+        let j = r.to_json();
+        assert!(
+            j.contains(
+                "\"cpu\": {\"sample_hz\": 97, \"oncpu_samples\": 200, \
+                 \"offcpu_samples\": 40, \"torn_samples\": 1}"
+            ),
+            "missing cpu object in:\n{j}"
+        );
+        // 50 / 200 on-CPU samples = 0.25, rounded to 4 decimals.
+        assert!(
+            j.contains(
+                "\"cpu_self_samples\": 50, \"cpu_total_samples\": 120, \"cpu_self_frac\": 0.25"
+            ),
+            "missing per-span cpu figures in:\n{j}"
+        );
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! [`ResourceSampler`] runs a thread that periodically snapshots the
 //! tracking allocator ([`crate::alloc::snapshot`]) and `/proc/self/{statm,stat}`
 //! (RSS, user/system CPU ticks, thread count) into a timestamped timeline.
-//! [`to_jsonl`] serialises the timeline (`schema_version` 1, kind
+//! [`to_jsonl`] serialises the timeline (`schema_version` 2, kind
 //! `ngs-resources`): a header line followed by one JSON object per sample,
-//! written next to the trace by the CLIs' `--resource-jsonl` flag.
+//! written next to the trace by the CLIs' `--resource-jsonl` flag. Schema v2
+//! added `ticks_per_sec` (USER_HZ from the aux vector) and
+//! `page_size_bytes` to the header so downstream tooling can convert ticks
+//! to CPU% and resident pages to bytes without guessing platform constants;
+//! v1 files (no such fields) remain readable via
+//! [`validate_resources_header`].
 //!
 //! [`ProgressMeter`] is the human-facing companion: a thread that polls two
 //! collector counters (records and bytes read) once a second and prints a
@@ -48,9 +53,51 @@ pub struct ProcSample {
     pub num_threads: Option<u64>,
 }
 
+/// Resource-timeline JSONL schema version written by [`to_jsonl`].
+pub const RESOURCE_SCHEMA_VERSION: u32 = 2;
+
+/// `AT_PAGESZ` aux-vector key (see `getauxval(3)`).
+const AT_PAGESZ: u64 = 6;
+/// `AT_CLKTCK` aux-vector key: kernel USER_HZ, the unit of `/proc` CPU ticks.
+const AT_CLKTCK: u64 = 17;
+
+/// Look up one key in `/proc/self/auxv` — native-endian `(key, value)`
+/// usize pairs, terminated by an `AT_NULL` (0) key. Returns `None` when the
+/// file is unreadable (non-Linux) or the key is absent.
+fn auxv_lookup(key: u64) -> Option<u64> {
+    let bytes = std::fs::read("/proc/self/auxv").ok()?;
+    const W: usize = std::mem::size_of::<usize>();
+    for pair in bytes.chunks_exact(2 * W) {
+        let k = usize::from_ne_bytes(pair[..W].try_into().ok()?) as u64;
+        let v = usize::from_ne_bytes(pair[W..].try_into().ok()?) as u64;
+        if k == 0 {
+            break;
+        }
+        if k == key {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// USER_HZ — the tick unit of `utime_ticks`/`stime_ticks` — from
+/// `AT_CLKTCK`, falling back to the near-universal 100 when the aux vector
+/// is unavailable. Cached after the first read.
+pub fn ticks_per_sec() -> u64 {
+    static CACHE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| auxv_lookup(AT_CLKTCK).filter(|&v| v > 0).unwrap_or(100))
+}
+
+/// The page size `rss` pages are counted in, from `AT_PAGESZ`, falling back
+/// to 4096 when the aux vector is unavailable. Cached after the first read.
+pub fn page_size_bytes() -> u64 {
+    static CACHE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| auxv_lookup(AT_PAGESZ).filter(|&v| v > 0).unwrap_or(4096))
+}
+
 /// Parse `/proc/self/statm` content: the second field is resident pages.
-/// `page_size` is almost universally 4096 on Linux; the sampler passes the
-/// constant rather than calling `sysconf` (no libc dependency).
+/// `page_size` comes from the aux vector ([`page_size_bytes`]) — no libc
+/// dependency.
 pub fn parse_statm(text: &str, page_size: u64) -> Option<u64> {
     let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
     Some(pages * page_size)
@@ -73,8 +120,9 @@ pub fn parse_stat(text: &str) -> (Option<u64>, Option<u64>, Option<u64>) {
 /// Read `/proc/self/{statm,stat}`. Fields are `None` when procfs is
 /// unavailable (non-Linux) — the timeline stays valid and just omits them.
 pub fn read_proc_sample() -> ProcSample {
-    let rss_bytes =
-        std::fs::read_to_string("/proc/self/statm").ok().and_then(|t| parse_statm(&t, 4096));
+    let rss_bytes = std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|t| parse_statm(&t, page_size_bytes()));
     let (utime_ticks, stime_ticks, num_threads) = std::fs::read_to_string("/proc/self/stat")
         .ok()
         .map_or((None, None, None), |t| parse_stat(&t));
@@ -117,7 +165,10 @@ impl ResourceSampler {
                     let epoch = Instant::now();
                     while !stop.load(Relaxed) {
                         std::thread::sleep(interval);
-                        samples.lock().unwrap().push(take_sample(epoch.elapsed()));
+                        let mut guard = crate::lock_unpoisoned(&samples);
+                        #[cfg(test)]
+                        tests::fault_hook();
+                        guard.push(take_sample(epoch.elapsed()));
                     }
                 })
                 .expect("spawn resource sampler thread")
@@ -131,7 +182,10 @@ impl ResourceSampler {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        let mut samples = std::mem::take(&mut *self.samples.lock().unwrap());
+        // `lock_unpoisoned`: the sampler thread may have panicked while
+        // holding the lock; the samples gathered up to that point are still
+        // a well-formed timeline and must not cascade a second panic here.
+        let mut samples = std::mem::take(&mut *crate::lock_unpoisoned(&self.samples));
         // Close the timeline with a final reading so short phases between
         // ticks still show their end state.
         let last_ms = samples.last().map_or(0, |s| s.elapsed_ms);
@@ -160,12 +214,20 @@ fn push_opt(out: &mut String, key: &str, v: Option<u64>) {
 }
 
 /// Serialise a timeline as JSONL: a header object
-/// `{"schema_version": 1, "kind": "ngs-resources", "unit": "ms"}` followed
-/// by one object per sample. Absent readings serialise as `null`, never 0.
+/// `{"schema_version": 2, "kind": "ngs-resources", "unit": "ms",
+/// "ticks_per_sec": …, "page_size_bytes": …}` followed by one object per
+/// sample. Absent readings serialise as `null`, never 0.
 pub fn to_jsonl(samples: &[ResourceSample]) -> String {
     use std::fmt::Write as _;
-    let mut out = String::with_capacity(64 + samples.len() * 160);
-    out.push_str("{\"schema_version\": 1, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}\n");
+    let mut out = String::with_capacity(96 + samples.len() * 160);
+    writeln!(
+        out,
+        "{{\"schema_version\": {RESOURCE_SCHEMA_VERSION}, \"kind\": \"ngs-resources\", \
+         \"unit\": \"ms\", \"ticks_per_sec\": {}, \"page_size_bytes\": {}}}",
+        ticks_per_sec(),
+        page_size_bytes()
+    )
+    .unwrap();
     for s in samples {
         write!(out, "{{\"elapsed_ms\": {}", s.elapsed_ms).unwrap();
         match s.alloc {
@@ -185,6 +247,47 @@ pub fn to_jsonl(samples: &[ResourceSample]) -> String {
         out.push_str("}\n");
     }
     out
+}
+
+/// Metadata read back from a resource-timeline header line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceHeader {
+    /// Schema version of the file (1 or 2).
+    pub schema_version: u32,
+    /// USER_HZ the tick fields are counted in (v2; v1 files default to 100).
+    pub ticks_per_sec: u64,
+    /// Page size RSS was converted with (v2; v1 files default to 4096).
+    pub page_size_bytes: u64,
+}
+
+/// Parse and validate a resources JSONL header line, mirroring trace v2's
+/// handling: versions `1..=RESOURCE_SCHEMA_VERSION` are accepted (v1 files
+/// predate the metadata fields and get the historical defaults), anything
+/// else is a typed error naming the found version, as is a non-resources
+/// header.
+pub fn validate_resources_header(line: &str) -> Result<ResourceHeader, String> {
+    let obj = crate::json::parse(line).map_err(|e| format!("header: {e}"))?;
+    let kind = obj.get("kind").and_then(crate::json::Json::as_str).unwrap_or("");
+    if kind != "ngs-resources" {
+        return Err(format!("header kind {kind:?} is not \"ngs-resources\""));
+    }
+    let v = obj
+        .get("schema_version")
+        .and_then(crate::json::Json::as_u64)
+        .ok_or("header has no \"schema_version\"")?;
+    if v == 0 || v > RESOURCE_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "unsupported schema_version {v} (this tool reads 1..={RESOURCE_SCHEMA_VERSION})"
+        ));
+    }
+    Ok(ResourceHeader {
+        schema_version: v as u32,
+        ticks_per_sec: obj.get("ticks_per_sec").and_then(crate::json::Json::as_u64).unwrap_or(100),
+        page_size_bytes: obj
+            .get("page_size_bytes")
+            .and_then(crate::json::Json::as_u64)
+            .unwrap_or(4096),
+    })
 }
 
 /// Throughput over one poll window; `None` when the window is degenerate
@@ -305,6 +408,46 @@ impl Drop for ProgressMeter {
 mod tests {
     use super::*;
 
+    /// Test-only fault injection: the sampler thread calls this while
+    /// holding the samples lock, so an armed panic poisons the mutex
+    /// exactly the way a real sampler bug would.
+    static PANIC_NEXT_SAMPLE: AtomicBool = AtomicBool::new(false);
+
+    /// The fault flag is process-global, so tests that run a live sampler
+    /// serialise on this lock to keep the injected panic from landing in
+    /// another test's sampler thread.
+    fn sampler_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        crate::lock_unpoisoned(&LOCK)
+    }
+
+    pub(super) fn fault_hook() {
+        if PANIC_NEXT_SAMPLE.swap(false, Relaxed) {
+            panic!("injected sampler fault");
+        }
+    }
+
+    #[test]
+    fn sampler_panic_poisons_nothing_downstream() {
+        let _guard = sampler_test_lock();
+        let sampler = ResourceSampler::start(Duration::from_millis(5));
+        // Let at least one clean sample land, then blow up the sampler
+        // thread mid-push (lock held → mutex poisoned).
+        std::thread::sleep(Duration::from_millis(15));
+        PANIC_NEXT_SAMPLE.store(true, Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+        // The run still completes: stop() recovers the poisoned lock and
+        // the timeline it returns serialises to a well-formed report.
+        let samples = sampler.stop();
+        assert!(!samples.is_empty());
+        assert!(samples.windows(2).all(|w| w[0].elapsed_ms <= w[1].elapsed_ms));
+        let jsonl = to_jsonl(&samples);
+        validate_resources_header(jsonl.lines().next().unwrap()).unwrap();
+        for line in jsonl.lines() {
+            crate::json::parse(line).expect("well-formed timeline after sampler panic");
+        }
+    }
+
     #[test]
     fn statm_parses_resident_pages() {
         assert_eq!(parse_statm("12345 678 90 1 0 2 0\n", 4096), Some(678 * 4096));
@@ -334,6 +477,7 @@ mod tests {
 
     #[test]
     fn sampler_produces_monotonic_timeline() {
+        let _guard = sampler_test_lock();
         let sampler = ResourceSampler::start(Duration::from_millis(5));
         std::thread::sleep(Duration::from_millis(25));
         let samples = sampler.stop();
@@ -341,14 +485,61 @@ mod tests {
         assert!(samples.windows(2).all(|w| w[0].elapsed_ms <= w[1].elapsed_ms));
         let jsonl = to_jsonl(&samples);
         let mut lines = jsonl.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "{\"schema_version\": 1, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}"
-        );
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema_version\": 2"), "{header}");
+        assert!(header.contains("\"kind\": \"ngs-resources\""), "{header}");
+        assert!(header.contains("\"ticks_per_sec\": "), "{header}");
+        assert!(header.contains("\"page_size_bytes\": "), "{header}");
+        let meta = validate_resources_header(header).unwrap();
+        assert_eq!(meta.schema_version, RESOURCE_SCHEMA_VERSION);
+        assert_eq!(meta.ticks_per_sec, ticks_per_sec());
+        assert_eq!(meta.page_size_bytes, page_size_bytes());
         assert_eq!(lines.count(), samples.len());
         for line in jsonl.lines() {
             crate::json::parse(line).expect("every timeline line parses as JSON");
         }
+    }
+
+    #[test]
+    fn auxv_metadata_has_sane_values() {
+        // On Linux these come from the aux vector; elsewhere the fallbacks.
+        // Either way the values must be positive and plausible.
+        let hz = ticks_per_sec();
+        assert!((1..=10_000).contains(&hz), "ticks_per_sec {hz}");
+        let page = page_size_bytes();
+        assert!(page.is_power_of_two() && page >= 4096, "page_size_bytes {page}");
+    }
+
+    #[test]
+    fn resources_header_versions_are_validated() {
+        // v1 files predate the metadata fields: readable, defaults applied.
+        let v1 = validate_resources_header(
+            "{\"schema_version\": 1, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            v1,
+            ResourceHeader { schema_version: 1, ticks_per_sec: 100, page_size_bytes: 4096 }
+        );
+        // v2 carries its own metadata.
+        let v2 = validate_resources_header(
+            "{\"schema_version\": 2, \"kind\": \"ngs-resources\", \"unit\": \"ms\", \
+             \"ticks_per_sec\": 250, \"page_size_bytes\": 16384}",
+        )
+        .unwrap();
+        assert_eq!(v2.ticks_per_sec, 250);
+        assert_eq!(v2.page_size_bytes, 16384);
+        // Unknown future versions and foreign files are typed errors.
+        let err = validate_resources_header(
+            "{\"schema_version\": 99, \"kind\": \"ngs-resources\", \"unit\": \"ms\"}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported schema_version 99"), "{err}");
+        let err = validate_resources_header("{\"schema_version\": 2, \"kind\": \"ngs-trace\"}")
+            .unwrap_err();
+        assert!(err.contains("not \"ngs-resources\""), "{err}");
+        let err = validate_resources_header("{\"kind\": \"ngs-resources\"}").unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
     }
 
     #[test]

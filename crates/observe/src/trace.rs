@@ -210,23 +210,23 @@ impl Tracer {
 
     /// Set the role written to the JSONL header (default `main`).
     pub fn set_role(&self, role: &str) {
-        *self.role.lock().unwrap() = role.to_string();
+        *crate::lock_unpoisoned(&self.role) = role.to_string();
     }
 
     /// This tracer's role (see [`Tracer::set_role`]).
     pub fn role(&self) -> String {
-        self.role.lock().unwrap().clone()
+        crate::lock_unpoisoned(&self.role).clone()
     }
 
     /// The foreign processes stitched into this trace so far, in ingestion
     /// order (one entry per distinct pid).
     pub fn processes(&self) -> Vec<ProcessMeta> {
-        self.processes.lock().unwrap().clone()
+        crate::lock_unpoisoned(&self.processes).clone()
     }
 
     fn push_event(&self, ev: TraceEvent) {
         let shard = (ev.thread as usize) % SHARDS;
-        self.shards[shard].lock().unwrap().push(ev);
+        crate::lock_unpoisoned(&self.shards[shard]).push(ev);
     }
 
     /// The innermost open span of *this* tracer on the current thread
@@ -336,13 +336,26 @@ impl Tracer {
         self.push_event(ev);
     }
 
+    /// Publish a CPU-profiler frame for an RAII span. Only the guard-based
+    /// constructors feed the profiler: its per-thread slot is a strict
+    /// stack, which guards honor by construction, while raw `begin`/`end`
+    /// pairs (pool bookkeeping spans ended out of order or from other
+    /// threads) would corrupt it.
+    fn profile_enter(&self, name: &str) {
+        if self.enabled {
+            crate::profile::on_span_enter(name);
+        }
+    }
+
     /// RAII span under the ambient parent.
     pub fn span<'t>(&'t self, name: &str) -> TraceSpan<'t> {
+        self.profile_enter(name);
         TraceSpan { tracer: self, id: self.begin(name) }
     }
 
     /// RAII span under an explicit parent.
     pub fn span_under<'t>(&'t self, name: &str, parent: SpanId) -> TraceSpan<'t> {
+        self.profile_enter(name);
         TraceSpan { tracer: self, id: self.begin_under(name, parent) }
     }
 
@@ -353,6 +366,7 @@ impl Tracer {
         parent: SpanId,
         detail: &str,
     ) -> TraceSpan<'t> {
+        self.profile_enter(name);
         TraceSpan { tracer: self, id: self.begin_under_detail(name, parent, detail) }
     }
 
@@ -361,7 +375,7 @@ impl Tracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.extend(shard.lock().unwrap().iter().cloned());
+            all.extend(crate::lock_unpoisoned(shard).iter().cloned());
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -374,7 +388,7 @@ impl Tracer {
     pub fn take_events(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.append(&mut shard.lock().unwrap());
+            all.append(&mut crate::lock_unpoisoned(shard));
         }
         all.sort_by_key(|e| e.seq);
         all
@@ -411,7 +425,7 @@ impl Tracer {
             return;
         }
         {
-            let mut procs = self.processes.lock().unwrap();
+            let mut procs = crate::lock_unpoisoned(&self.processes);
             if !procs.iter().any(|p| p.pid == meta.pid) {
                 procs.push(meta.clone());
             }
@@ -565,6 +579,11 @@ impl TraceSpan<'_> {
 impl Drop for TraceSpan<'_> {
     fn drop(&mut self) {
         self.tracer.end(self.id);
+        // Matches the `profile_enter` in the guard constructors; `enabled`
+        // is immutable, so enter/exit always balance.
+        if self.tracer.enabled {
+            crate::profile::on_span_exit();
+        }
     }
 }
 

@@ -658,4 +658,40 @@ mod tests {
         // only about one *name* never exceeding its own wall clock.
         assert!(p.total_ns <= 1000);
     }
+
+    #[test]
+    fn summary_rows_tie_break_by_name() {
+        // Two sibling spans with identical self time: the ordering must be
+        // deterministic (by name), so `ngs-trace summary --top N` shows the
+        // same rows run after run.
+        let trace = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"zeta\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"E\", \"seq\": 2, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 500}
+{\"ev\": \"B\", \"seq\": 3, \"id\": 2, \"parent\": 0, \"name\": \"alpha\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 600}
+{\"ev\": \"E\", \"seq\": 4, \"id\": 2, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 1100}
+";
+        let spans = check_well_formed(&parse_jsonl(trace).unwrap()).unwrap();
+        let rows = self_time_summary(&spans);
+        assert_eq!(rows[0].self_ns, rows[1].self_ns, "setup: a genuine tie");
+        assert_eq!(rows[0].name, "alpha");
+        assert_eq!(rows[1].name, "zeta");
+    }
+
+    #[test]
+    fn render_summary_clamps_top_n_to_row_count() {
+        let trace = "\
+{\"schema_version\": 1, \"kind\": \"ngs-trace\", \"unit\": \"ns\"}
+{\"ev\": \"B\", \"seq\": 1, \"id\": 1, \"parent\": 0, \"name\": \"only\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 0}
+{\"ev\": \"E\", \"seq\": 2, \"id\": 1, \"parent\": 0, \"name\": \"\", \"detail\": \"\", \"tid\": 1, \"ts_ns\": 100}
+";
+        let spans = check_well_formed(&parse_jsonl(trace).unwrap()).unwrap();
+        let rows = self_time_summary(&spans);
+        // N far beyond the row count: every row once, no padding, no panic.
+        let table = render_summary(&rows, 1_000);
+        assert_eq!(table.lines().count(), 1 + rows.len(), "header plus one line per row");
+        assert_eq!(table.matches("only").count(), 1);
+        // N = 0 renders just the header.
+        assert_eq!(render_summary(&rows, 0).lines().count(), 1);
+    }
 }

@@ -116,7 +116,7 @@ fn spans_attribute_allocation_deltas() {
         );
         drop(big);
         let json = report.to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"alloc\": {"), "alloc section present when tracking: {json}");
         assert!(!json.contains("\"alloc\": null"));
     });

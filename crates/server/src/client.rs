@@ -103,6 +103,9 @@ pub struct StatsSnapshot {
     pub queue_wait_p99_us: u64,
     pub rss_bytes: u64,
     pub uptime_ms: u64,
+    /// Top spans by on-CPU self samples since start (empty unless the
+    /// server runs `--profile-cpu`).
+    pub cpu_top: Vec<(String, u64)>,
 }
 
 /// What one attempt produced, before the retry policy is applied.
@@ -182,6 +185,7 @@ impl Client {
                 queue_wait_p99_us,
                 rss_bytes,
                 uptime_ms,
+                cpu_top,
                 ..
             } => Ok(StatsSnapshot {
                 queue_depth,
@@ -196,6 +200,7 @@ impl Client {
                 queue_wait_p99_us,
                 rss_bytes,
                 uptime_ms,
+                cpu_top,
             }),
             other => Err(unexpected(other)),
         }
@@ -426,6 +431,7 @@ mod tests {
             queue_wait_p99_us: 900,
             rss_bytes: 10 << 20,
             uptime_ms: 5_000,
+            cpu_top: vec![("reptile.correct".into(), 99)],
         };
         let server = scripted_server(
             &ep,
@@ -458,6 +464,7 @@ mod tests {
                 queue_wait_p99_us: 900,
                 rss_bytes: 10 << 20,
                 uptime_ms: 5_000,
+                cpu_top: vec![("reptile.correct".into(), 99)],
             }
         );
         assert_eq!(c.retries, 1, "Overloaded before StatsReply must be retried");

@@ -151,6 +151,9 @@ pub enum ServeMessage {
         rss_bytes: u64,
         /// Milliseconds since the server finished loading its index.
         uptime_ms: u64,
+        /// Top spans by on-CPU self samples since start (name, samples),
+        /// best first. Empty unless the server runs `--profile-cpu`.
+        cpu_top: Vec<(String, u64)>,
     },
 }
 
@@ -228,6 +231,7 @@ impl ServeMessage {
                 queue_wait_p99_us,
                 rss_bytes,
                 uptime_ms,
+                cpu_top,
             } => {
                 out.push(TAG_STATS_REPLY);
                 (*request_id, *queue_depth, *queue_capacity).encode(&mut out);
@@ -235,6 +239,11 @@ impl ServeMessage {
                 (*latency_p50_us, *latency_p90_us, *latency_p99_us).encode(&mut out);
                 (*queue_wait_p50_us, *queue_wait_p90_us, *queue_wait_p99_us).encode(&mut out);
                 (*rss_bytes, *uptime_ms).encode(&mut out);
+                (cpu_top.len() as u32).encode(&mut out);
+                for (name, samples) in cpu_top {
+                    name.encode(&mut out);
+                    samples.encode(&mut out);
+                }
             }
         }
         out
@@ -301,6 +310,13 @@ impl ServeMessage {
                     <(u64, u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
                 let (rss_bytes, uptime_ms) =
                     <(u64, u64)>::decode(inp).ok_or(ProtocolError::Malformed)?;
+                let n = u32::decode(inp).ok_or(ProtocolError::Malformed)? as usize;
+                let mut cpu_top = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    let name = String::decode(inp).ok_or(ProtocolError::Malformed)?;
+                    let samples = u64::decode(inp).ok_or(ProtocolError::Malformed)?;
+                    cpu_top.push((name, samples));
+                }
                 ServeMessage::StatsReply {
                     request_id,
                     queue_depth,
@@ -315,6 +331,7 @@ impl ServeMessage {
                     queue_wait_p99_us,
                     rss_bytes,
                     uptime_ms,
+                    cpu_top,
                 }
             }
             _ => return Err(ProtocolError::Malformed),
@@ -387,6 +404,7 @@ mod tests {
             queue_wait_p99_us: 4_000,
             rss_bytes: 48 << 20,
             uptime_ms: 90_000,
+            cpu_top: vec![("reptile.correct".into(), 812), ("serve.admit".into(), 44)],
         }
     }
 

@@ -426,6 +426,8 @@ fn stats_snapshot(shared: &Shared, request_id: u64) -> ServeMessage {
         queue_wait_p99_us: pct("serve.queue_wait_us", 0.99),
         rss_bytes: ngs_observe::read_memory().rss_bytes.unwrap_or(0),
         uptime_ms: shared.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        // Live read of the active CPU profiler; empty without --profile-cpu.
+        cpu_top: ngs_observe::profile::top_self_cpu(5),
     }
 }
 
